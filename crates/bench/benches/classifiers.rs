@@ -1,0 +1,48 @@
+//! Per-classifier training and prediction cost on a fixed standardized
+//! matrix (the cost structure behind Table V's 10-fold CV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vbadet::detector::ClassifierKind;
+use vbadet::experiment::ExperimentData;
+use vbadet_corpus::CorpusSpec;
+use vbadet_ml::StandardScaler;
+
+fn training_set() -> (Vec<Vec<f64>>, Vec<bool>) {
+    let data = ExperimentData::from_spec(&CorpusSpec::paper().scaled(0.05));
+    let scaler = StandardScaler::fit(&data.v);
+    (scaler.transform_all(&data.v), data.labels.clone())
+}
+
+fn classifiers(c: &mut Criterion) {
+    let (x, y) = training_set();
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+    for kind in ClassifierKind::ALL {
+        group.bench_function(format!("train_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut model = kind.build(1);
+                model.fit(black_box(&x), black_box(&y));
+                black_box(model.decision_function(&x[0]))
+            })
+        });
+    }
+    // Prediction cost on trained models.
+    for kind in ClassifierKind::ALL {
+        let mut model = kind.build(1);
+        model.fit(&x, &y);
+        group.bench_function(format!("predict_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for row in &x {
+                    acc += model.decision_function(black_box(row));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, classifiers);
+criterion_main!(benches);

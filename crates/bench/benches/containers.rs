@@ -1,0 +1,93 @@
+//! Container-layer throughput: OLE compound-file write/parse, ZIP
+//! write/parse, and raw DEFLATE in both directions. These quantify the
+//! "lightweight static inspection" premise (§II.B) for the extraction side
+//! of the pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use vbadet_ole::{OleBuilder, OleFile};
+use vbadet_zip::{deflate, inflate, BlockStyle, CompressionMethod, ZipArchive, ZipWriter};
+
+fn sample_text(len: usize) -> Vec<u8> {
+    "Sub Report()\r\n    total = total + Cells(row, 3).Value\r\nEnd Sub\r\n"
+        .bytes()
+        .cycle()
+        .take(len)
+        .collect()
+}
+
+fn ole_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ole");
+    let payload = sample_text(64 * 1024);
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("write_64k", |b| {
+        b.iter(|| {
+            let mut builder = OleBuilder::new();
+            builder.add_stream("Macros/VBA/Module1", &payload).unwrap();
+            builder.add_stream("WordDocument", &payload[..8192]).unwrap();
+            black_box(builder.build())
+        })
+    });
+    let bytes = {
+        let mut builder = OleBuilder::new();
+        builder.add_stream("Macros/VBA/Module1", &payload).unwrap();
+        builder.add_stream("WordDocument", &payload[..8192]).unwrap();
+        builder.build()
+    };
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("parse_and_read", |b| {
+        b.iter(|| {
+            let ole = OleFile::parse(black_box(&bytes)).unwrap();
+            black_box(ole.open_stream("Macros/VBA/Module1").unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn zip_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zip");
+    let payload = sample_text(256 * 1024);
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("write_deflate_256k", |b| {
+        b.iter(|| {
+            let mut w = ZipWriter::new();
+            w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate).unwrap();
+            black_box(w.finish())
+        })
+    });
+    let bytes = {
+        let mut w = ZipWriter::new();
+        w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate).unwrap();
+        w.finish()
+    };
+    group.bench_function("parse_and_extract", |b| {
+        b.iter(|| {
+            let a = ZipArchive::parse(black_box(&bytes)).unwrap();
+            black_box(a.read_file("word/vbaProject.bin").unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn deflate_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate");
+    let payload = sample_text(256 * 1024);
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for style in [BlockStyle::Fixed, BlockStyle::Dynamic] {
+        group.bench_function(format!("compress_{style:?}"), |b| {
+            b.iter(|| black_box(deflate(black_box(&payload), style)))
+        });
+    }
+    let packed = deflate(&payload, BlockStyle::Dynamic);
+    group.bench_function("inflate", |b| {
+        b.iter_batched(
+            || packed.clone(),
+            |p| black_box(inflate(&p).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ole_roundtrip, zip_roundtrip, deflate_codec);
+criterion_main!(benches);

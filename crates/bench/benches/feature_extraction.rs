@@ -1,0 +1,49 @@
+//! Feature-extraction throughput: lexing plus V1–V15 / J1–J20 per macro.
+//! This is the paper's core claim of a lightweight static method — the
+//! per-macro inspection cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vbadet_features::{j_features, j_features_from, v_features, v_features_from};
+use vbadet_vba::MacroAnalysis;
+
+fn inputs() -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let plain = vbadet_corpus::templates::benign::generate(&mut rng, 4000);
+    let mut rng2 = StdRng::seed_from_u64(12);
+    let obfuscated = vbadet_obfuscate::Obfuscator::new()
+        .with(vbadet_obfuscate::Technique::Encoding)
+        .with(vbadet_obfuscate::Technique::LogicWithIntensity(40))
+        .with(vbadet_obfuscate::Technique::Random)
+        .apply(&plain, &mut rng2)
+        .source;
+    vec![("plain".into(), plain), ("obfuscated".into(), obfuscated)]
+}
+
+fn extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features");
+    for (name, source) in inputs() {
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_function(format!("lex_{name}"), |b| {
+            b.iter(|| black_box(vbadet_vba::tokenize(black_box(&source))))
+        });
+        group.bench_function(format!("v_features_{name}"), |b| {
+            b.iter(|| black_box(v_features(black_box(&source))))
+        });
+        group.bench_function(format!("j_features_{name}"), |b| {
+            b.iter(|| black_box(j_features(black_box(&source))))
+        });
+        group.bench_function(format!("both_shared_lex_{name}"), |b| {
+            b.iter(|| {
+                let a = MacroAnalysis::new(black_box(&source));
+                black_box((v_features_from(&a), j_features_from(&a)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, extraction);
+criterion_main!(benches);

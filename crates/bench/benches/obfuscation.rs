@@ -1,0 +1,47 @@
+//! Obfuscation and de-obfuscation transform throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vbadet_obfuscate::{deobfuscate, Obfuscator, Technique};
+
+fn transforms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = vbadet_corpus::templates::benign::generate(&mut rng, 3000);
+
+    let mut group = c.benchmark_group("obfuscate");
+    group.throughput(Throughput::Bytes(base.len() as u64));
+    for (name, technique) in [
+        ("o1_random", Technique::Random),
+        ("o2_split", Technique::Split),
+        ("o3_encoding", Technique::Encoding),
+        ("o4_logic", Technique::LogicWithIntensity(30)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(Obfuscator::new().with(technique).apply(black_box(&base), &mut rng))
+            })
+        });
+    }
+    group.finish();
+
+    // De-obfuscation over a fully obfuscated module.
+    let mut rng = StdRng::seed_from_u64(3);
+    let obfuscated = Obfuscator::new()
+        .with(Technique::Split)
+        .with(Technique::Encoding)
+        .with(Technique::LogicWithIntensity(40))
+        .apply(&base, &mut rng)
+        .source;
+    let mut group = c.benchmark_group("deobfuscate");
+    group.throughput(Throughput::Bytes(obfuscated.len() as u64));
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| black_box(deobfuscate(black_box(&obfuscated))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transforms);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! MS-OVBA CompressedContainer codec throughput (the per-module cost of
+//! olevba-style extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vbadet_ovba::{compress, decompress};
+
+fn codec(c: &mut Criterion) {
+    let module = "Attribute VB_Name = \"Module1\"\r\n".to_string()
+        + &"Sub Step()\r\n    Dim counter As Long\r\n    counter = counter + 1\r\nEnd Sub\r\n"
+            .repeat(600);
+    let data = module.as_bytes();
+
+    let mut group = c.benchmark_group("ovba");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_module", |b| {
+        b.iter(|| black_box(compress(black_box(data))))
+    });
+    let packed = compress(data);
+    group.bench_function("decompress_module", |b| {
+        b.iter(|| black_box(decompress(black_box(&packed)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end scan cost: document bytes → container parse → VBA extraction
+//! → features → verdict, for both container families.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vbadet::{Detector, DetectorConfig};
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, DocumentKind};
+
+fn pipeline(c: &mut Criterion) {
+    let spec = CorpusSpec::paper().scaled(0.01);
+    let macros = generate_macros(&spec);
+    let files = DocumentFactory::new(&spec, &macros).build_all();
+    let detector = Detector::train_on_corpus(&DetectorConfig::default(), &spec);
+
+    let ole_doc = files
+        .iter()
+        .find(|f| f.kind == DocumentKind::WordDoc)
+        .expect("corpus has .doc files");
+    let ooxml_doc = files
+        .iter()
+        .find(|f| f.kind == DocumentKind::ExcelXlsm)
+        .expect("corpus has .xlsm files");
+
+    let mut group = c.benchmark_group("scan_document");
+    group.sample_size(20);
+    for (name, doc) in [("legacy_doc", ole_doc), ("ooxml_xlsm", ooxml_doc)] {
+        group.throughput(Throughput::Bytes(doc.bytes.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(detector.scan_document(black_box(&doc.bytes)).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("score_macro");
+    let plain = &macros.iter().find(|m| !m.obfuscated).unwrap().source;
+    let obf = &macros.iter().find(|m| m.obfuscated).unwrap().source;
+    for (name, src) in [("plain", plain), ("obfuscated", obf)] {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_function(name, |b| b.iter(|| black_box(detector.score(black_box(src)))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

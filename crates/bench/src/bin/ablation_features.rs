@@ -1,0 +1,35 @@
+//! Ablation study over the V-feature groups (DESIGN.md §5): retrain with
+//! each technique-targeting group removed and measure the F2/AUC cost.
+//! Quantifies which obfuscation techniques each group actually pays for.
+
+use vbadet::detector::ClassifierKind;
+use vbadet::experiment::{ablate_v_groups, ExperimentData};
+use vbadet_bench::{banner, corpus_spec, folds};
+
+fn main() {
+    banner("Ablation: V-feature groups (paper §IV.C design choices)");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+    let (baseline, rows) =
+        ablate_v_groups(&data, ClassifierKind::RandomForest, folds(), spec.seed);
+
+    println!(
+        "baseline (all 15 features, RF): F2 {:.3}, AUC {:.3}",
+        baseline.f2, baseline.auc
+    );
+    println!();
+    println!("{:<38} {:>8} {:>8} {:>9}", "group removed", "F2", "AUC", "F2 drop");
+    println!("{}", "-".repeat(68));
+    for row in &rows {
+        println!(
+            "{:<38} {:>8.3} {:>8.3} {:>+9.3}",
+            row.group, row.f2, row.auc, row.f2_drop
+        );
+    }
+    println!();
+    let critical = rows
+        .iter()
+        .max_by(|a, b| a.f2_drop.total_cmp(&b.f2_drop))
+        .expect("non-empty");
+    println!("most load-bearing group: {} ({:+.3} F2)", critical.group, critical.f2_drop);
+}

@@ -1,0 +1,28 @@
+//! Permutation importance of each V feature under a trained Random Forest:
+//! which of the paper's 15 features actually carry the decision.
+
+use vbadet::experiment::ExperimentData;
+use vbadet_bench::{banner, bar, corpus_spec};
+use vbadet_features::V_NAMES;
+use vbadet_ml::{permutation_importance, Classifier, RandomForest, StandardScaler};
+
+fn main() {
+    banner("Permutation importance (RF on V features)");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+    let scaler = StandardScaler::fit(&data.v);
+    let x = scaler.transform_all(&data.v);
+    let mut rf = RandomForest::with_seed(100, 0, spec.seed);
+    rf.fit(&x, &data.labels);
+
+    let mut importances = permutation_importance(&rf, &x, &data.labels, 3, spec.seed);
+    importances.sort_by(|a, b| b.drop().total_cmp(&a.drop()));
+
+    println!("baseline F2 (training set): {:.3}", importances[0].baseline);
+    println!();
+    let max = importances[0].drop().max(1e-9);
+    for imp in &importances {
+        let label: String = V_NAMES[imp.feature].chars().take(28).collect();
+        println!("{}", bar(&label, imp.drop().max(0.0), max, 40));
+    }
+}

@@ -1,0 +1,32 @@
+//! Learning curve: F2/AUC on a held-out third of the corpus as the
+//! training set grows. Answers "how much labeled data does the method
+//! need?" — a deployment question the paper leaves open.
+
+use vbadet::detector::ClassifierKind;
+use vbadet::experiment::{learning_curve, ExperimentData};
+use vbadet_bench::{banner, bar, corpus_spec};
+use vbadet_features::FeatureSet;
+
+fn main() {
+    banner("Learning curve (RF on V features, held-out third)");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+    let fractions = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+    let points = learning_curve(
+        &data,
+        FeatureSet::V,
+        ClassifierKind::RandomForest,
+        &fractions,
+        spec.seed,
+    );
+
+    println!("{:>12} {:>8} {:>8}", "train size", "F2", "AUC");
+    for p in &points {
+        println!("{:>12} {:>8.3} {:>8.3}", p.train_size, p.f2, p.auc);
+    }
+    println!();
+    for p in &points {
+        let label = format!("n={}", p.train_size);
+        println!("{}", bar(&label, p.f2, 1.0, 50));
+    }
+}

@@ -1,0 +1,19 @@
+//! Diagnostic: single-feature AUC for every V and J feature.
+use vbadet::experiment::ExperimentData;
+use vbadet_bench::corpus_spec;
+use vbadet_features::{J_NAMES, V_NAMES};
+
+fn main() {
+    let data = ExperimentData::from_spec(&corpus_spec());
+    let rank = |x: &[Vec<f64>], names: &[&str]| {
+        for (f, name) in names.iter().enumerate() {
+            let scores: Vec<f64> = x.iter().map(|r| r[f]).collect();
+            let auc = vbadet_ml::auc(&data.labels, &scores);
+            println!("{:<55} auc {:.3}", name, auc.max(1.0 - auc));
+        }
+    };
+    println!("--- V ---");
+    rank(&data.v, &V_NAMES);
+    println!("--- J ---");
+    rank(&data.j, &J_NAMES);
+}

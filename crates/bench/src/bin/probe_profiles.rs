@@ -1,0 +1,38 @@
+//! Diagnostic: per-profile recall of RF on V vs J features.
+use vbadet::detector::ClassifierKind;
+use vbadet::experiment::ExperimentData;
+use vbadet_bench::corpus_spec;
+use vbadet_corpus::ObfuscationProfile;
+use vbadet_features::FeatureSet;
+use vbadet_ml::cross_validate;
+
+fn main() {
+    let data = ExperimentData::from_spec(&corpus_spec());
+    for set in [FeatureSet::V, FeatureSet::J] {
+        let outcome = cross_validate(
+            || ClassifierKind::RandomForest.build(1),
+            data.features(set),
+            &data.labels,
+            5,
+            1,
+        );
+        println!("--- {set} (RF) ---");
+        use std::collections::HashMap;
+        let mut hit: HashMap<String, (usize, usize)> = HashMap::new();
+        for (i, m) in data.macros.iter().enumerate() {
+            let key = format!("{:?}|mal={}", m.profile, m.malicious);
+            let e = hit.entry(key).or_default();
+            e.1 += 1;
+            if outcome.predictions[i] == m.obfuscated {
+                e.0 += 1;
+            }
+        }
+        let mut keys: Vec<_> = hit.keys().cloned().collect();
+        keys.sort();
+        for k in keys {
+            let (ok, n) = hit[&k];
+            println!("{k:<32} {ok}/{n} = {:.2}", ok as f64 / n as f64);
+        }
+        let _ = ObfuscationProfile::None;
+    }
+}

@@ -1,0 +1,51 @@
+//! Signature-AV baseline (the paper's §III.B motivation, executable):
+//! detection rate of IOC-substring matching on plain vs obfuscated
+//! malicious macros, compared with the ML detector.
+
+use vbadet::experiment::ExperimentData;
+use vbadet::signature::signature_experiment;
+use vbadet::{detector::ClassifierKind, experiment::evaluate};
+use vbadet_bench::{banner, corpus_spec, folds};
+use vbadet_features::FeatureSet;
+
+fn main() {
+    banner("Signature baseline vs statistical obfuscation detection");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+
+    let (plain_rate, obfuscated_rate) = signature_experiment(&data.macros);
+    println!("signature scanner (IOC substrings) on malicious macros:");
+    println!("  plain payloads flagged:      {:.1}%", plain_rate * 100.0);
+    println!("  obfuscated payloads flagged: {:.1}%", obfuscated_rate * 100.0);
+    println!(
+        "  -> obfuscation suppresses signature recall by {:.1} points (§III.B)",
+        (plain_rate - obfuscated_rate) * 100.0
+    );
+    println!();
+
+    // Signature false alarms on the benign population (for context: IOC
+    // substrings also fire on legitimate automation).
+    let scanner = vbadet::SignatureScanner::new();
+    let benign: Vec<_> = data.macros.iter().filter(|m| !m.malicious).collect();
+    let benign_hits = benign.iter().filter(|m| scanner.flags(&m.source)).count();
+    println!(
+        "  false alarms on benign macros: {:.1}%",
+        100.0 * benign_hits as f64 / benign.len().max(1) as f64
+    );
+    println!();
+
+    let ml = evaluate(&data, FeatureSet::V, ClassifierKind::Mlp, folds(), spec.seed);
+    println!("statistical detector (MLP on V features, obfuscation labels):");
+    println!("  recall on obfuscated macros: {:.1}%", ml.recall * 100.0);
+    println!("  precision:                   {:.1}%", ml.precision * 100.0);
+    println!();
+    println!(
+        "signatures degrade under string obfuscation ({:.1} -> {:.1}%) and say \
+         nothing about *obfuscation itself*; the statistical detector flags the \
+         obfuscation mechanisms directly at {:.1}% recall / {:.1}% precision.",
+        plain_rate * 100.0,
+        obfuscated_rate * 100.0,
+        ml.recall * 100.0,
+        ml.precision * 100.0,
+    );
+}

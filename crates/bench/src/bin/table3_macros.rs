@@ -1,0 +1,45 @@
+//! Regenerates **Table III**: macros extracted per population and their
+//! obfuscation rates — the paper's 1.7% (benign) vs 98.4% (malicious) gap.
+
+use vbadet::experiment::table3;
+use vbadet_bench::{banner, corpus_spec};
+use vbadet_corpus::generate_macros;
+
+fn main() {
+    banner("Table III: Summary of VBA macros extracted from MS Office files");
+    let spec = corpus_spec();
+    let macros = generate_macros(&spec);
+    let (benign, malicious) = table3(&macros);
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>22}",
+        "Group", "# files", "# macros", "# obfuscated macros"
+    );
+    println!("{}", "-".repeat(70));
+    println!(
+        "{:<22} {:>9} {:>12} {:>14} ({:.1}%)",
+        "Benign dataset",
+        spec.benign_word_files + spec.benign_excel_files,
+        benign.macros,
+        benign.obfuscated,
+        benign.obfuscation_rate() * 100.0
+    );
+    println!(
+        "{:<22} {:>9} {:>12} {:>14} ({:.1}%)",
+        "Malicious dataset",
+        spec.malicious_word_files + spec.malicious_excel_files,
+        malicious.macros,
+        malicious.obfuscated,
+        malicious.obfuscation_rate() * 100.0
+    );
+    println!("{}", "-".repeat(70));
+    println!(
+        "{:<22} {:>9} {:>12} {:>14}",
+        "Total",
+        spec.total_files(),
+        benign.macros + malicious.macros,
+        benign.obfuscated + malicious.obfuscated
+    );
+    println!();
+    println!("paper: benign 3380 macros (58 obf, 1.7%), malicious 832 (819 obf, 98.4%)");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table V**: Accuracy / Precision / Recall for the five
+//! classifiers on both feature sets, under stratified k-fold CV.
+
+use vbadet::experiment::{evaluate_all, ExperimentData};
+use vbadet_bench::{banner, corpus_spec, folds};
+
+fn main() {
+    banner("Table V: Evaluation results of proposed approach");
+    let spec = corpus_spec();
+    let data = ExperimentData::from_spec(&spec);
+    let results = evaluate_all(&data, folds(), spec.seed);
+
+    println!(
+        "{:<12} {:<11} {:>9} {:>10} {:>8} {:>8} {:>7}",
+        "Feature set", "Classifier", "Accuracy", "Precision", "Recall", "F2", "AUC"
+    );
+    let mut current_set = None;
+    for r in &results {
+        if current_set != Some(r.feature_set) {
+            current_set = Some(r.feature_set);
+            println!("{}", "-".repeat(70));
+        }
+        println!(
+            "{:<12} {:<11} {:>9.3} {:>10.3} {:>8.3} {:>8.3} {:>7.3}",
+            r.feature_set.to_string(),
+            r.classifier.name(),
+            r.accuracy,
+            r.precision,
+            r.recall,
+            r.f2,
+            r.auc
+        );
+    }
+
+    // The paper's headline claims, restated against these results.
+    let best = |set: vbadet_features::FeatureSet| {
+        results
+            .iter()
+            .filter(|r| r.feature_set == set)
+            .max_by(|a, b| a.f2.partial_cmp(&b.f2).expect("finite"))
+            .expect("non-empty")
+    };
+    let v = best(vbadet_features::FeatureSet::V);
+    let j = best(vbadet_features::FeatureSet::J);
+    println!();
+    println!(
+        "best V: {} F2={:.3}  |  best J: {} F2={:.3}  |  delta={:+.3} (paper: 0.92 vs 0.69, +0.23)",
+        v.classifier.name(),
+        v.f2,
+        j.classifier.name(),
+        j.f2,
+        v.f2 - j.f2
+    );
+}

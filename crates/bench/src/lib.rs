@@ -1,0 +1,83 @@
+//! Shared plumbing for the table/figure regeneration binaries and the
+//! Criterion benchmarks.
+//!
+//! Every binary accepts the corpus scale through the `VBADET_SCALE`
+//! environment variable (default `1.0` = the paper's full 4,212-macro
+//! corpus; e.g. `VBADET_SCALE=0.1` for a quick pass) and the fold count
+//! through `VBADET_FOLDS` (default 10, as in §V).
+
+use vbadet_corpus::CorpusSpec;
+
+/// Reads `VBADET_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("VBADET_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&f| f > 0.0 && f <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// Reads `VBADET_FOLDS` (default 10).
+pub fn folds() -> usize {
+    std::env::var("VBADET_FOLDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&k| k >= 2)
+        .unwrap_or(10)
+}
+
+/// The corpus spec for the configured scale.
+pub fn corpus_spec() -> CorpusSpec {
+    let f = scale();
+    let spec = CorpusSpec::paper();
+    if (f - 1.0).abs() < f64::EPSILON {
+        spec
+    } else {
+        spec.scaled(f)
+    }
+}
+
+/// Prints a banner naming the experiment and its configuration.
+pub fn banner(what: &str) {
+    let spec = corpus_spec();
+    println!("=== {what} ===");
+    println!(
+        "corpus: scale {:.3} -> {} macros / {} files (seed {:#x}), {} folds",
+        scale(),
+        spec.total_macros(),
+        spec.total_files(),
+        spec.seed,
+        folds(),
+    );
+    println!();
+}
+
+/// Renders an ASCII histogram line: `label | ####### value`.
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!("{label:<28} | {:<width$} {value:.3}", "#".repeat(filled.min(width)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // Env-independent behaviour of the helpers themselves.
+        assert!(scale() > 0.0 && scale() <= 1.0);
+        assert!(folds() >= 2);
+        assert!(corpus_spec().total_macros() > 0);
+    }
+
+    #[test]
+    fn bars_scale() {
+        let b = bar("x", 0.5, 1.0, 10);
+        assert!(b.contains("#####"));
+        assert!(!bar("x", 0.0, 1.0, 10).contains('#'));
+    }
+}

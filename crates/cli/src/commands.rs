@@ -1,0 +1,418 @@
+//! CLI subcommand implementations.
+
+use std::error::Error;
+use std::path::PathBuf;
+use vbadet::{extract_macros, ClassifierKind, Detector, DetectorConfig};
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    values: std::collections::HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, Box<dyn Error>> {
+        let mut values = std::collections::HashMap::new();
+        let mut positional = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                values.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags { values, positional })
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, Box<dyn Error>> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => Ok(v.parse()?),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, Box<dyn Error>> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => Ok(v.parse()?),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, Box<dyn Error>> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => Ok(v.parse()?),
+        }
+    }
+}
+
+fn classifier_by_name(name: &str) -> Result<ClassifierKind, Box<dyn Error>> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "svm" => ClassifierKind::Svm,
+        "rf" => ClassifierKind::RandomForest,
+        "mlp" => ClassifierKind::Mlp,
+        "lda" => ClassifierKind::Lda,
+        "bnb" => ClassifierKind::BernoulliNb,
+        other => return Err(format!("unknown classifier: {other}").into()),
+    })
+}
+
+fn spec_at(scale: f64, seed: u64) -> CorpusSpec {
+    let spec = CorpusSpec::paper().with_seed(seed);
+    if (scale - 1.0).abs() < f64::EPSILON {
+        spec
+    } else {
+        spec.scaled(scale)
+    }
+}
+
+pub fn scan(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    if flags.positional.is_empty() {
+        return Err("scan: at least one file required".into());
+    }
+    let detector = match flags.values.get("model") {
+        Some(path) => {
+            eprintln!("loading detector from {path}…");
+            Detector::load(&std::fs::read_to_string(path)?)?
+        }
+        None => {
+            let scale = flags.get_f64("scale", 0.1)?;
+            let seed = flags.get_u64("seed", 0xD5)?;
+            let classifier = match flags.values.get("classifier") {
+                Some(name) => classifier_by_name(name)?,
+                None => ClassifierKind::Mlp,
+            };
+            eprintln!("training {classifier} detector on synthetic corpus (scale {scale})…");
+            let config = DetectorConfig { classifier, seed, ..DetectorConfig::default() };
+            Detector::train_on_corpus(&config, &spec_at(scale, seed))
+        }
+    };
+
+    let mut any_flagged = false;
+    for path in &flags.positional {
+        let bytes = std::fs::read(path)?;
+        match detector.scan_document(&bytes) {
+            Ok(verdicts) if verdicts.is_empty() => {
+                println!("{path}: no VBA macros");
+            }
+            Ok(verdicts) => {
+                for v in verdicts {
+                    let mark = if v.verdict.obfuscated { "OBFUSCATED" } else { "clean" };
+                    any_flagged |= v.verdict.obfuscated;
+                    println!(
+                        "{path}: module {:<20} {:>11} (score {:+.3})",
+                        v.module_name, mark, v.verdict.score
+                    );
+                }
+            }
+            Err(e) => println!("{path}: unreadable ({e})"),
+        }
+    }
+    if any_flagged {
+        eprintln!("note: obfuscation != maliciousness; see the paper's §VI.A");
+    }
+    Ok(())
+}
+
+pub fn extract(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("extract: file required")?;
+    let bytes = std::fs::read(path)?;
+    let macros = extract_macros(&bytes)?;
+    if macros.is_empty() {
+        eprintln!("{path}: no VBA macros");
+        return Ok(());
+    }
+    for m in macros {
+        println!("' ===== project {} / module {} ({:?}) =====", m.project_name, m.module_name, m.container);
+        println!("{}", m.code);
+    }
+    Ok(())
+}
+
+pub fn obfuscate(args: &[String]) -> CmdResult {
+    use rand::SeedableRng;
+    use vbadet_obfuscate::{Obfuscator, Technique};
+
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("obfuscate: a .vba source file is required")?;
+    let source = std::fs::read_to_string(path)?;
+    let seed = flags.get_u64("seed", 0xD5)?;
+    let list = flags
+        .values
+        .get("techniques")
+        .map(String::as_str)
+        .unwrap_or("o2,o3,o4,o1");
+
+    let mut pipeline = Obfuscator::new();
+    for item in list.split(',') {
+        pipeline = match item.trim().to_ascii_lowercase().as_str() {
+            "o1" => pipeline.with(Technique::Random),
+            "o2" => pipeline.with(Technique::Split),
+            "o3" => pipeline.with(Technique::Encoding),
+            "o4" => pipeline.with(Technique::Logic),
+            other => return Err(format!("unknown technique: {other}").into()),
+        };
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let result = pipeline.apply(&source, &mut rng);
+    print!("{}", result.source);
+    eprintln!(
+        "applied {:?}: {} -> {} chars",
+        result.applied,
+        source.len(),
+        result.source.len()
+    );
+    Ok(())
+}
+
+pub fn deobfuscate(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("deobfuscate: a .vba source file is required")?;
+    let source = std::fs::read_to_string(path)?;
+    let report = vbadet_obfuscate::deobfuscate(&source);
+    print!("{}", report.source);
+    eprintln!(
+        "folded {} string expressions, removed {} dead blocks and {} unused procedures \
+         ({} -> {} chars)",
+        report.folded_strings,
+        report.removed_dead_blocks,
+        report.removed_procedures,
+        source.len(),
+        report.source.len(),
+    );
+    Ok(())
+}
+
+pub fn corpus(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let out: PathBuf = flags
+        .values
+        .get("out")
+        .ok_or("corpus: --out DIR required")?
+        .into();
+    let scale = flags.get_f64("scale", 0.05)?;
+    let seed = flags.get_u64("seed", 0xD512018)?;
+    let spec = spec_at(scale, seed);
+
+    std::fs::create_dir_all(out.join("benign"))?;
+    std::fs::create_dir_all(out.join("malicious"))?;
+
+    eprintln!(
+        "generating {} macros in {} files…",
+        spec.total_macros(),
+        spec.total_files()
+    );
+    let macros = generate_macros(&spec);
+    let factory = DocumentFactory::new(&spec, &macros);
+    let mut written = 0usize;
+    let mut io_error: Option<std::io::Error> = None;
+    factory.for_each(|file| {
+        if io_error.is_some() {
+            return;
+        }
+        let dir = if file.malicious { "malicious" } else { "benign" };
+        if let Err(e) = std::fs::write(out.join(dir).join(&file.name), &file.bytes) {
+            io_error = Some(e);
+            return;
+        }
+        written += 1;
+    });
+    if let Some(e) = io_error {
+        return Err(e.into());
+    }
+
+    // Labels file: name, class, module count.
+    let mut labels = String::from("file,malicious,modules\n");
+    let factory = DocumentFactory::new(&spec, &macros);
+    factory.for_each(|file| {
+        labels.push_str(&format!("{},{},{}\n", file.name, file.malicious, file.module_count));
+    });
+    std::fs::write(out.join("labels.csv"), labels)?;
+    eprintln!("wrote {written} documents + labels.csv to {}", out.display());
+    Ok(())
+}
+
+pub fn train(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let out = flags.values.get("out").ok_or("train: --out FILE required")?;
+    let scale = flags.get_f64("scale", 0.25)?;
+    let seed = flags.get_u64("seed", 0xD5)?;
+    let classifier = match flags.values.get("classifier") {
+        Some(name) => classifier_by_name(name)?,
+        None => ClassifierKind::Mlp,
+    };
+    eprintln!("training {classifier} on synthetic corpus (scale {scale})…");
+    let config = DetectorConfig { classifier, seed, ..DetectorConfig::default() };
+    let detector = Detector::train_on_corpus(&config, &spec_at(scale, seed));
+    let text = detector.save();
+    std::fs::write(out, &text)?;
+    eprintln!("saved {} bytes to {out}", text.len());
+    Ok(())
+}
+
+pub fn evaluate(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let scale = flags.get_f64("scale", 1.0)?;
+    let folds = flags.get_usize("folds", 10)?;
+    let seed = flags.get_u64("seed", 0xD512018)?;
+    let spec = spec_at(scale, seed);
+
+    eprintln!(
+        "corpus: {} macros; {folds}-fold CV for 5 classifiers x 2 feature sets…",
+        spec.total_macros()
+    );
+    let data = vbadet::experiment::ExperimentData::from_spec(&spec);
+    let results = vbadet::experiment::evaluate_all(&data, folds, seed);
+    println!(
+        "{:<8} {:<6} {:>9} {:>10} {:>8} {:>8} {:>7}",
+        "features", "clf", "accuracy", "precision", "recall", "F2", "AUC"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:<6} {:>9.3} {:>10.3} {:>8.3} {:>8.3} {:>7.3}",
+            r.feature_set.to_string(),
+            r.classifier.name(),
+            r.accuracy,
+            r.precision,
+            r.recall,
+            r.f2,
+            r.auc
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_positionals() {
+        let f = Flags::parse(&strs(&["--scale", "0.5", "a.doc", "--seed", "7", "b.doc"])).unwrap();
+        assert_eq!(f.get_f64("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(f.get_u64("seed", 0).unwrap(), 7);
+        assert_eq!(f.positional, strs(&["a.doc", "b.doc"]));
+    }
+
+    #[test]
+    fn flags_defaults_apply() {
+        let f = Flags::parse(&strs(&["x"])).unwrap();
+        assert_eq!(f.get_f64("scale", 0.1).unwrap(), 0.1);
+        assert_eq!(f.get_usize("folds", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(Flags::parse(&strs(&["--scale"])).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let f = Flags::parse(&strs(&["--scale", "abc"])).unwrap();
+        assert!(f.get_f64("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn classifier_names_resolve() {
+        for (name, expected) in [
+            ("svm", ClassifierKind::Svm),
+            ("RF", ClassifierKind::RandomForest),
+            ("mlp", ClassifierKind::Mlp),
+            ("lda", ClassifierKind::Lda),
+            ("bnb", ClassifierKind::BernoulliNb),
+        ] {
+            assert_eq!(classifier_by_name(name).unwrap(), expected);
+        }
+        assert!(classifier_by_name("xgboost").is_err());
+    }
+
+    #[test]
+    fn spec_scaling() {
+        assert_eq!(spec_at(1.0, 5).total_macros(), 4212);
+        assert!(spec_at(0.1, 5).total_macros() < 500);
+    }
+}
+
+#[cfg(test)]
+mod command_tests {
+    use super::*;
+
+    fn strs2(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scan_requires_files() {
+        assert!(scan(&[]).is_err());
+    }
+
+    #[test]
+    fn scan_missing_file_is_an_error() {
+        // Training runs first, so keep the corpus tiny.
+        let err = scan(&strs2(&["--scale", "0.002", "/nonexistent/file.doc"]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn extract_requires_a_file() {
+        assert!(extract(&[]).is_err());
+        assert!(extract(&strs2(&["/nonexistent.doc"])).is_err());
+    }
+
+    #[test]
+    fn obfuscate_rejects_unknown_techniques() {
+        let dir = std::env::temp_dir().join("vbadet_cli_test_obf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.vba");
+        std::fs::write(&path, "Sub A()\r\nEnd Sub\r\n").unwrap();
+        let err = obfuscate(&strs2(&[
+            "--techniques",
+            "o9",
+            path.to_str().unwrap(),
+        ]));
+        assert!(err.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_requires_out_dir() {
+        assert!(corpus(&[]).is_err());
+    }
+
+    #[test]
+    fn train_and_scan_model_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("vbadet_cli_test_train");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.txt");
+        train(&strs2(&["--out", model.to_str().unwrap(), "--scale", "0.004"])).unwrap();
+        assert!(model.metadata().unwrap().len() > 100);
+        // A detector loaded from the file scores without error.
+        let detector =
+            vbadet::Detector::load(&std::fs::read_to_string(&model).unwrap()).unwrap();
+        let v = detector.score("Sub A()\r\n    x = 1\r\nEnd Sub\r\n");
+        assert!(v.score.is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from document scanning.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// The bytes are neither a ZIP (OOXML) nor an OLE compound file.
+    UnknownContainer,
+    /// The OOXML archive has no `vbaProject.bin` part.
+    NoVbaPart,
+    /// Container-level parse failure.
+    Zip(vbadet_zip::ZipError),
+    /// Compound-file parse failure.
+    Ole(vbadet_ole::OleError),
+    /// VBA project decode failure.
+    Ovba(vbadet_ovba::OvbaError),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::UnknownContainer => {
+                write!(f, "not an OOXML or OLE compound document")
+            }
+            DetectError::NoVbaPart => write!(f, "OOXML archive has no vbaProject.bin part"),
+            DetectError::Zip(e) => write!(f, "zip error: {e}"),
+            DetectError::Ole(e) => write!(f, "ole error: {e}"),
+            DetectError::Ovba(e) => write!(f, "vba project error: {e}"),
+        }
+    }
+}
+
+impl Error for DetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DetectError::Zip(e) => Some(e),
+            DetectError::Ole(e) => Some(e),
+            DetectError::Ovba(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vbadet_zip::ZipError> for DetectError {
+    fn from(e: vbadet_zip::ZipError) -> Self {
+        DetectError::Zip(e)
+    }
+}
+
+impl From<vbadet_ole::OleError> for DetectError {
+    fn from(e: vbadet_ole::OleError) -> Self {
+        DetectError::Ole(e)
+    }
+}
+
+impl From<vbadet_ovba::OvbaError> for DetectError {
+    fn from(e: vbadet_ovba::OvbaError) -> Self {
+        DetectError::Ovba(e)
+    }
+}

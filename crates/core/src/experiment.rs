@@ -1,0 +1,396 @@
+//! Experiment drivers: one function per table/figure of the paper's
+//! evaluation section (see DESIGN.md's experiment index). The bench crate's
+//! binaries print these results in the paper's layout.
+
+use crate::detector::ClassifierKind;
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, FileSummary, MacroSample};
+use vbadet_features::{j_features_from, v_features_from, FeatureSet};
+use vbadet_ml::{cross_validate, CvOutcome};
+use vbadet_vba::MacroAnalysis;
+
+/// The macro evaluation set with both feature matrices precomputed (the
+/// lexical analysis is shared between V and J extraction).
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// The labeled macros.
+    pub macros: Vec<MacroSample>,
+    /// V1–V15 per macro.
+    pub v: Vec<Vec<f64>>,
+    /// J1–J20 per macro.
+    pub j: Vec<Vec<f64>>,
+    /// Obfuscation ground truth per macro.
+    pub labels: Vec<bool>,
+}
+
+impl ExperimentData {
+    /// Generates the corpus for `spec` and extracts both feature sets.
+    pub fn from_spec(spec: &CorpusSpec) -> Self {
+        Self::from_macros(generate_macros(spec))
+    }
+
+    /// Extracts both feature sets from existing macros.
+    pub fn from_macros(macros: Vec<MacroSample>) -> Self {
+        let mut v = Vec::with_capacity(macros.len());
+        let mut j = Vec::with_capacity(macros.len());
+        let mut labels = Vec::with_capacity(macros.len());
+        for m in &macros {
+            let analysis = MacroAnalysis::new(&m.source);
+            v.push(v_features_from(&analysis).to_vec());
+            j.push(j_features_from(&analysis).to_vec());
+            labels.push(m.obfuscated);
+        }
+        ExperimentData { macros, v, j, labels }
+    }
+
+    /// The feature matrix for one set.
+    pub fn features(&self, set: FeatureSet) -> &[Vec<f64>] {
+        match set {
+            FeatureSet::V => &self.v,
+            FeatureSet::J => &self.j,
+        }
+    }
+}
+
+/// One classifier × feature-set evaluation (a row of Table V, a bar of
+/// Figure 6, and — for the best performers — a curve of Figure 7).
+#[derive(Debug, Clone)]
+pub struct ClassifierEval {
+    /// Which classifier.
+    pub classifier: ClassifierKind,
+    /// Which feature set.
+    pub feature_set: FeatureSet,
+    /// Pooled out-of-fold accuracy.
+    pub accuracy: f64,
+    /// Pooled precision.
+    pub precision: f64,
+    /// Pooled recall.
+    pub recall: f64,
+    /// Pooled F2 (the paper's headline metric).
+    pub f2: f64,
+    /// AUC over pooled out-of-fold scores.
+    pub auc: f64,
+    /// ROC points `(fpr, tpr)` for Figure 7.
+    pub roc: Vec<(f64, f64)>,
+}
+
+/// Cross-validates one classifier on one feature set (paper: k = 10).
+pub fn evaluate(
+    data: &ExperimentData,
+    set: FeatureSet,
+    kind: ClassifierKind,
+    k: usize,
+    seed: u64,
+) -> ClassifierEval {
+    let outcome: CvOutcome =
+        cross_validate(|| kind.build(seed), data.features(set), &data.labels, k, seed);
+    let confusion = outcome.confusion();
+    ClassifierEval {
+        classifier: kind,
+        feature_set: set,
+        accuracy: confusion.accuracy(),
+        precision: confusion.precision(),
+        recall: confusion.recall(),
+        f2: confusion.f_beta(2.0),
+        auc: outcome.auc(),
+        roc: vbadet_ml::roc_curve(&outcome.labels, &outcome.scores),
+    }
+}
+
+/// Table V / Figure 6 / Figure 7: every classifier × both feature sets.
+pub fn evaluate_all(data: &ExperimentData, k: usize, seed: u64) -> Vec<ClassifierEval> {
+    let mut out = Vec::with_capacity(10);
+    for set in [FeatureSet::V, FeatureSet::J] {
+        for kind in ClassifierKind::ALL {
+            out.push(evaluate(data, set, kind, k, seed));
+        }
+    }
+    out
+}
+
+/// A Table III row: macro counts and obfuscation rate per population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroSummary {
+    /// Unique macros in this population.
+    pub macros: usize,
+    /// Of which obfuscated.
+    pub obfuscated: usize,
+}
+
+impl MacroSummary {
+    /// Percentage obfuscated.
+    pub fn obfuscation_rate(&self) -> f64 {
+        if self.macros == 0 {
+            0.0
+        } else {
+            self.obfuscated as f64 / self.macros as f64
+        }
+    }
+}
+
+/// Table III: `(benign, malicious)` macro summaries.
+pub fn table3(macros: &[MacroSample]) -> (MacroSummary, MacroSummary) {
+    let mut benign = MacroSummary { macros: 0, obfuscated: 0 };
+    let mut malicious = MacroSummary { macros: 0, obfuscated: 0 };
+    for m in macros {
+        let row = if m.malicious { &mut malicious } else { &mut benign };
+        row.macros += 1;
+        if m.obfuscated {
+            row.obfuscated += 1;
+        }
+    }
+    (benign, malicious)
+}
+
+/// Table II: builds every document of the corpus (streaming) and returns
+/// `(benign, malicious)` file summaries. Heavy at full paper scale
+/// (~1 GB of container bytes are generated and discarded).
+pub fn table2(spec: &CorpusSpec, macros: &[MacroSample]) -> (FileSummary, FileSummary) {
+    DocumentFactory::new(spec, macros).for_each(|_| {})
+}
+
+/// Figure 5: `(non_obfuscated_lengths, obfuscated_lengths)`.
+pub fn fig5(macros: &[MacroSample]) -> (Vec<usize>, Vec<usize>) {
+    vbadet_corpus::macros::length_profile(macros)
+}
+
+/// The V-feature groups by the obfuscation technique they target (§IV.C),
+/// used by the ablation study. Indices are 0-based into V1–V15.
+pub const V_FEATURE_GROUPS: [(&str, &[usize]); 5] = [
+    ("O4: size/words (V1-V4)", &[0, 1, 2, 3]),
+    ("O2: strings/operators (V5-V7)", &[4, 5, 6]),
+    ("O3: function categories (V8-V11)", &[7, 8, 9, 10]),
+    ("rich functionality (V12)", &[11]),
+    ("O1: entropy/identifiers (V13-V15)", &[12, 13, 14]),
+];
+
+/// One ablation row: the feature group removed and the resulting metrics.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable group label.
+    pub group: &'static str,
+    /// F2 with the group removed.
+    pub f2: f64,
+    /// AUC with the group removed.
+    pub auc: f64,
+    /// F2 drop relative to the full feature set (positive = the group was
+    /// pulling its weight).
+    pub f2_drop: f64,
+}
+
+/// Ablation study over the V-feature groups: retrains `kind` with each
+/// group removed and reports the F2/AUC deltas. Quantifies §IV.C's claim
+/// that "different combinations of features are required for an effective
+/// detection" of each technique.
+pub fn ablate_v_groups(
+    data: &ExperimentData,
+    kind: ClassifierKind,
+    k: usize,
+    seed: u64,
+) -> (ClassifierEval, Vec<AblationRow>) {
+    let baseline = evaluate(data, FeatureSet::V, kind, k, seed);
+    let mut rows = Vec::with_capacity(V_FEATURE_GROUPS.len());
+    for (group, drop) in V_FEATURE_GROUPS {
+        let reduced: Vec<Vec<f64>> = data
+            .v
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(i, _)| !drop.contains(i))
+                    .map(|(_, &v)| v)
+                    .collect()
+            })
+            .collect();
+        let outcome = crate::experiment::cv_on_matrix(kind, &reduced, &data.labels, k, seed);
+        let confusion = outcome.confusion();
+        rows.push(AblationRow {
+            group,
+            f2: confusion.f_beta(2.0),
+            auc: outcome.auc(),
+            f2_drop: baseline.f2 - confusion.f_beta(2.0),
+        });
+    }
+    (baseline, rows)
+}
+
+/// Cross-validates a classifier on an arbitrary (already extracted)
+/// feature matrix — the primitive behind the ablation study.
+pub fn cv_on_matrix(
+    kind: ClassifierKind,
+    x: &[Vec<f64>],
+    y: &[bool],
+    k: usize,
+    seed: u64,
+) -> CvOutcome {
+    cross_validate(|| kind.build(seed), x, y, k, seed)
+}
+
+/// One point of a learning curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningPoint {
+    /// Training samples used.
+    pub train_size: usize,
+    /// F2 on the held-out evaluation set.
+    pub f2: f64,
+    /// AUC on the held-out evaluation set.
+    pub auc: f64,
+}
+
+/// Learning curve: F2/AUC on a fixed held-out third of the corpus as the
+/// training set grows through `fractions` of the remaining two thirds.
+/// Answers the deployment question the paper leaves open: how much labeled
+/// data does the method need?
+pub fn learning_curve(
+    data: &ExperimentData,
+    set: FeatureSet,
+    kind: ClassifierKind,
+    fractions: &[f64],
+    seed: u64,
+) -> Vec<LearningPoint> {
+    use vbadet_ml::StandardScaler;
+    let x = data.features(set);
+    let folds = vbadet_ml::stratified_kfold(&data.labels, 3, seed);
+    let test_idx = &folds[0];
+    let train_pool: Vec<usize> =
+        folds[1].iter().chain(folds[2].iter()).copied().collect();
+
+    let mut out = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        let take = ((train_pool.len() as f64 * fraction).round() as usize)
+            .clamp(4, train_pool.len());
+        // Keep at least one sample of each class.
+        let mut train_idx: Vec<usize> = train_pool[..take].to_vec();
+        if !train_idx.iter().any(|&i| data.labels[i]) {
+            if let Some(&pos) = train_pool.iter().find(|&&i| data.labels[i]) {
+                train_idx.push(pos);
+            }
+        }
+        if !train_idx.iter().any(|&i| !data.labels[i]) {
+            if let Some(&neg) = train_pool.iter().find(|&&i| !data.labels[i]) {
+                train_idx.push(neg);
+            }
+        }
+
+        let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let train_y: Vec<bool> = train_idx.iter().map(|&i| data.labels[i]).collect();
+        let scaler = StandardScaler::fit(&train_x);
+        let mut model = kind.build(seed);
+        model.fit(&scaler.transform_all(&train_x), &train_y);
+
+        let mut predictions = Vec::with_capacity(test_idx.len());
+        let mut scores = Vec::with_capacity(test_idx.len());
+        let mut truth = Vec::with_capacity(test_idx.len());
+        for &i in test_idx {
+            let s = model.decision_function(&scaler.transform(&x[i]));
+            scores.push(s);
+            predictions.push(s >= 0.0);
+            truth.push(data.labels[i]);
+        }
+        let confusion = vbadet_ml::ConfusionMatrix::from_predictions(&truth, &predictions);
+        out.push(LearningPoint {
+            train_size: train_idx.len(),
+            f2: confusion.f_beta(2.0),
+            auc: vbadet_ml::auc(&truth, &scores),
+        });
+    }
+    out
+}
+
+/// One row of the SVM hyperparameter sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmSweepPoint {
+    /// Regularization C.
+    pub c: f64,
+    /// RBF width γ.
+    pub gamma: f64,
+    /// Cross-validated F2.
+    pub f2: f64,
+}
+
+/// Sweeps SVM (C, γ) over a grid, cross-validating each on the V features —
+/// sanity-checking the paper's §IV.D choice of `C=150, γ=0.03`.
+pub fn sweep_svm(
+    data: &ExperimentData,
+    cs: &[f64],
+    gammas: &[f64],
+    k: usize,
+    seed: u64,
+) -> Vec<SvmSweepPoint> {
+    let mut out = Vec::with_capacity(cs.len() * gammas.len());
+    for &c in cs {
+        for &gamma in gammas {
+            let outcome = cross_validate(
+                || Box::new(vbadet_ml::SvmRbf::new(c, gamma)),
+                &data.v,
+                &data.labels,
+                k,
+                seed,
+            );
+            out.push(SvmSweepPoint { c, gamma, f2: outcome.confusion().f_beta(2.0) });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> ExperimentData {
+        ExperimentData::from_spec(&CorpusSpec::paper().scaled(0.04))
+    }
+
+    #[test]
+    fn feature_matrices_are_aligned() {
+        let d = data();
+        assert_eq!(d.v.len(), d.macros.len());
+        assert_eq!(d.j.len(), d.macros.len());
+        assert_eq!(d.labels.len(), d.macros.len());
+        assert!(d.v.iter().all(|r| r.len() == 15));
+        assert!(d.j.iter().all(|r| r.len() == 20));
+    }
+
+    #[test]
+    fn rf_on_v_features_separates_the_corpus() {
+        let d = data();
+        let eval = evaluate(&d, FeatureSet::V, ClassifierKind::RandomForest, 5, 1);
+        assert!(eval.accuracy > 0.9, "accuracy {}", eval.accuracy);
+        assert!(eval.auc > 0.9, "auc {}", eval.auc);
+        assert!(eval.roc.len() >= 2);
+    }
+
+    #[test]
+    fn v_features_beat_j_features_for_rf() {
+        // The paper's headline comparison, on a scaled corpus with the
+        // fastest strong classifier.
+        let d = data();
+        let v = evaluate(&d, FeatureSet::V, ClassifierKind::RandomForest, 5, 2);
+        let j = evaluate(&d, FeatureSet::J, ClassifierKind::RandomForest, 5, 2);
+        assert!(
+            v.f2 >= j.f2,
+            "V F2 {} must not lose to J F2 {}",
+            v.f2,
+            j.f2
+        );
+    }
+
+    #[test]
+    fn table3_rates_match_spec() {
+        let spec = CorpusSpec::paper().scaled(0.05);
+        let macros = generate_macros(&spec);
+        let (benign, malicious) = table3(&macros);
+        assert_eq!(benign.macros, spec.benign_macros);
+        assert_eq!(malicious.obfuscated, spec.malicious_obfuscated);
+        assert!(malicious.obfuscation_rate() > 0.9);
+        assert!(benign.obfuscation_rate() < 0.05);
+    }
+
+    #[test]
+    fn fig5_groups_lengths() {
+        let spec = CorpusSpec::paper().scaled(0.05);
+        let macros = generate_macros(&spec);
+        let (plain, obf) = fig5(&macros);
+        assert_eq!(plain.len() + obf.len(), macros.len());
+        assert_eq!(obf.len(), spec.benign_obfuscated + spec.malicious_obfuscated);
+    }
+}

@@ -1,0 +1,169 @@
+//! Macro extraction from document bytes (the olevba-equivalent step of
+//! §IV.B): container sniffing, OOXML unwrapping, OLE walking, MS-OVBA
+//! decompression.
+
+use crate::DetectError;
+use vbadet_ole::OleFile;
+use vbadet_ovba::VbaProject;
+use vbadet_zip::ZipArchive;
+
+/// Detected container family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerKind {
+    /// OLE compound file (`.doc`, `.xls`, raw `vbaProject.bin`).
+    Ole,
+    /// OOXML ZIP (`.docm`, `.xlsm`, …).
+    Ooxml,
+}
+
+/// One macro module recovered from a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedMacro {
+    /// Module name from the project `dir` stream.
+    pub module_name: String,
+    /// Decompressed VBA source.
+    pub code: String,
+    /// Name of the VBA project the module came from.
+    pub project_name: String,
+    /// Container family of the input document.
+    pub container: ContainerKind,
+}
+
+/// Sniffs the container type from magic bytes.
+pub fn sniff(bytes: &[u8]) -> Option<ContainerKind> {
+    if bytes.starts_with(&[0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1]) {
+        Some(ContainerKind::Ole)
+    } else if bytes.starts_with(b"PK") {
+        Some(ContainerKind::Ooxml)
+    } else {
+        None
+    }
+}
+
+/// Extracts all VBA macros from a document (`.doc`, `.xls`, `.docm`,
+/// `.xlsm` or a bare `vbaProject.bin`).
+///
+/// # Errors
+///
+/// Fails when the container is unrecognized or malformed, or when an OOXML
+/// archive carries no VBA part. A well-formed document *without* macros
+/// yields `Ok` with an empty vector only for OLE files that genuinely have
+/// no project ([`DetectError::NoVbaPart`] is OOXML-specific because a macro
+/// extension like `.docm` implies one).
+pub fn extract_macros(bytes: &[u8]) -> Result<Vec<ExtractedMacro>, DetectError> {
+    match sniff(bytes) {
+        Some(ContainerKind::Ole) => {
+            let ole = OleFile::parse(bytes)?;
+            match VbaProject::from_ole(&ole) {
+                Ok(project) => Ok(project_to_macros(project, ContainerKind::Ole)),
+                Err(vbadet_ovba::OvbaError::NoVbaProject) => Ok(Vec::new()),
+                Err(e) => Err(e.into()),
+            }
+        }
+        Some(ContainerKind::Ooxml) => {
+            let zip = ZipArchive::parse(bytes)?;
+            let part = zip
+                .names()
+                .find(|n| n.ends_with("vbaProject.bin"))
+                .map(str::to_string)
+                .ok_or(DetectError::NoVbaPart)?;
+            let bin = zip.read_file(&part)?;
+            let ole = OleFile::parse(&bin)?;
+            let project = VbaProject::from_ole(&ole)?;
+            Ok(project_to_macros(project, ContainerKind::Ooxml))
+        }
+        None => Err(DetectError::UnknownContainer),
+    }
+}
+
+fn project_to_macros(project: VbaProject, container: ContainerKind) -> Vec<ExtractedMacro> {
+    let project_name = project.name;
+    project
+        .modules
+        .into_iter()
+        .map(|m| ExtractedMacro {
+            module_name: m.name,
+            code: m.code,
+            project_name: project_name.clone(),
+            container,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbadet_ole::OleBuilder;
+    use vbadet_ovba::VbaProjectBuilder;
+    use vbadet_zip::{CompressionMethod, ZipWriter};
+
+    fn project() -> VbaProjectBuilder {
+        let mut b = VbaProjectBuilder::new("Proj");
+        b.add_module("ThisDocument", "Sub Document_Open()\r\nEnd Sub\r\n");
+        b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+        b
+    }
+
+    #[test]
+    fn extracts_from_bare_vba_project_bin() {
+        let bin = project().build().unwrap();
+        let macros = extract_macros(&bin).unwrap();
+        assert_eq!(macros.len(), 2);
+        assert_eq!(macros[0].module_name, "ThisDocument");
+        assert_eq!(macros[0].container, ContainerKind::Ole);
+        assert_eq!(macros[0].project_name, "Proj");
+    }
+
+    #[test]
+    fn extracts_from_legacy_doc() {
+        let mut ole = OleBuilder::new();
+        ole.add_stream("WordDocument", &[0u8; 4096]).unwrap();
+        project().write_into(&mut ole, "Macros").unwrap();
+        let macros = extract_macros(&ole.build()).unwrap();
+        assert_eq!(macros.len(), 2);
+    }
+
+    #[test]
+    fn extracts_from_docm() {
+        let bin = project().build().unwrap();
+        let mut zip = ZipWriter::new();
+        zip.add_file("[Content_Types].xml", b"<Types/>", CompressionMethod::Deflate).unwrap();
+        zip.add_file("word/vbaProject.bin", &bin, CompressionMethod::Deflate).unwrap();
+        let macros = extract_macros(&zip.finish()).unwrap();
+        assert_eq!(macros.len(), 2);
+        assert_eq!(macros[0].container, ContainerKind::Ooxml);
+    }
+
+    #[test]
+    fn ole_without_macros_yields_empty() {
+        let mut ole = OleBuilder::new();
+        ole.add_stream("WordDocument", b"plain document").unwrap();
+        assert!(extract_macros(&ole.build()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ooxml_without_vba_part_is_reported() {
+        let mut zip = ZipWriter::new();
+        zip.add_file("word/document.xml", b"<doc/>", CompressionMethod::Deflate).unwrap();
+        assert!(matches!(extract_macros(&zip.finish()), Err(DetectError::NoVbaPart)));
+    }
+
+    #[test]
+    fn unknown_bytes_rejected() {
+        assert!(matches!(
+            extract_macros(b"%PDF-1.4 not an office doc"),
+            Err(DetectError::UnknownContainer)
+        ));
+        assert!(matches!(extract_macros(b""), Err(DetectError::UnknownContainer)));
+    }
+
+    #[test]
+    fn sniffing() {
+        assert_eq!(sniff(b"PK\x03\x04rest"), Some(ContainerKind::Ooxml));
+        assert_eq!(
+            sniff(&[0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1, 0, 0]),
+            Some(ContainerKind::Ole)
+        );
+        assert_eq!(sniff(b"MZ"), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! Obfuscated VBA macro detection — the paper's end-to-end pipeline.
+//!
+//! Reproduction of *"Obfuscated VBA Macro Detection Using Machine
+//! Learning"* (Kim, Hong, Oh, Lee — DSN 2018): document container parsing,
+//! VBA macro extraction, the paper's preprocessing (§IV.B), the V1–V15 /
+//! J1–J20 feature sets, and five classifiers evaluated with 10-fold
+//! cross-validation.
+//!
+//! The crate stitches the substrates together:
+//! [`extract`] (documents → macro sources), [`detector`] (the
+//! train-then-scan public API) and [`experiment`] (drivers that regenerate
+//! every table and figure of the paper's evaluation section).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vbadet::{Detector, DetectorConfig};
+//! use vbadet_corpus::CorpusSpec;
+//!
+//! // Train on a (scaled-down) synthetic corpus...
+//! let spec = CorpusSpec::paper().scaled(0.03);
+//! let detector = Detector::train_on_corpus(&DetectorConfig::default(), &spec);
+//!
+//! // ...then score macro source code.
+//! let plain = "Sub Report()\r\n    Range(\"A1\").Value = 42\r\nEnd Sub\r\n";
+//! assert!(!detector.is_obfuscated(plain));
+//! ```
+
+pub mod anti_analysis_scan;
+pub mod detector;
+mod error;
+pub mod experiment;
+pub mod extract;
+pub mod preprocess;
+pub mod signature;
+pub mod threshold;
+
+pub use anti_analysis_scan::{scan_anti_analysis, AntiAnalysisIndicator};
+pub use detector::{ClassifierKind, Detector, DetectorConfig, ModuleVerdict, Verdict};
+pub use error::DetectError;
+pub use extract::{extract_macros, ContainerKind, ExtractedMacro};
+pub use preprocess::preprocess_macros;
+pub use signature::SignatureScanner;
+pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};

@@ -1,0 +1,72 @@
+//! The paper's preprocessing step (§IV.B): drop insignificant macros
+//! (< 150 bytes — "only comments or practice code") and eliminate
+//! duplicates across the corpus.
+
+use std::collections::HashSet;
+
+/// Minimum meaningful macro size per §IV.B.
+pub const MIN_MACRO_BYTES: usize = 150;
+
+/// Applies the length filter and cross-corpus dedup, preserving first-seen
+/// order. Returns the indices of survivors into the input slice.
+pub fn preprocess_indices<S: AsRef<str>>(sources: &[S]) -> Vec<usize> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut keep = Vec::new();
+    for (i, source) in sources.iter().enumerate() {
+        let code = source.as_ref();
+        if code.len() < MIN_MACRO_BYTES {
+            continue;
+        }
+        if seen.insert(code) {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+/// Convenience wrapper returning the surviving sources themselves.
+pub fn preprocess_macros(sources: Vec<String>) -> Vec<String> {
+    let keep = preprocess_indices(&sources);
+    let keep_set: HashSet<usize> = keep.into_iter().collect();
+    sources
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| keep_set.contains(i))
+        .map(|(_, s)| s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_macros_are_dropped() {
+        let long = "x".repeat(200);
+        let sources = vec!["' tiny".to_string(), long.clone()];
+        assert_eq!(preprocess_macros(sources), vec![long]);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_keeping_first() {
+        let a = "a".repeat(200);
+        let b = "b".repeat(200);
+        let sources = vec![a.clone(), b.clone(), a.clone()];
+        assert_eq!(preprocess_macros(sources), vec![a, b]);
+    }
+
+    #[test]
+    fn boundary_length() {
+        let at = "y".repeat(MIN_MACRO_BYTES);
+        let below = "y".repeat(MIN_MACRO_BYTES - 1);
+        assert_eq!(preprocess_macros(vec![below]), Vec::<String>::new());
+        assert_eq!(preprocess_macros(vec![at.clone()]), vec![at]);
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        let sources =
+            vec!["s".to_string(), "q".repeat(300), "q".repeat(300), "r".repeat(300)];
+        assert_eq!(preprocess_indices(&sources), vec![1, 3]);
+    }
+}

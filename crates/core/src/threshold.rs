@@ -1,0 +1,153 @@
+//! Decision-threshold tuning.
+//!
+//! The paper motivates F2 (recall-weighted) scoring: a missed obfuscated
+//! macro is costlier than a false alarm. The classifiers' native thresholds
+//! (0 on the decision score) are not F2-optimal, so this module selects an
+//! operating point from validation scores — either maximizing F2 or hitting
+//! a false-positive-rate budget.
+
+use vbadet_ml::ConfusionMatrix;
+
+/// How to pick the operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Maximize Fβ on the validation scores.
+    MaxFBeta(f64),
+    /// The lowest threshold whose validation false-positive rate is at most
+    /// this bound (recall-maximizing under an FPR budget).
+    MaxFprAtMost(f64),
+}
+
+/// A tuned operating point and its validation metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Scores at or above this are classified positive.
+    pub threshold: f64,
+    /// Validation metrics at that threshold.
+    pub f_beta: f64,
+    /// Validation false-positive rate.
+    pub fpr: f64,
+    /// Validation recall.
+    pub recall: f64,
+}
+
+/// Selects a threshold over validation `(scores, labels)` per `policy`.
+///
+/// Candidate thresholds are midpoints between adjacent distinct scores plus
+/// the extremes, so every achievable confusion matrix is considered.
+///
+/// # Panics
+///
+/// Panics when inputs are empty or of different lengths.
+pub fn tune_threshold(scores: &[f64], labels: &[bool], policy: ThresholdPolicy) -> OperatingPoint {
+    assert!(!scores.is_empty(), "need validation scores");
+    assert_eq!(scores.len(), labels.len());
+
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    let mut candidates = Vec::with_capacity(sorted.len() + 1);
+    candidates.push(sorted[0] - 1.0);
+    for pair in sorted.windows(2) {
+        candidates.push((pair[0] + pair[1]) / 2.0);
+    }
+    candidates.push(sorted[sorted.len() - 1] + 1.0);
+
+    let evaluate = |threshold: f64| -> (ConfusionMatrix, f64) {
+        let predictions: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+        let m = ConfusionMatrix::from_predictions(labels, &predictions);
+        let fpr = if m.fp + m.tn == 0 {
+            0.0
+        } else {
+            m.fp as f64 / (m.fp + m.tn) as f64
+        };
+        (m, fpr)
+    };
+
+    let beta = match policy {
+        ThresholdPolicy::MaxFBeta(beta) => beta,
+        ThresholdPolicy::MaxFprAtMost(_) => 2.0,
+    };
+    let mut best: Option<OperatingPoint> = None;
+    for &threshold in &candidates {
+        let (m, fpr) = evaluate(threshold);
+        let point = OperatingPoint { threshold, f_beta: m.f_beta(beta), fpr, recall: m.recall() };
+        let better = match (policy, &best) {
+            (_, None) => true,
+            (ThresholdPolicy::MaxFBeta(_), Some(b)) => point.f_beta > b.f_beta,
+            (ThresholdPolicy::MaxFprAtMost(bound), Some(b)) => {
+                // Prefer feasible points; among feasible, maximize recall.
+                let feasible = point.fpr <= bound;
+                let best_feasible = b.fpr <= bound;
+                match (feasible, best_feasible) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => point.recall > b.recall,
+                    (false, false) => point.fpr < b.fpr,
+                }
+            }
+        };
+        if better {
+            best = Some(point);
+        }
+    }
+    best.expect("candidates non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlapping_scores() -> (Vec<f64>, Vec<bool>) {
+        // Negatives around 0, positives around 2, overlap in [1, 1.5].
+        let scores =
+            vec![-1.0, -0.5, 0.0, 0.4, 1.1, 1.3, 1.2, 1.4, 1.9, 2.3, 2.6, 3.0];
+        let labels = vec![
+            false, false, false, false, false, false, true, true, true, true, true, true,
+        ];
+        (scores, labels)
+    }
+
+    #[test]
+    fn max_f2_beats_default_zero_threshold() {
+        let (scores, labels) = overlapping_scores();
+        let point = tune_threshold(&scores, &labels, ThresholdPolicy::MaxFBeta(2.0));
+        // Default 0.0 threshold misclassifies the 0.4..1.3 negatives.
+        let default: Vec<bool> = scores.iter().map(|&s| s >= 0.0).collect();
+        let default_f2 = ConfusionMatrix::from_predictions(&labels, &default).f_beta(2.0);
+        assert!(point.f_beta >= default_f2, "{} vs {}", point.f_beta, default_f2);
+        assert!(point.recall >= 0.8);
+    }
+
+    #[test]
+    fn fpr_budget_is_respected_when_feasible() {
+        let (scores, labels) = overlapping_scores();
+        let point = tune_threshold(&scores, &labels, ThresholdPolicy::MaxFprAtMost(0.0));
+        assert_eq!(point.fpr, 0.0);
+        // Recall-maximal at zero FPR: threshold just above the largest
+        // negative score (1.3), keeping positives >= 1.4.
+        assert!(point.recall >= 4.0 / 6.0 - 1e-9, "{point:?}");
+    }
+
+    #[test]
+    fn loose_budget_maximizes_recall() {
+        let (scores, labels) = overlapping_scores();
+        let point = tune_threshold(&scores, &labels, ThresholdPolicy::MaxFprAtMost(1.0));
+        assert_eq!(point.recall, 1.0, "{point:?}");
+    }
+
+    #[test]
+    fn perfect_separation_yields_perfect_point() {
+        let scores = vec![0.0, 1.0, 10.0, 11.0];
+        let labels = vec![false, false, true, true];
+        let point = tune_threshold(&scores, &labels, ThresholdPolicy::MaxFBeta(2.0));
+        assert_eq!(point.f_beta, 1.0);
+        assert!(point.threshold > 1.0 && point.threshold < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "validation scores")]
+    fn empty_rejected() {
+        let _ = tune_threshold(&[], &[], ThresholdPolicy::MaxFBeta(2.0));
+    }
+}

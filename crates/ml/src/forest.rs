@@ -1,0 +1,237 @@
+//! Random Forest (Ho 1995; Breiman 2001): bagged CART trees with random
+//! feature subsets per split, majority-vote probability.
+
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Random Forest classifier.
+///
+/// `decision_function` returns `mean tree probability − 0.5`, so the sign
+/// convention of [`Classifier`] holds and the raw score still ranks samples
+/// for ROC analysis.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    /// Features per split; 0 = √d chosen at fit time.
+    max_features: usize,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// `n_trees` bagged trees; `max_features` per split (0 = √d).
+    pub fn new(n_trees: usize, max_features: usize) -> Self {
+        Self::with_seed(n_trees, max_features, 0x5EED)
+    }
+
+    /// As [`RandomForest::new`] with an explicit RNG seed.
+    pub fn with_seed(n_trees: usize, max_features: usize, seed: u64) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        RandomForest { n_trees, max_features, seed, trees: Vec::new() }
+    }
+
+    /// Mean positive-fraction across trees (0..=1).
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        crate::validate_fit_input(x, y);
+        let dim = x[0].len();
+        let max_features = if self.max_features == 0 {
+            (dim as f64).sqrt().round().max(1.0) as usize
+        } else {
+            self.max_features.min(dim)
+        };
+        let params = TreeParams { max_features, ..TreeParams::default() };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap sample (with replacement), same size as input.
+                let idx: Vec<usize> =
+                    (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                DecisionTree::fit(x, y, &idx, params, &mut rng)
+            })
+            .collect();
+    }
+
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        self.predict_proba(x) - 0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn save_text(&self) -> String {
+        self.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = i as f64 * 0.618;
+            let jitter = (t.sin(), t.cos());
+            x.push(vec![jitter.0, jitter.1]);
+            y.push(false);
+            x.push(vec![4.0 + jitter.0, 4.0 + jitter.1]);
+            y.push(true);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let (x, y) = blobs(100);
+        let mut rf = RandomForest::with_seed(30, 0, 1);
+        rf.fit(&x, &y);
+        assert!(rf.predict(&[4.0, 4.0]));
+        assert!(!rf.predict(&[0.0, 0.0]));
+        assert!(rf.predict_proba(&[4.0, 4.0]) > 0.9);
+        assert!(rf.predict_proba(&[0.0, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn probability_is_monotone_along_the_gradient() {
+        let (x, y) = blobs(100);
+        let mut rf = RandomForest::with_seed(50, 0, 2);
+        rf.fit(&x, &y);
+        let p0 = rf.predict_proba(&[0.0, 0.0]);
+        let p2 = rf.predict_proba(&[2.0, 2.0]);
+        let p4 = rf.predict_proba(&[4.0, 4.0]);
+        assert!(p0 <= p2 && p2 <= p4, "{p0} {p2} {p4}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(50);
+        let mut a = RandomForest::with_seed(10, 0, 9);
+        let mut b = RandomForest::with_seed(10, 0, 9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for probe in [[1.0, 1.0], [3.0, 3.0], [-1.0, 5.0]] {
+            assert_eq!(a.decision_function(&probe), b.decision_function(&probe));
+        }
+    }
+
+    #[test]
+    fn decision_function_sign_matches_predict() {
+        let (x, y) = blobs(60);
+        let mut rf = RandomForest::with_seed(20, 0, 3);
+        rf.fit(&x, &y);
+        for probe in [[0.0, 0.0], [4.0, 4.0], [2.0, 2.0]] {
+            assert_eq!(rf.predict(&probe), rf.decision_function(&probe) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_fit_rejected() {
+        let mut rf = RandomForest::new(5, 0);
+        rf.fit(&[], &[]);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl RandomForest {
+    /// Serializes the fitted forest to text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Classifier::fit`].
+    pub fn to_text(&self) -> String {
+        assert!(!self.trees.is_empty(), "save before fit");
+        let mut w = crate::persist::Writer::new("rf");
+        w.ints("meta", &[self.n_trees as i64, self.max_features as i64, self.seed as i64]);
+        w.ints("trees", &[self.trees.len() as i64]);
+        for tree in &self.trees {
+            tree.write_to(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Restores a forest saved by [`RandomForest::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated text.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "rf")?;
+        let meta = r.ints("meta")?;
+        if meta.len() != 3 {
+            return Err(crate::persist::PersistError {
+                line: 2,
+                reason: "meta needs 3 fields".to_string(),
+            });
+        }
+        let count = r.int("trees")? as usize;
+        let mut trees = Vec::with_capacity(count);
+        for _ in 0..count {
+            trees.push(crate::tree::DecisionTree::read_from(&mut r)?);
+        }
+        if trees.is_empty() {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "forest with no trees".to_string(),
+            });
+        }
+        Ok(RandomForest {
+            n_trees: meta[0] as usize,
+            max_features: meta[1] as usize,
+            seed: meta[2] as u64,
+            trees,
+        })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use crate::Classifier;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let y: Vec<bool> = (0..80).map(|i| i % 3 == 0).collect();
+        let mut rf = RandomForest::with_seed(12, 0, 5);
+        rf.fit(&x, &y);
+        let text = rf.to_text();
+        let loaded = RandomForest::from_text(&text).unwrap();
+        for row in &x {
+            assert_eq!(rf.decision_function(row).to_bits(), loaded.decision_function(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupted_text_rejected_not_panicking() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let mut rf = RandomForest::with_seed(3, 0, 5);
+        rf.fit(&x, &y);
+        let text = rf.to_text();
+        for cut in [10usize, text.len() / 2, text.len() - 2] {
+            let _ = RandomForest::from_text(&text[..cut]);
+        }
+        let garbled = text.replace("tree", "eert");
+        assert!(RandomForest::from_text(&garbled).is_err());
+    }
+}

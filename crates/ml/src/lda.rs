@@ -1,0 +1,289 @@
+//! Two-class Linear Discriminant Analysis (Fisher 1936; Mika et al. 1999).
+//!
+//! Assumes classes share a covariance matrix: the discriminant direction is
+//! `w = Σ⁻¹ (μ₊ − μ₋)` with threshold at the log-prior-adjusted midpoint.
+
+use crate::linalg::solve;
+use crate::Classifier;
+
+/// Fitted linear discriminant.
+#[derive(Debug, Clone, Default)]
+pub struct LinearDiscriminant {
+    weights: Vec<f64>,
+    threshold: f64,
+    fitted: bool,
+    /// Constant fallback when training degenerates (single class).
+    constant: Option<bool>,
+}
+
+impl LinearDiscriminant {
+    /// Creates an untrained LDA classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for LinearDiscriminant {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        crate::validate_fit_input(x, y);
+        let dim = x[0].len();
+        let n_pos = y.iter().filter(|&&t| t).count();
+        let n_neg = y.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            self.constant = Some(n_pos > 0);
+            self.fitted = true;
+            return;
+        }
+        self.constant = None;
+
+        let mut mu_pos = vec![0.0; dim];
+        let mut mu_neg = vec![0.0; dim];
+        for (row, &label) in x.iter().zip(y) {
+            let mu = if label { &mut mu_pos } else { &mut mu_neg };
+            for (m, v) in mu.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in mu_pos.iter_mut() {
+            *m /= n_pos as f64;
+        }
+        for m in mu_neg.iter_mut() {
+            *m /= n_neg as f64;
+        }
+
+        // Pooled within-class covariance with a ridge for stability.
+        let mut cov = vec![vec![0.0; dim]; dim];
+        for (row, &label) in x.iter().zip(y) {
+            let mu = if label { &mu_pos } else { &mu_neg };
+            for i in 0..dim {
+                let di = row[i] - mu[i];
+                for j in i..dim {
+                    let dj = row[j] - mu[j];
+                    cov[i][j] += di * dj;
+                }
+            }
+        }
+        let denom = (y.len() - 2).max(1) as f64;
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] /= denom;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let ridge = 1e-6;
+        for (i, row) in cov.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+
+        let diff: Vec<f64> = mu_pos.iter().zip(&mu_neg).map(|(p, n)| p - n).collect();
+        let weights = solve(&cov, &diff).unwrap_or_else(|| {
+            // Numerically singular even with ridge: fall back to the mean
+            // difference direction.
+            diff.clone()
+        });
+
+        // Threshold: w·(μ₊+μ₋)/2 − ln(π₊/π₋).
+        let midpoint: f64 = weights
+            .iter()
+            .zip(mu_pos.iter().zip(&mu_neg))
+            .map(|(w, (p, n))| w * (p + n) / 2.0)
+            .sum();
+        let prior = ((n_pos as f64) / (n_neg as f64)).ln();
+        self.threshold = midpoint - prior;
+        self.weights = weights;
+        self.fitted = true;
+    }
+
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        if let Some(c) = self.constant {
+            return if c { 1.0 } else { -1.0 };
+        }
+        let wx: f64 = self.weights.iter().zip(x).map(|(w, v)| w * v).sum();
+        wx - self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "LDA"
+    }
+
+    fn save_text(&self) -> String {
+        self.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs(n: usize, sep: f64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Deterministic pseudo-noise.
+        let mut state = 123u64;
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f64 / 1000.0 - 1.0) * 0.8
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            x.push(vec![noise(), noise()]);
+            y.push(false);
+            x.push(vec![sep + noise(), sep + noise()]);
+            y.push(true);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let (x, y) = gaussian_blobs(200, 4.0);
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&x, &y);
+        let correct =
+            x.iter().zip(&y).filter(|(xi, &yi)| lda.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn boundary_is_near_the_midpoint() {
+        let (x, y) = gaussian_blobs(200, 4.0);
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&x, &y);
+        // Means are ~(0,0) and ~(4,4): midpoint (2,2) should score near 0.
+        let mid = lda.decision_function(&[2.0, 2.0]);
+        let pos = lda.decision_function(&[4.0, 4.0]);
+        let neg = lda.decision_function(&[0.0, 0.0]);
+        assert!(mid.abs() < pos.abs() && mid.abs() < neg.abs());
+        assert!(pos > 0.0 && neg < 0.0);
+    }
+
+    #[test]
+    fn correlated_features_are_handled() {
+        // Class difference along a direction masked by strong correlation;
+        // naive mean-difference would misweight it.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 5u64;
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        for _ in 0..300 {
+            let shared = noise() * 5.0;
+            x.push(vec![shared, shared + noise() * 0.2]);
+            y.push(false);
+            let shared = noise() * 5.0;
+            x.push(vec![shared, shared + 1.0 + noise() * 0.2]);
+            y.push(true);
+        }
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&x, &y);
+        let correct =
+            x.iter().zip(&y).filter(|(xi, &yi)| lda.predict(xi) == yi).count();
+        assert!(
+            correct as f64 / x.len() as f64 > 0.95,
+            "LDA must exploit covariance: {correct}/{}",
+            x.len()
+        );
+    }
+
+    #[test]
+    fn single_class_fallback() {
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&[vec![1.0], vec![2.0]], &[true, true]);
+        assert!(lda.predict(&[5.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn unfitted_predict_panics() {
+        let lda = LinearDiscriminant::new();
+        let _ = lda.decision_function(&[0.0]);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl LinearDiscriminant {
+    /// Serializes the fitted discriminant to text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Classifier::fit`].
+    pub fn to_text(&self) -> String {
+        assert!(self.fitted, "save before fit");
+        let mut w = crate::persist::Writer::new("lda");
+        let constant = match self.constant {
+            None => 0i64,
+            Some(false) => 1,
+            Some(true) => 2,
+        };
+        w.ints("constant", &[constant]);
+        w.floats("weights", &self.weights);
+        w.floats("threshold", &[self.threshold]);
+        w.finish()
+    }
+
+    /// Restores a discriminant saved by [`LinearDiscriminant::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated text.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "lda")?;
+        let constant = match r.int("constant")? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            other => {
+                return Err(crate::persist::PersistError {
+                    line: 2,
+                    reason: format!("bad constant flag {other}"),
+                })
+            }
+        };
+        let weights = r.floats("weights")?;
+        let threshold = r.floats("threshold")?;
+        if threshold.len() != 1 {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "threshold needs one value".to_string(),
+            });
+        }
+        Ok(LinearDiscriminant { weights, threshold: threshold[0], fitted: true, constant })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use crate::Classifier;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let x: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![i as f64, -0.5 * i as f64 + 3.0]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&x, &y);
+        let loaded = LinearDiscriminant::from_text(&lda.to_text()).unwrap();
+        for row in &x {
+            assert_eq!(
+                lda.decision_function(row).to_bits(),
+                loaded.decision_function(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_fallback_roundtrips() {
+        let mut lda = LinearDiscriminant::new();
+        lda.fit(&[vec![1.0]], &[true]);
+        let loaded = LinearDiscriminant::from_text(&lda.to_text()).unwrap();
+        assert!(loaded.predict(&[0.0]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Evaluation metrics: confusion-matrix statistics, Fβ, ROC and AUC (§V).
+
+/// Binary confusion matrix. Positive class = `true` ("obfuscated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(y_true: &[bool], y_pred: &[bool]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut m = ConfusionMatrix::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// TP / (TP + FN); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Fβ score; the paper reports F2 to weight recall over precision.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        f_beta(self.precision(), self.recall(), beta)
+    }
+}
+
+/// Fβ from precision and recall:
+/// `(1+β²)·P·R / (β²·P + R)`; 0 when both are 0.
+pub fn f_beta(precision: f64, recall: f64, beta: f64) -> f64 {
+    let b2 = beta * beta;
+    let denom = b2 * precision + recall;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (1.0 + b2) * precision * recall / denom
+    }
+}
+
+/// ROC curve points `(fpr, tpr)` sorted by descending score threshold,
+/// starting at `(0,0)` and ending at `(1,1)`. Ties in score are handled by
+/// grouping (one point per distinct score).
+pub fn roc_curve(y_true: &[bool], scores: &[f64]) -> Vec<(f64, f64)> {
+    assert_eq!(y_true.len(), scores.len());
+    let pos = y_true.iter().filter(|&&t| t).count() as f64;
+    let neg = y_true.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut points = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < order.len() {
+        // Consume the whole tie group before emitting a point.
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if y_true[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push((fp as f64 / neg, tp as f64 / pos));
+    }
+    if *points.last().expect("non-empty") != (1.0, 1.0) {
+        points.push((1.0, 1.0));
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule over [`roc_curve`] points).
+pub fn auc(y_true: &[bool], scores: &[f64]) -> f64 {
+    let points = roc_curve(y_true, scores);
+    let mut area = 0.0;
+    for pair in points.windows(2) {
+        let (x0, y0) = pair[0];
+        let (x1, y1) = pair[1];
+        area += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let y_true = [true, true, false, false, true];
+        let y_pred = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_degenerate_metrics() {
+        let m = ConfusionMatrix::from_predictions(&[true, false], &[true, false]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f_beta(2.0), 1.0);
+        let none = ConfusionMatrix::default();
+        assert_eq!(none.accuracy(), 0.0);
+        assert_eq!(none.precision(), 0.0);
+        assert_eq!(none.recall(), 0.0);
+    }
+
+    #[test]
+    fn f2_weighs_recall_over_precision() {
+        // High recall, low precision.
+        let hr = f_beta(0.5, 1.0, 2.0);
+        // High precision, low recall (swapped).
+        let hp = f_beta(1.0, 0.5, 2.0);
+        assert!(hr > hp);
+        // F1 is symmetric.
+        assert!((f_beta(0.5, 1.0, 1.0) - f_beta(1.0, 0.5, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_of_perfect_classifier_is_unit_square() {
+        let y = [false, false, true, true];
+        let s = [0.1, 0.2, 0.8, 0.9];
+        assert!((auc(&y, &s) - 1.0).abs() < 1e-12);
+        let points = roc_curve(&y, &s);
+        assert_eq!(points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(points.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn roc_of_random_scores_is_half() {
+        // Anti-diagonal ordering: alternating labels with tied-rank scores.
+        let y: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let s: Vec<f64> = (0..1000).map(|i| (i / 2) as f64).collect();
+        let a = auc(&y, &s);
+        assert!((a - 0.5).abs() < 0.01, "auc {a}");
+    }
+
+    #[test]
+    fn inverted_classifier_has_auc_below_half() {
+        let y = [false, false, true, true];
+        let s = [0.9, 0.8, 0.2, 0.1];
+        assert!(auc(&y, &s) < 0.01);
+    }
+
+    #[test]
+    fn tied_scores_grouped() {
+        let y = [true, false, true, false];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        // All tied: one group, so the ROC is the diagonal (0,0)->(1,1).
+        assert!((auc(&y, &s) - 0.5).abs() < 1e-12);
+        assert_eq!(roc_curve(&y, &s), vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        assert_eq!(roc_curve(&[true, true], &[0.1, 0.9]), vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Multi-Layer Perceptron: fully-connected feed-forward network with ReLU
+//! hidden layers and a sigmoid output, trained by mini-batch SGD with
+//! momentum on binary cross-entropy (Haykin 2009).
+
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One dense layer's parameters and gradients.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// `weights[out][in]`.
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+    vel_w: Vec<Vec<f64>>,
+    vel_b: Vec<f64>,
+}
+
+impl Layer {
+    fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        // He initialization (suits ReLU).
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..outputs)
+            .map(|_| (0..inputs).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect())
+            .collect::<Vec<Vec<f64>>>();
+        Layer {
+            vel_w: vec![vec![0.0; inputs]; outputs],
+            vel_b: vec![0.0; outputs],
+            bias: vec![0.0; outputs],
+            weights,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+/// MLP binary classifier.
+///
+/// `decision_function` returns the pre-sigmoid logit, so 0 corresponds to
+/// probability 0.5 and scores rank correctly for ROC analysis.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    hidden: Vec<usize>,
+    epochs: usize,
+    learning_rate: f64,
+    momentum: f64,
+    batch_size: usize,
+    seed: u64,
+    layers: Vec<Layer>,
+}
+
+impl MlpClassifier {
+    /// Network with the given hidden layer sizes, trained for `epochs`
+    /// passes at `learning_rate`.
+    pub fn new(hidden: &[usize], epochs: usize, learning_rate: f64) -> Self {
+        Self::with_seed(hidden, epochs, learning_rate, 0x4D4C50)
+    }
+
+    /// As [`MlpClassifier::new`] with an explicit seed for initialization
+    /// and shuffling.
+    pub fn with_seed(hidden: &[usize], epochs: usize, learning_rate: f64, seed: u64) -> Self {
+        assert!(hidden.iter().all(|&h| h > 0), "hidden sizes must be positive");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        MlpClassifier {
+            hidden: hidden.to_vec(),
+            epochs,
+            learning_rate,
+            momentum: 0.9,
+            batch_size: 32,
+            seed,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Forward pass, returning pre-activation and post-activation values
+    /// per layer. The final layer is linear (logit).
+    fn forward_full(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut current = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&current);
+            let a = if li + 1 == self.layers.len() {
+                z.clone() // output layer: linear logit
+            } else {
+                z.iter().map(|&v| v.max(0.0)).collect() // ReLU
+            };
+            pre.push(z);
+            current = a.clone();
+            post.push(a);
+        }
+        (pre, post)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        crate::validate_fit_input(x, y);
+        let dim = x[0].len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut sizes = vec![dim];
+        sizes.extend(&self.hidden);
+        sizes.push(1);
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(self.batch_size) {
+                // Accumulate gradients over the batch.
+                let mut grad_w: Vec<Vec<Vec<f64>>> = self
+                    .layers
+                    .iter()
+                    .map(|l| vec![vec![0.0; l.weights[0].len()]; l.weights.len()])
+                    .collect();
+                let mut grad_b: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+
+                for &i in batch {
+                    let (pre, post) = self.forward_full(&x[i]);
+                    let target = if y[i] { 1.0 } else { 0.0 };
+                    let prob = sigmoid(post.last().expect("output layer")[0]);
+                    // dL/dz_out for BCE on sigmoid: p - t.
+                    let mut delta = vec![prob - target];
+
+                    for li in (0..self.layers.len()).rev() {
+                        let input: &[f64] =
+                            if li == 0 { &x[i] } else { &post[li - 1] };
+                        for (o, &d) in delta.iter().enumerate() {
+                            grad_b[li][o] += d;
+                            for (iidx, &inp) in input.iter().enumerate() {
+                                grad_w[li][o][iidx] += d * inp;
+                            }
+                        }
+                        if li > 0 {
+                            // Propagate through weights and the previous
+                            // layer's ReLU.
+                            let prev_n = self.layers[li].weights[0].len();
+                            let mut next_delta = vec![0.0; prev_n];
+                            for (o, &d) in delta.iter().enumerate() {
+                                for p in 0..prev_n {
+                                    next_delta[p] += d * self.layers[li].weights[o][p];
+                                }
+                            }
+                            for (p, nd) in next_delta.iter_mut().enumerate() {
+                                if pre[li - 1][p] <= 0.0 {
+                                    *nd = 0.0;
+                                }
+                            }
+                            delta = next_delta;
+                        }
+                    }
+                }
+
+                // Momentum SGD step.
+                let scale = self.learning_rate / batch.len() as f64;
+                for (li, layer) in self.layers.iter_mut().enumerate() {
+                    for o in 0..layer.weights.len() {
+                        for iidx in 0..layer.weights[o].len() {
+                            layer.vel_w[o][iidx] = self.momentum * layer.vel_w[o][iidx]
+                                - scale * grad_w[li][o][iidx];
+                            layer.weights[o][iidx] += layer.vel_w[o][iidx];
+                        }
+                        layer.vel_b[o] =
+                            self.momentum * layer.vel_b[o] - scale * grad_b[li][o];
+                        layer.bias[o] += layer.vel_b[o];
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        assert!(!self.layers.is_empty(), "predict before fit");
+        let (_, post) = self.forward_full(x);
+        post.last().expect("output layer")[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn save_text(&self) -> String {
+        self.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_boundary() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64 - 50.0) / 10.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let mut mlp = MlpClassifier::with_seed(&[8], 200, 0.05, 1);
+        mlp.fit(&x, &y);
+        assert!(mlp.predict(&[3.0]));
+        assert!(!mlp.predict(&[-3.0]));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for k in 0..25 {
+                    let eps = (k as f64) * 0.002;
+                    x.push(vec![a as f64 + eps, b as f64 - eps]);
+                    y.push((a ^ b) == 1);
+                }
+            }
+        }
+        let mut mlp = MlpClassifier::with_seed(&[16], 500, 0.05, 3);
+        mlp.fit(&x, &y);
+        assert!(mlp.predict(&[0.0, 1.0]));
+        assert!(mlp.predict(&[1.0, 0.0]));
+        assert!(!mlp.predict(&[0.0, 0.0]));
+        assert!(!mlp.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn logit_scores_are_monotone_in_confidence() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64 - 50.0) / 10.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let mut mlp = MlpClassifier::with_seed(&[8], 200, 0.05, 5);
+        mlp.fit(&x, &y);
+        assert!(mlp.decision_function(&[5.0]) > mlp.decision_function(&[0.5]));
+        assert!(mlp.decision_function(&[-5.0]) < mlp.decision_function(&[-0.5]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let mut a = MlpClassifier::with_seed(&[4], 20, 0.01, 11);
+        let mut b = MlpClassifier::with_seed(&[4], 20, 0.01, 11);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.decision_function(&[1.5]), b.decision_function(&[1.5]));
+    }
+
+    #[test]
+    fn deep_network_trains() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 - 30.0) / 5.0]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let mut mlp = MlpClassifier::with_seed(&[16, 8], 300, 0.03, 7);
+        mlp.fit(&x, &y);
+        assert!(mlp.predict(&[4.0]));
+        assert!(!mlp.predict(&[-4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden sizes")]
+    fn zero_hidden_layer_size_rejected() {
+        let _ = MlpClassifier::new(&[0], 10, 0.1);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl MlpClassifier {
+    /// Serializes the fitted network to text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Classifier::fit`].
+    pub fn to_text(&self) -> String {
+        assert!(!self.layers.is_empty(), "save before fit");
+        let mut w = crate::persist::Writer::new("mlp");
+        let shape: Vec<i64> = std::iter::once(self.layers[0].weights[0].len() as i64)
+            .chain(self.layers.iter().map(|l| l.weights.len() as i64))
+            .collect();
+        w.ints("shape", &shape);
+        for layer in &self.layers {
+            w.floats("bias", &layer.bias);
+            for row in &layer.weights {
+                w.floats("w", row);
+            }
+        }
+        w.finish()
+    }
+
+    /// Restores a network saved by [`MlpClassifier::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated text.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "mlp")?;
+        let shape = r.ints("shape")?;
+        if shape.len() < 2 || shape.iter().any(|&s| s <= 0) {
+            return Err(crate::persist::PersistError {
+                line: 2,
+                reason: "shape needs >= 2 positive sizes".to_string(),
+            });
+        }
+        let mut layers = Vec::with_capacity(shape.len() - 1);
+        for pair in shape.windows(2) {
+            let (inputs, outputs) = (pair[0] as usize, pair[1] as usize);
+            let bias = r.floats("bias")?;
+            if bias.len() != outputs {
+                return Err(crate::persist::PersistError {
+                    line: 0,
+                    reason: "bias length mismatch".to_string(),
+                });
+            }
+            let mut weights = Vec::with_capacity(outputs);
+            for _ in 0..outputs {
+                let row = r.floats("w")?;
+                if row.len() != inputs {
+                    return Err(crate::persist::PersistError {
+                        line: 0,
+                        reason: "weight row length mismatch".to_string(),
+                    });
+                }
+                weights.push(row);
+            }
+            layers.push(Layer {
+                vel_w: vec![vec![0.0; inputs]; outputs],
+                vel_b: vec![0.0; outputs],
+                weights,
+                bias,
+            });
+        }
+        let hidden: Vec<usize> = shape[1..shape.len() - 1].iter().map(|&s| s as usize).collect();
+        Ok(MlpClassifier {
+            hidden,
+            epochs: 0,
+            learning_rate: 1e-3,
+            momentum: 0.9,
+            batch_size: 32,
+            seed: 0,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64 - 25.0) / 5.0]).collect();
+        let y: Vec<bool> = (0..50).map(|i| i >= 25).collect();
+        let mut mlp = MlpClassifier::with_seed(&[6, 4], 60, 0.05, 3);
+        mlp.fit(&x, &y);
+        let loaded = MlpClassifier::from_text(&mlp.to_text()).unwrap();
+        for row in &x {
+            assert_eq!(
+                mlp.decision_function(row).to_bits(),
+                loaded.decision_function(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(MlpClassifier::from_text("x").is_err());
+        assert!(MlpClassifier::from_text("vbadet-model mlp v1\nshape 3\n").is_err());
+    }
+}

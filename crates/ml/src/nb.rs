@@ -1,0 +1,284 @@
+//! Bernoulli Naive Bayes (McCallum & Nigam 1998).
+//!
+//! Features are binarized against the training-set median per column; class
+//! conditionals use Laplace smoothing. The decision score is the log odds
+//! `log P(y=1|x) − log P(y=0|x)`.
+
+use crate::Classifier;
+
+/// Bernoulli Naive Bayes with additive smoothing `alpha`.
+#[derive(Debug, Clone)]
+pub struct BernoulliNb {
+    alpha: f64,
+    thresholds: Vec<f64>,
+    /// log P(x_j = 1 | class) per class ([0] = negative, [1] = positive).
+    log_p1: [Vec<f64>; 2],
+    /// log P(x_j = 0 | class).
+    log_p0: [Vec<f64>; 2],
+    log_prior: [f64; 2],
+    fitted: bool,
+}
+
+impl BernoulliNb {
+    /// Creates an untrained classifier with smoothing `alpha` (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha <= 0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        BernoulliNb {
+            alpha,
+            thresholds: Vec::new(),
+            log_p1: [Vec::new(), Vec::new()],
+            log_p0: [Vec::new(), Vec::new()],
+            log_prior: [0.0, 0.0],
+            fitted: false,
+        }
+    }
+
+    fn binarize(&self, x: &[f64]) -> Vec<bool> {
+        x.iter().zip(&self.thresholds).map(|(v, t)| v > t).collect()
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+impl Classifier for BernoulliNb {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        crate::validate_fit_input(x, y);
+        let dim = x[0].len();
+        let n = x.len() as f64;
+
+        self.thresholds = (0..dim)
+            .map(|j| {
+                let mut col: Vec<f64> = x.iter().map(|row| row[j]).collect();
+                median(&mut col)
+            })
+            .collect();
+
+        let counts = [
+            y.iter().filter(|&&t| !t).count() as f64,
+            y.iter().filter(|&&t| t).count() as f64,
+        ];
+        // Smoothed priors keep single-class folds finite.
+        self.log_prior = [
+            ((counts[0] + self.alpha) / (n + 2.0 * self.alpha)).ln(),
+            ((counts[1] + self.alpha) / (n + 2.0 * self.alpha)).ln(),
+        ];
+
+        for class in 0..2 {
+            let mut ones = vec![0.0f64; dim];
+            for (row, &label) in x.iter().zip(y) {
+                if (label as usize) != class {
+                    continue;
+                }
+                for (j, (&v, &t)) in row.iter().zip(&self.thresholds).enumerate() {
+                    if v > t {
+                        ones[j] += 1.0;
+                    }
+                }
+            }
+            let class_n = counts[class];
+            self.log_p1[class] = ones
+                .iter()
+                .map(|&o| ((o + self.alpha) / (class_n + 2.0 * self.alpha)).ln())
+                .collect();
+            self.log_p0[class] = ones
+                .iter()
+                .map(|&o| ((class_n - o + self.alpha) / (class_n + 2.0 * self.alpha)).ln())
+                .collect();
+        }
+        self.fitted = true;
+    }
+
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        let bits = self.binarize(x);
+        let mut log_odds = self.log_prior[1] - self.log_prior[0];
+        for (j, &bit) in bits.iter().enumerate() {
+            if bit {
+                log_odds += self.log_p1[1][j] - self.log_p1[0][j];
+            } else {
+                log_odds += self.log_p0[1][j] - self.log_p0[0][j];
+            }
+        }
+        log_odds
+    }
+
+    fn name(&self) -> &'static str {
+        "BNB"
+    }
+
+    fn save_text(&self) -> String {
+        self.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_indicator_features() {
+        // Feature 0 is the label indicator, feature 1 is noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let label = i % 2 == 0;
+            x.push(vec![if label { 1.0 } else { 0.0 }, (i % 7) as f64]);
+            y.push(label);
+        }
+        let mut nb = BernoulliNb::new(1.0);
+        nb.fit(&x, &y);
+        assert!(nb.predict(&[1.0, 3.0]));
+        assert!(!nb.predict(&[0.0, 3.0]));
+    }
+
+    #[test]
+    fn combines_weak_features() {
+        // NB only consumes per-feature, per-class marginal counts, so exact
+        // conditionals can be constructed directly: P(x_j=1 | +) = 0.8,
+        // P(x_j=1 | -) = 0.2, equal priors.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![
+                (i < 80) as u8 as f64,
+                ((i + 27) % 100 < 80) as u8 as f64,
+                ((i + 54) % 100 < 80) as u8 as f64,
+            ]);
+            y.push(true);
+            x.push(vec![
+                (i < 20) as u8 as f64,
+                ((i + 27) % 100 < 20) as u8 as f64,
+                ((i + 54) % 100 < 20) as u8 as f64,
+            ]);
+            y.push(false);
+        }
+        let mut nb = BernoulliNb::new(1.0);
+        nb.fit(&x, &y);
+        assert!(nb.predict(&[1.0, 1.0, 1.0]));
+        assert!(!nb.predict(&[0.0, 0.0, 0.0]));
+        // Majority of equally weak signals decides.
+        assert!(nb.decision_function(&[1.0, 1.0, 0.0]) > 0.0);
+        assert!(nb.decision_function(&[0.0, 0.0, 1.0]) < 0.0);
+    }
+
+    #[test]
+    fn priors_shift_the_default_prediction() {
+        // 90% positive class, uninformative features.
+        let x: Vec<Vec<f64>> = (0..100).map(|_| vec![0.5]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i < 90).collect();
+        let mut nb = BernoulliNb::new(1.0);
+        nb.fit(&x, &y);
+        assert!(nb.predict(&[0.5]), "prior favors the majority class");
+    }
+
+    #[test]
+    fn single_class_training_is_finite() {
+        let x = vec![vec![1.0], vec![0.0]];
+        let mut nb = BernoulliNb::new(1.0);
+        nb.fit(&x, &[true, true]);
+        assert!(nb.decision_function(&[1.0]).is_finite());
+        assert!(nb.predict(&[0.0]));
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let _ = BernoulliNb::new(0.0);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl BernoulliNb {
+    /// Serializes the fitted model to text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Classifier::fit`].
+    pub fn to_text(&self) -> String {
+        assert!(self.fitted, "save before fit");
+        let mut w = crate::persist::Writer::new("bnb");
+        w.floats("alpha", &[self.alpha]);
+        w.floats("thresholds", &self.thresholds);
+        w.floats("prior", &self.log_prior);
+        w.floats("p1_neg", &self.log_p1[0]);
+        w.floats("p1_pos", &self.log_p1[1]);
+        w.floats("p0_neg", &self.log_p0[0]);
+        w.floats("p0_pos", &self.log_p0[1]);
+        w.finish()
+    }
+
+    /// Restores a model saved by [`BernoulliNb::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated text.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "bnb")?;
+        let alpha = r.floats("alpha")?;
+        let thresholds = r.floats("thresholds")?;
+        let prior = r.floats("prior")?;
+        let p1_neg = r.floats("p1_neg")?;
+        let p1_pos = r.floats("p1_pos")?;
+        let p0_neg = r.floats("p0_neg")?;
+        let p0_pos = r.floats("p0_pos")?;
+        let dim = thresholds.len();
+        if alpha.len() != 1
+            || prior.len() != 2
+            || [&p1_neg, &p1_pos, &p0_neg, &p0_pos].iter().any(|v| v.len() != dim)
+        {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "inconsistent table lengths".to_string(),
+            });
+        }
+        Ok(BernoulliNb {
+            alpha: alpha[0],
+            thresholds,
+            log_p1: [p1_neg, p1_pos],
+            log_p0: [p0_neg, p0_pos],
+            log_prior: [prior[0], prior[1]],
+            fitted: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use crate::Classifier;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64, (i % 5) as f64]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let mut nb = BernoulliNb::new(1.0);
+        nb.fit(&x, &y);
+        let loaded = BernoulliNb::from_text(&nb.to_text()).unwrap();
+        for row in &x {
+            assert_eq!(
+                nb.decision_function(row).to_bits(),
+                loaded.decision_function(row).to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Minimal self-describing text serialization for trained models.
+//!
+//! A deliberately simple line-oriented format (`key value…` records, `f64`
+//! as `to_bits` hex for exact roundtrips) so trained detectors can be saved
+//! and reloaded without pulling a serialization framework into the
+//! dependency tree. Not a stability-guaranteed interchange format.
+
+use std::fmt::Write as _;
+
+/// Error from [`Reader`] parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Writes records.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+}
+
+impl Writer {
+    /// Creates a writer with a format header.
+    pub fn new(kind: &str) -> Self {
+        let mut w = Writer::default();
+        let _ = writeln!(w.out, "vbadet-model {kind} v1");
+        w
+    }
+
+    /// Writes a record: a tag followed by whitespace-separated fields.
+    pub fn record(&mut self, tag: &str, fields: &[String]) -> &mut Self {
+        let _ = write!(self.out, "{tag}");
+        for f in fields {
+            let _ = write!(self.out, " {f}");
+        }
+        let _ = writeln!(self.out);
+        self
+    }
+
+    /// Writes a tag plus a list of f64 values (bit-exact).
+    pub fn floats(&mut self, tag: &str, values: &[f64]) -> &mut Self {
+        let fields: Vec<String> = values.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        self.record(tag, &fields)
+    }
+
+    /// Writes a tag plus a list of integers.
+    pub fn ints(&mut self, tag: &str, values: &[i64]) -> &mut Self {
+        let fields: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.record(tag, &fields)
+    }
+
+    /// The serialized text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Reads records sequentially.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Reader<'a> {
+    /// Opens serialized text, checking the header kind.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the header is missing or names a different model kind.
+    pub fn open(text: &'a str, kind: &str) -> Result<Self, PersistError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header == format!("vbadet-model {kind} v1") => {
+                Ok(Reader { lines })
+            }
+            Some((i, header)) => Err(PersistError {
+                line: i + 1,
+                reason: format!("bad header {header:?}, expected kind {kind:?}"),
+            }),
+            None => Err(PersistError { line: 1, reason: "empty model text".to_string() }),
+        }
+    }
+
+    /// Reads the next record, expecting `tag`; returns its fields.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input or on a tag mismatch.
+    pub fn record(&mut self, tag: &str) -> Result<(usize, Vec<&'a str>), PersistError> {
+        match self.lines.next() {
+            None => Err(PersistError {
+                line: 0,
+                reason: format!("unexpected end of model, expected {tag:?}"),
+            }),
+            Some((i, line)) => {
+                let mut parts = line.split_whitespace();
+                let found = parts.next().unwrap_or("");
+                if found != tag {
+                    return Err(PersistError {
+                        line: i + 1,
+                        reason: format!("expected record {tag:?}, found {found:?}"),
+                    });
+                }
+                Ok((i + 1, parts.collect()))
+            }
+        }
+    }
+
+    /// Reads the next record, which must carry one of `tags`; returns
+    /// `(line, (tag, fields))`.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input or when the tag is not in `tags`.
+    pub fn any_record(
+        &mut self,
+        tags: &[&str],
+    ) -> Result<(usize, (&'a str, Vec<&'a str>)), PersistError> {
+        match self.lines.next() {
+            None => Err(PersistError {
+                line: 0,
+                reason: format!("unexpected end of model, expected one of {tags:?}"),
+            }),
+            Some((i, line)) => {
+                let mut parts = line.split_whitespace();
+                let found = parts.next().unwrap_or("");
+                if !tags.contains(&found) {
+                    return Err(PersistError {
+                        line: i + 1,
+                        reason: format!("expected one of {tags:?}, found {found:?}"),
+                    });
+                }
+                Ok((i + 1, (found, parts.collect())))
+            }
+        }
+    }
+
+    /// Reads a record of f64 values.
+    pub fn floats(&mut self, tag: &str) -> Result<Vec<f64>, PersistError> {
+        let (line, fields) = self.record(tag)?;
+        fields
+            .iter()
+            .map(|f| {
+                u64::from_str_radix(f, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| PersistError { line, reason: format!("bad float {f:?}: {e}") })
+            })
+            .collect()
+    }
+
+    /// Reads a record of i64 values.
+    pub fn ints(&mut self, tag: &str) -> Result<Vec<i64>, PersistError> {
+        let (line, fields) = self.record(tag)?;
+        fields
+            .iter()
+            .map(|f| {
+                f.parse::<i64>()
+                    .map_err(|e| PersistError { line, reason: format!("bad int {f:?}: {e}") })
+            })
+            .collect()
+    }
+
+    /// Reads a record expected to hold exactly one integer.
+    pub fn int(&mut self, tag: &str) -> Result<i64, PersistError> {
+        let values = self.ints(tag)?;
+        match values.as_slice() {
+            [v] => Ok(*v),
+            other => Err(PersistError {
+                line: 0,
+                reason: format!("{tag}: expected one value, got {}", other.len()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_floats_bit_exact() {
+        let values = [0.1, -0.0, f64::MIN_POSITIVE, 1e300, -123.456, 0.0];
+        let mut w = Writer::new("test");
+        w.floats("vals", &values);
+        let text = w.finish();
+        let mut r = Reader::open(&text, "test").unwrap();
+        let back = r.floats("vals").unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn header_kind_checked() {
+        let text = Writer::new("alpha").finish();
+        assert!(Reader::open(&text, "alpha").is_ok());
+        assert!(Reader::open(&text, "beta").is_err());
+        assert!(Reader::open("", "alpha").is_err());
+        assert!(Reader::open("garbage\n", "alpha").is_err());
+    }
+
+    #[test]
+    fn tag_mismatch_reported_with_line() {
+        let mut w = Writer::new("t");
+        w.ints("a", &[1]);
+        let text = w.finish();
+        let mut r = Reader::open(&text, "t").unwrap();
+        let err = r.ints("b").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn truncated_input_reported() {
+        let text = Writer::new("t").finish();
+        let mut r = Reader::open(&text, "t").unwrap();
+        assert!(r.ints("missing").is_err());
+    }
+
+    #[test]
+    fn ints_and_single_int() {
+        let mut w = Writer::new("t");
+        w.ints("many", &[1, -2, 3]).ints("one", &[42]);
+        let text = w.finish();
+        let mut r = Reader::open(&text, "t").unwrap();
+        assert_eq!(r.ints("many").unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.int("one").unwrap(), 42);
+    }
+}

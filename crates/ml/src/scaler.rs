@@ -1,0 +1,160 @@
+//! Feature standardization (zero mean, unit variance per column).
+
+/// Per-feature standardizer fitted on a training set, applied to any
+/// vector. Constant features map to zero (their variance floor prevents
+/// division by zero).
+///
+/// ```
+/// use vbadet_ml::StandardScaler;
+/// let scaler = StandardScaler::fit(&[vec![1.0, 10.0], vec![3.0, 10.0]]);
+/// assert_eq!(scaler.transform(&[2.0, 10.0]), vec![0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits column means and standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit scaler on empty data");
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature matrix");
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for row in x {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd < 1e-12 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Standardizes one vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole matrix.
+    pub fn transform_all(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|row| self.transform(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0 * i as f64 + 3.0]).collect();
+        let scaler = StandardScaler::fit(&x);
+        let z = scaler.transform_all(&x);
+        for col in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[col]).sum::<f64>() / z.len() as f64;
+            let var: f64 = z.iter().map(|r| r[col] * r[col]).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {col} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "column {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&x);
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+        // Unseen values stay finite.
+        assert!(scaler.transform(&[1000.0])[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_transform_panics() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = scaler.transform(&[1.0]);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl StandardScaler {
+    /// Serializes the scaler to text.
+    pub fn to_text(&self) -> String {
+        let mut w = crate::persist::Writer::new("scaler");
+        w.floats("mean", &self.mean);
+        w.floats("std", &self.std);
+        w.finish()
+    }
+
+    /// Restores a scaler saved by [`StandardScaler::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed text or mismatched vector lengths.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "scaler")?;
+        let mean = r.floats("mean")?;
+        let std = r.floats("std")?;
+        if mean.len() != std.len() || mean.is_empty() {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "mean/std length mismatch".to_string(),
+            });
+        }
+        Ok(StandardScaler { mean, std })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let scaler = StandardScaler::fit(&[vec![1.0, -3.5], vec![2.0, 7.25], vec![4.0, 0.0]]);
+        let loaded = StandardScaler::from_text(&scaler.to_text()).unwrap();
+        assert_eq!(scaler, loaded);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(StandardScaler::from_text("nope").is_err());
+        assert!(StandardScaler::from_text("vbadet-model scaler v1\nmean\nstd\n").is_err());
+    }
+}

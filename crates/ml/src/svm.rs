@@ -1,0 +1,343 @@
+//! Support Vector Machine with an RBF kernel, trained by Sequential Minimal
+//! Optimization (Platt's simplified SMO). The paper uses `C = 150`,
+//! `γ = 0.03` (§IV.D).
+
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// RBF-kernel SVM.
+#[derive(Debug, Clone)]
+pub struct SvmRbf {
+    c: f64,
+    gamma: f64,
+    tolerance: f64,
+    max_passes: usize,
+    seed: u64,
+    // Fitted state: support vectors with their coefficients.
+    support_x: Vec<Vec<f64>>,
+    support_coef: Vec<f64>, // alpha_i * y_i
+    bias: f64,
+}
+
+impl SvmRbf {
+    /// A new untrained SVM with regularization `c` and kernel width `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c <= 0` or `gamma <= 0`.
+    pub fn new(c: f64, gamma: f64) -> Self {
+        assert!(c > 0.0 && gamma > 0.0, "C and gamma must be positive");
+        SvmRbf {
+            c,
+            gamma,
+            tolerance: 1e-3,
+            max_passes: 5,
+            seed: 0xBEEF,
+            support_x: Vec::new(),
+            support_coef: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    /// Number of support vectors after fitting.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_x.len()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let dist2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * dist2).exp()
+    }
+}
+
+impl Classifier for SvmRbf {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        crate::validate_fit_input(x, y);
+        let n = x.len();
+        let y: Vec<f64> = y.iter().map(|&t| if t { 1.0 } else { -1.0 }).collect();
+        // Degenerate single-class training sets: constant decision.
+        if y.iter().all(|&v| v > 0.0) || y.iter().all(|&v| v < 0.0) {
+            self.support_x.clear();
+            self.support_coef.clear();
+            self.bias = y[0];
+            return;
+        }
+
+        // Precomputed kernel matrix in f32 (n^2 entries; ~58 MB at n=3800).
+        let kmat: Vec<f32> = {
+            let mut m = vec![0f32; n * n];
+            for i in 0..n {
+                m[i * n + i] = 1.0;
+                for j in i + 1..n {
+                    let k = self.kernel(&x[i], &x[j]) as f32;
+                    m[i * n + j] = k;
+                    m[j * n + i] = k;
+                }
+            }
+            m
+        };
+        let k = |i: usize, j: usize| kmat[i * n + j] as f64;
+
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * k(j, i);
+                }
+            }
+            s
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        let max_iters = 200 * n; // hard stop for pathological data
+        while passes < self.max_passes && iters < max_iters {
+            let mut changed = 0usize;
+            for i in 0..n {
+                iters += 1;
+                let ei = f(&alpha, b, i) - y[i];
+                let violates = (y[i] * ei < -self.tolerance && alpha[i] < self.c)
+                    || (y[i] * ei > self.tolerance && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                } else {
+                    ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+
+                let b1 = b - ei
+                    - y[i] * (ai - ai_old) * k(i, i)
+                    - y[j] * (aj - aj_old) * k(i, j);
+                let b2 = b - ej
+                    - y[i] * (ai - ai_old) * k(i, j)
+                    - y[j] * (aj - aj_old) * k(j, j);
+                b = if 0.0 < ai && ai < self.c {
+                    b1
+                } else if 0.0 < aj && aj < self.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        self.support_x.clear();
+        self.support_coef.clear();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                self.support_x.push(x[i].clone());
+                self.support_coef.push(alpha[i] * y[i]);
+            }
+        }
+        self.bias = b;
+    }
+
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        let mut s = self.bias;
+        for (sv, &coef) in self.support_x.iter().zip(&self.support_coef) {
+            s += coef * self.kernel(sv, x);
+        }
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn save_text(&self) -> String {
+        self.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Inner cluster vs surrounding ring: requires a non-linear boundary.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let t = i as f64 * 0.55;
+            x.push(vec![0.25 * t.sin(), 0.25 * t.cos()]);
+            y.push(true);
+            x.push(vec![2.0 * t.sin(), 2.0 * t.cos()]);
+            y.push(false);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn linear_separation() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i < 20 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let mut svm = SvmRbf::new(10.0, 0.5);
+        svm.fit(&x, &y);
+        assert!(svm.predict(&[8.0]));
+        assert!(!svm.predict(&[0.5]));
+    }
+
+    #[test]
+    fn nonlinear_ring_is_separated_by_rbf() {
+        let (x, y) = ring_data();
+        let mut svm = SvmRbf::new(150.0, 0.5);
+        svm.fit(&x, &y);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| svm.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "{correct}/{}", x.len());
+        // Center is inside, far point outside.
+        assert!(svm.predict(&[0.0, 0.0]));
+        assert!(!svm.predict(&[3.0, 0.0]));
+    }
+
+    #[test]
+    fn decision_scores_rank_by_distance_from_boundary() {
+        let (x, y) = ring_data();
+        let mut svm = SvmRbf::new(150.0, 0.5);
+        svm.fit(&x, &y);
+        let inside = svm.decision_function(&[0.0, 0.0]);
+        let boundary = svm.decision_function(&[1.1, 0.0]);
+        let outside = svm.decision_function(&[2.5, 0.0]);
+        assert!(inside > boundary && boundary > outside, "{inside} {boundary} {outside}");
+    }
+
+    #[test]
+    fn single_class_training_degenerates_to_constant() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let mut svm = SvmRbf::new(150.0, 0.03);
+        svm.fit(&x, &[true, true]);
+        assert!(svm.predict(&[0.0]) && svm.predict(&[100.0]));
+        svm.fit(&x, &[false, false]);
+        assert!(!svm.predict(&[0.0]));
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let (x, y) = ring_data();
+        let mut svm = SvmRbf::new(150.0, 0.5);
+        svm.fit(&x, &y);
+        assert!(svm.support_vector_count() > 0);
+        assert!(svm.support_vector_count() <= x.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_hyperparameters_rejected() {
+        let _ = SvmRbf::new(-1.0, 0.5);
+    }
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl SvmRbf {
+    /// Serializes the fitted SVM to text.
+    pub fn to_text(&self) -> String {
+        let mut w = crate::persist::Writer::new("svm");
+        w.floats("params", &[self.c, self.gamma, self.bias]);
+        w.ints("svs", &[self.support_x.len() as i64]);
+        w.floats("coef", &self.support_coef);
+        for sv in &self.support_x {
+            w.floats("sv", sv);
+        }
+        w.finish()
+    }
+
+    /// Restores an SVM saved by [`SvmRbf::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated text.
+    pub fn from_text(text: &str) -> Result<Self, crate::persist::PersistError> {
+        let mut r = crate::persist::Reader::open(text, "svm")?;
+        let params = r.floats("params")?;
+        if params.len() != 3 || params[0] <= 0.0 || params[1] <= 0.0 {
+            return Err(crate::persist::PersistError {
+                line: 2,
+                reason: "params needs positive C, gamma and a bias".to_string(),
+            });
+        }
+        let count = r.int("svs")? as usize;
+        let support_coef = r.floats("coef")?;
+        if support_coef.len() != count {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "coef count mismatch".to_string(),
+            });
+        }
+        let mut support_x = Vec::with_capacity(count);
+        for _ in 0..count {
+            support_x.push(r.floats("sv")?);
+        }
+        let mut svm = SvmRbf::new(params[0], params[1]);
+        svm.bias = params[2];
+        svm.support_coef = support_coef;
+        svm.support_x = support_x;
+        Ok(svm)
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let x: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![if i < 20 { i as f64 * 0.1 } else { 4.0 + i as f64 * 0.1 }]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let mut svm = SvmRbf::new(10.0, 0.5);
+        svm.fit(&x, &y);
+        let loaded = SvmRbf::from_text(&svm.to_text()).unwrap();
+        for row in &x {
+            assert_eq!(
+                svm.decision_function(row).to_bits(),
+                loaded.decision_function(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(SvmRbf::from_text("junk").is_err());
+        assert!(SvmRbf::from_text("vbadet-model svm v1\nparams 0 0 0\n").is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! CART decision tree with Gini impurity (the base learner for
+//! [`crate::RandomForest`]).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fitted binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf with the fraction of positive training samples that reached it.
+    Leaf { positive_fraction: f64 },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+    /// Candidate features per split: 0 means all, otherwise a random subset
+    /// of this size (√d is the forest's convention).
+    pub max_features: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 24, min_samples_split: 2, max_features: 0 }
+    }
+}
+
+impl DecisionTree {
+    /// Grows a tree on the rows of `x` selected by `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[bool],
+        idx: &[usize],
+        params: TreeParams,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot grow a tree on zero samples");
+        let mut tree = DecisionTree { nodes: Vec::new() };
+        let mut idx = idx.to_vec();
+        tree.grow(x, y, &mut idx, 0, params, rng);
+        tree
+    }
+
+    /// Recursively grows the subtree over `idx`, returning its node id.
+    fn grow<R: Rng + ?Sized>(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[bool],
+        idx: &mut [usize],
+        depth: usize,
+        params: TreeParams,
+        rng: &mut R,
+    ) -> usize {
+        let positives = idx.iter().filter(|&&i| y[i]).count();
+        let fraction = positives as f64 / idx.len() as f64;
+        let pure = positives == 0 || positives == idx.len();
+        if pure || depth >= params.max_depth || idx.len() < params.min_samples_split {
+            self.nodes.push(Node::Leaf { positive_fraction: fraction });
+            return self.nodes.len() - 1;
+        }
+
+        match best_split(x, y, idx, params.max_features, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                // Partition in place.
+                let mut split_point = 0usize;
+                for i in 0..idx.len() {
+                    if x[idx[i]][feature] <= threshold {
+                        idx.swap(i, split_point);
+                        split_point += 1;
+                    }
+                }
+                if split_point == 0 || split_point == idx.len() {
+                    self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve this node's slot before growing children.
+                self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                let me = self.nodes.len() - 1;
+                let (left_idx, right_idx) = idx.split_at_mut(split_point);
+                let left = self.grow(x, y, left_idx, depth + 1, params, rng);
+                let right = self.grow(x, y, right_idx, depth + 1, params, rng);
+                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    /// Fraction of positive training samples in the leaf `x` reaches.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        // Root is node 0 (grow() pushes it first).
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { positive_fraction } => return *positive_fraction,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Finds the `(feature, threshold)` minimizing weighted Gini impurity over a
+/// random feature subset. Zero-gain splits are accepted (CART convention —
+/// required for staged patterns like XOR); when the random subset offers no
+/// valid split at all, remaining features are searched so a splittable node
+/// is never forced into a leaf by subset bad luck (sklearn behaviour).
+/// Returns `None` only when no feature admits a split.
+fn best_split<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[bool],
+    idx: &[usize],
+    max_features: usize,
+    rng: &mut R,
+) -> Option<(usize, f64)> {
+    let dim = x[0].len();
+    let mut features: Vec<usize> = (0..dim).collect();
+    let take = if max_features == 0 { dim } else { max_features.min(dim) };
+    features.shuffle(rng);
+
+    let total = idx.len() as f64;
+    let total_pos = idx.iter().filter(|&&i| y[i]).count() as f64;
+    let parent_gini = gini(total_pos, total);
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    let mut sorted: Vec<(f64, bool)> = Vec::with_capacity(idx.len());
+    for (inspected, &feature) in features.iter().enumerate() {
+        if inspected >= take && best.is_some() {
+            break;
+        }
+        sorted.clear();
+        sorted.extend(idx.iter().map(|&i| (x[i][feature], y[i])));
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut left_n = 0f64;
+        let mut left_pos = 0f64;
+        for w in 0..sorted.len() - 1 {
+            left_n += 1.0;
+            if sorted[w].1 {
+                left_pos += 1.0;
+            }
+            // Can't split between equal values.
+            if sorted[w].0 == sorted[w + 1].0 {
+                continue;
+            }
+            let right_n = total - left_n;
+            let right_pos = total_pos - left_pos;
+            let score = (left_n / total) * gini(left_pos, left_n)
+                + (right_n / total) * gini(right_pos, right_n);
+            if score <= parent_gini + 1e-12
+                && best.is_none_or(|(_, _, s)| score < s)
+            {
+                let threshold = (sorted[w].0 + sorted[w + 1].0) / 2.0;
+                best = Some((feature, threshold, score));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+fn gini(pos: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+// --- persistence ---------------------------------------------------------
+
+impl DecisionTree {
+    /// Serializes the tree's nodes into `w`.
+    pub(crate) fn write_to(&self, w: &mut crate::persist::Writer) {
+        w.ints("tree", &[self.nodes.len() as i64]);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { positive_fraction } => {
+                    w.floats("L", &[*positive_fraction]);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    w.record(
+                        "S",
+                        &[
+                            feature.to_string(),
+                            format!("{:016x}", threshold.to_bits()),
+                            left.to_string(),
+                            right.to_string(),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reads a tree previously written by [`DecisionTree::write_to`].
+    pub(crate) fn read_from(
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let count = r.int("tree")? as usize;
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Peek via record: try L first by reading the raw line.
+            let (line, fields) = r.any_record(&["L", "S"])?;
+            let expected_fields = if fields.0 == "L" { 1 } else { 4 };
+            if fields.1.len() != expected_fields {
+                return Err(crate::persist::PersistError {
+                    line,
+                    reason: format!(
+                        "{} record needs {expected_fields} fields, got {}",
+                        fields.0,
+                        fields.1.len()
+                    ),
+                });
+            }
+            match fields.0 {
+                "L" => {
+                    let bits = u64::from_str_radix(fields.1[0], 16).map_err(|e| {
+                        crate::persist::PersistError { line, reason: format!("bad leaf: {e}") }
+                    })?;
+                    nodes.push(Node::Leaf { positive_fraction: f64::from_bits(bits) });
+                }
+                _ => {
+                    let parse_usize = |s: &str| -> Result<usize, crate::persist::PersistError> {
+                        s.parse().map_err(|e| crate::persist::PersistError {
+                            line,
+                            reason: format!("bad split field {s:?}: {e}"),
+                        })
+                    };
+                    let feature = parse_usize(fields.1[0])?;
+                    let bits = u64::from_str_radix(fields.1[1], 16).map_err(|e| {
+                        crate::persist::PersistError { line, reason: format!("bad split: {e}") }
+                    })?;
+                    let left = parse_usize(fields.1[2])?;
+                    let right = parse_usize(fields.1[3])?;
+                    if left >= count || right >= count {
+                        return Err(crate::persist::PersistError {
+                            line,
+                            reason: "split child out of range".to_string(),
+                        });
+                    }
+                    nodes.push(Node::Split {
+                        feature,
+                        threshold: f64::from_bits(bits),
+                        left,
+                        right,
+                    });
+                }
+            }
+        }
+        if nodes.is_empty() {
+            return Err(crate::persist::PersistError {
+                line: 0,
+                reason: "tree with no nodes".to_string(),
+            });
+        }
+        Ok(DecisionTree { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fit_all(x: &[Vec<f64>], y: &[bool], params: TreeParams) -> DecisionTree {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        DecisionTree::fit(x, y, &idx, params, &mut rng)
+    }
+
+    #[test]
+    fn separates_one_dimensional_threshold() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let tree = fit_all(&x, &y, TreeParams::default());
+        assert!(tree.predict_proba(&[2.0]) < 0.5);
+        assert!(tree.predict_proba(&[17.0]) > 0.5);
+        assert!(tree.predict_proba(&[9.4]) < 0.5);
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        // XOR needs at least depth 2.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push((a ^ b) == 1);
+                }
+            }
+        }
+        let tree = fit_all(&x, &y, TreeParams::default());
+        assert!(tree.predict_proba(&[0.0, 1.0]) > 0.5);
+        assert!(tree.predict_proba(&[1.0, 0.0]) > 0.5);
+        assert!(tree.predict_proba(&[0.0, 0.0]) < 0.5);
+        assert!(tree.predict_proba(&[1.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn max_depth_zero_yields_single_leaf() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![false, true];
+        let tree = fit_all(&x, &y, TreeParams { max_depth: 0, ..TreeParams::default() });
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn pure_node_stops_growing() {
+        let x = vec![vec![1.0]; 50];
+        let y = vec![true; 50];
+        let tree = fit_all(&x, &y, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[123.0]), 1.0);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        // Same x, conflicting labels: no valid split exists.
+        let x = vec![vec![3.0]; 10];
+        let y: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let tree = fit_all(&x, &y, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_proba(&[3.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_subsetting_still_learns() {
+        let x: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![0.0, 0.0, i as f64, 0.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        // max_features=2 of 4: the informative feature is eventually chosen
+        // at some depth.
+        let tree = fit_all(
+            &x,
+            &y,
+            TreeParams { max_features: 2, ..TreeParams::default() },
+        );
+        assert!(tree.predict_proba(&[0.0, 0.0, 90.0, 0.0]) > 0.5);
+        assert!(tree.predict_proba(&[0.0, 0.0, 10.0, 0.0]) < 0.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for metrics, cross-validation and classifier sanity.
+
+use proptest::prelude::*;
+use vbadet_ml::{auc, f_beta, roc_curve, stratified_kfold, Classifier, ConfusionMatrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AUC is within [0,1] and invariant under monotone score transforms.
+    #[test]
+    fn auc_bounds_and_monotone_invariance(
+        labels in proptest::collection::vec(any::<bool>(), 2..200),
+        scores in proptest::collection::vec(-1000.0f64..1000.0, 2..200),
+    ) {
+        let n = labels.len().min(scores.len());
+        let labels = &labels[..n];
+        let scores = &scores[..n];
+        let a = auc(labels, scores);
+        prop_assert!((0.0..=1.0).contains(&a), "auc {a}");
+        // Strictly increasing transform preserves ranking, hence AUC.
+        let transformed: Vec<f64> = scores.iter().map(|s| (s / 100.0).tanh() * 7.0 + 3.0).collect();
+        let b = auc(labels, &transformed);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// ROC curves are monotone nondecreasing in both coordinates.
+    #[test]
+    fn roc_is_monotone(
+        labels in proptest::collection::vec(any::<bool>(), 2..100),
+        scores in proptest::collection::vec(-10.0f64..10.0, 2..100),
+    ) {
+        let n = labels.len().min(scores.len());
+        let points = roc_curve(&labels[..n], &scores[..n]);
+        for pair in points.windows(2) {
+            prop_assert!(pair[1].0 >= pair[0].0);
+            prop_assert!(pair[1].1 >= pair[0].1);
+        }
+        prop_assert_eq!(*points.first().unwrap(), (0.0, 0.0));
+        prop_assert_eq!(*points.last().unwrap(), (1.0, 1.0));
+    }
+
+    /// Perfect separation gives AUC 1; inverted gives 0.
+    #[test]
+    fn auc_extremes(pos in 1usize..50, neg in 1usize..50) {
+        let mut labels = vec![false; neg];
+        labels.extend(vec![true; pos]);
+        let scores: Vec<f64> = (0..neg + pos).map(|i| i as f64).collect();
+        prop_assert!((auc(&labels, &scores) - 1.0).abs() < 1e-12);
+        let inverted: Vec<f64> = scores.iter().map(|s| -s).collect();
+        prop_assert!(auc(&labels, &inverted).abs() < 1e-12);
+    }
+
+    /// Fβ lies between min and max of (precision, recall) and F1 is their
+    /// harmonic mean.
+    #[test]
+    fn f_beta_bounds(p in 0.01f64..1.0, r in 0.01f64..1.0, beta in 0.1f64..10.0) {
+        let f = f_beta(p, r, beta);
+        prop_assert!(f <= p.max(r) + 1e-12);
+        prop_assert!(f >= p.min(r) - 1e-12);
+        let f1 = f_beta(p, r, 1.0);
+        let harmonic = 2.0 * p * r / (p + r);
+        prop_assert!((f1 - harmonic).abs() < 1e-12);
+    }
+
+    /// Confusion-matrix identities hold for arbitrary label vectors.
+    #[test]
+    fn confusion_identities(
+        y_true in proptest::collection::vec(any::<bool>(), 1..200),
+        y_pred in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = y_true.len().min(y_pred.len());
+        let m = ConfusionMatrix::from_predictions(&y_true[..n], &y_pred[..n]);
+        prop_assert_eq!(m.total(), n);
+        prop_assert_eq!(m.tp + m.fn_, y_true[..n].iter().filter(|&&t| t).count());
+        prop_assert_eq!(m.tp + m.fp, y_pred[..n].iter().filter(|&&t| t).count());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+    }
+
+    /// Stratified folds partition the index set and balance classes.
+    #[test]
+    fn kfold_partitions(
+        labels in proptest::collection::vec(any::<bool>(), 10..150),
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= labels.len());
+        let folds = stratified_kfold(&labels, k, seed);
+        let mut seen = vec![false; labels.len()];
+        for fold in &folds {
+            for &i in fold {
+                prop_assert!(!seen[i], "index {i} duplicated");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Fold sizes within 2·ceil(n/k) of each other (per-class round robin).
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 2, "{sizes:?}");
+    }
+
+    /// Every classifier learns a wide-margin 1-D threshold problem.
+    #[test]
+    fn classifiers_learn_separable_threshold(seed in any::<u64>(), gap in 2.0f64..10.0) {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let base = (i % 30) as f64 / 30.0;
+                if i < 30 { vec![base] } else { vec![base + gap] }
+            })
+            .collect();
+        let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let mut models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(vbadet_ml::RandomForest::with_seed(15, 0, seed)),
+            Box::new(vbadet_ml::LinearDiscriminant::new()),
+            Box::new(vbadet_ml::BernoulliNb::new(1.0)),
+            Box::new(vbadet_ml::SvmRbf::new(10.0, 0.5)),
+        ];
+        for model in models.iter_mut() {
+            model.fit(&x, &y);
+            prop_assert!(model.predict(&[gap + 0.5]), "{} misses positive", model.name());
+            prop_assert!(!model.predict(&[0.5]), "{} misses negative", model.name());
+        }
+    }
+}

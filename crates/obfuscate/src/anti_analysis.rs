@@ -1,0 +1,162 @@
+//! §VI.B anti-analysis techniques.
+//!
+//! These are *not* O1–O4 obfuscation: they have a narrower scope and target
+//! specific analysis methods. The paper's case studies list three; each is
+//! implemented here as a transform so the corpus can include macros carrying
+//! them, and so tests can document their effect on static extraction.
+
+use rand::Rng;
+use std::collections::HashSet;
+use vbadet_vba::{tokenize, TokenKind};
+
+/// Result of [`hide_string_data`]: the rewritten source plus the values that
+/// were moved out of the macro text (they would live in document properties
+/// / form control captions, invisible to source-only analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HiddenStrings {
+    /// Transformed source.
+    pub source: String,
+    /// `(variable name, original value)` for each hidden literal.
+    pub hidden: Vec<(String, String)>,
+}
+
+/// Technique 1 — *Hiding string data* (Figure 8a): replaces string literals
+/// with reads from `ActiveDocument.Variables("…").Value()`. The literal
+/// value disappears from the macro source entirely.
+pub fn hide_string_data<R: Rng + ?Sized>(source: &str, rng: &mut R) -> HiddenStrings {
+    let tokens = tokenize(source);
+    let attr = crate::split::attribute_line_spans(source);
+    let mut taken: HashSet<String> = HashSet::new();
+    let mut hidden = Vec::new();
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for t in &tokens {
+        let TokenKind::StringLit(value) = &t.kind else { continue };
+        if value.len() < 4 || attr.iter().any(|&(s, e)| t.start >= s && t.end <= e) {
+            continue;
+        }
+        let key = crate::names::random_identifier(rng, &mut taken);
+        edits.push((
+            t.start,
+            t.end,
+            format!("ActiveDocument.Variables(\"{key}\").Value()"),
+        ));
+        hidden.push((key, value.clone()));
+    }
+    let mut out = source.to_string();
+    for (start, end, replacement) in edits.into_iter().rev() {
+        out.replace_range(start..end, &replacement);
+    }
+    HiddenStrings { source: out, hidden }
+}
+
+/// Technique 2 — *Inserting broken code* (Figure 8b): appends statements
+/// referencing nonexistent objects after an `Exit Sub`, so the code never
+/// runs but chokes naive parsers.
+pub fn insert_broken_code<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String {
+    let mut out = String::with_capacity(source.len() + 256);
+    let mut taken: HashSet<String> = HashSet::new();
+    for line in source.split_inclusive('\n') {
+        let lower = line.trim_start().to_ascii_lowercase();
+        if lower.starts_with("end sub") || lower.starts_with("end function") {
+            let obj = crate::names::random_identifier(rng, &mut taken);
+            out.push_str("    Exit Sub\r\n");
+            out.push_str(&format!("    {obj}.Select\r\n"));
+            out.push_str(&format!(
+                "    Colu.mns(\"{}:{}\").ColumnWidth = {}\r\n",
+                (b'A' + rng.gen_range(0u8..26)) as char,
+                (b'A' + rng.gen_range(0u8..26)) as char,
+                rng.gen_range(5..40),
+            ));
+            out.push_str(&format!("    Sel.ection.RowHeight = {}\r\n", rng.gen_range(10..30)));
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+/// Technique 3 — *Changing the flow*: wraps each procedure body in an
+/// environment check (e.g. recent-file count, a sandbox tell) so dynamic
+/// analyzers that fail the check never observe the behaviour.
+pub fn change_flow<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String {
+    let mut out = String::with_capacity(source.len() + 128);
+    let mut inside = false;
+    for line in source.split_inclusive('\n') {
+        let lower = line.trim_start().to_ascii_lowercase();
+        let opens = (lower.starts_with("sub ")
+            || lower.starts_with("public sub ")
+            || lower.starts_with("private sub "))
+            && !lower.starts_with("end");
+        let closes = lower.starts_with("end sub");
+        if opens && !inside {
+            inside = true;
+            out.push_str(line);
+            let threshold = rng.gen_range(2..6);
+            out.push_str(&format!(
+                "    If RecentFiles.Count < {threshold} Then Exit Sub\r\n"
+            ));
+            continue;
+        }
+        if closes {
+            inside = false;
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "Sub Document_Open()\r\n\
+        cmd = \"powershell -enc AAAA\"\r\n\
+        Shell cmd, 0\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn hidden_strings_leave_no_trace_in_source() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = hide_string_data(SRC, &mut rng);
+        assert!(!result.source.contains("powershell"));
+        assert_eq!(result.hidden.len(), 1);
+        assert_eq!(result.hidden[0].1, "powershell -enc AAAA");
+        assert!(result.source.contains("ActiveDocument.Variables"));
+        // The stored key is referenced in the source.
+        assert!(result.source.contains(&result.hidden[0].0));
+    }
+
+    #[test]
+    fn broken_code_is_inserted_after_exit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = insert_broken_code(SRC, &mut rng);
+        let exit_pos = out.find("Exit Sub").unwrap();
+        let end_pos = out.find("End Sub").unwrap();
+        assert!(exit_pos < end_pos);
+        assert!(out.contains("Colu.mns("));
+        // The lexer must survive the broken code.
+        let _ = vbadet_vba::tokenize(&out);
+    }
+
+    #[test]
+    fn flow_change_guards_procedure_entry() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = change_flow(SRC, &mut rng);
+        let guard_pos = out.find("RecentFiles.Count").unwrap();
+        let body_pos = out.find("cmd = ").unwrap();
+        assert!(guard_pos < body_pos, "guard must precede the body");
+        assert!(out.contains("Then Exit Sub"));
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hidden = hide_string_data(SRC, &mut rng);
+        let broken = insert_broken_code(&hidden.source, &mut rng);
+        let flowed = change_flow(&broken, &mut rng);
+        assert!(flowed.contains("ActiveDocument.Variables"));
+        assert!(flowed.contains("Exit Sub"));
+        assert!(flowed.contains("RecentFiles.Count"));
+    }
+}

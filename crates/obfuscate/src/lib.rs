@@ -1,0 +1,49 @@
+//! Executable VBA obfuscation transforms.
+//!
+//! The paper (§III.B, Table I) categorizes real-world VBA obfuscation into
+//! four techniques; this crate implements each as a source-to-source
+//! transform so the synthetic corpus can be labeled *by construction*:
+//!
+//! | # | Type | Module |
+//! |---|------|--------|
+//! | O1 | Random obfuscation (randomize identifiers) | [`random`] |
+//! | O2 | Split obfuscation (split strings)           | [`split`] |
+//! | O3 | Encoding obfuscation (encode strings)       | [`encoding`] |
+//! | O4 | Logic obfuscation (insert & reorder code)   | [`logic`] |
+//!
+//! The §VI.B anti-analysis tricks (hiding string data, inserting broken
+//! code, changing flow) live in [`anti_analysis`]; they are *not* part of
+//! O1–O4 but co-occur with them in the wild.
+//!
+//! All transforms are deterministic given the caller's RNG, and preserve
+//! program semantics: [`recover`] can re-evaluate split/encoded string
+//! expressions back to their original values, which the test-suite uses as
+//! the preservation invariant.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vbadet_obfuscate::{Obfuscator, Technique};
+//!
+//! let src = "Sub Go()\r\n    x = Shell(\"calc.exe\", 1)\r\nEnd Sub\r\n";
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let out = Obfuscator::new()
+//!     .with(Technique::Random)
+//!     .with(Technique::Split)
+//!     .apply(src, &mut rng);
+//! assert!(!out.source.contains("calc.exe"), "signature string must be split");
+//! ```
+
+pub mod anti_analysis;
+pub mod deobfuscate;
+pub mod encoding;
+pub mod logic;
+mod names;
+mod pipeline;
+pub mod random;
+pub mod recover;
+pub mod split;
+
+pub use deobfuscate::{deobfuscate, DeobfuscationReport};
+pub use pipeline::{ObfuscationResult, Obfuscator, Technique};

@@ -1,0 +1,231 @@
+//! Random identifier generation and rename-eligibility rules.
+
+use rand::Rng;
+use std::collections::HashSet;
+use vbadet_vba::{functions, tokenize, TokenKind};
+
+/// Generates a random identifier that collides with nothing in `taken`
+/// (case-insensitive) and is not a VBA builtin.
+///
+/// Styles mirror what real obfuscators emit (cf. the paper's examples
+/// `ueiwjfdjkfdsv`, `mambaFRUTIsIn`, `shfiletMurinoASALLLP`): pure random
+/// lowercase, pronounceable word blends with odd casing, and alphanumeric
+/// mixes.
+pub fn random_identifier<R: Rng + ?Sized>(rng: &mut R, taken: &mut HashSet<String>) -> String {
+    const SYLLABLES: [&str; 24] = [
+        "ma", "ru", "ti", "no", "fel", "zon", "da", "ke", "lor", "mba", "fru", "si", "ve",
+        "sal", "pit", "re", "co", "lu", "gan", "tor", "mi", "ne", "ba", "shi",
+    ];
+    loop {
+        let name: String = match rng.gen_range(0..10) {
+            // Pure random lowercase: "ueiwjfdjkfdsv".
+            0..=4 => {
+                let len = rng.gen_range(8..=16);
+                (0..len).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect()
+            }
+            // Pronounceable blend with random casing: "mambaFruti".
+            5..=7 => {
+                let mut s = String::new();
+                for _ in 0..rng.gen_range(2..=4) {
+                    let syllable = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+                    if rng.gen_bool(0.3) {
+                        let mut cs = syllable.chars();
+                        let first = cs.next().expect("non-empty").to_ascii_uppercase();
+                        s.push(first);
+                        s.extend(cs);
+                    } else {
+                        s.push_str(syllable);
+                    }
+                }
+                s
+            }
+            // Alphanumeric mix: "pz0nd4xq".
+            _ => {
+                let len = rng.gen_range(8..=14);
+                (0..len)
+                    .map(|i| {
+                        if i > 0 && rng.gen_bool(0.2) {
+                            (b'0' + rng.gen_range(0u8..10)) as char
+                        } else {
+                            (b'a' + rng.gen_range(0u8..26)) as char
+                        }
+                    })
+                    .collect()
+            }
+        };
+        if functions::is_builtin(&name) || crate::names::is_keyword_like(&name) {
+            continue;
+        }
+        if taken.insert(name.to_ascii_lowercase()) {
+            return name;
+        }
+    }
+}
+
+/// Guards against generating a reserved word (possible with syllable blends).
+fn is_keyword_like(name: &str) -> bool {
+    vbadet_vba::tokenize(name)
+        .iter()
+        .any(|t| matches!(t.kind, TokenKind::Keyword(_)))
+}
+
+/// Event-handler / auto-execution names that obfuscators must keep intact:
+/// renaming them would break the macro's trigger.
+pub fn is_entry_point(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.starts_with("auto")
+        || lower.starts_with("document_")
+        || lower.starts_with("workbook_")
+        || lower.starts_with("worksheet_")
+        || lower.ends_with("_click")
+        || lower.ends_with("_change")
+        || lower.ends_with("_open")
+        || lower.ends_with("_close")
+}
+
+/// Host-application globals and objects an obfuscator cannot rename without
+/// breaking the macro (lowercase, sorted for binary search).
+const HOST_GLOBALS: &[&str] = &[
+    "activecell", "activedocument", "activesheet", "activewindow", "activeworkbook", "application",
+    "cells", "charts", "columns", "debug", "documents", "err", "names", "range", "rows",
+    "selection", "sheets", "thisdocument", "thisworkbook", "userform1", "wend", "workbooks",
+    "worksheets",
+];
+
+/// Names from `Attribute VB_...` lines and other VBA plumbing that must not
+/// be touched: `VB_*` attribute names, the built-in enum constants
+/// (`vbHide`, `vbCrLf`, `xlPasteValues`, …) and host-application globals
+/// (`ActiveDocument`, `Application`, …) — renaming those would change
+/// behaviour.
+pub fn is_reserved_identifier(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.starts_with("vb_")
+        || lower.starts_with("vb")
+        || lower.starts_with("xl")
+        || HOST_GLOBALS.binary_search(&lower.as_str()).is_ok()
+}
+
+/// Collects the user identifiers of `source` that are safe to rename:
+/// excludes builtins, entry points, `VB_*` attributes, and member-access
+/// names (tokens preceded by `.`, which belong to foreign objects).
+pub fn renameable_identifiers(source: &str) -> Vec<String> {
+    let tokens = tokenize(source);
+    let mut member_positions: HashSet<usize> = HashSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.kind, TokenKind::Operator(".")) {
+            member_positions.insert(i + 1);
+        }
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let TokenKind::Identifier(name) = &t.kind else { continue };
+        if member_positions.contains(&i)
+            || functions::is_builtin(name)
+            || is_entry_point(name)
+            || is_reserved_identifier(name)
+        {
+            continue;
+        }
+        if seen.insert(name.to_ascii_lowercase()) {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+/// Replaces every non-member occurrence of the identifiers in `map`
+/// (case-insensitive keys) with their new names, preserving all other bytes.
+pub fn apply_renames(source: &str, map: &std::collections::HashMap<String, String>) -> String {
+    let tokens = tokenize(source);
+    let mut member_positions: HashSet<usize> = HashSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.kind, TokenKind::Operator(".")) {
+            member_positions.insert(i + 1);
+        }
+    }
+    // Collect (start, end, replacement) and splice back-to-front.
+    let mut edits: Vec<(usize, usize, &String)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if member_positions.contains(&i) {
+            continue;
+        }
+        if let TokenKind::Identifier(name) = &t.kind {
+            if let Some(new_name) = map.get(&name.to_ascii_lowercase()) {
+                edits.push((t.start, t.end, new_name));
+            }
+        }
+    }
+    let mut out = source.to_string();
+    for (start, end, replacement) in edits.into_iter().rev() {
+        out.replace_range(start..end, replacement);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_identifiers_are_unique_and_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut taken = HashSet::new();
+        let names: Vec<String> =
+            (0..500).map(|_| random_identifier(&mut rng, &mut taken)).collect();
+        let unique: HashSet<String> = names.iter().map(|n| n.to_ascii_lowercase()).collect();
+        assert_eq!(unique.len(), names.len(), "case-insensitively unique");
+        for n in &names {
+            assert!((4..=18).contains(&n.len()), "{n}");
+            assert!(n.chars().next().expect("non-empty").is_ascii_alphabetic());
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric()));
+            assert!(!vbadet_vba::functions::is_builtin(n));
+        }
+    }
+
+    #[test]
+    fn entry_points_detected() {
+        for n in ["Document_Open", "Workbook_Open", "AutoOpen", "auto_close", "Button1_Click"] {
+            assert!(is_entry_point(n), "{n}");
+        }
+        for n in ["Main", "DownloadPayload", "helper"] {
+            assert!(!is_entry_point(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn renameable_skips_members_builtins_and_attributes() {
+        let src = "Attribute VB_Name = \"Module1\"\r\n\
+                   Sub Document_Open()\r\n\
+                   Dim OutlookApp As Object\r\n\
+                   Set OutlookApp = CreateObject(\"X\")\r\n\
+                   OutlookApp.Display\r\n\
+                   End Sub\r\n";
+        let names = renameable_identifiers(src);
+        assert!(names.contains(&"OutlookApp".to_string()));
+        assert!(!names.contains(&"VB_Name".to_string()));
+        assert!(!names.contains(&"Document_Open".to_string()));
+        assert!(!names.contains(&"CreateObject".to_string()));
+        assert!(!names.contains(&"Display".to_string()), "member access must be skipped");
+    }
+
+    #[test]
+    fn renames_apply_everywhere_but_members() {
+        let src = "Dim v\r\nv = 1\r\nobj.v = 2\r\n";
+        let mut map = std::collections::HashMap::new();
+        map.insert("v".to_string(), "zzz".to_string());
+        let out = apply_renames(src, &map);
+        assert_eq!(out, "Dim zzz\r\nzzz = 1\r\nobj.v = 2\r\n");
+    }
+
+    #[test]
+    fn rename_is_case_insensitive_on_lookup() {
+        let src = "Dim Counter\r\ncounter = COUNTER + 1\r\n";
+        let mut map = std::collections::HashMap::new();
+        map.insert("counter".to_string(), "q".to_string());
+        let out = apply_renames(src, &map);
+        assert_eq!(out, "Dim q\r\nq = q + 1\r\n");
+    }
+}

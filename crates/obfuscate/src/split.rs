@@ -1,0 +1,243 @@
+//! O2 — Split obfuscation: break string literals into concatenated pieces
+//! (paper §III.B.2, Figure 3).
+//!
+//! `"WScript.Shell"` becomes `"WScr" & "ipt.S" & "hell"`, defeating
+//! signature matching while preserving the runtime value. Optionally, some
+//! pieces are hoisted into module-level `Const` declarations, as observed in
+//! the paper's Figure 3.
+
+use rand::Rng;
+use std::collections::HashSet;
+use vbadet_vba::{tokenize, TokenKind};
+
+/// Minimum literal length worth splitting.
+const MIN_SPLIT_LEN: usize = 4;
+
+/// Applies O2 to `source`.
+///
+/// Every string literal of at least 4 characters (outside `Attribute`
+/// lines) is split into 2–5 pieces joined with `&` or `+`; with probability
+/// ~1/3 one piece of each split is hoisted to a module-level constant.
+pub fn apply<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String {
+    apply_limited(source, usize::MAX, rng)
+}
+
+/// Applies O2 to at most `limit` eligible literals (the longest ones first
+/// — attackers split the signature-bearing strings, not every label).
+pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -> String {
+    let tokens = tokenize(source);
+    let attribute_lines = attribute_line_spans(source);
+    let mut consts: Vec<(String, String)> = Vec::new();
+    let mut taken: HashSet<String> = HashSet::new();
+
+    // Rank eligible literals by length so a small `limit` hits the most
+    // signature-like strings.
+    let mut eligible: Vec<&vbadet_vba::Token> = tokens
+        .iter()
+        .filter(|t| {
+            if let TokenKind::StringLit(value) = &t.kind {
+                value.chars().count() >= MIN_SPLIT_LEN
+                    && !attribute_lines.iter().any(|&(s, e)| t.start >= s && t.end <= e)
+            } else {
+                false
+            }
+        })
+        .collect();
+    eligible.sort_by_key(|t| std::cmp::Reverse(t.end - t.start));
+    eligible.truncate(limit);
+    eligible.sort_by_key(|t| t.start);
+
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for t in eligible {
+        let TokenKind::StringLit(value) = &t.kind else { continue };
+        let pieces = split_pieces(value, rng);
+        let hoist = rng.gen_ratio(1, 3) && pieces.len() >= 2;
+        let hoist_index = if hoist { rng.gen_range(0..pieces.len()) } else { usize::MAX };
+        let mut expr = String::new();
+        for (i, piece) in pieces.iter().enumerate() {
+            if i > 0 {
+                expr.push_str(if rng.gen_bool(0.5) { " & " } else { " + " });
+            }
+            if i == hoist_index {
+                let name = crate::names::random_identifier(rng, &mut taken);
+                consts.push((name.clone(), piece.clone()));
+                expr.push_str(&name);
+            } else {
+                expr.push('"');
+                expr.push_str(&piece.replace('"', "\"\""));
+                expr.push('"');
+            }
+        }
+        edits.push((t.start, t.end, expr));
+    }
+
+    let mut out = source.to_string();
+    for (start, end, replacement) in edits.into_iter().rev() {
+        out.replace_range(start..end, &replacement);
+    }
+
+    if !consts.is_empty() {
+        let mut header = String::new();
+        for (name, value) in &consts {
+            header.push_str(&format!(
+                "Public Const {name} = \"{}\"\r\n",
+                value.replace('"', "\"\"")
+            ));
+        }
+        out = insert_after_attributes(&out, &header);
+    }
+    out
+}
+
+/// Splits `value` into 2–5 non-empty pieces at random char boundaries.
+fn split_pieces<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Vec<String> {
+    let chars: Vec<char> = value.chars().collect();
+    let max_parts = chars.len().min(5).max(2);
+    let parts = rng.gen_range(2..=max_parts);
+    // Choose parts-1 distinct cut points in 1..len.
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() < parts - 1 {
+        let cut = rng.gen_range(1..chars.len());
+        if !cuts.contains(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts.sort_unstable();
+    let mut pieces = Vec::with_capacity(parts);
+    let mut prev = 0usize;
+    for cut in cuts.into_iter().chain(std::iter::once(chars.len())) {
+        pieces.push(chars[prev..cut].iter().collect());
+        prev = cut;
+    }
+    pieces
+}
+
+/// Byte spans of `Attribute …` lines (these must keep literal strings: they
+/// are metadata, not code).
+pub(crate) fn attribute_line_spans(source: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut offset = 0usize;
+    for line in source.split_inclusive('\n') {
+        if line.trim_start().to_ascii_lowercase().starts_with("attribute ") {
+            spans.push((offset, offset + line.len()));
+        }
+        offset += line.len();
+    }
+    spans
+}
+
+/// Inserts `header` after any leading `Attribute`/`Option` lines.
+pub(crate) fn insert_after_attributes(source: &str, header: &str) -> String {
+    let mut insert_at = 0usize;
+    let mut offset = 0usize;
+    for line in source.split_inclusive('\n') {
+        let trimmed = line.trim_start().to_ascii_lowercase();
+        if trimmed.starts_with("attribute ") || trimmed.starts_with("option ") {
+            insert_at = offset + line.len();
+        } else if !trimmed.is_empty() {
+            break;
+        }
+        offset += line.len();
+    }
+    let mut out = String::with_capacity(source.len() + header.len());
+    out.push_str(&source[..insert_at]);
+    out.push_str(header);
+    out.push_str(&source[insert_at..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "Sub Go()\r\n\
+        Set sh = CreateObject(\"WScript.Shell\")\r\n\
+        sh.Environment(\"Process\")\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn signature_strings_disappear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = apply(SRC, &mut rng);
+        assert!(!out.contains("\"WScript.Shell\""));
+        assert!(!out.contains("\"Process\""));
+        // Join operators appear.
+        assert!(out.contains(" & ") || out.contains(" + "));
+    }
+
+    #[test]
+    fn values_are_recoverable() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(SRC, &mut rng);
+            let recovered = recover::recover_strings(&out);
+            assert!(
+                recovered.iter().any(|s| s == "WScript.Shell"),
+                "seed {seed}: {recovered:?}\n{out}"
+            );
+            assert!(recovered.iter().any(|s| s == "Process"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn short_strings_left_alone() {
+        let src = "x = \"ab\"\r\n";
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(apply(src, &mut rng), src);
+    }
+
+    #[test]
+    fn attribute_lines_untouched() {
+        let src = "Attribute VB_Name = \"ThisDocument\"\r\nx = \"hello world\"\r\n";
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = apply(src, &mut rng);
+        assert!(out.contains("Attribute VB_Name = \"ThisDocument\""));
+        assert!(!out.contains("\"hello world\""));
+    }
+
+    #[test]
+    fn embedded_quotes_survive_splitting() {
+        let src = "x = \"say \"\"hi\"\" now\"\r\n";
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(src, &mut rng);
+            let recovered = recover::recover_strings(&out);
+            assert!(
+                recovered.iter().any(|s| s == "say \"hi\" now"),
+                "seed {seed}: {recovered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_constants_are_declared_at_top() {
+        // Find a seed that hoists.
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = apply(SRC, &mut rng);
+            if out.contains("Public Const ") {
+                let const_pos = out.find("Public Const ").unwrap();
+                let sub_pos = out.find("Sub Go").unwrap();
+                assert!(const_pos < sub_pos, "consts precede code");
+                return;
+            }
+        }
+        panic!("no seed hoisted a constant in 50 tries");
+    }
+
+    #[test]
+    fn split_pieces_partition_the_string() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for value in ["abcd", "longer string with spaces", "aaaa bbbb cccc"] {
+            for _ in 0..20 {
+                let pieces = split_pieces(value, &mut rng);
+                assert!(pieces.len() >= 2);
+                assert!(pieces.iter().all(|p| !p.is_empty()));
+                assert_eq!(pieces.concat(), value);
+            }
+        }
+    }
+}

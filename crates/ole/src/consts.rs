@@ -1,0 +1,29 @@
+//! MS-CFB constants.
+
+/// Compound file signature.
+pub const SIGNATURE: [u8; 8] = [0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1];
+
+/// FAT sentinel: free (unallocated) sector.
+pub const FREESECT: u32 = 0xFFFF_FFFF;
+/// FAT sentinel: end of a sector chain.
+pub const ENDOFCHAIN: u32 = 0xFFFF_FFFE;
+/// FAT sentinel: sector holds FAT entries.
+pub const FATSECT: u32 = 0xFFFF_FFFD;
+/// FAT sentinel: sector holds DIFAT entries.
+pub const DIFSECT: u32 = 0xFFFF_FFFC;
+/// Directory sentinel: no sibling/child.
+pub const NOSTREAM: u32 = 0xFFFF_FFFF;
+
+/// Maximum sector number usable as a regular sector.
+pub const MAXREGSECT: u32 = 0xFFFF_FFFA;
+
+/// v3 sector size (2^9).
+pub const SECTOR_SIZE_V3: usize = 512;
+/// Mini sector size (2^6).
+pub const MINI_SECTOR_SIZE: usize = 64;
+/// Streams strictly below this size live in the mini stream.
+pub const MINI_STREAM_CUTOFF: u32 = 4096;
+/// Size of one directory entry on disk.
+pub const DIR_ENTRY_SIZE: usize = 128;
+/// DIFAT entries stored directly in the header.
+pub const HEADER_DIFAT_ENTRIES: usize = 109;

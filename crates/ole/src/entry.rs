@@ -1,0 +1,123 @@
+//! Directory entries of a compound file.
+
+use crate::OleError;
+
+/// Kind of a directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectType {
+    /// Unallocated entry.
+    Unknown,
+    /// A storage (directory).
+    Storage,
+    /// A stream (file).
+    Stream,
+    /// The root storage.
+    Root,
+}
+
+impl ObjectType {
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ObjectType::Unknown),
+            1 => Some(ObjectType::Storage),
+            2 => Some(ObjectType::Stream),
+            5 => Some(ObjectType::Root),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            ObjectType::Unknown => 0,
+            ObjectType::Storage => 1,
+            ObjectType::Stream => 2,
+            ObjectType::Root => 5,
+        }
+    }
+}
+
+/// One parsed 128-byte directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (UTF-16 decoded; at most 31 code units).
+    pub name: String,
+    /// Entry kind.
+    pub object_type: ObjectType,
+    /// Left sibling in the red-black tree (`NOSTREAM` if none).
+    pub left: u32,
+    /// Right sibling (`NOSTREAM` if none).
+    pub right: u32,
+    /// First child of a storage (`NOSTREAM` if none).
+    pub child: u32,
+    /// First sector of the stream (or of the mini stream for the root).
+    pub start_sector: u32,
+    /// Stream length in bytes.
+    pub size: u64,
+}
+
+impl DirEntry {
+    /// Whether this entry is a stream.
+    pub fn is_stream(&self) -> bool {
+        self.object_type == ObjectType::Stream
+    }
+
+    /// Whether this entry is a storage (or the root).
+    pub fn is_storage(&self) -> bool {
+        matches!(self.object_type, ObjectType::Storage | ObjectType::Root)
+    }
+}
+
+/// Validates a storage/stream name per MS-CFB §2.6.1: at most 31 UTF-16 code
+/// units, no `/ \ : !`.
+pub(crate) fn validate_name(name: &str) -> Result<(), OleError> {
+    let units = name.encode_utf16().count();
+    if name.is_empty() || units > 31 {
+        return Err(OleError::InvalidName(name.to_string()));
+    }
+    if name.chars().any(|c| matches!(c, '/' | '\\' | ':' | '!')) {
+        return Err(OleError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// MS-CFB name ordering: shorter (in UTF-16 code units) sorts first; equal
+/// lengths compare by uppercased code units.
+pub(crate) fn name_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    let a_units: Vec<u16> = a.to_uppercase().encode_utf16().collect();
+    let b_units: Vec<u16> = b.to_uppercase().encode_utf16().collect();
+    a_units.len().cmp(&b_units.len()).then_with(|| a_units.cmp(&b_units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn name_rules() {
+        assert!(validate_name("Module1").is_ok());
+        assert!(validate_name("_VBA_PROJECT").is_ok());
+        assert!(validate_name("\u{1}CompObj").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a:b").is_err());
+        assert!(validate_name(&"x".repeat(32)).is_err());
+        assert!(validate_name(&"x".repeat(31)).is_ok());
+    }
+
+    #[test]
+    fn ordering_is_length_first_then_caseless() {
+        assert_eq!(name_cmp("b", "aa"), Ordering::Less);
+        assert_eq!(name_cmp("abc", "ABD"), Ordering::Less);
+        assert_eq!(name_cmp("abc", "ABC"), Ordering::Equal);
+        assert_eq!(name_cmp("zz", "aaa"), Ordering::Less);
+    }
+
+    #[test]
+    fn object_type_roundtrip() {
+        for t in [ObjectType::Unknown, ObjectType::Storage, ObjectType::Stream, ObjectType::Root] {
+            assert_eq!(ObjectType::from_u8(t.to_u8()), Some(t));
+        }
+        assert_eq!(ObjectType::from_u8(3), None);
+    }
+}

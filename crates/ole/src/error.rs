@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while reading or writing compound files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OleError {
+    /// The 8-byte CFB signature is missing.
+    BadSignature,
+    /// The header is malformed (bad byte order mark, sector shift, version…).
+    BadHeader(&'static str),
+    /// The file is shorter than a referenced sector requires.
+    Truncated { sector: u32 },
+    /// A FAT/miniFAT chain loops or exceeds the file's sector count.
+    ChainCycle { start: u32 },
+    /// A directory entry is malformed.
+    BadDirEntry { id: u32, reason: &'static str },
+    /// No entry exists at the requested path.
+    NotFound(String),
+    /// The path names a storage where a stream was expected (or vice versa).
+    WrongType(String),
+    /// A name exceeds the 31-UTF-16-code-unit limit or contains `/ \ : !`.
+    InvalidName(String),
+    /// A stream or storage already exists at this path.
+    DuplicatePath(String),
+    /// Structure limits exceeded (too many sectors / directory entries).
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for OleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OleError::BadSignature => write!(f, "not a compound file (bad signature)"),
+            OleError::BadHeader(msg) => write!(f, "malformed compound file header: {msg}"),
+            OleError::Truncated { sector } => write!(f, "file truncated at sector {sector}"),
+            OleError::ChainCycle { start } => {
+                write!(f, "sector chain starting at {start} loops or overruns the file")
+            }
+            OleError::BadDirEntry { id, reason } => {
+                write!(f, "malformed directory entry {id}: {reason}")
+            }
+            OleError::NotFound(path) => write!(f, "no entry at path: {path}"),
+            OleError::WrongType(path) => write!(f, "entry has unexpected type: {path}"),
+            OleError::InvalidName(name) => write!(f, "invalid entry name: {name:?}"),
+            OleError::DuplicatePath(path) => write!(f, "duplicate path: {path}"),
+            OleError::TooLarge(what) => write!(f, "structure too large: {what}"),
+        }
+    }
+}
+
+impl Error for OleError {}

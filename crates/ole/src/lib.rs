@@ -1,0 +1,40 @@
+//! Hand-rolled [MS-CFB] Compound File Binary (OLE2) reader and writer.
+//!
+//! Legacy Office documents (`.doc`, `.xls`) and the `vbaProject.bin` part of
+//! OOXML documents are OLE compound files: a FAT-based mini filesystem with a
+//! directory tree of *storages* (directories) and *streams* (files). The
+//! paper's extraction pipeline (olevba-equivalent) walks this structure to
+//! find the VBA project; the corpus generator writes it.
+//!
+//! Version 3 files (512-byte sectors) are produced; both version 3 and
+//! version 4 (4096-byte sectors) are parsed.
+//!
+//! # Examples
+//!
+//! ```
+//! use vbadet_ole::{OleBuilder, OleFile};
+//!
+//! # fn main() -> Result<(), vbadet_ole::OleError> {
+//! let mut builder = OleBuilder::new();
+//! builder.add_stream("VBA/dir", b"compressed dir stream")?;
+//! builder.add_stream("VBA/Module1", b"compressed module")?;
+//! builder.add_stream("PROJECT", b"ID=\"{...}\"")?;
+//! let bytes = builder.build();
+//!
+//! let ole = OleFile::parse(&bytes)?;
+//! assert_eq!(ole.open_stream("VBA/dir")?, b"compressed dir stream");
+//! assert!(ole.stream_paths().contains(&"PROJECT".to_string()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod consts;
+mod entry;
+mod error;
+mod read;
+mod write;
+
+pub use entry::{DirEntry, ObjectType};
+pub use error::OleError;
+pub use read::OleFile;
+pub use write::OleBuilder;

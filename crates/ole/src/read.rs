@@ -1,0 +1,411 @@
+//! Compound file parsing.
+
+use crate::consts::*;
+use crate::entry::{DirEntry, ObjectType};
+use crate::OleError;
+
+/// A parsed compound file.
+///
+/// Holds the decoded FAT/miniFAT and directory; stream contents are copied
+/// out on demand by [`OleFile::open_stream`].
+#[derive(Debug, Clone)]
+pub struct OleFile {
+    sector_size: usize,
+    sectors: Vec<Vec<u8>>,
+    fat: Vec<u32>,
+    minifat: Vec<u32>,
+    entries: Vec<DirEntry>,
+    /// Mini stream contents (the root entry's chain), concatenated.
+    mini_stream: Vec<u8>,
+}
+
+fn u16_at(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([data[off], data[off + 1]])
+}
+
+fn u32_at(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+}
+
+fn u64_at(data: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+impl OleFile {
+    /// Parses a compound file from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a missing signature, malformed header, truncated
+    /// sectors, looping sector chains, or a malformed directory.
+    pub fn parse(data: &[u8]) -> Result<Self, OleError> {
+        if data.len() < 512 || data[..8] != SIGNATURE {
+            return Err(OleError::BadSignature);
+        }
+        let major = u16_at(data, 26);
+        let byte_order = u16_at(data, 28);
+        if byte_order != 0xFFFE {
+            return Err(OleError::BadHeader("byte order mark"));
+        }
+        let sector_shift = u16_at(data, 30);
+        let sector_size = match (major, sector_shift) {
+            (3, 9) => 512usize,
+            (4, 12) => 4096usize,
+            _ => return Err(OleError::BadHeader("unsupported version/sector shift")),
+        };
+        let mini_shift = u16_at(data, 32);
+        if mini_shift != 6 {
+            return Err(OleError::BadHeader("mini sector shift"));
+        }
+        let num_fat_sectors = u32_at(data, 44) as usize;
+        let first_dir_sector = u32_at(data, 48);
+        let first_minifat_sector = u32_at(data, 60);
+        let num_minifat_sectors = u32_at(data, 64) as usize;
+        let first_difat_sector = u32_at(data, 68);
+        let num_difat_sectors = u32_at(data, 72) as usize;
+
+        // Split the body into sectors (a trailing partial sector is padded;
+        // some writers truncate the final sector).
+        let body =
+            if sector_size == 512 { &data[512..] } else { &data[4096.min(data.len())..] };
+        let sector_count = body.len().div_ceil(sector_size);
+        if sector_count > 1 << 22 {
+            return Err(OleError::TooLarge("sector count"));
+        }
+        let mut sectors = Vec::with_capacity(sector_count);
+        for i in 0..sector_count {
+            let start = i * sector_size;
+            let end = ((i + 1) * sector_size).min(body.len());
+            let mut sector = body[start..end].to_vec();
+            sector.resize(sector_size, 0);
+            sectors.push(sector);
+        }
+
+        // DIFAT: 109 header entries plus chained DIFAT sectors.
+        let mut difat: Vec<u32> = (0..HEADER_DIFAT_ENTRIES)
+            .map(|i| u32_at(data, 76 + 4 * i))
+            .take_while(|&s| s != FREESECT)
+            .collect();
+        let entries_per_difat = sector_size / 4 - 1;
+        let mut difat_sector = first_difat_sector;
+        let mut seen_difat = 0usize;
+        while difat_sector <= MAXREGSECT {
+            if seen_difat > num_difat_sectors + sector_count {
+                return Err(OleError::ChainCycle { start: first_difat_sector });
+            }
+            let sector = sectors
+                .get(difat_sector as usize)
+                .ok_or(OleError::Truncated { sector: difat_sector })?;
+            for i in 0..entries_per_difat {
+                let v = u32_at(sector, 4 * i);
+                if v != FREESECT {
+                    difat.push(v);
+                }
+            }
+            difat_sector = u32_at(sector, sector_size - 4);
+            seen_difat += 1;
+        }
+
+        // FAT: concatenation of all FAT sectors listed in the DIFAT.
+        let mut fat = Vec::with_capacity(num_fat_sectors * (sector_size / 4));
+        for &fs in difat.iter().take(num_fat_sectors.max(difat.len())) {
+            if fs > MAXREGSECT {
+                continue;
+            }
+            let sector =
+                sectors.get(fs as usize).ok_or(OleError::Truncated { sector: fs })?;
+            for i in 0..sector_size / 4 {
+                fat.push(u32_at(sector, 4 * i));
+            }
+        }
+
+        let file = OleFile {
+            sector_size,
+            sectors,
+            fat,
+            minifat: Vec::new(),
+            entries: Vec::new(),
+            mini_stream: Vec::new(),
+        };
+
+        // Directory.
+        let dir_data = file.read_chain(first_dir_sector, usize::MAX)?;
+        let mut entries = Vec::new();
+        for (id, chunk) in dir_data.chunks_exact(DIR_ENTRY_SIZE).enumerate() {
+            entries.push(Self::parse_dir_entry(id as u32, chunk)?);
+        }
+        if entries.is_empty() || entries[0].object_type != ObjectType::Root {
+            return Err(OleError::BadDirEntry { id: 0, reason: "missing root entry" });
+        }
+
+        // MiniFAT + mini stream.
+        let minifat_data = file.read_chain_checked(
+            first_minifat_sector,
+            num_minifat_sectors * sector_size,
+        )?;
+        let minifat: Vec<u32> =
+            minifat_data.chunks_exact(4).map(|c| u32_at(c, 0)).collect();
+        let mini_stream = file.read_chain(entries[0].start_sector, entries[0].size as usize)?;
+
+        Ok(OleFile { minifat, entries, mini_stream, ..file })
+    }
+
+    fn parse_dir_entry(id: u32, raw: &[u8]) -> Result<DirEntry, OleError> {
+        let name_len_bytes = u16_at(raw, 64) as usize;
+        let object_type = ObjectType::from_u8(raw[66])
+            .ok_or(OleError::BadDirEntry { id, reason: "invalid object type" })?;
+        let name = if object_type == ObjectType::Unknown || name_len_bytes < 2 {
+            String::new()
+        } else {
+            if name_len_bytes > 64 || !name_len_bytes.is_multiple_of(2) {
+                return Err(OleError::BadDirEntry { id, reason: "bad name length" });
+            }
+            let units: Vec<u16> =
+                (0..(name_len_bytes - 2) / 2).map(|i| u16_at(raw, 2 * i)).collect();
+            String::from_utf16_lossy(&units)
+        };
+        Ok(DirEntry {
+            name,
+            object_type,
+            left: u32_at(raw, 68),
+            right: u32_at(raw, 72),
+            child: u32_at(raw, 76),
+            start_sector: u32_at(raw, 116),
+            size: u64_at(raw, 120),
+        })
+    }
+
+    /// Follows a FAT chain, returning at most `max_len` bytes.
+    fn read_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
+        let mut out = Vec::new();
+        let mut sector = start;
+        let mut hops = 0usize;
+        while sector <= MAXREGSECT {
+            if hops > self.sectors.len() {
+                return Err(OleError::ChainCycle { start });
+            }
+            let data = self
+                .sectors
+                .get(sector as usize)
+                .ok_or(OleError::Truncated { sector })?;
+            out.extend_from_slice(data);
+            sector = *self
+                .fat
+                .get(sector as usize)
+                .ok_or(OleError::Truncated { sector })?;
+            hops += 1;
+            if out.len() >= max_len && max_len != usize::MAX {
+                break;
+            }
+        }
+        if max_len != usize::MAX {
+            out.truncate(max_len);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Self::read_chain`] but tolerates `ENDOFCHAIN` starts for empty
+    /// structures.
+    fn read_chain_checked(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
+        if start > MAXREGSECT {
+            return Ok(Vec::new());
+        }
+        self.read_chain(start, max_len)
+    }
+
+    /// Follows a miniFAT chain through the mini stream.
+    fn read_mini_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
+        let mut out = Vec::new();
+        let mut sector = start;
+        let mut hops = 0usize;
+        while sector <= MAXREGSECT {
+            if hops > self.minifat.len() {
+                return Err(OleError::ChainCycle { start });
+            }
+            let begin = sector as usize * MINI_SECTOR_SIZE;
+            let end = begin + MINI_SECTOR_SIZE;
+            if end > self.mini_stream.len() {
+                return Err(OleError::Truncated { sector });
+            }
+            out.extend_from_slice(&self.mini_stream[begin..end]);
+            sector = *self
+                .minifat
+                .get(sector as usize)
+                .ok_or(OleError::Truncated { sector })?;
+            hops += 1;
+            if out.len() >= max_len {
+                break;
+            }
+        }
+        out.truncate(max_len);
+        Ok(out)
+    }
+
+    /// All directory entries, including unallocated ones, indexed by entry id.
+    pub fn entries(&self) -> &[DirEntry] {
+        &self.entries
+    }
+
+    /// The root storage entry.
+    pub fn root(&self) -> &DirEntry {
+        &self.entries[0]
+    }
+
+    /// The sector size of the parsed file (512 or 4096).
+    pub fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    /// Resolves a `/`-separated path to a directory entry id.
+    fn resolve(&self, path: &str) -> Result<u32, OleError> {
+        let mut current = 0u32; // root
+        for component in path.split('/').filter(|c| !c.is_empty()) {
+            let storage = &self.entries[current as usize];
+            if !storage.is_storage() {
+                return Err(OleError::WrongType(path.to_string()));
+            }
+            current = self
+                .find_child(storage.child, component)
+                .ok_or_else(|| OleError::NotFound(path.to_string()))?;
+        }
+        Ok(current)
+    }
+
+    /// Searches a sibling tree for `name` (BST walk with a linear fallback:
+    /// real-world writers frequently emit unbalanced or mis-colored trees,
+    /// so we do not rely on the BST invariant).
+    fn find_child(&self, child: u32, name: &str) -> Option<u32> {
+        let mut stack = vec![child];
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            if id == NOSTREAM || (id as usize) >= self.entries.len() {
+                continue;
+            }
+            visited += 1;
+            if visited > self.entries.len() {
+                return None; // malformed cyclic tree
+            }
+            let entry = &self.entries[id as usize];
+            if crate::entry::name_cmp(&entry.name, name) == std::cmp::Ordering::Equal {
+                return Some(id);
+            }
+            stack.push(entry.left);
+            stack.push(entry.right);
+        }
+        None
+    }
+
+    /// Reads the stream at a `/`-separated path, e.g. `"Macros/VBA/dir"`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the path does not exist, names a storage, or the underlying
+    /// chains are malformed.
+    pub fn open_stream(&self, path: &str) -> Result<Vec<u8>, OleError> {
+        let id = self.resolve(path)?;
+        let entry = &self.entries[id as usize];
+        if !entry.is_stream() {
+            return Err(OleError::WrongType(path.to_string()));
+        }
+        self.read_stream_entry(entry)
+    }
+
+    /// Reads the stream described by `entry` (which must be a stream entry of
+    /// this file).
+    pub fn read_stream_entry(&self, entry: &DirEntry) -> Result<Vec<u8>, OleError> {
+        let size = entry.size as usize;
+        if entry.size < MINI_STREAM_CUTOFF as u64 {
+            self.read_mini_chain(entry.start_sector, size)
+        } else {
+            self.read_chain(entry.start_sector, size)
+        }
+    }
+
+    /// Whether a stream or storage exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// Returns the `/`-separated paths of all streams, in directory order.
+    pub fn stream_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(0, String::new(), &mut out, 0);
+        out
+    }
+
+    fn walk(&self, id: u32, prefix: String, out: &mut Vec<String>, depth: usize) {
+        if depth > self.entries.len() {
+            return;
+        }
+        let entry = &self.entries[id as usize];
+        // Collect this storage's children via the sibling tree.
+        let mut children = Vec::new();
+        let mut stack = vec![entry.child];
+        while let Some(cid) = stack.pop() {
+            if cid == NOSTREAM || (cid as usize) >= self.entries.len() {
+                continue;
+            }
+            if children.len() > self.entries.len() {
+                return;
+            }
+            children.push(cid);
+            let c = &self.entries[cid as usize];
+            stack.push(c.left);
+            stack.push(c.right);
+        }
+        children.sort_unstable();
+        for cid in children {
+            let c = &self.entries[cid as usize];
+            let path = if prefix.is_empty() {
+                c.name.clone()
+            } else {
+                format!("{prefix}/{}", c.name)
+            };
+            match c.object_type {
+                ObjectType::Stream => out.push(path),
+                ObjectType::Storage => self.walk(cid, path, out, depth + 1),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_cfb() {
+        assert!(matches!(OleFile::parse(b"PK\x03\x04"), Err(OleError::BadSignature)));
+        assert!(matches!(OleFile::parse(&[0u8; 600]), Err(OleError::BadSignature)));
+    }
+
+    #[test]
+    fn rejects_bad_header_fields() {
+        let mut data = vec![0u8; 1024];
+        data[..8].copy_from_slice(&SIGNATURE);
+        // Valid signature but zeroed header fields -> bad byte order.
+        assert!(matches!(OleFile::parse(&data), Err(OleError::BadHeader("byte order mark"))));
+    }
+
+    #[test]
+    fn garbage_after_signature_never_panics() {
+        let mut state = 12345u64;
+        for len in [512usize, 700, 1536, 4096] {
+            for _ in 0..40 {
+                let mut data: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state as u8
+                    })
+                    .collect();
+                data[..8].copy_from_slice(&SIGNATURE);
+                let _ = OleFile::parse(&data); // must not panic
+            }
+        }
+    }
+}

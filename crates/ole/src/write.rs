@@ -1,0 +1,527 @@
+//! Compound file writing (version 3, 512-byte sectors).
+
+use crate::consts::*;
+use crate::entry::{name_cmp, validate_name, ObjectType};
+use crate::OleError;
+use std::collections::BTreeMap;
+
+/// In-memory tree node used while building.
+#[derive(Debug, Default)]
+struct Node {
+    /// Child name -> node index, kept sorted for determinism.
+    children: BTreeMap<String, usize>,
+    /// Stream payload (None for storages).
+    data: Option<Vec<u8>>,
+}
+
+/// Builds compound files from a tree of storages and streams.
+///
+/// Paths are `/`-separated; intermediate storages are created implicitly.
+///
+/// ```
+/// use vbadet_ole::{OleBuilder, OleFile};
+/// # fn main() -> Result<(), vbadet_ole::OleError> {
+/// let mut b = OleBuilder::new();
+/// b.add_stream("WordDocument", &vec![0u8; 8192])?;
+/// b.add_stream("Macros/VBA/Module1", b"small stream")?;
+/// let ole = OleFile::parse(&b.build())?;
+/// assert_eq!(ole.open_stream("Macros/VBA/Module1")?, b"small stream");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OleBuilder {
+    /// Arena of nodes; index 0 is the root storage.
+    nodes: Vec<Node>,
+}
+
+impl Default for OleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OleBuilder {
+    /// Creates an empty builder (just a root storage).
+    pub fn new() -> Self {
+        OleBuilder { nodes: vec![Node::default()] }
+    }
+
+    fn ensure_storage(&mut self, path_so_far: &str, parent: usize, name: &str) -> Result<usize, OleError> {
+        validate_name(name)?;
+        if let Some(&idx) = self.nodes[parent].children.get(name) {
+            if self.nodes[idx].data.is_some() {
+                return Err(OleError::WrongType(format!("{path_so_far}{name}")));
+            }
+            return Ok(idx);
+        }
+        self.nodes.push(Node::default());
+        let idx = self.nodes.len() - 1;
+        self.nodes[parent].children.insert(name.to_string(), idx);
+        Ok(idx)
+    }
+
+    /// Creates a storage (and any missing ancestors) at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid names or if a stream already occupies a component.
+    pub fn add_storage(&mut self, path: &str) -> Result<&mut Self, OleError> {
+        let mut current = 0usize;
+        let mut walked = String::new();
+        for component in path.split('/').filter(|c| !c.is_empty()) {
+            current = self.ensure_storage(&walked, current, component)?;
+            walked.push_str(component);
+            walked.push('/');
+        }
+        Ok(self)
+    }
+
+    /// Adds a stream at `path`, creating intermediate storages.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid names, duplicate paths, or when a component collides
+    /// with an existing stream.
+    pub fn add_stream(&mut self, path: &str, data: &[u8]) -> Result<&mut Self, OleError> {
+        let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let (stream_name, dirs) = components
+            .split_last()
+            .ok_or_else(|| OleError::InvalidName(path.to_string()))?;
+        validate_name(stream_name)?;
+        let mut current = 0usize;
+        let mut walked = String::new();
+        for component in dirs {
+            current = self.ensure_storage(&walked, current, component)?;
+            walked.push_str(component);
+            walked.push('/');
+        }
+        if self.nodes[current].children.contains_key(*stream_name) {
+            return Err(OleError::DuplicatePath(path.to_string()));
+        }
+        self.nodes.push(Node { children: BTreeMap::new(), data: Some(data.to_vec()) });
+        let idx = self.nodes.len() - 1;
+        self.nodes[current].children.insert(stream_name.to_string(), idx);
+        Ok(self)
+    }
+
+    /// Serializes the tree to compound-file bytes.
+    pub fn build(&self) -> Vec<u8> {
+        // --- 1. Flatten the tree into directory entries. ---------------
+        // Entry 0 is the root; children of each storage become a balanced
+        // BST threaded through left/right, referenced from `child`.
+        struct FlatEntry {
+            name: String,
+            object_type: ObjectType,
+            left: u32,
+            right: u32,
+            child: u32,
+            data: Option<Vec<u8>>,
+        }
+        let mut flat: Vec<FlatEntry> = vec![FlatEntry {
+            name: "Root Entry".to_string(),
+            object_type: ObjectType::Root,
+            left: NOSTREAM,
+            right: NOSTREAM,
+            child: NOSTREAM,
+            data: None,
+        }];
+
+        // Recursively allocate ids: storages carry their children as BSTs.
+        fn balanced_bst(ids: &[u32], flat: &mut [FlatEntry], order: &[usize]) -> u32 {
+            // `ids` is sorted by CFB name order; pick the middle as subtree
+            // root for balance.
+            let _ = order;
+            if ids.is_empty() {
+                return NOSTREAM;
+            }
+            let mid = ids.len() / 2;
+            let root = ids[mid];
+            let left = balanced_bst(&ids[..mid], flat, order);
+            let right = balanced_bst(&ids[mid + 1..], flat, order);
+            flat[root as usize].left = left;
+            flat[root as usize].right = right;
+            root
+        }
+
+        // Iterative DFS assigning entry ids.
+        let mut stack: Vec<(usize, u32)> = vec![(0usize, 0u32)]; // (node idx, flat id)
+        while let Some((node_idx, flat_id)) = stack.pop() {
+            let mut child_names: Vec<&String> = self.nodes[node_idx].children.keys().collect();
+            child_names.sort_by(|a, b| name_cmp(a, b));
+            let mut child_ids = Vec::with_capacity(child_names.len());
+            for name in child_names {
+                let child_node = self.nodes[node_idx].children[name];
+                let data = self.nodes[child_node].data.clone();
+                let object_type =
+                    if data.is_some() { ObjectType::Stream } else { ObjectType::Storage };
+                flat.push(FlatEntry {
+                    name: name.clone(),
+                    object_type,
+                    left: NOSTREAM,
+                    right: NOSTREAM,
+                    child: NOSTREAM,
+                    data,
+                });
+                let id = (flat.len() - 1) as u32;
+                child_ids.push(id);
+                if object_type == ObjectType::Storage {
+                    stack.push((child_node, id));
+                }
+            }
+            let root_child = balanced_bst(&child_ids, &mut flat, &[]);
+            flat[flat_id as usize].child = root_child;
+        }
+
+        // --- 2. Partition streams into mini and regular. ----------------
+        // Mini stream: concatenation of all small streams, 64-byte aligned.
+        let mut mini_stream: Vec<u8> = Vec::new();
+        let mut minifat: Vec<u32> = Vec::new();
+        // start sector (mini or regular) per flat entry.
+        let mut start_sector: Vec<u32> = vec![ENDOFCHAIN; flat.len()];
+
+        // Regular stream payloads in order; chains assigned later.
+        let mut regular: Vec<(usize, &Vec<u8>)> = Vec::new();
+        for (id, entry) in flat.iter().enumerate() {
+            if let Some(data) = &entry.data {
+                if (data.len() as u32) < MINI_STREAM_CUTOFF {
+                    if data.is_empty() {
+                        start_sector[id] = ENDOFCHAIN;
+                        continue;
+                    }
+                    let first = (mini_stream.len() / MINI_SECTOR_SIZE) as u32;
+                    start_sector[id] = first;
+                    mini_stream.extend_from_slice(data);
+                    // Pad to a mini-sector boundary.
+                    while !mini_stream.len().is_multiple_of(MINI_SECTOR_SIZE) {
+                        mini_stream.push(0);
+                    }
+                    let nsec = (mini_stream.len() / MINI_SECTOR_SIZE) as u32 - first;
+                    for i in 0..nsec {
+                        minifat.push(if i + 1 == nsec { ENDOFCHAIN } else { first + i + 1 });
+                    }
+                } else {
+                    regular.push((id, data));
+                }
+            }
+        }
+
+        let sect = SECTOR_SIZE_V3;
+        let sectors_of = |len: usize| len.div_ceil(sect);
+
+        // --- 3. Compute sector layout. ----------------------------------
+        let dir_sectors = (flat.len() * DIR_ENTRY_SIZE).div_ceil(sect).max(1);
+        let minifat_sectors = (minifat.len() * 4).div_ceil(sect);
+        let ministream_sectors = sectors_of(mini_stream.len());
+        let regular_sectors: usize = regular.iter().map(|(_, d)| sectors_of(d.len())).sum();
+        let data_sectors = dir_sectors + minifat_sectors + ministream_sectors + regular_sectors;
+
+        // FAT sizing: F FAT sectors + D DIFAT sectors must also be mapped.
+        let entries_per_fat = sect / 4;
+        let mut fat_sectors = 1usize;
+        let mut difat_sectors;
+        loop {
+            difat_sectors = if fat_sectors <= HEADER_DIFAT_ENTRIES {
+                0
+            } else {
+                (fat_sectors - HEADER_DIFAT_ENTRIES).div_ceil(entries_per_fat - 1)
+            };
+            let total = data_sectors + fat_sectors + difat_sectors;
+            if fat_sectors * entries_per_fat >= total {
+                break;
+            }
+            fat_sectors += 1;
+        }
+        let total_sectors = data_sectors + fat_sectors + difat_sectors;
+
+        // Layout: [DIFAT][FAT][directory][miniFAT][ministream][regular...]
+        let difat_start = 0usize;
+        let fat_start = difat_start + difat_sectors;
+        let dir_start = fat_start + fat_sectors;
+        let minifat_start = dir_start + dir_sectors;
+        let ministream_start = minifat_start + minifat_sectors;
+        let regular_start = ministream_start + ministream_sectors;
+
+        let mut fat = vec![FREESECT; fat_sectors * entries_per_fat];
+        let chain = |fat: &mut Vec<u32>, start: usize, count: usize| {
+            for i in 0..count {
+                fat[start + i] =
+                    if i + 1 == count { ENDOFCHAIN } else { (start + i + 1) as u32 };
+            }
+        };
+        for i in 0..difat_sectors {
+            fat[difat_start + i] = DIFSECT;
+        }
+        for i in 0..fat_sectors {
+            fat[fat_start + i] = FATSECT;
+        }
+        chain(&mut fat, dir_start, dir_sectors);
+        if minifat_sectors > 0 {
+            chain(&mut fat, minifat_start, minifat_sectors);
+        }
+        if ministream_sectors > 0 {
+            chain(&mut fat, ministream_start, ministream_sectors);
+        }
+        let mut next_regular = regular_start;
+        for (id, data) in &regular {
+            let n = sectors_of(data.len());
+            start_sector[*id] = next_regular as u32;
+            chain(&mut fat, next_regular, n);
+            next_regular += n;
+        }
+        debug_assert_eq!(next_regular, total_sectors);
+
+        // Root entry's "stream" is the mini stream.
+        start_sector[0] =
+            if ministream_sectors > 0 { ministream_start as u32 } else { ENDOFCHAIN };
+
+        // --- 4. Serialize. ----------------------------------------------
+        let mut out = Vec::with_capacity(512 + total_sectors * sect);
+
+        // Header.
+        out.extend_from_slice(&SIGNATURE);
+        out.extend_from_slice(&[0u8; 16]); // CLSID
+        out.extend_from_slice(&0x003Eu16.to_le_bytes()); // minor version
+        out.extend_from_slice(&3u16.to_le_bytes()); // major version
+        out.extend_from_slice(&0xFFFEu16.to_le_bytes()); // byte order
+        out.extend_from_slice(&9u16.to_le_bytes()); // sector shift
+        out.extend_from_slice(&6u16.to_le_bytes()); // mini sector shift
+        out.extend_from_slice(&[0u8; 6]); // reserved
+        out.extend_from_slice(&0u32.to_le_bytes()); // num dir sectors (v3: 0)
+        out.extend_from_slice(&(fat_sectors as u32).to_le_bytes());
+        out.extend_from_slice(&(dir_start as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // transaction signature
+        out.extend_from_slice(&MINI_STREAM_CUTOFF.to_le_bytes());
+        let first_minifat =
+            if minifat_sectors > 0 { minifat_start as u32 } else { ENDOFCHAIN };
+        out.extend_from_slice(&first_minifat.to_le_bytes());
+        out.extend_from_slice(&(minifat_sectors as u32).to_le_bytes());
+        let first_difat = if difat_sectors > 0 { difat_start as u32 } else { ENDOFCHAIN };
+        out.extend_from_slice(&first_difat.to_le_bytes());
+        out.extend_from_slice(&(difat_sectors as u32).to_le_bytes());
+        for i in 0..HEADER_DIFAT_ENTRIES {
+            let v = if i < fat_sectors.min(HEADER_DIFAT_ENTRIES) {
+                (fat_start + i) as u32
+            } else {
+                FREESECT
+            };
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        debug_assert_eq!(out.len(), 512);
+
+        // DIFAT sectors (FAT sector numbers beyond the first 109).
+        for ds in 0..difat_sectors {
+            let mut sector = Vec::with_capacity(sect);
+            for i in 0..(entries_per_fat - 1) {
+                let fat_idx = HEADER_DIFAT_ENTRIES + ds * (entries_per_fat - 1) + i;
+                let v = if fat_idx < fat_sectors { (fat_start + fat_idx) as u32 } else { FREESECT };
+                sector.extend_from_slice(&v.to_le_bytes());
+            }
+            let next = if ds + 1 < difat_sectors { (difat_start + ds + 1) as u32 } else { ENDOFCHAIN };
+            sector.extend_from_slice(&next.to_le_bytes());
+            out.extend_from_slice(&sector);
+        }
+
+        // FAT sectors.
+        for entry in &fat {
+            out.extend_from_slice(&entry.to_le_bytes());
+        }
+
+        // Directory sectors.
+        let mut dir_bytes = Vec::with_capacity(dir_sectors * sect);
+        for (id, entry) in flat.iter().enumerate() {
+            let mut raw = [0u8; DIR_ENTRY_SIZE];
+            let units: Vec<u16> = entry.name.encode_utf16().collect();
+            for (i, &u) in units.iter().take(31).enumerate() {
+                raw[2 * i..2 * i + 2].copy_from_slice(&u.to_le_bytes());
+            }
+            let name_len = ((units.len().min(31) + 1) * 2) as u16;
+            raw[64..66].copy_from_slice(&name_len.to_le_bytes());
+            raw[66] = entry.object_type.to_u8();
+            raw[67] = 1; // black
+            raw[68..72].copy_from_slice(&entry.left.to_le_bytes());
+            raw[72..76].copy_from_slice(&entry.right.to_le_bytes());
+            raw[76..80].copy_from_slice(&entry.child.to_le_bytes());
+            // CLSID (80..96), state (96..100), times (100..116): zero.
+            raw[116..120].copy_from_slice(&start_sector[id].to_le_bytes());
+            let size = match (&entry.data, id) {
+                (_, 0) => mini_stream.len() as u64,
+                (Some(d), _) => d.len() as u64,
+                (None, _) => 0,
+            };
+            raw[120..128].copy_from_slice(&size.to_le_bytes());
+            dir_bytes.extend_from_slice(&raw);
+        }
+        // Pad the directory with unallocated entries (type 0, all-FF links
+        // per convention).
+        while dir_bytes.len() < dir_sectors * sect {
+            let mut raw = [0u8; DIR_ENTRY_SIZE];
+            raw[68..80].copy_from_slice(&[0xFF; 12]);
+            dir_bytes.extend_from_slice(&raw);
+        }
+        out.extend_from_slice(&dir_bytes);
+
+        // MiniFAT sectors.
+        let mut minifat_bytes = Vec::with_capacity(minifat_sectors * sect);
+        for entry in &minifat {
+            minifat_bytes.extend_from_slice(&entry.to_le_bytes());
+        }
+        while minifat_bytes.len() < minifat_sectors * sect {
+            minifat_bytes.extend_from_slice(&FREESECT.to_le_bytes());
+        }
+        out.extend_from_slice(&minifat_bytes);
+
+        // Mini stream sectors.
+        let mut ms = mini_stream.clone();
+        ms.resize(ministream_sectors * sect, 0);
+        out.extend_from_slice(&ms);
+
+        // Regular streams.
+        for (_, data) in &regular {
+            out.extend_from_slice(data);
+            let pad = sectors_of(data.len()) * sect - data.len();
+            out.extend(std::iter::repeat_n(0u8, pad));
+        }
+
+        debug_assert_eq!(out.len(), 512 + total_sectors * sect);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OleFile;
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let bytes = OleBuilder::new().build();
+        let ole = OleFile::parse(&bytes).unwrap();
+        assert_eq!(ole.root().object_type, ObjectType::Root);
+        assert!(ole.stream_paths().is_empty());
+    }
+
+    #[test]
+    fn small_stream_lives_in_mini_stream() {
+        let mut b = OleBuilder::new();
+        b.add_stream("small", b"tiny").unwrap();
+        let bytes = b.build();
+        let ole = OleFile::parse(&bytes).unwrap();
+        assert_eq!(ole.open_stream("small").unwrap(), b"tiny");
+    }
+
+    #[test]
+    fn large_stream_lives_in_fat_chain() {
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
+        let mut b = OleBuilder::new();
+        b.add_stream("big", &payload).unwrap();
+        let ole = OleFile::parse(&b.build()).unwrap();
+        assert_eq!(ole.open_stream("big").unwrap(), payload);
+    }
+
+    #[test]
+    fn cutoff_boundary_sizes() {
+        for size in [4094usize, 4095, 4096, 4097] {
+            let payload = vec![0xA5u8; size];
+            let mut b = OleBuilder::new();
+            b.add_stream("s", &payload).unwrap();
+            let ole = OleFile::parse(&b.build()).unwrap();
+            assert_eq!(ole.open_stream("s").unwrap(), payload, "size {size}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let mut b = OleBuilder::new();
+        b.add_stream("empty", b"").unwrap();
+        let ole = OleFile::parse(&b.build()).unwrap();
+        assert_eq!(ole.open_stream("empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn nested_storages() {
+        let mut b = OleBuilder::new();
+        b.add_stream("Macros/VBA/dir", b"dir data").unwrap();
+        b.add_stream("Macros/VBA/Module1", b"module data").unwrap();
+        b.add_stream("Macros/PROJECT", b"project").unwrap();
+        b.add_stream("WordDocument", &vec![1u8; 5000]).unwrap();
+        let ole = OleFile::parse(&b.build()).unwrap();
+        let mut paths = ole.stream_paths();
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec!["Macros/PROJECT", "Macros/VBA/Module1", "Macros/VBA/dir", "WordDocument"]
+        );
+        assert_eq!(ole.open_stream("Macros/VBA/dir").unwrap(), b"dir data");
+        assert!(ole.exists("Macros/VBA"));
+        assert!(!ole.exists("Macros/vba2"));
+    }
+
+    #[test]
+    fn path_lookup_is_case_insensitive() {
+        let mut b = OleBuilder::new();
+        b.add_stream("Macros/VBA/ThisDocument", b"x").unwrap();
+        let ole = OleFile::parse(&b.build()).unwrap();
+        assert_eq!(ole.open_stream("macros/vba/thisdocument").unwrap(), b"x");
+    }
+
+    #[test]
+    fn duplicate_stream_rejected() {
+        let mut b = OleBuilder::new();
+        b.add_stream("a", b"1").unwrap();
+        assert!(matches!(b.add_stream("a", b"2"), Err(OleError::DuplicatePath(_))));
+    }
+
+    #[test]
+    fn stream_storage_collision_rejected() {
+        let mut b = OleBuilder::new();
+        b.add_stream("a", b"1").unwrap();
+        assert!(matches!(b.add_stream("a/b", b"2"), Err(OleError::WrongType(_))));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut b = OleBuilder::new();
+        assert!(b.add_stream(&"n".repeat(40), b"x").is_err());
+        assert!(b.add_stream("", b"x").is_err());
+        assert!(b.add_storage("ok/b:d").is_err());
+    }
+
+    #[test]
+    fn opening_storage_as_stream_fails() {
+        let mut b = OleBuilder::new();
+        b.add_stream("dir/leaf", b"x").unwrap();
+        let ole = OleFile::parse(&b.build()).unwrap();
+        assert!(matches!(ole.open_stream("dir"), Err(OleError::WrongType(_))));
+        assert!(matches!(ole.open_stream("nope"), Err(OleError::NotFound(_))));
+    }
+
+    #[test]
+    fn many_streams_force_multiple_dir_and_fat_sectors() {
+        let mut b = OleBuilder::new();
+        for i in 0..200 {
+            b.add_stream(&format!("stream{i:03}"), format!("payload {i}").as_bytes())
+                .unwrap();
+        }
+        // Plus some large ones to grow the FAT.
+        for i in 0..10 {
+            b.add_stream(&format!("big{i}"), &vec![i as u8; 100_000]).unwrap();
+        }
+        let ole = OleFile::parse(&b.build()).unwrap();
+        assert_eq!(ole.stream_paths().len(), 210);
+        assert_eq!(ole.open_stream("stream123").unwrap(), b"payload 123");
+        assert_eq!(ole.open_stream("big7").unwrap(), vec![7u8; 100_000]);
+    }
+
+    #[test]
+    fn difat_sectors_are_written_for_huge_files() {
+        // >109 FAT sectors requires 109*128 sectors of data ≈ 7.1 MB.
+        let mut b = OleBuilder::new();
+        b.add_stream("huge", &vec![0x5Au8; 7_400_000]).unwrap();
+        let bytes = b.build();
+        let ole = OleFile::parse(&bytes).unwrap();
+        let data = ole.open_stream("huge").unwrap();
+        assert_eq!(data.len(), 7_400_000);
+        assert!(data.iter().all(|&b| b == 0x5A));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: write-then-parse preserves the tree and all stream
+//! contents; the parser is total on corrupted inputs.
+
+use proptest::prelude::*;
+use vbadet_ole::{OleBuilder, OleFile};
+
+/// Strategy: a set of stream paths (depth <= 3) with arbitrary payloads
+/// spanning the mini/regular cutoff.
+fn arb_streams() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            "[A-Za-z][A-Za-z0-9_]{0,14}(/[A-Za-z][A-Za-z0-9_]{0,14}){0,2}",
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..256),
+                proptest::collection::vec(any::<u8>(), 4000..4200),
+                proptest::collection::vec(any::<u8>(), 8000..9000),
+            ],
+        ),
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_parse_roundtrip(streams in arb_streams()) {
+        let mut builder = OleBuilder::new();
+        let mut expected: Vec<(String, Vec<u8>)> = Vec::new();
+        for (path, data) in streams {
+            // Skip paths that collide with already-added streams/storages
+            // (the builder rejects them; that behaviour has its own tests).
+            if builder.add_stream(&path, &data).is_ok() {
+                expected.push((path, data));
+            }
+        }
+        let bytes = builder.build();
+        let ole = OleFile::parse(&bytes).unwrap();
+        prop_assert_eq!(ole.stream_paths().len(), expected.len());
+        for (path, data) in &expected {
+            prop_assert_eq!(&ole.open_stream(path).unwrap(), data, "path {}", path);
+        }
+    }
+
+    /// Any single corrupted byte must not cause a panic (errors are fine).
+    #[test]
+    fn parser_total_under_corruption(offset in 0usize..8192, xor in 1u8..=255) {
+        let mut builder = OleBuilder::new();
+        builder.add_stream("Macros/VBA/dir", &[1u8; 100]).unwrap();
+        builder.add_stream("WordDocument", &[2u8; 5000]).unwrap();
+        let mut bytes = builder.build();
+        let idx = offset % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(ole) = OleFile::parse(&bytes) {
+            for path in ole.stream_paths() {
+                let _ = ole.open_stream(&path);
+            }
+        }
+    }
+
+    /// Truncation at any point must not cause a panic.
+    #[test]
+    fn parser_total_under_truncation(keep_fraction in 0.0f64..1.0) {
+        let mut builder = OleBuilder::new();
+        builder.add_stream("a/b/c", &[7u8; 600]).unwrap();
+        builder.add_stream("big", &[9u8; 20_000]).unwrap();
+        let bytes = builder.build();
+        let keep = ((bytes.len() as f64) * keep_fraction) as usize;
+        let _ = OleFile::parse(&bytes[..keep]);
+    }
+}

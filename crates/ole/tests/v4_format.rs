@@ -1,0 +1,112 @@
+//! Version-4 compound files (4096-byte sectors): the writer only emits v3,
+//! so this fixture is assembled by hand from the MS-CFB layout rules.
+
+use vbadet_ole::OleFile;
+
+const FREESECT: u32 = 0xFFFF_FFFF;
+const ENDOFCHAIN: u32 = 0xFFFF_FFFE;
+const FATSECT: u32 = 0xFFFF_FFFD;
+const NOSTREAM: u32 = 0xFFFF_FFFF;
+const SECTOR: usize = 4096;
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Builds a v4 file: [header+pad][FAT][directory][data x2] with one stream
+/// "Data" of `payload.len()` bytes (must need exactly two 4096 sectors).
+fn build_v4(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() > SECTOR && payload.len() <= 2 * SECTOR);
+    let mut out = Vec::new();
+
+    // --- header (512 bytes) ---
+    out.extend_from_slice(&[0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1]);
+    out.extend_from_slice(&[0u8; 16]); // CLSID
+    out.extend_from_slice(&0x003Eu16.to_le_bytes()); // minor
+    out.extend_from_slice(&4u16.to_le_bytes()); // major = 4
+    out.extend_from_slice(&0xFFFEu16.to_le_bytes()); // byte order
+    out.extend_from_slice(&12u16.to_le_bytes()); // sector shift = 12
+    out.extend_from_slice(&6u16.to_le_bytes()); // mini shift
+    out.extend_from_slice(&[0u8; 6]); // reserved
+    push_u32(&mut out, 1); // num dir sectors (v4 records it)
+    push_u32(&mut out, 1); // num FAT sectors
+    push_u32(&mut out, 1); // first dir sector
+    push_u32(&mut out, 0); // transaction
+    push_u32(&mut out, 4096); // mini cutoff
+    push_u32(&mut out, ENDOFCHAIN); // first minifat
+    push_u32(&mut out, 0); // num minifat
+    push_u32(&mut out, ENDOFCHAIN); // first difat
+    push_u32(&mut out, 0); // num difat
+    push_u32(&mut out, 0); // DIFAT[0] -> FAT at sector 0
+    for _ in 1..109 {
+        push_u32(&mut out, FREESECT);
+    }
+    assert_eq!(out.len(), 512);
+    out.resize(SECTOR, 0); // v4: sectors begin at offset 4096
+
+    // --- sector 0: FAT ---
+    let fat_start = out.len();
+    push_u32(&mut out, FATSECT); // sector 0 holds FAT entries
+    push_u32(&mut out, ENDOFCHAIN); // sector 1: directory chain end
+    push_u32(&mut out, 3); // sector 2 -> 3 (data chain)
+    push_u32(&mut out, ENDOFCHAIN); // sector 3: data chain end
+    while out.len() < fat_start + SECTOR {
+        push_u32(&mut out, FREESECT);
+    }
+
+    // --- sector 1: directory ---
+    let dir_start = out.len();
+    let entry = |name: &str, typ: u8, child: u32, start: u32, size: u64, out: &mut Vec<u8>| {
+        let base = out.len();
+        out.resize(base + 128, 0);
+        for (i, u) in name.encode_utf16().enumerate() {
+            out[base + 2 * i..base + 2 * i + 2].copy_from_slice(&u.to_le_bytes());
+        }
+        let name_len = ((name.encode_utf16().count() + 1) * 2) as u16;
+        out[base + 64..base + 66].copy_from_slice(&name_len.to_le_bytes());
+        out[base + 66] = typ;
+        out[base + 67] = 1; // black
+        out[base + 68..base + 72].copy_from_slice(&NOSTREAM.to_le_bytes());
+        out[base + 72..base + 76].copy_from_slice(&NOSTREAM.to_le_bytes());
+        out[base + 76..base + 80].copy_from_slice(&child.to_le_bytes());
+        out[base + 116..base + 120].copy_from_slice(&start.to_le_bytes());
+        out[base + 120..base + 128].copy_from_slice(&size.to_le_bytes());
+    };
+    entry("Root Entry", 5, 1, ENDOFCHAIN, 0, &mut out);
+    entry("Data", 2, NOSTREAM, 2, payload.len() as u64, &mut out);
+    out.resize(dir_start + SECTOR, 0);
+
+    // --- sectors 2-3: data ---
+    let data_start = out.len();
+    out.extend_from_slice(payload);
+    out.resize(data_start + 2 * SECTOR, 0);
+    out
+}
+
+#[test]
+fn v4_file_parses_and_streams_read() {
+    let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    let bytes = build_v4(&payload);
+    let ole = OleFile::parse(&bytes).expect("v4 parses");
+    assert_eq!(ole.sector_size(), 4096);
+    assert_eq!(ole.open_stream("Data").expect("stream reads"), payload);
+    assert_eq!(ole.stream_paths(), vec!["Data".to_string()]);
+}
+
+#[test]
+fn v4_with_wrong_shift_rejected() {
+    let payload = vec![1u8; 5000];
+    let mut bytes = build_v4(&payload);
+    // Corrupt the sector shift: major 4 must pair with shift 12.
+    bytes[30] = 9;
+    assert!(OleFile::parse(&bytes).is_err());
+}
+
+#[test]
+fn v4_truncation_is_an_error_not_a_panic() {
+    let payload = vec![2u8; 5000];
+    let bytes = build_v4(&payload);
+    for cut in [513usize, 4096, 8192, bytes.len() - 100] {
+        let _ = OleFile::parse(&bytes[..cut]);
+    }
+}

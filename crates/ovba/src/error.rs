@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding MS-OVBA structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OvbaError {
+    /// The compressed container does not start with the 0x01 signature byte.
+    BadContainerSignature(u8),
+    /// A chunk header carries the wrong signature bits (must be 0b011).
+    BadChunkSignature(u16),
+    /// The compressed stream ends mid-structure.
+    TruncatedContainer,
+    /// A copy token references data before the start of the output.
+    BadCopyToken { offset: usize, position: usize },
+    /// A chunk decompressed to more than 4096 bytes.
+    ChunkOverflow,
+    /// A `dir` stream record is malformed.
+    BadDirRecord { id: u16, reason: &'static str },
+    /// The `dir` stream is missing a required record.
+    MissingDirRecord(&'static str),
+    /// The OLE file does not contain a recognizable VBA project.
+    NoVbaProject,
+    /// A module's stream is missing from the OLE file.
+    MissingModuleStream(String),
+    /// A module's text offset lies beyond its stream.
+    BadModuleOffset { module: String, offset: u32, stream_len: usize },
+    /// Error from the underlying OLE layer.
+    Ole(vbadet_ole::OleError),
+}
+
+impl fmt::Display for OvbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OvbaError::BadContainerSignature(b) => {
+                write!(f, "compressed container signature is {b:#04x}, expected 0x01")
+            }
+            OvbaError::BadChunkSignature(h) => {
+                write!(f, "chunk header {h:#06x} has invalid signature bits")
+            }
+            OvbaError::TruncatedContainer => write!(f, "compressed container is truncated"),
+            OvbaError::BadCopyToken { offset, position } => {
+                write!(f, "copy token offset {offset} at position {position} underflows output")
+            }
+            OvbaError::ChunkOverflow => write!(f, "chunk decompresses beyond 4096 bytes"),
+            OvbaError::BadDirRecord { id, reason } => {
+                write!(f, "malformed dir record {id:#06x}: {reason}")
+            }
+            OvbaError::MissingDirRecord(name) => write!(f, "dir stream missing record: {name}"),
+            OvbaError::NoVbaProject => write!(f, "no VBA project found in compound file"),
+            OvbaError::MissingModuleStream(name) => write!(f, "missing module stream: {name}"),
+            OvbaError::BadModuleOffset { module, offset, stream_len } => write!(
+                f,
+                "module {module}: text offset {offset} beyond stream length {stream_len}"
+            ),
+            OvbaError::Ole(e) => write!(f, "ole error: {e}"),
+        }
+    }
+}
+
+impl Error for OvbaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OvbaError::Ole(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vbadet_ole::OleError> for OvbaError {
+    fn from(e: vbadet_ole::OleError) -> Self {
+        OvbaError::Ole(e)
+    }
+}

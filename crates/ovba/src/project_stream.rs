@@ -1,0 +1,176 @@
+//! The textual `PROJECT` stream (MS-OVBA §2.3.1): `Name=Value` properties
+//! plus module declarations. olevba parses it as a fallback when the binary
+//! `dir` stream is damaged; this crate does the same.
+
+use crate::OvbaError;
+
+/// A module declaration from the PROJECT stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjectModuleRef {
+    /// `Module=Name` — a procedural module.
+    Procedural(String),
+    /// `Document=Name/&HXXXXXXXX` — a document module.
+    Document(String),
+    /// `Class=Name` — a class module.
+    Class(String),
+    /// `BaseClass=Name` — a designer (form) module.
+    Designer(String),
+}
+
+impl ProjectModuleRef {
+    /// The module's name regardless of kind.
+    pub fn name(&self) -> &str {
+        match self {
+            ProjectModuleRef::Procedural(n)
+            | ProjectModuleRef::Document(n)
+            | ProjectModuleRef::Class(n)
+            | ProjectModuleRef::Designer(n) => n,
+        }
+    }
+}
+
+/// Parsed `PROJECT` stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProjectStream {
+    /// `Name="…"` property.
+    pub name: Option<String>,
+    /// `ID="{guid}"` property.
+    pub id: Option<String>,
+    /// Module declarations, in order.
+    pub modules: Vec<ProjectModuleRef>,
+    /// `HelpContextID` property.
+    pub help_context_id: Option<String>,
+    /// All other `Key=Value` properties, in order.
+    pub properties: Vec<(String, String)>,
+}
+
+impl ProjectStream {
+    /// Parses the PROJECT stream text (MBCS decoded as Latin-1 upstream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OvbaError::BadDirRecord`] when no property lines at all are
+    /// present (arbitrary binary data).
+    pub fn parse(text: &str) -> Result<Self, OvbaError> {
+        let mut out = ProjectStream::default();
+        let mut any = false;
+        let mut in_section = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                // Section headers like [Host Extender Info] and
+                // [Workspace] begin the non-property tail.
+                in_section = true;
+            }
+            if line.is_empty() || in_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else { continue };
+            any = true;
+            let key = key.trim();
+            let value = value.trim();
+            match key.to_ascii_lowercase().as_str() {
+                "name" => out.name = Some(unquote(value)),
+                "id" => out.id = Some(unquote(value)),
+                "helpcontextid" => out.help_context_id = Some(unquote(value)),
+                "module" => {
+                    out.modules.push(ProjectModuleRef::Procedural(value.to_string()))
+                }
+                "document" => {
+                    let name = value.split('/').next().unwrap_or(value);
+                    out.modules.push(ProjectModuleRef::Document(name.to_string()));
+                }
+                "class" => out.modules.push(ProjectModuleRef::Class(value.to_string())),
+                "baseclass" => {
+                    out.modules.push(ProjectModuleRef::Designer(value.to_string()))
+                }
+                _ => out.properties.push((key.to_string(), value.to_string())),
+            }
+        }
+        if !any {
+            return Err(OvbaError::BadDirRecord {
+                id: 0,
+                reason: "PROJECT stream has no properties",
+            });
+        }
+        Ok(out)
+    }
+
+    /// Names of all declared modules.
+    pub fn module_names(&self) -> Vec<&str> {
+        self.modules.iter().map(|m| m.name()).collect()
+    }
+}
+
+fn unquote(value: &str) -> String {
+    value.trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "ID=\"{00000000-1111-2222-3333-444444444444}\"\r\n\
+        Document=ThisDocument/&H00000000\r\n\
+        Module=Module1\r\n\
+        Module=Helpers\r\n\
+        Class=CBudget\r\n\
+        BaseClass=UserForm1\r\n\
+        Name=\"VBAProject\"\r\n\
+        HelpContextID=\"0\"\r\n\
+        VersionCompatible32=\"393222000\"\r\n\
+        CMG=\"AABB\"\r\n\
+        \r\n\
+        [Host Extender Info]\r\n\
+        &H00000001={3832D640-CF90-11CF-8E43-00A0C911005A};VBE;&H00000000\r\n";
+
+    #[test]
+    fn parses_all_declaration_kinds() {
+        let p = ProjectStream::parse(SAMPLE).unwrap();
+        assert_eq!(p.name.as_deref(), Some("VBAProject"));
+        assert_eq!(p.id.as_deref(), Some("{00000000-1111-2222-3333-444444444444}"));
+        assert_eq!(
+            p.modules,
+            vec![
+                ProjectModuleRef::Document("ThisDocument".into()),
+                ProjectModuleRef::Procedural("Module1".into()),
+                ProjectModuleRef::Procedural("Helpers".into()),
+                ProjectModuleRef::Class("CBudget".into()),
+                ProjectModuleRef::Designer("UserForm1".into()),
+            ]
+        );
+        assert_eq!(
+            p.module_names(),
+            vec!["ThisDocument", "Module1", "Helpers", "CBudget", "UserForm1"]
+        );
+        // Unknown keys preserved.
+        assert!(p.properties.iter().any(|(k, _)| k == "VersionCompatible32"));
+    }
+
+    #[test]
+    fn section_tail_is_ignored() {
+        let p = ProjectStream::parse(SAMPLE).unwrap();
+        assert!(!p.properties.iter().any(|(k, _)| k.starts_with("&H")));
+    }
+
+    #[test]
+    fn our_builder_output_parses() {
+        let mut b = crate::VbaProjectBuilder::new("RoundTrip");
+        b.add_module("ThisDocument", "Sub X()\r\nEnd Sub\r\n").document_module("ThisDocument");
+        b.add_module("Module1", "Sub Y()\r\nEnd Sub\r\n");
+        let bin = b.build().unwrap();
+        let ole = vbadet_ole::OleFile::parse(&bin).unwrap();
+        let text = ole.open_stream("PROJECT").unwrap();
+        let text: String = text.iter().map(|&b| b as char).collect();
+        let p = ProjectStream::parse(&text).unwrap();
+        assert_eq!(p.name.as_deref(), Some("RoundTrip"));
+        assert_eq!(p.module_names(), vec!["ThisDocument", "Module1"]);
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        assert!(ProjectStream::parse("").is_err());
+        assert!(ProjectStream::parse("\u{1}\u{2}\u{3}").is_err());
+        let _ = ProjectStream::parse("[Section]\r\nonly=one\r\n");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the MS-OVBA codec and project roundtrip.
+
+use proptest::prelude::*;
+use vbadet_ovba::{compress, decompress, DirStream, ModuleRecord, ModuleType, VbaProject,
+                  VbaProjectBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decompress(compress(x)) == x for arbitrary bytes, including sizes
+    /// around the 4096-byte chunk boundary.
+    #[test]
+    fn codec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..12_000)) {
+        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    /// Same for text-like (highly compressible) input.
+    #[test]
+    fn codec_roundtrip_text(lines in proptest::collection::vec("[ -~]{0,60}", 0..300)) {
+        let text = lines.join("\r\n");
+        prop_assert_eq!(decompress(&compress(text.as_bytes())).unwrap(), text.as_bytes());
+    }
+
+    /// Decompressor is total on garbage containers.
+    #[test]
+    fn decompress_total(mut data in proptest::collection::vec(any::<u8>(), 1..2_048)) {
+        data[0] = 0x01;
+        let _ = decompress(&data);
+    }
+
+    /// dir stream serialize/parse preserves project and module metadata.
+    #[test]
+    fn dir_stream_roundtrip(
+        name in "[A-Za-z][A-Za-z0-9_]{0,20}",
+        modules in proptest::collection::vec(
+            ("[A-Za-z][A-Za-z0-9_]{0,20}", 0u32..100_000, any::<bool>(), any::<bool>(), any::<bool>()),
+            0..8,
+        ),
+    ) {
+        let dir = DirStream {
+            name,
+            modules: modules
+                .into_iter()
+                .map(|(mname, off, doc, ro, priv_)| ModuleRecord {
+                    stream_name: mname.clone(),
+                    name: mname,
+                    text_offset: off,
+                    module_type: if doc { ModuleType::Document } else { ModuleType::Procedural },
+                    read_only: ro,
+                    private: priv_,
+                })
+                .collect(),
+            ..DirStream::default()
+        };
+        let parsed = DirStream::parse(&dir.serialize()).unwrap();
+        prop_assert_eq!(parsed, dir);
+    }
+
+    /// Build-then-extract returns every module byte-for-byte.
+    #[test]
+    fn project_roundtrip(
+        modules in proptest::collection::vec(
+            ("[A-Za-z][A-Za-z0-9]{0,18}", "[ -~\r\n]{0,2000}"),
+            1..6,
+        ),
+    ) {
+        // Unique module names (duplicate stream paths are rejected by OLE).
+        let mut seen = std::collections::HashSet::new();
+        let modules: Vec<_> = modules
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.to_uppercase()))
+            .collect();
+        prop_assume!(!modules.is_empty());
+
+        let mut builder = VbaProjectBuilder::new("PropProject");
+        for (name, code) in &modules {
+            builder.add_module(name, code);
+        }
+        let bin = builder.build().unwrap();
+        let ole = vbadet_ole::OleFile::parse(&bin).unwrap();
+        let project = VbaProject::from_ole(&ole).unwrap();
+        prop_assert_eq!(project.modules.len(), modules.len());
+        for ((name, code), module) in modules.iter().zip(project.modules.iter()) {
+            prop_assert_eq!(&module.name, name);
+            prop_assert_eq!(&module.code, code);
+        }
+    }
+}

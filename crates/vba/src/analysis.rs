@@ -1,0 +1,401 @@
+//! Derived views over a token stream: the quantities the feature extractors
+//! consume (identifiers, strings, comments, call sites, "words", operator
+//! counts).
+
+use crate::functions;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Lexical analysis of one macro: the token stream plus the derived
+/// quantities used by the V and J feature sets.
+///
+/// ```
+/// use vbadet_vba::MacroAnalysis;
+/// let a = MacroAnalysis::new("Sub F()\r\n    p = \"x\" & Chr(66)\r\nEnd Sub\r\n");
+/// assert_eq!(a.strings(), vec!["x"]);
+/// assert!(a.call_sites().iter().any(|c| *c == "Chr"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MacroAnalysis {
+    source: String,
+    tokens: Vec<Token>,
+}
+
+impl MacroAnalysis {
+    /// Tokenizes `source` and prepares derived views.
+    pub fn new(source: &str) -> Self {
+        MacroAnalysis { source: source.to_string(), tokens: tokenize(source) }
+    }
+
+    /// The original source code.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The raw token stream.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Total source length in characters.
+    pub fn char_len(&self) -> usize {
+        self.source.chars().count()
+    }
+
+    /// Number of characters inside comments (without the `'`/`Rem` marker).
+    pub fn comment_chars(&self) -> usize {
+        self.comments().iter().map(|c| c.chars().count()).sum()
+    }
+
+    /// Number of characters outside comments.
+    pub fn code_chars(&self) -> usize {
+        // Comment spans include the marker; subtract whole spans.
+        let in_comments: usize = self
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Comment(_)))
+            .map(|t| self.source[t.start..t.end].chars().count())
+            .sum();
+        self.char_len().saturating_sub(in_comments)
+    }
+
+    /// All comment bodies, in order.
+    pub fn comments(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Comment(c) => Some(c.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All string literal values, in order.
+    pub fn strings(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::StringLit(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total characters inside string literals.
+    pub fn string_chars(&self) -> usize {
+        self.strings().iter().map(|s| s.chars().count()).sum()
+    }
+
+    /// The *distinct* user identifiers (case-insensitive, deduplicated).
+    /// Built-in function names are excluded: O1 obfuscation can only rename
+    /// user identifiers, so mixing in `Shell`/`Chr` would dilute V14/V15.
+    pub fn identifiers(&self) -> Vec<&str> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.tokens {
+            if let TokenKind::Identifier(name) = &t.kind {
+                if functions::is_builtin(name) {
+                    continue;
+                }
+                if seen.insert(name.to_ascii_lowercase()) {
+                    out.push(name.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// All identifier occurrences (not deduplicated), built-ins included.
+    pub fn identifier_occurrences(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Identifier(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Call sites: identifiers directly followed by `(`, plus known
+    /// built-ins in statement position (VBA allows `Shell prog, 1`).
+    /// Identifiers following `Sub`/`Function` (declarations) are excluded.
+    pub fn call_sites(&self) -> Vec<&str> {
+        let significant: Vec<(usize, &Token)> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment(_) | TokenKind::Newline))
+            .collect();
+        let mut out = Vec::new();
+        for (pos, (_, token)) in significant.iter().enumerate() {
+            let TokenKind::Identifier(name) = &token.kind else { continue };
+            // Skip declaration names: `Sub X`, `Function X`, `Property Get X`.
+            if pos > 0 {
+                if let TokenKind::Keyword(k) = &significant[pos - 1].1.kind {
+                    if matches!(
+                        k.to_ascii_lowercase().as_str(),
+                        "sub" | "function" | "property" | "dim" | "const" | "as"
+                    ) {
+                        continue;
+                    }
+                }
+            }
+            let followed_by_paren = matches!(
+                significant.get(pos + 1).map(|(_, t)| &t.kind),
+                Some(TokenKind::Operator("("))
+            );
+            if followed_by_paren || functions::is_builtin(name) {
+                out.push(name.as_str());
+            }
+        }
+        out
+    }
+
+    /// "Words" per §IV.C.4: maximal runs of alphanumeric/underscore
+    /// characters outside comments and string literals.
+    pub fn words(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        // Mask out comment and string spans, then split the rest.
+        let mut spans: Vec<(usize, usize)> = self
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Comment(_) | TokenKind::StringLit(_)))
+            .map(|t| (t.start, t.end))
+            .collect();
+        spans.sort_unstable();
+        let mut segments: Vec<&str> = Vec::new();
+        for (start, end) in spans {
+            if start > cursor {
+                segments.push(&self.source[cursor..start]);
+            }
+            cursor = cursor.max(end);
+        }
+        if cursor < self.source.len() {
+            segments.push(&self.source[cursor..]);
+        }
+        for segment in segments {
+            out.extend(
+                segment
+                    .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .filter(|w| !w.is_empty()),
+            );
+        }
+        out
+    }
+
+    /// Words inside comments only (used by J13).
+    pub fn comment_words(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for c in self.comments() {
+            out.extend(
+                c.split(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
+                    .filter(|w| !w.is_empty()),
+            );
+        }
+        out
+    }
+
+    /// Number of occurrences of the string-building operators the paper's V5
+    /// tracks: `&`, `+` and `=` (§IV.C.2).
+    pub fn string_operator_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Operator("&" | "+" | "=")))
+            .count()
+    }
+
+    /// Number of occurrences of a specific operator token.
+    pub fn operator_count(&self, op: &str) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Operator(o) if *o == op))
+            .count()
+    }
+
+    /// Physical lines of the source.
+    pub fn lines(&self) -> Vec<&str> {
+        self.source.lines().collect()
+    }
+
+    /// Procedure definitions: names following `Sub`/`Function` keywords.
+    pub fn procedure_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let toks: Vec<&Token> = self
+            .tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Comment(_)))
+            .collect();
+        for window in toks.windows(2) {
+            if let (TokenKind::Keyword(k), TokenKind::Identifier(name)) =
+                (&window[0].kind, &window[1].kind)
+            {
+                if matches!(k.to_ascii_lowercase().as_str(), "sub" | "function") {
+                    out.push(name.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Bodies of procedures: for each `Sub`/`Function` … `End Sub`/`End
+    /// Function` pair, the character length of the enclosed region. Used by
+    /// J18/J19.
+    pub fn procedure_body_spans(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let toks = &self.tokens;
+        let mut open: Option<usize> = None;
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i].kind {
+                TokenKind::Keyword(k)
+                    if matches!(k.to_ascii_lowercase().as_str(), "sub" | "function") =>
+                {
+                    // `End Sub` is handled below; `Exit Sub` should not open.
+                    let prev_kw = toks[..i]
+                        .iter()
+                        .rev()
+                        .find(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Comment(_)));
+                    // `Declare Function X Lib …` is a prototype, not a body.
+                    let is_declare = matches!(
+                        prev_kw.map(|t| &t.kind),
+                        Some(TokenKind::Keyword(p)) if p.eq_ignore_ascii_case("declare")
+                    );
+                    if is_declare {
+                        i += 1;
+                        continue;
+                    }
+                    let is_closing = matches!(
+                        prev_kw.map(|t| &t.kind),
+                        Some(TokenKind::Keyword(p))
+                            if matches!(p.to_ascii_lowercase().as_str(), "end" | "exit")
+                    );
+                    if is_closing {
+                        if let Some(start) = open.take() {
+                            if let Some(prev) = prev_kw {
+                                if matches!(&prev.kind, TokenKind::Keyword(p) if p.eq_ignore_ascii_case("end"))
+                                {
+                                    out.push((start, toks[i].end));
+                                }
+                            }
+                            // `Exit Sub` keeps the procedure open.
+                            if !matches!(
+                                prev_kw.map(|t| &t.kind),
+                                Some(TokenKind::Keyword(p)) if p.eq_ignore_ascii_case("end")
+                            ) {
+                                open = Some(start);
+                            }
+                        }
+                    } else if open.is_none() {
+                        open = Some(toks[i].start);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Sub SendEmail()\r\n\
+        Dim OutlookApp As Object\r\n\
+        'Create Outlook object using CreateObject()\r\n\
+        Set OutlookApp = CreateObject(\"Outlook.Application\")\r\n\
+        body_ = \"a\" & \"b\" + \"c\"\r\n\
+        Shell prog, 1\r\n\
+        End Sub\r\n";
+
+    #[test]
+    fn strings_and_comments() {
+        let a = MacroAnalysis::new(SAMPLE);
+        assert_eq!(a.strings(), vec!["Outlook.Application", "a", "b", "c"]);
+        assert_eq!(a.comments().len(), 1);
+        assert!(a.comments()[0].contains("CreateObject"));
+    }
+
+    #[test]
+    fn code_and_comment_chars_partition_source() {
+        let a = MacroAnalysis::new(SAMPLE);
+        // code_chars counts everything outside comment spans.
+        assert!(a.code_chars() > 0 && a.code_chars() < a.char_len());
+        assert!(a.comment_chars() > 0);
+    }
+
+    #[test]
+    fn identifiers_exclude_builtins_and_dedupe() {
+        let a = MacroAnalysis::new(SAMPLE);
+        let ids = a.identifiers();
+        assert!(ids.contains(&"OutlookApp"));
+        assert!(ids.contains(&"SendEmail"));
+        assert!(!ids.contains(&"CreateObject"), "builtin must be excluded");
+        // OutlookApp appears twice but is listed once.
+        assert_eq!(ids.iter().filter(|i| **i == "OutlookApp").count(), 1);
+    }
+
+    #[test]
+    fn call_sites_found() {
+        let a = MacroAnalysis::new(SAMPLE);
+        let calls = a.call_sites();
+        assert!(calls.contains(&"CreateObject"));
+        // Statement-position builtin without parens.
+        assert!(calls.contains(&"Shell"));
+        // Declaration name is not a call.
+        assert!(!calls.contains(&"SendEmail"));
+    }
+
+    #[test]
+    fn words_exclude_strings_and_comments() {
+        let a = MacroAnalysis::new("x = \"hello world\" ' note here\r\ny = 2");
+        let words = a.words();
+        assert!(words.contains(&"x"));
+        assert!(words.contains(&"y"));
+        assert!(!words.contains(&"hello"));
+        assert!(!words.contains(&"note"));
+        assert_eq!(a.comment_words(), vec!["note", "here"]);
+    }
+
+    #[test]
+    fn string_operator_count_tracks_concatenation() {
+        let a = MacroAnalysis::new("s = \"a\" & \"b\" + \"c\" & \"d\"");
+        // 1 `=`, 2 `&`, 1 `+`.
+        assert_eq!(a.string_operator_count(), 4);
+        assert_eq!(a.operator_count("&"), 2);
+    }
+
+    #[test]
+    fn procedure_names_and_bodies() {
+        let src = "Sub A()\r\nx = 1\r\nEnd Sub\r\n\
+                   Function B(q)\r\nB = q\r\nEnd Function\r\n";
+        let a = MacroAnalysis::new(src);
+        assert_eq!(a.procedure_names(), vec!["A", "B"]);
+        let spans = a.procedure_body_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].1 > spans[0].0);
+    }
+
+    #[test]
+    fn exit_sub_does_not_close_body() {
+        let src = "Sub A()\r\nIf x Then Exit Sub\r\ny = 1\r\nEnd Sub\r\n";
+        let a = MacroAnalysis::new(src);
+        assert_eq!(a.procedure_body_spans().len(), 1);
+        let (s, e) = a.procedure_body_spans()[0];
+        assert!(&src[s..e].contains("y = 1"));
+    }
+
+    #[test]
+    fn empty_source() {
+        let a = MacroAnalysis::new("");
+        assert_eq!(a.char_len(), 0);
+        assert!(a.strings().is_empty());
+        assert!(a.identifiers().is_empty());
+        assert!(a.call_sites().is_empty());
+        assert!(a.words().is_empty());
+        assert_eq!(a.string_operator_count(), 0);
+    }
+}

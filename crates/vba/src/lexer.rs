@@ -1,0 +1,485 @@
+//! The VBA tokenizer.
+
+use crate::token::{Token, TokenKind};
+
+/// VBA reserved words (MS-VBAL §3.3.5), lowercase.
+const KEYWORDS: &[&str] = &[
+    "addressof", "alias", "and", "as", "attribute", "base", "boolean", "byref", "byte", "byval",
+    "call", "case", "cdecl", "compare", "const", "currency", "date", "decimal", "declare",
+    "defbool", "defbyte", "defcur", "defdate", "defdbl", "defint", "deflng", "defobj", "defsng",
+    "defstr", "defvar", "dim", "do", "double", "each", "else", "elseif", "empty", "end", "enum",
+    "eqv", "erase", "error", "event", "exit", "explicit", "false", "for", "friend", "function",
+    "get", "gosub", "goto", "if", "imp", "implements", "in", "integer", "is", "let", "lib",
+    "like", "line", "lock", "long", "longlong", "longptr", "loop", "lset", "mod", "new", "next",
+    "not", "nothing", "null", "object", "on", "option", "optional", "or", "paramarray",
+    "preserve", "print", "private", "property", "public", "put", "raiseevent", "randomize",
+    "redim", "resume", "return", "rset", "seek", "select", "set", "single", "static", "step",
+    "stop", "string", "sub", "then", "to", "true", "type", "typeof", "until", "variant", "wend",
+    "while", "with", "withevents", "write", "xor",
+];
+
+/// Whether `word` is a VBA reserved word (case-insensitive).
+pub(crate) fn is_keyword(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    KEYWORDS.binary_search(&lower.as_str()).is_ok()
+}
+
+/// Type-declaration suffix characters that may trail an identifier.
+fn is_type_suffix(c: char) -> bool {
+    matches!(c, '$' | '%' | '&' | '!' | '#' | '@')
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// Tokenizes VBA source code.
+///
+/// The lexer is *total*: any input produces a token stream (unrecognized
+/// bytes become one-character [`TokenKind::Operator`]-like fallbacks are
+/// skipped), which matters because obfuscated macros frequently contain
+/// deliberately broken code (§VI.B of the paper).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let bytes: Vec<char> = source.chars().collect();
+    // Byte offsets per char index (so spans refer to the original string).
+    let mut offsets = Vec::with_capacity(bytes.len() + 1);
+    {
+        let mut off = 0usize;
+        for &c in &bytes {
+            offsets.push(off);
+            off += c.len_utf8();
+        }
+        offsets.push(off);
+    }
+
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let push = |tokens: &mut Vec<Token>, kind: TokenKind, start: usize, end: usize| {
+        tokens.push(Token { kind, start: offsets[start], end: offsets[end] });
+    };
+
+    while i < n {
+        let c = bytes[i];
+
+        // Line continuation: whitespace, '_', optional spaces, line break.
+        if c == '_' && (i == 0 || bytes[i - 1] == ' ' || bytes[i - 1] == '\t') {
+            let mut j = i + 1;
+            while j < n && (bytes[j] == ' ' || bytes[j] == '\t' || bytes[j] == '\r') {
+                j += 1;
+            }
+            if j < n && bytes[j] == '\n' {
+                i = j + 1; // splice: no Newline token
+                continue;
+            }
+        }
+
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+            }
+            '\n' => {
+                push(&mut tokens, TokenKind::Newline, i, i + 1);
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let text_start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[text_start..i].iter().collect();
+                push(
+                    &mut tokens,
+                    TokenKind::Comment(text.trim_end_matches('\r').to_string()),
+                    start,
+                    i,
+                );
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    if i >= n {
+                        break; // unterminated string: tolerate
+                    }
+                    if bytes[i] == '"' {
+                        if i + 1 < n && bytes[i + 1] == '"' {
+                            value.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else if bytes[i] == '\n' {
+                        break; // strings do not span lines
+                    } else {
+                        value.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                push(&mut tokens, TokenKind::StringLit(value), start, i);
+            }
+            '&' if i + 1 < n && matches!(bytes[i + 1], 'H' | 'h' | 'O' | 'o') => {
+                // &H / &O numeric literal (falls back to operator + ident
+                // when no digits follow).
+                let radix_hex = matches!(bytes[i + 1], 'H' | 'h');
+                let mut j = i + 2;
+                while j < n
+                    && (bytes[j].is_ascii_hexdigit() && radix_hex
+                        || bytes[j].is_digit(8) && !radix_hex)
+                {
+                    j += 1;
+                }
+                if j > i + 2 {
+                    if j < n && is_type_suffix(bytes[j]) {
+                        j += 1;
+                    }
+                    let text: String = bytes[i..j].iter().collect();
+                    push(&mut tokens, TokenKind::Number(text), i, j);
+                    i = j;
+                } else {
+                    push(&mut tokens, TokenKind::Operator("&"), i, i + 1);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < n && bytes[i] == '.' {
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < n && matches!(bytes[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < n && matches!(bytes[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                if i < n && is_type_suffix(bytes[i]) {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                push(&mut tokens, TokenKind::Number(text), start, i);
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                if word.eq_ignore_ascii_case("rem") {
+                    // Rem comment: swallow the rest of the line.
+                    let text_start = i;
+                    while i < n && bytes[i] != '\n' {
+                        i += 1;
+                    }
+                    let text: String = bytes[text_start..i].iter().collect();
+                    push(
+                        &mut tokens,
+                        TokenKind::Comment(text.trim_end_matches('\r').trim_start().to_string()),
+                        start,
+                        i,
+                    );
+                } else if is_keyword(&word) {
+                    push(&mut tokens, TokenKind::Keyword(word), start, i);
+                } else {
+                    let mut word = word;
+                    if i < n && is_type_suffix(bytes[i]) {
+                        word.push(bytes[i]);
+                        i += 1;
+                    }
+                    push(&mut tokens, TokenKind::Identifier(word), start, i);
+                }
+            }
+            _ => {
+                // Operators and punctuation, multi-character first.
+                let two: Option<&'static str> = if i + 1 < n {
+                    match (c, bytes[i + 1]) {
+                        ('<', '>') => Some("<>"),
+                        ('<', '=') => Some("<="),
+                        ('>', '=') => Some(">="),
+                        (':', '=') => Some(":="),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(op) = two {
+                    push(&mut tokens, TokenKind::Operator(op), i, i + 2);
+                    i += 2;
+                    continue;
+                }
+                let op: Option<&'static str> = match c {
+                    '&' => Some("&"),
+                    '+' => Some("+"),
+                    '-' => Some("-"),
+                    '*' => Some("*"),
+                    '/' => Some("/"),
+                    '\\' => Some("\\"),
+                    '^' => Some("^"),
+                    '=' => Some("="),
+                    '<' => Some("<"),
+                    '>' => Some(">"),
+                    '.' => Some("."),
+                    ',' => Some(","),
+                    ';' => Some(";"),
+                    ':' => Some(":"),
+                    '(' => Some("("),
+                    ')' => Some(")"),
+                    '#' => Some("#"),
+                    '@' => Some("@"),
+                    '!' => Some("!"),
+                    '$' => Some("$"),
+                    '%' => Some("%"),
+                    '?' => Some("?"),
+                    '[' => Some("["),
+                    ']' => Some("]"),
+                    '{' => Some("{"),
+                    '}' => Some("}"),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    push(&mut tokens, TokenKind::Operator(op), i, i + 1);
+                }
+                // Unknown characters are skipped (total lexer).
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_sorted_for_binary_search() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS, "KEYWORDS must stay sorted");
+    }
+
+    #[test]
+    fn simple_statement() {
+        assert_eq!(
+            kinds("Dim x As Integer"),
+            vec![
+                Keyword("Dim".into()),
+                Identifier("x".into()),
+                Keyword("As".into()),
+                Keyword("Integer".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("SUB sub SuB")[0], Keyword("SUB".into()));
+        assert!(matches!(&kinds("DIM")[0], Keyword(_)));
+        assert!(matches!(&kinds("dIm")[0], Keyword(_)));
+    }
+
+    #[test]
+    fn string_literal_with_escaped_quotes() {
+        assert_eq!(
+            kinds(r#"s = "he said ""hi""""#),
+            vec![
+                Identifier("s".into()),
+                Operator("="),
+                StringLit("he said \"hi\"".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_tolerated() {
+        let k = kinds("s = \"oops");
+        assert_eq!(k[2], StringLit("oops".into()));
+    }
+
+    #[test]
+    fn apostrophe_comment() {
+        assert_eq!(
+            kinds("x = 1 ' trailing comment\r\ny = 2"),
+            vec![
+                Identifier("x".into()),
+                Operator("="),
+                Number("1".into()),
+                Comment(" trailing comment".into()),
+                Newline,
+                Identifier("y".into()),
+                Operator("="),
+                Number("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rem_comment() {
+        let k = kinds("Rem whole line comment\nx = 1");
+        assert_eq!(k[0], Comment("whole line comment".into()));
+        // Identifier containing "rem" is NOT a comment.
+        let k2 = kinds("remainder = 5");
+        assert_eq!(k2[0], Identifier("remainder".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Number("42".into()));
+        assert_eq!(kinds("3.14")[0], Number("3.14".into()));
+        assert_eq!(kinds("1e10")[0], Number("1e10".into()));
+        assert_eq!(kinds("2.5E-3")[0], Number("2.5E-3".into()));
+        assert_eq!(kinds("&HFF")[0], Number("&HFF".into()));
+        assert_eq!(kinds("&o777")[0], Number("&o777".into()));
+        assert_eq!(kinds("123&")[0], Number("123&".into()));
+    }
+
+    #[test]
+    fn ampersand_operator_vs_hex_literal() {
+        // Between identifiers & is the concatenation operator.
+        assert_eq!(
+            kinds("a & b"),
+            vec![Identifier("a".into()), Operator("&"), Identifier("b".into())]
+        );
+        // `a &Hello` — no hex digits after &H... actually 'e' is a hex digit?
+        // "&He" -> hex digit 'e' consumed; this is genuinely ambiguous in
+        // VBA and resolved toward the literal, as here.
+        assert_eq!(kinds("x &H12 y")[1], Number("&H12".into()));
+    }
+
+    #[test]
+    fn identifier_type_suffixes() {
+        assert_eq!(kinds("name$")[0], Identifier("name$".into()));
+        assert_eq!(kinds("count%")[0], Identifier("count%".into()));
+        // Suffix & must not leak a string-operator token.
+        let k = kinds("total& = 1");
+        assert_eq!(k[0], Identifier("total&".into()));
+        assert_eq!(k[1], Operator("="));
+    }
+
+    #[test]
+    fn line_continuation_is_spliced() {
+        let k = kinds("x = 1 + _\r\n    2");
+        assert!(!k.contains(&Newline), "continuation must not produce Newline: {k:?}");
+        assert_eq!(k.last(), Some(&Number("2".into())));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("a <> b <= c >= d := e"),
+            vec![
+                Identifier("a".into()),
+                Operator("<>"),
+                Identifier("b".into()),
+                Operator("<="),
+                Identifier("c".into()),
+                Operator(">="),
+                Identifier("d".into()),
+                Operator(":="),
+                Identifier("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_chain() {
+        let k = kinds("OutlookApp.CreateItem(0)");
+        assert_eq!(
+            k,
+            vec![
+                Identifier("OutlookApp".into()),
+                Operator("."),
+                Identifier("CreateItem".into()),
+                Operator("("),
+                Number("0".into()),
+                Operator(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let src = "Dim zz = \"ab\" ' c";
+        for t in tokenize(src) {
+            assert!(t.start <= t.end && t.end <= src.len());
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_procedure_from_paper_fig1a() {
+        // Figure 1(a) of the paper.
+        let src = "Sub StartCalculator()\r\n\
+                   Dim Program As String\r\n\
+                   Dim TaskID As Double\r\n\
+                   On Error Resume Next\r\n\
+                   Program = \"calc.exe\"\r\n\
+                   'Run calculator program using Shell()\r\n\
+                   TaskID = Shell(Program, 1)\r\n\
+                   If Err <> 0 Then\r\n\
+                   MsgBox \"Can't start \" & Program\r\n\
+                   End If\r\n\
+                   End Sub\r\n";
+        let toks = tokenize(src);
+        let strings: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                StringLit(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec!["calc.exe", "Can't start "]);
+        let comments = toks.iter().filter(|t| matches!(t.kind, Comment(_))).count();
+        assert_eq!(comments, 1);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, Identifier(i) if i == "Shell")));
+    }
+
+    #[test]
+    fn non_ascii_identifiers_do_not_panic() {
+        let k = kinds("Dim caf\u{00E9} = \"\u{2603}\"");
+        assert!(k.iter().any(|t| matches!(t, Identifier(i) if i.contains('\u{00E9}'))));
+    }
+
+    #[test]
+    fn totality_on_noise() {
+        let mut state = 7u64;
+        for _ in 0..50 {
+            let src: String = (0..200)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    char::from_u32((state % 0x250) as u32).unwrap_or('?')
+                })
+                .collect();
+            let _ = tokenize(&src);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Token types produced by the lexer.
+
+/// Kind and payload of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (variable, procedure or builtin name). A trailing type
+    /// suffix character (`$ % & ! # @`) is absorbed into the identifier,
+    /// matching VBA's declaration syntax (`name$`).
+    Identifier(String),
+    /// A reserved word (`Sub`, `Dim`, `If`, …), stored as written.
+    Keyword(String),
+    /// A string literal, without quotes; embedded `""` pairs are decoded.
+    StringLit(String),
+    /// A numeric literal (decimal, float, `&H` hex or `&O` octal), as written.
+    Number(String),
+    /// A comment introduced by `'` or `Rem`, without the marker.
+    Comment(String),
+    /// An operator or punctuation mark (`&`, `+`, `<=`, `(`, …).
+    Operator(&'static str),
+    /// A physical end of line (line continuations are spliced, so a
+    /// continued logical line yields no `Newline`).
+    Newline,
+}
+
+/// One token with its byte span in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was recognized.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's source length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the token covers no bytes (never true for lexer output).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}

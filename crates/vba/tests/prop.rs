@@ -1,0 +1,94 @@
+//! Property-based tests for the lexer: totality, span sanity, and
+//! recognition invariants.
+
+use proptest::prelude::*;
+use vbadet_vba::{tokenize, MacroAnalysis, TokenKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lexer is total on arbitrary unicode text.
+    #[test]
+    fn lexer_total(src in "\\PC{0,2000}") {
+        let _ = tokenize(&src);
+    }
+
+    /// Spans are monotone, in-bounds, non-empty, and lie on char boundaries.
+    #[test]
+    fn spans_are_sane(src in "[ -~\r\n\t\u{00e9}\u{2603}]{0,800}") {
+        let tokens = tokenize(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping spans");
+            prop_assert!(t.end <= src.len());
+            prop_assert!(t.start < t.end, "empty token");
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+    }
+
+    /// A quoted literal with doubled quotes decodes to the raw value.
+    #[test]
+    fn string_literals_roundtrip(value in "[ -~&&[^\"]]{0,60}") {
+        let src = format!("x = \"{value}\"");
+        let tokens = tokenize(&src);
+        let found = tokens.iter().find_map(|t| match &t.kind {
+            TokenKind::StringLit(s) => Some(s.clone()),
+            _ => None,
+        });
+        prop_assert_eq!(found, Some(value));
+    }
+
+    /// Escaped quotes decode to exactly one quote character.
+    #[test]
+    fn escaped_quotes(before in "[a-z ]{0,20}", after in "[a-z ]{0,20}") {
+        let src = format!("x = \"{before}\"\"{after}\"");
+        let tokens = tokenize(&src);
+        let found = tokens.iter().find_map(|t| match &t.kind {
+            TokenKind::StringLit(s) => Some(s.clone()),
+            _ => None,
+        });
+        prop_assert_eq!(found, Some(format!("{before}\"{after}")));
+    }
+
+    /// Comments never leak tokens: everything after `'` on a line is one
+    /// comment token.
+    #[test]
+    fn comments_swallow_line(code in "[a-z0-9 =+]{0,30}", note in "[ -~&&[^\r\n]]{0,60}") {
+        let src = format!("{code}' {note}\r\nnext_line = 1");
+        let tokens = tokenize(&src);
+        let comments: Vec<&str> = tokens.iter().filter_map(|t| match &t.kind {
+            TokenKind::Comment(c) => Some(c.as_str()),
+            _ => None,
+        }).collect();
+        prop_assert_eq!(comments.len(), 1);
+        // The comment body preserves the note verbatim (including trailing
+        // spaces); compare with both sides' trailing whitespace normalized.
+        prop_assert!(comments[0].trim_end().ends_with(note.trim_end()));
+    }
+
+    /// Identifier token text matches the identifier grammar.
+    #[test]
+    fn identifier_shape(src in "[A-Za-z0-9_ (),.\"\r\n]{0,500}") {
+        for t in tokenize(&src) {
+            if let TokenKind::Identifier(name) = &t.kind {
+                let mut chars = name.chars();
+                let first = chars.next().expect("non-empty");
+                prop_assert!(first.is_alphabetic() || first == '_', "{name}");
+            }
+        }
+    }
+
+    /// MacroAnalysis views are consistent with the token stream.
+    #[test]
+    fn analysis_consistent(src in "[ -~\r\n]{0,1000}") {
+        let a = MacroAnalysis::new(&src);
+        prop_assert_eq!(a.char_len(), src.chars().count());
+        prop_assert!(a.comment_chars() <= a.char_len());
+        prop_assert!(a.code_chars() <= a.char_len());
+        prop_assert_eq!(
+            a.strings().len(),
+            a.tokens().iter().filter(|t| matches!(t.kind, TokenKind::StringLit(_))).count()
+        );
+    }
+}

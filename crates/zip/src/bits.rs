@@ -1,0 +1,182 @@
+//! LSB-first bit I/O shared by the DEFLATE encoder and decoder.
+
+use crate::ZipError;
+
+/// Reads bits least-significant-bit first from a byte slice, as required by
+/// RFC 1951.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index to load from.
+    pos: usize,
+    /// Bit accumulator; the low `count` bits are valid.
+    acc: u32,
+    count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, count: 0 }
+    }
+
+    /// Reads `n` bits (0..=16), LSB first.
+    pub fn bits(&mut self, n: u32) -> Result<u32, ZipError> {
+        debug_assert!(n <= 16);
+        while self.count < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or(ZipError::InvalidDeflate("unexpected end of stream"))?;
+            self.acc |= (byte as u32) << self.count;
+            self.count += 8;
+            self.pos += 1;
+        }
+        let value = self.acc & ((1u32 << n) - 1);
+        self.acc >>= n;
+        self.count -= n;
+        Ok(if n == 0 { 0 } else { value })
+    }
+
+    /// Reads a single bit.
+    pub fn bit(&mut self) -> Result<u32, ZipError> {
+        self.bits(1)
+    }
+
+    /// Discards buffered bits to realign on a byte boundary (used before
+    /// stored blocks).
+    pub fn align_to_byte(&mut self) {
+        self.acc = 0;
+        self.count = 0;
+    }
+
+    /// Copies `len` raw bytes (must be byte-aligned).
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8], ZipError> {
+        debug_assert_eq!(self.count, 0, "bytes() requires byte alignment");
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(ZipError::InvalidDeflate("stored block overruns input"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// Writes bits least-significant-bit first into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    count: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first.
+    pub fn bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 16);
+        debug_assert!(n == 32 || value < (1u32 << n.max(1)) || n == 0);
+        self.acc |= value << self.count;
+        self.count += n;
+        while self.count >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.count -= 8;
+        }
+    }
+
+    /// Appends a Huffman code, which RFC 1951 packs MSB first.
+    pub fn huffman_code(&mut self, code: u32, len: u32) {
+        // Reverse the `len` low bits so that emitting LSB-first yields the
+        // code MSB-first on the wire.
+        let mut reversed = 0u32;
+        for i in 0..len {
+            if code & (1 << i) != 0 {
+                reversed |= 1 << (len - 1 - i);
+            }
+        }
+        self.bits(reversed, len);
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_to_byte(&mut self) {
+        if self.count > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc = 0;
+            self.count = 0;
+        }
+    }
+
+    /// Appends raw bytes (caller must be byte-aligned).
+    pub fn bytes(&mut self, data: &[u8]) {
+        debug_assert_eq!(self.count, 0, "bytes() requires byte alignment");
+        self.out.extend_from_slice(data);
+    }
+
+    /// Finishes the stream, padding the final partial byte with zeros.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bit_patterns() {
+        let mut w = BitWriter::new();
+        w.bits(0b101, 3);
+        w.bits(0b1, 1);
+        w.bits(0xABC, 12);
+        w.bits(0, 0);
+        w.bits(0x3FFF, 14);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3).unwrap(), 0b101);
+        assert_eq!(r.bits(1).unwrap(), 0b1);
+        assert_eq!(r.bits(12).unwrap(), 0xABC);
+        assert_eq!(r.bits(0).unwrap(), 0);
+        assert_eq!(r.bits(14).unwrap(), 0x3FFF);
+    }
+
+    #[test]
+    fn alignment_and_raw_bytes() {
+        let mut w = BitWriter::new();
+        w.bits(0b11, 2);
+        w.align_to_byte();
+        w.bytes(&[0xDE, 0xAD]);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(2).unwrap(), 0b11);
+        r.align_to_byte();
+        assert_eq!(r.bytes(2).unwrap(), &[0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn reader_reports_end_of_stream() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.bits(8).is_ok());
+        assert!(r.bits(1).is_err());
+    }
+
+    #[test]
+    fn huffman_code_is_msb_first() {
+        // Code 0b011 of length 3 must appear on the wire as bits 0,1,1
+        // (MSB first) i.e. LSB-first emission order 0, 1, 1.
+        let mut w = BitWriter::new();
+        w.huffman_code(0b011, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bit().unwrap(), 0);
+        assert_eq!(r.bit().unwrap(), 1);
+        assert_eq!(r.bit().unwrap(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) as used by ZIP.
+
+/// Lazily built lookup table for byte-at-a-time CRC computation.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data` in one call.
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(vbadet_zip::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    Hasher::new().update(data).finalize()
+}
+
+/// Incremental CRC-32 hasher for streaming input.
+///
+/// ```
+/// use vbadet_zip::crc32::{crc32, Hasher};
+/// let mut h = Hasher::new();
+/// h.update(b"1234").update(b"56789");
+/// assert_eq!(h.finalize(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Creates a hasher with the standard initial state.
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        let mut c = self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+        self
+    }
+
+    /// Returns the final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0, 1, 7, 128, 255, 256] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]).update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_byte_difference_changes_crc() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        b[40] = 1;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

@@ -1,0 +1,141 @@
+//! RFC 1950 zlib wrapping (2-byte header + Adler-32 trailer) around the raw
+//! DEFLATE codec — some OOXML-adjacent tooling stores zlib streams rather
+//! than raw DEFLATE, and the Adler-32 gives an end-to-end integrity check
+//! the raw format lacks.
+
+use crate::deflate::{deflate, BlockStyle};
+use crate::inflate::inflate_with_limit;
+use crate::ZipError;
+
+/// Adler-32 checksum (RFC 1950 §8).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    // Process in chunks small enough that the u32 accumulators cannot
+    // overflow before the modulo (5552 is the standard bound).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Compresses `data` into a zlib stream (RFC 1950).
+pub fn zlib_compress(data: &[u8], style: BlockStyle) -> Vec<u8> {
+    let body = deflate(data, style);
+    let mut out = Vec::with_capacity(body.len() + 6);
+    // CMF: deflate (8), 32K window (7 << 4). FLG: check bits so that
+    // (CMF*256 + FLG) % 31 == 0, no preset dictionary, default level.
+    let cmf = 0x78u8;
+    let mut flg = 0x80u8; // FLEVEL = default-ish
+    let rem = ((cmf as u16) * 256 + flg as u16) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(cmf);
+    out.push(flg);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream.
+///
+/// # Errors
+///
+/// Fails on a bad header, malformed DEFLATE body, truncated trailer, or an
+/// Adler-32 mismatch.
+pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZipError> {
+    if data.len() < 6 {
+        return Err(ZipError::Truncated { offset: 0, needed: 6 });
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8 {
+        return Err(ZipError::InvalidDeflate("zlib: method is not deflate"));
+    }
+    if !((cmf as u16) * 256 + flg as u16).is_multiple_of(31) {
+        return Err(ZipError::InvalidDeflate("zlib: header check bits invalid"));
+    }
+    if flg & 0x20 != 0 {
+        return Err(ZipError::InvalidDeflate("zlib: preset dictionaries unsupported"));
+    }
+    let body = &data[2..data.len() - 4];
+    let out = inflate_with_limit(body, 1 << 30)?;
+    let expected = u32::from_be_bytes([
+        data[data.len() - 4],
+        data[data.len() - 3],
+        data[data.len() - 2],
+        data[data.len() - 1],
+    ]);
+    let found = adler32(&out);
+    if expected != found {
+        return Err(ZipError::CrcMismatch {
+            name: "zlib stream (adler32)".to_string(),
+            expected,
+            found,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        // Long input exercises the chunked modulo.
+        let long = vec![0xFFu8; 100_000];
+        assert_eq!(adler32(&long), {
+            // Reference computation with u64 accumulators.
+            let (mut a, mut b) = (1u64, 0u64);
+            for &byte in &long {
+                a = (a + byte as u64) % 65521;
+                b = (b + a) % 65521;
+            }
+            ((b as u32) << 16) | a as u32
+        });
+    }
+
+    #[test]
+    fn roundtrip_all_styles() {
+        let data = b"zlib wrapped payload, repeated ".repeat(100);
+        for style in [BlockStyle::Stored, BlockStyle::Fixed, BlockStyle::Dynamic] {
+            let packed = zlib_compress(&data, style);
+            assert_eq!(zlib_decompress(&packed).unwrap(), data, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn python_zlib_fixture_decodes() {
+        // zlib.compress(b"hello hello hello hello") — standard header 0x78 0x9C.
+        let packed = [
+            0x78u8, 0x9C, 0xCB, 0x48, 0xCD, 0xC9, 0xC9, 0x57, 0xC8, 0x40, 0x27, 0x01, 0x68,
+            0x03, 0x08, 0xB1,
+        ];
+        assert_eq!(zlib_decompress(&packed).unwrap(), b"hello hello hello hello");
+    }
+
+    #[test]
+    fn corrupted_payload_caught_by_adler() {
+        let mut packed = zlib_compress(b"integrity matters here", BlockStyle::Stored);
+        let mid = packed.len() / 2;
+        packed[mid] ^= 0x01;
+        assert!(zlib_decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        assert!(zlib_decompress(&[0x78, 0x9C, 0, 0]).is_err()); // too short
+        assert!(zlib_decompress(&[0x79, 0x9C, 0, 0, 0, 0, 0]).is_err()); // method
+        assert!(zlib_decompress(&[0x78, 0x9D, 0, 0, 0, 0, 0]).is_err()); // check bits
+        assert!(zlib_decompress(&[0x78, 0xBC, 0, 0, 0, 0, 0]).is_err()); // dictionary
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the DEFLATE codec and ZIP container.
+
+use proptest::prelude::*;
+use vbadet_zip::{deflate, inflate, BlockStyle, CompressionMethod, ZipArchive, ZipWriter};
+
+fn arb_style() -> impl Strategy<Value = BlockStyle> {
+    prop_oneof![
+        Just(BlockStyle::Stored),
+        Just(BlockStyle::Fixed),
+        Just(BlockStyle::Dynamic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inflate(deflate(x)) == x for arbitrary bytes and every block style.
+    #[test]
+    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000), style in arb_style()) {
+        let packed = deflate(&data, style);
+        prop_assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    /// Repetitive data (text-like, low entropy) roundtrips and compresses.
+    #[test]
+    fn deflate_roundtrip_low_entropy(
+        seed in proptest::collection::vec(proptest::char::range('a', 'f'), 1..20),
+        reps in 1usize..2000,
+        style in arb_style(),
+    ) {
+        let unit: String = seed.into_iter().collect();
+        let data = unit.repeat(reps).into_bytes();
+        let packed = deflate(&data, style);
+        prop_assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    /// Inflate never panics on arbitrary garbage.
+    #[test]
+    fn inflate_total_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = inflate(&data);
+    }
+
+    /// ZIP write-then-read returns every member intact.
+    #[test]
+    fn zip_roundtrip(
+        members in proptest::collection::vec(
+            ("[a-z]{1,12}(/[a-z]{1,12}){0,2}", proptest::collection::vec(any::<u8>(), 0..4_096)),
+            0..12,
+        )
+    ) {
+        // Deduplicate names: ZIP permits duplicates, but read_file returns the
+        // first match, which would make the assertion ambiguous.
+        let mut seen = std::collections::HashSet::new();
+        let members: Vec<_> = members.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect();
+
+        let mut writer = ZipWriter::new();
+        for (i, (name, data)) in members.iter().enumerate() {
+            let method = if i % 2 == 0 { CompressionMethod::Deflate } else { CompressionMethod::Stored };
+            writer.add_file(name, data, method).unwrap();
+        }
+        let bytes = writer.finish();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        prop_assert_eq!(archive.entries().len(), members.len());
+        for (name, data) in &members {
+            prop_assert_eq!(&archive.read_file(name).unwrap(), data);
+        }
+    }
+
+    /// ZIP parser never panics on arbitrary garbage.
+    #[test]
+    fn zip_parse_total_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..2_048)) {
+        if let Ok(archive) = ZipArchive::parse(&data) {
+            for entry in archive.entries() {
+                let _ = archive.read_entry(entry);
+            }
+        }
+    }
+
+    /// Flipping any single byte of an archive is either detected or yields
+    /// the original data (e.g. flips in padding/names we don't read back).
+    #[test]
+    fn zip_bitflip_detected_or_harmless(flip in 0usize..512, xor in 1u8..=255) {
+        let mut w = ZipWriter::new();
+        w.add_file("doc/body.xml", b"<doc>some xml body content</doc>", CompressionMethod::Deflate).unwrap();
+        let mut bytes = w.finish();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(archive) = ZipArchive::parse(&bytes) {
+            if let Ok(data) = archive.read_file("doc/body.xml") {
+                prop_assert_eq!(data.as_slice(), b"<doc>some xml body content</doc>".as_slice());
+            }
+        }
+    }
+}

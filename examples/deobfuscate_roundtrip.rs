@@ -1,0 +1,60 @@
+//! The full adversarial loop: obfuscate a dropper (O2+O3+O4), show that a
+//! signature scanner loses it, detect it statistically (the paper's
+//! method), then de-obfuscate and show the signatures light up again.
+//!
+//! ```sh
+//! cargo run --release --example deobfuscate_roundtrip
+//! ```
+
+use rand::SeedableRng;
+use vbadet::{Detector, DetectorConfig, SignatureScanner};
+use vbadet_corpus::CorpusSpec;
+use vbadet_obfuscate::{deobfuscate, Obfuscator, Technique};
+
+const DROPPER: &str = "Sub AutoOpen()\r\n\
+    Dim sh As Object\r\n\
+    Set sh = CreateObject(\"WScript.Shell\")\r\n\
+    sh.Run \"powershell -enc SQBFAFgA\", 0, False\r\n\
+    End Sub\r\n";
+
+fn main() {
+    let scanner = SignatureScanner::new();
+
+    println!("1. plain dropper — signature hits: {:?}", scanner.matches(DROPPER));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let obfuscated = Obfuscator::new()
+        .with(Technique::Split)
+        .with(Technique::Encoding)
+        .with(Technique::LogicWithIntensity(25))
+        .apply(DROPPER, &mut rng)
+        .source;
+    println!(
+        "\n2. after O2+O3+O4 ({} chars) — signature hits: {:?}",
+        obfuscated.len(),
+        scanner.matches(&obfuscated)
+    );
+
+    println!("\n3. statistical detector (the paper's method):");
+    let detector =
+        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05));
+    let verdict = detector.score(&obfuscated);
+    println!(
+        "   obfuscated: {} (score {:+.3})",
+        verdict.obfuscated, verdict.score
+    );
+
+    let report = deobfuscate(&obfuscated);
+    println!(
+        "\n4. de-obfuscated ({} chars: folded {} strings, removed {} dead blocks, {} procs)",
+        report.source.len(),
+        report.folded_strings,
+        report.removed_dead_blocks,
+        report.removed_procedures,
+    );
+    println!("   signature hits again: {:?}", scanner.matches(&report.source));
+    println!("\nrecovered source:\n");
+    for line in report.source.lines() {
+        println!("    {line}");
+    }
+}

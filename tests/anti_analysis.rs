@@ -1,0 +1,94 @@
+//! §VI.B case studies: the three anti-analysis techniques, their effect on
+//! static extraction, and their interaction with the obfuscation pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vbadet_obfuscate::anti_analysis::{change_flow, hide_string_data, insert_broken_code};
+use vbadet_obfuscate::{Obfuscator, Technique};
+use vbadet_ovba::VbaProjectBuilder;
+use vbadet_vba::MacroAnalysis;
+
+const PAYLOAD: &str = "Sub Document_Open()\r\n\
+    cmd = \"powershell -enc SQBFAFgA\"\r\n\
+    Shell cmd, 0\r\n\
+    End Sub\r\n";
+
+#[test]
+fn hidden_strings_defeat_static_string_extraction() {
+    // Figure 8(a): after hiding, no static analysis of the source can see
+    // the command — exactly the paper's point about this technique.
+    let mut rng = StdRng::seed_from_u64(1);
+    let hidden = hide_string_data(PAYLOAD, &mut rng);
+    let analysis = MacroAnalysis::new(&hidden.source);
+    let strings = analysis.strings();
+    assert!(!strings.iter().any(|s| s.contains("powershell")));
+    // The value is preserved out-of-band (document variables), so a
+    // document-aware analyzer could still retrieve it.
+    assert_eq!(hidden.hidden.len(), 1);
+    assert!(hidden.hidden[0].1.contains("powershell"));
+}
+
+#[test]
+fn broken_code_still_lexes_and_extracts() {
+    // Figure 8(b): the broken statements would crash a strict parser; the
+    // lexer and the feature extractors must be total on them.
+    let mut rng = StdRng::seed_from_u64(2);
+    let broken = insert_broken_code(PAYLOAD, &mut rng);
+    assert!(broken.contains("Exit Sub"));
+
+    let v = vbadet_features::v_features(&broken);
+    let j = vbadet_features::j_features(&broken);
+    assert!(v.iter().all(|x| x.is_finite()));
+    assert!(j.iter().all(|x| x.is_finite()));
+
+    // And the full container pipeline carries it unharmed.
+    let mut project = VbaProjectBuilder::new("P");
+    project.add_module("ThisDocument", &broken);
+    let bytes = project.build().unwrap();
+    let extracted = vbadet::extract_macros(&bytes).unwrap();
+    assert_eq!(extracted[0].code, broken);
+}
+
+#[test]
+fn flow_change_guards_precede_payload() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let flowed = change_flow(PAYLOAD, &mut rng);
+    let guard = flowed.find("RecentFiles.Count").expect("guard inserted");
+    let body = flowed.find("cmd = ").expect("payload kept");
+    assert!(guard < body);
+}
+
+#[test]
+fn anti_analysis_composes_with_obfuscation() {
+    // The paper observes anti-analysis tricks "tend to be found together in
+    // obfuscated VBA macros": the composition must stay lexable and the
+    // obfuscation detector still sees the obfuscation mechanisms.
+    let mut rng = StdRng::seed_from_u64(4);
+    let hidden = hide_string_data(PAYLOAD, &mut rng);
+    let broken = insert_broken_code(&hidden.source, &mut rng);
+    let flowed = change_flow(&broken, &mut rng);
+    let full = Obfuscator::new()
+        .with(Technique::Split)
+        .with(Technique::LogicWithIntensity(30))
+        .with(Technique::Random)
+        .apply(&flowed, &mut rng)
+        .source;
+
+    let analysis = MacroAnalysis::new(&full);
+    assert!(!analysis.tokens().is_empty());
+    // Entry point survives all five transforms.
+    assert!(full.contains("Document_Open"));
+    // Member-access reads of the hidden variable survive renaming (the
+    // member name after `.` must not be renamed).
+    assert!(full.contains("ActiveDocument.Variables"));
+}
+
+#[test]
+fn hidden_string_reads_survive_renaming() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let hidden = hide_string_data(PAYLOAD, &mut rng);
+    let (renamed, _) = vbadet_obfuscate::random::apply(&hidden.source, &mut rng);
+    // `.Variables(...)`, `.Value()` are member accesses: must be intact.
+    assert!(renamed.contains(".Value()"));
+    assert!(renamed.contains("ActiveDocument.Variables("));
+}

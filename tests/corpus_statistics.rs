@@ -1,0 +1,91 @@
+//! Statistical invariants of the synthetic corpus against the paper's
+//! Tables II/III and Figure 5 — at a scale large enough to be meaningful
+//! but fast enough for CI.
+
+use vbadet::experiment::{fig5, table3};
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
+
+fn spec() -> CorpusSpec {
+    CorpusSpec::paper().scaled(0.1)
+}
+
+#[test]
+fn table3_obfuscation_rates() {
+    let macros = generate_macros(&spec());
+    let (benign, malicious) = table3(&macros);
+    // Paper: 1.7% benign, 98.4% malicious.
+    assert!(benign.obfuscation_rate() < 0.05, "{}", benign.obfuscation_rate());
+    assert!(malicious.obfuscation_rate() > 0.95, "{}", malicious.obfuscation_rate());
+    // The macro-count ratio benign:malicious ≈ 4:1 (3380 vs 832).
+    let ratio = benign.macros as f64 / malicious.macros as f64;
+    assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn fig5a_benign_lengths_are_spread_not_clustered() {
+    let macros = generate_macros(&spec());
+    let (plain, _) = fig5(&macros);
+    // Quartiles must be genuinely spread (uniform-ish, not clustered).
+    let mut sorted = plain.clone();
+    sorted.sort_unstable();
+    let q1 = sorted[sorted.len() / 4] as f64;
+    let q3 = sorted[3 * sorted.len() / 4] as f64;
+    assert!(q3 / q1 > 2.0, "IQR spread too small: q1={q1} q3={q3}");
+}
+
+#[test]
+fn fig5b_obfuscated_lengths_have_cluster_mass() {
+    let macros = generate_macros(&spec());
+    let (_, obf) = fig5(&macros);
+    // At least a third of obfuscated macros sit within 25% of a cluster
+    // center (the full-profile share targets them; light profiles roam).
+    let clusters = [1_500f64, 3_000.0, 15_000.0];
+    let near = obf
+        .iter()
+        .filter(|&&l| clusters.iter().any(|c| (l as f64 - c).abs() / c <= 0.25))
+        .count();
+    assert!(
+        near as f64 / obf.len() as f64 > 0.33,
+        "{near}/{} near clusters",
+        obf.len()
+    );
+}
+
+#[test]
+fn table2_file_population_and_sizes() {
+    // Scaled-down document build: verify counts and the benign≫malicious
+    // size relationship (paper: 1.1MB vs 0.06MB).
+    let spec = CorpusSpec::paper().scaled(0.02);
+    let macros = generate_macros(&spec);
+    let (benign, malicious) = DocumentFactory::new(&spec, &macros).for_each(|_| {});
+    assert_eq!(benign.files, spec.benign_word_files + spec.benign_excel_files);
+    assert_eq!(
+        malicious.files,
+        spec.malicious_word_files + spec.malicious_excel_files
+    );
+    assert!(
+        benign.avg_size() > malicious.avg_size(),
+        "benign {} vs malicious {}",
+        benign.avg_size(),
+        malicious.avg_size()
+    );
+}
+
+#[test]
+fn corpus_is_reproducible_and_seed_sensitive() {
+    let a = generate_macros(&spec());
+    let b = generate_macros(&spec());
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(&b).all(|(x, y)| x.source == y.source));
+
+    let c = generate_macros(&spec().with_seed(99));
+    assert!(a.iter().zip(&c).any(|(x, y)| x.source != y.source));
+}
+
+#[test]
+fn paper_scale_spec_matches_the_paper_exactly() {
+    let s = CorpusSpec::paper();
+    assert_eq!(s.total_macros(), 4212);
+    assert_eq!(s.benign_obfuscated + s.malicious_obfuscated, 877);
+    assert_eq!(s.total_files(), 2537);
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: synthetic corpus → real container files →
+//! extraction → preprocessing → features → classification. This is the
+//! whole paper pipeline exercised across every crate boundary.
+
+use vbadet::{extract_macros, preprocess_macros, ContainerKind, Detector, DetectorConfig};
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, DocumentKind};
+
+fn tiny_spec() -> CorpusSpec {
+    CorpusSpec::paper().scaled(0.01).with_seed(0xE2E)
+}
+
+#[test]
+fn every_generated_document_roundtrips_through_extraction() {
+    let spec = tiny_spec();
+    let macros = generate_macros(&spec);
+    let factory = DocumentFactory::new(&spec, &macros);
+    let mut total_modules = 0usize;
+    let mut failures = Vec::new();
+    factory.for_each(|file| {
+        match extract_macros(&file.bytes) {
+            Ok(extracted) => {
+                total_modules += extracted.len();
+                if extracted.len() != file.module_count {
+                    failures.push(format!(
+                        "{}: {} modules expected, {} extracted",
+                        file.name,
+                        file.module_count,
+                        extracted.len()
+                    ));
+                }
+                let expected_kind = match file.kind {
+                    DocumentKind::WordDoc | DocumentKind::ExcelXls => ContainerKind::Ole,
+                    _ => ContainerKind::Ooxml,
+                };
+                if extracted.iter().any(|m| m.container != expected_kind) {
+                    failures.push(format!("{}: wrong container kind", file.name));
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", file.name)),
+        }
+    });
+    assert!(failures.is_empty(), "{failures:?}");
+    assert!(total_modules >= spec.benign_macros, "all benign macros distributed");
+}
+
+#[test]
+fn extracted_macro_text_is_byte_identical_to_generated_source() {
+    // The full storage pipeline (OVBA compression, OLE sectors, ZIP/DEFLATE)
+    // must be transparent: extracted code equals generated code.
+    let spec = tiny_spec();
+    let macros = generate_macros(&spec);
+    let factory = DocumentFactory::new(&spec, &macros);
+    let originals: std::collections::HashSet<&str> =
+        macros.iter().map(|m| m.source.as_str()).collect();
+    let mut checked = 0usize;
+    let mut mismatched = 0usize;
+    factory.for_each(|file| {
+        for module in extract_macros(&file.bytes).expect("extraction works") {
+            checked += 1;
+            if !originals.contains(module.code.as_str()) {
+                mismatched += 1;
+            }
+        }
+    });
+    assert!(checked > 0);
+    assert_eq!(mismatched, 0, "{mismatched}/{checked} modules corrupted in transit");
+}
+
+#[test]
+fn preprocessing_matches_paper_rules() {
+    // The generator promises uniqueness and the 150-byte floor, so the
+    // paper's preprocessing must be a no-op on a generated corpus.
+    let macros = generate_macros(&tiny_spec());
+    let sources: Vec<String> = macros.iter().map(|m| m.source.clone()).collect();
+    let kept = preprocess_macros(sources.clone());
+    assert_eq!(kept.len(), sources.len());
+
+    // And it must actually drop duplicates/short macros when present.
+    let mut dirty = sources;
+    dirty.push(dirty[0].clone());
+    dirty.push("' stub".to_string());
+    let kept = preprocess_macros(dirty);
+    assert_eq!(kept.len(), macros.len());
+}
+
+#[test]
+fn trained_detector_separates_held_out_corpus() {
+    // Train on one seed, evaluate on a disjoint seed: generalization across
+    // corpus draws, not memorization of one draw.
+    let train_spec = CorpusSpec::paper().scaled(0.05).with_seed(1);
+    let test_spec = CorpusSpec::paper().scaled(0.02).with_seed(2);
+    let detector = Detector::train_on_corpus(&DetectorConfig::default(), &train_spec);
+
+    let test_macros = generate_macros(&test_spec);
+    let mut correct = 0usize;
+    for m in &test_macros {
+        if detector.is_obfuscated(&m.source) == m.obfuscated {
+            correct += 1;
+        }
+    }
+    let accuracy = correct as f64 / test_macros.len() as f64;
+    assert!(accuracy > 0.85, "held-out accuracy {accuracy:.3}");
+}
+
+#[test]
+fn document_scan_verdicts_align_with_ground_truth() {
+    let spec = tiny_spec();
+    let macros = generate_macros(&spec);
+    let files = DocumentFactory::new(&spec, &macros).build_all();
+    let detector =
+        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05));
+
+    // Malicious documents carry (mostly obfuscated) payload macros: the
+    // majority must be flagged. Benign documents are mostly clean.
+    let mut malicious_flagged = 0usize;
+    let mut malicious_total = 0usize;
+    let mut benign_flagged = 0usize;
+    let mut benign_total = 0usize;
+    for file in &files {
+        let verdicts = detector.scan_document(&file.bytes).expect("scan works");
+        let any_obfuscated = verdicts.iter().any(|v| v.verdict.obfuscated);
+        if file.malicious {
+            malicious_total += 1;
+            malicious_flagged += any_obfuscated as usize;
+        } else {
+            benign_total += 1;
+            benign_flagged += any_obfuscated as usize;
+        }
+    }
+    let tpr = malicious_flagged as f64 / malicious_total as f64;
+    let fpr = benign_flagged as f64 / benign_total as f64;
+    assert!(tpr > 0.7, "document-level detection rate {tpr:.2}");
+    assert!(fpr < 0.4, "document-level false alarms {fpr:.2}");
+}

@@ -1,0 +1,80 @@
+//! Property-based tests across crate boundaries: arbitrary macro text must
+//! survive the full storage pipeline and never break feature extraction.
+
+use proptest::prelude::*;
+use vbadet_ovba::{VbaProject, VbaProjectBuilder};
+use vbadet_zip::{CompressionMethod, ZipArchive, ZipWriter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Printable macro text of any shape survives
+    /// compress→OLE→ZIP→unzip→parse→decompress byte-for-byte.
+    #[test]
+    fn macro_text_survives_full_container_stack(
+        code in "[ -~\r\n\t]{0,4000}",
+        module in "[A-Za-z][A-Za-z0-9]{0,14}",
+    ) {
+        let mut project = VbaProjectBuilder::new("Prop");
+        project.add_module(&module, &code);
+        let bin = project.build().unwrap();
+
+        let mut zip = ZipWriter::new();
+        zip.add_file("word/vbaProject.bin", &bin, CompressionMethod::Deflate).unwrap();
+        let docm = zip.finish();
+
+        let archive = ZipArchive::parse(&docm).unwrap();
+        let bin2 = archive.read_file("word/vbaProject.bin").unwrap();
+        prop_assert_eq!(&bin2, &bin);
+
+        let ole = vbadet_ole::OleFile::parse(&bin2).unwrap();
+        let parsed = VbaProject::from_ole(&ole).unwrap();
+        prop_assert_eq!(parsed.modules.len(), 1);
+        prop_assert_eq!(&parsed.modules[0].code, &code);
+    }
+
+    /// Feature extraction is total and finite on arbitrary text.
+    #[test]
+    fn features_total_on_arbitrary_text(code in "\\PC{0,2000}") {
+        let v = vbadet_features::v_features(&code);
+        let j = vbadet_features::j_features(&code);
+        prop_assert!(v.iter().all(|x| x.is_finite()), "{:?}", v);
+        prop_assert!(j.iter().all(|x| x.is_finite()), "{:?}", j);
+    }
+
+    /// The obfuscation pipeline preserves lexability and entry points for
+    /// arbitrary procedure bodies.
+    #[test]
+    fn obfuscation_preserves_structure(
+        statements in proptest::collection::vec("[a-z]{1,8} = [0-9]{1,5}", 1..10),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let body: String = statements.iter().map(|s| format!("    {s}\r\n")).collect();
+        let src = format!("Sub Document_Open()\r\n{body}End Sub\r\n");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = vbadet_obfuscate::Obfuscator::new()
+            .with(vbadet_obfuscate::Technique::Split)
+            .with(vbadet_obfuscate::Technique::Encoding)
+            .with(vbadet_obfuscate::Technique::LogicWithIntensity(5))
+            .with(vbadet_obfuscate::Technique::Random)
+            .apply(&src, &mut rng);
+        // Entry point intact, still lexable, still has >= 1 procedure.
+        prop_assert!(out.source.contains("Document_Open"));
+        let analysis = vbadet_vba::MacroAnalysis::new(&out.source);
+        prop_assert!(!analysis.procedure_names().is_empty());
+    }
+
+    /// Extraction is total on arbitrary bytes (no panics on garbage).
+    #[test]
+    fn extraction_total_on_garbage(mut bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = vbadet::extract_macros(&bytes);
+        // Also with plausible magic prefixes.
+        if bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(&[0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1]);
+            let _ = vbadet::extract_macros(&bytes);
+            bytes[..2].copy_from_slice(b"PK");
+            let _ = vbadet::extract_macros(&bytes);
+        }
+    }
+}
