@@ -2,8 +2,10 @@
 //! → features → verdict, for both container families.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use vbadet::{Detector, DetectorConfig};
+use vbadet::{scan_documents, Detector, DetectorConfig, ScanLimits};
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, DocumentKind};
 
 fn pipeline(c: &mut Criterion) {
@@ -38,6 +40,45 @@ fn pipeline(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(src.len() as u64));
         group.bench_function(name, |b| b.iter(|| black_box(detector.score(black_box(src)))));
     }
+    group.finish();
+
+    // Batch-scan throughput under hostile conditions: a corpus where 10% of
+    // the documents are randomly mutated (byte flips / truncation), pushed
+    // through the never-abort engine with strict limits. This is the triage
+    // workload the robustness layer exists for.
+    let mut rng = StdRng::seed_from_u64(0x10AD);
+    let batch: Vec<(String, Vec<u8>)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut bytes = f.bytes.clone();
+            if i % 10 == 0 {
+                if rng.gen_bool(0.5) {
+                    for _ in 0..8 {
+                        let j = rng.gen_range(0..bytes.len());
+                        bytes[j] ^= rng.gen_range(1..=255u8);
+                    }
+                } else {
+                    bytes.truncate(rng.gen_range(1..bytes.len()));
+                }
+            }
+            (f.name.clone(), bytes)
+        })
+        .collect();
+    let total_bytes: u64 = batch.iter().map(|(_, b)| b.len() as u64).sum();
+    let limits = ScanLimits::strict();
+
+    let mut group = c.benchmark_group("batch_scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("mutated_corpus_10pct", |b| {
+        b.iter(|| {
+            let docs = batch.iter().map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
+            let report = scan_documents(black_box(&detector), docs, &limits);
+            assert_eq!(report.scanned(), batch.len());
+            black_box(report)
+        })
+    });
     group.finish();
 }
 

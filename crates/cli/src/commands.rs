@@ -2,7 +2,10 @@
 
 use std::error::Error;
 use std::path::PathBuf;
-use vbadet::{extract_macros, ClassifierKind, Detector, DetectorConfig};
+use vbadet::{
+    extract_macros, scan_paths, ClassifierKind, Detector, DetectorConfig, ScanLimits,
+    ScanOutcome,
+};
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -78,6 +81,11 @@ pub fn scan(args: &[String]) -> CmdResult {
     if flags.positional.is_empty() {
         return Err("scan: at least one file required".into());
     }
+    let limits = match flags.values.get("limits").map(String::as_str) {
+        None | Some("default") => ScanLimits::default(),
+        Some("strict") => ScanLimits::strict(),
+        Some(other) => return Err(format!("unknown limits profile: {other}").into()),
+    };
     let detector = match flags.values.get("model") {
         Some(path) => {
             eprintln!("loading detector from {path}…");
@@ -96,28 +104,44 @@ pub fn scan(args: &[String]) -> CmdResult {
         }
     };
 
+    // The batch never aborts: every input is processed, failures are
+    // per-file records, and the exit status is decided only at the end.
+    let report = scan_paths(&detector, &flags.positional, &limits);
     let mut any_flagged = false;
-    for path in &flags.positional {
-        let bytes = std::fs::read(path)?;
-        match detector.scan_document(&bytes) {
-            Ok(verdicts) if verdicts.is_empty() => {
-                println!("{path}: no VBA macros");
-            }
-            Ok(verdicts) => {
+    for record in &report.records {
+        let path = record.path.display();
+        match &record.outcome {
+            ScanOutcome::Clean => println!("{path}: no VBA macros"),
+            ScanOutcome::Macros(verdicts) | ScanOutcome::Salvaged(verdicts) => {
+                let salvaged =
+                    if matches!(record.outcome, ScanOutcome::Salvaged(_)) { " [salvaged]" } else { "" };
                 for v in verdicts {
                     let mark = if v.verdict.obfuscated { "OBFUSCATED" } else { "clean" };
                     any_flagged |= v.verdict.obfuscated;
                     println!(
-                        "{path}: module {:<20} {:>11} (score {:+.3})",
+                        "{path}: module {:<20} {:>11} (score {:+.3}){salvaged}",
                         v.module_name, mark, v.verdict.score
                     );
                 }
             }
-            Err(e) => println!("{path}: unreadable ({e})"),
+            ScanOutcome::Failed { class, detail } => {
+                println!("{path}: FAILED [{}] {detail}", class.label());
+            }
         }
     }
+    eprintln!(
+        "scanned {}: {} clean, {} flagged, {} salvaged, {} failed",
+        report.scanned(),
+        report.clean(),
+        report.flagged(),
+        report.salvaged(),
+        report.failed()
+    );
     if any_flagged {
         eprintln!("note: obfuscation != maliciousness; see the paper's §VI.A");
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} of {} inputs failed", report.failed(), report.scanned()).into());
     }
     Ok(())
 }
@@ -373,6 +397,37 @@ mod command_tests {
         // Training runs first, so keep the corpus tiny.
         let err = scan(&strs2(&["--scale", "0.002", "/nonexistent/file.doc"]));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn scan_processes_whole_batch_before_failing() {
+        // A bad first input must not prevent the later good input from
+        // being scanned; the command fails only at the end.
+        let dir = std::env::temp_dir().join("vbadet_cli_test_batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.bin");
+        let mut b = vbadet_ovba::VbaProjectBuilder::new("P");
+        b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+        std::fs::write(&good, b.build().unwrap()).unwrap();
+        let junk = dir.join("junk.doc");
+        std::fs::write(&junk, b"definitely not a document").unwrap();
+
+        let err = scan(&strs2(&[
+            "--scale",
+            "0.002",
+            junk.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]));
+        // The batch ran to completion (no early `?` abort on the junk
+        // file) and reported the per-file failure via the exit status.
+        assert!(err.unwrap_err().to_string().contains("1 of 2 inputs failed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_rejects_unknown_limit_profile() {
+        let err = scan(&strs2(&["--limits", "paranoid", "whatever.doc"]));
+        assert!(err.unwrap_err().to_string().contains("unknown limits profile"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn usage() -> &'static str {
     "vbadet — obfuscated VBA macro detection (DSN 2018 reproduction)
 
 USAGE:
-    vbadet scan [--scale F] [--classifier NAME] <file>...
+    vbadet scan [--scale F] [--classifier NAME] [--limits default|strict] <file>...
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
     vbadet deobfuscate <file.vba>
@@ -59,7 +59,10 @@ USAGE:
 COMMANDS:
     scan        Extract macros from .doc/.xls/.docm/.xlsm/vbaProject.bin and
                 classify each module (trains a fresh detector, or pass
-                --model FILE saved by `vbadet train`)
+                --model FILE saved by `vbadet train`). Batch-safe: every
+                input is processed under resource limits, damaged projects
+                are salvaged when possible, and the exit status is nonzero
+                only after all inputs ran (any per-file failure => failure)
     train       Train a detector and save it for reuse with `scan --model`
     extract     Print every macro module's source code
     obfuscate   Apply O1-O4 obfuscation to a VBA source file
@@ -72,5 +75,6 @@ OPTIONS:
     --classifier N   svm | rf | mlp | lda | bnb (default mlp)
     --techniques T   comma list of o1,o2,o3,o4 (default all)
     --folds K        cross-validation folds (default 10)
+    --limits P       scan resource-limit profile: default | strict
     --seed N         RNG seed"
 }

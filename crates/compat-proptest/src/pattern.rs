@@ -1,0 +1,279 @@
+//! Generator for proptest's regex-literal string strategies.
+//!
+//! Supports the subset this workspace's tests use:
+//! - literal characters (control chars arrive pre-unescaped by the Rust
+//!   lexer, so they are just chars here)
+//! - character classes `[..]` with ranges, a trailing literal `-`, and the
+//!   `&&[^..]` intersection-with-negation form
+//! - groups `(..)`
+//! - `{m,n}` / `{n}` repetition on any atom
+//! - `\PC` (any printable character)
+//!
+//! Anchors, alternation and full Unicode categories are not implemented;
+//! an unsupported construct panics with the offending pattern so the gap
+//! is loud rather than silently mis-generated.
+
+use super::TestRng;
+
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<(Node, (u32, u32))>),
+    Printable,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let seq = parse_seq(&chars, &mut pos, pattern, false);
+    if pos != chars.len() {
+        panic!("unsupported regex construct at byte {pos} in pattern {pattern:?}");
+    }
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn emit_seq(seq: &[(Node, (u32, u32))], rng: &mut TestRng, out: &mut String) {
+    for (node, (lo, hi)) in seq {
+        let n = if lo == hi { *lo } else { lo + rng.below((hi - lo + 1) as usize) as u32 };
+        for _ in 0..n {
+            match node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(set) => out.push(set[rng.below(set.len())]),
+                Node::Group(inner) => emit_seq(inner, rng, out),
+                Node::Printable => out.push(printable(rng)),
+            }
+        }
+    }
+}
+
+/// Mostly printable ASCII, occasionally a multibyte printable char, so
+/// consumers see UTF-8 boundaries without drowning in exotic input.
+fn printable(rng: &mut TestRng) -> char {
+    const EXTRA: &[char] = &['é', 'ß', 'Ж', '中', '☃', '€', '𝛼'];
+    if rng.below(10) < 9 {
+        (b' ' + rng.below(95) as u8) as char
+    } else {
+        EXTRA[rng.below(EXTRA.len())]
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, pat: &str, in_group: bool) -> Vec<(Node, (u32, u32))> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let node = match chars[*pos] {
+            ')' if in_group => break,
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(chars, pos, pat))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, pat, true);
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    panic!("unclosed group in pattern {pat:?}");
+                }
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                if chars[*pos..].starts_with(&['\\', 'P', 'C']) {
+                    *pos += 3;
+                    Node::Printable
+                } else if *pos + 1 < chars.len() {
+                    *pos += 2;
+                    Node::Lit(chars[*pos - 1])
+                } else {
+                    panic!("trailing backslash in pattern {pat:?}");
+                }
+            }
+            c @ ('*' | '+' | '?' | '|' | '^' | '$') => {
+                panic!("unsupported regex operator {c:?} in pattern {pat:?}")
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        };
+        let reps = parse_repeat(chars, pos, pat);
+        seq.push((node, reps));
+    }
+    seq
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize, pat: &str) -> (u32, u32) {
+    if *pos >= chars.len() || chars[*pos] != '{' {
+        return (1, 1);
+    }
+    let close = chars[*pos..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unclosed repetition in pattern {pat:?}"));
+    let body: String = chars[*pos + 1..*pos + close].iter().collect();
+    *pos += close + 1;
+    let parse = |s: &str| {
+        s.parse::<u32>()
+            .unwrap_or_else(|_| panic!("bad repetition {body:?} in pattern {pat:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo.trim()), parse(hi.trim())),
+        None => {
+            let n = parse(body.trim());
+            (n, n)
+        }
+    }
+}
+
+/// Parses a class body after the opening `[`; consumes the closing `]`.
+fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Vec<char> {
+    let mut include = parse_class_items(chars, pos, pat, &mut |chars, pos, pat, set| {
+        // `&&[^..]` intersection with a negated class: collect exclusions
+        // and subtract.
+        if chars[*pos..].starts_with(&['&', '&', '[', '^']) {
+            *pos += 4;
+            let excl = parse_class_items(chars, pos, pat, &mut |_, _, _, _| false);
+            set.retain(|c| !excl.contains(c));
+            true
+        } else {
+            false
+        }
+    });
+    if include.is_empty() {
+        panic!("empty character class in pattern {pat:?}");
+    }
+    include.sort_unstable();
+    include.dedup();
+    include
+}
+
+/// Hook signature for [`parse_class_items`]: (chars, pos, pattern, set) →
+/// whether the hook consumed input.
+type ClassItemHook<'a> = &'a mut dyn FnMut(&[char], &mut usize, &str, &mut Vec<char>) -> bool;
+
+/// Parses range/literal items until the matching `]` (consumed). The
+/// `special` hook gets a chance to handle intersection syntax; it returns
+/// true when it consumed something.
+fn parse_class_items(
+    chars: &[char],
+    pos: &mut usize,
+    pat: &str,
+    special: ClassItemHook<'_>,
+) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        if *pos >= chars.len() {
+            panic!("unclosed character class in pattern {pat:?}");
+        }
+        if chars[*pos] == ']' {
+            *pos += 1;
+            return set;
+        }
+        if special(chars, pos, pat, &mut set) {
+            continue;
+        }
+        let c = if chars[*pos] == '\\' && *pos + 1 < chars.len() {
+            *pos += 2;
+            chars[*pos - 1]
+        } else {
+            *pos += 1;
+            chars[*pos - 1]
+        };
+        // `c-d` range, unless `-` is the final char before `]` (literal)
+        // or starts the `&&` intersection.
+        if *pos + 1 < chars.len()
+            && chars[*pos] == '-'
+            && chars[*pos + 1] != ']'
+            && chars[*pos + 1] != '&'
+        {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            if (c as u32) > (hi as u32) {
+                panic!("inverted range {c:?}-{hi:?} in pattern {pat:?}");
+            }
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pat: &str, label: &str) -> String {
+        let mut rng = TestRng::deterministic(label);
+        generate(pat, &mut rng)
+    }
+
+    #[test]
+    fn class_with_intersection_excludes_chars() {
+        for i in 0..300 {
+            let s = gen("[ -~&&[^\"]]{0,60}", &format!("x{i}"));
+            assert!(!s.contains('"'), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        for i in 0..300 {
+            let s = gen("[ -~&&[^\r\n]]{1,60}", &format!("y{i}"));
+            assert!(!s.contains('\r') && !s.contains('\n'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut seen_dash = false;
+        for i in 0..500 {
+            let s = gen("[a-zA-Z0-9 ._/:-]{4,40}", &format!("d{i}"));
+            assert!((4..=40).contains(&s.chars().count()));
+            seen_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ._/:-".contains(c)));
+        }
+        assert!(seen_dash, "trailing - never generated as a literal");
+    }
+
+    #[test]
+    fn unicode_literals_in_class() {
+        let mut seen_unicode = false;
+        for i in 0..500 {
+            let s = gen("[ -~\r\n\t\u{00e9}\u{2603}]{0,80}", &format!("u{i}"));
+            seen_unicode |= s.contains('\u{00e9}') || s.contains('\u{2603}');
+        }
+        assert!(seen_unicode);
+    }
+
+    #[test]
+    fn exact_repetition_count() {
+        let s = gen("[a-f]{8}", "exact");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn groups_nest_and_repeat() {
+        for i in 0..200 {
+            let s = gen(
+                "[A-Za-z][A-Za-z0-9_]{0,14}(/[A-Za-z][A-Za-z0-9_]{0,14}){0,2}",
+                &format!("g{i}"),
+            );
+            let segs: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&segs.len()), "{s:?}");
+            for seg in segs {
+                assert!(seg.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+                assert!(seg.len() <= 15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex operator")]
+    fn alternation_is_loudly_rejected() {
+        gen("a|b", "alt");
+    }
+}

@@ -2,9 +2,10 @@
 //! §IV.B): container sniffing, OOXML unwrapping, OLE walking, MS-OVBA
 //! decompression.
 
+use crate::limits::ScanLimits;
 use crate::DetectError;
 use vbadet_ole::OleFile;
-use vbadet_ovba::VbaProject;
+use vbadet_ovba::{salvage_modules_from_bytes, salvage_modules_from_ole, OvbaError, VbaProject};
 use vbadet_zip::ZipArchive;
 
 /// Detected container family.
@@ -74,6 +75,122 @@ pub fn extract_macros(bytes: &[u8]) -> Result<Vec<ExtractedMacro>, DetectError> 
         }
         None => Err(DetectError::UnknownContainer),
     }
+}
+
+/// How the macros of an [`Extraction`] were recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtractionStatus {
+    /// The VBA project parsed cleanly per MS-OVBA.
+    Parsed,
+    /// The project structures were unreadable (stomped `dir` stream,
+    /// corrupted directory…) but module source was recovered by scanning
+    /// for intact compressed containers.
+    Salvaged,
+}
+
+/// Result of limit-aware extraction: the recovered macros plus whether the
+/// strict parser or the salvage scanner produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// Recovered macro modules (possibly empty for a macro-free OLE file).
+    pub macros: Vec<ExtractedMacro>,
+    /// Provenance of the recovery.
+    pub status: ExtractionStatus,
+}
+
+/// Like [`extract_macros`], but under explicit [`ScanLimits`] and with a
+/// salvage fallback: when the project structures are malformed yet intact
+/// compressed containers remain, their modules are recovered and the result
+/// is tagged [`ExtractionStatus::Salvaged`].
+///
+/// Limit breaches are *not* salvaged — an input that trips a resource cap
+/// is reported as [`DetectError`] wrapping a `LimitExceeded` so batch
+/// callers can surface it as a typed outcome rather than silently
+/// truncating.
+///
+/// # Errors
+///
+/// As [`extract_macros`], except that structure errors for which salvage
+/// recovers at least one module become `Ok` with `Salvaged` status.
+pub fn extract_macros_with_limits(
+    bytes: &[u8],
+    limits: &ScanLimits,
+) -> Result<Extraction, DetectError> {
+    match sniff(bytes) {
+        Some(ContainerKind::Ole) => extract_from_ole_bytes(bytes, ContainerKind::Ole, limits),
+        Some(ContainerKind::Ooxml) => {
+            let zip = ZipArchive::parse_with_limits(bytes, limits.zip)?;
+            let part = zip
+                .names()
+                .find(|n| n.ends_with("vbaProject.bin"))
+                .map(str::to_string)
+                .ok_or(DetectError::NoVbaPart)?;
+            let bin = zip.read_file(&part)?;
+            extract_from_ole_bytes(&bin, ContainerKind::Ooxml, limits)
+        }
+        None => Err(DetectError::UnknownContainer),
+    }
+}
+
+/// Parses an OLE buffer and extracts its VBA project, salvaging when the
+/// strict path fails for a reason other than a resource cap.
+fn extract_from_ole_bytes(
+    bytes: &[u8],
+    container: ContainerKind,
+    limits: &ScanLimits,
+) -> Result<Extraction, DetectError> {
+    let ole = match OleFile::parse_with_limits(bytes, limits.ole) {
+        Ok(ole) => ole,
+        Err(e @ (vbadet_ole::OleError::LimitExceeded { .. }
+        | vbadet_ole::OleError::ChainCycle { .. })) => return Err(e.into()),
+        Err(e) => {
+            // The compound file itself is unreadable; scan the raw buffer
+            // for compressed containers as a last resort.
+            let salvaged = salvage_modules_from_bytes(bytes, "", &limits.ovba);
+            if salvaged.is_empty() {
+                return Err(e.into());
+            }
+            return Ok(Extraction {
+                macros: modules_to_macros(salvaged, container),
+                status: ExtractionStatus::Salvaged,
+            });
+        }
+    };
+    match VbaProject::from_ole_with_limits(&ole, &limits.ovba) {
+        Ok(project) => Ok(Extraction {
+            macros: project_to_macros(project, container),
+            status: ExtractionStatus::Parsed,
+        }),
+        Err(OvbaError::NoVbaProject) if container == ContainerKind::Ole => {
+            Ok(Extraction { macros: Vec::new(), status: ExtractionStatus::Parsed })
+        }
+        Err(e @ OvbaError::LimitExceeded { .. }) => Err(e.into()),
+        Err(e) => {
+            let salvaged = salvage_modules_from_ole(&ole, &limits.ovba);
+            if salvaged.is_empty() {
+                return Err(e.into());
+            }
+            Ok(Extraction {
+                macros: modules_to_macros(salvaged, container),
+                status: ExtractionStatus::Salvaged,
+            })
+        }
+    }
+}
+
+fn modules_to_macros(
+    modules: Vec<vbadet_ovba::VbaModule>,
+    container: ContainerKind,
+) -> Vec<ExtractedMacro> {
+    modules
+        .into_iter()
+        .map(|m| ExtractedMacro {
+            module_name: m.name,
+            code: m.code,
+            project_name: String::from("<salvaged>"),
+            container,
+        })
+        .collect()
 }
 
 fn project_to_macros(project: VbaProject, container: ContainerKind) -> Vec<ExtractedMacro> {

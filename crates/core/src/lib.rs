@@ -31,14 +31,23 @@ pub mod detector;
 mod error;
 pub mod experiment;
 pub mod extract;
+pub mod limits;
 pub mod preprocess;
+pub mod scan;
 pub mod signature;
 pub mod threshold;
 
 pub use anti_analysis_scan::{scan_anti_analysis, AntiAnalysisIndicator};
 pub use detector::{ClassifierKind, Detector, DetectorConfig, ModuleVerdict, Verdict};
 pub use error::DetectError;
-pub use extract::{extract_macros, ContainerKind, ExtractedMacro};
+pub use extract::{
+    extract_macros, extract_macros_with_limits, ContainerKind, ExtractedMacro, Extraction,
+    ExtractionStatus,
+};
+pub use limits::ScanLimits;
 pub use preprocess::preprocess_macros;
+pub use scan::{
+    scan_bytes, scan_documents, scan_paths, FailureClass, ScanOutcome, ScanRecord, ScanReport,
+};
 pub use signature::SignatureScanner;
 pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};

@@ -1,0 +1,67 @@
+//! Resource limits for hostile-input scanning.
+//!
+//! Malware-scanning pipelines parse attacker-controlled bytes by design, so
+//! every allocation and loop in the container stack must be bounded by
+//! something the *scanner* chooses, not something the *file* declares.
+//! [`ScanLimits`] aggregates the per-layer caps and is threaded from the
+//! batch engine down through ZIP, OLE and MS-OVBA parsing.
+
+use vbadet_ole::OleLimits;
+use vbadet_ovba::OvbaLimits;
+use vbadet_zip::ZipLimits;
+
+/// Resource caps applied while scanning one document.
+///
+/// The defaults are generous for real Office documents (the largest
+/// legitimate `vbaProject.bin` streams are a few megabytes) while keeping
+/// the worst-case memory for a hostile input bounded to hundreds of
+/// megabytes rather than the petabytes a decompression bomb can declare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanLimits {
+    /// ZIP-layer caps: central-directory entry count, inflated member size.
+    pub zip: ZipLimits,
+    /// OLE-layer caps: sector count, directory entries, stream size.
+    pub ole: OleLimits,
+    /// VBA-layer caps: module count, decompressed module/dir stream sizes.
+    pub ovba: OvbaLimits,
+}
+
+impl ScanLimits {
+    /// A tightened profile for untrusted bulk scanning: an order of
+    /// magnitude below the defaults on every decompressed-size cap, so a
+    /// single hostile document in a large batch cannot stall the engine.
+    pub fn strict() -> Self {
+        ScanLimits {
+            zip: ZipLimits { max_entries: 1 << 12, max_member_bytes: 1 << 24 },
+            ole: OleLimits {
+                max_sectors: 1 << 18,
+                max_dir_entries: 1 << 12,
+                max_stream_bytes: 1 << 24,
+            },
+            ovba: OvbaLimits {
+                max_modules: 256,
+                max_module_bytes: 1 << 22,
+                max_dir_bytes: 1 << 20,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_is_no_looser_than_default() {
+        let d = ScanLimits::default();
+        let s = ScanLimits::strict();
+        assert!(s.zip.max_entries <= d.zip.max_entries);
+        assert!(s.zip.max_member_bytes <= d.zip.max_member_bytes);
+        assert!(s.ole.max_sectors <= d.ole.max_sectors);
+        assert!(s.ole.max_dir_entries <= d.ole.max_dir_entries);
+        assert!(s.ole.max_stream_bytes <= d.ole.max_stream_bytes);
+        assert!(s.ovba.max_modules <= d.ovba.max_modules);
+        assert!(s.ovba.max_module_bytes <= d.ovba.max_module_bytes);
+        assert!(s.ovba.max_dir_bytes <= d.ovba.max_dir_bytes);
+    }
+}

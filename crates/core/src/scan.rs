@@ -1,0 +1,334 @@
+//! Never-abort batch scanning.
+//!
+//! A malware triage run processes thousands of files, many of them
+//! deliberately malformed; one hostile document must never take down the
+//! batch. [`scan_paths`] (and the in-memory [`scan_documents`]) process
+//! every input, isolate per-document panics with
+//! [`std::panic::catch_unwind`], classify each failure into a
+//! [`FailureClass`], and aggregate everything into a [`ScanReport`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::detector::{Detector, ModuleVerdict};
+use crate::extract::{extract_macros_with_limits, ExtractionStatus};
+use crate::limits::ScanLimits;
+use crate::DetectError;
+
+/// Why a document could not be scanned, at the granularity the batch
+/// report cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// A sector or DIFAT chain in the compound file loops.
+    CyclicChain,
+    /// A configured [`ScanLimits`] cap was hit (decompression bomb,
+    /// oversized directory…).
+    LimitExceeded,
+    /// The file ends before a referenced structure.
+    Truncated,
+    /// A structure is malformed in some other way and salvage recovered
+    /// nothing.
+    Malformed,
+    /// The bytes are neither an OLE compound file nor a ZIP archive.
+    UnknownContainer,
+    /// An OOXML archive with no `vbaProject.bin` part.
+    NoVbaPart,
+    /// The file could not be read from disk.
+    Io,
+    /// The scanner itself panicked on this input (a bug — the panic is
+    /// contained and reported rather than aborting the batch).
+    Panic,
+}
+
+impl FailureClass {
+    /// Maps a detection error onto its batch-report class.
+    pub fn from_error(e: &DetectError) -> Self {
+        use vbadet_ole::OleError;
+        use vbadet_ovba::OvbaError;
+        use vbadet_zip::ZipError;
+        match e {
+            DetectError::UnknownContainer => FailureClass::UnknownContainer,
+            DetectError::NoVbaPart => FailureClass::NoVbaPart,
+            DetectError::Zip(ZipError::LimitExceeded { .. })
+            | DetectError::Ole(OleError::LimitExceeded { .. })
+            | DetectError::Ovba(OvbaError::LimitExceeded { .. })
+            | DetectError::Ovba(OvbaError::Ole(OleError::LimitExceeded { .. })) => {
+                FailureClass::LimitExceeded
+            }
+            DetectError::Ole(OleError::ChainCycle { .. })
+            | DetectError::Ovba(OvbaError::Ole(OleError::ChainCycle { .. })) => {
+                FailureClass::CyclicChain
+            }
+            DetectError::Zip(ZipError::Truncated { .. })
+            | DetectError::Ole(OleError::Truncated { .. })
+            | DetectError::Ovba(OvbaError::TruncatedContainer)
+            | DetectError::Ovba(OvbaError::Ole(OleError::Truncated { .. })) => {
+                FailureClass::Truncated
+            }
+            _ => FailureClass::Malformed,
+        }
+    }
+
+    /// Stable lowercase label used in reports and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureClass::CyclicChain => "cyclic-chain",
+            FailureClass::LimitExceeded => "limit-exceeded",
+            FailureClass::Truncated => "truncated",
+            FailureClass::Malformed => "malformed",
+            FailureClass::UnknownContainer => "unknown-container",
+            FailureClass::NoVbaPart => "no-vba-part",
+            FailureClass::Io => "io-error",
+            FailureClass::Panic => "panic",
+        }
+    }
+}
+
+/// Outcome of scanning one document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanOutcome {
+    /// Parsed cleanly; no macros present.
+    Clean,
+    /// Parsed cleanly; per-module verdicts attached.
+    Macros(Vec<ModuleVerdict>),
+    /// Project structures were damaged but modules were recovered by the
+    /// salvage scanner; verdicts attached.
+    Salvaged(Vec<ModuleVerdict>),
+    /// The document could not be scanned.
+    Failed {
+        /// Broad class of the failure, for aggregation.
+        class: FailureClass,
+        /// Human-readable detail (the underlying error or panic message).
+        detail: String,
+    },
+}
+
+impl ScanOutcome {
+    /// Whether any attached verdict flags obfuscation.
+    pub fn flagged(&self) -> bool {
+        match self {
+            ScanOutcome::Macros(v) | ScanOutcome::Salvaged(v) => {
+                v.iter().any(|m| m.verdict.obfuscated)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One scanned document inside a [`ScanReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRecord {
+    /// Input path (or a synthetic label for in-memory scans).
+    pub path: PathBuf,
+    /// What happened.
+    pub outcome: ScanOutcome,
+}
+
+/// Aggregate result of a batch scan. Every input appears exactly once in
+/// [`records`](Self::records), whatever happened to it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanReport {
+    /// Per-document outcomes, in input order.
+    pub records: Vec<ScanRecord>,
+}
+
+impl ScanReport {
+    /// Total number of inputs processed.
+    pub fn scanned(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Documents that parsed with no macros.
+    pub fn clean(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Clean)).count()
+    }
+
+    /// Documents with at least one module flagged as obfuscated.
+    pub fn flagged(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.flagged()).count()
+    }
+
+    /// Documents whose macros came from the salvage scanner.
+    pub fn salvaged(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Salvaged(_))).count()
+    }
+
+    /// Documents that could not be scanned at all.
+    pub fn failed(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Failed { .. })).count()
+    }
+
+    /// Failure count for one class.
+    pub fn failed_with(&self, class: FailureClass) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(&r.outcome, ScanOutcome::Failed { class: c, .. } if *c == class))
+            .count()
+    }
+}
+
+/// Scans one in-memory document, containing any panic from the parsing or
+/// scoring stack.
+///
+/// This is the batch engine's unit of work: it never returns `Err` and
+/// never unwinds — every abnormal path becomes [`ScanOutcome::Failed`].
+pub fn scan_bytes(detector: &Detector, bytes: &[u8], limits: &ScanLimits) -> ScanOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| scan_bytes_inner(detector, bytes, limits)));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ScanOutcome::Failed { class: FailureClass::Panic, detail }
+        }
+    }
+}
+
+fn scan_bytes_inner(detector: &Detector, bytes: &[u8], limits: &ScanLimits) -> ScanOutcome {
+    match extract_macros_with_limits(bytes, limits) {
+        Ok(extraction) => {
+            if extraction.macros.is_empty() {
+                return ScanOutcome::Clean;
+            }
+            let verdicts = extraction
+                .macros
+                .iter()
+                .map(|m| ModuleVerdict {
+                    module_name: m.module_name.clone(),
+                    verdict: detector.score(&m.code),
+                })
+                .collect();
+            match extraction.status {
+                ExtractionStatus::Parsed => ScanOutcome::Macros(verdicts),
+                ExtractionStatus::Salvaged => ScanOutcome::Salvaged(verdicts),
+            }
+        }
+        Err(e) => {
+            ScanOutcome::Failed { class: FailureClass::from_error(&e), detail: e.to_string() }
+        }
+    }
+}
+
+/// Scans a batch of labelled in-memory documents. Used by tests and the
+/// fuzz harness; [`scan_paths`] is the filesystem-facing equivalent.
+pub fn scan_documents<'a, I>(detector: &Detector, docs: I, limits: &ScanLimits) -> ScanReport
+where
+    I: IntoIterator<Item = (&'a str, &'a [u8])>,
+{
+    let records = docs
+        .into_iter()
+        .map(|(label, bytes)| ScanRecord {
+            path: PathBuf::from(label),
+            outcome: scan_bytes(detector, bytes, limits),
+        })
+        .collect();
+    ScanReport { records }
+}
+
+/// Scans every path in order, never aborting: unreadable files become
+/// [`FailureClass::Io`] records, parser panics become
+/// [`FailureClass::Panic`] records, and the batch always runs to the end.
+pub fn scan_paths<P: AsRef<Path>>(
+    detector: &Detector,
+    paths: &[P],
+    limits: &ScanLimits,
+) -> ScanReport {
+    let records = paths
+        .iter()
+        .map(|p| {
+            let path = p.as_ref().to_path_buf();
+            let outcome = match std::fs::read(&path) {
+                Ok(bytes) => scan_bytes(detector, &bytes, limits),
+                Err(e) => {
+                    ScanOutcome::Failed { class: FailureClass::Io, detail: e.to_string() }
+                }
+            };
+            ScanRecord { path, outcome }
+        })
+        .collect();
+    ScanReport { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorConfig;
+    use vbadet_corpus::CorpusSpec;
+    use vbadet_ovba::VbaProjectBuilder;
+
+    fn detector() -> Detector {
+        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05))
+    }
+
+    fn doc_with_macro() -> Vec<u8> {
+        let mut b = VbaProjectBuilder::new("P");
+        b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn batch_mixes_outcomes_without_aborting() {
+        let det = detector();
+        let with_macro = doc_with_macro();
+        let mut clean_ole = vbadet_ole::OleBuilder::new();
+        clean_ole.add_stream("WordDocument", b"no macros here").unwrap();
+        let clean = clean_ole.build();
+        let docs: Vec<(&str, &[u8])> = vec![
+            ("a.bin", &with_macro[..]),
+            ("b.doc", &clean[..]),
+            ("c.txt", b"not a document at all"),
+            ("d.doc", &with_macro[..7]),
+        ];
+        let report = scan_documents(&det, docs, &ScanLimits::default());
+        assert_eq!(report.scanned(), 4);
+        assert!(matches!(report.records[0].outcome, ScanOutcome::Macros(_)));
+        assert!(matches!(report.records[1].outcome, ScanOutcome::Clean));
+        assert_eq!(report.failed(), 2);
+        assert_eq!(report.failed_with(FailureClass::UnknownContainer), 2);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_failure_not_an_abort() {
+        let det = detector();
+        let report = scan_paths(
+            &det,
+            &["/nonexistent/definitely-not-here.doc"],
+            &ScanLimits::default(),
+        );
+        assert_eq!(report.scanned(), 1);
+        assert_eq!(report.failed_with(FailureClass::Io), 1);
+    }
+
+    #[test]
+    fn panics_are_contained_per_document() {
+        // No known panicking input exists (that's the point of the fuzz
+        // harness), so exercise the containment path directly.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> ScanOutcome {
+            panic!("synthetic parser bug");
+        }))
+        .err()
+        .map(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .unwrap_or_default();
+            ScanOutcome::Failed { class: FailureClass::Panic, detail }
+        })
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            ScanOutcome::Failed { class: FailureClass::Panic, ref detail }
+                if detail == "synthetic parser bug"
+        ));
+    }
+
+    #[test]
+    fn failure_labels_are_stable() {
+        assert_eq!(FailureClass::CyclicChain.label(), "cyclic-chain");
+        assert_eq!(FailureClass::LimitExceeded.label(), "limit-exceeded");
+        assert_eq!(FailureClass::Panic.label(), "panic");
+    }
+}

@@ -24,6 +24,8 @@ impl LinearDiscriminant {
 }
 
 impl Classifier for LinearDiscriminant {
+    // Triangular covariance fill: paired i/j indexing is the clear form.
+    #[allow(clippy::needless_range_loop)]
     fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
         crate::validate_fit_input(x, y);
         let dim = x[0].len();

@@ -3,6 +3,9 @@
 
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
 /// `a` is row-major `n × n`. Returns `None` for (numerically) singular `A`.
+// Gaussian elimination touches two rows of `m` at once; index form avoids
+// split-borrow gymnastics.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = b.len();
     assert_eq!(a.len(), n);

@@ -154,8 +154,9 @@ impl Classifier for MlpClassifier {
                             let prev_n = self.layers[li].weights[0].len();
                             let mut next_delta = vec![0.0; prev_n];
                             for (o, &d) in delta.iter().enumerate() {
-                                for p in 0..prev_n {
-                                    next_delta[p] += d * self.layers[li].weights[o][p];
+                                let weights = &self.layers[li].weights[o];
+                                for (nd, &w) in next_delta.iter_mut().zip(weights) {
+                                    *nd += d * w;
                                 }
                             }
                             for (p, nd) in next_delta.iter_mut().enumerate() {
@@ -172,9 +173,9 @@ impl Classifier for MlpClassifier {
                 let scale = self.learning_rate / batch.len() as f64;
                 for (li, layer) in self.layers.iter_mut().enumerate() {
                     for o in 0..layer.weights.len() {
-                        for iidx in 0..layer.weights[o].len() {
-                            layer.vel_w[o][iidx] = self.momentum * layer.vel_w[o][iidx]
-                                - scale * grad_w[li][o][iidx];
+                        for (iidx, &g) in grad_w[li][o].iter().enumerate() {
+                            layer.vel_w[o][iidx] =
+                                self.momentum * layer.vel_w[o][iidx] - scale * g;
                             layer.weights[o][iidx] += layer.vel_w[o][iidx];
                         }
                         layer.vel_b[o] =

@@ -53,6 +53,9 @@ fn median(values: &mut [f64]) -> f64 {
 }
 
 impl Classifier for BernoulliNb {
+    // `class` indexes four parallel per-class arrays; the range form is
+    // the clear one.
+    #[allow(clippy::needless_range_loop)]
     fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
         crate::validate_fit_input(x, y);
         let dim = x[0].len();

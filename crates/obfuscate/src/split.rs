@@ -92,7 +92,7 @@ pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -
 /// Splits `value` into 2–5 non-empty pieces at random char boundaries.
 fn split_pieces<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Vec<String> {
     let chars: Vec<char> = value.chars().collect();
-    let max_parts = chars.len().min(5).max(2);
+    let max_parts = chars.len().clamp(2, 5);
     let parts = rng.gen_range(2..=max_parts);
     // Choose parts-1 distinct cut points in 1..len.
     let mut cuts: Vec<usize> = Vec::new();

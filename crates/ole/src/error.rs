@@ -23,8 +23,10 @@ pub enum OleError {
     InvalidName(String),
     /// A stream or storage already exists at this path.
     DuplicatePath(String),
-    /// Structure limits exceeded (too many sectors / directory entries).
-    TooLarge(&'static str),
+    /// A configured resource limit was exceeded (sector count, directory
+    /// entries, stream size…). Distinguished from malformed-structure errors
+    /// so callers can report capped inputs as a typed outcome.
+    LimitExceeded { what: &'static str, limit: usize },
 }
 
 impl fmt::Display for OleError {
@@ -43,7 +45,9 @@ impl fmt::Display for OleError {
             OleError::WrongType(path) => write!(f, "entry has unexpected type: {path}"),
             OleError::InvalidName(name) => write!(f, "invalid entry name: {name:?}"),
             OleError::DuplicatePath(path) => write!(f, "duplicate path: {path}"),
-            OleError::TooLarge(what) => write!(f, "structure too large: {what}"),
+            OleError::LimitExceeded { what, limit } => {
+                write!(f, "resource limit exceeded: {what} (limit {limit})")
+            }
         }
     }
 }

@@ -36,5 +36,5 @@ mod write;
 
 pub use entry::{DirEntry, ObjectType};
 pub use error::OleError;
-pub use read::OleFile;
+pub use read::{OleFile, OleLimits};
 pub use write::OleBuilder;

@@ -4,6 +4,32 @@ use crate::consts::*;
 use crate::entry::{DirEntry, ObjectType};
 use crate::OleError;
 
+/// Resource caps applied while parsing a compound file.
+///
+/// Every field bounds an allocation or a loop that would otherwise be
+/// controlled by attacker bytes; overruns surface as
+/// [`OleError::LimitExceeded`] rather than memory exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OleLimits {
+    /// Maximum number of sectors the file body may contain.
+    pub max_sectors: usize,
+    /// Maximum number of directory entries.
+    pub max_dir_entries: usize,
+    /// Maximum bytes read out of any single stream.
+    pub max_stream_bytes: usize,
+}
+
+impl Default for OleLimits {
+    fn default() -> Self {
+        OleLimits {
+            // 4 MiSectors × 512 B = 2 GiB of body, the historical cap.
+            max_sectors: 1 << 22,
+            max_dir_entries: 1 << 16,
+            max_stream_bytes: 1 << 28,
+        }
+    }
+}
+
 /// A parsed compound file.
 ///
 /// Holds the decoded FAT/miniFAT and directory; stream contents are copied
@@ -17,6 +43,7 @@ pub struct OleFile {
     entries: Vec<DirEntry>,
     /// Mini stream contents (the root entry's chain), concatenated.
     mini_stream: Vec<u8>,
+    limits: OleLimits,
 }
 
 fn u16_at(data: &[u8], off: usize) -> u16 {
@@ -41,6 +68,17 @@ impl OleFile {
     /// Returns an error for a missing signature, malformed header, truncated
     /// sectors, looping sector chains, or a malformed directory.
     pub fn parse(data: &[u8]) -> Result<Self, OleError> {
+        Self::parse_with_limits(data, OleLimits::default())
+    }
+
+    /// Parses a compound file under explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the malformed-input errors of [`OleFile::parse`],
+    /// returns [`OleError::LimitExceeded`] when the file requests more
+    /// sectors, directory entries, or stream bytes than `limits` allows.
+    pub fn parse_with_limits(data: &[u8], limits: OleLimits) -> Result<Self, OleError> {
         if data.len() < 512 || data[..8] != SIGNATURE {
             return Err(OleError::BadSignature);
         }
@@ -59,20 +97,24 @@ impl OleFile {
         if mini_shift != 6 {
             return Err(OleError::BadHeader("mini sector shift"));
         }
-        let num_fat_sectors = u32_at(data, 44) as usize;
+        // The header's FAT/DIFAT sector *counts* (offsets 44 and 72) are
+        // deliberately ignored: they are attacker-controlled and everything
+        // they describe is recoverable from the chains actually present.
         let first_dir_sector = u32_at(data, 48);
         let first_minifat_sector = u32_at(data, 60);
         let num_minifat_sectors = u32_at(data, 64) as usize;
         let first_difat_sector = u32_at(data, 68);
-        let num_difat_sectors = u32_at(data, 72) as usize;
 
         // Split the body into sectors (a trailing partial sector is padded;
         // some writers truncate the final sector).
         let body =
             if sector_size == 512 { &data[512..] } else { &data[4096.min(data.len())..] };
         let sector_count = body.len().div_ceil(sector_size);
-        if sector_count > 1 << 22 {
-            return Err(OleError::TooLarge("sector count"));
+        if sector_count > limits.max_sectors {
+            return Err(OleError::LimitExceeded {
+                what: "sector count",
+                limit: limits.max_sectors,
+            });
         }
         let mut sectors = Vec::with_capacity(sector_count);
         for i in 0..sector_count {
@@ -90,14 +132,17 @@ impl OleFile {
             .collect();
         let entries_per_difat = sector_size / 4 - 1;
         let mut difat_sector = first_difat_sector;
-        let mut seen_difat = 0usize;
+        // Visited-sector guard: `num_difat_sectors` is an unvalidated header
+        // field, so the chain is bounded by what physically exists, not by
+        // what the header claims.
+        let mut difat_visited = vec![false; sector_count];
         while difat_sector <= MAXREGSECT {
-            if seen_difat > num_difat_sectors + sector_count {
-                return Err(OleError::ChainCycle { start: first_difat_sector });
-            }
             let sector = sectors
                 .get(difat_sector as usize)
                 .ok_or(OleError::Truncated { sector: difat_sector })?;
+            if std::mem::replace(&mut difat_visited[difat_sector as usize], true) {
+                return Err(OleError::ChainCycle { start: first_difat_sector });
+            }
             for i in 0..entries_per_difat {
                 let v = u32_at(sector, 4 * i);
                 if v != FREESECT {
@@ -105,12 +150,13 @@ impl OleFile {
                 }
             }
             difat_sector = u32_at(sector, sector_size - 4);
-            seen_difat += 1;
         }
 
-        // FAT: concatenation of all FAT sectors listed in the DIFAT.
-        let mut fat = Vec::with_capacity(num_fat_sectors * (sector_size / 4));
-        for &fs in difat.iter().take(num_fat_sectors.max(difat.len())) {
+        // FAT: concatenation of all FAT sectors listed in the DIFAT. The
+        // allocation is sized by the DIFAT actually present — never by the
+        // header's (attacker-controlled) `num_fat_sectors` count.
+        let mut fat = Vec::with_capacity(difat.len().min(sector_count) * (sector_size / 4));
+        for &fs in difat.iter() {
             if fs > MAXREGSECT {
                 continue;
             }
@@ -128,10 +174,19 @@ impl OleFile {
             minifat: Vec::new(),
             entries: Vec::new(),
             mini_stream: Vec::new(),
+            limits,
         };
 
-        // Directory.
-        let dir_data = file.read_chain(first_dir_sector, usize::MAX)?;
+        // Directory: bounded by the entry cap instead of `usize::MAX`; the
+        // chain walk itself carries a visited-sector guard.
+        let dir_cap = limits.max_dir_entries * DIR_ENTRY_SIZE;
+        let dir_data = file.read_chain(first_dir_sector, dir_cap.saturating_add(1))?;
+        if dir_data.len() > dir_cap {
+            return Err(OleError::LimitExceeded {
+                what: "directory entries",
+                limit: limits.max_dir_entries,
+            });
+        }
         let mut entries = Vec::new();
         for (id, chunk) in dir_data.chunks_exact(DIR_ENTRY_SIZE).enumerate() {
             entries.push(Self::parse_dir_entry(id as u32, chunk)?);
@@ -177,32 +232,31 @@ impl OleFile {
         })
     }
 
-    /// Follows a FAT chain, returning at most `max_len` bytes.
+    /// Follows a FAT chain, returning at most `max_len` bytes. A
+    /// visited-sector guard turns cyclic or self-referencing chains into
+    /// [`OleError::ChainCycle`] instead of an unbounded walk.
     fn read_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
         let mut out = Vec::new();
         let mut sector = start;
-        let mut hops = 0usize;
+        let mut visited = vec![false; self.sectors.len()];
         while sector <= MAXREGSECT {
-            if hops > self.sectors.len() {
-                return Err(OleError::ChainCycle { start });
-            }
             let data = self
                 .sectors
                 .get(sector as usize)
                 .ok_or(OleError::Truncated { sector })?;
+            if std::mem::replace(&mut visited[sector as usize], true) {
+                return Err(OleError::ChainCycle { start });
+            }
             out.extend_from_slice(data);
             sector = *self
                 .fat
                 .get(sector as usize)
                 .ok_or(OleError::Truncated { sector })?;
-            hops += 1;
-            if out.len() >= max_len && max_len != usize::MAX {
+            if out.len() >= max_len {
                 break;
             }
         }
-        if max_len != usize::MAX {
-            out.truncate(max_len);
-        }
+        out.truncate(max_len);
         Ok(out)
     }
 
@@ -215,13 +269,16 @@ impl OleFile {
         self.read_chain(start, max_len)
     }
 
-    /// Follows a miniFAT chain through the mini stream.
+    /// Follows a miniFAT chain through the mini stream, with the same
+    /// visited-sector cycle guard as [`Self::read_chain`].
     fn read_mini_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
         let mut out = Vec::new();
         let mut sector = start;
-        let mut hops = 0usize;
+        let mut visited = vec![false; self.minifat.len()];
         while sector <= MAXREGSECT {
-            if hops > self.minifat.len() {
+            if (sector as usize) < visited.len()
+                && std::mem::replace(&mut visited[sector as usize], true)
+            {
                 return Err(OleError::ChainCycle { start });
             }
             let begin = sector as usize * MINI_SECTOR_SIZE;
@@ -234,7 +291,6 @@ impl OleFile {
                 .minifat
                 .get(sector as usize)
                 .ok_or(OleError::Truncated { sector })?;
-            hops += 1;
             if out.len() >= max_len {
                 break;
             }
@@ -315,6 +371,12 @@ impl OleFile {
     /// Reads the stream described by `entry` (which must be a stream entry of
     /// this file).
     pub fn read_stream_entry(&self, entry: &DirEntry) -> Result<Vec<u8>, OleError> {
+        if entry.size > self.limits.max_stream_bytes as u64 {
+            return Err(OleError::LimitExceeded {
+                what: "stream size",
+                limit: self.limits.max_stream_bytes,
+            });
+        }
         let size = entry.size as usize;
         if entry.size < MINI_STREAM_CUTOFF as u64 {
             self.read_mini_chain(entry.start_sector, size)

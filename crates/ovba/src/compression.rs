@@ -43,6 +43,16 @@ fn copy_token_split(d: usize) -> (u32, u16, u16) {
 /// assert_eq!(decompress(&compress(data)).unwrap(), data);
 /// ```
 pub fn decompress(container: &[u8]) -> Result<Vec<u8>, OvbaError> {
+    decompress_with_limit(container, DEFAULT_MAX_DECOMPRESSED)
+}
+
+/// Default output cap for [`decompress`]: far above any real macro source,
+/// low enough that a crafted container cannot exhaust memory.
+pub const DEFAULT_MAX_DECOMPRESSED: usize = 1 << 28;
+
+/// Like [`decompress`] but with a caller-provided output cap; exceeding it
+/// returns [`OvbaError::LimitExceeded`].
+pub fn decompress_with_limit(container: &[u8], limit: usize) -> Result<Vec<u8>, OvbaError> {
     let (&sig, mut rest) = container.split_first().ok_or(OvbaError::TruncatedContainer)?;
     if sig != 0x01 {
         return Err(OvbaError::BadContainerSignature(sig));
@@ -75,8 +85,58 @@ pub fn decompress(container: &[u8]) -> Result<Vec<u8>, OvbaError> {
         if out.len() - chunk_start > CHUNK {
             return Err(OvbaError::ChunkOverflow);
         }
+        if out.len() > limit {
+            return Err(OvbaError::LimitExceeded { what: "decompressed container", limit });
+        }
     }
     Ok(out)
+}
+
+/// Best-effort decompression for salvage mode: decodes chunks from the start
+/// of `container` until the data ends or a chunk fails to decode, returning
+/// whatever decompressed cleanly plus the number of input bytes consumed (or
+/// `None` when nothing decoded). Unlike [`decompress`], trailing garbage
+/// after valid chunks is not an error — exactly the situation when a
+/// compressed container is found embedded at an arbitrary offset of a
+/// damaged stream.
+pub fn decompress_salvage(container: &[u8], limit: usize) -> Option<(Vec<u8>, usize)> {
+    let (&sig, _) = container.split_first()?;
+    if sig != 0x01 {
+        return None;
+    }
+    let mut consumed = 1usize;
+    let mut out = Vec::new();
+    while container.len() - consumed >= 2 {
+        let rest = &container[consumed..];
+        let header = u16::from_le_bytes([rest[0], rest[1]]);
+        if (header >> 12) & 0b111 != 0b011 {
+            break;
+        }
+        let size_field = (header & 0x0FFF) as usize;
+        let compressed = header & 0x8000 != 0;
+        let data_len = size_field + 1;
+        if rest.len() < 2 + data_len {
+            break;
+        }
+        let data = &rest[2..2 + data_len];
+        let chunk_start = out.len();
+        if !compressed {
+            out.extend_from_slice(data);
+        } else if decompress_chunk(data, &mut out, chunk_start).is_err() {
+            out.truncate(chunk_start);
+            break;
+        }
+        if out.len() - chunk_start > CHUNK || out.len() > limit {
+            out.truncate(chunk_start);
+            break;
+        }
+        consumed += 2 + data_len;
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some((out, consumed))
+    }
 }
 
 fn decompress_chunk(

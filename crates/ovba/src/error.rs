@@ -25,6 +25,10 @@ pub enum OvbaError {
     MissingModuleStream(String),
     /// A module's text offset lies beyond its stream.
     BadModuleOffset { module: String, offset: u32, stream_len: usize },
+    /// A configured resource limit was exceeded (decompressed size, module
+    /// count…). Distinguished from malformed-structure errors so callers can
+    /// report capped inputs as a typed outcome.
+    LimitExceeded { what: &'static str, limit: usize },
     /// Error from the underlying OLE layer.
     Ole(vbadet_ole::OleError),
 }
@@ -53,6 +57,9 @@ impl fmt::Display for OvbaError {
                 f,
                 "module {module}: text offset {offset} beyond stream length {stream_len}"
             ),
+            OvbaError::LimitExceeded { what, limit } => {
+                write!(f, "resource limit exceeded: {what} (limit {limit})")
+            }
             OvbaError::Ole(e) => write!(f, "ole error: {e}"),
         }
     }

@@ -37,9 +37,13 @@ pub mod dir;
 mod error;
 pub mod project;
 pub mod project_stream;
+pub mod salvage;
 
-pub use compression::{compress, decompress};
+pub use compression::{
+    compress, decompress, decompress_salvage, decompress_with_limit, DEFAULT_MAX_DECOMPRESSED,
+};
 pub use dir::{DirStream, ModuleRecord, ModuleType};
 pub use error::OvbaError;
-pub use project::{VbaModule, VbaProject, VbaProjectBuilder};
+pub use project::{OvbaLimits, VbaModule, VbaProject, VbaProjectBuilder};
 pub use project_stream::{ProjectModuleRef, ProjectStream};
+pub use salvage::{salvage_modules_from_bytes, salvage_modules_from_ole};

@@ -1,9 +1,33 @@
 //! Whole-project extraction and synthesis.
 
-use crate::compression::{compress, decompress};
+use crate::compression::{compress, decompress_with_limit};
 use crate::dir::{DirStream, ModuleRecord, ModuleType};
 use crate::OvbaError;
 use vbadet_ole::{OleBuilder, OleFile};
+
+/// Resource caps applied while extracting a VBA project.
+///
+/// Overruns surface as [`OvbaError::LimitExceeded`] rather than unbounded
+/// allocation from attacker-controlled counts and compressed streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OvbaLimits {
+    /// Maximum number of modules in one project.
+    pub max_modules: usize,
+    /// Maximum decompressed size of one module's source.
+    pub max_module_bytes: usize,
+    /// Maximum decompressed size of the `dir` stream.
+    pub max_dir_bytes: usize,
+}
+
+impl Default for OvbaLimits {
+    fn default() -> Self {
+        OvbaLimits {
+            max_modules: 1024,
+            max_module_bytes: 1 << 24,
+            max_dir_bytes: 1 << 22,
+        }
+    }
+}
 
 /// One extracted VBA module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,19 +68,33 @@ impl VbaProject {
     /// Returns [`OvbaError::NoVbaProject`] when no `VBA/dir` stream exists,
     /// or a decoding error when the project structures are malformed.
     pub fn from_ole(ole: &OleFile) -> Result<Self, OvbaError> {
+        Self::from_ole_with_limits(ole, &OvbaLimits::default())
+    }
+
+    /// Like [`VbaProject::from_ole`] under explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the errors of [`VbaProject::from_ole`], returns
+    /// [`OvbaError::LimitExceeded`] when the project exceeds the module
+    /// count or decompressed-size caps in `limits`.
+    pub fn from_ole_with_limits(
+        ole: &OleFile,
+        limits: &OvbaLimits,
+    ) -> Result<Self, OvbaError> {
         for root in KNOWN_ROOTS {
             let dir_path = join(root, "VBA/dir");
             if ole.exists(&dir_path) {
-                return Self::from_ole_at(ole, root);
+                return Self::from_ole_at_with_limits(ole, root, limits);
             }
         }
         // Fallback: search any stream path ending in `VBA/dir`.
         for path in ole.stream_paths() {
             if let Some(root) = path.strip_suffix("/VBA/dir") {
-                return Self::from_ole_at(ole, root);
+                return Self::from_ole_at_with_limits(ole, root, limits);
             }
             if path == "VBA/dir" {
-                return Self::from_ole_at(ole, "");
+                return Self::from_ole_at_with_limits(ole, "", limits);
             }
         }
         Err(OvbaError::NoVbaProject)
@@ -69,10 +107,30 @@ impl VbaProject {
     /// Fails when the `dir` stream or a module stream is missing or
     /// malformed.
     pub fn from_ole_at(ole: &OleFile, root: &str) -> Result<Self, OvbaError> {
+        Self::from_ole_at_with_limits(ole, root, &OvbaLimits::default())
+    }
+
+    /// Like [`VbaProject::from_ole_at`] under explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// As [`VbaProject::from_ole_at`], plus [`OvbaError::LimitExceeded`].
+    pub fn from_ole_at_with_limits(
+        ole: &OleFile,
+        root: &str,
+        limits: &OvbaLimits,
+    ) -> Result<Self, OvbaError> {
         let dir_bytes = ole
             .open_stream(&join(root, "VBA/dir"))
             .map_err(|_| OvbaError::NoVbaProject)?;
-        let dir = DirStream::parse(&decompress(&dir_bytes)?)?;
+        let dir =
+            DirStream::parse(&decompress_with_limit(&dir_bytes, limits.max_dir_bytes)?)?;
+        if dir.modules.len() > limits.max_modules {
+            return Err(OvbaError::LimitExceeded {
+                what: "module count",
+                limit: limits.max_modules,
+            });
+        }
 
         let mut modules = Vec::with_capacity(dir.modules.len());
         for record in &dir.modules {
@@ -90,7 +148,7 @@ impl VbaProject {
                     stream_len: stream.len(),
                 });
             }
-            let source = decompress(&stream[offset..])?;
+            let source = decompress_with_limit(&stream[offset..], limits.max_module_bytes)?;
             modules.push(VbaModule {
                 name: record.name.clone(),
                 code: source.iter().map(|&b| b as char).collect(),

@@ -13,6 +13,25 @@ const EOCD_SIG: u32 = 0x0605_4B50;
 /// Per-member decompressed size cap (OOXML parts are small).
 const MAX_MEMBER: usize = 1 << 28;
 
+/// Resource caps applied while parsing an archive and extracting members.
+///
+/// Overruns surface as [`ZipError::LimitExceeded`] — a typed outcome, not an
+/// allocation. In particular a decompression bomb is rejected from its
+/// *declared* size before any output buffer is grown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipLimits {
+    /// Maximum number of central-directory entries.
+    pub max_entries: usize,
+    /// Maximum decompressed size of any single member.
+    pub max_member_bytes: usize,
+}
+
+impl Default for ZipLimits {
+    fn default() -> Self {
+        ZipLimits { max_entries: 1 << 14, max_member_bytes: MAX_MEMBER }
+    }
+}
+
 /// Compression method for an archive member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompressionMethod {
@@ -57,6 +76,7 @@ pub struct ZipEntry {
 pub struct ZipArchive<'a> {
     data: &'a [u8],
     entries: Vec<ZipEntry>,
+    limits: ZipLimits,
 }
 
 fn read_u16(data: &[u8], offset: usize) -> Result<u16, ZipError> {
@@ -79,6 +99,17 @@ impl<'a> ZipArchive<'a> {
     /// Fails when the end-of-central-directory record cannot be located or a
     /// central directory entry is malformed.
     pub fn parse(data: &'a [u8]) -> Result<Self, ZipError> {
+        Self::parse_with_limits(data, ZipLimits::default())
+    }
+
+    /// Parses the archive's central directory under explicit resource limits.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the malformed-input errors of [`ZipArchive::parse`],
+    /// returns [`ZipError::LimitExceeded`] when the central directory
+    /// declares more entries than `limits` allows.
+    pub fn parse_with_limits(data: &'a [u8], limits: ZipLimits) -> Result<Self, ZipError> {
         // EOCD is at least 22 bytes and ends with a variable-length comment:
         // scan backwards for the signature.
         if data.len() < 22 {
@@ -96,6 +127,12 @@ impl<'a> ZipArchive<'a> {
         let eocd = eocd_offset.ok_or(ZipError::MissingEndOfCentralDirectory)?;
         let entry_count = read_u16(data, eocd + 10)? as usize;
         let cd_offset = read_u32(data, eocd + 16)? as usize;
+        if entry_count > limits.max_entries {
+            return Err(ZipError::LimitExceeded {
+                what: "central directory entries",
+                limit: limits.max_entries,
+            });
+        }
 
         let mut entries = Vec::with_capacity(entry_count);
         let mut pos = cd_offset;
@@ -130,7 +167,7 @@ impl<'a> ZipArchive<'a> {
             });
             pos += 46 + name_len + extra_len + comment_len;
         }
-        Ok(ZipArchive { data, entries })
+        Ok(ZipArchive { data, entries, limits })
     }
 
     /// The central-directory entries, in directory order.
@@ -165,6 +202,12 @@ impl<'a> ZipArchive<'a> {
 
     /// Extracts and verifies the member described by `entry`.
     pub fn read_entry(&self, entry: &ZipEntry) -> Result<Vec<u8>, ZipError> {
+        // Reject from the declared sizes before touching any data: a bomb
+        // must trip the limit without the output buffer ever growing.
+        let cap = self.limits.max_member_bytes;
+        if entry.uncompressed_size as usize > cap || entry.compressed_size as usize > cap {
+            return Err(ZipError::LimitExceeded { what: "member size", limit: cap });
+        }
         let pos = entry.local_header_offset as usize;
         let sig = read_u32(self.data, pos)?;
         if sig != LOCAL_HEADER_SIG {
@@ -189,7 +232,7 @@ impl<'a> ZipArchive<'a> {
 
         let out = match entry.method {
             0 => raw.to_vec(),
-            8 => inflate_with_limit(raw, MAX_MEMBER)?,
+            8 => inflate_with_limit(raw, cap)?,
             m => return Err(ZipError::UnsupportedMethod(m)),
         };
         if out.len() != entry.uncompressed_size as usize {

@@ -21,6 +21,10 @@ pub enum ZipError {
     InvalidDeflate(&'static str),
     /// A declared size is inconsistent with the actual data.
     SizeMismatch { name: String, expected: usize, found: usize },
+    /// A configured resource limit was exceeded (member size, entry count…).
+    /// Distinguished from malformed-structure errors so callers can report
+    /// capped inputs — e.g. decompression bombs — as a typed outcome.
+    LimitExceeded { what: &'static str, limit: usize },
 }
 
 impl fmt::Display for ZipError {
@@ -45,6 +49,9 @@ impl fmt::Display for ZipError {
             ZipError::InvalidDeflate(msg) => write!(f, "invalid deflate stream: {msg}"),
             ZipError::SizeMismatch { name, expected, found } => {
                 write!(f, "size mismatch for {name}: expected {expected}, found {found}")
+            }
+            ZipError::LimitExceeded { what, limit } => {
+                write!(f, "resource limit exceeded: {what} (limit {limit})")
             }
         }
     }

@@ -43,9 +43,9 @@ impl HuffmanDecoder {
         // except the special case of a single symbol which DEFLATE permits
         // for distance codes).
         let mut left = 1i32;
-        for len in 1..=MAX_BITS {
+        for &n in &count[1..=MAX_BITS] {
             left <<= 1;
-            left -= count[len] as i32;
+            left -= n as i32;
             if left < 0 {
                 return Err(ZipError::InvalidDeflate("over-subscribed huffman code"));
             }

@@ -14,8 +14,9 @@ const MAX_OUTPUT: usize = 1 << 30;
 /// # Errors
 ///
 /// Returns [`ZipError::InvalidDeflate`] for malformed input: truncated
-/// streams, invalid block types, bad Huffman codes, out-of-window distances,
-/// or output exceeding the 1 GiB safety limit.
+/// streams, invalid block types, bad Huffman codes, or out-of-window
+/// distances; output exceeding the 1 GiB safety limit returns
+/// [`ZipError::LimitExceeded`].
 ///
 /// ```
 /// use vbadet_zip::{deflate, inflate, BlockStyle};
@@ -64,7 +65,7 @@ fn inflate_stored(
         return Err(ZipError::InvalidDeflate("stored block LEN/NLEN mismatch"));
     }
     if out.len() + len > limit {
-        return Err(ZipError::InvalidDeflate("output exceeds limit"));
+        return Err(ZipError::LimitExceeded { what: "inflated member", limit });
     }
     out.extend_from_slice(reader.bytes(len)?);
     Ok(())
@@ -109,15 +110,11 @@ fn read_dynamic_header(
             }
             17 => {
                 let count = reader.bits(3)? + 3;
-                for _ in 0..count {
-                    lengths.push(0);
-                }
+                lengths.extend(std::iter::repeat_n(0, count as usize));
             }
             18 => {
                 let count = reader.bits(7)? + 11;
-                for _ in 0..count {
-                    lengths.push(0);
-                }
+                lengths.extend(std::iter::repeat_n(0, count as usize));
             }
             _ => return Err(ZipError::InvalidDeflate("invalid code length symbol")),
         }
@@ -148,7 +145,7 @@ fn inflate_block(
         match sym {
             0..=255 => {
                 if out.len() >= limit {
-                    return Err(ZipError::InvalidDeflate("output exceeds limit"));
+                    return Err(ZipError::LimitExceeded { what: "inflated member", limit });
                 }
                 out.push(sym as u8);
             }
@@ -167,7 +164,7 @@ fn inflate_block(
                     return Err(ZipError::InvalidDeflate("distance beyond output start"));
                 }
                 if out.len() + len > limit {
-                    return Err(ZipError::InvalidDeflate("output exceeds limit"));
+                    return Err(ZipError::LimitExceeded { what: "inflated member", limit });
                 }
                 // Byte-at-a-time copy: overlapping copies (distance < len)
                 // intentionally repeat the just-written bytes.

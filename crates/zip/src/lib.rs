@@ -40,8 +40,8 @@ mod huffman;
 pub mod inflate;
 pub mod zlib;
 
-pub use archive::{CompressionMethod, ZipArchive, ZipEntry, ZipWriter};
+pub use archive::{CompressionMethod, ZipArchive, ZipEntry, ZipLimits, ZipWriter};
 pub use deflate::{deflate, BlockStyle};
 pub use error::ZipError;
-pub use inflate::inflate;
+pub use inflate::{inflate, inflate_with_limit};
 pub use zlib::{adler32, zlib_compress, zlib_decompress};

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Full verification gate: release build, workspace tests, pedantic clippy.
+# Run from the repository root. Mirrors what CI / the PR driver enforces.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "verify: OK"

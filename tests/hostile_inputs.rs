@@ -1,0 +1,231 @@
+//! Deterministic mutation-fuzz harness for the scanning stack.
+//!
+//! Thousands of seeded mutants (byte flips, truncations, splices) of
+//! builder-generated `.doc`/`.docm`/`vbaProject.bin` files are pushed
+//! through the batch scan engine. The invariant under test is the
+//! robustness contract of ISSUE scope: *no input may panic, hang, or abort
+//! the batch* — every mutant must come back as a typed [`ScanOutcome`].
+//!
+//! The harness is deterministic (fixed seeds, no wall-clock input), so a
+//! regression reproduces exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vbadet::{
+    scan_bytes, Detector, DetectorConfig, FailureClass, ScanLimits, ScanOutcome,
+};
+use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
+use vbadet_ovba::VbaProjectBuilder;
+
+const MIN_MUTANTS: usize = 1000;
+
+fn tiny_detector() -> Detector {
+    // Verdict quality is irrelevant here; the detector only has to score
+    // whatever modules the mutants still yield.
+    Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+}
+
+/// Builder-generated seed documents: real `.doc`/`.docm`/`.xls`/`.xlsm`
+/// containers from the corpus factory plus a bare `vbaProject.bin`.
+fn base_documents() -> Vec<Vec<u8>> {
+    let spec = CorpusSpec::paper().scaled(0.01).with_seed(0xF0AA);
+    let macros = generate_macros(&spec);
+    let factory = DocumentFactory::new(&spec, &macros);
+    let mut docs: Vec<Vec<u8>> =
+        factory.build_all().into_iter().map(|f| f.bytes).take(11).collect();
+    let mut b = VbaProjectBuilder::new("Seed");
+    b.add_module(
+        "Module1",
+        "Sub Document_Open()\r\n    Call Shell(\"cmd\", 1)\r\nEnd Sub\r\n",
+    );
+    docs.push(b.build().unwrap());
+    assert!(docs.len() >= 4, "corpus draw too small to fuzz");
+    docs
+}
+
+fn flip_bytes(base: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let flips = rng.gen_range(1..=8usize);
+    for _ in 0..flips {
+        let i = rng.gen_range(0..out.len());
+        out[i] ^= rng.gen_range(1..=255u8);
+    }
+    out
+}
+
+fn truncate(base: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    base[..rng.gen_range(1..base.len())].to_vec()
+}
+
+fn splice(base: &[u8], donor: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let len = rng.gen_range(1..=256usize).min(donor.len());
+    let src = rng.gen_range(0..=donor.len() - len);
+    let dst = rng.gen_range(0..out.len());
+    let end = (dst + len).min(out.len());
+    out[dst..end].copy_from_slice(&donor[src..src + (end - dst)]);
+    out
+}
+
+#[test]
+fn thousand_mutants_never_panic_the_scan_engine() {
+    let detector = tiny_detector();
+    let bases = base_documents();
+    let limits = ScanLimits::strict();
+
+    let per_round = bases.len() * 3;
+    let rounds = MIN_MUTANTS / per_round + 1;
+    let mut scanned = 0usize;
+    let mut panics = Vec::new();
+    let mut histogram = std::collections::BTreeMap::new();
+
+    for round in 0..rounds {
+        for (bi, base) in bases.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(0x5EED_0000 + (round * 1000 + bi) as u64);
+            let donor = &bases[(bi + 1) % bases.len()];
+            for mutant in [
+                flip_bytes(base, &mut rng),
+                truncate(base, &mut rng),
+                splice(base, donor, &mut rng),
+            ] {
+                let outcome = scan_bytes(&detector, &mutant, &limits);
+                scanned += 1;
+                let key = match &outcome {
+                    ScanOutcome::Clean => "clean",
+                    ScanOutcome::Macros(_) => "macros",
+                    ScanOutcome::Salvaged(_) => "salvaged",
+                    ScanOutcome::Failed { class, .. } => class.label(),
+                };
+                *histogram.entry(key).or_insert(0usize) += 1;
+                if let ScanOutcome::Failed { class: FailureClass::Panic, detail } = outcome {
+                    panics.push((round, bi, detail));
+                }
+            }
+        }
+    }
+
+    assert!(scanned >= MIN_MUTANTS, "only {scanned} mutants scanned");
+    assert!(
+        panics.is_empty(),
+        "{} of {scanned} mutants panicked the parser stack: {:?}",
+        panics.len(),
+        &panics[..panics.len().min(5)]
+    );
+    // The harness must actually exercise hostile paths, not just reject
+    // everything at the signature sniff.
+    let failures: usize = histogram
+        .iter()
+        .filter(|(k, _)| !matches!(**k, "clean" | "macros" | "salvaged"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(failures > 0, "no mutant produced a failure outcome: {histogram:?}");
+    eprintln!("mutant outcome histogram over {scanned} inputs: {histogram:?}");
+}
+
+#[test]
+fn mutants_of_the_raw_project_bin_never_break_extraction() {
+    // Direct extraction-level fuzz (below the scan engine): the strict
+    // API must return Ok/Err, never unwind.
+    let mut b = VbaProjectBuilder::new("P");
+    b.add_module("Module1", "Sub A()\r\n    x = Chr(65) & Chr(66)\r\nEnd Sub\r\n");
+    let base = b.build().unwrap();
+    let limits = ScanLimits::strict();
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    for _ in 0..500 {
+        let mutant = match rng.gen_range(0..3u8) {
+            0 => flip_bytes(&base, &mut rng),
+            1 => truncate(&base, &mut rng),
+            _ => splice(&base, &base, &mut rng),
+        };
+        let result = std::panic::catch_unwind(|| {
+            let _ = vbadet::extract_macros_with_limits(&mutant, &limits);
+        });
+        assert!(result.is_ok(), "extraction panicked on a mutant of len {}", mutant.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed-outcome fixtures: one hand-built hostile input per outcome class.
+// ---------------------------------------------------------------------------
+
+/// A stomped `dir` stream must fail strict parsing but still yield the
+/// module source through salvage, tagged as such.
+#[test]
+fn fixture_stomped_dir_stream_is_salvaged() {
+    let detector = tiny_detector();
+    let code = "Attribute VB_Name = \"Module1\"\r\nSub Payload()\r\n    y = 2\r\nEnd Sub\r\n";
+    let mut b = VbaProjectBuilder::new("P");
+    b.add_module("Module1", code);
+    let bin = b.build().unwrap();
+
+    let parsed = vbadet_ole::OleFile::parse(&bin).unwrap();
+    let mut rebuilt = vbadet_ole::OleBuilder::new();
+    for path in parsed.stream_paths() {
+        let data = parsed.open_stream(&path).unwrap();
+        if path == "VBA/dir" {
+            rebuilt.add_stream(&path, &vec![0xFF; data.len()]).unwrap();
+        } else {
+            rebuilt.add_stream(&path, &data).unwrap();
+        }
+    }
+    let outcome = scan_bytes(&detector, &rebuilt.build(), &ScanLimits::default());
+    match outcome {
+        ScanOutcome::Salvaged(verdicts) => {
+            assert_eq!(verdicts.len(), 1);
+            assert!(verdicts[0].module_name.starts_with("salvaged_"));
+        }
+        other => panic!("expected Salvaged, got {other:?}"),
+    }
+}
+
+/// A module whose decompressed source exceeds the configured cap must be
+/// reported as a limit breach, not silently truncated or salvaged.
+#[test]
+fn fixture_decompression_bomb_trips_limit_exceeded() {
+    let detector = tiny_detector();
+    let mut code = String::from("Sub Bomb()\r\n");
+    for _ in 0..2000 {
+        code.push_str("    s = s & \"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\"\r\n");
+    }
+    code.push_str("End Sub\r\n");
+    let mut b = VbaProjectBuilder::new("P");
+    b.add_module("Module1", &code);
+    let bin = b.build().unwrap();
+
+    let mut limits = ScanLimits::default();
+    limits.ovba.max_module_bytes = 4096; // far below the ~100 KiB source
+    match scan_bytes(&detector, &bin, &limits) {
+        ScanOutcome::Failed { class: FailureClass::LimitExceeded, .. } => {}
+        other => panic!("expected LimitExceeded failure, got {other:?}"),
+    }
+    // The same document under default limits parses fine.
+    assert!(matches!(
+        scan_bytes(&detector, &bin, &ScanLimits::default()),
+        ScanOutcome::Macros(_)
+    ));
+}
+
+/// A compound file whose directory chain self-loops must come back as a
+/// cyclic-chain failure, not an infinite walk.
+#[test]
+fn fixture_self_looping_fat_chain_is_reported_as_cycle() {
+    let detector = tiny_detector();
+    let mut b = VbaProjectBuilder::new("P");
+    b.add_module("Module1", "Sub A()\r\n    x = 1\r\nEnd Sub\r\n");
+    let mut bytes = b.build().unwrap();
+
+    let first_dir = u32::from_le_bytes(bytes[48..52].try_into().unwrap());
+    let first_fat = u32::from_le_bytes(bytes[76..80].try_into().unwrap());
+    // Patch the FAT so the first directory sector chains to itself.
+    let fat_off = 512 + first_fat as usize * 512 + 4 * first_dir as usize;
+    bytes[fat_off..fat_off + 4].copy_from_slice(&first_dir.to_le_bytes());
+
+    assert!(matches!(
+        vbadet_ole::OleFile::parse(&bytes),
+        Err(vbadet_ole::OleError::ChainCycle { .. })
+    ));
+    match scan_bytes(&detector, &bytes, &ScanLimits::default()) {
+        ScanOutcome::Failed { class: FailureClass::CyclicChain, .. } => {}
+        other => panic!("expected CyclicChain failure, got {other:?}"),
+    }
+}
