@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use vbadet::{scan_documents, Detector, DetectorConfig, ScanLimits};
+use vbadet::{scan_documents, scan_documents_with_policy, Detector, DetectorConfig, ScanLimits, ScanPolicy};
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, DocumentKind};
 
 fn pipeline(c: &mut Criterion) {
@@ -75,6 +75,21 @@ fn pipeline(c: &mut Criterion) {
         b.iter(|| {
             let docs = batch.iter().map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
             let report = scan_documents(black_box(&detector), docs, &limits);
+            assert_eq!(report.scanned(), batch.len());
+            black_box(report)
+        })
+    });
+
+    // Same hostile batch under the full scan policy: a per-document
+    // wall-clock deadline plus the degradation ladder. Measures the
+    // overhead of budget checks on the (mostly-clean) hot path — the
+    // budget `charge` calls amortize clock reads, so this should track
+    // `mutated_corpus_10pct` closely.
+    let policy = ScanPolicy::with_limits(limits).deadline_ms(50).with_ladder();
+    group.bench_function("scan_with_deadline", |b| {
+        b.iter(|| {
+            let docs = batch.iter().map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
+            let report = scan_documents_with_policy(black_box(&detector), docs, &policy);
             assert_eq!(report.scanned(), batch.len());
             black_box(report)
         })

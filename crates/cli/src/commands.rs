@@ -3,26 +3,36 @@
 use std::error::Error;
 use std::path::PathBuf;
 use vbadet::{
-    extract_macros, scan_paths, ClassifierKind, Detector, DetectorConfig, ScanLimits,
-    ScanOutcome,
+    extract_macros, replay_journal, scan_paths_journaled, ClassifierKind, Detector,
+    DetectorConfig, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
-/// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// Flags that are bare switches (no value follows them).
+const SWITCHES: &[&str] = &["ladder"];
+
+/// Minimal flag parser: `--key value` pairs, bare `--switch` flags, plus
+/// positional arguments.
 struct Flags {
     values: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
     positional: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, Box<dyn Error>> {
         let mut values = std::collections::HashMap::new();
+        let mut switches = std::collections::HashSet::new();
         let mut positional = Vec::new();
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&key) {
+                    switches.insert(key.to_string());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -31,7 +41,11 @@ impl Flags {
                 positional.push(arg.clone());
             }
         }
-        Ok(Flags { values, positional })
+        Ok(Flags { values, switches, positional })
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.contains(key)
     }
 
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, Box<dyn Error>> {
@@ -86,6 +100,35 @@ pub fn scan(args: &[String]) -> CmdResult {
         Some("strict") => ScanLimits::strict(),
         Some(other) => return Err(format!("unknown limits profile: {other}").into()),
     };
+    let mut policy = ScanPolicy::with_limits(limits);
+    if let Some(ms) = flags.values.get("deadline-ms") {
+        policy = policy.deadline_ms(ms.parse()?);
+    }
+    if let Some(units) = flags.values.get("fuel") {
+        policy = policy.fuel(units.parse()?);
+    }
+    if flags.has("ladder") {
+        policy = policy.with_ladder();
+    }
+    let resume = match flags.values.get("resume") {
+        Some(path) => {
+            let replay = replay_journal(path)?;
+            if let Some(warning) = &replay.warning {
+                eprintln!("warning: {warning}");
+            }
+            eprintln!(
+                "resuming from {path}: {} documents already decided, {} mid-scan re-attempted",
+                replay.completed_count(),
+                replay.in_flight.len()
+            );
+            Some(replay)
+        }
+        None => None,
+    };
+    let mut journal = match flags.values.get("journal") {
+        Some(path) => Some(ScanJournal::create(path)?),
+        None => None,
+    };
     let detector = match flags.values.get("model") {
         Some(path) => {
             eprintln!("loading detector from {path}…");
@@ -106,20 +149,31 @@ pub fn scan(args: &[String]) -> CmdResult {
 
     // The batch never aborts: every input is processed, failures are
     // per-file records, and the exit status is decided only at the end.
-    let report = scan_paths(&detector, &flags.positional, &limits);
+    let report =
+        scan_paths_journaled(&detector, &flags.positional, &policy, journal.as_mut(), resume.as_ref());
     let mut any_flagged = false;
     for record in &report.records {
         let path = record.path.display();
         match &record.outcome {
             ScanOutcome::Clean => println!("{path}: no VBA macros"),
-            ScanOutcome::Macros(verdicts) | ScanOutcome::Salvaged(verdicts) => {
-                let salvaged =
-                    if matches!(record.outcome, ScanOutcome::Salvaged(_)) { " [salvaged]" } else { "" };
+            ScanOutcome::Macros(verdicts)
+            | ScanOutcome::Salvaged(verdicts)
+            | ScanOutcome::Recovered { verdicts, .. } => {
+                let provenance = match &record.outcome {
+                    ScanOutcome::Salvaged(_) => " [salvaged]".to_string(),
+                    ScanOutcome::Recovered { rung, .. } => {
+                        format!(" [recovered:{}]", rung.label())
+                    }
+                    _ => String::new(),
+                };
+                if verdicts.is_empty() {
+                    println!("{path}: no VBA macros{provenance}");
+                }
                 for v in verdicts {
                     let mark = if v.verdict.obfuscated { "OBFUSCATED" } else { "clean" };
                     any_flagged |= v.verdict.obfuscated;
                     println!(
-                        "{path}: module {:<20} {:>11} (score {:+.3}){salvaged}",
+                        "{path}: module {:<20} {:>11} (score {:+.3}){provenance}",
                         v.module_name, mark, v.verdict.score
                     );
                 }
@@ -130,15 +184,19 @@ pub fn scan(args: &[String]) -> CmdResult {
         }
     }
     eprintln!(
-        "scanned {}: {} clean, {} flagged, {} salvaged, {} failed",
+        "scanned {}: {} clean, {} flagged, {} salvaged, {} recovered, {} failed",
         report.scanned(),
         report.clean(),
         report.flagged(),
         report.salvaged(),
+        report.recovered(),
         report.failed()
     );
     if any_flagged {
         eprintln!("note: obfuscation != maliciousness; see the paper's §VI.A");
+    }
+    if let Some(e) = &report.journal_error {
+        return Err(format!("journal write failed mid-scan: {e}").into());
     }
     if report.failed() > 0 {
         return Err(format!("{} of {} inputs failed", report.failed(), report.scanned()).into());
@@ -353,6 +411,14 @@ mod tests {
     }
 
     #[test]
+    fn switches_parse_without_values() {
+        let f = Flags::parse(&strs(&["--ladder", "a.doc"])).unwrap();
+        assert!(f.has("ladder"));
+        assert!(!f.has("turbo"));
+        assert_eq!(f.positional, strs(&["a.doc"]));
+    }
+
+    #[test]
     fn bad_numeric_value_is_an_error() {
         let f = Flags::parse(&strs(&["--scale", "abc"])).unwrap();
         assert!(f.get_f64("scale", 1.0).is_err());
@@ -421,6 +487,39 @@ mod command_tests {
         // The batch ran to completion (no early `?` abort on the junk
         // file) and reported the per-file failure via the exit status.
         assert!(err.unwrap_err().to_string().contains("1 of 2 inputs failed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_journal_and_resume_roundtrip() {
+        let dir = std::env::temp_dir().join("vbadet_cli_test_journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.bin");
+        let mut b = vbadet_ovba::VbaProjectBuilder::new("P");
+        b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+        std::fs::write(&good, b.build().unwrap()).unwrap();
+        let journal = dir.join("scan.jsonl");
+
+        scan(&strs2(&[
+            "--scale",
+            "0.002",
+            "--ladder",
+            "--journal",
+            journal.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(journal.metadata().unwrap().len() > 0);
+        // Resuming from the journal replays the recorded outcome instead
+        // of rescanning, and still exits cleanly.
+        scan(&strs2(&[
+            "--scale",
+            "0.002",
+            "--resume",
+            journal.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]))
+        .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -48,7 +48,9 @@ fn usage() -> &'static str {
     "vbadet — obfuscated VBA macro detection (DSN 2018 reproduction)
 
 USAGE:
-    vbadet scan [--scale F] [--classifier NAME] [--limits default|strict] <file>...
+    vbadet scan [--scale F] [--classifier NAME] [--limits default|strict]
+                [--deadline-ms N] [--fuel N] [--ladder]
+                [--journal FILE] [--resume FILE] <file>...
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
     vbadet deobfuscate <file.vba>
@@ -76,5 +78,14 @@ OPTIONS:
     --techniques T   comma list of o1,o2,o3,o4 (default all)
     --folds K        cross-validation folds (default 10)
     --limits P       scan resource-limit profile: default | strict
+    --deadline-ms N  wall-clock budget per document; a document that blows
+                     it is reported FAILED [timeout], the batch keeps going
+    --fuel N         deterministic work budget per document (~1 unit/KiB)
+    --ladder         retry failed documents down the degradation ladder
+                     (full parse -> strict limits -> salvage-only sweep)
+    --journal FILE   checkpoint each document's outcome to FILE (JSONL,
+                     crash-safe) as the scan runs
+    --resume FILE    replay a journal from a killed run: completed documents
+                     are not rescanned, mid-scan ones are re-attempted
     --seed N         RNG seed"
 }

@@ -4,8 +4,11 @@
 
 use crate::limits::ScanLimits;
 use crate::DetectError;
+use vbadet_faultpoint::Budget;
 use vbadet_ole::OleFile;
-use vbadet_ovba::{salvage_modules_from_bytes, salvage_modules_from_ole, OvbaError, VbaProject};
+use vbadet_ovba::{
+    salvage_modules_from_bytes_budgeted, salvage_modules_from_ole_budgeted, OvbaError, VbaProject,
+};
 use vbadet_zip::ZipArchive;
 
 /// Detected container family.
@@ -116,37 +119,69 @@ pub fn extract_macros_with_limits(
     bytes: &[u8],
     limits: &ScanLimits,
 ) -> Result<Extraction, DetectError> {
+    extract_macros_bounded(bytes, limits, &Budget::unlimited())
+}
+
+/// Like [`extract_macros_with_limits`], but additionally bounded by a
+/// cooperative scan [`Budget`] threaded through every container layer. A
+/// pathological-but-limit-respecting document trips the budget instead of
+/// stalling, surfacing as a typed `DeadlineExceeded` error from whichever
+/// layer was mid-parse.
+///
+/// A budget trip is *final*: unlike structural damage, it is never
+/// salvaged, because the salvage scan spends the same (already exhausted)
+/// budget.
+///
+/// # Errors
+///
+/// As [`extract_macros_with_limits`], plus `DeadlineExceeded` wrappers.
+pub fn extract_macros_bounded(
+    bytes: &[u8],
+    limits: &ScanLimits,
+    budget: &Budget,
+) -> Result<Extraction, DetectError> {
     match sniff(bytes) {
-        Some(ContainerKind::Ole) => extract_from_ole_bytes(bytes, ContainerKind::Ole, limits),
+        Some(ContainerKind::Ole) => {
+            extract_from_ole_bytes(bytes, ContainerKind::Ole, limits, budget)
+        }
         Some(ContainerKind::Ooxml) => {
-            let zip = ZipArchive::parse_with_limits(bytes, limits.zip)?;
+            budget.checkpoint().map_err(OvbaError::from)?;
+            let zip = ZipArchive::parse_budgeted(bytes, limits.zip, budget.clone())?;
             let part = zip
                 .names()
                 .find(|n| n.ends_with("vbaProject.bin"))
                 .map(str::to_string)
                 .ok_or(DetectError::NoVbaPart)?;
             let bin = zip.read_file(&part)?;
-            extract_from_ole_bytes(&bin, ContainerKind::Ooxml, limits)
+            extract_from_ole_bytes(&bin, ContainerKind::Ooxml, limits, budget)
         }
         None => Err(DetectError::UnknownContainer),
     }
 }
 
 /// Parses an OLE buffer and extracts its VBA project, salvaging when the
-/// strict path fails for a reason other than a resource cap.
+/// strict path fails for a reason other than a resource cap or a budget
+/// trip.
 fn extract_from_ole_bytes(
     bytes: &[u8],
     container: ContainerKind,
     limits: &ScanLimits,
+    budget: &Budget,
 ) -> Result<Extraction, DetectError> {
-    let ole = match OleFile::parse_with_limits(bytes, limits.ole) {
+    // Explicit clock reads at the layer boundaries: `charge` amortizes its
+    // wall-clock checks over many charges, so a small document that stalls
+    // (rather than works) could otherwise slip past its deadline unnoticed.
+    budget.checkpoint().map_err(OvbaError::from)?;
+    let ole = match OleFile::parse_budgeted(bytes, limits.ole, budget.clone()) {
         Ok(ole) => ole,
         Err(e @ (vbadet_ole::OleError::LimitExceeded { .. }
-        | vbadet_ole::OleError::ChainCycle { .. })) => return Err(e.into()),
+        | vbadet_ole::OleError::ChainCycle { .. }
+        | vbadet_ole::OleError::DeadlineExceeded(_))) => return Err(e.into()),
         Err(e) => {
             // The compound file itself is unreadable; scan the raw buffer
             // for compressed containers as a last resort.
-            let salvaged = salvage_modules_from_bytes(bytes, "", &limits.ovba);
+            let salvaged = salvage_modules_from_bytes_budgeted(bytes, "", &limits.ovba, budget)?;
+            budget.checkpoint().map_err(OvbaError::from)?;
             if salvaged.is_empty() {
                 return Err(e.into());
             }
@@ -156,17 +191,23 @@ fn extract_from_ole_bytes(
             });
         }
     };
-    match VbaProject::from_ole_with_limits(&ole, &limits.ovba) {
-        Ok(project) => Ok(Extraction {
-            macros: project_to_macros(project, container),
-            status: ExtractionStatus::Parsed,
-        }),
+    match VbaProject::from_ole_budgeted(&ole, &limits.ovba, budget) {
+        Ok(project) => {
+            budget.checkpoint().map_err(OvbaError::from)?;
+            Ok(Extraction {
+                macros: project_to_macros(project, container),
+                status: ExtractionStatus::Parsed,
+            })
+        }
         Err(OvbaError::NoVbaProject) if container == ContainerKind::Ole => {
             Ok(Extraction { macros: Vec::new(), status: ExtractionStatus::Parsed })
         }
-        Err(e @ OvbaError::LimitExceeded { .. }) => Err(e.into()),
+        Err(e @ (OvbaError::LimitExceeded { .. } | OvbaError::DeadlineExceeded(_))) => {
+            Err(e.into())
+        }
         Err(e) => {
-            let salvaged = salvage_modules_from_ole(&ole, &limits.ovba);
+            let salvaged = salvage_modules_from_ole_budgeted(&ole, &limits.ovba, budget)?;
+            budget.checkpoint().map_err(OvbaError::from)?;
             if salvaged.is_empty() {
                 return Err(e.into());
             }

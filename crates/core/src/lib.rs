@@ -31,6 +31,7 @@ pub mod detector;
 mod error;
 pub mod experiment;
 pub mod extract;
+pub mod journal;
 pub mod limits;
 pub mod preprocess;
 pub mod scan;
@@ -41,13 +42,17 @@ pub use anti_analysis_scan::{scan_anti_analysis, AntiAnalysisIndicator};
 pub use detector::{ClassifierKind, Detector, DetectorConfig, ModuleVerdict, Verdict};
 pub use error::DetectError;
 pub use extract::{
-    extract_macros, extract_macros_with_limits, ContainerKind, ExtractedMacro, Extraction,
-    ExtractionStatus,
+    extract_macros, extract_macros_bounded, extract_macros_with_limits, ContainerKind,
+    ExtractedMacro, Extraction, ExtractionStatus,
 };
+pub use journal::{replay_journal, JournalReplay, ScanJournal};
 pub use limits::ScanLimits;
 pub use preprocess::preprocess_macros;
 pub use scan::{
-    scan_bytes, scan_documents, scan_paths, FailureClass, ScanOutcome, ScanRecord, ScanReport,
+    scan_bytes, scan_bytes_with_policy, scan_documents, scan_documents_with_policy, scan_paths,
+    scan_paths_journaled, scan_paths_with_policy, FailureClass, LadderRung, ScanOutcome,
+    ScanPolicy, ScanRecord, ScanReport,
 };
+pub use vbadet_faultpoint::{Budget, BudgetExceeded};
 pub use signature::SignatureScanner;
 pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};

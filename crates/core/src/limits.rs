@@ -16,7 +16,7 @@ use vbadet_zip::ZipLimits;
 /// legitimate `vbaProject.bin` streams are a few megabytes) while keeping
 /// the worst-case memory for a hostile input bounded to hundreds of
 /// megabytes rather than the petabytes a decompression bomb can declare.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanLimits {
     /// ZIP-layer caps: central-directory entry count, inflated member size.
     pub zip: ZipLimits,
@@ -24,6 +24,21 @@ pub struct ScanLimits {
     pub ole: OleLimits,
     /// VBA-layer caps: module count, decompressed module/dir stream sizes.
     pub ovba: OvbaLimits,
+    /// Maximum on-disk file size accepted by the batch engine. Checked by
+    /// `stat` *before* the file is read, so an oversized input is rejected
+    /// as a typed outcome without its bytes ever being allocated.
+    pub max_file_size: u64,
+}
+
+impl Default for ScanLimits {
+    fn default() -> Self {
+        ScanLimits {
+            zip: ZipLimits::default(),
+            ole: OleLimits::default(),
+            ovba: OvbaLimits::default(),
+            max_file_size: 1 << 30,
+        }
+    }
 }
 
 impl ScanLimits {
@@ -43,6 +58,7 @@ impl ScanLimits {
                 max_module_bytes: 1 << 22,
                 max_dir_bytes: 1 << 20,
             },
+            max_file_size: 1 << 26,
         }
     }
 }
@@ -63,5 +79,6 @@ mod tests {
         assert!(s.ovba.max_modules <= d.ovba.max_modules);
         assert!(s.ovba.max_module_bytes <= d.ovba.max_module_bytes);
         assert!(s.ovba.max_dir_bytes <= d.ovba.max_dir_bytes);
+        assert!(s.max_file_size <= d.max_file_size);
     }
 }

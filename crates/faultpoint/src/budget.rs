@@ -1,0 +1,249 @@
+//! Cooperative scan budgets: fuel + wall-clock deadline.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// How many charges pass between wall-clock reads. `Instant::now()` costs
+/// tens of nanoseconds; one fuel unit represents roughly a kilobyte of
+/// parsing work, so checking every 64th charge bounds deadline overshoot
+/// to ~64 KiB of work while keeping the clean-path overhead to a couple
+/// of branches per charge.
+const CLOCK_PERIOD: u32 = 64;
+
+/// Why a [`Budget`] refused further work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The fuel allowance was spent.
+    Fuel,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Deadline => write!(f, "wall-clock deadline exceeded"),
+            BudgetExceeded::Fuel => write!(f, "fuel budget exhausted"),
+        }
+    }
+}
+
+impl Error for BudgetExceeded {}
+
+#[derive(Debug)]
+struct BudgetState {
+    /// Absolute cut-off; `None` means no wall-clock bound.
+    deadline: Option<Instant>,
+    /// Remaining fuel units; only consulted when `metered`.
+    fuel: Cell<u64>,
+    /// Whether fuel accounting is active.
+    metered: bool,
+    /// Fast-path gate: false for unlimited budgets.
+    active: bool,
+    /// Charges remaining until the next wall-clock read.
+    clock_countdown: Cell<u32>,
+    /// Sticky breach: once a budget trips, every later charge fails with
+    /// the same reason, so degradation-ladder rungs sharing the budget
+    /// fail fast instead of re-running to the deadline.
+    tripped: Cell<Option<BudgetExceeded>>,
+}
+
+/// A cooperative cancellation token threaded through parser hot loops.
+///
+/// Cloning is cheap and clones **share** state (one allowance per
+/// document, however many layers charge against it). One fuel unit
+/// corresponds to roughly a kilobyte of parsing work — a sector read, an
+/// MS-OVBA chunk, a kilobyte of inflated output — deliberately coarse so
+/// the charge itself stays a few branches.
+///
+/// A `Budget` is single-threaded by design (`Rc` + `Cell`): scanning is
+/// parallel across documents, never within one.
+#[derive(Debug, Clone)]
+pub struct Budget(Rc<BudgetState>);
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    fn build(deadline: Option<Instant>, fuel: Option<u64>) -> Self {
+        Budget(Rc::new(BudgetState {
+            deadline,
+            fuel: Cell::new(fuel.unwrap_or(u64::MAX)),
+            metered: fuel.is_some(),
+            active: deadline.is_some() || fuel.is_some(),
+            clock_countdown: Cell::new(CLOCK_PERIOD),
+            tripped: Cell::new(None),
+        }))
+    }
+
+    /// A budget that never trips. Charging it is a single branch.
+    pub fn unlimited() -> Self {
+        Budget::build(None, None)
+    }
+
+    /// A budget bounded by wall-clock time only.
+    pub fn with_deadline(limit: Duration) -> Self {
+        Budget::build(Some(Instant::now() + limit), None)
+    }
+
+    /// A budget bounded by fuel only.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Budget::build(None, Some(fuel))
+    }
+
+    /// A budget with optional deadline and optional fuel; `None, None` is
+    /// [`Budget::unlimited`].
+    pub fn new(deadline: Option<Duration>, fuel: Option<u64>) -> Self {
+        Budget::build(deadline.map(|d| Instant::now() + d), fuel)
+    }
+
+    /// Records `cost` units of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when the fuel allowance is spent or the
+    /// wall-clock deadline has passed — and, stickily, on every charge
+    /// after the first breach.
+    #[inline]
+    pub fn charge(&self, cost: u64) -> Result<(), BudgetExceeded> {
+        let s = &*self.0;
+        if !s.active {
+            return Ok(());
+        }
+        if let Some(why) = s.tripped.get() {
+            return Err(why);
+        }
+        if s.metered {
+            let fuel = s.fuel.get();
+            if fuel < cost {
+                s.fuel.set(0);
+                s.tripped.set(Some(BudgetExceeded::Fuel));
+                return Err(BudgetExceeded::Fuel);
+            }
+            s.fuel.set(fuel - cost);
+        }
+        if let Some(deadline) = s.deadline {
+            let countdown = s.clock_countdown.get();
+            if countdown <= 1 {
+                s.clock_countdown.set(CLOCK_PERIOD);
+                if Instant::now() >= deadline {
+                    s.tripped.set(Some(BudgetExceeded::Deadline));
+                    return Err(BudgetExceeded::Deadline);
+                }
+            } else {
+                s.clock_countdown.set(countdown - 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the wall clock *now* (ignoring the amortization countdown)
+    /// and reports whether the budget is still good. Used at coarse
+    /// boundaries — e.g. between degradation-ladder rungs — where an
+    /// immediate answer matters more than the saved clock read.
+    ///
+    /// # Errors
+    ///
+    /// As [`Budget::charge`].
+    pub fn checkpoint(&self) -> Result<(), BudgetExceeded> {
+        let s = &*self.0;
+        if !s.active {
+            return Ok(());
+        }
+        if let Some(why) = s.tripped.get() {
+            return Err(why);
+        }
+        if let Some(deadline) = s.deadline {
+            if Instant::now() >= deadline {
+                s.tripped.set(Some(BudgetExceeded::Deadline));
+                return Err(BudgetExceeded::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this budget has already tripped (and on what).
+    pub fn tripped(&self) -> Option<BudgetExceeded> {
+        self.0.tripped.get()
+    }
+
+    /// Whether this budget can ever trip.
+    pub fn is_unlimited(&self) -> bool {
+        !self.0.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.charge(u64::MAX).unwrap();
+        }
+        b.checkpoint().unwrap();
+        assert!(b.is_unlimited());
+        assert_eq!(b.tripped(), None);
+    }
+
+    #[test]
+    fn fuel_is_spent_and_sticky() {
+        let b = Budget::with_fuel(100);
+        assert!(b.charge(60).is_ok());
+        assert!(b.charge(40).is_ok());
+        assert_eq!(b.charge(1), Err(BudgetExceeded::Fuel));
+        // Sticky: even a free charge now fails.
+        assert_eq!(b.charge(0), Err(BudgetExceeded::Fuel));
+        assert_eq!(b.checkpoint(), Err(BudgetExceeded::Fuel));
+        assert_eq!(b.tripped(), Some(BudgetExceeded::Fuel));
+    }
+
+    #[test]
+    fn clones_share_one_allowance() {
+        let a = Budget::with_fuel(10);
+        let b = a.clone();
+        for _ in 0..10 {
+            a.charge(1).unwrap();
+        }
+        assert_eq!(b.charge(1), Err(BudgetExceeded::Fuel));
+    }
+
+    #[test]
+    fn expired_deadline_trips_within_one_clock_period() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let mut tripped = false;
+        for _ in 0..(CLOCK_PERIOD as usize + 1) {
+            if b.charge(1).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "deadline breach must surface within CLOCK_PERIOD charges");
+        assert_eq!(b.tripped(), Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn checkpoint_sees_expired_deadline_immediately() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(b.checkpoint(), Err(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::new(Some(Duration::from_secs(3600)), Some(1_000_000));
+        for _ in 0..1000 {
+            b.charge(1).unwrap();
+        }
+        assert_eq!(b.tripped(), None);
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic fault injection (the classic failpoints pattern).
+//!
+//! A *site* is a named point in the code marked with [`faultpoint!`]. In
+//! production builds (feature `faultpoints` disabled) a site is an inlined
+//! `None` and vanishes from optimized code. With the feature enabled each
+//! site consults a process-global registry and performs the configured
+//! *action*:
+//!
+//! | Spec | Effect at the site |
+//! |---|---|
+//! | `off` | nothing |
+//! | `panic` / `panic(msg)` | `panic!` with the message |
+//! | `sleep(ms)` | block the thread for `ms` milliseconds (a simulated stall) |
+//! | `return` / `return(arg)` | [`fire`] yields `Some(arg)`; the two-arm form of [`faultpoint!`] early-returns |
+//!
+//! Two modifiers compose with any action:
+//!
+//! - `@N` — arm the site from its `N`th hit onward (1-based), e.g.
+//!   `panic@5` kills on the fifth pass. Hits are counted per site.
+//! - `P%` prefix — fire with probability `P` percent per armed hit, driven
+//!   by a per-site xorshift generator seeded from `VBADET_FAULTPOINT_SEED`
+//!   (default `0x5EED`), so probabilistic runs replay bit-for-bit under a
+//!   fixed seed.
+//!
+//! Configuration is programmatic ([`configure`] / [`remove`] / [`clear`])
+//! or environment-driven: `VBADET_FAULTPOINTS="site=spec;site2=spec2"` is
+//! parsed once, on the first site hit.
+//!
+//! ```
+//! # #[cfg(feature = "faultpoints")] {
+//! vbadet_faultpoint::configure("demo::site", "return(42)@2").unwrap();
+//! assert_eq!(vbadet_faultpoint::fire("demo::site"), None);           // hit 1
+//! assert_eq!(vbadet_faultpoint::fire("demo::site"), Some("42".into())); // hit 2
+//! vbadet_faultpoint::clear();
+//! # }
+//! ```
+
+/// Marks a fault-injection site.
+///
+/// `faultpoint!("name")` may panic or stall when so configured; a
+/// configured `return` action is ignored. `faultpoint!("name", expr)`
+/// additionally makes the enclosing function `return expr` on a `return`
+/// action, and `faultpoint!("name", |arg| expr)` gives the expression
+/// access to the action's string argument.
+#[macro_export]
+macro_rules! faultpoint {
+    ($name:expr) => {{
+        let _ = $crate::fire($name);
+    }};
+    ($name:expr, |$arg:ident| $ret:expr) => {
+        if let Some($arg) = $crate::fire($name) {
+            return $ret;
+        }
+    };
+    ($name:expr, $ret:expr) => {
+        if $crate::fire($name).is_some() {
+            return $ret;
+        }
+    };
+}
+
+/// Evaluates the site `name`: a no-op `None` unless the `faultpoints`
+/// feature is enabled and the site is armed. Panics and sleeps happen
+/// inside; a `return` action yields `Some(arg)`.
+#[cfg(not(feature = "faultpoints"))]
+#[inline(always)]
+pub fn fire(_name: &str) -> Option<String> {
+    None
+}
+
+#[cfg(feature = "faultpoints")]
+pub use enabled::fire;
+#[cfg(feature = "faultpoints")]
+pub use enabled::{clear, configure, hit_count, remove};
+
+#[cfg(feature = "faultpoints")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Action {
+        Off,
+        Panic(String),
+        Sleep(u64),
+        Return(String),
+    }
+
+    #[derive(Debug)]
+    struct Site {
+        action: Action,
+        /// First 1-based hit on which the action is armed.
+        from_hit: u64,
+        /// Fire probability in percent (100 = always).
+        prob_pct: u8,
+        /// Per-site deterministic RNG state (for `prob_pct < 100`).
+        rng: u64,
+        hits: u64,
+    }
+
+    fn registry() -> MutexGuard<'static, HashMap<String, Site>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        // A site that panics by design must not poison the registry for
+        // every later test; recover the guard.
+        match REGISTRY.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn env_seed() -> u64 {
+        std::env::var("VBADET_FAULTPOINT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED)
+    }
+
+    /// Splitmix-style site seed: stable per (seed, name).
+    fn site_seed(name: &str) -> u64 {
+        let mut h = env_seed() ^ 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h | 1
+    }
+
+    fn parse_spec(name: &str, spec: &str) -> Result<Site, String> {
+        let spec = spec.trim();
+        let (prob_pct, rest) = match spec.find('%') {
+            Some(i) if spec[..i].chars().all(|c| c.is_ascii_digit()) && i > 0 => {
+                let pct: u8 = spec[..i].parse().map_err(|_| format!("bad probability in {spec:?}"))?;
+                (pct.min(100), &spec[i + 1..])
+            }
+            _ => (100u8, spec),
+        };
+        let (rest, from_hit) = match rest.rsplit_once('@') {
+            Some((head, n)) => {
+                let n: u64 = n.parse().map_err(|_| format!("bad hit count in {spec:?}"))?;
+                (head, n.max(1))
+            }
+            None => (rest, 1),
+        };
+        let (verb, arg) = match rest.split_once('(') {
+            Some((verb, tail)) => {
+                let arg = tail
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed argument in {spec:?}"))?;
+                (verb, Some(arg.to_string()))
+            }
+            None => (rest, None),
+        };
+        let action = match verb {
+            "off" => Action::Off,
+            "panic" => Action::Panic(arg.unwrap_or_else(|| "injected fault".to_string())),
+            "sleep" => Action::Sleep(
+                arg.ok_or_else(|| format!("sleep needs a duration in {spec:?}"))?
+                    .parse()
+                    .map_err(|_| format!("bad sleep duration in {spec:?}"))?,
+            ),
+            "return" => Action::Return(arg.unwrap_or_default()),
+            other => return Err(format!("unknown faultpoint action {other:?} in {spec:?}")),
+        };
+        Ok(Site { action, from_hit, prob_pct, rng: site_seed(name), hits: 0 })
+    }
+
+    fn init_from_env() {
+        static INIT: Once = Once::new();
+        INIT.call_once(|| {
+            let Ok(config) = std::env::var("VBADET_FAULTPOINTS") else { return };
+            for item in config.split(';').filter(|s| !s.trim().is_empty()) {
+                let Some((name, spec)) = item.split_once('=') else {
+                    eprintln!("VBADET_FAULTPOINTS: ignoring malformed entry {item:?}");
+                    continue;
+                };
+                if let Err(e) = configure(name.trim(), spec) {
+                    eprintln!("VBADET_FAULTPOINTS: {e}");
+                }
+            }
+        });
+    }
+
+    /// Arms the site `name` with the given spec (see the module docs for
+    /// the grammar). Replaces any previous spec and resets the hit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse failure; the site is unchanged.
+    pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+        let site = parse_spec(name, spec)?;
+        registry().insert(name.to_string(), site);
+        Ok(())
+    }
+
+    /// Disarms one site.
+    pub fn remove(name: &str) {
+        registry().remove(name);
+    }
+
+    /// Disarms every site and resets all hit counts.
+    pub fn clear() {
+        registry().clear();
+    }
+
+    /// How many times the site has been hit since it was configured.
+    pub fn hit_count(name: &str) -> u64 {
+        registry().get(name).map_or(0, |s| s.hits)
+    }
+
+    /// See the crate-level no-op twin for the contract.
+    pub fn fire(name: &str) -> Option<String> {
+        init_from_env();
+        // Decide under the lock, act after releasing it: a panicking or
+        // sleeping site must not hold the registry hostage.
+        let action = {
+            let mut reg = registry();
+            let site = reg.get_mut(name)?;
+            site.hits += 1;
+            if site.hits < site.from_hit {
+                return None;
+            }
+            if site.prob_pct < 100 {
+                site.rng ^= site.rng << 13;
+                site.rng ^= site.rng >> 7;
+                site.rng ^= site.rng << 17;
+                if (site.rng % 100) as u8 >= site.prob_pct {
+                    return None;
+                }
+            }
+            site.action.clone()
+        };
+        match action {
+            Action::Off => None,
+            Action::Panic(msg) => panic!("faultpoint {name}: {msg}"),
+            Action::Sleep(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Action::Return(arg) => Some(arg),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Mutex as StdMutex;
+
+        /// The registry is process-global; serialize tests touching it.
+        static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+        fn locked() -> std::sync::MutexGuard<'static, ()> {
+            match TEST_LOCK.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        #[test]
+        fn unconfigured_sites_are_silent() {
+            let _g = locked();
+            clear();
+            assert_eq!(fire("nothing::here"), None);
+        }
+
+        #[test]
+        fn return_action_fires_from_nth_hit() {
+            let _g = locked();
+            clear();
+            configure("t::ret", "return(abc)@3").unwrap();
+            assert_eq!(fire("t::ret"), None);
+            assert_eq!(fire("t::ret"), None);
+            assert_eq!(fire("t::ret"), Some("abc".to_string()));
+            assert_eq!(fire("t::ret"), Some("abc".to_string()));
+            assert_eq!(hit_count("t::ret"), 4);
+            clear();
+        }
+
+        #[test]
+        fn panic_action_panics_with_message() {
+            let _g = locked();
+            clear();
+            configure("t::boom", "panic(kaboom)").unwrap();
+            let err = std::panic::catch_unwind(|| fire("t::boom")).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("kaboom"), "got {msg:?}");
+            clear();
+        }
+
+        #[test]
+        fn probabilistic_sites_replay_deterministically() {
+            let _g = locked();
+            clear();
+            let run = || -> Vec<bool> {
+                configure("t::prob", "50%return").unwrap();
+                let v = (0..64).map(|_| fire("t::prob").is_some()).collect();
+                remove("t::prob");
+                v
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b);
+            assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x), "50% should mix");
+            clear();
+        }
+
+        #[test]
+        fn bad_specs_are_rejected() {
+            let _g = locked();
+            assert!(parse_spec("s", "explode").is_err());
+            assert!(parse_spec("s", "sleep").is_err());
+            assert!(parse_spec("s", "sleep(abc)").is_err());
+            assert!(parse_spec("s", "panic(unclosed").is_err());
+            assert!(parse_spec("s", "panic@x").is_err());
+        }
+
+        #[test]
+        fn macro_forms_compile_and_return() {
+            let _g = locked();
+            clear();
+            configure("t::macro", "return(7)").unwrap();
+            fn site() -> u32 {
+                crate::faultpoint!("t::macro", |arg| arg.parse().unwrap_or(0));
+                0
+            }
+            assert_eq!(site(), 7);
+            clear();
+            assert_eq!(site(), 0);
+        }
+    }
+}

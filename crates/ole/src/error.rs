@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use vbadet_faultpoint::BudgetExceeded;
+
 /// Errors produced while reading or writing compound files.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -27,6 +29,15 @@ pub enum OleError {
     /// entries, stream size…). Distinguished from malformed-structure errors
     /// so callers can report capped inputs as a typed outcome.
     LimitExceeded { what: &'static str, limit: usize },
+    /// The caller's scan budget (wall-clock deadline or fuel allowance)
+    /// tripped mid-parse; says nothing about the input's structure.
+    DeadlineExceeded(BudgetExceeded),
+}
+
+impl From<BudgetExceeded> for OleError {
+    fn from(why: BudgetExceeded) -> Self {
+        OleError::DeadlineExceeded(why)
+    }
 }
 
 impl fmt::Display for OleError {
@@ -48,6 +59,7 @@ impl fmt::Display for OleError {
             OleError::LimitExceeded { what, limit } => {
                 write!(f, "resource limit exceeded: {what} (limit {limit})")
             }
+            OleError::DeadlineExceeded(why) => write!(f, "scan budget exceeded: {why}"),
         }
     }
 }

@@ -37,4 +37,5 @@ mod write;
 pub use entry::{DirEntry, ObjectType};
 pub use error::OleError;
 pub use read::{OleFile, OleLimits};
+pub use vbadet_faultpoint::{Budget, BudgetExceeded};
 pub use write::OleBuilder;

@@ -3,6 +3,7 @@
 use crate::consts::*;
 use crate::entry::{DirEntry, ObjectType};
 use crate::OleError;
+use vbadet_faultpoint::{faultpoint, Budget};
 
 /// Resource caps applied while parsing a compound file.
 ///
@@ -44,6 +45,8 @@ pub struct OleFile {
     /// Mini stream contents (the root entry's chain), concatenated.
     mini_stream: Vec<u8>,
     limits: OleLimits,
+    /// Shared cooperative budget; chain walks charge one unit per sector.
+    budget: Budget,
 }
 
 fn u16_at(data: &[u8], off: usize) -> u16 {
@@ -79,6 +82,23 @@ impl OleFile {
     /// returns [`OleError::LimitExceeded`] when the file requests more
     /// sectors, directory entries, or stream bytes than `limits` allows.
     pub fn parse_with_limits(data: &[u8], limits: OleLimits) -> Result<Self, OleError> {
+        Self::parse_budgeted(data, limits, Budget::unlimited())
+    }
+
+    /// Like [`OleFile::parse_with_limits`] but charges parsing work — and
+    /// all later stream reads through the returned file — against a
+    /// cooperative scan [`Budget`] (roughly one fuel unit per sector).
+    ///
+    /// # Errors
+    ///
+    /// As [`OleFile::parse_with_limits`], plus
+    /// [`OleError::DeadlineExceeded`] when the budget trips.
+    pub fn parse_budgeted(
+        data: &[u8],
+        limits: OleLimits,
+        budget: Budget,
+    ) -> Result<Self, OleError> {
+        faultpoint!("ole::parse", Err(OleError::BadSignature));
         if data.len() < 512 || data[..8] != SIGNATURE {
             return Err(OleError::BadSignature);
         }
@@ -116,6 +136,9 @@ impl OleFile {
                 limit: limits.max_sectors,
             });
         }
+        // Sector split, DIFAT walk and FAT build are all linear in the
+        // sector count; one upfront charge covers them.
+        budget.charge(sector_count as u64 / 8 + 1)?;
         let mut sectors = Vec::with_capacity(sector_count);
         for i in 0..sector_count {
             let start = i * sector_size;
@@ -175,6 +198,7 @@ impl OleFile {
             entries: Vec::new(),
             mini_stream: Vec::new(),
             limits,
+            budget,
         };
 
         // Directory: bounded by the entry cap instead of `usize::MAX`; the
@@ -236,10 +260,12 @@ impl OleFile {
     /// visited-sector guard turns cyclic or self-referencing chains into
     /// [`OleError::ChainCycle`] instead of an unbounded walk.
     fn read_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
+        faultpoint!("ole::read_chain", Err(OleError::Truncated { sector: start }));
         let mut out = Vec::new();
         let mut sector = start;
         let mut visited = vec![false; self.sectors.len()];
         while sector <= MAXREGSECT {
+            self.budget.charge(1)?;
             let data = self
                 .sectors
                 .get(sector as usize)
@@ -276,6 +302,7 @@ impl OleFile {
         let mut sector = start;
         let mut visited = vec![false; self.minifat.len()];
         while sector <= MAXREGSECT {
+            self.budget.charge(1)?;
             if (sector as usize) < visited.len()
                 && std::mem::replace(&mut visited[sector as usize], true)
             {

@@ -9,6 +9,7 @@
 //! position is.
 
 use crate::OvbaError;
+use vbadet_faultpoint::{faultpoint, Budget};
 
 /// Decompressed bytes per chunk.
 const CHUNK: usize = 4096;
@@ -53,12 +54,29 @@ pub const DEFAULT_MAX_DECOMPRESSED: usize = 1 << 28;
 /// Like [`decompress`] but with a caller-provided output cap; exceeding it
 /// returns [`OvbaError::LimitExceeded`].
 pub fn decompress_with_limit(container: &[u8], limit: usize) -> Result<Vec<u8>, OvbaError> {
+    decompress_budgeted(container, limit, &Budget::unlimited())
+}
+
+/// Like [`decompress_with_limit`] but also charges decompression work
+/// against a cooperative scan [`Budget`] (one fuel unit per chunk).
+///
+/// # Errors
+///
+/// As [`decompress_with_limit`], plus [`OvbaError::DeadlineExceeded`] when
+/// the budget trips.
+pub fn decompress_budgeted(
+    container: &[u8],
+    limit: usize,
+    budget: &Budget,
+) -> Result<Vec<u8>, OvbaError> {
+    faultpoint!("ovba::decompress", Err(OvbaError::TruncatedContainer));
     let (&sig, mut rest) = container.split_first().ok_or(OvbaError::TruncatedContainer)?;
     if sig != 0x01 {
         return Err(OvbaError::BadContainerSignature(sig));
     }
     let mut out = Vec::new();
     while !rest.is_empty() {
+        budget.charge(1)?;
         if rest.len() < 2 {
             return Err(OvbaError::TruncatedContainer);
         }
@@ -100,13 +118,31 @@ pub fn decompress_with_limit(container: &[u8], limit: usize) -> Result<Vec<u8>, 
 /// compressed container is found embedded at an arbitrary offset of a
 /// damaged stream.
 pub fn decompress_salvage(container: &[u8], limit: usize) -> Option<(Vec<u8>, usize)> {
-    let (&sig, _) = container.split_first()?;
+    decompress_salvage_budgeted(container, limit, &Budget::unlimited())
+        .unwrap_or(None)
+}
+
+/// Like [`decompress_salvage`] but charges one fuel unit per decoded chunk
+/// against a cooperative scan [`Budget`].
+///
+/// # Errors
+///
+/// Returns [`OvbaError::DeadlineExceeded`] when the budget trips; all other
+/// decode problems end the salvage quietly (`Ok(None)` / a short prefix),
+/// exactly as in [`decompress_salvage`].
+pub fn decompress_salvage_budgeted(
+    container: &[u8],
+    limit: usize,
+    budget: &Budget,
+) -> Result<Option<(Vec<u8>, usize)>, OvbaError> {
+    let Some((&sig, _)) = container.split_first() else { return Ok(None) };
     if sig != 0x01 {
-        return None;
+        return Ok(None);
     }
     let mut consumed = 1usize;
     let mut out = Vec::new();
     while container.len() - consumed >= 2 {
+        budget.charge(1)?;
         let rest = &container[consumed..];
         let header = u16::from_le_bytes([rest[0], rest[1]]);
         if (header >> 12) & 0b111 != 0b011 {
@@ -133,9 +169,9 @@ pub fn decompress_salvage(container: &[u8], limit: usize) -> Option<(Vec<u8>, us
         consumed += 2 + data_len;
     }
     if out.is_empty() {
-        None
+        Ok(None)
     } else {
-        Some((out, consumed))
+        Ok(Some((out, consumed)))
     }
 }
 

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use vbadet_faultpoint::BudgetExceeded;
+
 /// Errors produced while decoding MS-OVBA structures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -29,8 +31,17 @@ pub enum OvbaError {
     /// count…). Distinguished from malformed-structure errors so callers can
     /// report capped inputs as a typed outcome.
     LimitExceeded { what: &'static str, limit: usize },
+    /// The caller's scan budget (wall-clock deadline or fuel allowance)
+    /// tripped mid-extraction; says nothing about the input's structure.
+    DeadlineExceeded(BudgetExceeded),
     /// Error from the underlying OLE layer.
     Ole(vbadet_ole::OleError),
+}
+
+impl From<BudgetExceeded> for OvbaError {
+    fn from(why: BudgetExceeded) -> Self {
+        OvbaError::DeadlineExceeded(why)
+    }
 }
 
 impl fmt::Display for OvbaError {
@@ -60,6 +71,7 @@ impl fmt::Display for OvbaError {
             OvbaError::LimitExceeded { what, limit } => {
                 write!(f, "resource limit exceeded: {what} (limit {limit})")
             }
+            OvbaError::DeadlineExceeded(why) => write!(f, "scan budget exceeded: {why}"),
             OvbaError::Ole(e) => write!(f, "ole error: {e}"),
         }
     }
@@ -76,6 +88,11 @@ impl Error for OvbaError {
 
 impl From<vbadet_ole::OleError> for OvbaError {
     fn from(e: vbadet_ole::OleError) -> Self {
-        OvbaError::Ole(e)
+        // A budget trip in the OLE layer is still a budget trip here: keep
+        // it typed so callers can classify timeouts without unwrapping.
+        match e {
+            vbadet_ole::OleError::DeadlineExceeded(why) => OvbaError::DeadlineExceeded(why),
+            other => OvbaError::Ole(other),
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Whole-project extraction and synthesis.
 
-use crate::compression::{compress, decompress_with_limit};
+use crate::compression::{compress, decompress_budgeted};
 use crate::dir::{DirStream, ModuleRecord, ModuleType};
 use crate::OvbaError;
+use vbadet_faultpoint::Budget;
 use vbadet_ole::{OleBuilder, OleFile};
 
 /// Resource caps applied while extracting a VBA project.
@@ -82,19 +83,34 @@ impl VbaProject {
         ole: &OleFile,
         limits: &OvbaLimits,
     ) -> Result<Self, OvbaError> {
+        Self::from_ole_budgeted(ole, limits, &Budget::unlimited())
+    }
+
+    /// Like [`VbaProject::from_ole_with_limits`] but charges decompression
+    /// work against a cooperative scan [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// As [`VbaProject::from_ole_with_limits`], plus
+    /// [`OvbaError::DeadlineExceeded`] when the budget trips.
+    pub fn from_ole_budgeted(
+        ole: &OleFile,
+        limits: &OvbaLimits,
+        budget: &Budget,
+    ) -> Result<Self, OvbaError> {
         for root in KNOWN_ROOTS {
             let dir_path = join(root, "VBA/dir");
             if ole.exists(&dir_path) {
-                return Self::from_ole_at_with_limits(ole, root, limits);
+                return Self::from_ole_at_budgeted(ole, root, limits, budget);
             }
         }
         // Fallback: search any stream path ending in `VBA/dir`.
         for path in ole.stream_paths() {
             if let Some(root) = path.strip_suffix("/VBA/dir") {
-                return Self::from_ole_at_with_limits(ole, root, limits);
+                return Self::from_ole_at_budgeted(ole, root, limits, budget);
             }
             if path == "VBA/dir" {
-                return Self::from_ole_at_with_limits(ole, "", limits);
+                return Self::from_ole_at_budgeted(ole, "", limits, budget);
             }
         }
         Err(OvbaError::NoVbaProject)
@@ -120,11 +136,27 @@ impl VbaProject {
         root: &str,
         limits: &OvbaLimits,
     ) -> Result<Self, OvbaError> {
-        let dir_bytes = ole
-            .open_stream(&join(root, "VBA/dir"))
-            .map_err(|_| OvbaError::NoVbaProject)?;
+        Self::from_ole_at_budgeted(ole, root, limits, &Budget::unlimited())
+    }
+
+    /// Like [`VbaProject::from_ole_at_with_limits`] but budgeted.
+    ///
+    /// # Errors
+    ///
+    /// As [`VbaProject::from_ole_at_with_limits`], plus
+    /// [`OvbaError::DeadlineExceeded`] when the budget trips.
+    pub fn from_ole_at_budgeted(
+        ole: &OleFile,
+        root: &str,
+        limits: &OvbaLimits,
+        budget: &Budget,
+    ) -> Result<Self, OvbaError> {
+        let dir_bytes = ole.open_stream(&join(root, "VBA/dir")).map_err(|e| match e {
+            vbadet_ole::OleError::DeadlineExceeded(why) => why.into(),
+            _ => OvbaError::NoVbaProject,
+        })?;
         let dir =
-            DirStream::parse(&decompress_with_limit(&dir_bytes, limits.max_dir_bytes)?)?;
+            DirStream::parse(&decompress_budgeted(&dir_bytes, limits.max_dir_bytes, budget)?)?;
         if dir.modules.len() > limits.max_modules {
             return Err(OvbaError::LimitExceeded {
                 what: "module count",
@@ -137,9 +169,10 @@ impl VbaProject {
             let stream_name =
                 if record.stream_name.is_empty() { &record.name } else { &record.stream_name };
             let stream_path = join(root, &format!("VBA/{stream_name}"));
-            let stream = ole
-                .open_stream(&stream_path)
-                .map_err(|_| OvbaError::MissingModuleStream(stream_name.clone()))?;
+            let stream = ole.open_stream(&stream_path).map_err(|e| match e {
+                vbadet_ole::OleError::DeadlineExceeded(why) => why.into(),
+                _ => OvbaError::MissingModuleStream(stream_name.clone()),
+            })?;
             let offset = record.text_offset as usize;
             if offset > stream.len() {
                 return Err(OvbaError::BadModuleOffset {
@@ -148,7 +181,7 @@ impl VbaProject {
                     stream_len: stream.len(),
                 });
             }
-            let source = decompress_with_limit(&stream[offset..], limits.max_module_bytes)?;
+            let source = decompress_budgeted(&stream[offset..], limits.max_module_bytes, budget)?;
             modules.push(VbaModule {
                 name: record.name.clone(),
                 code: source.iter().map(|&b| b as char).collect(),

@@ -8,9 +8,11 @@
 //! header whose signature bits are 0b011), decompresses best-effort, and
 //! keeps whatever looks like VBA text.
 
-use crate::compression::decompress_salvage;
+use crate::compression::decompress_salvage_budgeted;
 use crate::dir::ModuleType;
 use crate::project::{OvbaLimits, VbaModule};
+use crate::OvbaError;
+use vbadet_faultpoint::Budget;
 use vbadet_ole::OleFile;
 
 /// Minimum decompressed size for a salvaged blob to count as a module
@@ -43,15 +45,40 @@ pub fn salvage_modules_from_bytes(
     origin: &str,
     limits: &OvbaLimits,
 ) -> Vec<VbaModule> {
+    salvage_modules_from_bytes_budgeted(data, origin, limits, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// Like [`salvage_modules_from_bytes`] but charges the byte scan (one fuel
+/// unit per KiB) and each chunk decode against a cooperative scan
+/// [`Budget`].
+///
+/// # Errors
+///
+/// Returns [`OvbaError::DeadlineExceeded`] when the budget trips; malformed
+/// containers are skipped quietly as in the unbudgeted version.
+pub fn salvage_modules_from_bytes_budgeted(
+    data: &[u8],
+    origin: &str,
+    limits: &OvbaLimits,
+    budget: &Budget,
+) -> Result<Vec<VbaModule>, OvbaError> {
     let mut out = Vec::new();
     let mut i = 0usize;
+    // Charge per KiB of scanned input; `next_toll` is the scan position at
+    // which the next fuel unit is due.
+    let mut next_toll = 1024usize;
     while i + 3 <= data.len() && out.len() < limits.max_modules {
+        if i >= next_toll {
+            budget.charge(1)?;
+            next_toll = i + 1024;
+        }
         let header = u16::from_le_bytes([data[i + 1], data[i + 2]]);
         if data[i] != 0x01 || (header >> 12) & 0b111 != 0b011 {
             i += 1;
             continue;
         }
-        match decompress_salvage(&data[i..], limits.max_module_bytes) {
+        match decompress_salvage_budgeted(&data[i..], limits.max_module_bytes, budget)? {
             Some((blob, consumed)) if blob.len() >= MIN_SALVAGE_BYTES => {
                 if looks_like_vba(&blob) {
                     let name = if origin.is_empty() {
@@ -70,30 +97,63 @@ pub fn salvage_modules_from_bytes(
             _ => i += 1,
         }
     }
-    out
+    Ok(out)
 }
 
 /// Salvages modules from every stream of a parsed compound file. Used when
 /// the project's `dir` stream or records cannot be parsed; streams that fail
 /// to read are skipped rather than aborting the salvage pass.
 pub fn salvage_modules_from_ole(ole: &OleFile, limits: &OvbaLimits) -> Vec<VbaModule> {
+    salvage_modules_from_ole_budgeted(ole, limits, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// Like [`salvage_modules_from_ole`] but budgeted. Every per-stream scan
+/// charges through [`salvage_modules_from_bytes_budgeted`], and the
+/// cross-stream dedup — quadratic in the recovered module count, with each
+/// comparison linear in module size — charges one fuel unit per comparison,
+/// so a crafted corpus of many near-identical long modules trips the budget
+/// instead of stalling the scan.
+///
+/// # Errors
+///
+/// Returns [`OvbaError::DeadlineExceeded`] when the budget trips.
+pub fn salvage_modules_from_ole_budgeted(
+    ole: &OleFile,
+    limits: &OvbaLimits,
+    budget: &Budget,
+) -> Result<Vec<VbaModule>, OvbaError> {
     let mut out: Vec<VbaModule> = Vec::new();
     for path in ole.stream_paths() {
         if out.len() >= limits.max_modules {
             break;
         }
-        let Ok(stream) = ole.open_stream(&path) else { continue };
-        for module in salvage_modules_from_bytes(&stream, &path, limits) {
+        let stream = match ole.open_stream(&path) {
+            Ok(stream) => stream,
+            // A budget trip mid-read must abort the pass; any other read
+            // failure just skips this stream.
+            Err(vbadet_ole::OleError::DeadlineExceeded(why)) => return Err(why.into()),
+            Err(_) => continue,
+        };
+        for module in salvage_modules_from_bytes_budgeted(&stream, &path, limits, budget)? {
             if out.len() >= limits.max_modules {
                 break;
             }
             // A module recovered from two aliased streams is kept once.
-            if !out.iter().any(|m| m.code == module.code) {
+            let mut duplicate = false;
+            for seen in &out {
+                budget.charge(1)?;
+                if seen.code == module.code {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if !duplicate {
                 out.push(module);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

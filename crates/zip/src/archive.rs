@@ -4,8 +4,9 @@
 
 use crate::crc32::crc32;
 use crate::deflate::{deflate, BlockStyle};
-use crate::inflate::inflate_with_limit;
+use crate::inflate::inflate_budgeted;
 use crate::ZipError;
+use vbadet_faultpoint::{faultpoint, Budget};
 
 const LOCAL_HEADER_SIG: u32 = 0x0403_4B50;
 const CENTRAL_HEADER_SIG: u32 = 0x0201_4B50;
@@ -77,6 +78,8 @@ pub struct ZipArchive<'a> {
     data: &'a [u8],
     entries: Vec<ZipEntry>,
     limits: ZipLimits,
+    /// Shared cooperative budget; member extraction charges against it.
+    budget: Budget,
 }
 
 fn read_u16(data: &[u8], offset: usize) -> Result<u16, ZipError> {
@@ -110,6 +113,23 @@ impl<'a> ZipArchive<'a> {
     /// returns [`ZipError::LimitExceeded`] when the central directory
     /// declares more entries than `limits` allows.
     pub fn parse_with_limits(data: &'a [u8], limits: ZipLimits) -> Result<Self, ZipError> {
+        Self::parse_budgeted(data, limits, Budget::unlimited())
+    }
+
+    /// Like [`ZipArchive::parse_with_limits`] but charges parsing work —
+    /// and all later member extraction through the returned archive —
+    /// against a cooperative scan [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ZipArchive::parse_with_limits`], plus
+    /// [`ZipError::DeadlineExceeded`] when the budget trips.
+    pub fn parse_budgeted(
+        data: &'a [u8],
+        limits: ZipLimits,
+        budget: Budget,
+    ) -> Result<Self, ZipError> {
+        faultpoint!("zip::parse", Err(ZipError::MissingEndOfCentralDirectory));
         // EOCD is at least 22 bytes and ends with a variable-length comment:
         // scan backwards for the signature.
         if data.len() < 22 {
@@ -119,6 +139,9 @@ impl<'a> ZipArchive<'a> {
         let scan_start = data.len() - 22;
         let scan_floor = scan_start.saturating_sub(0xFFFF);
         for offset in (scan_floor..=scan_start).rev() {
+            if offset % 1024 == 0 {
+                budget.charge(1)?;
+            }
             if read_u32(data, offset)? == EOCD_SIG {
                 eocd_offset = Some(offset);
                 break;
@@ -137,6 +160,7 @@ impl<'a> ZipArchive<'a> {
         let mut entries = Vec::with_capacity(entry_count);
         let mut pos = cd_offset;
         for _ in 0..entry_count {
+            budget.charge(1)?;
             let sig = read_u32(data, pos)?;
             if sig != CENTRAL_HEADER_SIG {
                 return Err(ZipError::BadSignature {
@@ -167,7 +191,7 @@ impl<'a> ZipArchive<'a> {
             });
             pos += 46 + name_len + extra_len + comment_len;
         }
-        Ok(ZipArchive { data, entries, limits })
+        Ok(ZipArchive { data, entries, limits, budget })
     }
 
     /// The central-directory entries, in directory order.
@@ -231,8 +255,11 @@ impl<'a> ZipArchive<'a> {
             })?;
 
         let out = match entry.method {
-            0 => raw.to_vec(),
-            8 => inflate_with_limit(raw, cap)?,
+            0 => {
+                self.budget.charge((raw.len() / 1024) as u64 + 1)?;
+                raw.to_vec()
+            }
+            8 => inflate_budgeted(raw, cap, &self.budget)?,
             m => return Err(ZipError::UnsupportedMethod(m)),
         };
         if out.len() != entry.uncompressed_size as usize {

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use vbadet_faultpoint::BudgetExceeded;
+
 /// Errors produced while reading or writing ZIP archives and DEFLATE streams.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -25,6 +27,17 @@ pub enum ZipError {
     /// Distinguished from malformed-structure errors so callers can report
     /// capped inputs — e.g. decompression bombs — as a typed outcome.
     LimitExceeded { what: &'static str, limit: usize },
+    /// The caller's scan budget (wall-clock deadline or fuel allowance)
+    /// tripped mid-parse. Unlike [`ZipError::LimitExceeded`] this says
+    /// nothing about the input's structure — only that the caller ran out
+    /// of patience for it.
+    DeadlineExceeded(BudgetExceeded),
+}
+
+impl From<BudgetExceeded> for ZipError {
+    fn from(why: BudgetExceeded) -> Self {
+        ZipError::DeadlineExceeded(why)
+    }
 }
 
 impl fmt::Display for ZipError {
@@ -53,6 +66,7 @@ impl fmt::Display for ZipError {
             ZipError::LimitExceeded { what, limit } => {
                 write!(f, "resource limit exceeded: {what} (limit {limit})")
             }
+            ZipError::DeadlineExceeded(why) => write!(f, "scan budget exceeded: {why}"),
         }
     }
 }

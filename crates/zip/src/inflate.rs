@@ -5,9 +5,14 @@ use crate::bits::BitReader;
 use crate::deflate::CLC_ORDER;
 use crate::huffman::HuffmanDecoder;
 use crate::ZipError;
+use vbadet_faultpoint::{faultpoint, Budget};
 
 /// Safety valve against decompression bombs in malformed containers.
 const MAX_OUTPUT: usize = 1 << 30;
+
+/// One budget fuel unit per this many output bytes. Coarse on purpose:
+/// the budget charge must stay invisible next to the symbol decode loop.
+const BYTES_PER_FUEL: usize = 1024;
 
 /// Decompresses a raw DEFLATE stream.
 ///
@@ -30,19 +35,33 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, ZipError> {
 
 /// Like [`inflate`] but with a caller-provided output cap.
 pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>, ZipError> {
+    inflate_budgeted(data, limit, &Budget::unlimited())
+}
+
+/// Like [`inflate_with_limit`] but also charges decompression work against
+/// a cooperative scan [`Budget`] (roughly one fuel unit per KiB of output
+/// plus one per block).
+///
+/// # Errors
+///
+/// As [`inflate_with_limit`], plus [`ZipError::DeadlineExceeded`] when the
+/// budget trips.
+pub fn inflate_budgeted(data: &[u8], limit: usize, budget: &Budget) -> Result<Vec<u8>, ZipError> {
+    faultpoint!("zip::inflate", Err(ZipError::InvalidDeflate("injected fault")));
     let mut reader = BitReader::new(data);
     let mut out: Vec<u8> = Vec::new();
     loop {
+        budget.charge(1)?;
         let last = reader.bit()? == 1;
         match reader.bits(2)? {
-            0b00 => inflate_stored(&mut reader, &mut out, limit)?,
+            0b00 => inflate_stored(&mut reader, &mut out, limit, budget)?,
             0b01 => {
                 let (lit, dist) = fixed_decoders();
-                inflate_block(&mut reader, &mut out, &lit, &dist, limit)?;
+                inflate_block(&mut reader, &mut out, &lit, &dist, limit, budget)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_header(&mut reader)?;
-                inflate_block(&mut reader, &mut out, &lit, &dist, limit)?;
+                inflate_block(&mut reader, &mut out, &lit, &dist, limit, budget)?;
             }
             _ => return Err(ZipError::InvalidDeflate("reserved block type 11")),
         }
@@ -56,6 +75,7 @@ fn inflate_stored(
     reader: &mut BitReader<'_>,
     out: &mut Vec<u8>,
     limit: usize,
+    budget: &Budget,
 ) -> Result<(), ZipError> {
     reader.align_to_byte();
     let header = reader.bytes(4)?;
@@ -67,6 +87,7 @@ fn inflate_stored(
     if out.len() + len > limit {
         return Err(ZipError::LimitExceeded { what: "inflated member", limit });
     }
+    budget.charge((len / BYTES_PER_FUEL) as u64 + 1)?;
     out.extend_from_slice(reader.bytes(len)?);
     Ok(())
 }
@@ -137,10 +158,18 @@ fn inflate_block(
     lit: &HuffmanDecoder,
     dist: &HuffmanDecoder,
     limit: usize,
+    budget: &Budget,
 ) -> Result<(), ZipError> {
     let length_table = crate::deflate::length_table();
     let dist_table = crate::deflate::dist_table();
+    // Charge per KiB of output rather than per symbol: `next_toll` is the
+    // output length at which the next fuel unit is due.
+    let mut next_toll = out.len() + BYTES_PER_FUEL;
     loop {
+        if out.len() >= next_toll {
+            budget.charge(1)?;
+            next_toll = out.len() + BYTES_PER_FUEL;
+        }
         let sym = lit.decode(reader)?;
         match sym {
             0..=255 => {

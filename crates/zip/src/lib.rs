@@ -43,5 +43,6 @@ pub mod zlib;
 pub use archive::{CompressionMethod, ZipArchive, ZipEntry, ZipLimits, ZipWriter};
 pub use deflate::{deflate, BlockStyle};
 pub use error::ZipError;
-pub use inflate::{inflate, inflate_with_limit};
+pub use inflate::{inflate, inflate_budgeted, inflate_with_limit};
+pub use vbadet_faultpoint::{Budget, BudgetExceeded};
 pub use zlib::{adler32, zlib_compress, zlib_decompress};

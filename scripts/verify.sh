@@ -9,4 +9,11 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --all-targets -- -D warnings
 
+# Fault-injection pass: recompile the scanning stack with the faultpoint
+# registry enabled and run the feature-gated resilience suite (kill/resume,
+# torn journal writes, mid-parse panics) plus every ordinary test under the
+# instrumented build.
+cargo test -q --offline --features faultpoints
+cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
+
 echo "verify: OK"

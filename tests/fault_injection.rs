@@ -1,0 +1,192 @@
+//! Fault-injection suite: only meaningful when the `faultpoints` feature
+//! compiles the injection registry in, so the whole file is gated.
+//!
+//! The faultpoint registry is process-global, and Rust runs integration
+//! tests in parallel threads — every test here serializes on `TEST_LOCK`
+//! and clears the registry on entry and exit.
+#![cfg(feature = "faultpoints")]
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Mutex, MutexGuard};
+
+use vbadet::{
+    replay_journal, scan_bytes_with_policy, scan_paths_journaled, Detector, DetectorConfig,
+    FailureClass, LadderRung, ScanJournal, ScanOutcome, ScanPolicy,
+};
+use vbadet_corpus::CorpusSpec;
+use vbadet_faultpoint::{clear, configure, hit_count};
+use vbadet_ole::OleBuilder;
+use vbadet_ovba::VbaProjectBuilder;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize tests that arm the global registry; recover from a poisoned
+/// lock so one failing test doesn't cascade into every later one.
+fn registry_guard() -> MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    clear();
+    guard
+}
+
+fn tiny_detector() -> Detector {
+    // Verdict quality is irrelevant here; the detector only has to score
+    // whatever the injected faults leave standing.
+    Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+}
+
+fn macro_document() -> Vec<u8> {
+    let mut b = VbaProjectBuilder::new("P");
+    b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+    b.build().unwrap()
+}
+
+fn clean_document() -> Vec<u8> {
+    let mut ole = OleBuilder::new();
+    ole.add_stream("WordDocument", b"plain text, no project").unwrap();
+    ole.build()
+}
+
+#[test]
+fn ladder_recovers_from_an_injected_parser_panic() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let doc = macro_document();
+
+    // Rung 1 (and only rung 1) blows up with a simulated parser bug.
+    configure("scan::full-parse", "panic(injected parser bug)").unwrap();
+
+    // Without the ladder the panic is contained but the document is lost.
+    let flat = scan_bytes_with_policy(det, &doc, &ScanPolicy::default());
+    match &flat {
+        ScanOutcome::Failed { class: FailureClass::Panic, detail } => {
+            assert!(detail.contains("injected parser bug"), "detail was {detail:?}")
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+
+    // With the ladder the strict-limits retry rescues the same bytes.
+    let laddered = scan_bytes_with_policy(det, &doc, &ScanPolicy::default().with_ladder());
+    match &laddered {
+        ScanOutcome::Recovered { rung, verdicts } => {
+            assert_eq!(*rung, LadderRung::Strict);
+            assert_eq!(verdicts.len(), 1);
+        }
+        other => panic!("expected a strict-rung recovery, got {other:?}"),
+    }
+
+    clear();
+}
+
+#[test]
+fn injected_stall_is_cut_short_by_the_deadline() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let doc = macro_document();
+
+    // The decompressor sleeps well past the document's 40 ms deadline.
+    configure("ovba::decompress", "sleep(120)").unwrap();
+
+    let start = std::time::Instant::now();
+    let outcome = scan_bytes_with_policy(det, &doc, &ScanPolicy::default().deadline_ms(40));
+    let elapsed = start.elapsed();
+
+    assert!(
+        matches!(outcome, ScanOutcome::Failed { class: FailureClass::Timeout, .. }),
+        "expected a deadline timeout, got {outcome:?}"
+    );
+    // One sleep fires before the first post-stall checkpoint; the scan must
+    // not go on to stall again in later stages.
+    assert!(
+        elapsed < std::time::Duration::from_millis(1500),
+        "stalled scan took {elapsed:?}"
+    );
+
+    clear();
+}
+
+#[test]
+fn killed_scan_resumes_from_its_journal_without_rescanning_finished_docs() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-faultkill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let paths = [
+        dir.join("a.bin"),
+        dir.join("b.doc"),
+        dir.join("c.bin"),
+        dir.join("d.txt"),
+    ];
+    std::fs::write(&paths[0], macro_document()).unwrap();
+    std::fs::write(&paths[1], clean_document()).unwrap();
+    std::fs::write(&paths[2], macro_document()).unwrap();
+    std::fs::write(&paths[3], b"not a document at all").unwrap();
+
+    let policy = ScanPolicy::default().with_ladder();
+    let reference = scan_paths_journaled(det, &paths, &policy, None, None);
+
+    // The batch loop dies (simulated crash) when it reaches document 3.
+    // `scan::between-docs` fires outside the per-document catch_unwind, so
+    // the panic escapes and takes the scan down mid-batch.
+    configure("scan::between-docs", "panic(killed)@3").unwrap();
+    let journal_path = dir.join("scan.jsonl");
+    let mut journal = ScanJournal::create(&journal_path).unwrap();
+    let crash = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        scan_paths_journaled(det, &paths, &policy, Some(&mut journal), None)
+    }));
+    assert!(crash.is_err(), "the injected kill should have escaped");
+    assert_eq!(hit_count("scan::between-docs"), 3);
+    clear();
+    drop(journal);
+
+    // The journal holds the two documents that finished before the kill.
+    let replay = replay_journal(&journal_path).unwrap();
+    assert!(replay.warning.is_none());
+    assert_eq!(replay.completed_count(), 2);
+    assert!(replay.in_flight.is_empty());
+
+    // Resuming replays those two and scans the rest; the merged report is
+    // indistinguishable from the run that never crashed.
+    let resumed = scan_paths_journaled(det, &paths, &policy, None, Some(&replay));
+    assert_eq!(resumed.records, reference.records);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_write_is_surfaced_and_the_tail_is_recoverable() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-faulttorn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let paths = [dir.join("a.bin"), dir.join("b.doc"), dir.join("c.bin")];
+    std::fs::write(&paths[0], macro_document()).unwrap();
+    std::fs::write(&paths[1], clean_document()).unwrap();
+    std::fs::write(&paths[2], macro_document()).unwrap();
+
+    // The second `done` record is torn mid-line (half the bytes reach the
+    // disk, then the write errors out).
+    configure("journal::torn-write", "return@2").unwrap();
+    let journal_path = dir.join("scan.jsonl");
+    let mut journal = ScanJournal::create(&journal_path).unwrap();
+    let report =
+        scan_paths_journaled(det, &paths, &ScanPolicy::default(), Some(&mut journal), None);
+    clear();
+    drop(journal);
+
+    // The scan itself still finishes every document — journaling is
+    // best-effort — but the failure is reported, not swallowed.
+    assert_eq!(report.scanned(), paths.len());
+    let err = report.journal_error.as_deref().expect("journal error must surface");
+    assert!(err.contains("torn"), "journal error was {err:?}");
+
+    // Replay degrades gracefully: the record before the tear survives, the
+    // torn document is re-attempted, and the damage is a warning.
+    let replay = replay_journal(&journal_path).unwrap();
+    assert_eq!(replay.completed_count(), 1);
+    assert_eq!(replay.in_flight, vec![paths[1].display().to_string()]);
+    assert!(replay.warning.is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

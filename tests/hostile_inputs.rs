@@ -94,6 +94,8 @@ fn thousand_mutants_never_panic_the_scan_engine() {
                     ScanOutcome::Clean => "clean",
                     ScanOutcome::Macros(_) => "macros",
                     ScanOutcome::Salvaged(_) => "salvaged",
+                    // `scan_bytes` never runs the ladder, but the enum is shared.
+                    ScanOutcome::Recovered { .. } => "recovered",
                     ScanOutcome::Failed { class, .. } => class.label(),
                 };
                 *histogram.entry(key).or_insert(0usize) += 1;
