@@ -110,6 +110,11 @@ pub fn scan(args: &[String]) -> CmdResult {
     if flags.has("ladder") {
         policy = policy.with_ladder();
     }
+    // Default to one worker per available core; `--jobs 1` pins the scan
+    // to the sequential in-thread engine (the output is identical either
+    // way — parallelism only changes the wall clock).
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    policy = policy.jobs(flags.get_usize("jobs", default_jobs)?);
     let resume = match flags.values.get("resume") {
         Some(path) => {
             let replay = replay_journal(path)?;
@@ -520,6 +525,34 @@ mod command_tests {
             good.to_str().unwrap(),
         ]))
         .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_with_jobs_processes_the_whole_batch() {
+        // `--jobs 4` must behave exactly like the sequential engine: every
+        // input processed, per-file failures reported only at the end.
+        let dir = std::env::temp_dir().join("vbadet_cli_test_jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.bin");
+        let mut b = vbadet_ovba::VbaProjectBuilder::new("P");
+        b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
+        std::fs::write(&good, b.build().unwrap()).unwrap();
+        let junk = dir.join("junk.doc");
+        std::fs::write(&junk, b"definitely not a document").unwrap();
+
+        let err = scan(&strs2(&[
+            "--scale",
+            "0.002",
+            "--jobs",
+            "4",
+            junk.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]));
+        assert!(err.unwrap_err().to_string().contains("1 of 2 inputs failed"));
+
+        let bad = scan(&strs2(&["--jobs", "zero?", good.to_str().unwrap()]));
+        assert!(bad.is_err(), "non-numeric --jobs must be rejected");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -49,7 +49,7 @@ fn usage() -> &'static str {
 
 USAGE:
     vbadet scan [--scale F] [--classifier NAME] [--limits default|strict]
-                [--deadline-ms N] [--fuel N] [--ladder]
+                [--deadline-ms N] [--fuel N] [--ladder] [--jobs N]
                 [--journal FILE] [--resume FILE] <file>...
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
@@ -83,6 +83,10 @@ OPTIONS:
     --fuel N         deterministic work budget per document (~1 unit/KiB)
     --ladder         retry failed documents down the degradation ladder
                      (full parse -> strict limits -> salvage-only sweep)
+    --jobs N         scanning worker threads (default: one per core);
+                     --jobs 1 selects the sequential engine. Reports,
+                     journals and exit status are identical at any N
+
     --journal FILE   checkpoint each document's outcome to FILE (JSONL,
                      crash-safe) as the scan runs
     --resume FILE    replay a journal from a killed run: completed documents

@@ -694,6 +694,76 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_path_entries_resolve_last_wins() {
+        // A resumed-and-rejournaled run (or a rescan appended by an
+        // operator) can record the same path twice; the later outcome is
+        // the one a resume must trust.
+        let path = temp_path("dup");
+        let mut journal = ScanJournal::create(&path).unwrap();
+        let first = ScanRecord { path: PathBuf::from("x.doc"), outcome: ScanOutcome::Clean };
+        let second = ScanRecord {
+            path: PathBuf::from("x.doc"),
+            outcome: ScanOutcome::Failed {
+                class: FailureClass::Truncated,
+                detail: "rescan saw a shorter file".to_string(),
+            },
+        };
+        journal.begin("x.doc").unwrap();
+        journal.done(&first).unwrap();
+        journal.begin("x.doc").unwrap();
+        journal.done(&second).unwrap();
+        journal.sync().unwrap();
+        let replay = replay_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.completed_count(), 1);
+        assert_eq!(replay.outcome_for("x.doc"), Some(&second.outcome));
+        assert!(replay.in_flight.is_empty());
+        assert!(replay.warning.is_none());
+    }
+
+    #[test]
+    fn empty_journal_file_is_a_typed_error() {
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        let err = replay_journal(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("empty journal"), "got {err}");
+    }
+
+    #[test]
+    fn header_only_journal_replays_to_nothing() {
+        // A run killed immediately after creation leaves just the header:
+        // a valid journal with zero decided documents and no damage.
+        let path = temp_path("header-only");
+        ScanJournal::create(&path).unwrap();
+        let replay = replay_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.completed_count(), 0);
+        assert!(replay.in_flight.is_empty());
+        assert!(replay.warning.is_none());
+    }
+
+    #[test]
+    fn journal_with_every_body_line_torn_degrades_to_a_warning() {
+        let path = temp_path("all-torn");
+        {
+            ScanJournal::create(&path).unwrap();
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"pa\n{\"event\nnot json\n").unwrap();
+        }
+        let replay = replay_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Damage at the first body line: nothing replayed, nothing
+        // in-flight, and the warning points at line 2 (header is line 1).
+        assert_eq!(replay.completed_count(), 0);
+        assert!(replay.in_flight.is_empty());
+        let warning = replay.warning.expect("torn body must warn");
+        assert!(warning.contains("line 2"), "unexpected warning: {warning}");
+    }
+
+    #[test]
     fn foreign_files_are_rejected_not_replayed() {
         let path = temp_path("foreign");
         std::fs::write(&path, "{\"format\":\"something-else\",\"version\":1}\n").unwrap();

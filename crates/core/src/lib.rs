@@ -50,8 +50,8 @@ pub use limits::ScanLimits;
 pub use preprocess::preprocess_macros;
 pub use scan::{
     scan_bytes, scan_bytes_with_policy, scan_documents, scan_documents_with_policy, scan_paths,
-    scan_paths_journaled, scan_paths_with_policy, FailureClass, LadderRung, ScanOutcome,
-    ScanPolicy, ScanRecord, ScanReport,
+    scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,
+    ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
 };
 pub use vbadet_faultpoint::{Budget, BudgetExceeded};
 pub use signature::SignatureScanner;

@@ -22,10 +22,24 @@
 //!   [`ScanOutcome::Recovered`] with the rung that produced it. All rungs
 //!   share the *same* per-document budget, so the ladder cannot multiply a
 //!   document's time allowance.
+//!
+//! Scanning is embarrassingly parallel at the document level, and
+//! [`ScanPolicy::jobs`] exploits that: with `jobs > 1`, [`scan_paths_with_policy`]
+//! (and [`scan_paths_journaled`], and the explicit [`scan_paths_parallel`])
+//! fan the batch out to a hand-rolled worker pool — an atomic cursor
+//! claims chunks of the input list, each worker scans its documents under
+//! its own per-document budgets and panic containment, and a single
+//! collector thread reassembles results **in input order** and owns the
+//! one journal writer. The parallel engine is proven byte-equivalent to
+//! the sequential one by `tests/parallel_scan.rs`.
 
 use std::any::Any;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
 use std::time::Duration;
 
 use crate::detector::{Detector, ModuleVerdict};
@@ -289,6 +303,12 @@ pub struct ScanPolicy {
     /// Whether failed documents descend the degradation ladder
     /// (full → strict → salvage) before being reported as failed.
     pub ladder: bool,
+    /// Worker threads for path batches. `0` and `1` both select the
+    /// sequential in-thread engine; `n > 1` fans documents out to `n`
+    /// workers. Reports, journals and per-document outcomes are identical
+    /// either way — parallelism is an implementation detail the output
+    /// must never betray.
+    pub jobs: usize,
 }
 
 impl ScanPolicy {
@@ -312,6 +332,12 @@ impl ScanPolicy {
     /// Enables the degradation ladder.
     pub fn with_ladder(mut self) -> Self {
         self.ladder = true;
+        self
+    }
+
+    /// Sets the number of scanning worker threads (see [`ScanPolicy::jobs`]).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
         self
     }
 
@@ -559,6 +585,56 @@ pub fn scan_paths_with_policy<P: AsRef<Path>>(
     scan_paths_journaled(detector, paths, policy, None, None)
 }
 
+/// Like [`scan_paths_with_policy`] but explicitly parallel: the batch fans
+/// out to `jobs` worker threads (overriding [`ScanPolicy::jobs`]). The
+/// report — per-file outcomes, ordering, counters — is identical to the
+/// sequential engine's; only the wall clock changes.
+pub fn scan_paths_parallel<P: AsRef<Path>>(
+    detector: &Detector,
+    paths: &[P],
+    policy: &ScanPolicy,
+    jobs: usize,
+) -> ScanReport {
+    let policy = ScanPolicy { jobs, ..policy.clone() };
+    scan_paths_journaled(detector, paths, &policy, None, None)
+}
+
+/// Single-writer funnel for journal checkpoints. The first write error
+/// stops journaling — the scan itself must run to completion on a full
+/// disk — and is surfaced exactly once as [`ScanReport::journal_error`].
+struct JournalSink<'a> {
+    journal: Option<&'a mut ScanJournal>,
+    error: Option<String>,
+}
+
+impl<'a> JournalSink<'a> {
+    fn new(journal: Option<&'a mut ScanJournal>) -> Self {
+        JournalSink { journal, error: None }
+    }
+
+    fn record(&mut self, op: impl FnOnce(&mut ScanJournal) -> std::io::Result<()>) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(j) = self.journal.as_deref_mut() {
+            if let Err(e) = op(j) {
+                self.error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Checkpoints one decided record: `begin` + `done` for a fresh scan,
+    /// `done` alone for an outcome copied from a resume replay (mirroring
+    /// the sequential engine's journal layout byte for byte).
+    fn checkpoint(&mut self, record: &ScanRecord, resumed: bool) {
+        let key = record.path.display().to_string();
+        if !resumed {
+            self.record(|j| j.begin(&key));
+        }
+        self.record(|j| j.done(record));
+    }
+}
+
 /// The full-featured batch entry point: policy-driven scanning with
 /// optional crash-safe checkpointing and resume.
 ///
@@ -579,23 +655,15 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
     detector: &Detector,
     paths: &[P],
     policy: &ScanPolicy,
-    mut journal: Option<&mut ScanJournal>,
+    journal: Option<&mut ScanJournal>,
     resume: Option<&JournalReplay>,
 ) -> ScanReport {
+    let jobs = policy.jobs.max(1).min(paths.len().max(1));
+    if jobs > 1 {
+        return scan_paths_parallel_impl(detector, paths, policy, jobs, journal, resume);
+    }
     let _quiet = quiet::QuietPanicGuard::new();
-    let mut journal_error: Option<String> = None;
-    let checkpoint = |journal: &mut Option<&mut ScanJournal>,
-                          journal_error: &mut Option<String>,
-                          op: &mut dyn FnMut(&mut ScanJournal) -> std::io::Result<()>| {
-        if journal_error.is_some() {
-            return;
-        }
-        if let Some(j) = journal.as_deref_mut() {
-            if let Err(e) = op(j) {
-                *journal_error = Some(e.to_string());
-            }
-        }
-    };
+    let mut sink = JournalSink::new(journal);
     let mut records = Vec::new();
     for p in paths {
         faultpoint!("scan::between-docs");
@@ -603,22 +671,124 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
         let key = path.display().to_string();
         if let Some(outcome) = resume.and_then(|r| r.outcome_for(&key)) {
             let record = ScanRecord { path, outcome: outcome.clone() };
-            checkpoint(&mut journal, &mut journal_error, &mut |j| j.done(&record));
+            sink.checkpoint(&record, true);
             records.push(record);
             continue;
         }
-        checkpoint(&mut journal, &mut journal_error, &mut |j| j.begin(&key));
+        sink.record(|j| j.begin(&key));
         let record = ScanRecord { outcome: scan_file(detector, &path, policy), path };
-        checkpoint(&mut journal, &mut journal_error, &mut |j| j.done(&record));
+        sink.record(|j| j.done(&record));
         records.push(record);
     }
-    checkpoint(&mut journal, &mut journal_error, &mut |j| j.sync());
-    ScanReport { records, journal_error }
+    sink.record(|j| j.sync());
+    ScanReport { records, journal_error: sink.error }
+}
+
+/// The parallel batch engine behind [`ScanPolicy::jobs`].
+///
+/// Topology: an atomic cursor over the input list hands out chunks of
+/// indices to `jobs` worker threads; each worker scans its documents —
+/// minting the per-document [`Budget`] locally and containing panics with
+/// its own `catch_unwind` under its own quiet-hook guard — and sends
+/// `(index, record)` through a bounded channel to the collector (the
+/// calling thread). The collector holds early completions back in a
+/// reorder buffer and emits records strictly in input order, so:
+///
+/// - the final [`ScanReport`] is identical to the sequential engine's,
+///   whatever order workers finish in;
+/// - the journal has exactly one writer, lines are never interleaved, and
+///   a journal from a parallel run is byte-identical to a sequential one.
+fn scan_paths_parallel_impl<P: AsRef<Path>>(
+    detector: &Detector,
+    paths: &[P],
+    policy: &ScanPolicy,
+    jobs: usize,
+    journal: Option<&mut ScanJournal>,
+    resume: Option<&JournalReplay>,
+) -> ScanReport {
+    let _quiet = quiet::QuietPanicGuard::new();
+    let paths: Vec<PathBuf> = paths.iter().map(|p| p.as_ref().to_path_buf()).collect();
+    let total = paths.len();
+    // Chunked claims amortize cursor traffic; small chunks keep the tail
+    // balanced when one document is much slower than its neighbours.
+    let chunk = (total / (jobs * 8)).clamp(1, 16);
+    let cursor = AtomicUsize::new(0);
+    let mut sink = JournalSink::new(journal);
+    let mut slots: Vec<Option<ScanRecord>> = vec![None; total];
+
+    thread::scope(|scope| {
+        // Bounded: workers stall rather than pile unbounded completions
+        // onto a collector that is slower than the scan (e.g. fsyncing a
+        // journal on a loaded disk). Dropping the receiver unblocks them.
+        let (tx, rx) = mpsc::sync_channel::<(usize, ScanRecord)>(jobs * 2);
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let paths = &paths;
+            scope.spawn(move || {
+                let _quiet = quiet::QuietPanicGuard::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        return;
+                    }
+                    let end = (start + chunk).min(total);
+                    for (idx, claimed) in paths[start..end].iter().enumerate() {
+                        let idx = start + idx;
+                        let path = claimed.clone();
+                        let key = path.display().to_string();
+                        let outcome = match resume.and_then(|r| r.outcome_for(&key)) {
+                            Some(outcome) => outcome.clone(),
+                            // Belt over suspenders: scan_file contains
+                            // panics internally, but a worker must outlive
+                            // even a containment bug in that stack.
+                            None => catch_unwind(AssertUnwindSafe(|| {
+                                scan_file(detector, &path, policy)
+                            }))
+                            .unwrap_or_else(|payload| ScanOutcome::Failed {
+                                class: FailureClass::Panic,
+                                detail: panic_detail(payload),
+                            }),
+                        };
+                        if tx.send((idx, ScanRecord { path, outcome })).is_err() {
+                            // Collector is gone (it panicked and its
+                            // receiver dropped); abandon remaining work so
+                            // the scope can unwind instead of deadlocking.
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // The collector: single consumer, single journal writer. Early
+        // finishers wait in the reorder buffer until every lower index
+        // has been emitted.
+        let mut pending: BTreeMap<usize, ScanRecord> = BTreeMap::new();
+        let mut next = 0usize;
+        for (idx, record) in rx {
+            pending.insert(idx, record);
+            while let Some(record) = pending.remove(&next) {
+                faultpoint!("scan::between-docs");
+                let key = record.path.display().to_string();
+                let resumed = resume.and_then(|r| r.outcome_for(&key)).is_some();
+                sink.checkpoint(&record, resumed);
+                slots[next] = Some(record);
+                next += 1;
+            }
+        }
+    });
+    sink.record(|j| j.sync());
+    debug_assert!(slots.iter().all(Option::is_some), "parallel scan lost a record");
+    let records = slots.into_iter().flatten().collect();
+    ScanReport { records, journal_error: sink.error }
 }
 
 /// Scans one on-disk file: `stat` first so an oversized input is rejected
 /// as [`FailureClass::LimitExceeded`] without its bytes ever being read
-/// into memory, then read and scan.
+/// into memory, then read (re-checking the size, which may have changed
+/// under a racing writer) and scan.
 fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutcome {
     let size = match std::fs::metadata(path) {
         Ok(meta) => meta.len(),
@@ -633,8 +803,24 @@ fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutco
             ),
         };
     }
+    faultpoint!("scan::stat-read-gap");
     match std::fs::read(path) {
-        Ok(bytes) => scan_bytes_with_policy(detector, &bytes, policy),
+        Ok(bytes) => {
+            // A file can grow between the stat and the read (log rotation,
+            // an attacker racing the scanner): enforce the cap on what was
+            // actually read, not on what the stat promised.
+            if bytes.len() as u64 > policy.limits.max_file_size {
+                return ScanOutcome::Failed {
+                    class: FailureClass::LimitExceeded,
+                    detail: format!(
+                        "file grew to {} bytes during read, over the {}-byte cap",
+                        bytes.len(),
+                        policy.limits.max_file_size
+                    ),
+                };
+            }
+            scan_bytes_with_policy(detector, &bytes, policy)
+        }
         Err(e) => ScanOutcome::Failed { class: FailureClass::Io, detail: e.to_string() },
     }
 }
@@ -785,6 +971,60 @@ mod tests {
         // must not reach the previous hook. (Observable only as the lack
         // of stderr noise; the assertion is that this does not unwind.)
         let _ = catch_unwind(|| panic!("suppressed"));
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_on_a_mixed_batch() {
+        let det = detector();
+        let dir = std::env::temp_dir()
+            .join(format!("vbadet-scan-par-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let with_macro = doc_with_macro();
+        let mut clean_ole = vbadet_ole::OleBuilder::new();
+        clean_ole.add_stream("WordDocument", b"no macros here").unwrap();
+        let clean = clean_ole.build();
+        let contents: Vec<(&str, &[u8])> = vec![
+            ("a.bin", &with_macro[..]),
+            ("b.doc", &clean[..]),
+            ("c.txt", b"not a document at all"),
+            ("d.doc", &with_macro[..7]),
+            ("e.bin", &with_macro[..]),
+        ];
+        let paths: Vec<PathBuf> = contents
+            .iter()
+            .map(|(name, bytes)| {
+                let p = dir.join(name);
+                std::fs::write(&p, bytes).unwrap();
+                p
+            })
+            .collect();
+        let sequential = scan_paths(&det, &paths, &ScanLimits::default());
+        for jobs in [2, 3, 8] {
+            let parallel =
+                scan_paths_parallel(&det, &paths, &ScanPolicy::default(), jobs);
+            assert_eq!(parallel.records, sequential.records, "jobs={jobs}");
+            assert_eq!(parallel.journal_error, None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jobs_zero_and_one_route_through_the_sequential_engine() {
+        // Both select the in-thread path; observable only as identical
+        // behavior on the degenerate inputs (no threads to deadlock on an
+        // empty batch, one record for one path).
+        let det = detector();
+        for jobs in [0, 1, 4] {
+            let report = scan_paths_parallel::<&str>(&det, &[], &ScanPolicy::default(), jobs);
+            assert_eq!(report.scanned(), 0);
+        }
+        let report = scan_paths_parallel(
+            &det,
+            &["/nonexistent/nope.doc"],
+            &ScanPolicy::default(),
+            8,
+        );
+        assert_eq!(report.failed_with(FailureClass::Io), 1);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Cooperative scan budgets: fuel + wall-clock deadline.
 
-use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many charges pass between wall-clock reads. `Instant::now()` costs
@@ -33,22 +33,42 @@ impl fmt::Display for BudgetExceeded {
 
 impl Error for BudgetExceeded {}
 
+/// `tripped` encoding: the breach reason as a small atomic.
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_FUEL: u8 = 2;
+
+fn decode_trip(raw: u8) -> Option<BudgetExceeded> {
+    match raw {
+        TRIP_DEADLINE => Some(BudgetExceeded::Deadline),
+        TRIP_FUEL => Some(BudgetExceeded::Fuel),
+        _ => None,
+    }
+}
+
+fn encode_trip(why: BudgetExceeded) -> u8 {
+    match why {
+        BudgetExceeded::Deadline => TRIP_DEADLINE,
+        BudgetExceeded::Fuel => TRIP_FUEL,
+    }
+}
+
 #[derive(Debug)]
 struct BudgetState {
     /// Absolute cut-off; `None` means no wall-clock bound.
     deadline: Option<Instant>,
     /// Remaining fuel units; only consulted when `metered`.
-    fuel: Cell<u64>,
+    fuel: AtomicU64,
     /// Whether fuel accounting is active.
     metered: bool,
     /// Fast-path gate: false for unlimited budgets.
     active: bool,
     /// Charges remaining until the next wall-clock read.
-    clock_countdown: Cell<u32>,
+    clock_countdown: AtomicU32,
     /// Sticky breach: once a budget trips, every later charge fails with
     /// the same reason, so degradation-ladder rungs sharing the budget
     /// fail fast instead of re-running to the deadline.
-    tripped: Cell<Option<BudgetExceeded>>,
+    tripped: AtomicU8,
 }
 
 /// A cooperative cancellation token threaded through parser hot loops.
@@ -59,10 +79,13 @@ struct BudgetState {
 /// MS-OVBA chunk, a kilobyte of inflated output — deliberately coarse so
 /// the charge itself stays a few branches.
 ///
-/// A `Budget` is single-threaded by design (`Rc` + `Cell`): scanning is
-/// parallel across documents, never within one.
+/// A `Budget` is `Send` and `Sync` (`Arc` + relaxed atomics): the parallel
+/// batch engine mints one per document on whichever worker thread claims
+/// it, and a budget handed across threads keeps metering the same shared
+/// allowance. Scanning is still parallel across documents, never within
+/// one, so the atomics are uncontended in practice.
 #[derive(Debug, Clone)]
-pub struct Budget(Rc<BudgetState>);
+pub struct Budget(Arc<BudgetState>);
 
 impl Default for Budget {
     fn default() -> Self {
@@ -72,13 +95,13 @@ impl Default for Budget {
 
 impl Budget {
     fn build(deadline: Option<Instant>, fuel: Option<u64>) -> Self {
-        Budget(Rc::new(BudgetState {
+        Budget(Arc::new(BudgetState {
             deadline,
-            fuel: Cell::new(fuel.unwrap_or(u64::MAX)),
+            fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
             metered: fuel.is_some(),
             active: deadline.is_some() || fuel.is_some(),
-            clock_countdown: Cell::new(CLOCK_PERIOD),
-            tripped: Cell::new(None),
+            clock_countdown: AtomicU32::new(CLOCK_PERIOD),
+            tripped: AtomicU8::new(TRIP_NONE),
         }))
     }
 
@@ -103,6 +126,11 @@ impl Budget {
         Budget::build(deadline.map(|d| Instant::now() + d), fuel)
     }
 
+    fn trip(&self, why: BudgetExceeded) -> BudgetExceeded {
+        self.0.tripped.store(encode_trip(why), Ordering::Relaxed);
+        why
+    }
+
     /// Records `cost` units of work.
     ///
     /// # Errors
@@ -116,28 +144,28 @@ impl Budget {
         if !s.active {
             return Ok(());
         }
-        if let Some(why) = s.tripped.get() {
+        if let Some(why) = decode_trip(s.tripped.load(Ordering::Relaxed)) {
             return Err(why);
         }
-        if s.metered {
-            let fuel = s.fuel.get();
-            if fuel < cost {
-                s.fuel.set(0);
-                s.tripped.set(Some(BudgetExceeded::Fuel));
-                return Err(BudgetExceeded::Fuel);
-            }
-            s.fuel.set(fuel - cost);
+        if s.metered
+            && s.fuel
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |fuel| {
+                    fuel.checked_sub(cost)
+                })
+                .is_err()
+        {
+            s.fuel.store(0, Ordering::Relaxed);
+            return Err(self.trip(BudgetExceeded::Fuel));
         }
         if let Some(deadline) = s.deadline {
-            let countdown = s.clock_countdown.get();
-            if countdown <= 1 {
-                s.clock_countdown.set(CLOCK_PERIOD);
-                if Instant::now() >= deadline {
-                    s.tripped.set(Some(BudgetExceeded::Deadline));
-                    return Err(BudgetExceeded::Deadline);
-                }
-            } else {
-                s.clock_countdown.set(countdown - 1);
+            let countdown = s
+                .clock_countdown
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                    Some(if c <= 1 { CLOCK_PERIOD } else { c - 1 })
+                })
+                .unwrap_or(CLOCK_PERIOD);
+            if countdown <= 1 && Instant::now() >= deadline {
+                return Err(self.trip(BudgetExceeded::Deadline));
             }
         }
         Ok(())
@@ -156,13 +184,12 @@ impl Budget {
         if !s.active {
             return Ok(());
         }
-        if let Some(why) = s.tripped.get() {
+        if let Some(why) = decode_trip(s.tripped.load(Ordering::Relaxed)) {
             return Err(why);
         }
         if let Some(deadline) = s.deadline {
             if Instant::now() >= deadline {
-                s.tripped.set(Some(BudgetExceeded::Deadline));
-                return Err(BudgetExceeded::Deadline);
+                return Err(self.trip(BudgetExceeded::Deadline));
             }
         }
         Ok(())
@@ -170,7 +197,7 @@ impl Budget {
 
     /// Whether this budget has already tripped (and on what).
     pub fn tripped(&self) -> Option<BudgetExceeded> {
-        self.0.tripped.get()
+        decode_trip(self.0.tripped.load(Ordering::Relaxed))
     }
 
     /// Whether this budget can ever trip.
@@ -214,6 +241,32 @@ mod tests {
             a.charge(1).unwrap();
         }
         assert_eq!(b.charge(1), Err(BudgetExceeded::Fuel));
+    }
+
+    #[test]
+    fn budget_is_send_and_sync() {
+        // The parallel batch engine mints budgets on worker threads; the
+        // compiler must agree they may cross (and be shared across)
+        // thread boundaries.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Budget>();
+    }
+
+    #[test]
+    fn clones_share_one_allowance_across_threads() {
+        let a = Budget::with_fuel(1000);
+        let b = a.clone();
+        std::thread::spawn(move || {
+            for _ in 0..600 {
+                let _ = b.charge(1);
+            }
+        })
+        .join()
+        .unwrap();
+        for _ in 0..400 {
+            a.charge(1).unwrap();
+        }
+        assert_eq!(a.charge(1), Err(BudgetExceeded::Fuel));
     }
 
     #[test]

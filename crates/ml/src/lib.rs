@@ -53,7 +53,11 @@ pub use svm::SvmRbf;
 /// A trained (or trainable) binary classifier.
 ///
 /// Labels are `bool`: `true` is the positive class ("obfuscated").
-pub trait Classifier {
+///
+/// `Send + Sync` is a supertrait: a boxed model must be shareable across
+/// the scanning worker pool (every implementation is plain owned data, so
+/// this costs nothing).
+pub trait Classifier: Send + Sync {
     /// Fits the model to a training set.
     ///
     /// # Panics

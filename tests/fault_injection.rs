@@ -10,8 +10,8 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Mutex, MutexGuard};
 
 use vbadet::{
-    replay_journal, scan_bytes_with_policy, scan_paths_journaled, Detector, DetectorConfig,
-    FailureClass, LadderRung, ScanJournal, ScanOutcome, ScanPolicy,
+    replay_journal, scan_bytes_with_policy, scan_paths_journaled, scan_paths_with_policy,
+    Detector, DetectorConfig, FailureClass, LadderRung, ScanJournal, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::CorpusSpec;
 use vbadet_faultpoint::{clear, configure, hit_count};
@@ -187,6 +187,153 @@ fn torn_journal_write_is_surfaced_and_the_tail_is_recoverable() {
     assert_eq!(replay.completed_count(), 1);
     assert_eq!(replay.in_flight, vec![paths[1].display().to_string()]);
     assert!(replay.warning.is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_kill_and_resume_reproduces_the_sequential_reference_exactly() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-parkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let paths: Vec<_> = (0..12)
+        .map(|i| {
+            let p = dir.join(format!("doc{i:02}.bin"));
+            let bytes = match i % 3 {
+                0 => macro_document(),
+                1 => clean_document(),
+                _ => b"not a document at all".to_vec(),
+            };
+            std::fs::write(&p, bytes).unwrap();
+            p
+        })
+        .collect();
+
+    let policy = ScanPolicy { jobs: 4, ..ScanPolicy::default().with_ladder() };
+    let reference = scan_paths_journaled(det, &paths, &policy, None, None);
+
+    // In parallel mode `scan::between-docs` fires on the collector, once
+    // per in-order emitted record — so kill@3 dies with exactly documents
+    // 1-2 journaled, the same crash surface the sequential engine has,
+    // however the four workers interleaved.
+    configure("scan::between-docs", "panic(killed)@3").unwrap();
+    let journal_path = dir.join("scan.jsonl");
+    let mut journal = ScanJournal::create(&journal_path).unwrap();
+    let crash = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        scan_paths_journaled(det, &paths, &policy, Some(&mut journal), None)
+    }));
+    assert!(crash.is_err(), "the injected kill should have escaped the worker pool");
+    assert_eq!(hit_count("scan::between-docs"), 3);
+    clear();
+    drop(journal);
+
+    let replay = replay_journal(&journal_path).unwrap();
+    assert!(replay.warning.is_none());
+    assert_eq!(replay.completed_count(), 2);
+    assert!(replay.in_flight.is_empty());
+
+    // Resuming — again with four workers — replays the two finished
+    // documents and scans the rest; the merged report matches both the
+    // parallel reference and the sequential engine's resume of the same
+    // journal.
+    let resumed = scan_paths_journaled(det, &paths, &policy, None, Some(&replay));
+    assert_eq!(resumed.records, reference.records);
+    let seq_policy = ScanPolicy { jobs: 1, ..policy.clone() };
+    let seq_resumed = scan_paths_journaled(det, &paths, &seq_policy, None, Some(&replay));
+    assert_eq!(resumed.records, seq_resumed.records);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_write_under_concurrency_surfaces_once_with_no_interleaved_lines() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-partorn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let paths: Vec<_> = (0..8)
+        .map(|i| {
+            let p = dir.join(format!("doc{i:02}.bin"));
+            std::fs::write(&p, if i % 2 == 0 { macro_document() } else { clean_document() })
+                .unwrap();
+            p
+        })
+        .collect();
+
+    configure("journal::torn-write", "return@2").unwrap();
+    let journal_path = dir.join("scan.jsonl");
+    let mut journal = ScanJournal::create(&journal_path).unwrap();
+    let policy = ScanPolicy { jobs: 4, ..ScanPolicy::default() };
+    let report = scan_paths_journaled(det, &paths, &policy, Some(&mut journal), None);
+    clear();
+    drop(journal);
+
+    // Every document still scanned; the write failure surfaces exactly
+    // once, through the collector that owns the sole journal writer.
+    assert_eq!(report.scanned(), paths.len());
+    let err = report.journal_error.as_deref().expect("journal error must surface");
+    assert!(err.contains("torn"), "journal error was {err:?}");
+
+    // The journal's lines were written by one thread in input order: every
+    // complete line is a whole JSON object — the only damage is the single
+    // torn tail, which replay downgrades to a warning.
+    let raw = std::fs::read_to_string(&journal_path).unwrap();
+    let lines: Vec<&str> = raw.split('\n').collect();
+    for line in &lines[..lines.len() - 1] {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') || line.is_empty(),
+            "interleaved or torn journal line: {line:?}"
+        );
+    }
+    let replay = replay_journal(&journal_path).unwrap();
+    assert_eq!(replay.completed_count(), 1);
+    assert_eq!(replay.in_flight, vec![paths[1].display().to_string()]);
+    assert!(replay.warning.is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_growing_past_the_size_cap_between_stat_and_read_is_limit_exceeded() {
+    let _guard = registry_guard();
+    let det = &tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-statrace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The file passes the stat check at 64 bytes, then an appender grows
+    // it past the cap inside the injected stat→read gap. The engine must
+    // re-check after the read: growth is a typed LimitExceeded, never an
+    // oversized allocation handed to the parsers.
+    let victim = dir.join("growing.bin");
+    std::fs::write(&victim, vec![0u8; 64]).unwrap();
+    let mut policy = ScanPolicy::default();
+    policy.limits.max_file_size = 2048;
+
+    configure("scan::stat-read-gap", "sleep(200)").unwrap();
+    let appender = {
+        let victim = victim.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            let mut file = std::fs::OpenOptions::new().append(true).open(&victim).unwrap();
+            std::io::Write::write_all(&mut file, &vec![0u8; 8192]).unwrap();
+        })
+    };
+    let report = scan_paths_with_policy(det, &[&victim], &policy);
+    appender.join().unwrap();
+    clear();
+
+    match &report.records[0].outcome {
+        ScanOutcome::Failed { class: FailureClass::LimitExceeded, detail } => {
+            assert!(detail.contains("grew"), "detail was {detail:?}");
+        }
+        other => panic!("expected LimitExceeded after mid-read growth, got {other:?}"),
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
