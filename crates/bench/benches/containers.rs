@@ -24,14 +24,18 @@ fn ole_roundtrip(c: &mut Criterion) {
         b.iter(|| {
             let mut builder = OleBuilder::new();
             builder.add_stream("Macros/VBA/Module1", &payload).unwrap();
-            builder.add_stream("WordDocument", &payload[..8192]).unwrap();
+            builder
+                .add_stream("WordDocument", &payload[..8192])
+                .unwrap();
             black_box(builder.build())
         })
     });
     let bytes = {
         let mut builder = OleBuilder::new();
         builder.add_stream("Macros/VBA/Module1", &payload).unwrap();
-        builder.add_stream("WordDocument", &payload[..8192]).unwrap();
+        builder
+            .add_stream("WordDocument", &payload[..8192])
+            .unwrap();
         builder.build()
     };
     group.throughput(Throughput::Bytes(bytes.len() as u64));
@@ -51,13 +55,15 @@ fn zip_roundtrip(c: &mut Criterion) {
     group.bench_function("write_deflate_256k", |b| {
         b.iter(|| {
             let mut w = ZipWriter::new();
-            w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate).unwrap();
+            w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate)
+                .unwrap();
             black_box(w.finish())
         })
     });
     let bytes = {
         let mut w = ZipWriter::new();
-        w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate).unwrap();
+        w.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate)
+            .unwrap();
         w.finish()
     };
     group.bench_function("parse_and_extract", |b| {

@@ -21,7 +21,11 @@ fn transforms(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                black_box(Obfuscator::new().with(technique).apply(black_box(&base), &mut rng))
+                black_box(
+                    Obfuscator::new()
+                        .with(technique)
+                        .apply(black_box(&base), &mut rng),
+                )
             })
         });
     }

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use vbadet::{scan_documents, scan_documents_with_policy, Detector, DetectorConfig, ScanLimits, ScanPolicy};
+use vbadet::{
+    scan_documents, scan_documents_with_policy, Detector, DetectorConfig, ScanLimits, ScanPolicy,
+};
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory, DocumentKind};
 
 fn pipeline(c: &mut Criterion) {
@@ -38,7 +40,9 @@ fn pipeline(c: &mut Criterion) {
     let obf = &macros.iter().find(|m| m.obfuscated).unwrap().source;
     for (name, src) in [("plain", plain), ("obfuscated", obf)] {
         group.throughput(Throughput::Bytes(src.len() as u64));
-        group.bench_function(name, |b| b.iter(|| black_box(detector.score(black_box(src)))));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(detector.score(black_box(src))))
+        });
     }
     group.finish();
 
@@ -73,7 +77,9 @@ fn pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(total_bytes));
     group.bench_function("mutated_corpus_10pct", |b| {
         b.iter(|| {
-            let docs = batch.iter().map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
+            let docs = batch
+                .iter()
+                .map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
             let report = scan_documents(black_box(&detector), docs, &limits);
             assert_eq!(report.scanned(), batch.len());
             black_box(report)
@@ -85,10 +91,14 @@ fn pipeline(c: &mut Criterion) {
     // overhead of budget checks on the (mostly-clean) hot path — the
     // budget `charge` calls amortize clock reads, so this should track
     // `mutated_corpus_10pct` closely.
-    let policy = ScanPolicy::with_limits(limits).deadline_ms(50).with_ladder();
+    let policy = ScanPolicy::with_limits(limits)
+        .deadline_ms(50)
+        .with_ladder();
     group.bench_function("scan_with_deadline", |b| {
         b.iter(|| {
-            let docs = batch.iter().map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
+            let docs = batch
+                .iter()
+                .map(|(n, bytes)| (n.as_str(), bytes.as_slice()));
             let report = scan_documents_with_policy(black_box(&detector), docs, &policy);
             assert_eq!(report.scanned(), batch.len());
             black_box(report)

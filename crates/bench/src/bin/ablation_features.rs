@@ -10,15 +10,17 @@ fn main() {
     banner("Ablation: V-feature groups (paper §IV.C design choices)");
     let spec = corpus_spec();
     let data = ExperimentData::from_spec(&spec);
-    let (baseline, rows) =
-        ablate_v_groups(&data, ClassifierKind::RandomForest, folds(), spec.seed);
+    let (baseline, rows) = ablate_v_groups(&data, ClassifierKind::RandomForest, folds(), spec.seed);
 
     println!(
         "baseline (all 15 features, RF): F2 {:.3}, AUC {:.3}",
         baseline.f2, baseline.auc
     );
     println!();
-    println!("{:<38} {:>8} {:>8} {:>9}", "group removed", "F2", "AUC", "F2 drop");
+    println!(
+        "{:<38} {:>8} {:>8} {:>9}",
+        "group removed", "F2", "AUC", "F2 drop"
+    );
     println!("{}", "-".repeat(68));
     for row in &rows {
         println!(
@@ -31,5 +33,8 @@ fn main() {
         .iter()
         .max_by(|a, b| a.f2_drop.total_cmp(&b.f2_drop))
         .expect("non-empty");
-    println!("most load-bearing group: {} ({:+.3} F2)", critical.group, critical.f2_drop);
+    println!(
+        "most load-bearing group: {} ({:+.3} F2)",
+        critical.group, critical.f2_drop
+    );
 }

@@ -44,7 +44,10 @@ fn main() {
     let (plain, obf) = fig5(&macros);
 
     histogram("(a) non-obfuscated macros — roughly uniform", &plain);
-    histogram("(b) obfuscated macros — clusters (horizontal lines in the paper)", &obf);
+    histogram(
+        "(b) obfuscated macros — clusters (horizontal lines in the paper)",
+        &obf,
+    );
 
     // Cluster check: share of obfuscated samples within 25% of a center.
     let clusters = [1_500usize, 3_000, 15_000];

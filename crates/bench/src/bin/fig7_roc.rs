@@ -49,7 +49,11 @@ fn main() {
             let tpr = sample_curve(roc, &[fpr])[0];
             let row = ((1.0 - tpr) * (H - 1) as f64).round() as usize;
             let cell = &mut grid[row.min(H - 1)][i];
-            *cell = if *cell == ' ' || *cell == mark { mark } else { '*' };
+            *cell = if *cell == ' ' || *cell == mark {
+                mark
+            } else {
+                '*'
+            };
         }
     };
     plot(&mut grid, &v.roc, '#');

@@ -16,7 +16,10 @@ fn main() {
     let (plain_rate, obfuscated_rate) = signature_experiment(&data.macros);
     println!("signature scanner (IOC substrings) on malicious macros:");
     println!("  plain payloads flagged:      {:.1}%", plain_rate * 100.0);
-    println!("  obfuscated payloads flagged: {:.1}%", obfuscated_rate * 100.0);
+    println!(
+        "  obfuscated payloads flagged: {:.1}%",
+        obfuscated_rate * 100.0
+    );
     println!(
         "  -> obfuscation suppresses signature recall by {:.1} points (§III.B)",
         (plain_rate - obfuscated_rate) * 100.0
@@ -34,10 +37,19 @@ fn main() {
     );
     println!();
 
-    let ml = evaluate(&data, FeatureSet::V, ClassifierKind::Mlp, folds(), spec.seed);
+    let ml = evaluate(
+        &data,
+        FeatureSet::V,
+        ClassifierKind::Mlp,
+        folds(),
+        spec.seed,
+    );
     println!("statistical detector (MLP on V features, obfuscation labels):");
     println!("  recall on obfuscated macros: {:.1}%", ml.recall * 100.0);
-    println!("  precision:                   {:.1}%", ml.precision * 100.0);
+    println!(
+        "  precision:                   {:.1}%",
+        ml.precision * 100.0
+    );
     println!();
     println!(
         "signatures degrade under string obfuscation ({:.1} -> {:.1}%) and say \

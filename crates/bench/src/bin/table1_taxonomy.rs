@@ -17,10 +17,25 @@ fn main() {
     println!("{:<4} {:<22} {:<28} demonstration", "#", "Type", "Method");
     println!("{}", "-".repeat(100));
     let rows: [(&str, &str, &str, Technique); 4] = [
-        ("O1", "Random obfuscation", "Randomize name", Technique::Random),
+        (
+            "O1",
+            "Random obfuscation",
+            "Randomize name",
+            Technique::Random,
+        ),
         ("O2", "Split obfuscation", "Split strings", Technique::Split),
-        ("O3", "Encoding obfuscation", "Encode strings", Technique::Encoding),
-        ("O4", "Logic obfuscation", "Insert and reorder code", Technique::LogicWithIntensity(6)),
+        (
+            "O3",
+            "Encoding obfuscation",
+            "Encode strings",
+            Technique::Encoding,
+        ),
+        (
+            "O4",
+            "Logic obfuscation",
+            "Insert and reorder code",
+            Technique::LogicWithIntensity(6),
+        ),
     ];
     for (id, kind, method, technique) in rows {
         let mut rng = StdRng::seed_from_u64(0xD5);

@@ -59,7 +59,10 @@ pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
     } else {
         0
     };
-    format!("{label:<28} | {:<width$} {value:.3}", "#".repeat(filled.min(width)))
+    format!(
+        "{label:<28} | {:<width$} {value:.3}",
+        "#".repeat(filled.min(width))
+    )
 }
 
 #[cfg(test)]

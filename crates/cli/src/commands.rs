@@ -3,15 +3,15 @@
 use std::error::Error;
 use std::path::PathBuf;
 use vbadet::{
-    extract_macros, replay_journal, scan_paths_journaled, ClassifierKind, Detector,
-    DetectorConfig, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
+    extract_macros, replay_journal, scan_paths_journaled, ClassifierKind, Detector, DetectorConfig,
+    MetricsSink, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
 /// Flags that are bare switches (no value follows them).
-const SWITCHES: &[&str] = &["ladder"];
+const SWITCHES: &[&str] = &["ladder", "stats"];
 
 /// Minimal flag parser: `--key value` pairs, bare `--switch` flags, plus
 /// positional arguments.
@@ -41,7 +41,11 @@ impl Flags {
                 positional.push(arg.clone());
             }
         }
-        Ok(Flags { values, switches, positional })
+        Ok(Flags {
+            values,
+            switches,
+            positional,
+        })
     }
 
     fn has(&self, key: &str) -> bool {
@@ -110,6 +114,12 @@ pub fn scan(args: &[String]) -> CmdResult {
     if flags.has("ladder") {
         policy = policy.with_ladder();
     }
+    // Metrics are pay-for-what-you-ask: the sink stays disabled (and
+    // near-free) unless the run wants `--stats` output or a JSON dump.
+    let metrics_json = flags.values.get("metrics-json").cloned();
+    if flags.has("stats") || metrics_json.is_some() {
+        policy = policy.with_metrics(MetricsSink::enabled());
+    }
     // Default to one worker per available core; `--jobs 1` pins the scan
     // to the sequential in-thread engine (the output is identical either
     // way — parallelism only changes the wall clock).
@@ -147,15 +157,24 @@ pub fn scan(args: &[String]) -> CmdResult {
                 None => ClassifierKind::Mlp,
             };
             eprintln!("training {classifier} detector on synthetic corpus (scale {scale})…");
-            let config = DetectorConfig { classifier, seed, ..DetectorConfig::default() };
+            let config = DetectorConfig {
+                classifier,
+                seed,
+                ..DetectorConfig::default()
+            };
             Detector::train_on_corpus(&config, &spec_at(scale, seed))
         }
     };
 
     // The batch never aborts: every input is processed, failures are
     // per-file records, and the exit status is decided only at the end.
-    let report =
-        scan_paths_journaled(&detector, &flags.positional, &policy, journal.as_mut(), resume.as_ref());
+    let report = scan_paths_journaled(
+        &detector,
+        &flags.positional,
+        &policy,
+        journal.as_mut(),
+        resume.as_ref(),
+    );
     let mut any_flagged = false;
     for record in &report.records {
         let path = record.path.display();
@@ -175,7 +194,11 @@ pub fn scan(args: &[String]) -> CmdResult {
                     println!("{path}: no VBA macros{provenance}");
                 }
                 for v in verdicts {
-                    let mark = if v.verdict.obfuscated { "OBFUSCATED" } else { "clean" };
+                    let mark = if v.verdict.obfuscated {
+                        "OBFUSCATED"
+                    } else {
+                        "clean"
+                    };
                     any_flagged |= v.verdict.obfuscated;
                     println!(
                         "{path}: module {:<20} {:>11} (score {:+.3}){provenance}",
@@ -200,6 +223,17 @@ pub fn scan(args: &[String]) -> CmdResult {
     if any_flagged {
         eprintln!("note: obfuscation != maliciousness; see the paper's §VI.A");
     }
+    // Metrics are emitted before the failure exits below: a batch with
+    // failed inputs is exactly the run whose stage counters matter most.
+    if let Some(metrics) = &report.metrics {
+        if flags.has("stats") {
+            eprint!("{}", metrics.render_text());
+        }
+        if let Some(path) = &metrics_json {
+            std::fs::write(path, metrics.to_json())?;
+            eprintln!("wrote pipeline metrics to {path}");
+        }
+    }
     if let Some(e) = &report.journal_error {
         return Err(format!("journal write failed mid-scan: {e}").into());
     }
@@ -211,10 +245,7 @@ pub fn scan(args: &[String]) -> CmdResult {
 
 pub fn extract(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("extract: file required")?;
+    let path = flags.positional.first().ok_or("extract: file required")?;
     let bytes = std::fs::read(path)?;
     let macros = extract_macros(&bytes)?;
     if macros.is_empty() {
@@ -222,7 +253,10 @@ pub fn extract(args: &[String]) -> CmdResult {
         return Ok(());
     }
     for m in macros {
-        println!("' ===== project {} / module {} ({:?}) =====", m.project_name, m.module_name, m.container);
+        println!(
+            "' ===== project {} / module {} ({:?}) =====",
+            m.project_name, m.module_name, m.container
+        );
         println!("{}", m.code);
     }
     Ok(())
@@ -315,7 +349,11 @@ pub fn corpus(args: &[String]) -> CmdResult {
         if io_error.is_some() {
             return;
         }
-        let dir = if file.malicious { "malicious" } else { "benign" };
+        let dir = if file.malicious {
+            "malicious"
+        } else {
+            "benign"
+        };
         if let Err(e) = std::fs::write(out.join(dir).join(&file.name), &file.bytes) {
             io_error = Some(e);
             return;
@@ -330,16 +368,25 @@ pub fn corpus(args: &[String]) -> CmdResult {
     let mut labels = String::from("file,malicious,modules\n");
     let factory = DocumentFactory::new(&spec, &macros);
     factory.for_each(|file| {
-        labels.push_str(&format!("{},{},{}\n", file.name, file.malicious, file.module_count));
+        labels.push_str(&format!(
+            "{},{},{}\n",
+            file.name, file.malicious, file.module_count
+        ));
     });
     std::fs::write(out.join("labels.csv"), labels)?;
-    eprintln!("wrote {written} documents + labels.csv to {}", out.display());
+    eprintln!(
+        "wrote {written} documents + labels.csv to {}",
+        out.display()
+    );
     Ok(())
 }
 
 pub fn train(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    let out = flags.values.get("out").ok_or("train: --out FILE required")?;
+    let out = flags
+        .values
+        .get("out")
+        .ok_or("train: --out FILE required")?;
     let scale = flags.get_f64("scale", 0.25)?;
     let seed = flags.get_u64("seed", 0xD5)?;
     let classifier = match flags.values.get("classifier") {
@@ -347,7 +394,11 @@ pub fn train(args: &[String]) -> CmdResult {
         None => ClassifierKind::Mlp,
     };
     eprintln!("training {classifier} on synthetic corpus (scale {scale})…");
-    let config = DetectorConfig { classifier, seed, ..DetectorConfig::default() };
+    let config = DetectorConfig {
+        classifier,
+        seed,
+        ..DetectorConfig::default()
+    };
     let detector = Detector::train_on_corpus(&config, &spec_at(scale, seed));
     let text = detector.save();
     std::fs::write(out, &text)?;
@@ -491,7 +542,10 @@ mod command_tests {
         ]));
         // The batch ran to completion (no early `?` abort on the junk
         // file) and reported the per-file failure via the exit status.
-        assert!(err.unwrap_err().to_string().contains("1 of 2 inputs failed"));
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("1 of 2 inputs failed"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -549,7 +603,10 @@ mod command_tests {
             junk.to_str().unwrap(),
             good.to_str().unwrap(),
         ]));
-        assert!(err.unwrap_err().to_string().contains("1 of 2 inputs failed"));
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("1 of 2 inputs failed"));
 
         let bad = scan(&strs2(&["--jobs", "zero?", good.to_str().unwrap()]));
         assert!(bad.is_err(), "non-numeric --jobs must be rejected");
@@ -557,9 +614,57 @@ mod command_tests {
     }
 
     #[test]
+    fn scan_metrics_json_counters_identical_across_jobs() {
+        // The ISSUE's determinism contract at the CLI boundary: the
+        // `counters` section of `--metrics-json` output must be
+        // byte-identical whether the scan ran sequentially or on a pool.
+        let dir = std::env::temp_dir().join("vbadet_cli_test_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut inputs = Vec::new();
+        for i in 0..6 {
+            let path = dir.join(format!("doc{i}.bin"));
+            let mut b = vbadet_ovba::VbaProjectBuilder::new("P");
+            b.add_module(
+                "Module1",
+                &format!("Sub W{i}()\r\n    x = {i}\r\nEnd Sub\r\n"),
+            );
+            std::fs::write(&path, b.build().unwrap()).unwrap();
+            inputs.push(path.to_str().unwrap().to_string());
+        }
+        let junk = dir.join("junk.doc");
+        std::fs::write(&junk, b"not a document at all").unwrap();
+        inputs.push(junk.to_str().unwrap().to_string());
+
+        let run = |jobs: &str, out: &std::path::Path| {
+            let mut args = strs2(&[
+                "--scale",
+                "0.002",
+                "--jobs",
+                jobs,
+                "--metrics-json",
+                out.to_str().unwrap(),
+            ]);
+            args.extend(inputs.iter().cloned());
+            // The junk input makes the batch exit non-zero; metrics must
+            // have been written anyway.
+            assert!(scan(&args).is_err());
+            vbadet::ScanMetrics::from_json(&std::fs::read_to_string(out).unwrap()).unwrap()
+        };
+        let seq = run("1", &dir.join("seq.json"));
+        let par = run("4", &dir.join("par.json"));
+        assert_eq!(seq.counters_json(), par.counters_json());
+        assert_eq!(seq.counter("scan.docs"), 7);
+        assert_eq!(seq.counter("scan.failed.unknown-container"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn scan_rejects_unknown_limit_profile() {
         let err = scan(&strs2(&["--limits", "paranoid", "whatever.doc"]));
-        assert!(err.unwrap_err().to_string().contains("unknown limits profile"));
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("unknown limits profile"));
     }
 
     #[test]
@@ -574,11 +679,7 @@ mod command_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("m.vba");
         std::fs::write(&path, "Sub A()\r\nEnd Sub\r\n").unwrap();
-        let err = obfuscate(&strs2(&[
-            "--techniques",
-            "o9",
-            path.to_str().unwrap(),
-        ]));
+        let err = obfuscate(&strs2(&["--techniques", "o9", path.to_str().unwrap()]));
         assert!(err.is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -593,11 +694,16 @@ mod command_tests {
         let dir = std::env::temp_dir().join("vbadet_cli_test_train");
         std::fs::create_dir_all(&dir).unwrap();
         let model = dir.join("model.txt");
-        train(&strs2(&["--out", model.to_str().unwrap(), "--scale", "0.004"])).unwrap();
+        train(&strs2(&[
+            "--out",
+            model.to_str().unwrap(),
+            "--scale",
+            "0.004",
+        ]))
+        .unwrap();
         assert!(model.metadata().unwrap().len() > 100);
         // A detector loaded from the file scores without error.
-        let detector =
-            vbadet::Detector::load(&std::fs::read_to_string(&model).unwrap()).unwrap();
+        let detector = vbadet::Detector::load(&std::fs::read_to_string(&model).unwrap()).unwrap();
         let v = detector.score("Sub A()\r\n    x = 1\r\nEnd Sub\r\n");
         assert!(v.score.is_finite());
         let _ = std::fs::remove_dir_all(&dir);

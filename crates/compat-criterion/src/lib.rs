@@ -102,7 +102,10 @@ impl BenchmarkGroup<'_> {
         // measurable (>= ~2ms) sample without running forever.
         let mut iters = 1u64;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
                 break;
@@ -112,7 +115,10 @@ impl BenchmarkGroup<'_> {
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
@@ -182,7 +188,12 @@ impl Criterion {
     pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group: {name}");
-        BenchmarkGroup { criterion: self, name, sample_size: 10, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
     }
 
     /// Runs a standalone benchmark outside any group.

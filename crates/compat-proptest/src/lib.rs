@@ -250,7 +250,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// The default strategy for `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Collection strategies.
@@ -293,7 +295,10 @@ pub mod char {
     /// Uniform char between `lo` and `hi` (inclusive).
     pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
         assert!(lo <= hi);
-        CharRange { lo: lo as u32, hi: hi as u32 }
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
     }
 
     impl Strategy for CharRange {
@@ -313,8 +318,8 @@ pub mod char {
 /// Everything tests normally import.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -439,16 +444,15 @@ mod tests {
             assert!((1..=15).contains(&s.chars().count()), "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_alphabetic());
 
-            let p = crate::Strategy::generate(
-                "[a-z]{1,12}(/[a-z]{1,12}){0,2}",
-                &mut rng,
-            );
+            let p = crate::Strategy::generate("[a-z]{1,12}(/[a-z]{1,12}){0,2}", &mut rng);
             assert!(p.split('/').count() <= 3, "{p:?}");
             assert!(p.split('/').all(|seg| !seg.is_empty()), "{p:?}");
 
             let t = crate::Strategy::generate("[ -~\r\n\t]{0,40}", &mut rng);
             assert!(t.chars().count() <= 40);
-            assert!(t.chars().all(|c| c == '\r' || c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+            assert!(t
+                .chars()
+                .all(|c| c == '\r' || c == '\n' || c == '\t' || (' '..='~').contains(&c)));
 
             let any_printable = crate::Strategy::generate("\\PC{0,20}", &mut rng);
             assert!(any_printable.chars().count() <= 20);
@@ -463,6 +467,9 @@ mod tests {
         let mut a = crate::TestRng::deterministic("same");
         let mut b = crate::TestRng::deterministic("same");
         let s: &str = "[0-9a-f]{8}";
-        assert_eq!(crate::Strategy::generate(s, &mut a), crate::Strategy::generate(s, &mut b));
+        assert_eq!(
+            crate::Strategy::generate(s, &mut a),
+            crate::Strategy::generate(s, &mut b)
+        );
     }
 }

@@ -37,7 +37,11 @@ pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
 
 fn emit_seq(seq: &[(Node, (u32, u32))], rng: &mut TestRng, out: &mut String) {
     for (node, (lo, hi)) in seq {
-        let n = if lo == hi { *lo } else { lo + rng.below((hi - lo + 1) as usize) as u32 };
+        let n = if lo == hi {
+            *lo
+        } else {
+            lo + rng.below((hi - lo + 1) as usize) as u32
+        };
         for _ in 0..n {
             match node {
                 Node::Lit(c) => out.push(*c),
@@ -60,7 +64,12 @@ fn printable(rng: &mut TestRng) -> char {
     }
 }
 
-fn parse_seq(chars: &[char], pos: &mut usize, pat: &str, in_group: bool) -> Vec<(Node, (u32, u32))> {
+fn parse_seq(
+    chars: &[char],
+    pos: &mut usize,
+    pat: &str,
+    in_group: bool,
+) -> Vec<(Node, (u32, u32))> {
     let mut seq = Vec::new();
     while *pos < chars.len() {
         let node = match chars[*pos] {

@@ -39,12 +39,16 @@ pub enum AntiAnalysisIndicator {
 }
 
 /// Out-of-band string storage accessors (§VI.B.1, MS-OFORMS fields).
-const HIDDEN_DATA_ACCESSORS: [&str; 5] =
-    ["variables", "caption", "controltiptext", "tag", "customdocumentproperties"];
+const HIDDEN_DATA_ACCESSORS: [&str; 5] = [
+    "variables",
+    "caption",
+    "controltiptext",
+    "tag",
+    "customdocumentproperties",
+];
 
 /// Environment probes used for sandbox evasion (§VI.B.3).
-const ENVIRONMENT_PROBES: [&str; 4] =
-    ["recentfiles", "version", "username", "operatingsystem"];
+const ENVIRONMENT_PROBES: [&str; 4] = ["recentfiles", "version", "username", "operatingsystem"];
 
 /// Scans macro source for the three §VI.B anti-analysis techniques.
 ///
@@ -62,8 +66,7 @@ pub fn scan_anti_analysis(source: &str) -> Vec<AntiAnalysisIndicator> {
     let mut accessor_hits: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
     for w in tokens.windows(2) {
-        if let (TokenKind::Operator("."), TokenKind::Identifier(name)) = (&w[0].kind, &w[1].kind)
-        {
+        if let (TokenKind::Operator("."), TokenKind::Identifier(name)) = (&w[0].kind, &w[1].kind) {
             let lower = name.to_ascii_lowercase();
             if HIDDEN_DATA_ACCESSORS.contains(&lower.as_str()) {
                 *accessor_hits.entry(name.clone()).or_insert(0) += 1;
@@ -107,7 +110,9 @@ pub fn scan_anti_analysis(source: &str) -> Vec<AntiAnalysisIndicator> {
         }
         for probe in ENVIRONMENT_PROBES {
             if lower.contains(&format!("{probe}.")) || lower.contains(&format!(".{probe}")) {
-                out.push(AntiAnalysisIndicator::EnvironmentGuard { probe: probe.to_string() });
+                out.push(AntiAnalysisIndicator::EnvironmentGuard {
+                    probe: probe.to_string(),
+                });
             }
         }
     }
@@ -183,7 +188,9 @@ pub fn mechanism_signals(source: &str) -> MechanismSignals {
         .filter(|i| {
             let lower = i.to_ascii_lowercase();
             lower.len() >= 8
-                && !lower.chars().any(|c| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u'))
+                && !lower
+                    .chars()
+                    .any(|c| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u'))
         })
         .count();
     let lower_source = source.to_ascii_lowercase();
@@ -191,8 +198,7 @@ pub fn mechanism_signals(source: &str) -> MechanismSignals {
     MechanismSignals {
         split_strings: concat_density > 0.02 && analysis.strings().len() >= 6,
         encoded_strings: text_density > 0.4 && text_calls >= 4,
-        randomized_names: !idents.is_empty()
-            && unreadable as f64 / idents.len() as f64 > 0.3,
+        randomized_names: !idents.is_empty() && unreadable as f64 / idents.len() as f64 > 0.3,
         dummy_code: lower_source.contains("if false then"),
     }
 }
@@ -234,9 +240,10 @@ mod tests {
                    Sel.ection.RowHeight = 15\r\n\
                    End Sub\r\n";
         let found = scan_anti_analysis(src);
-        assert!(found
-            .iter()
-            .any(|i| matches!(i, AntiAnalysisIndicator::DeadCodeAfterExit { statements: 2 })));
+        assert!(found.iter().any(|i| matches!(
+            i,
+            AntiAnalysisIndicator::DeadCodeAfterExit { statements: 2 }
+        )));
     }
 
     #[test]
@@ -296,11 +303,8 @@ mod tests {
         assert!(!mechanism_signals(&renamed).dummy_code);
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let logic = vbadet_obfuscate::logic::apply(
-            base,
-            vbadet_obfuscate::logic::Intensity(30),
-            &mut rng,
-        );
+        let logic =
+            vbadet_obfuscate::logic::apply(base, vbadet_obfuscate::logic::Intensity(30), &mut rng);
         assert!(mechanism_signals(&logic).dummy_code, "{logic}");
     }
 }

@@ -145,13 +145,20 @@ impl Detector {
         let x = scaler.transform_all(&x);
         let mut model = config.classifier.build(config.seed);
         model.fit(&x, &y);
-        Detector { config: *config, scaler, model }
+        Detector {
+            config: *config,
+            scaler,
+            model,
+        }
     }
 
     /// Trains on a synthetic corpus generated from `spec`.
     pub fn train_on_corpus(config: &DetectorConfig, spec: &CorpusSpec) -> Self {
         let macros = generate_macros(spec);
-        Self::train(config, macros.iter().map(|m| (m.source.as_str(), m.obfuscated)))
+        Self::train(
+            config,
+            macros.iter().map(|m| (m.source.as_str(), m.obfuscated)),
+        )
     }
 
     /// The configuration the detector was trained with.
@@ -164,7 +171,10 @@ impl Detector {
         let features = self.config.feature_set.extract(source);
         let z = self.scaler.transform(&features);
         let score = self.model.decision_function(&z);
-        Verdict { obfuscated: score >= 0.0, score }
+        Verdict {
+            obfuscated: score >= 0.0,
+            score,
+        }
     }
 
     /// Whether one macro looks obfuscated.
@@ -182,7 +192,10 @@ impl Detector {
         let macros = extract_macros(bytes)?;
         Ok(macros
             .into_iter()
-            .map(|m| ModuleVerdict { verdict: self.score(&m.code), module_name: m.module_name })
+            .map(|m| ModuleVerdict {
+                verdict: self.score(&m.code),
+                module_name: m.module_name,
+            })
             .collect())
     }
 }
@@ -223,7 +236,10 @@ mod tests {
             .with(Technique::Random)
             .apply(plain, &mut rng)
             .source;
-        assert!(detector.is_obfuscated(&obfuscated), "same macro after O1-O4");
+        assert!(
+            detector.is_obfuscated(&obfuscated),
+            "same macro after O1-O4"
+        );
     }
 
     #[test]
@@ -269,7 +285,10 @@ mod tests {
         let bytes = project.build().unwrap();
         let verdicts = detector.scan_document(&bytes).unwrap();
         assert_eq!(verdicts.len(), 2);
-        let module1 = verdicts.iter().find(|v| v.module_name == "Module1").unwrap();
+        let module1 = verdicts
+            .iter()
+            .find(|v| v.module_name == "Module1")
+            .unwrap();
         assert!(module1.verdict.obfuscated);
     }
 
@@ -278,7 +297,10 @@ mod tests {
         let spec = CorpusSpec::paper().scaled(0.015);
         let macros = generate_macros(&spec);
         for kind in ClassifierKind::ALL {
-            let config = DetectorConfig { classifier: kind, ..DetectorConfig::default() };
+            let config = DetectorConfig {
+                classifier: kind,
+                ..DetectorConfig::default()
+            };
             let detector = Detector::train(
                 &config,
                 macros.iter().map(|m| (m.source.as_str(), m.obfuscated)),
@@ -317,9 +339,7 @@ impl ClassifierKind {
     /// Restores a model of this kind from its serialized text.
     fn load_model(self, text: &str) -> Result<Box<dyn Classifier>, String> {
         Ok(match self {
-            ClassifierKind::Svm => {
-                Box::new(SvmRbf::from_text(text).map_err(|e| e.to_string())?)
-            }
+            ClassifierKind::Svm => Box::new(SvmRbf::from_text(text).map_err(|e| e.to_string())?),
             ClassifierKind::RandomForest => {
                 Box::new(RandomForest::from_text(text).map_err(|e| e.to_string())?)
             }
@@ -401,7 +421,11 @@ impl Detector {
             StandardScaler::from_text(scaler_text).map_err(|e| LoadError(e.to_string()))?;
         let model = classifier.load_model(model_text).map_err(LoadError)?;
         Ok(Detector {
-            config: DetectorConfig { feature_set, classifier, seed },
+            config: DetectorConfig {
+                feature_set,
+                classifier,
+                seed,
+            },
             scaler,
             model,
         })
@@ -416,10 +440,15 @@ mod persist_tests {
     fn save_load_roundtrip_for_every_classifier() {
         let spec = CorpusSpec::paper().scaled(0.01);
         let macros = generate_macros(&spec);
-        let samples: Vec<(&str, bool)> =
-            macros.iter().map(|m| (m.source.as_str(), m.obfuscated)).collect();
+        let samples: Vec<(&str, bool)> = macros
+            .iter()
+            .map(|m| (m.source.as_str(), m.obfuscated))
+            .collect();
         for kind in ClassifierKind::ALL {
-            let config = DetectorConfig { classifier: kind, ..DetectorConfig::default() };
+            let config = DetectorConfig {
+                classifier: kind,
+                ..DetectorConfig::default()
+            };
             let detector = Detector::train(&config, samples.iter().copied());
             let text = detector.save();
             let loaded = Detector::load(&text).unwrap_or_else(|e| panic!("{kind}: {e}"));

@@ -39,7 +39,12 @@ impl ExperimentData {
             j.push(j_features_from(&analysis).to_vec());
             labels.push(m.obfuscated);
         }
-        ExperimentData { macros, v, j, labels }
+        ExperimentData {
+            macros,
+            v,
+            j,
+            labels,
+        }
     }
 
     /// The feature matrix for one set.
@@ -81,8 +86,13 @@ pub fn evaluate(
     k: usize,
     seed: u64,
 ) -> ClassifierEval {
-    let outcome: CvOutcome =
-        cross_validate(|| kind.build(seed), data.features(set), &data.labels, k, seed);
+    let outcome: CvOutcome = cross_validate(
+        || kind.build(seed),
+        data.features(set),
+        &data.labels,
+        k,
+        seed,
+    );
     let confusion = outcome.confusion();
     ClassifierEval {
         classifier: kind,
@@ -129,10 +139,20 @@ impl MacroSummary {
 
 /// Table III: `(benign, malicious)` macro summaries.
 pub fn table3(macros: &[MacroSample]) -> (MacroSummary, MacroSummary) {
-    let mut benign = MacroSummary { macros: 0, obfuscated: 0 };
-    let mut malicious = MacroSummary { macros: 0, obfuscated: 0 };
+    let mut benign = MacroSummary {
+        macros: 0,
+        obfuscated: 0,
+    };
+    let mut malicious = MacroSummary {
+        macros: 0,
+        obfuscated: 0,
+    };
     for m in macros {
-        let row = if m.malicious { &mut malicious } else { &mut benign };
+        let row = if m.malicious {
+            &mut malicious
+        } else {
+            &mut benign
+        };
         row.macros += 1;
         if m.obfuscated {
             row.obfuscated += 1;
@@ -251,13 +271,12 @@ pub fn learning_curve(
     let x = data.features(set);
     let folds = vbadet_ml::stratified_kfold(&data.labels, 3, seed);
     let test_idx = &folds[0];
-    let train_pool: Vec<usize> =
-        folds[1].iter().chain(folds[2].iter()).copied().collect();
+    let train_pool: Vec<usize> = folds[1].iter().chain(folds[2].iter()).copied().collect();
 
     let mut out = Vec::with_capacity(fractions.len());
     for &fraction in fractions {
-        let take = ((train_pool.len() as f64 * fraction).round() as usize)
-            .clamp(4, train_pool.len());
+        let take =
+            ((train_pool.len() as f64 * fraction).round() as usize).clamp(4, train_pool.len());
         // Keep at least one sample of each class.
         let mut train_idx: Vec<usize> = train_pool[..take].to_vec();
         if !train_idx.iter().any(|&i| data.labels[i]) {
@@ -326,7 +345,11 @@ pub fn sweep_svm(
                 k,
                 seed,
             );
-            out.push(SvmSweepPoint { c, gamma, f2: outcome.confusion().f_beta(2.0) });
+            out.push(SvmSweepPoint {
+                c,
+                gamma,
+                f2: outcome.confusion().f_beta(2.0),
+            });
         }
     }
     out
@@ -366,12 +389,7 @@ mod tests {
         let d = data();
         let v = evaluate(&d, FeatureSet::V, ClassifierKind::RandomForest, 5, 2);
         let j = evaluate(&d, FeatureSet::J, ClassifierKind::RandomForest, 5, 2);
-        assert!(
-            v.f2 >= j.f2,
-            "V F2 {} must not lose to J F2 {}",
-            v.f2,
-            j.f2
-        );
+        assert!(v.f2 >= j.f2, "V F2 {} must not lose to J F2 {}", v.f2, j.f2);
     }
 
     #[test]
@@ -391,6 +409,9 @@ mod tests {
         let macros = generate_macros(&spec);
         let (plain, obf) = fig5(&macros);
         assert_eq!(plain.len() + obf.len(), macros.len());
-        assert_eq!(obf.len(), spec.benign_obfuscated + spec.malicious_obfuscated);
+        assert_eq!(
+            obf.len(),
+            spec.benign_obfuscated + spec.malicious_obfuscated
+        );
     }
 }

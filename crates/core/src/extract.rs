@@ -5,6 +5,7 @@
 use crate::limits::ScanLimits;
 use crate::DetectError;
 use vbadet_faultpoint::Budget;
+use vbadet_metrics::{Counter, Stage};
 use vbadet_ole::OleFile;
 use vbadet_ovba::{
     salvage_modules_from_bytes_budgeted, salvage_modules_from_ole_budgeted, OvbaError, VbaProject,
@@ -140,6 +141,7 @@ pub fn extract_macros_bounded(
     limits: &ScanLimits,
     budget: &Budget,
 ) -> Result<Extraction, DetectError> {
+    budget.metrics().count(Counter::ExtractDocs, 1);
     match sniff(bytes) {
         Some(ContainerKind::Ole) => {
             extract_from_ole_bytes(bytes, ContainerKind::Ole, limits, budget)
@@ -174,17 +176,23 @@ fn extract_from_ole_bytes(
     budget.checkpoint().map_err(OvbaError::from)?;
     let ole = match OleFile::parse_budgeted(bytes, limits.ole, budget.clone()) {
         Ok(ole) => ole,
-        Err(e @ (vbadet_ole::OleError::LimitExceeded { .. }
-        | vbadet_ole::OleError::ChainCycle { .. }
-        | vbadet_ole::OleError::DeadlineExceeded(_))) => return Err(e.into()),
+        Err(
+            e @ (vbadet_ole::OleError::LimitExceeded { .. }
+            | vbadet_ole::OleError::ChainCycle { .. }
+            | vbadet_ole::OleError::DeadlineExceeded(_)),
+        ) => return Err(e.into()),
         Err(e) => {
             // The compound file itself is unreadable; scan the raw buffer
             // for compressed containers as a last resort.
-            let salvaged = salvage_modules_from_bytes_budgeted(bytes, "", &limits.ovba, budget)?;
+            let salvaged = {
+                let _t = budget.metrics().time(Stage::OvbaSalvageNs);
+                salvage_modules_from_bytes_budgeted(bytes, "", &limits.ovba, budget)?
+            };
             budget.checkpoint().map_err(OvbaError::from)?;
             if salvaged.is_empty() {
                 return Err(e.into());
             }
+            budget.metrics().count(Counter::ExtractSalvaged, 1);
             return Ok(Extraction {
                 macros: modules_to_macros(salvaged, container),
                 status: ExtractionStatus::Salvaged,
@@ -194,23 +202,32 @@ fn extract_from_ole_bytes(
     match VbaProject::from_ole_budgeted(&ole, &limits.ovba, budget) {
         Ok(project) => {
             budget.checkpoint().map_err(OvbaError::from)?;
+            budget.metrics().count(Counter::ExtractParsed, 1);
             Ok(Extraction {
                 macros: project_to_macros(project, container),
                 status: ExtractionStatus::Parsed,
             })
         }
         Err(OvbaError::NoVbaProject) if container == ContainerKind::Ole => {
-            Ok(Extraction { macros: Vec::new(), status: ExtractionStatus::Parsed })
+            budget.metrics().count(Counter::ExtractParsed, 1);
+            Ok(Extraction {
+                macros: Vec::new(),
+                status: ExtractionStatus::Parsed,
+            })
         }
         Err(e @ (OvbaError::LimitExceeded { .. } | OvbaError::DeadlineExceeded(_))) => {
             Err(e.into())
         }
         Err(e) => {
-            let salvaged = salvage_modules_from_ole_budgeted(&ole, &limits.ovba, budget)?;
+            let salvaged = {
+                let _t = budget.metrics().time(Stage::OvbaSalvageNs);
+                salvage_modules_from_ole_budgeted(&ole, &limits.ovba, budget)?
+            };
             budget.checkpoint().map_err(OvbaError::from)?;
             if salvaged.is_empty() {
                 return Err(e.into());
             }
+            budget.metrics().count(Counter::ExtractSalvaged, 1);
             Ok(Extraction {
                 macros: modules_to_macros(salvaged, container),
                 status: ExtractionStatus::Salvaged,
@@ -285,8 +302,14 @@ mod tests {
     fn extracts_from_docm() {
         let bin = project().build().unwrap();
         let mut zip = ZipWriter::new();
-        zip.add_file("[Content_Types].xml", b"<Types/>", CompressionMethod::Deflate).unwrap();
-        zip.add_file("word/vbaProject.bin", &bin, CompressionMethod::Deflate).unwrap();
+        zip.add_file(
+            "[Content_Types].xml",
+            b"<Types/>",
+            CompressionMethod::Deflate,
+        )
+        .unwrap();
+        zip.add_file("word/vbaProject.bin", &bin, CompressionMethod::Deflate)
+            .unwrap();
         let macros = extract_macros(&zip.finish()).unwrap();
         assert_eq!(macros.len(), 2);
         assert_eq!(macros[0].container, ContainerKind::Ooxml);
@@ -302,8 +325,12 @@ mod tests {
     #[test]
     fn ooxml_without_vba_part_is_reported() {
         let mut zip = ZipWriter::new();
-        zip.add_file("word/document.xml", b"<doc/>", CompressionMethod::Deflate).unwrap();
-        assert!(matches!(extract_macros(&zip.finish()), Err(DetectError::NoVbaPart)));
+        zip.add_file("word/document.xml", b"<doc/>", CompressionMethod::Deflate)
+            .unwrap();
+        assert!(matches!(
+            extract_macros(&zip.finish()),
+            Err(DetectError::NoVbaPart)
+        ));
     }
 
     #[test]
@@ -312,7 +339,10 @@ mod tests {
             extract_macros(b"%PDF-1.4 not an office doc"),
             Err(DetectError::UnknownContainer)
         ));
-        assert!(matches!(extract_macros(b""), Err(DetectError::UnknownContainer)));
+        assert!(matches!(
+            extract_macros(b""),
+            Err(DetectError::UnknownContainer)
+        ));
     }
 
     #[test]

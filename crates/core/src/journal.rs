@@ -47,6 +47,7 @@ const FSYNC_PERIOD: usize = 64;
 pub struct ScanJournal {
     file: File,
     unsynced: usize,
+    bytes_written: u64,
 }
 
 impl ScanJournal {
@@ -57,7 +58,11 @@ impl ScanJournal {
     /// Any I/O error creating or writing the file.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         let file = File::create(path)?;
-        let mut journal = ScanJournal { file, unsynced: 0 };
+        let mut journal = ScanJournal {
+            file,
+            unsynced: 0,
+            bytes_written: 0,
+        };
         journal.write_line(&format!(
             "{{\"format\":{},\"version\":{JOURNAL_VERSION}}}",
             json_str(JOURNAL_FORMAT)
@@ -74,7 +79,10 @@ impl ScanJournal {
     ///
     /// Any I/O error appending to the journal.
     pub fn begin(&mut self, path: &str) -> io::Result<()> {
-        self.write_line(&format!("{{\"event\":\"begin\",\"path\":{}}}", json_str(path)))
+        self.write_line(&format!(
+            "{{\"event\":\"begin\",\"path\":{}}}",
+            json_str(path)
+        ))
     }
 
     /// Records a completed document with its full outcome.
@@ -108,10 +116,18 @@ impl ScanJournal {
         self.file.sync_data()
     }
 
+    /// Total bytes appended so far, including the header line. Torn writes
+    /// (the fault-injected half-record) are not counted: the record never
+    /// durably completed.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
     fn write_line(&mut self, line: &str) -> io::Result<()> {
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.flush()?;
+        self.bytes_written += line.len() as u64 + 1;
         self.unsynced += 1;
         if self.unsynced >= FSYNC_PERIOD {
             self.sync()?;
@@ -201,9 +217,15 @@ enum Event {
 }
 
 fn decode_event(j: &Json) -> Result<Event, String> {
-    let event = j.get("event").and_then(Json::as_str).ok_or("record without event")?;
-    let path =
-        j.get("path").and_then(Json::as_str).ok_or("record without path")?.to_string();
+    let event = j
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or("record without event")?;
+    let path = j
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or("record without path")?
+        .to_string();
     match event {
         "begin" => Ok(Event::Begin(path)),
         "done" => {
@@ -225,7 +247,10 @@ fn outcome_json(outcome: &ScanOutcome) -> String {
             format!("{{\"kind\":\"macros\",\"verdicts\":{}}}", verdicts_json(v))
         }
         ScanOutcome::Salvaged(v) => {
-            format!("{{\"kind\":\"salvaged\",\"verdicts\":{}}}", verdicts_json(v))
+            format!(
+                "{{\"kind\":\"salvaged\",\"verdicts\":{}}}",
+                verdicts_json(v)
+            )
         }
         ScanOutcome::Recovered { rung, verdicts } => format!(
             "{{\"kind\":\"recovered\",\"rung\":{},\"verdicts\":{}}}",
@@ -273,7 +298,10 @@ fn fmt_f64(x: f64) -> String {
 }
 
 fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
-    let kind = j.get("kind").and_then(Json::as_str).ok_or("outcome without kind")?;
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("outcome without kind")?;
     let verdicts = |j: &Json| -> Result<Vec<ModuleVerdict>, String> {
         j.get("verdicts")
             .and_then(Json::as_arr)
@@ -291,10 +319,7 @@ fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
                             .get("obfuscated")
                             .and_then(Json::as_bool)
                             .ok_or("verdict without obfuscated")?,
-                        score: v
-                            .get("score")
-                            .and_then(Json::as_f64)
-                            .unwrap_or(f64::NAN),
+                        score: v.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN),
                     },
                 })
             })
@@ -310,7 +335,10 @@ fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
                 .and_then(Json::as_str)
                 .and_then(LadderRung::from_label)
                 .ok_or("recovered outcome without a valid rung")?;
-            Ok(ScanOutcome::Recovered { rung, verdicts: verdicts(j)? })
+            Ok(ScanOutcome::Recovered {
+                rung,
+                verdicts: verdicts(j)?,
+            })
         }
         "failed" => Ok(ScanOutcome::Failed {
             class: j
@@ -407,7 +435,10 @@ impl Json {
 }
 
 fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -460,7 +491,10 @@ impl Parser<'_> {
             b'[' => self.array(),
             b'{' => self.object(),
             b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!("unexpected byte {:?} at offset {}", other as char, self.pos)),
+            other => Err(format!(
+                "unexpected byte {:?} at offset {}",
+                other as char, self.pos
+            )),
         }
     }
 
@@ -537,7 +571,10 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
@@ -610,10 +647,16 @@ mod tests {
     fn sample_records() -> Vec<ScanRecord> {
         let verdict = |name: &str, obf: bool, score: f64| ModuleVerdict {
             module_name: name.to_string(),
-            verdict: Verdict { obfuscated: obf, score },
+            verdict: Verdict {
+                obfuscated: obf,
+                score,
+            },
         };
         vec![
-            ScanRecord { path: PathBuf::from("a.doc"), outcome: ScanOutcome::Clean },
+            ScanRecord {
+                path: PathBuf::from("a.doc"),
+                outcome: ScanOutcome::Clean,
+            },
             ScanRecord {
                 path: PathBuf::from("dir with spaces/b\"quoted\".docm"),
                 outcome: ScanOutcome::Macros(vec![
@@ -682,8 +725,12 @@ mod tests {
         // Append half a record, as a crash mid-write would.
         {
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(b"{\"event\":\"done\",\"path\":\"mid-fl").unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"event\":\"done\",\"path\":\"mid-fl")
+                .unwrap();
         }
         let replay = replay_journal(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -700,7 +747,10 @@ mod tests {
         // the one a resume must trust.
         let path = temp_path("dup");
         let mut journal = ScanJournal::create(&path).unwrap();
-        let first = ScanRecord { path: PathBuf::from("x.doc"), outcome: ScanOutcome::Clean };
+        let first = ScanRecord {
+            path: PathBuf::from("x.doc"),
+            outcome: ScanOutcome::Clean,
+        };
         let second = ScanRecord {
             path: PathBuf::from("x.doc"),
             outcome: ScanOutcome::Failed {
@@ -750,8 +800,12 @@ mod tests {
         {
             ScanJournal::create(&path).unwrap();
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(b"{\"event\":\"done\",\"pa\n{\"event\nnot json\n").unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"event\":\"done\",\"pa\n{\"event\nnot json\n")
+                .unwrap();
         }
         let replay = replay_journal(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -777,7 +831,16 @@ mod tests {
 
     #[test]
     fn float_formatting_round_trips_exactly() {
-        for x in [0.0, -0.0, 1.0, -1.25, 0.1, 1e300, -3.337e-10, f64::MIN_POSITIVE] {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.25,
+            0.1,
+            1e300,
+            -3.337e-10,
+            f64::MIN_POSITIVE,
+        ] {
             let printed = fmt_f64(x);
             let back: f64 = printed.parse().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} printed as {printed}");
@@ -791,7 +854,10 @@ mod tests {
             "{\"a\": [1, -2.5, true, null], \"b\": {\"c\": \"x\\n\\\"y\\\" \\u00e9 \\ud83d\\ude00\"}}",
         )
         .unwrap();
-        assert_eq!(j.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(4));
+        assert_eq!(
+            j.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
         assert_eq!(
             j.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
             Some("x\n\"y\" é 😀")

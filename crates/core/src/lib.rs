@@ -53,6 +53,7 @@ pub use scan::{
     scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,
     ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
 };
-pub use vbadet_faultpoint::{Budget, BudgetExceeded};
 pub use signature::SignatureScanner;
 pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};
+pub use vbadet_faultpoint::{Budget, BudgetExceeded};
+pub use vbadet_metrics::{Counter, HistogramSnapshot, MetricsSink, ScanMetrics, Stage};

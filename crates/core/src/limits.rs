@@ -47,7 +47,10 @@ impl ScanLimits {
     /// single hostile document in a large batch cannot stall the engine.
     pub fn strict() -> Self {
         ScanLimits {
-            zip: ZipLimits { max_entries: 1 << 12, max_member_bytes: 1 << 24 },
+            zip: ZipLimits {
+                max_entries: 1 << 12,
+                max_member_bytes: 1 << 24,
+            },
             ole: OleLimits {
                 max_sectors: 1 << 18,
                 max_dir_entries: 1 << 12,

@@ -65,8 +65,12 @@ mod tests {
 
     #[test]
     fn indices_are_stable() {
-        let sources =
-            vec!["s".to_string(), "q".repeat(300), "q".repeat(300), "r".repeat(300)];
+        let sources = vec![
+            "s".to_string(),
+            "q".repeat(300),
+            "q".repeat(300),
+            "r".repeat(300),
+        ];
         assert_eq!(preprocess_indices(&sources), vec![1, 3]);
     }
 }

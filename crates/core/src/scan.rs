@@ -48,6 +48,7 @@ use crate::journal::{JournalReplay, ScanJournal};
 use crate::limits::ScanLimits;
 use crate::DetectError;
 use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_metrics::{Counter, MetricsSink, ScanMetrics, Stage};
 use vbadet_ovba::salvage_modules_from_bytes_budgeted;
 
 /// Why a document could not be scanned, at the granularity the batch
@@ -125,6 +126,22 @@ impl FailureClass {
             FailureClass::Io => "io-error",
             FailureClass::Panic => "panic",
             FailureClass::Timeout => "timeout",
+        }
+    }
+
+    /// The per-class failure counter this class increments in a
+    /// [`ScanMetrics`] snapshot.
+    pub fn counter(self) -> Counter {
+        match self {
+            FailureClass::CyclicChain => Counter::ScanFailedCyclicChain,
+            FailureClass::LimitExceeded => Counter::ScanFailedLimitExceeded,
+            FailureClass::Truncated => Counter::ScanFailedTruncated,
+            FailureClass::Malformed => Counter::ScanFailedMalformed,
+            FailureClass::UnknownContainer => Counter::ScanFailedUnknownContainer,
+            FailureClass::NoVbaPart => Counter::ScanFailedNoVbaPart,
+            FailureClass::Io => Counter::ScanFailedIo,
+            FailureClass::Panic => Counter::ScanFailedPanic,
+            FailureClass::Timeout => Counter::ScanFailedTimeout,
         }
     }
 
@@ -216,9 +233,7 @@ impl ScanOutcome {
         match self {
             ScanOutcome::Macros(v)
             | ScanOutcome::Salvaged(v)
-            | ScanOutcome::Recovered { verdicts: v, .. } => {
-                v.iter().any(|m| m.verdict.obfuscated)
-            }
+            | ScanOutcome::Recovered { verdicts: v, .. } => v.iter().any(|m| m.verdict.obfuscated),
             _ => false,
         }
     }
@@ -243,6 +258,10 @@ pub struct ScanReport {
     /// itself runs to completion regardless — a full-disk journal must not
     /// take down the batch — but the journal is then unusable for resume.
     pub journal_error: Option<String>,
+    /// Pipeline observability snapshot, present when the policy carried an
+    /// enabled [`MetricsSink`]. The `counters` section is deterministic:
+    /// identical for sequential and parallel runs over the same inputs.
+    pub metrics: Option<ScanMetrics>,
 }
 
 impl ScanReport {
@@ -253,7 +272,10 @@ impl ScanReport {
 
     /// Documents that parsed with no macros.
     pub fn clean(&self) -> usize {
-        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Clean)).count()
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, ScanOutcome::Clean))
+            .count()
     }
 
     /// Documents with at least one module flagged as obfuscated.
@@ -263,7 +285,10 @@ impl ScanReport {
 
     /// Documents whose macros came from the salvage scanner.
     pub fn salvaged(&self) -> usize {
-        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Salvaged(_))).count()
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, ScanOutcome::Salvaged(_)))
+            .count()
     }
 
     /// Documents recovered by a lower rung of the degradation ladder.
@@ -276,7 +301,10 @@ impl ScanReport {
 
     /// Documents that could not be scanned at all.
     pub fn failed(&self) -> usize {
-        self.records.iter().filter(|r| matches!(r.outcome, ScanOutcome::Failed { .. })).count()
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, ScanOutcome::Failed { .. }))
+            .count()
     }
 
     /// Failure count for one class.
@@ -309,12 +337,19 @@ pub struct ScanPolicy {
     /// either way — parallelism is an implementation detail the output
     /// must never betray.
     pub jobs: usize,
+    /// Observability handle. Disabled (and free) by default; when enabled,
+    /// every layer records counters and stage timings into it, and the
+    /// batch engines attach its snapshot to [`ScanReport::metrics`].
+    pub metrics: MetricsSink,
 }
 
 impl ScanPolicy {
     /// A policy with the given limits and everything else at defaults.
     pub fn with_limits(limits: ScanLimits) -> Self {
-        ScanPolicy { limits, ..ScanPolicy::default() }
+        ScanPolicy {
+            limits,
+            ..ScanPolicy::default()
+        }
     }
 
     /// Sets a per-document wall-clock deadline in milliseconds.
@@ -341,9 +376,21 @@ impl ScanPolicy {
         self
     }
 
-    /// Mints the per-document budget this policy prescribes.
+    /// Attaches a metrics sink; pass [`MetricsSink::enabled`] to collect a
+    /// [`ScanMetrics`] snapshot on the report.
+    pub fn with_metrics(mut self, metrics: MetricsSink) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Mints the per-document budget this policy prescribes, carrying the
+    /// policy's metrics handle into every layer the budget traverses.
     fn budget(&self) -> Budget {
-        Budget::new(self.deadline_per_doc, self.fuel_per_doc)
+        Budget::new_metered(
+            self.deadline_per_doc,
+            self.fuel_per_doc,
+            self.metrics.clone(),
+        )
     }
 }
 
@@ -385,7 +432,9 @@ mod quiet {
     impl QuietPanicGuard {
         pub(crate) fn new() -> Self {
             install_filter();
-            QuietPanicGuard { prior: SUPPRESS.with(|s| s.replace(true)) }
+            QuietPanicGuard {
+                prior: SUPPRESS.with(|s| s.replace(true)),
+            }
         }
     }
 
@@ -405,6 +454,40 @@ fn panic_detail(payload: Box<dyn Any + Send>) -> String {
         .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
+/// Rolls one decided record into the deterministic outcome counters.
+/// Every batch engine calls this exactly once per record — the sequential
+/// loop directly, the parallel engine from its single collector — so the
+/// sums can never depend on worker scheduling.
+fn record_outcome(metrics: &MetricsSink, outcome: &ScanOutcome) {
+    metrics.count(Counter::ScanDocs, 1);
+    let verdicts = match outcome {
+        ScanOutcome::Clean => {
+            metrics.count(Counter::ScanClean, 1);
+            return;
+        }
+        ScanOutcome::Macros(v) => {
+            metrics.count(Counter::ScanMacros, 1);
+            v
+        }
+        ScanOutcome::Salvaged(v) => {
+            metrics.count(Counter::ScanSalvaged, 1);
+            v
+        }
+        ScanOutcome::Recovered { verdicts, .. } => {
+            metrics.count(Counter::ScanRecovered, 1);
+            verdicts
+        }
+        ScanOutcome::Failed { class, .. } => {
+            metrics.count(Counter::ScanFailed, 1);
+            metrics.count(class.counter(), 1);
+            return;
+        }
+    };
+    metrics.count(Counter::ScanModulesScored, verdicts.len() as u64);
+    let flagged = verdicts.iter().filter(|m| m.verdict.obfuscated).count();
+    metrics.count(Counter::ScanModulesFlagged, flagged as u64);
+}
+
 /// Scans one in-memory document, containing any panic from the parsing or
 /// scoring stack.
 ///
@@ -422,7 +505,9 @@ pub fn scan_bytes_with_policy(
     policy: &ScanPolicy,
 ) -> ScanOutcome {
     let _quiet = quiet::QuietPanicGuard::new();
+    let _doc_timer = policy.metrics.time(Stage::DocNs);
     let budget = policy.budget();
+    policy.metrics.count(Counter::LadderFullAttempts, 1);
     let (class, detail) = match run_rung(detector, bytes, &policy.limits, &budget, true) {
         ScanOutcome::Failed { class, detail } => (class, detail),
         done => return done,
@@ -437,23 +522,41 @@ pub fn scan_bytes_with_policy(
     if !policy.ladder || definitive || budget.tripped().is_some() {
         return ScanOutcome::Failed { class, detail };
     }
+    policy.metrics.count(Counter::LadderStrictAttempts, 1);
     match run_rung(detector, bytes, &ScanLimits::strict(), &budget, false) {
         ScanOutcome::Clean => {
-            return ScanOutcome::Recovered { rung: LadderRung::Strict, verdicts: Vec::new() }
+            policy.metrics.count(Counter::LadderRecovered, 1);
+            return ScanOutcome::Recovered {
+                rung: LadderRung::Strict,
+                verdicts: Vec::new(),
+            };
         }
         ScanOutcome::Macros(v)
         | ScanOutcome::Salvaged(v)
         | ScanOutcome::Recovered { verdicts: v, .. } => {
-            return ScanOutcome::Recovered { rung: LadderRung::Strict, verdicts: v }
+            policy.metrics.count(Counter::LadderRecovered, 1);
+            return ScanOutcome::Recovered {
+                rung: LadderRung::Strict,
+                verdicts: v,
+            };
         }
-        ScanOutcome::Failed { class: FailureClass::Timeout, detail } => {
-            return ScanOutcome::Failed { class: FailureClass::Timeout, detail }
+        ScanOutcome::Failed {
+            class: FailureClass::Timeout,
+            detail,
+        } => {
+            return ScanOutcome::Failed {
+                class: FailureClass::Timeout,
+                detail,
+            }
         }
         ScanOutcome::Failed { .. } => {}
     }
     // Last rung: sweep the raw bytes for intact compressed containers,
     // ignoring every container structure.
+    policy.metrics.count(Counter::LadderSalvageAttempts, 1);
+    let _rung_timer = policy.metrics.time(Stage::ExtractSalvageNs);
     let salvage = catch_unwind(AssertUnwindSafe(|| {
+        let _t = policy.metrics.time(Stage::OvbaSalvageNs);
         salvage_modules_from_bytes_budgeted(bytes, "", &policy.limits.ovba, &budget)
     }));
     match salvage {
@@ -465,11 +568,18 @@ pub fn scan_bytes_with_policy(
                     verdict: detector.score(&m.code),
                 })
                 .collect();
-            ScanOutcome::Recovered { rung: LadderRung::Salvage, verdicts }
+            policy.metrics.count(Counter::LadderRecovered, 1);
+            ScanOutcome::Recovered {
+                rung: LadderRung::Salvage,
+                verdicts,
+            }
         }
         Ok(Err(e)) => {
             let e = DetectError::Ovba(e);
-            ScanOutcome::Failed { class: FailureClass::from_error(&e), detail: e.to_string() }
+            ScanOutcome::Failed {
+                class: FailureClass::from_error(&e),
+                detail: e.to_string(),
+            }
         }
         // Nothing salvaged (or the sweep itself panicked): report the
         // original, most informative failure.
@@ -487,6 +597,11 @@ fn run_rung(
     budget: &Budget,
     first: bool,
 ) -> ScanOutcome {
+    let _rung_timer = budget.metrics().time(if first {
+        Stage::ExtractFullNs
+    } else {
+        Stage::ExtractStrictNs
+    });
     let result = catch_unwind(AssertUnwindSafe(|| {
         if first {
             faultpoint!("scan::full-parse");
@@ -495,9 +610,10 @@ fn run_rung(
     }));
     match result {
         Ok(outcome) => outcome,
-        Err(payload) => {
-            ScanOutcome::Failed { class: FailureClass::Panic, detail: panic_detail(payload) }
-        }
+        Err(payload) => ScanOutcome::Failed {
+            class: FailureClass::Panic,
+            detail: panic_detail(payload),
+        },
     }
 }
 
@@ -512,6 +628,7 @@ fn scan_bytes_bounded(
             if extraction.macros.is_empty() {
                 return ScanOutcome::Clean;
             }
+            let _score_timer = budget.metrics().time(Stage::ScoreNs);
             let verdicts = extraction
                 .macros
                 .iter()
@@ -525,9 +642,10 @@ fn scan_bytes_bounded(
                 ExtractionStatus::Salvaged => ScanOutcome::Salvaged(verdicts),
             }
         }
-        Err(e) => {
-            ScanOutcome::Failed { class: FailureClass::from_error(&e), detail: e.to_string() }
-        }
+        Err(e) => ScanOutcome::Failed {
+            class: FailureClass::from_error(&e),
+            detail: e.to_string(),
+        },
     }
 }
 
@@ -556,12 +674,18 @@ where
     let mut records = Vec::new();
     for (label, bytes) in docs {
         faultpoint!("scan::between-docs");
+        let outcome = scan_bytes_with_policy(detector, bytes, policy);
+        record_outcome(&policy.metrics, &outcome);
         records.push(ScanRecord {
             path: PathBuf::from(label),
-            outcome: scan_bytes_with_policy(detector, bytes, policy),
+            outcome,
         });
     }
-    ScanReport { records, journal_error: None }
+    ScanReport {
+        records,
+        journal_error: None,
+        metrics: policy.metrics.snapshot(),
+    }
 }
 
 /// Scans every path in order, never aborting: unreadable files become
@@ -595,7 +719,10 @@ pub fn scan_paths_parallel<P: AsRef<Path>>(
     policy: &ScanPolicy,
     jobs: usize,
 ) -> ScanReport {
-    let policy = ScanPolicy { jobs, ..policy.clone() };
+    let policy = ScanPolicy {
+        jobs,
+        ..policy.clone()
+    };
     scan_paths_journaled(detector, paths, &policy, None, None)
 }
 
@@ -605,22 +732,51 @@ pub fn scan_paths_parallel<P: AsRef<Path>>(
 struct JournalSink<'a> {
     journal: Option<&'a mut ScanJournal>,
     error: Option<String>,
+    metrics: MetricsSink,
 }
 
 impl<'a> JournalSink<'a> {
-    fn new(journal: Option<&'a mut ScanJournal>) -> Self {
-        JournalSink { journal, error: None }
+    fn new(journal: Option<&'a mut ScanJournal>, metrics: MetricsSink) -> Self {
+        JournalSink {
+            journal,
+            error: None,
+            metrics,
+        }
     }
 
-    fn record(&mut self, op: impl FnOnce(&mut ScanJournal) -> std::io::Result<()>) {
+    fn record(
+        &mut self,
+        counter: Counter,
+        op: impl FnOnce(&mut ScanJournal) -> std::io::Result<()>,
+    ) {
         if self.error.is_some() {
             return;
         }
-        if let Some(j) = self.journal.as_deref_mut() {
-            if let Err(e) = op(j) {
-                self.error = Some(e.to_string());
-            }
+        let Some(j) = self.journal.as_deref_mut() else {
+            return;
+        };
+        let _t = self.metrics.time(Stage::JournalWriteNs);
+        let before = j.bytes_written();
+        if let Err(e) = op(j) {
+            self.error = Some(e.to_string());
         }
+        self.metrics.count(counter, 1);
+        self.metrics.count(
+            Counter::JournalBytes,
+            j.bytes_written().saturating_sub(before),
+        );
+    }
+
+    fn begin(&mut self, key: &str) {
+        self.record(Counter::JournalBeginRecords, |j| j.begin(key));
+    }
+
+    fn done(&mut self, record: &ScanRecord) {
+        self.record(Counter::JournalDoneRecords, |j| j.done(record));
+    }
+
+    fn sync(&mut self) {
+        self.record(Counter::JournalSyncs, |j| j.sync());
     }
 
     /// Checkpoints one decided record: `begin` + `done` for a fresh scan,
@@ -629,9 +785,9 @@ impl<'a> JournalSink<'a> {
     fn checkpoint(&mut self, record: &ScanRecord, resumed: bool) {
         let key = record.path.display().to_string();
         if !resumed {
-            self.record(|j| j.begin(&key));
+            self.begin(&key);
         }
-        self.record(|j| j.done(record));
+        self.done(record);
     }
 }
 
@@ -663,25 +819,37 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
         return scan_paths_parallel_impl(detector, paths, policy, jobs, journal, resume);
     }
     let _quiet = quiet::QuietPanicGuard::new();
-    let mut sink = JournalSink::new(journal);
+    let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut records = Vec::new();
     for p in paths {
         faultpoint!("scan::between-docs");
         let path = p.as_ref().to_path_buf();
         let key = path.display().to_string();
         if let Some(outcome) = resume.and_then(|r| r.outcome_for(&key)) {
-            let record = ScanRecord { path, outcome: outcome.clone() };
+            let record = ScanRecord {
+                path,
+                outcome: outcome.clone(),
+            };
             sink.checkpoint(&record, true);
+            record_outcome(&policy.metrics, &record.outcome);
             records.push(record);
             continue;
         }
-        sink.record(|j| j.begin(&key));
-        let record = ScanRecord { outcome: scan_file(detector, &path, policy), path };
-        sink.record(|j| j.done(&record));
+        sink.begin(&key);
+        let record = ScanRecord {
+            outcome: scan_file(detector, &path, policy),
+            path,
+        };
+        sink.done(&record);
+        record_outcome(&policy.metrics, &record.outcome);
         records.push(record);
     }
-    sink.record(|j| j.sync());
-    ScanReport { records, journal_error: sink.error }
+    sink.sync();
+    ScanReport {
+        records,
+        journal_error: sink.error,
+        metrics: policy.metrics.snapshot(),
+    }
 }
 
 /// The parallel batch engine behind [`ScanPolicy::jobs`].
@@ -713,7 +881,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
     // balanced when one document is much slower than its neighbours.
     let chunk = (total / (jobs * 8)).clamp(1, 16);
     let cursor = AtomicUsize::new(0);
-    let mut sink = JournalSink::new(journal);
+    let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut slots: Vec<Option<ScanRecord>> = vec![None; total];
 
     thread::scope(|scope| {
@@ -727,37 +895,45 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
             let paths = &paths;
             scope.spawn(move || {
                 let _quiet = quiet::QuietPanicGuard::new();
-                loop {
+                let mut docs_scanned = 0u64;
+                'claims: loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= total {
-                        return;
+                        break;
                     }
                     let end = (start + chunk).min(total);
                     for (idx, claimed) in paths[start..end].iter().enumerate() {
                         let idx = start + idx;
                         let path = claimed.clone();
                         let key = path.display().to_string();
-                        let outcome = match resume.and_then(|r| r.outcome_for(&key)) {
-                            Some(outcome) => outcome.clone(),
-                            // Belt over suspenders: scan_file contains
-                            // panics internally, but a worker must outlive
-                            // even a containment bug in that stack.
-                            None => catch_unwind(AssertUnwindSafe(|| {
-                                scan_file(detector, &path, policy)
-                            }))
-                            .unwrap_or_else(|payload| ScanOutcome::Failed {
-                                class: FailureClass::Panic,
-                                detail: panic_detail(payload),
-                            }),
+                        let outcome =
+                            match resume.and_then(|r| r.outcome_for(&key)) {
+                                Some(outcome) => outcome.clone(),
+                                // Belt over suspenders: scan_file contains
+                                // panics internally, but a worker must outlive
+                                // even a containment bug in that stack.
+                                None => catch_unwind(AssertUnwindSafe(|| {
+                                    scan_file(detector, &path, policy)
+                                }))
+                                .unwrap_or_else(|payload| ScanOutcome::Failed {
+                                    class: FailureClass::Panic,
+                                    detail: panic_detail(payload),
+                                }),
+                            };
+                        docs_scanned += 1;
+                        let sent = {
+                            let _wait = policy.metrics.time(Stage::PoolSendWaitNs);
+                            tx.send((idx, ScanRecord { path, outcome }))
                         };
-                        if tx.send((idx, ScanRecord { path, outcome })).is_err() {
+                        if sent.is_err() {
                             // Collector is gone (it panicked and its
                             // receiver dropped); abandon remaining work so
                             // the scope can unwind instead of deadlocking.
-                            return;
+                            break 'claims;
                         }
                     }
                 }
+                policy.metrics.record(Stage::PoolWorkerDocs, docs_scanned);
             });
         }
         drop(tx);
@@ -769,20 +945,31 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
         let mut next = 0usize;
         for (idx, record) in rx {
             pending.insert(idx, record);
+            policy
+                .metrics
+                .record(Stage::PoolReorderDepth, pending.len() as u64);
             while let Some(record) = pending.remove(&next) {
                 faultpoint!("scan::between-docs");
                 let key = record.path.display().to_string();
                 let resumed = resume.and_then(|r| r.outcome_for(&key)).is_some();
                 sink.checkpoint(&record, resumed);
+                record_outcome(&policy.metrics, &record.outcome);
                 slots[next] = Some(record);
                 next += 1;
             }
         }
     });
-    sink.record(|j| j.sync());
-    debug_assert!(slots.iter().all(Option::is_some), "parallel scan lost a record");
+    sink.sync();
+    debug_assert!(
+        slots.iter().all(Option::is_some),
+        "parallel scan lost a record"
+    );
     let records = slots.into_iter().flatten().collect();
-    ScanReport { records, journal_error: sink.error }
+    ScanReport {
+        records,
+        journal_error: sink.error,
+        metrics: policy.metrics.snapshot(),
+    }
 }
 
 /// Scans one on-disk file: `stat` first so an oversized input is rejected
@@ -792,7 +979,12 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
 fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutcome {
     let size = match std::fs::metadata(path) {
         Ok(meta) => meta.len(),
-        Err(e) => return ScanOutcome::Failed { class: FailureClass::Io, detail: e.to_string() },
+        Err(e) => {
+            return ScanOutcome::Failed {
+                class: FailureClass::Io,
+                detail: e.to_string(),
+            }
+        }
     };
     if size > policy.limits.max_file_size {
         return ScanOutcome::Failed {
@@ -821,7 +1013,10 @@ fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutco
             }
             scan_bytes_with_policy(detector, &bytes, policy)
         }
-        Err(e) => ScanOutcome::Failed { class: FailureClass::Io, detail: e.to_string() },
+        Err(e) => ScanOutcome::Failed {
+            class: FailureClass::Io,
+            detail: e.to_string(),
+        },
     }
 }
 
@@ -833,7 +1028,10 @@ mod tests {
     use vbadet_ovba::VbaProjectBuilder;
 
     fn detector() -> Detector {
-        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05))
+        Detector::train_on_corpus(
+            &DetectorConfig::default(),
+            &CorpusSpec::paper().scaled(0.05),
+        )
     }
 
     fn doc_with_macro() -> Vec<u8> {
@@ -847,7 +1045,9 @@ mod tests {
         let det = detector();
         let with_macro = doc_with_macro();
         let mut clean_ole = vbadet_ole::OleBuilder::new();
-        clean_ole.add_stream("WordDocument", b"no macros here").unwrap();
+        clean_ole
+            .add_stream("WordDocument", b"no macros here")
+            .unwrap();
         let clean = clean_ole.build();
         let docs: Vec<(&str, &[u8])> = vec![
             ("a.bin", &with_macro[..]),
@@ -888,7 +1088,10 @@ mod tests {
         assert_eq!(report.failed_with(FailureClass::LimitExceeded), 1);
         match &report.records[0].outcome {
             ScanOutcome::Failed { detail, .. } => {
-                assert!(detail.contains("4096"), "detail should carry the size: {detail}")
+                assert!(
+                    detail.contains("4096"),
+                    "detail should carry the size: {detail}"
+                )
             }
             other => panic!("expected failure, got {other:?}"),
         }
@@ -901,7 +1104,13 @@ mod tests {
         let policy = ScanPolicy::default().fuel(1);
         let outcome = scan_bytes_with_policy(&det, &doc, &policy);
         assert!(
-            matches!(outcome, ScanOutcome::Failed { class: FailureClass::Timeout, .. }),
+            matches!(
+                outcome,
+                ScanOutcome::Failed {
+                    class: FailureClass::Timeout,
+                    ..
+                }
+            ),
             "expected timeout, got {outcome:?}"
         );
     }
@@ -914,7 +1123,13 @@ mod tests {
         let doc = doc_with_macro();
         let policy = ScanPolicy::default().fuel(1).with_ladder();
         let outcome = scan_bytes_with_policy(&det, &doc, &policy);
-        assert!(matches!(outcome, ScanOutcome::Failed { class: FailureClass::Timeout, .. }));
+        assert!(matches!(
+            outcome,
+            ScanOutcome::Failed {
+                class: FailureClass::Timeout,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -930,10 +1145,12 @@ mod tests {
         ));
         let plain = scan_bytes(&det, &doc, &ScanLimits::default());
         assert!(matches!(plain, ScanOutcome::Failed { .. }));
-        let outcome =
-            scan_bytes_with_policy(&det, &doc, &ScanPolicy::default().with_ladder());
+        let outcome = scan_bytes_with_policy(&det, &doc, &ScanPolicy::default().with_ladder());
         match outcome {
-            ScanOutcome::Recovered { rung: LadderRung::Salvage, verdicts } => {
+            ScanOutcome::Recovered {
+                rung: LadderRung::Salvage,
+                verdicts,
+            } => {
                 assert_eq!(verdicts.len(), 1);
             }
             other => panic!("expected salvage recovery, got {other:?}"),
@@ -950,7 +1167,10 @@ mod tests {
         .err()
         .map(|payload| {
             let detail = panic_detail(payload);
-            ScanOutcome::Failed { class: FailureClass::Panic, detail }
+            ScanOutcome::Failed {
+                class: FailureClass::Panic,
+                detail,
+            }
         })
         .unwrap();
         assert!(matches!(
@@ -976,12 +1196,13 @@ mod tests {
     #[test]
     fn parallel_engine_matches_sequential_on_a_mixed_batch() {
         let det = detector();
-        let dir = std::env::temp_dir()
-            .join(format!("vbadet-scan-par-unit-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("vbadet-scan-par-unit-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let with_macro = doc_with_macro();
         let mut clean_ole = vbadet_ole::OleBuilder::new();
-        clean_ole.add_stream("WordDocument", b"no macros here").unwrap();
+        clean_ole
+            .add_stream("WordDocument", b"no macros here")
+            .unwrap();
         let clean = clean_ole.build();
         let contents: Vec<(&str, &[u8])> = vec![
             ("a.bin", &with_macro[..]),
@@ -1000,8 +1221,7 @@ mod tests {
             .collect();
         let sequential = scan_paths(&det, &paths, &ScanLimits::default());
         for jobs in [2, 3, 8] {
-            let parallel =
-                scan_paths_parallel(&det, &paths, &ScanPolicy::default(), jobs);
+            let parallel = scan_paths_parallel(&det, &paths, &ScanPolicy::default(), jobs);
             assert_eq!(parallel.records, sequential.records, "jobs={jobs}");
             assert_eq!(parallel.journal_error, None);
         }
@@ -1018,12 +1238,8 @@ mod tests {
             let report = scan_paths_parallel::<&str>(&det, &[], &ScanPolicy::default(), jobs);
             assert_eq!(report.scanned(), 0);
         }
-        let report = scan_paths_parallel(
-            &det,
-            &["/nonexistent/nope.doc"],
-            &ScanPolicy::default(),
-            8,
-        );
+        let report =
+            scan_paths_parallel(&det, &["/nonexistent/nope.doc"], &ScanPolicy::default(), 8);
         assert_eq!(report.failed_with(FailureClass::Io), 1);
     }
 

@@ -37,7 +37,10 @@ impl SignatureScanner {
     /// Scanner with a custom signature set (lowercased internally).
     pub fn with_signatures<I: IntoIterator<Item = String>>(signatures: I) -> Self {
         SignatureScanner {
-            signatures: signatures.into_iter().map(|s| s.to_ascii_lowercase()).collect(),
+            signatures: signatures
+                .into_iter()
+                .map(|s| s.to_ascii_lowercase())
+                .collect(),
         }
     }
 
@@ -70,7 +73,11 @@ pub fn signature_experiment(macros: &[vbadet_corpus::MacroSample]) -> (f64, f64)
     let mut plain = (0usize, 0usize);
     let mut obfuscated = (0usize, 0usize);
     for m in macros.iter().filter(|m| m.malicious) {
-        let bucket = if m.obfuscated { &mut obfuscated } else { &mut plain };
+        let bucket = if m.obfuscated {
+            &mut obfuscated
+        } else {
+            &mut plain
+        };
         bucket.1 += 1;
         if scanner.flags(&m.source) {
             bucket.0 += 1;
@@ -141,7 +148,10 @@ mod tests {
         // O1 leaves strings intact: signatures still hit.
         let scanner = SignatureScanner::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let out = Obfuscator::new().with(Technique::Random).apply(DROPPER, &mut rng).source;
+        let out = Obfuscator::new()
+            .with(Technique::Random)
+            .apply(DROPPER, &mut rng)
+            .source;
         assert!(scanner.flags(&out));
     }
 
@@ -151,13 +161,19 @@ mod tests {
         let spec = vbadet_corpus::CorpusSpec::paper().scaled(0.1);
         let macros = vbadet_corpus::generate_macros(&spec);
         let (plain_rate, obfuscated_rate) = signature_experiment(&macros);
-        assert!(plain_rate > 0.95, "plain droppers all match signatures: {plain_rate}");
+        assert!(
+            plain_rate > 0.95,
+            "plain droppers all match signatures: {plain_rate}"
+        );
         // The aggregate rate drops, but partially obfuscated profiles
         // (rename-only, logic-only, split pieces that keep ".exe") still
         // match something, so the aggregate claim is weak. The sharp §III.B
         // claim is about string *encoding*: macros whose strings were fully
         // encoded must evade at a much higher rate than plain ones.
-        assert!(obfuscated_rate <= plain_rate, "{obfuscated_rate} vs {plain_rate}");
+        assert!(
+            obfuscated_rate <= plain_rate,
+            "{obfuscated_rate} vs {plain_rate}"
+        );
         let scanner = SignatureScanner::new();
         let encoded: Vec<_> = macros
             .iter()

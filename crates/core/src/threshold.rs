@@ -71,7 +71,12 @@ pub fn tune_threshold(scores: &[f64], labels: &[bool], policy: ThresholdPolicy) 
     let mut best: Option<OperatingPoint> = None;
     for &threshold in &candidates {
         let (m, fpr) = evaluate(threshold);
-        let point = OperatingPoint { threshold, f_beta: m.f_beta(beta), fpr, recall: m.recall() };
+        let point = OperatingPoint {
+            threshold,
+            f_beta: m.f_beta(beta),
+            fpr,
+            recall: m.recall(),
+        };
         let better = match (policy, &best) {
             (_, None) => true,
             (ThresholdPolicy::MaxFBeta(_), Some(b)) => point.f_beta > b.f_beta,
@@ -100,8 +105,7 @@ mod tests {
 
     fn overlapping_scores() -> (Vec<f64>, Vec<bool>) {
         // Negatives around 0, positives around 2, overlap in [1, 1.5].
-        let scores =
-            vec![-1.0, -0.5, 0.0, 0.4, 1.1, 1.3, 1.2, 1.4, 1.9, 2.3, 2.6, 3.0];
+        let scores = vec![-1.0, -0.5, 0.0, 0.4, 1.1, 1.3, 1.2, 1.4, 1.9, 2.3, 2.6, 3.0];
         let labels = vec![
             false, false, false, false, false, false, true, true, true, true, true, true,
         ];
@@ -115,7 +119,12 @@ mod tests {
         // Default 0.0 threshold misclassifies the 0.4..1.3 negatives.
         let default: Vec<bool> = scores.iter().map(|&s| s >= 0.0).collect();
         let default_f2 = ConfusionMatrix::from_predictions(&labels, &default).f_beta(2.0);
-        assert!(point.f_beta >= default_f2, "{} vs {}", point.f_beta, default_f2);
+        assert!(
+            point.f_beta >= default_f2,
+            "{} vs {}",
+            point.f_beta,
+            default_f2
+        );
         assert!(point.recall >= 0.8);
     }
 

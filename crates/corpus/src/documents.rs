@@ -114,10 +114,8 @@ impl<'a> DocumentFactory<'a> {
     /// `(benign_summary, malicious_summary)`.
     pub fn for_each<F: FnMut(&DocumentFile)>(&self, mut visit: F) -> (FileSummary, FileSummary) {
         let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0xD0C5);
-        let benign: Vec<&MacroSample> =
-            self.macros.iter().filter(|m| !m.malicious).collect();
-        let malicious: Vec<&MacroSample> =
-            self.macros.iter().filter(|m| m.malicious).collect();
+        let benign: Vec<&MacroSample> = self.macros.iter().filter(|m| !m.malicious).collect();
+        let malicious: Vec<&MacroSample> = self.macros.iter().filter(|m| m.malicious).collect();
 
         let mut benign_summary = FileSummary::default();
         let mut malicious_summary = FileSummary::default();
@@ -135,7 +133,9 @@ impl<'a> DocumentFactory<'a> {
             // Distribute remaining macros evenly over remaining files.
             let remaining_files = benign_files - i;
             let remaining_macros = benign.len().saturating_sub(cursor);
-            let take = (remaining_macros / remaining_files.max(1)).max(1).min(remaining_macros);
+            let take = (remaining_macros / remaining_files.max(1))
+                .max(1)
+                .min(remaining_macros);
             let modules = &benign[cursor..cursor + take];
             cursor += take;
             let file = self.package(i, kind, false, modules, &mut rng);
@@ -145,8 +145,7 @@ impl<'a> DocumentFactory<'a> {
 
         // Malicious: files heavily reuse macros (paper: 1,764 files share
         // 832 macros), legacy OLE containers.
-        let malicious_files =
-            self.spec.malicious_word_files + self.spec.malicious_excel_files;
+        let malicious_files = self.spec.malicious_word_files + self.spec.malicious_excel_files;
         for i in 0..malicious_files {
             let kind = if i < self.spec.malicious_word_files {
                 DocumentKind::WordDoc
@@ -177,14 +176,21 @@ impl<'a> DocumentFactory<'a> {
         modules: &[&MacroSample],
         rng: &mut R,
     ) -> DocumentFile {
-        let avg =
-            if malicious { self.spec.malicious_avg_size } else { self.spec.benign_avg_size };
+        let avg = if malicious {
+            self.spec.malicious_avg_size
+        } else {
+            self.spec.benign_avg_size
+        };
         // Target size ~ U(0.5·avg, 1.5·avg): mean stays at `avg`.
         let target = rng.gen_range(avg / 2..=avg + avg / 2);
 
         let mut project = VbaProjectBuilder::new("VBAProject");
         for (mi, module) in modules.iter().enumerate() {
-            let name = if mi == 0 { "ThisDocument".to_string() } else { format!("Module{mi}") };
+            let name = if mi == 0 {
+                "ThisDocument".to_string()
+            } else {
+                format!("Module{mi}")
+            };
             project.add_module(&name, &module.source);
             if mi == 0 {
                 project.document_module(&name);
@@ -200,12 +206,15 @@ impl<'a> DocumentFactory<'a> {
                 };
                 ole.add_stream(body_stream, &filler_bytes(rng, 8_192))
                     .expect("valid stream name");
-                project.write_into(&mut ole, vba_root).expect("valid module names");
+                project
+                    .write_into(&mut ole, vba_root)
+                    .expect("valid module names");
                 // Pad with an embedded-data stream to the target size.
                 let base = ole.build().len();
                 let pad = target.saturating_sub(base + 4096);
                 if pad > 0 {
-                    ole.add_stream("Data", &filler_bytes(rng, pad)).expect("valid name");
+                    ole.add_stream("Data", &filler_bytes(rng, pad))
+                        .expect("valid name");
                 }
                 ole.build()
             }
@@ -294,7 +303,10 @@ mod tests {
         let mut count = 0usize;
         let (benign, malicious) = factory.for_each(|_| count += 1);
         assert_eq!(count, spec.total_files());
-        assert_eq!(benign.files, spec.benign_word_files + spec.benign_excel_files);
+        assert_eq!(
+            benign.files,
+            spec.benign_word_files + spec.benign_excel_files
+        );
         assert_eq!(benign.word, spec.benign_word_files);
         assert_eq!(malicious.excel, spec.malicious_excel_files);
     }
@@ -311,8 +323,15 @@ mod tests {
             "sanity"
         );
         // Within 50% of target average (coarse: small n).
-        assert!((b / spec.benign_avg_size as f64) > 0.5 && (b / spec.benign_avg_size as f64) < 1.6, "benign avg {b}");
-        assert!((m / spec.malicious_avg_size as f64) > 0.4 && (m / spec.malicious_avg_size as f64) < 1.8, "malicious avg {m}");
+        assert!(
+            (b / spec.benign_avg_size as f64) > 0.5 && (b / spec.benign_avg_size as f64) < 1.6,
+            "benign avg {b}"
+        );
+        assert!(
+            (m / spec.malicious_avg_size as f64) > 0.4
+                && (m / spec.malicious_avg_size as f64) < 1.8,
+            "malicious avg {m}"
+        );
     }
 
     #[test]
@@ -357,8 +376,11 @@ mod tests {
         let spec = tiny();
         let macros = generate_macros(&spec);
         let files = DocumentFactory::new(&spec, &macros).build_all();
-        let distributed: usize =
-            files.iter().filter(|f| !f.malicious).map(|f| f.module_count).sum();
+        let distributed: usize = files
+            .iter()
+            .filter(|f| !f.malicious)
+            .map(|f| f.module_count)
+            .sum();
         assert_eq!(distributed, spec.benign_macros);
     }
 
@@ -368,7 +390,10 @@ mod tests {
         let macros = generate_macros(&spec);
         let files = DocumentFactory::new(&spec, &macros).build_all();
         let malicious_files = files.iter().filter(|f| f.malicious).count();
-        assert!(malicious_files > spec.malicious_macros, "files outnumber unique macros");
+        assert!(
+            malicious_files > spec.malicious_macros,
+            "files outnumber unique macros"
+        );
     }
 
     #[test]

@@ -76,7 +76,12 @@ pub fn generate_macros(spec: &CorpusSpec) -> Vec<MacroSample> {
                 break candidate;
             }
         };
-        out.push(MacroSample { source, obfuscated: obfuscate, malicious: false, profile });
+        out.push(MacroSample {
+            source,
+            obfuscated: obfuscate,
+            malicious: false,
+            profile,
+        });
     }
 
     // Malicious macros: small downloaders; almost all obfuscated.
@@ -93,7 +98,12 @@ pub fn generate_macros(spec: &CorpusSpec) -> Vec<MacroSample> {
                 break candidate;
             }
         };
-        out.push(MacroSample { source, obfuscated: obfuscate, malicious: true, profile });
+        out.push(MacroSample {
+            source,
+            obfuscated: obfuscate,
+            malicious: true,
+            profile,
+        });
     }
     out
 }
@@ -112,7 +122,10 @@ fn obfuscate_sample<R: Rng + ?Sized>(
     if rng.gen_bool(LIGHT_FRACTION) {
         apply_light_obfuscation(base, malicious, rng)
     } else {
-        (apply_cluster_obfuscation(base, rng), ObfuscationProfile::FullCluster)
+        (
+            apply_cluster_obfuscation(base, rng),
+            ObfuscationProfile::FullCluster,
+        )
     }
 }
 
@@ -197,12 +210,13 @@ fn apply_light_obfuscation<R: Rng + ?Sized>(
 /// A small auto-executing payload procedure, sized and styled like ordinary
 /// hand-written procedures.
 fn make_payload<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let trigger =
-        ["AutoOpen", "Document_Open", "Workbook_Open", "Auto_Open"][rng.gen_range(0..4)];
-    let host: String =
-        (0..rng.gen_range(8..14)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
-    let exe: String =
-        (0..rng.gen_range(4..9)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+    let trigger = ["AutoOpen", "Document_Open", "Workbook_Open", "Auto_Open"][rng.gen_range(0..4)];
+    let host: String = (0..rng.gen_range(8..14))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
+    let exe: String = (0..rng.gen_range(4..9))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
     let sh = ["sh", "wsh", "obj", "runner"][rng.gen_range(0..4)];
     match rng.gen_range(0..3) {
         0 => format!(
@@ -236,7 +250,10 @@ fn make_payload<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// Inserts the payload before the donor's first procedure so the trigger
 /// leads the module, as macro droppers do.
 fn insert_payload(donor: &str, payload: &str) -> String {
-    let insert_at = donor.find("\r\nSub ").or_else(|| donor.find("\r\nFunction ")).map(|p| p + 2);
+    let insert_at = donor
+        .find("\r\nSub ")
+        .or_else(|| donor.find("\r\nFunction "))
+        .map(|p| p + 2);
     match insert_at {
         Some(pos) => {
             let mut out = donor.to_string();
@@ -256,7 +273,9 @@ fn insert_payload(donor: &str, payload: &str) -> String {
 /// Base64-alphabet filler for `-enc` payload arguments.
 fn base64ish<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
     const SET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-    (0..len).map(|_| SET[rng.gen_range(0..SET.len())] as char).collect()
+    (0..len)
+        .map(|_| SET[rng.gen_range(0..SET.len())] as char)
+        .collect()
 }
 
 fn is_fresh(source: &str, seen: &mut HashSet<u64>) -> bool {
@@ -282,9 +301,12 @@ fn apply_cluster_obfuscation<R: Rng + ?Sized>(base: &str, rng: &mut R) -> String
     // loop until the cluster's target size is reached (real obfuscators are
     // run with a fixed config, which is exactly what produces the paper's
     // horizontal lines — the config here is "the target size").
-    let string_stage = if rng.gen_bool(0.5) { Technique::Split } else { Technique::Encoding };
-    let mut current =
-        Obfuscator::new().with(string_stage).apply(base, rng).source;
+    let string_stage = if rng.gen_bool(0.5) {
+        Technique::Split
+    } else {
+        Technique::Encoding
+    };
+    let mut current = Obfuscator::new().with(string_stage).apply(base, rng).source;
     while current.len() < target {
         let deficit = target - current.len();
         let intensity = (deficit / 110).clamp(1, 400);
@@ -293,7 +315,10 @@ fn apply_cluster_obfuscation<R: Rng + ?Sized>(base: &str, rng: &mut R) -> String
             .apply(&current, rng)
             .source;
     }
-    Obfuscator::new().with(Technique::Random).apply(&current, rng).source
+    Obfuscator::new()
+        .with(Technique::Random)
+        .apply(&current, rng)
+        .source
 }
 
 /// Code lengths of the obfuscated and non-obfuscated groups, for Figure 5.

@@ -67,8 +67,7 @@ impl CorpusSpec {
             malicious_macros: scale(self.malicious_macros),
             malicious_obfuscated: scale(self.malicious_obfuscated),
             benign_avg_size: ((self.benign_avg_size as f64 * fraction) as usize).max(16_384),
-            malicious_avg_size: ((self.malicious_avg_size as f64 * fraction) as usize)
-                .max(16_384),
+            malicious_avg_size: ((self.malicious_avg_size as f64 * fraction) as usize).max(16_384),
             seed: self.seed,
         }
     }

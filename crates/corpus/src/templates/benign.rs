@@ -263,8 +263,9 @@ fn localization_table_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// `ctl03_grdMain_txtQty`. Benign machine-made names are as unreadable as
 /// O1's random names — exactly the J5/J15 ambiguity of real corpora.
 fn generated_accessor_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let suffix: String =
-        (0..rng.gen_range(4..8)).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+    let suffix: String = (0..rng.gen_range(4..8))
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
     let name = format!("Bind_ctl{:02}_{suffix}", rng.gen_range(0..60));
     let mut body = String::new();
     for _ in 0..rng.gen_range(3..9) {
@@ -299,9 +300,7 @@ fn terse_legacy_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
     let a = pick(rng, &vars);
     let b = pick(rng, &vars);
     let c = pick(rng, &vars);
-    let mut body = format!(
-        "    Dim {a} As Long, {b} As Long, {c} As Double\r\n"
-    );
+    let mut body = format!("    Dim {a} As Long, {b} As Long, {c} As Double\r\n");
     for _ in 0..rng.gen_range(3..10) {
         match rng.gen_range(0..3) {
             0 => body.push_str(&format!(
@@ -402,7 +401,10 @@ fn validation_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
     let name = business_name(rng, false);
     let cell = variable_name(rng);
     let limit = rng.gen_range(10..10_000);
-    let message = pick(rng, &["Value out of range", "Please check input", "Invalid entry"]);
+    let message = pick(
+        rng,
+        &["Value out of range", "Please check input", "Invalid entry"],
+    );
     format!(
         "\r\nSub {name}()\r\n\
          \x20   Dim {cell} As Range\r\n\
@@ -478,9 +480,31 @@ fn concat_builder_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
 fn long_argument_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
     let name = business_name(rng, false);
     let words = [
-        "please", "verify", "the", "input", "before", "submitting", "this", "form", "and",
-        "contact", "support", "if", "values", "are", "missing", "from", "report", "sheet",
-        "quarterly", "numbers", "must", "match", "ledger", "totals", "exactly",
+        "please",
+        "verify",
+        "the",
+        "input",
+        "before",
+        "submitting",
+        "this",
+        "form",
+        "and",
+        "contact",
+        "support",
+        "if",
+        "values",
+        "are",
+        "missing",
+        "from",
+        "report",
+        "sheet",
+        "quarterly",
+        "numbers",
+        "must",
+        "match",
+        "ledger",
+        "totals",
+        "exactly",
     ];
     let mut msg = String::new();
     for _ in 0..rng.gen_range(15..40) {
@@ -505,7 +529,10 @@ fn long_argument_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// Chart construction, straight from real dashboard workbooks.
 fn chart_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
     let name = business_name(rng, false);
-    let kind = pick(rng, &["xlColumnClustered", "xlLine", "xlPie", "xlBarStacked"]);
+    let kind = pick(
+        rng,
+        &["xlColumnClustered", "xlLine", "xlPie", "xlBarStacked"],
+    );
     let sheet = pick(rng, &["Data", "Summary", "Trends"]);
     format!(
         "\r\nSub {name}()\r\n\
@@ -545,7 +572,10 @@ fn file_io_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
 fn userform_handler_proc<R: Rng + ?Sized>(rng: &mut R) -> String {
     let control = format!(
         "{}{}",
-        pick(rng, &["cmdOk", "cmdCancel", "txtName", "cboRegion", "chkApproved"]),
+        pick(
+            rng,
+            &["cmdOk", "cmdCancel", "txtName", "cboRegion", "chkApproved"]
+        ),
         rng.gen_range(1..9)
     );
     let event = pick(rng, &["Click", "Change"]);
@@ -591,7 +621,11 @@ mod tests {
         for target in [200usize, 1000, 5000, 12000] {
             let m = generate(&mut rng, target);
             assert!(m.len() >= target, "target {target}, got {}", m.len());
-            assert!(m.len() < target + 2000, "overshoot: {} for {target}", m.len());
+            assert!(
+                m.len() < target + 2000,
+                "overshoot: {} for {target}",
+                m.len()
+            );
         }
     }
 

@@ -12,7 +12,10 @@ use rand::Rng;
 /// `MSXML2.XMLHTTP` + `ADODB.Stream`. All use auto-execution entry points.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> String {
     let url = random_url(rng);
-    let trigger = pick(rng, &["Document_Open", "AutoOpen", "Workbook_Open", "Auto_Open"]);
+    let trigger = pick(
+        rng,
+        &["Document_Open", "AutoOpen", "Workbook_Open", "Auto_Open"],
+    );
     match rng.gen_range(0..4) {
         0 => url_download(rng, trigger, &url),
         1 => powershell(rng, trigger, &url),
@@ -156,6 +159,9 @@ mod tests {
                 rich_seen += 1;
             }
         }
-        assert!(rich_seen > 30, "droppers should call rich builtins: {rich_seen}/40");
+        assert!(
+            rich_seen > 30,
+            "droppers should call rich builtins: {rich_seen}/40"
+        );
     }
 }

@@ -19,11 +19,19 @@ pub(crate) fn business_name<R: Rng + ?Sized>(rng: &mut R, camel: bool) -> String
         "Refresh", "Clear", "Print",
     ];
     const NOUNS: [&str; 14] = [
-        "Report", "Sheet", "Invoice", "Customer", "Budget", "Summary", "Table", "Record",
-        "Order", "Row", "Range", "Total", "Chart", "List",
+        "Report", "Sheet", "Invoice", "Customer", "Budget", "Summary", "Table", "Record", "Order",
+        "Row", "Range", "Total", "Chart", "List",
     ];
-    const QUALIFIERS: [&str; 8] =
-        ["Monthly", "Quarterly", "Annual", "Daily", "Regional", "Final", "Draft", "Current"];
+    const QUALIFIERS: [&str; 8] = [
+        "Monthly",
+        "Quarterly",
+        "Annual",
+        "Daily",
+        "Regional",
+        "Final",
+        "Draft",
+        "Current",
+    ];
     let mut name = String::new();
     name.push_str(pick(rng, &VERBS));
     if rng.gen_bool(0.5) {
@@ -43,12 +51,12 @@ pub(crate) fn business_name<R: Rng + ?Sized>(rng: &mut R, camel: bool) -> String
 /// for realism because they are as "unreadable" as obfuscated names.
 pub(crate) fn variable_name<R: Rng + ?Sized>(rng: &mut R) -> String {
     const SIMPLE: [&str; 16] = [
-        "row", "col", "idx", "total", "count", "cell", "ws", "wb", "item", "value", "name",
-        "path", "result", "buffer", "temp", "flag",
+        "row", "col", "idx", "total", "count", "cell", "ws", "wb", "item", "value", "name", "path",
+        "result", "buffer", "temp", "flag",
     ];
     const ABBREV: [&str; 16] = [
-        "qty", "rpt", "cfg", "src", "dst", "cnt", "pos", "lvl", "hdr", "ftr", "pwd", "sql",
-        "xml", "txt", "tbl", "rng",
+        "qty", "rpt", "cfg", "src", "dst", "cnt", "pos", "lvl", "hdr", "ftr", "pwd", "sql", "xml",
+        "txt", "tbl", "rng",
     ];
     let roll = rng.gen_range(0..10);
     if roll < 4 {

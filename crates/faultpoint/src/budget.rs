@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use vbadet_metrics::MetricsSink;
+
 /// How many charges pass between wall-clock reads. `Instant::now()` costs
 /// tens of nanoseconds; one fuel unit represents roughly a kilobyte of
 /// parsing work, so checking every 64th charge bounds deadline overshoot
@@ -69,6 +71,10 @@ struct BudgetState {
     /// the same reason, so degradation-ladder rungs sharing the budget
     /// fail fast instead of re-running to the deadline.
     tripped: AtomicU8,
+    /// Observability handle riding along with the budget so every layer
+    /// the budget already reaches (zip, ole, ovba, extract) can record
+    /// counters without new plumbing. Disabled (free) by default.
+    metrics: MetricsSink,
 }
 
 /// A cooperative cancellation token threaded through parser hot loops.
@@ -94,7 +100,7 @@ impl Default for Budget {
 }
 
 impl Budget {
-    fn build(deadline: Option<Instant>, fuel: Option<u64>) -> Self {
+    fn build(deadline: Option<Instant>, fuel: Option<u64>, metrics: MetricsSink) -> Self {
         Budget(Arc::new(BudgetState {
             deadline,
             fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
@@ -102,28 +108,50 @@ impl Budget {
             active: deadline.is_some() || fuel.is_some(),
             clock_countdown: AtomicU32::new(CLOCK_PERIOD),
             tripped: AtomicU8::new(TRIP_NONE),
+            metrics,
         }))
     }
 
     /// A budget that never trips. Charging it is a single branch.
     pub fn unlimited() -> Self {
-        Budget::build(None, None)
+        Budget::build(None, None, MetricsSink::disabled())
     }
 
     /// A budget bounded by wall-clock time only.
     pub fn with_deadline(limit: Duration) -> Self {
-        Budget::build(Some(Instant::now() + limit), None)
+        Budget::build(Some(Instant::now() + limit), None, MetricsSink::disabled())
     }
 
     /// A budget bounded by fuel only.
     pub fn with_fuel(fuel: u64) -> Self {
-        Budget::build(None, Some(fuel))
+        Budget::build(None, Some(fuel), MetricsSink::disabled())
     }
 
     /// A budget with optional deadline and optional fuel; `None, None` is
     /// [`Budget::unlimited`].
     pub fn new(deadline: Option<Duration>, fuel: Option<u64>) -> Self {
-        Budget::build(deadline.map(|d| Instant::now() + d), fuel)
+        Budget::build(
+            deadline.map(|d| Instant::now() + d),
+            fuel,
+            MetricsSink::disabled(),
+        )
+    }
+
+    /// As [`Budget::new`], additionally carrying a [`MetricsSink`] so the
+    /// parser layers the budget traverses can record pipeline counters.
+    pub fn new_metered(
+        deadline: Option<Duration>,
+        fuel: Option<u64>,
+        metrics: MetricsSink,
+    ) -> Self {
+        Budget::build(deadline.map(|d| Instant::now() + d), fuel, metrics)
+    }
+
+    /// The metrics handle riding with this budget (disabled unless the
+    /// budget was built via [`Budget::new_metered`] with an enabled sink).
+    #[inline]
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.0.metrics
     }
 
     fn trip(&self, why: BudgetExceeded) -> BudgetExceeded {
@@ -280,7 +308,10 @@ mod tests {
                 break;
             }
         }
-        assert!(tripped, "deadline breach must surface within CLOCK_PERIOD charges");
+        assert!(
+            tripped,
+            "deadline breach must surface within CLOCK_PERIOD charges"
+        );
         assert_eq!(b.tripped(), Some(BudgetExceeded::Deadline));
     }
 
@@ -289,6 +320,20 @@ mod tests {
         let b = Budget::with_deadline(Duration::from_millis(0));
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(b.checkpoint(), Err(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn metered_budget_carries_its_sink_through_clones() {
+        use vbadet_metrics::Counter;
+        let sink = MetricsSink::enabled();
+        let a = Budget::new_metered(None, Some(100), sink.clone());
+        let b = a.clone();
+        a.metrics().count(Counter::OleSectors, 2);
+        b.metrics().count(Counter::OleSectors, 3);
+        assert_eq!(sink.snapshot().unwrap().counter("ole.sectors"), 5);
+        // Plain constructors carry a disabled sink.
+        assert!(!Budget::unlimited().metrics().is_enabled());
+        assert!(!Budget::with_fuel(1).metrics().is_enabled());
     }
 
     #[test]

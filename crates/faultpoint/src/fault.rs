@@ -128,14 +128,18 @@ mod enabled {
         let spec = spec.trim();
         let (prob_pct, rest) = match spec.find('%') {
             Some(i) if spec[..i].chars().all(|c| c.is_ascii_digit()) && i > 0 => {
-                let pct: u8 = spec[..i].parse().map_err(|_| format!("bad probability in {spec:?}"))?;
+                let pct: u8 = spec[..i]
+                    .parse()
+                    .map_err(|_| format!("bad probability in {spec:?}"))?;
                 (pct.min(100), &spec[i + 1..])
             }
             _ => (100u8, spec),
         };
         let (rest, from_hit) = match rest.rsplit_once('@') {
             Some((head, n)) => {
-                let n: u64 = n.parse().map_err(|_| format!("bad hit count in {spec:?}"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad hit count in {spec:?}"))?;
                 (head, n.max(1))
             }
             None => (rest, 1),
@@ -160,13 +164,21 @@ mod enabled {
             "return" => Action::Return(arg.unwrap_or_default()),
             other => return Err(format!("unknown faultpoint action {other:?} in {spec:?}")),
         };
-        Ok(Site { action, from_hit, prob_pct, rng: site_seed(name), hits: 0 })
+        Ok(Site {
+            action,
+            from_hit,
+            prob_pct,
+            rng: site_seed(name),
+            hits: 0,
+        })
     }
 
     fn init_from_env() {
         static INIT: Once = Once::new();
         INIT.call_once(|| {
-            let Ok(config) = std::env::var("VBADET_FAULTPOINTS") else { return };
+            let Ok(config) = std::env::var("VBADET_FAULTPOINTS") else {
+                return;
+            };
             for item in config.split(';').filter(|s| !s.trim().is_empty()) {
                 let Some((name, spec)) = item.split_once('=') else {
                     eprintln!("VBADET_FAULTPOINTS: ignoring malformed entry {item:?}");
@@ -298,7 +310,10 @@ mod enabled {
             let a = run();
             let b = run();
             assert_eq!(a, b);
-            assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x), "50% should mix");
+            assert!(
+                a.iter().any(|&x| x) && a.iter().any(|&x| !x),
+                "50% should mix"
+            );
             clear();
         }
 

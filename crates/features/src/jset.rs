@@ -48,7 +48,11 @@ pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
     let line_count = lines.len() as f64;
 
     let j1 = total_chars;
-    let j2 = if line_count == 0.0 { 0.0 } else { total_chars / line_count };
+    let j2 = if line_count == 0.0 {
+        0.0
+    } else {
+        total_chars / line_count
+    };
     let j3 = line_count;
 
     let strings = analysis.strings();
@@ -62,26 +66,50 @@ pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
         .chain(comment_words.iter())
         .filter(|w| is_human_readable(w))
         .count() as f64;
-    let j5 = if all_word_count == 0.0 { 0.0 } else { readable / all_word_count };
+    let j5 = if all_word_count == 0.0 {
+        0.0
+    } else {
+        readable / all_word_count
+    };
 
     let whitespace = source.chars().filter(|c| c.is_whitespace()).count() as f64;
-    let j6 = if total_chars == 0.0 { 0.0 } else { whitespace / total_chars };
+    let j6 = if total_chars == 0.0 {
+        0.0
+    } else {
+        whitespace / total_chars
+    };
 
     let calls = analysis.call_sites();
-    let j7 = if all_word_count == 0.0 { 0.0 } else { calls.len() as f64 / all_word_count };
+    let j7 = if all_word_count == 0.0 {
+        0.0
+    } else {
+        calls.len() as f64 / all_word_count
+    };
 
     let j8 = mean(strings.iter().map(|s| s.chars().count() as f64));
     let j9 = mean(argument_lengths(analysis).into_iter());
 
     let comments = analysis.comments();
     let j10 = comments.len() as f64;
-    let j11 = if line_count == 0.0 { 0.0 } else { j10 / line_count };
+    let j11 = if line_count == 0.0 {
+        0.0
+    } else {
+        j10 / line_count
+    };
 
     let j12 = all_word_count;
-    let j13 = if all_word_count == 0.0 { 0.0 } else { words.len() as f64 / all_word_count };
+    let j13 = if all_word_count == 0.0 {
+        0.0
+    } else {
+        words.len() as f64 / all_word_count
+    };
 
     let long_lines = lines.iter().filter(|l| l.chars().count() > 150).count() as f64;
-    let j14 = if line_count == 0.0 { 0.0 } else { long_lines / line_count };
+    let j14 = if line_count == 0.0 {
+        0.0
+    } else {
+        long_lines / line_count
+    };
 
     let j15 = shannon_entropy(source);
     let j16 = if total_chars == 0.0 {
@@ -91,20 +119,35 @@ pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
     };
 
     let backslashes = source.chars().filter(|&c| c == '\\').count() as f64;
-    let j17 = if total_chars == 0.0 { 0.0 } else { backslashes / total_chars };
+    let j17 = if total_chars == 0.0 {
+        0.0
+    } else {
+        backslashes / total_chars
+    };
 
     let bodies = analysis.procedure_body_spans();
     let body_chars: f64 = bodies
         .iter()
         .map(|&(s, e)| source[s..e].chars().count() as f64)
         .sum();
-    let j18 = if bodies.is_empty() { 0.0 } else { body_chars / bodies.len() as f64 };
-    let j19 = if total_chars == 0.0 { 0.0 } else { body_chars / total_chars };
-    let j20 = if total_chars == 0.0 { 0.0 } else { bodies.len() as f64 / total_chars };
+    let j18 = if bodies.is_empty() {
+        0.0
+    } else {
+        body_chars / bodies.len() as f64
+    };
+    let j19 = if total_chars == 0.0 {
+        0.0
+    } else {
+        body_chars / total_chars
+    };
+    let j20 = if total_chars == 0.0 {
+        0.0
+    } else {
+        bodies.len() as f64 / total_chars
+    };
 
     [
-        j1, j2, j3, j4, j5, j6, j7, j8, j9, j10, j11, j12, j13, j14, j15, j16, j17, j18, j19,
-        j20,
+        j1, j2, j3, j4, j5, j6, j7, j8, j9, j10, j11, j12, j13, j14, j15, j16, j17, j18, j19, j20,
     ]
 }
 
@@ -143,7 +186,10 @@ fn argument_lengths(analysis: &MacroAnalysis) -> Vec<f64> {
     let mut i = 0usize;
     while i < tokens.len() {
         let is_call_open = matches!(tokens[i].kind, TokenKind::Identifier(_))
-            && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Operator("(")));
+            && matches!(
+                tokens.get(i + 1).map(|t| &t.kind),
+                Some(TokenKind::Operator("("))
+            );
         if !is_call_open {
             i += 1;
             continue;
@@ -253,7 +299,11 @@ mod tests {
     fn j14_long_lines() {
         let long_line = format!("x = \"{}\"\r\ny = 1\r\n", "a".repeat(200));
         let j = j_features(&long_line);
-        assert!((j[13] - 0.5).abs() < 1e-9, "one of two lines is long: {}", j[13]);
+        assert!(
+            (j[13] - 0.5).abs() < 1e-9,
+            "one of two lines is long: {}",
+            j[13]
+        );
     }
 
     #[test]

@@ -55,8 +55,11 @@ pub fn v_features_from(analysis: &MacroAnalysis) -> [f64; V_DIM] {
     let code_chars = analysis.code_chars() as f64;
     let comment_chars = analysis.comment_chars() as f64;
 
-    let word_lengths: Vec<f64> =
-        analysis.words().iter().map(|w| w.chars().count() as f64).collect();
+    let word_lengths: Vec<f64> = analysis
+        .words()
+        .iter()
+        .map(|w| w.chars().count() as f64)
+        .collect();
     let v3 = mean(word_lengths.iter().copied());
     let v4 = variance(&word_lengths);
 
@@ -87,12 +90,21 @@ pub fn v_features_from(analysis: &MacroAnalysis) -> [f64; V_DIM] {
             category_counts[idx] += 1.0;
         }
     }
-    let ratio = |n: f64| if total_calls == 0.0 { 0.0 } else { n / total_calls };
+    let ratio = |n: f64| {
+        if total_calls == 0.0 {
+            0.0
+        } else {
+            n / total_calls
+        }
+    };
 
     let v13 = shannon_entropy(analysis.source());
 
-    let ident_lengths: Vec<f64> =
-        analysis.identifiers().iter().map(|i| i.chars().count() as f64).collect();
+    let ident_lengths: Vec<f64> = analysis
+        .identifiers()
+        .iter()
+        .map(|i| i.chars().count() as f64)
+        .collect();
     let v14 = mean(ident_lengths.iter().copied());
     let v15 = variance(&ident_lengths);
 
@@ -188,7 +200,10 @@ mod tests {
         let plain_v = v_features(PLAIN);
         let obf_v = v_features(&obf);
         assert!(obf_v[12] > plain_v[12], "entropy must rise under O1");
-        assert!(obf_v[13] > plain_v[13], "identifier length must rise under O1");
+        assert!(
+            obf_v[13] > plain_v[13],
+            "identifier length must rise under O1"
+        );
     }
 
     /// Minimal reimplementation of O1 for this test (the real one lives in
@@ -200,8 +215,9 @@ mod tests {
         pub fn random_apply<R: Rng>(source: &str, rng: &mut R) -> (String, ()) {
             let mut out = source.to_string();
             for name in ["StartCalculator", "Program", "TaskID"] {
-                let repl: String =
-                    (0..14).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect();
+                let repl: String = (0..14)
+                    .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                    .collect();
                 out = out.replace(name, &repl);
             }
             (out, ())

@@ -62,13 +62,7 @@ impl CvOutcome {
 /// classifier from `make` on the standardized training portion and scores
 /// the held-out portion. Standardization is fitted per fold on training
 /// data only (no leakage).
-pub fn cross_validate<F>(
-    make: F,
-    x: &[Vec<f64>],
-    y: &[bool],
-    k: usize,
-    seed: u64,
-) -> CvOutcome
+pub fn cross_validate<F>(make: F, x: &[Vec<f64>], y: &[bool], k: usize, seed: u64) -> CvOutcome
 where
     F: Fn() -> Box<dyn Classifier>,
 {
@@ -80,8 +74,7 @@ where
 
     for test_idx in &folds {
         let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..y.len()).filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..y.len()).filter(|i| !test_set.contains(i)).collect();
 
         let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
         let train_y: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();
@@ -104,7 +97,12 @@ where
         fold_matrices.push(ConfusionMatrix::from_predictions(&fold_true, &fold_pred));
     }
 
-    CvOutcome { predictions, scores, labels: y.to_vec(), fold_matrices }
+    CvOutcome {
+        predictions,
+        scores,
+        labels: y.to_vec(),
+        fold_matrices,
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +144,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let labels: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
-        assert_eq!(stratified_kfold(&labels, 5, 9), stratified_kfold(&labels, 5, 9));
-        assert_ne!(stratified_kfold(&labels, 5, 9), stratified_kfold(&labels, 5, 10));
+        assert_eq!(
+            stratified_kfold(&labels, 5, 9),
+            stratified_kfold(&labels, 5, 9)
+        );
+        assert_ne!(
+            stratified_kfold(&labels, 5, 9),
+            stratified_kfold(&labels, 5, 10)
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ impl RandomForest {
     /// As [`RandomForest::new`] with an explicit RNG seed.
     pub fn with_seed(n_trees: usize, max_features: usize, seed: u64) -> Self {
         assert!(n_trees > 0, "need at least one tree");
-        RandomForest { n_trees, max_features, seed, trees: Vec::new() }
+        RandomForest {
+            n_trees,
+            max_features,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     /// Mean positive-fraction across trees (0..=1).
@@ -49,13 +54,15 @@ impl Classifier for RandomForest {
         } else {
             self.max_features.min(dim)
         };
-        let params = TreeParams { max_features, ..TreeParams::default() };
+        let params = TreeParams {
+            max_features,
+            ..TreeParams::default()
+        };
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.trees = (0..self.n_trees)
             .map(|_| {
                 // Bootstrap sample (with replacement), same size as input.
-                let idx: Vec<usize> =
-                    (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
                 DecisionTree::fit(x, y, &idx, params, &mut rng)
             })
             .collect();
@@ -161,7 +168,14 @@ impl RandomForest {
     pub fn to_text(&self) -> String {
         assert!(!self.trees.is_empty(), "save before fit");
         let mut w = crate::persist::Writer::new("rf");
-        w.ints("meta", &[self.n_trees as i64, self.max_features as i64, self.seed as i64]);
+        w.ints(
+            "meta",
+            &[
+                self.n_trees as i64,
+                self.max_features as i64,
+                self.seed as i64,
+            ],
+        );
         w.ints("trees", &[self.trees.len() as i64]);
         for tree in &self.trees {
             tree.write_to(&mut w);
@@ -210,14 +224,19 @@ mod persist_tests {
 
     #[test]
     fn save_load_roundtrip_is_exact() {
-        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
         let y: Vec<bool> = (0..80).map(|i| i % 3 == 0).collect();
         let mut rf = RandomForest::with_seed(12, 0, 5);
         rf.fit(&x, &y);
         let text = rf.to_text();
         let loaded = RandomForest::from_text(&text).unwrap();
         for row in &x {
-            assert_eq!(rf.decision_function(row).to_bits(), loaded.decision_function(row).to_bits());
+            assert_eq!(
+                rf.decision_function(row).to_bits(),
+                loaded.decision_function(row).to_bits()
+            );
         }
     }
 

@@ -67,7 +67,11 @@ pub fn permutation_importance(
         for (row, orig) in scratch.iter_mut().zip(x) {
             row[feature] = orig[feature];
         }
-        out.push(FeatureImportance { feature, baseline, permuted: sum / repeats as f64 });
+        out.push(FeatureImportance {
+            feature,
+            baseline,
+            permuted: sum / repeats as f64,
+        });
     }
     out
 }

@@ -143,8 +143,11 @@ mod tests {
         let (x, y) = gaussian_blobs(200, 4.0);
         let mut lda = LinearDiscriminant::new();
         lda.fit(&x, &y);
-        let correct =
-            x.iter().zip(&y).filter(|(xi, &yi)| lda.predict(xi) == yi).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| lda.predict(xi) == yi)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.99);
     }
 
@@ -184,8 +187,11 @@ mod tests {
         }
         let mut lda = LinearDiscriminant::new();
         lda.fit(&x, &y);
-        let correct =
-            x.iter().zip(&y).filter(|(xi, &yi)| lda.predict(xi) == yi).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| lda.predict(xi) == yi)
+            .count();
         assert!(
             correct as f64 / x.len() as f64 > 0.95,
             "LDA must exploit covariance: {correct}/{}",
@@ -256,7 +262,12 @@ impl LinearDiscriminant {
                 reason: "threshold needs one value".to_string(),
             });
         }
-        Ok(LinearDiscriminant { weights, threshold: threshold[0], fitted: true, constant })
+        Ok(LinearDiscriminant {
+            weights,
+            threshold: threshold[0],
+            fitted: true,
+            constant,
+        })
     }
 }
 
@@ -267,8 +278,9 @@ mod persist_tests {
 
     #[test]
     fn save_load_roundtrip_is_exact() {
-        let x: Vec<Vec<f64>> =
-            (0..60).map(|i| vec![i as f64, -0.5 * i as f64 + 3.0]).collect();
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, -0.5 * i as f64 + 3.0])
+            .collect();
         let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
         let mut lda = LinearDiscriminant::new();
         lda.fit(&x, &y);

@@ -102,5 +102,8 @@ pub(crate) fn validate_fit_input(x: &[Vec<f64>], y: &[bool]) {
     assert!(!x.is_empty(), "training set must be non-empty");
     assert_eq!(x.len(), y.len(), "feature/label length mismatch");
     let dim = x[0].len();
-    assert!(x.iter().all(|row| row.len() == dim), "ragged feature matrix");
+    assert!(
+        x.iter().all(|row| row.len() == dim),
+        "ragged feature matrix"
+    );
 }

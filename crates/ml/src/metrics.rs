@@ -94,7 +94,11 @@ pub fn roc_curve(y_true: &[bool], scores: &[f64]) -> Vec<(f64, f64)> {
         return vec![(0.0, 0.0), (1.0, 1.0)];
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut points = vec![(0.0, 0.0)];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0usize;
@@ -203,6 +207,9 @@ mod tests {
 
     #[test]
     fn single_class_degenerates_gracefully() {
-        assert_eq!(roc_curve(&[true, true], &[0.1, 0.9]), vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(
+            roc_curve(&[true, true], &[0.1, 0.9]),
+            vec![(0.0, 0.0), (1.0, 1.0)]
+        );
     }
 }

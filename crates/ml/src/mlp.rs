@@ -23,7 +23,11 @@ impl Layer {
         // He initialization (suits ReLU).
         let scale = (2.0 / inputs as f64).sqrt();
         let weights = (0..outputs)
-            .map(|_| (0..inputs).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect())
+            .map(|_| {
+                (0..inputs)
+                    .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                    .collect()
+            })
             .collect::<Vec<Vec<f64>>>();
         Layer {
             vel_w: vec![vec![0.0; inputs]; outputs],
@@ -67,7 +71,10 @@ impl MlpClassifier {
     /// As [`MlpClassifier::new`] with an explicit seed for initialization
     /// and shuffling.
     pub fn with_seed(hidden: &[usize], epochs: usize, learning_rate: f64, seed: u64) -> Self {
-        assert!(hidden.iter().all(|&h| h > 0), "hidden sizes must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden sizes must be positive"
+        );
         assert!(learning_rate > 0.0, "learning rate must be positive");
         MlpClassifier {
             hidden: hidden.to_vec(),
@@ -129,8 +136,11 @@ impl Classifier for MlpClassifier {
                     .iter()
                     .map(|l| vec![vec![0.0; l.weights[0].len()]; l.weights.len()])
                     .collect();
-                let mut grad_b: Vec<Vec<f64>> =
-                    self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+                let mut grad_b: Vec<Vec<f64>> = self
+                    .layers
+                    .iter()
+                    .map(|l| vec![0.0; l.bias.len()])
+                    .collect();
 
                 for &i in batch {
                     let (pre, post) = self.forward_full(&x[i]);
@@ -140,8 +150,7 @@ impl Classifier for MlpClassifier {
                     let mut delta = vec![prob - target];
 
                     for li in (0..self.layers.len()).rev() {
-                        let input: &[f64] =
-                            if li == 0 { &x[i] } else { &post[li - 1] };
+                        let input: &[f64] = if li == 0 { &x[i] } else { &post[li - 1] };
                         for (o, &d) in delta.iter().enumerate() {
                             grad_b[li][o] += d;
                             for (iidx, &inp) in input.iter().enumerate() {
@@ -174,12 +183,10 @@ impl Classifier for MlpClassifier {
                 for (li, layer) in self.layers.iter_mut().enumerate() {
                     for o in 0..layer.weights.len() {
                         for (iidx, &g) in grad_w[li][o].iter().enumerate() {
-                            layer.vel_w[o][iidx] =
-                                self.momentum * layer.vel_w[o][iidx] - scale * g;
+                            layer.vel_w[o][iidx] = self.momentum * layer.vel_w[o][iidx] - scale * g;
                             layer.weights[o][iidx] += layer.vel_w[o][iidx];
                         }
-                        layer.vel_b[o] =
-                            self.momentum * layer.vel_b[o] - scale * grad_b[li][o];
+                        layer.vel_b[o] = self.momentum * layer.vel_b[o] - scale * grad_b[li][o];
                         layer.bias[o] += layer.vel_b[o];
                     }
                 }
@@ -341,7 +348,10 @@ impl MlpClassifier {
                 bias,
             });
         }
-        let hidden: Vec<usize> = shape[1..shape.len() - 1].iter().map(|&s| s as usize).collect();
+        let hidden: Vec<usize> = shape[1..shape.len() - 1]
+            .iter()
+            .map(|&s| s as usize)
+            .collect();
         Ok(MlpClassifier {
             hidden,
             epochs: 0,

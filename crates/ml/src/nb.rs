@@ -247,7 +247,9 @@ impl BernoulliNb {
         let dim = thresholds.len();
         if alpha.len() != 1
             || prior.len() != 2
-            || [&p1_neg, &p1_pos, &p0_neg, &p0_pos].iter().any(|v| v.len() != dim)
+            || [&p1_neg, &p1_pos, &p0_neg, &p0_pos]
+                .iter()
+                .any(|v| v.len() != dim)
         {
             return Err(crate::persist::PersistError {
                 line: 0,
@@ -272,7 +274,9 @@ mod persist_tests {
 
     #[test]
     fn save_load_roundtrip_is_exact() {
-        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64, (i % 5) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 2) as f64, (i % 5) as f64])
+            .collect();
         let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
         let mut nb = BernoulliNb::new(1.0);
         nb.fit(&x, &y);

@@ -18,7 +18,11 @@ pub struct PersistError {
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "model parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "model parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -50,7 +54,10 @@ impl Writer {
 
     /// Writes a tag plus a list of f64 values (bit-exact).
     pub fn floats(&mut self, tag: &str, values: &[f64]) -> &mut Self {
-        let fields: Vec<String> = values.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        let fields: Vec<String> = values
+            .iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect();
         self.record(tag, &fields)
     }
 
@@ -88,7 +95,10 @@ impl<'a> Reader<'a> {
                 line: i + 1,
                 reason: format!("bad header {header:?}, expected kind {kind:?}"),
             }),
-            None => Err(PersistError { line: 1, reason: "empty model text".to_string() }),
+            None => Err(PersistError {
+                line: 1,
+                reason: "empty model text".to_string(),
+            }),
         }
     }
 
@@ -154,7 +164,10 @@ impl<'a> Reader<'a> {
             .map(|f| {
                 u64::from_str_radix(f, 16)
                     .map(f64::from_bits)
-                    .map_err(|e| PersistError { line, reason: format!("bad float {f:?}: {e}") })
+                    .map_err(|e| PersistError {
+                        line,
+                        reason: format!("bad float {f:?}: {e}"),
+                    })
             })
             .collect()
     }
@@ -165,8 +178,10 @@ impl<'a> Reader<'a> {
         fields
             .iter()
             .map(|f| {
-                f.parse::<i64>()
-                    .map_err(|e| PersistError { line, reason: format!("bad int {f:?}: {e}") })
+                f.parse::<i64>().map_err(|e| PersistError {
+                    line,
+                    reason: format!("bad int {f:?}: {e}"),
+                })
             })
             .collect()
     }

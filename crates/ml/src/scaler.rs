@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn standardizes_to_zero_mean_unit_variance() {
-        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0 * i as f64 + 3.0]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 5.0 * i as f64 + 3.0])
+            .collect();
         let scaler = StandardScaler::fit(&x);
         let z = scaler.transform_all(&x);
         for col in 0..2 {

@@ -113,9 +113,15 @@ impl Classifier for SvmRbf {
                 let ej = f(&alpha, b, j) - y[j];
                 let (ai_old, aj_old) = (alpha[i], alpha[j]);
                 let (lo, hi) = if y[i] != y[j] {
-                    ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (self.c + aj_old - ai_old).min(self.c),
+                    )
                 } else {
-                    ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                    (
+                        (ai_old + aj_old - self.c).max(0.0),
+                        (ai_old + aj_old).min(self.c),
+                    )
                 };
                 if lo >= hi {
                     continue;
@@ -133,12 +139,8 @@ impl Classifier for SvmRbf {
                 alpha[i] = ai;
                 alpha[j] = aj;
 
-                let b1 = b - ei
-                    - y[i] * (ai - ai_old) * k(i, i)
-                    - y[j] * (aj - aj_old) * k(i, j);
-                let b2 = b - ej
-                    - y[i] * (ai - ai_old) * k(i, j)
-                    - y[j] * (aj - aj_old) * k(j, j);
+                let b1 = b - ei - y[i] * (ai - ai_old) * k(i, i) - y[j] * (aj - aj_old) * k(i, j);
+                let b2 = b - ej - y[i] * (ai - ai_old) * k(i, j) - y[j] * (aj - aj_old) * k(j, j);
                 b = if 0.0 < ai && ai < self.c {
                     b1
                 } else if 0.0 < aj && aj < self.c {
@@ -204,7 +206,13 @@ mod tests {
     #[test]
     fn linear_separation() {
         let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![if i < 20 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .map(|i| {
+                vec![if i < 20 {
+                    i as f64 * 0.1
+                } else {
+                    5.0 + i as f64 * 0.1
+                }]
+            })
             .collect();
         let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let mut svm = SvmRbf::new(10.0, 0.5);
@@ -223,7 +231,11 @@ mod tests {
             .zip(&y)
             .filter(|(xi, &yi)| svm.predict(xi) == yi)
             .count();
-        assert!(correct as f64 / x.len() as f64 > 0.95, "{correct}/{}", x.len());
+        assert!(
+            correct as f64 / x.len() as f64 > 0.95,
+            "{correct}/{}",
+            x.len()
+        );
         // Center is inside, far point outside.
         assert!(svm.predict(&[0.0, 0.0]));
         assert!(!svm.predict(&[3.0, 0.0]));
@@ -237,7 +249,10 @@ mod tests {
         let inside = svm.decision_function(&[0.0, 0.0]);
         let boundary = svm.decision_function(&[1.1, 0.0]);
         let outside = svm.decision_function(&[2.5, 0.0]);
-        assert!(inside > boundary && boundary > outside, "{inside} {boundary} {outside}");
+        assert!(
+            inside > boundary && boundary > outside,
+            "{inside} {boundary} {outside}"
+        );
     }
 
     #[test]
@@ -321,8 +336,15 @@ mod persist_tests {
 
     #[test]
     fn save_load_roundtrip_is_exact() {
-        let x: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![if i < 20 { i as f64 * 0.1 } else { 4.0 + i as f64 * 0.1 }]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![if i < 20 {
+                    i as f64 * 0.1
+                } else {
+                    4.0 + i as f64 * 0.1
+                }]
+            })
+            .collect();
         let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let mut svm = SvmRbf::new(10.0, 0.5);
         svm.fit(&x, &y);

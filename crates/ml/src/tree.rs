@@ -15,7 +15,12 @@ enum Node {
     /// Leaf with the fraction of positive training samples that reached it.
     Leaf { positive_fraction: f64 },
     /// Internal split: `x[feature] <= threshold` goes left.
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// Tree growth hyperparameters.
@@ -32,7 +37,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 24, min_samples_split: 2, max_features: 0 }
+        TreeParams {
+            max_depth: 24,
+            min_samples_split: 2,
+            max_features: 0,
+        }
     }
 }
 
@@ -70,13 +79,17 @@ impl DecisionTree {
         let fraction = positives as f64 / idx.len() as f64;
         let pure = positives == 0 || positives == idx.len();
         if pure || depth >= params.max_depth || idx.len() < params.min_samples_split {
-            self.nodes.push(Node::Leaf { positive_fraction: fraction });
+            self.nodes.push(Node::Leaf {
+                positive_fraction: fraction,
+            });
             return self.nodes.len() - 1;
         }
 
         match best_split(x, y, idx, params.max_features, rng) {
             None => {
-                self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                self.nodes.push(Node::Leaf {
+                    positive_fraction: fraction,
+                });
                 self.nodes.len() - 1
             }
             Some((feature, threshold)) => {
@@ -89,16 +102,25 @@ impl DecisionTree {
                     }
                 }
                 if split_point == 0 || split_point == idx.len() {
-                    self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                    self.nodes.push(Node::Leaf {
+                        positive_fraction: fraction,
+                    });
                     return self.nodes.len() - 1;
                 }
                 // Reserve this node's slot before growing children.
-                self.nodes.push(Node::Leaf { positive_fraction: fraction });
+                self.nodes.push(Node::Leaf {
+                    positive_fraction: fraction,
+                });
                 let me = self.nodes.len() - 1;
                 let (left_idx, right_idx) = idx.split_at_mut(split_point);
                 let left = self.grow(x, y, left_idx, depth + 1, params, rng);
                 let right = self.grow(x, y, right_idx, depth + 1, params, rng);
-                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -111,8 +133,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { positive_fraction } => return *positive_fraction,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -139,7 +170,11 @@ fn best_split<R: Rng + ?Sized>(
 ) -> Option<(usize, f64)> {
     let dim = x[0].len();
     let mut features: Vec<usize> = (0..dim).collect();
-    let take = if max_features == 0 { dim } else { max_features.min(dim) };
+    let take = if max_features == 0 {
+        dim
+    } else {
+        max_features.min(dim)
+    };
     features.shuffle(rng);
 
     let total = idx.len() as f64;
@@ -171,9 +206,7 @@ fn best_split<R: Rng + ?Sized>(
             let right_pos = total_pos - left_pos;
             let score = (left_n / total) * gini(left_pos, left_n)
                 + (right_n / total) * gini(right_pos, right_n);
-            if score <= parent_gini + 1e-12
-                && best.is_none_or(|(_, _, s)| score < s)
-            {
+            if score <= parent_gini + 1e-12 && best.is_none_or(|(_, _, s)| score < s) {
                 let threshold = (sorted[w].0 + sorted[w + 1].0) / 2.0;
                 best = Some((feature, threshold, score));
             }
@@ -201,7 +234,12 @@ impl DecisionTree {
                 Node::Leaf { positive_fraction } => {
                     w.floats("L", &[*positive_fraction]);
                 }
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     w.record(
                         "S",
                         &[
@@ -239,9 +277,14 @@ impl DecisionTree {
             match fields.0 {
                 "L" => {
                     let bits = u64::from_str_radix(fields.1[0], 16).map_err(|e| {
-                        crate::persist::PersistError { line, reason: format!("bad leaf: {e}") }
+                        crate::persist::PersistError {
+                            line,
+                            reason: format!("bad leaf: {e}"),
+                        }
                     })?;
-                    nodes.push(Node::Leaf { positive_fraction: f64::from_bits(bits) });
+                    nodes.push(Node::Leaf {
+                        positive_fraction: f64::from_bits(bits),
+                    });
                 }
                 _ => {
                     let parse_usize = |s: &str| -> Result<usize, crate::persist::PersistError> {
@@ -252,7 +295,10 @@ impl DecisionTree {
                     };
                     let feature = parse_usize(fields.1[0])?;
                     let bits = u64::from_str_radix(fields.1[1], 16).map_err(|e| {
-                        crate::persist::PersistError { line, reason: format!("bad split: {e}") }
+                        crate::persist::PersistError {
+                            line,
+                            reason: format!("bad split: {e}"),
+                        }
                     })?;
                     let left = parse_usize(fields.1[2])?;
                     let right = parse_usize(fields.1[3])?;
@@ -327,7 +373,14 @@ mod tests {
     fn max_depth_zero_yields_single_leaf() {
         let x = vec![vec![0.0], vec![1.0]];
         let y = vec![false, true];
-        let tree = fit_all(&x, &y, TreeParams { max_depth: 0, ..TreeParams::default() });
+        let tree = fit_all(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
+        );
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict_proba(&[0.0]), 0.5);
     }
@@ -353,15 +406,17 @@ mod tests {
 
     #[test]
     fn feature_subsetting_still_learns() {
-        let x: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![0.0, 0.0, i as f64, 0.0]).collect();
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![0.0, 0.0, i as f64, 0.0]).collect();
         let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
         // max_features=2 of 4: the informative feature is eventually chosen
         // at some depth.
         let tree = fit_all(
             &x,
             &y,
-            TreeParams { max_features: 2, ..TreeParams::default() },
+            TreeParams {
+                max_features: 2,
+                ..TreeParams::default()
+            },
         );
         assert!(tree.predict_proba(&[0.0, 0.0, 90.0, 0.0]) > 0.5);
         assert!(tree.predict_proba(&[0.0, 0.0, 10.0, 0.0]) < 0.5);

@@ -30,7 +30,9 @@ pub fn hide_string_data<R: Rng + ?Sized>(source: &str, rng: &mut R) -> HiddenStr
     let mut hidden = Vec::new();
     let mut edits: Vec<(usize, usize, String)> = Vec::new();
     for t in &tokens {
-        let TokenKind::StringLit(value) = &t.kind else { continue };
+        let TokenKind::StringLit(value) = &t.kind else {
+            continue;
+        };
         if value.len() < 4 || attr.iter().any(|&(s, e)| t.start >= s && t.end <= e) {
             continue;
         }
@@ -46,7 +48,10 @@ pub fn hide_string_data<R: Rng + ?Sized>(source: &str, rng: &mut R) -> HiddenStr
     for (start, end, replacement) in edits.into_iter().rev() {
         out.replace_range(start..end, &replacement);
     }
-    HiddenStrings { source: out, hidden }
+    HiddenStrings {
+        source: out,
+        hidden,
+    }
 }
 
 /// Technique 2 — *Inserting broken code* (Figure 8b): appends statements
@@ -67,7 +72,10 @@ pub fn insert_broken_code<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String 
                 (b'A' + rng.gen_range(0u8..26)) as char,
                 rng.gen_range(5..40),
             ));
-            out.push_str(&format!("    Sel.ection.RowHeight = {}\r\n", rng.gen_range(10..30)));
+            out.push_str(&format!(
+                "    Sel.ection.RowHeight = {}\r\n",
+                rng.gen_range(10..30)
+            ));
         }
         out.push_str(line);
     }

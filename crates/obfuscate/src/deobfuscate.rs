@@ -37,7 +37,10 @@ pub struct DeobfuscationReport {
 /// function, whose removal is picked up by the next round; bounded at 8
 /// rounds as a safety stop).
 pub fn deobfuscate(source: &str) -> DeobfuscationReport {
-    let mut report = DeobfuscationReport { source: source.to_string(), ..Default::default() };
+    let mut report = DeobfuscationReport {
+        source: source.to_string(),
+        ..Default::default()
+    };
     for _ in 0..8 {
         let folded = fold_strings(&report.source);
         let dead = remove_dead_blocks(&folded.0);
@@ -68,7 +71,11 @@ fn fold_strings(source: &str) -> (String, usize) {
         }
         // Only fold when the value is printable; control characters would
         // not survive a literal.
-        if !r.value.chars().all(|c| c == '\t' || (' '..='\u{FF}').contains(&c)) {
+        if !r
+            .value
+            .chars()
+            .all(|c| c == '\t' || (' '..='\u{FF}').contains(&c))
+        {
             continue;
         }
         out.replace_range(r.start..r.end, &literal);
@@ -131,9 +138,7 @@ fn remove_unused_private_procs(source: &str) -> (String, usize) {
         tokens
             .iter()
             .filter(|t| t.start >= lo && t.end <= hi)
-            .filter(|t| {
-                matches!(&t.kind, TokenKind::Identifier(i) if i.eq_ignore_ascii_case(name))
-            })
+            .filter(|t| matches!(&t.kind, TokenKind::Identifier(i) if i.eq_ignore_ascii_case(name)))
             .count()
     };
 
@@ -151,19 +156,23 @@ fn remove_unused_private_procs(source: &str) -> (String, usize) {
         // that is never *called* is inert — this is what orphans decoder
         // functions after string folding). Public `Sub`s are kept: buttons
         // and ribbon hooks can invoke them by name from outside the text.
-        let name_index = if lower.starts_with("private sub") || lower.starts_with("private function")
-        {
-            2
-        } else if lower.starts_with("function ") {
-            1
-        } else {
-            continue;
-        };
+        let name_index =
+            if lower.starts_with("private sub") || lower.starts_with("private function") {
+                2
+            } else if lower.starts_with("function ") {
+                1
+            } else {
+                continue;
+            };
         // Name = next word, stripping the parameter list ("Used()" -> "Used").
         let name: Option<String> = header.split_whitespace().nth(name_index).map(|w| {
-            w.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
+            w.chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect()
         });
-        let Some(name) = name.filter(|n| !n.is_empty()) else { continue };
+        let Some(name) = name.filter(|n| !n.is_empty()) else {
+            continue;
+        };
         if crate::names::is_entry_point(&name) {
             continue;
         }

@@ -45,7 +45,9 @@ pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -
             if let TokenKind::StringLit(value) = &t.kind {
                 value.chars().count() >= 3
                     && value.is_ascii()
-                    && !attribute_lines.iter().any(|&(s, e)| t.start >= s && t.end <= e)
+                    && !attribute_lines
+                        .iter()
+                        .any(|&(s, e)| t.start >= s && t.end <= e)
             } else {
                 false
             }
@@ -57,7 +59,9 @@ pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -
 
     let mut edits: Vec<(usize, usize, String)> = Vec::new();
     for t in eligible {
-        let TokenKind::StringLit(value) = &t.kind else { continue };
+        let TokenKind::StringLit(value) = &t.kind else {
+            continue;
+        };
         // Replace-style dominates in the wild: it is the cheapest transform
         // and uses only one builtin call per string.
         let scheme = match rng.gen_range(0..100) {
@@ -114,8 +118,12 @@ fn encode_replace<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Option<String> {
     'outer: for (step, &(target, _)) in targets.iter().take(passes).enumerate() {
         // Targets that later passes will still substitute: this marker must
         // not contain them, or those passes would corrupt it in place.
-        let upcoming: Vec<char> =
-            targets.iter().take(passes).skip(step + 1).map(|&(c, _)| c).collect();
+        let upcoming: Vec<char> = targets
+            .iter()
+            .take(passes)
+            .skip(step + 1)
+            .map(|&(c, _)| c)
+            .collect();
         for _ in 0..16 {
             let marker: String = (0..rng.gen_range(3..=5))
                 .map(|_| {
@@ -133,7 +141,9 @@ fn encode_replace<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Option<String> {
             if !encoded.contains(&marker)
                 && !marker.contains(target)
                 && !upcoming.iter().any(|&p| marker.contains(p))
-                && !wrappers.iter().any(|(m, _)| m.contains(&marker) || marker.contains(m.as_str()))
+                && !wrappers
+                    .iter()
+                    .any(|(m, _)| m.contains(&marker) || marker.contains(m.as_str()))
             {
                 encoded = encoded.replace(target, &marker);
                 wrappers.push((marker, target));
@@ -190,9 +200,14 @@ fn encode_chr_concat<R: Rng + ?Sized>(value: &str, rng: &mut R) -> Option<String
 /// Scheme 3: number array + user-defined decoder, as in Figure 4(b),
 /// continuation-wrapped.
 fn encode_decoder(value: &str, decoder_name: &str, key: u32) -> Option<String> {
-    let numbers: Vec<String> =
-        value.bytes().map(|b| (b as u32 + key).to_string()).collect();
-    Some(format!("{decoder_name}(Array({}))", join_wrapped(&numbers, ", ", 16)))
+    let numbers: Vec<String> = value
+        .bytes()
+        .map(|b| (b as u32 + key).to_string())
+        .collect();
+    Some(format!(
+        "{decoder_name}(Array({}))",
+        join_wrapped(&numbers, ", ", 16)
+    ))
 }
 
 /// The decoder function source appended to the module.
@@ -235,7 +250,10 @@ mod tests {
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let out = apply(SRC, &mut rng);
-            assert!(!out.contains("\"http://example.test/payload.exe\""), "seed {seed}");
+            assert!(
+                !out.contains("\"http://example.test/payload.exe\""),
+                "seed {seed}"
+            );
             assert!(!out.contains("\"savetofile\""), "seed {seed}");
         }
     }
@@ -247,7 +265,9 @@ mod tests {
             let out = apply(SRC, &mut rng);
             let recovered = recover::recover_strings(&out);
             assert!(
-                recovered.iter().any(|s| s == "http://example.test/payload.exe"),
+                recovered
+                    .iter()
+                    .any(|s| s == "http://example.test/payload.exe"),
                 "seed {seed}:\n{out}\n{recovered:?}"
             );
             assert!(recovered.iter().any(|s| s == "savetofile"), "seed {seed}");

@@ -168,9 +168,7 @@ fn dummy_statements<R: Rng + ?Sized>(
             _ => {
                 let v = crate::names::random_identifier(rng, taken);
                 let w = crate::names::random_identifier(rng, taken);
-                out.push_str(&format!(
-                    "    Dim {v} As String\r\n    {v} = \"{w}\"\r\n"
-                ));
+                out.push_str(&format!("    Dim {v} As String\r\n    {v} = \"{w}\"\r\n"));
             }
         }
     }

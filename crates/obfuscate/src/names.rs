@@ -13,15 +13,17 @@ use vbadet_vba::{functions, tokenize, TokenKind};
 /// mixes.
 pub fn random_identifier<R: Rng + ?Sized>(rng: &mut R, taken: &mut HashSet<String>) -> String {
     const SYLLABLES: [&str; 24] = [
-        "ma", "ru", "ti", "no", "fel", "zon", "da", "ke", "lor", "mba", "fru", "si", "ve",
-        "sal", "pit", "re", "co", "lu", "gan", "tor", "mi", "ne", "ba", "shi",
+        "ma", "ru", "ti", "no", "fel", "zon", "da", "ke", "lor", "mba", "fru", "si", "ve", "sal",
+        "pit", "re", "co", "lu", "gan", "tor", "mi", "ne", "ba", "shi",
     ];
     loop {
         let name: String = match rng.gen_range(0..10) {
             // Pure random lowercase: "ueiwjfdjkfdsv".
             0..=4 => {
                 let len = rng.gen_range(8..=16);
-                (0..len).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect()
+                (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                    .collect()
             }
             // Pronounceable blend with random casing: "mambaFruti".
             5..=7 => {
@@ -86,9 +88,28 @@ pub fn is_entry_point(name: &str) -> bool {
 /// Host-application globals and objects an obfuscator cannot rename without
 /// breaking the macro (lowercase, sorted for binary search).
 const HOST_GLOBALS: &[&str] = &[
-    "activecell", "activedocument", "activesheet", "activewindow", "activeworkbook", "application",
-    "cells", "charts", "columns", "debug", "documents", "err", "names", "range", "rows",
-    "selection", "sheets", "thisdocument", "thisworkbook", "userform1", "wend", "workbooks",
+    "activecell",
+    "activedocument",
+    "activesheet",
+    "activewindow",
+    "activeworkbook",
+    "application",
+    "cells",
+    "charts",
+    "columns",
+    "debug",
+    "documents",
+    "err",
+    "names",
+    "range",
+    "rows",
+    "selection",
+    "sheets",
+    "thisdocument",
+    "thisworkbook",
+    "userform1",
+    "wend",
+    "workbooks",
     "worksheets",
 ];
 
@@ -119,7 +140,9 @@ pub fn renameable_identifiers(source: &str) -> Vec<String> {
     let mut seen: HashSet<String> = HashSet::new();
     let mut out = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
-        let TokenKind::Identifier(name) = &t.kind else { continue };
+        let TokenKind::Identifier(name) = &t.kind else {
+            continue;
+        };
         if member_positions.contains(&i)
             || functions::is_builtin(name)
             || is_entry_point(name)
@@ -173,8 +196,9 @@ mod tests {
     fn random_identifiers_are_unique_and_well_formed() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut taken = HashSet::new();
-        let names: Vec<String> =
-            (0..500).map(|_| random_identifier(&mut rng, &mut taken)).collect();
+        let names: Vec<String> = (0..500)
+            .map(|_| random_identifier(&mut rng, &mut taken))
+            .collect();
         let unique: HashSet<String> = names.iter().map(|n| n.to_ascii_lowercase()).collect();
         assert_eq!(unique.len(), names.len(), "case-insensitively unique");
         for n in &names {
@@ -187,7 +211,13 @@ mod tests {
 
     #[test]
     fn entry_points_detected() {
-        for n in ["Document_Open", "Workbook_Open", "AutoOpen", "auto_close", "Button1_Click"] {
+        for n in [
+            "Document_Open",
+            "Workbook_Open",
+            "AutoOpen",
+            "auto_close",
+            "Button1_Click",
+        ] {
             assert!(is_entry_point(n), "{n}");
         }
         for n in ["Main", "DownloadPayload", "helper"] {
@@ -208,7 +238,10 @@ mod tests {
         assert!(!names.contains(&"VB_Name".to_string()));
         assert!(!names.contains(&"Document_Open".to_string()));
         assert!(!names.contains(&"CreateObject".to_string()));
-        assert!(!names.contains(&"Display".to_string()), "member access must be skipped");
+        assert!(
+            !names.contains(&"Display".to_string()),
+            "member access must be skipped"
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl Obfuscator {
                 }
             }
         }
-        ObfuscationResult { source: current, applied: self.techniques.clone(), renames }
+        ObfuscationResult {
+            source: current,
+            applied: self.techniques.clone(),
+            renames,
+        }
     }
 }
 
@@ -136,7 +140,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let pipeline = Obfuscator::new().with(Technique::Encoding).with(Technique::Random);
+        let pipeline = Obfuscator::new()
+            .with(Technique::Encoding)
+            .with(Technique::Random);
         let a = pipeline.apply(SRC, &mut StdRng::seed_from_u64(5)).source;
         let b = pipeline.apply(SRC, &mut StdRng::seed_from_u64(5)).source;
         assert_eq!(a, b);

@@ -20,8 +20,7 @@ pub fn apply_fraction<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (String, HashMap<String, String>) {
     let targets = names::renameable_identifiers(source);
-    let mut taken: HashSet<String> =
-        targets.iter().map(|n| n.to_ascii_lowercase()).collect();
+    let mut taken: HashSet<String> = targets.iter().map(|n| n.to_ascii_lowercase()).collect();
     let mut map = HashMap::with_capacity(targets.len());
     for name in &targets {
         if fraction < 1.0 && !rng.gen_bool(fraction.clamp(0.0, 1.0)) {

@@ -42,7 +42,12 @@ pub fn recover_spans(source: &str) -> Vec<RecoveredString> {
     let mut i = 0usize;
     while i < tokens.len() {
         if starts_string_expr(&tokens, i, &consts, &decoders) {
-            let mut parser = Parser { tokens: &tokens, pos: i, consts: &consts, decoders: &decoders };
+            let mut parser = Parser {
+                tokens: &tokens,
+                pos: i,
+                consts: &consts,
+                decoders: &decoders,
+            };
             if let Some(value) = parser.parse_concat() {
                 out.push(RecoveredString {
                     start: tokens[i].start,
@@ -91,11 +96,16 @@ fn decoder_table(tokens: &[Token], source: &str) -> HashMap<String, u32> {
             // the next End Function.
             let body_start = w[1].end;
             let body = &source[body_start..];
-            let end = body.to_ascii_lowercase().find("end function").unwrap_or(body.len());
+            let end = body
+                .to_ascii_lowercase()
+                .find("end function")
+                .unwrap_or(body.len());
             let body = &body[..end];
             if let Some(pos) = body.find("- ") {
-                let digits: String =
-                    body[pos + 2..].chars().take_while(|c| c.is_ascii_digit()).collect();
+                let digits: String = body[pos + 2..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
                 if let Ok(key) = digits.parse::<u32>() {
                     if body.to_ascii_lowercase().contains("chr(") {
                         map.insert(name.to_ascii_lowercase(), key);
@@ -256,7 +266,10 @@ mod tests {
 
     #[test]
     fn concatenation_chains() {
-        assert_eq!(recover_strings("x = \"WScr\" & \"ipt.S\" + \"hell\""), vec!["WScript.Shell"]);
+        assert_eq!(
+            recover_strings("x = \"WScr\" & \"ipt.S\" + \"hell\""),
+            vec!["WScript.Shell"]
+        );
     }
 
     #[test]
@@ -282,7 +295,8 @@ mod tests {
 
     #[test]
     fn const_references() {
-        let src = "Public Const pzonde = \"e\"\r\nCreateObject(\"WScript.Sh\" + pzonde + \"ll\")\r\n";
+        let src =
+            "Public Const pzonde = \"e\"\r\nCreateObject(\"WScript.Sh\" + pzonde + \"ll\")\r\n";
         let rec = recover_strings(src);
         assert!(rec.contains(&"WScript.Shell".to_string()), "{rec:?}");
     }

@@ -37,7 +37,9 @@ pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -
         .filter(|t| {
             if let TokenKind::StringLit(value) = &t.kind {
                 value.chars().count() >= MIN_SPLIT_LEN
-                    && !attribute_lines.iter().any(|&(s, e)| t.start >= s && t.end <= e)
+                    && !attribute_lines
+                        .iter()
+                        .any(|&(s, e)| t.start >= s && t.end <= e)
             } else {
                 false
             }
@@ -49,10 +51,16 @@ pub fn apply_limited<R: Rng + ?Sized>(source: &str, limit: usize, rng: &mut R) -
 
     let mut edits: Vec<(usize, usize, String)> = Vec::new();
     for t in eligible {
-        let TokenKind::StringLit(value) = &t.kind else { continue };
+        let TokenKind::StringLit(value) = &t.kind else {
+            continue;
+        };
         let pieces = split_pieces(value, rng);
         let hoist = rng.gen_ratio(1, 3) && pieces.len() >= 2;
-        let hoist_index = if hoist { rng.gen_range(0..pieces.len()) } else { usize::MAX };
+        let hoist_index = if hoist {
+            rng.gen_range(0..pieces.len())
+        } else {
+            usize::MAX
+        };
         let mut expr = String::new();
         for (i, piece) in pieces.iter().enumerate() {
             if i > 0 {
@@ -118,7 +126,11 @@ pub(crate) fn attribute_line_spans(source: &str) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut offset = 0usize;
     for line in source.split_inclusive('\n') {
-        if line.trim_start().to_ascii_lowercase().starts_with("attribute ") {
+        if line
+            .trim_start()
+            .to_ascii_lowercase()
+            .starts_with("attribute ")
+        {
             spans.push((offset, offset + line.len()));
         }
         offset += line.len();

@@ -85,7 +85,10 @@ pub(crate) fn validate_name(name: &str) -> Result<(), OleError> {
 pub(crate) fn name_cmp(a: &str, b: &str) -> std::cmp::Ordering {
     let a_units: Vec<u16> = a.to_uppercase().encode_utf16().collect();
     let b_units: Vec<u16> = b.to_uppercase().encode_utf16().collect();
-    a_units.len().cmp(&b_units.len()).then_with(|| a_units.cmp(&b_units))
+    a_units
+        .len()
+        .cmp(&b_units.len())
+        .then_with(|| a_units.cmp(&b_units))
 }
 
 #[cfg(test)]
@@ -115,7 +118,12 @@ mod tests {
 
     #[test]
     fn object_type_roundtrip() {
-        for t in [ObjectType::Unknown, ObjectType::Storage, ObjectType::Stream, ObjectType::Root] {
+        for t in [
+            ObjectType::Unknown,
+            ObjectType::Storage,
+            ObjectType::Stream,
+            ObjectType::Root,
+        ] {
             assert_eq!(ObjectType::from_u8(t.to_u8()), Some(t));
         }
         assert_eq!(ObjectType::from_u8(3), None);

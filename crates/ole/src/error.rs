@@ -47,7 +47,10 @@ impl fmt::Display for OleError {
             OleError::BadHeader(msg) => write!(f, "malformed compound file header: {msg}"),
             OleError::Truncated { sector } => write!(f, "file truncated at sector {sector}"),
             OleError::ChainCycle { start } => {
-                write!(f, "sector chain starting at {start} loops or overruns the file")
+                write!(
+                    f,
+                    "sector chain starting at {start} loops or overruns the file"
+                )
             }
             OleError::BadDirEntry { id, reason } => {
                 write!(f, "malformed directory entry {id}: {reason}")

@@ -4,6 +4,7 @@ use crate::consts::*;
 use crate::entry::{DirEntry, ObjectType};
 use crate::OleError;
 use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_metrics::{Counter, Stage};
 
 /// Resource caps applied while parsing a compound file.
 ///
@@ -99,6 +100,7 @@ impl OleFile {
         budget: Budget,
     ) -> Result<Self, OleError> {
         faultpoint!("ole::parse", Err(OleError::BadSignature));
+        let _t = budget.metrics().time(Stage::OleParseNs);
         if data.len() < 512 || data[..8] != SIGNATURE {
             return Err(OleError::BadSignature);
         }
@@ -127,8 +129,11 @@ impl OleFile {
 
         // Split the body into sectors (a trailing partial sector is padded;
         // some writers truncate the final sector).
-        let body =
-            if sector_size == 512 { &data[512..] } else { &data[4096.min(data.len())..] };
+        let body = if sector_size == 512 {
+            &data[512..]
+        } else {
+            &data[4096.min(data.len())..]
+        };
         let sector_count = body.len().div_ceil(sector_size);
         if sector_count > limits.max_sectors {
             return Err(OleError::LimitExceeded {
@@ -139,6 +144,9 @@ impl OleFile {
         // Sector split, DIFAT walk and FAT build are all linear in the
         // sector count; one upfront charge covers them.
         budget.charge(sector_count as u64 / 8 + 1)?;
+        budget
+            .metrics()
+            .count(Counter::OleSectors, sector_count as u64);
         let mut sectors = Vec::with_capacity(sector_count);
         for i in 0..sector_count {
             let start = i * sector_size;
@@ -162,10 +170,15 @@ impl OleFile {
         while difat_sector <= MAXREGSECT {
             let sector = sectors
                 .get(difat_sector as usize)
-                .ok_or(OleError::Truncated { sector: difat_sector })?;
+                .ok_or(OleError::Truncated {
+                    sector: difat_sector,
+                })?;
             if std::mem::replace(&mut difat_visited[difat_sector as usize], true) {
-                return Err(OleError::ChainCycle { start: first_difat_sector });
+                return Err(OleError::ChainCycle {
+                    start: first_difat_sector,
+                });
             }
+            budget.metrics().count(Counter::OleDifatSectors, 1);
             for i in 0..entries_per_difat {
                 let v = u32_at(sector, 4 * i);
                 if v != FREESECT {
@@ -183,8 +196,10 @@ impl OleFile {
             if fs > MAXREGSECT {
                 continue;
             }
-            let sector =
-                sectors.get(fs as usize).ok_or(OleError::Truncated { sector: fs })?;
+            let sector = sectors
+                .get(fs as usize)
+                .ok_or(OleError::Truncated { sector: fs })?;
+            budget.metrics().count(Counter::OleFatSectors, 1);
             for i in 0..sector_size / 4 {
                 fat.push(u32_at(sector, 4 * i));
             }
@@ -216,33 +231,48 @@ impl OleFile {
             entries.push(Self::parse_dir_entry(id as u32, chunk)?);
         }
         if entries.is_empty() || entries[0].object_type != ObjectType::Root {
-            return Err(OleError::BadDirEntry { id: 0, reason: "missing root entry" });
+            return Err(OleError::BadDirEntry {
+                id: 0,
+                reason: "missing root entry",
+            });
         }
 
         // MiniFAT + mini stream.
-        let minifat_data = file.read_chain_checked(
-            first_minifat_sector,
-            num_minifat_sectors * sector_size,
-        )?;
-        let minifat: Vec<u32> =
-            minifat_data.chunks_exact(4).map(|c| u32_at(c, 0)).collect();
+        let minifat_data =
+            file.read_chain_checked(first_minifat_sector, num_minifat_sectors * sector_size)?;
+        let minifat: Vec<u32> = minifat_data.chunks_exact(4).map(|c| u32_at(c, 0)).collect();
         let mini_stream = file.read_chain(entries[0].start_sector, entries[0].size as usize)?;
 
-        Ok(OleFile { minifat, entries, mini_stream, ..file })
+        file.budget.metrics().count(Counter::OleParses, 1);
+        file.budget
+            .metrics()
+            .count(Counter::OleDirEntries, entries.len() as u64);
+        Ok(OleFile {
+            minifat,
+            entries,
+            mini_stream,
+            ..file
+        })
     }
 
     fn parse_dir_entry(id: u32, raw: &[u8]) -> Result<DirEntry, OleError> {
         let name_len_bytes = u16_at(raw, 64) as usize;
-        let object_type = ObjectType::from_u8(raw[66])
-            .ok_or(OleError::BadDirEntry { id, reason: "invalid object type" })?;
+        let object_type = ObjectType::from_u8(raw[66]).ok_or(OleError::BadDirEntry {
+            id,
+            reason: "invalid object type",
+        })?;
         let name = if object_type == ObjectType::Unknown || name_len_bytes < 2 {
             String::new()
         } else {
             if name_len_bytes > 64 || !name_len_bytes.is_multiple_of(2) {
-                return Err(OleError::BadDirEntry { id, reason: "bad name length" });
+                return Err(OleError::BadDirEntry {
+                    id,
+                    reason: "bad name length",
+                });
             }
-            let units: Vec<u16> =
-                (0..(name_len_bytes - 2) / 2).map(|i| u16_at(raw, 2 * i)).collect();
+            let units: Vec<u16> = (0..(name_len_bytes - 2) / 2)
+                .map(|i| u16_at(raw, 2 * i))
+                .collect();
             String::from_utf16_lossy(&units)
         };
         Ok(DirEntry {
@@ -260,7 +290,11 @@ impl OleFile {
     /// visited-sector guard turns cyclic or self-referencing chains into
     /// [`OleError::ChainCycle`] instead of an unbounded walk.
     fn read_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
-        faultpoint!("ole::read_chain", Err(OleError::Truncated { sector: start }));
+        faultpoint!(
+            "ole::read_chain",
+            Err(OleError::Truncated { sector: start })
+        );
+        self.budget.metrics().count(Counter::OleChainReads, 1);
         let mut out = Vec::new();
         let mut sector = start;
         let mut visited = vec![false; self.sectors.len()];
@@ -283,6 +317,9 @@ impl OleFile {
             }
         }
         out.truncate(max_len);
+        self.budget
+            .metrics()
+            .count(Counter::OleChainBytes, out.len() as u64);
         Ok(out)
     }
 
@@ -298,6 +335,7 @@ impl OleFile {
     /// Follows a miniFAT chain through the mini stream, with the same
     /// visited-sector cycle guard as [`Self::read_chain`].
     fn read_mini_chain(&self, start: u32, max_len: usize) -> Result<Vec<u8>, OleError> {
+        self.budget.metrics().count(Counter::OleChainReads, 1);
         let mut out = Vec::new();
         let mut sector = start;
         let mut visited = vec![false; self.minifat.len()];
@@ -323,6 +361,9 @@ impl OleFile {
             }
         }
         out.truncate(max_len);
+        self.budget
+            .metrics()
+            .count(Counter::OleChainBytes, out.len() as u64);
         Ok(out)
     }
 
@@ -467,8 +508,14 @@ mod tests {
 
     #[test]
     fn rejects_non_cfb() {
-        assert!(matches!(OleFile::parse(b"PK\x03\x04"), Err(OleError::BadSignature)));
-        assert!(matches!(OleFile::parse(&[0u8; 600]), Err(OleError::BadSignature)));
+        assert!(matches!(
+            OleFile::parse(b"PK\x03\x04"),
+            Err(OleError::BadSignature)
+        ));
+        assert!(matches!(
+            OleFile::parse(&[0u8; 600]),
+            Err(OleError::BadSignature)
+        ));
     }
 
     #[test]
@@ -476,7 +523,10 @@ mod tests {
         let mut data = vec![0u8; 1024];
         data[..8].copy_from_slice(&SIGNATURE);
         // Valid signature but zeroed header fields -> bad byte order.
-        assert!(matches!(OleFile::parse(&data), Err(OleError::BadHeader("byte order mark"))));
+        assert!(matches!(
+            OleFile::parse(&data),
+            Err(OleError::BadHeader("byte order mark"))
+        ));
     }
 
     #[test]

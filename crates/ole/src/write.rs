@@ -44,10 +44,17 @@ impl Default for OleBuilder {
 impl OleBuilder {
     /// Creates an empty builder (just a root storage).
     pub fn new() -> Self {
-        OleBuilder { nodes: vec![Node::default()] }
+        OleBuilder {
+            nodes: vec![Node::default()],
+        }
     }
 
-    fn ensure_storage(&mut self, path_so_far: &str, parent: usize, name: &str) -> Result<usize, OleError> {
+    fn ensure_storage(
+        &mut self,
+        path_so_far: &str,
+        parent: usize,
+        name: &str,
+    ) -> Result<usize, OleError> {
         validate_name(name)?;
         if let Some(&idx) = self.nodes[parent].children.get(name) {
             if self.nodes[idx].data.is_some() {
@@ -99,9 +106,14 @@ impl OleBuilder {
         if self.nodes[current].children.contains_key(*stream_name) {
             return Err(OleError::DuplicatePath(path.to_string()));
         }
-        self.nodes.push(Node { children: BTreeMap::new(), data: Some(data.to_vec()) });
+        self.nodes.push(Node {
+            children: BTreeMap::new(),
+            data: Some(data.to_vec()),
+        });
         let idx = self.nodes.len() - 1;
-        self.nodes[current].children.insert(stream_name.to_string(), idx);
+        self.nodes[current]
+            .children
+            .insert(stream_name.to_string(), idx);
         Ok(self)
     }
 
@@ -153,8 +165,11 @@ impl OleBuilder {
             for name in child_names {
                 let child_node = self.nodes[node_idx].children[name];
                 let data = self.nodes[child_node].data.clone();
-                let object_type =
-                    if data.is_some() { ObjectType::Stream } else { ObjectType::Storage };
+                let object_type = if data.is_some() {
+                    ObjectType::Stream
+                } else {
+                    ObjectType::Storage
+                };
                 flat.push(FlatEntry {
                     name: name.clone(),
                     object_type,
@@ -198,7 +213,11 @@ impl OleBuilder {
                     }
                     let nsec = (mini_stream.len() / MINI_SECTOR_SIZE) as u32 - first;
                     for i in 0..nsec {
-                        minifat.push(if i + 1 == nsec { ENDOFCHAIN } else { first + i + 1 });
+                        minifat.push(if i + 1 == nsec {
+                            ENDOFCHAIN
+                        } else {
+                            first + i + 1
+                        });
                     }
                 } else {
                     regular.push((id, data));
@@ -245,8 +264,11 @@ impl OleBuilder {
         let mut fat = vec![FREESECT; fat_sectors * entries_per_fat];
         let chain = |fat: &mut Vec<u32>, start: usize, count: usize| {
             for i in 0..count {
-                fat[start + i] =
-                    if i + 1 == count { ENDOFCHAIN } else { (start + i + 1) as u32 };
+                fat[start + i] = if i + 1 == count {
+                    ENDOFCHAIN
+                } else {
+                    (start + i + 1) as u32
+                };
             }
         };
         for i in 0..difat_sectors {
@@ -272,8 +294,11 @@ impl OleBuilder {
         debug_assert_eq!(next_regular, total_sectors);
 
         // Root entry's "stream" is the mini stream.
-        start_sector[0] =
-            if ministream_sectors > 0 { ministream_start as u32 } else { ENDOFCHAIN };
+        start_sector[0] = if ministream_sectors > 0 {
+            ministream_start as u32
+        } else {
+            ENDOFCHAIN
+        };
 
         // --- 4. Serialize. ----------------------------------------------
         let mut out = Vec::with_capacity(512 + total_sectors * sect);
@@ -292,11 +317,18 @@ impl OleBuilder {
         out.extend_from_slice(&(dir_start as u32).to_le_bytes());
         out.extend_from_slice(&0u32.to_le_bytes()); // transaction signature
         out.extend_from_slice(&MINI_STREAM_CUTOFF.to_le_bytes());
-        let first_minifat =
-            if minifat_sectors > 0 { minifat_start as u32 } else { ENDOFCHAIN };
+        let first_minifat = if minifat_sectors > 0 {
+            minifat_start as u32
+        } else {
+            ENDOFCHAIN
+        };
         out.extend_from_slice(&first_minifat.to_le_bytes());
         out.extend_from_slice(&(minifat_sectors as u32).to_le_bytes());
-        let first_difat = if difat_sectors > 0 { difat_start as u32 } else { ENDOFCHAIN };
+        let first_difat = if difat_sectors > 0 {
+            difat_start as u32
+        } else {
+            ENDOFCHAIN
+        };
         out.extend_from_slice(&first_difat.to_le_bytes());
         out.extend_from_slice(&(difat_sectors as u32).to_le_bytes());
         for i in 0..HEADER_DIFAT_ENTRIES {
@@ -314,10 +346,18 @@ impl OleBuilder {
             let mut sector = Vec::with_capacity(sect);
             for i in 0..(entries_per_fat - 1) {
                 let fat_idx = HEADER_DIFAT_ENTRIES + ds * (entries_per_fat - 1) + i;
-                let v = if fat_idx < fat_sectors { (fat_start + fat_idx) as u32 } else { FREESECT };
+                let v = if fat_idx < fat_sectors {
+                    (fat_start + fat_idx) as u32
+                } else {
+                    FREESECT
+                };
                 sector.extend_from_slice(&v.to_le_bytes());
             }
-            let next = if ds + 1 < difat_sectors { (difat_start + ds + 1) as u32 } else { ENDOFCHAIN };
+            let next = if ds + 1 < difat_sectors {
+                (difat_start + ds + 1) as u32
+            } else {
+                ENDOFCHAIN
+            };
             sector.extend_from_slice(&next.to_le_bytes());
             out.extend_from_slice(&sector);
         }
@@ -450,7 +490,12 @@ mod tests {
         paths.sort();
         assert_eq!(
             paths,
-            vec!["Macros/PROJECT", "Macros/VBA/Module1", "Macros/VBA/dir", "WordDocument"]
+            vec![
+                "Macros/PROJECT",
+                "Macros/VBA/Module1",
+                "Macros/VBA/dir",
+                "WordDocument"
+            ]
         );
         assert_eq!(ole.open_stream("Macros/VBA/dir").unwrap(), b"dir data");
         assert!(ole.exists("Macros/VBA"));
@@ -469,14 +514,20 @@ mod tests {
     fn duplicate_stream_rejected() {
         let mut b = OleBuilder::new();
         b.add_stream("a", b"1").unwrap();
-        assert!(matches!(b.add_stream("a", b"2"), Err(OleError::DuplicatePath(_))));
+        assert!(matches!(
+            b.add_stream("a", b"2"),
+            Err(OleError::DuplicatePath(_))
+        ));
     }
 
     #[test]
     fn stream_storage_collision_rejected() {
         let mut b = OleBuilder::new();
         b.add_stream("a", b"1").unwrap();
-        assert!(matches!(b.add_stream("a/b", b"2"), Err(OleError::WrongType(_))));
+        assert!(matches!(
+            b.add_stream("a/b", b"2"),
+            Err(OleError::WrongType(_))
+        ));
     }
 
     #[test]
@@ -492,8 +543,14 @@ mod tests {
         let mut b = OleBuilder::new();
         b.add_stream("dir/leaf", b"x").unwrap();
         let ole = OleFile::parse(&b.build()).unwrap();
-        assert!(matches!(ole.open_stream("dir"), Err(OleError::WrongType(_))));
-        assert!(matches!(ole.open_stream("nope"), Err(OleError::NotFound(_))));
+        assert!(matches!(
+            ole.open_stream("dir"),
+            Err(OleError::WrongType(_))
+        ));
+        assert!(matches!(
+            ole.open_stream("nope"),
+            Err(OleError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -505,7 +562,8 @@ mod tests {
         }
         // Plus some large ones to grow the FAT.
         for i in 0..10 {
-            b.add_stream(&format!("big{i}"), &vec![i as u8; 100_000]).unwrap();
+            b.add_stream(&format!("big{i}"), &vec![i as u8; 100_000])
+                .unwrap();
         }
         let ole = OleFile::parse(&b.build()).unwrap();
         assert_eq!(ole.stream_paths().len(), 210);

@@ -10,6 +10,7 @@
 
 use crate::OvbaError;
 use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_metrics::Counter;
 
 /// Decompressed bytes per chunk.
 const CHUNK: usize = 4096;
@@ -70,13 +71,17 @@ pub fn decompress_budgeted(
     budget: &Budget,
 ) -> Result<Vec<u8>, OvbaError> {
     faultpoint!("ovba::decompress", Err(OvbaError::TruncatedContainer));
-    let (&sig, mut rest) = container.split_first().ok_or(OvbaError::TruncatedContainer)?;
+    let (&sig, mut rest) = container
+        .split_first()
+        .ok_or(OvbaError::TruncatedContainer)?;
     if sig != 0x01 {
         return Err(OvbaError::BadContainerSignature(sig));
     }
+    budget.metrics().count(Counter::OvbaDecompressCalls, 1);
     let mut out = Vec::new();
     while !rest.is_empty() {
         budget.charge(1)?;
+        budget.metrics().count(Counter::OvbaChunks, 1);
         if rest.len() < 2 {
             return Err(OvbaError::TruncatedContainer);
         }
@@ -104,9 +109,15 @@ pub fn decompress_budgeted(
             return Err(OvbaError::ChunkOverflow);
         }
         if out.len() > limit {
-            return Err(OvbaError::LimitExceeded { what: "decompressed container", limit });
+            return Err(OvbaError::LimitExceeded {
+                what: "decompressed container",
+                limit,
+            });
         }
     }
+    budget
+        .metrics()
+        .count(Counter::OvbaBytesOut, out.len() as u64);
     Ok(out)
 }
 
@@ -118,8 +129,7 @@ pub fn decompress_budgeted(
 /// compressed container is found embedded at an arbitrary offset of a
 /// damaged stream.
 pub fn decompress_salvage(container: &[u8], limit: usize) -> Option<(Vec<u8>, usize)> {
-    decompress_salvage_budgeted(container, limit, &Budget::unlimited())
-        .unwrap_or(None)
+    decompress_salvage_budgeted(container, limit, &Budget::unlimited()).unwrap_or(None)
 }
 
 /// Like [`decompress_salvage`] but charges one fuel unit per decoded chunk
@@ -135,7 +145,9 @@ pub fn decompress_salvage_budgeted(
     limit: usize,
     budget: &Budget,
 ) -> Result<Option<(Vec<u8>, usize)>, OvbaError> {
-    let Some((&sig, _)) = container.split_first() else { return Ok(None) };
+    let Some((&sig, _)) = container.split_first() else {
+        return Ok(None);
+    };
     if sig != 0x01 {
         return Ok(None);
     }
@@ -143,6 +155,7 @@ pub fn decompress_salvage_budgeted(
     let mut out = Vec::new();
     while container.len() - consumed >= 2 {
         budget.charge(1)?;
+        budget.metrics().count(Counter::OvbaChunks, 1);
         let rest = &container[consumed..];
         let header = u16::from_le_bytes([rest[0], rest[1]]);
         if (header >> 12) & 0b111 != 0b011 {
@@ -189,7 +202,11 @@ fn decompress_chunk(
             }
             if out.len() - chunk_start >= CHUNK {
                 // Fully decoded; remaining bytes would overflow the chunk.
-                return if data.is_empty() { Ok(()) } else { Err(OvbaError::ChunkOverflow) };
+                return if data.is_empty() {
+                    Ok(())
+                } else {
+                    Err(OvbaError::ChunkOverflow)
+                };
             }
             if flags & (1 << bit) == 0 {
                 out.push(data[0]);
@@ -202,13 +219,19 @@ fn decompress_chunk(
                 data = &data[2..];
                 let d = out.len() - chunk_start;
                 if d == 0 {
-                    return Err(OvbaError::BadCopyToken { offset: 0, position: out.len() });
+                    return Err(OvbaError::BadCopyToken {
+                        offset: 0,
+                        position: out.len(),
+                    });
                 }
                 let (bit_count, length_mask, offset_mask) = copy_token_split(d);
                 let length = (token & length_mask) as usize + 3;
                 let offset = ((token & offset_mask) >> (16 - bit_count)) as usize + 1;
                 if offset > out.len() {
-                    return Err(OvbaError::BadCopyToken { offset, position: out.len() });
+                    return Err(OvbaError::BadCopyToken {
+                        offset,
+                        position: out.len(),
+                    });
                 }
                 if out.len() - chunk_start + length > CHUNK {
                     return Err(OvbaError::ChunkOverflow);
@@ -274,8 +297,7 @@ fn compress_chunk(chunk: &[u8]) -> Vec<u8> {
     const HASH_SIZE: usize = 1 << HASH_BITS;
     const MAX_CHAIN: usize = 64;
     let hash = |i: usize| -> usize {
-        let h =
-            (chunk[i] as u32) | ((chunk[i + 1] as u32) << 8) | ((chunk[i + 2] as u32) << 16);
+        let h = (chunk[i] as u32) | ((chunk[i + 1] as u32) << 8) | ((chunk[i + 2] as u32) << 16);
         (h.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS as u32)) as usize
     };
     let mut head = vec![usize::MAX; HASH_SIZE];
@@ -318,8 +340,8 @@ fn compress_chunk(chunk: &[u8]) -> Vec<u8> {
             }
             if best_len >= 3 {
                 let (bit_count, length_mask, _) = copy_token_split(i);
-                let token =
-                    (((best_off - 1) as u16) << (16 - bit_count)) | ((best_len - 3) as u16 & length_mask);
+                let token = (((best_off - 1) as u16) << (16 - bit_count))
+                    | ((best_len - 3) as u16 & length_mask);
                 flags |= 1 << bit;
                 out.extend_from_slice(&token.to_le_bytes());
                 let end = (i + best_len).min(chunk.len().saturating_sub(2));
@@ -437,21 +459,34 @@ mod tests {
     fn long_runs_use_copy_tokens() {
         let data = vec![b'x'; 4000];
         let packed = compress(&data);
-        assert!(packed.len() < 64, "run-length data should be tiny, got {}", packed.len());
+        assert!(
+            packed.len() < 64,
+            "run-length data should be tiny, got {}",
+            packed.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
     #[test]
     fn bad_signature_rejected() {
-        assert!(matches!(decompress(&[0x02]), Err(OvbaError::BadContainerSignature(0x02))));
-        assert!(matches!(decompress(&[]), Err(OvbaError::TruncatedContainer)));
+        assert!(matches!(
+            decompress(&[0x02]),
+            Err(OvbaError::BadContainerSignature(0x02))
+        ));
+        assert!(matches!(
+            decompress(&[]),
+            Err(OvbaError::TruncatedContainer)
+        ));
     }
 
     #[test]
     fn bad_chunk_signature_rejected() {
         // Header with signature bits 0b000.
         let container = [0x01, 0x05, 0x80, 0, 0, 0];
-        assert!(matches!(decompress(&container), Err(OvbaError::BadChunkSignature(_))));
+        assert!(matches!(
+            decompress(&container),
+            Err(OvbaError::BadChunkSignature(_))
+        ));
     }
 
     #[test]
@@ -466,7 +501,10 @@ mod tests {
         // Chunk whose first token is a copy (flag bit 0 set) — no history.
         // Data = flag byte + 2-byte token = 3 bytes; size field = 3+2-3 = 2.
         let container = [0x01, 0x02, 0xB0, 0x01, 0x00, 0x00];
-        assert!(matches!(decompress(&container), Err(OvbaError::BadCopyToken { .. })));
+        assert!(matches!(
+            decompress(&container),
+            Err(OvbaError::BadCopyToken { .. })
+        ));
     }
 
     #[test]
@@ -491,9 +529,16 @@ mod tests {
     #[test]
     fn split_boundaries_match_spec_table() {
         // MS-OVBA §2.4.1.3.19.3: difference -> bit count.
-        for (d, expect) in
-            [(1usize, 4u32), (16, 4), (17, 5), (32, 5), (33, 6), (1024, 10), (2048, 11), (4096, 12)]
-        {
+        for (d, expect) in [
+            (1usize, 4u32),
+            (16, 4),
+            (17, 5),
+            (32, 5),
+            (33, 6),
+            (1024, 10),
+            (2048, 11),
+            (4096, 12),
+        ] {
             assert_eq!(copy_token_split(d).0, expect, "d={d}");
         }
     }

@@ -81,7 +81,9 @@ fn decode_mbcs(bytes: &[u8]) -> String {
 }
 
 fn encode_mbcs(s: &str) -> Vec<u8> {
-    s.chars().map(|c| if (c as u32) < 256 { c as u8 } else { b'?' }).collect()
+    s.chars()
+        .map(|c| if (c as u32) < 256 { c as u8 } else { b'?' })
+        .collect()
 }
 
 fn encode_utf16(s: &str) -> Vec<u8> {
@@ -102,12 +104,9 @@ impl DirStream {
 
         while pos + 6 <= data.len() {
             let id = u16::from_le_bytes([data[pos], data[pos + 1]]);
-            let mut size = u32::from_le_bytes([
-                data[pos + 2],
-                data[pos + 3],
-                data[pos + 4],
-                data[pos + 5],
-            ]) as usize;
+            let mut size =
+                u32::from_le_bytes([data[pos + 2], data[pos + 3], data[pos + 4], data[pos + 5]])
+                    as usize;
             // PROJECTVERSION (0x09): the size field is a reserved constant 4
             // but the payload is actually 6 bytes (u32 major + u16 minor).
             if id == 0x09 {
@@ -115,7 +114,10 @@ impl DirStream {
             }
             pos += 6;
             if pos + size > data.len() {
-                return Err(OvbaError::BadDirRecord { id, reason: "record overruns stream" });
+                return Err(OvbaError::BadDirRecord {
+                    id,
+                    reason: "record overruns stream",
+                });
             }
             let payload = &data[pos..pos + size];
             pos += size;
@@ -129,7 +131,10 @@ impl DirStream {
                 }
                 0x03 => {
                     if payload.len() < 2 {
-                        return Err(OvbaError::BadDirRecord { id, reason: "short codepage" });
+                        return Err(OvbaError::BadDirRecord {
+                            id,
+                            reason: "short codepage",
+                        });
                     }
                     dir.codepage = u16::from_le_bytes([payload[0], payload[1]]);
                 }
@@ -236,12 +241,12 @@ impl DirStream {
         rec(&mut out, 0x3D, &encode_mbcs(&self.help_file));
         rec(&mut out, 0x07, &self.help_context.to_le_bytes());
         rec(&mut out, 0x08, &0u32.to_le_bytes()); // LIBFLAGS
-        // PROJECTVERSION: reserved size field 4, 6 payload bytes.
+                                                  // PROJECTVERSION: reserved size field 4, 6 payload bytes.
         out.extend_from_slice(&0x09u16.to_le_bytes());
         out.extend_from_slice(&4u32.to_le_bytes());
         out.extend_from_slice(&1u32.to_le_bytes()); // version major
         out.extend_from_slice(&0u16.to_le_bytes()); // version minor
-        // CONSTANTS: MBCS + unicode mirror.
+                                                    // CONSTANTS: MBCS + unicode mirror.
         rec(&mut out, 0x0C, b"");
         rec(&mut out, 0x3C, b"");
 
@@ -282,7 +287,9 @@ fn read_u32(payload: &[u8], id: u16, what: &'static str) -> Result<u32, OvbaErro
     if payload.len() < 4 {
         return Err(OvbaError::BadDirRecord { id, reason: what });
     }
-    Ok(u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]))
+    Ok(u32::from_le_bytes([
+        payload[0], payload[1], payload[2], payload[3],
+    ]))
 }
 
 #[cfg(test)]

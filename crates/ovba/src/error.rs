@@ -26,7 +26,11 @@ pub enum OvbaError {
     /// A module's stream is missing from the OLE file.
     MissingModuleStream(String),
     /// A module's text offset lies beyond its stream.
-    BadModuleOffset { module: String, offset: u32, stream_len: usize },
+    BadModuleOffset {
+        module: String,
+        offset: u32,
+        stream_len: usize,
+    },
     /// A configured resource limit was exceeded (decompressed size, module
     /// count…). Distinguished from malformed-structure errors so callers can
     /// report capped inputs as a typed outcome.
@@ -48,14 +52,20 @@ impl fmt::Display for OvbaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OvbaError::BadContainerSignature(b) => {
-                write!(f, "compressed container signature is {b:#04x}, expected 0x01")
+                write!(
+                    f,
+                    "compressed container signature is {b:#04x}, expected 0x01"
+                )
             }
             OvbaError::BadChunkSignature(h) => {
                 write!(f, "chunk header {h:#06x} has invalid signature bits")
             }
             OvbaError::TruncatedContainer => write!(f, "compressed container is truncated"),
             OvbaError::BadCopyToken { offset, position } => {
-                write!(f, "copy token offset {offset} at position {position} underflows output")
+                write!(
+                    f,
+                    "copy token offset {offset} at position {position} underflows output"
+                )
             }
             OvbaError::ChunkOverflow => write!(f, "chunk decompresses beyond 4096 bytes"),
             OvbaError::BadDirRecord { id, reason } => {
@@ -64,7 +74,11 @@ impl fmt::Display for OvbaError {
             OvbaError::MissingDirRecord(name) => write!(f, "dir stream missing record: {name}"),
             OvbaError::NoVbaProject => write!(f, "no VBA project found in compound file"),
             OvbaError::MissingModuleStream(name) => write!(f, "missing module stream: {name}"),
-            OvbaError::BadModuleOffset { module, offset, stream_len } => write!(
+            OvbaError::BadModuleOffset {
+                module,
+                offset,
+                stream_len,
+            } => write!(
                 f,
                 "module {module}: text offset {offset} beyond stream length {stream_len}"
             ),

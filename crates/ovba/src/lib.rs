@@ -40,8 +40,8 @@ pub mod project_stream;
 pub mod salvage;
 
 pub use compression::{
-    compress, decompress, decompress_budgeted, decompress_salvage,
-    decompress_salvage_budgeted, decompress_with_limit, DEFAULT_MAX_DECOMPRESSED,
+    compress, decompress, decompress_budgeted, decompress_salvage, decompress_salvage_budgeted,
+    decompress_with_limit, DEFAULT_MAX_DECOMPRESSED,
 };
 pub use dir::{DirStream, ModuleRecord, ModuleType};
 pub use error::OvbaError;

@@ -4,6 +4,7 @@ use crate::compression::{compress, decompress_budgeted};
 use crate::dir::{DirStream, ModuleRecord, ModuleType};
 use crate::OvbaError;
 use vbadet_faultpoint::Budget;
+use vbadet_metrics::Stage;
 use vbadet_ole::{OleBuilder, OleFile};
 
 /// Resource caps applied while extracting a VBA project.
@@ -79,10 +80,7 @@ impl VbaProject {
     /// In addition to the errors of [`VbaProject::from_ole`], returns
     /// [`OvbaError::LimitExceeded`] when the project exceeds the module
     /// count or decompressed-size caps in `limits`.
-    pub fn from_ole_with_limits(
-        ole: &OleFile,
-        limits: &OvbaLimits,
-    ) -> Result<Self, OvbaError> {
+    pub fn from_ole_with_limits(ole: &OleFile, limits: &OvbaLimits) -> Result<Self, OvbaError> {
         Self::from_ole_budgeted(ole, limits, &Budget::unlimited())
     }
 
@@ -151,12 +149,18 @@ impl VbaProject {
         limits: &OvbaLimits,
         budget: &Budget,
     ) -> Result<Self, OvbaError> {
-        let dir_bytes = ole.open_stream(&join(root, "VBA/dir")).map_err(|e| match e {
-            vbadet_ole::OleError::DeadlineExceeded(why) => why.into(),
-            _ => OvbaError::NoVbaProject,
-        })?;
-        let dir =
-            DirStream::parse(&decompress_budgeted(&dir_bytes, limits.max_dir_bytes, budget)?)?;
+        let _t = budget.metrics().time(Stage::OvbaProjectNs);
+        let dir_bytes = ole
+            .open_stream(&join(root, "VBA/dir"))
+            .map_err(|e| match e {
+                vbadet_ole::OleError::DeadlineExceeded(why) => why.into(),
+                _ => OvbaError::NoVbaProject,
+            })?;
+        let dir = DirStream::parse(&decompress_budgeted(
+            &dir_bytes,
+            limits.max_dir_bytes,
+            budget,
+        )?)?;
         if dir.modules.len() > limits.max_modules {
             return Err(OvbaError::LimitExceeded {
                 what: "module count",
@@ -166,8 +170,11 @@ impl VbaProject {
 
         let mut modules = Vec::with_capacity(dir.modules.len());
         for record in &dir.modules {
-            let stream_name =
-                if record.stream_name.is_empty() { &record.name } else { &record.stream_name };
+            let stream_name = if record.stream_name.is_empty() {
+                &record.name
+            } else {
+                &record.stream_name
+            };
             let stream_path = join(root, &format!("VBA/{stream_name}"));
             let stream = ole.open_stream(&stream_path).map_err(|e| match e {
                 vbadet_ole::OleError::DeadlineExceeded(why) => why.into(),
@@ -188,7 +195,11 @@ impl VbaProject {
                 module_type: record.module_type,
             });
         }
-        Ok(VbaProject { name: dir.name, root: root.to_string(), modules })
+        Ok(VbaProject {
+            name: dir.name,
+            root: root.to_string(),
+            modules,
+        })
     }
 }
 
@@ -225,12 +236,16 @@ pub struct VbaProjectBuilder {
 impl VbaProjectBuilder {
     /// Creates a builder for a project named `name`.
     pub fn new(name: &str) -> Self {
-        VbaProjectBuilder { name: name.to_string(), modules: Vec::new() }
+        VbaProjectBuilder {
+            name: name.to_string(),
+            modules: Vec::new(),
+        }
     }
 
     /// Adds a procedural module with the given source code.
     pub fn add_module(&mut self, name: &str, code: &str) -> &mut Self {
-        self.modules.push((name.to_string(), code.to_string(), ModuleType::Procedural));
+        self.modules
+            .push((name.to_string(), code.to_string(), ModuleType::Procedural));
         self
     }
 
@@ -276,8 +291,10 @@ impl VbaProjectBuilder {
         ole.add_stream(&join(root, "VBA/_VBA_PROJECT"), &vba_project_stream)?;
 
         for (name, code, _) in &self.modules {
-            let bytes: Vec<u8> =
-                code.chars().map(|c| if (c as u32) < 256 { c as u8 } else { b'?' }).collect();
+            let bytes: Vec<u8> = code
+                .chars()
+                .map(|c| if (c as u32) < 256 { c as u8 } else { b'?' })
+                .collect();
             ole.add_stream(&join(root, &format!("VBA/{name}")), &compress(&bytes))?;
         }
 
@@ -372,7 +389,9 @@ mod tests {
     fn excel_style_root() {
         let mut ole = OleBuilder::new();
         ole.add_stream("Workbook", &vec![0u8; 4096]).unwrap();
-        two_module_project().write_into(&mut ole, "_VBA_PROJECT_CUR").unwrap();
+        two_module_project()
+            .write_into(&mut ole, "_VBA_PROJECT_CUR")
+            .unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
         let project = VbaProject::from_ole(&parsed).unwrap();
         assert_eq!(project.root, "_VBA_PROJECT_CUR");
@@ -381,7 +400,9 @@ mod tests {
     #[test]
     fn unusual_root_found_by_fallback_scan() {
         let mut ole = OleBuilder::new();
-        two_module_project().write_into(&mut ole, "OddRoot").unwrap();
+        two_module_project()
+            .write_into(&mut ole, "OddRoot")
+            .unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
         let project = VbaProject::from_ole(&parsed).unwrap();
         assert_eq!(project.root, "OddRoot");
@@ -392,7 +413,10 @@ mod tests {
         let mut ole = OleBuilder::new();
         ole.add_stream("WordDocument", b"not a macro doc").unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
-        assert!(matches!(VbaProject::from_ole(&parsed), Err(OvbaError::NoVbaProject)));
+        assert!(matches!(
+            VbaProject::from_ole(&parsed),
+            Err(OvbaError::NoVbaProject)
+        ));
     }
 
     #[test]
@@ -410,7 +434,8 @@ mod tests {
             ..DirStream::default()
         };
         let mut ole = OleBuilder::new();
-        ole.add_stream("VBA/dir", &compress(&dir.serialize())).unwrap();
+        ole.add_stream("VBA/dir", &compress(&dir.serialize()))
+            .unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
         assert!(matches!(
             VbaProject::from_ole(&parsed),
@@ -432,8 +457,10 @@ mod tests {
             ..DirStream::default()
         };
         let mut ole = OleBuilder::new();
-        ole.add_stream("VBA/dir", &compress(&dir.serialize())).unwrap();
-        ole.add_stream("VBA/M", &compress(b"Sub A()\r\nEnd Sub\r\n")).unwrap();
+        ole.add_stream("VBA/dir", &compress(&dir.serialize()))
+            .unwrap();
+        ole.add_stream("VBA/M", &compress(b"Sub A()\r\nEnd Sub\r\n"))
+            .unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
         assert!(matches!(
             VbaProject::from_ole(&parsed),
@@ -460,7 +487,8 @@ mod tests {
             ..DirStream::default()
         };
         let mut ole = OleBuilder::new();
-        ole.add_stream("VBA/dir", &compress(&dir.serialize())).unwrap();
+        ole.add_stream("VBA/dir", &compress(&dir.serialize()))
+            .unwrap();
         ole.add_stream("VBA/M", &stream).unwrap();
         let parsed = OleFile::parse(&ole.build()).unwrap();
         let project = VbaProject::from_ole(&parsed).unwrap();

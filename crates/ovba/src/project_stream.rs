@@ -65,7 +65,9 @@ impl ProjectStream {
             if line.is_empty() || in_section {
                 continue;
             }
-            let Some((key, value)) = line.split_once('=') else { continue };
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
             any = true;
             let key = key.trim();
             let value = value.trim();
@@ -73,17 +75,18 @@ impl ProjectStream {
                 "name" => out.name = Some(unquote(value)),
                 "id" => out.id = Some(unquote(value)),
                 "helpcontextid" => out.help_context_id = Some(unquote(value)),
-                "module" => {
-                    out.modules.push(ProjectModuleRef::Procedural(value.to_string()))
-                }
+                "module" => out
+                    .modules
+                    .push(ProjectModuleRef::Procedural(value.to_string())),
                 "document" => {
                     let name = value.split('/').next().unwrap_or(value);
-                    out.modules.push(ProjectModuleRef::Document(name.to_string()));
+                    out.modules
+                        .push(ProjectModuleRef::Document(name.to_string()));
                 }
                 "class" => out.modules.push(ProjectModuleRef::Class(value.to_string())),
-                "baseclass" => {
-                    out.modules.push(ProjectModuleRef::Designer(value.to_string()))
-                }
+                "baseclass" => out
+                    .modules
+                    .push(ProjectModuleRef::Designer(value.to_string())),
                 _ => out.properties.push((key.to_string(), value.to_string())),
             }
         }
@@ -128,7 +131,10 @@ mod tests {
     fn parses_all_declaration_kinds() {
         let p = ProjectStream::parse(SAMPLE).unwrap();
         assert_eq!(p.name.as_deref(), Some("VBAProject"));
-        assert_eq!(p.id.as_deref(), Some("{00000000-1111-2222-3333-444444444444}"));
+        assert_eq!(
+            p.id.as_deref(),
+            Some("{00000000-1111-2222-3333-444444444444}")
+        );
         assert_eq!(
             p.modules,
             vec![
@@ -156,7 +162,8 @@ mod tests {
     #[test]
     fn our_builder_output_parses() {
         let mut b = crate::VbaProjectBuilder::new("RoundTrip");
-        b.add_module("ThisDocument", "Sub X()\r\nEnd Sub\r\n").document_module("ThisDocument");
+        b.add_module("ThisDocument", "Sub X()\r\nEnd Sub\r\n")
+            .document_module("ThisDocument");
         b.add_module("Module1", "Sub Y()\r\nEnd Sub\r\n");
         let bin = b.build().unwrap();
         let ole = vbadet_ole::OleFile::parse(&bin).unwrap();

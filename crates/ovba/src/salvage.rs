@@ -13,6 +13,7 @@ use crate::dir::ModuleType;
 use crate::project::{OvbaLimits, VbaModule};
 use crate::OvbaError;
 use vbadet_faultpoint::Budget;
+use vbadet_metrics::Counter;
 use vbadet_ole::OleFile;
 
 /// Minimum decompressed size for a salvaged blob to count as a module
@@ -30,11 +31,21 @@ fn looks_like_vba(text: &[u8]) -> bool {
     if printable * 10 < text.len() * 9 {
         return false;
     }
-    let head: String =
-        text.iter().take(4096).map(|&b| (b as char).to_ascii_lowercase()).collect();
-    ["attribute vb_", "sub ", "function ", "dim ", "end sub", "end function"]
+    let head: String = text
         .iter()
-        .any(|k| head.contains(k))
+        .take(4096)
+        .map(|&b| (b as char).to_ascii_lowercase())
+        .collect();
+    [
+        "attribute vb_",
+        "sub ",
+        "function ",
+        "dim ",
+        "end sub",
+        "end function",
+    ]
+    .iter()
+    .any(|k| head.contains(k))
 }
 
 /// Scans `data` for embedded compressed containers and returns every blob
@@ -63,6 +74,7 @@ pub fn salvage_modules_from_bytes_budgeted(
     limits: &OvbaLimits,
     budget: &Budget,
 ) -> Result<Vec<VbaModule>, OvbaError> {
+    budget.metrics().count(Counter::OvbaSalvageScans, 1);
     let mut out = Vec::new();
     let mut i = 0usize;
     // Charge per KiB of scanned input; `next_toll` is the scan position at
@@ -78,6 +90,7 @@ pub fn salvage_modules_from_bytes_budgeted(
             i += 1;
             continue;
         }
+        budget.metrics().count(Counter::OvbaSalvageCandidates, 1);
         match decompress_salvage_budgeted(&data[i..], limits.max_module_bytes, budget)? {
             Some((blob, consumed)) if blob.len() >= MIN_SALVAGE_BYTES => {
                 if looks_like_vba(&blob) {
@@ -86,6 +99,7 @@ pub fn salvage_modules_from_bytes_budgeted(
                     } else {
                         format!("salvaged_{}#{}", out.len() + 1, origin)
                     };
+                    budget.metrics().count(Counter::OvbaSalvageModules, 1);
                     out.push(VbaModule {
                         name,
                         code: blob.iter().map(|&b| b as char).collect(),
@@ -188,7 +202,9 @@ mod tests {
         for path in parsed.stream_paths() {
             let data = parsed.open_stream(&path).unwrap();
             if path == "VBA/dir" {
-                ole_builder.add_stream(&path, &vec![0xFF; data.len()]).unwrap();
+                ole_builder
+                    .add_stream(&path, &vec![0xFF; data.len()])
+                    .unwrap();
             } else {
                 ole_builder.add_stream(&path, &data).unwrap();
             }

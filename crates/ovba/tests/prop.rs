@@ -1,8 +1,9 @@
 //! Property-based tests for the MS-OVBA codec and project roundtrip.
 
 use proptest::prelude::*;
-use vbadet_ovba::{compress, decompress, DirStream, ModuleRecord, ModuleType, VbaProject,
-                  VbaProjectBuilder};
+use vbadet_ovba::{
+    compress, decompress, DirStream, ModuleRecord, ModuleType, VbaProject, VbaProjectBuilder,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -25,7 +25,10 @@ pub struct MacroAnalysis {
 impl MacroAnalysis {
     /// Tokenizes `source` and prepares derived views.
     pub fn new(source: &str) -> Self {
-        MacroAnalysis { source: source.to_string(), tokens: tokenize(source) }
+        MacroAnalysis {
+            source: source.to_string(),
+            tokens: tokenize(source),
+        }
     }
 
     /// The original source code.
@@ -129,7 +132,9 @@ impl MacroAnalysis {
             .collect();
         let mut out = Vec::new();
         for (pos, (_, token)) in significant.iter().enumerate() {
-            let TokenKind::Identifier(name) = &token.kind else { continue };
+            let TokenKind::Identifier(name) = &token.kind else {
+                continue;
+            };
             // Skip declaration names: `Sub X`, `Function X`, `Property Get X`.
             if pos > 0 {
                 if let TokenKind::Keyword(k) = &significant[pos - 1].1.kind {

@@ -22,17 +22,58 @@ pub enum FunctionCategory {
 
 /// V8 — text functions (lowercase).
 pub const TEXT_FUNCTIONS: &[&str] = &[
-    "asc", "ascb", "ascw", "chr", "chrb", "chrw", "filter", "format", "instr", "instrb",
-    "instrrev", "join", "lcase", "left", "leftb", "len", "lenb", "ltrim", "mid", "midb",
-    "monthname", "replace", "right", "rightb", "rtrim", "space", "split", "strcomp", "strconv",
-    "strreverse", "trim", "ucase", "weekdayname",
+    "asc",
+    "ascb",
+    "ascw",
+    "chr",
+    "chrb",
+    "chrw",
+    "filter",
+    "format",
+    "instr",
+    "instrb",
+    "instrrev",
+    "join",
+    "lcase",
+    "left",
+    "leftb",
+    "len",
+    "lenb",
+    "ltrim",
+    "mid",
+    "midb",
+    "monthname",
+    "replace",
+    "right",
+    "rightb",
+    "rtrim",
+    "space",
+    "split",
+    "strcomp",
+    "strconv",
+    "strreverse",
+    "trim",
+    "ucase",
+    "weekdayname",
 ];
 
 /// V9 — arithmetic functions (lowercase). `Randomize` is lexed as a keyword
 /// in strict VBA grammars but commonly appears as a call; both count.
 pub const ARITHMETIC_FUNCTIONS: &[&str] = &[
-    "abs", "atn", "cos", "exp", "fix", "int", "log", "randomize", "rnd", "round", "sgn", "sin",
-    "sqr", "tan",
+    "abs",
+    "atn",
+    "cos",
+    "exp",
+    "fix",
+    "int",
+    "log",
+    "randomize",
+    "rnd",
+    "round",
+    "sgn",
+    "sin",
+    "sqr",
+    "tan",
 ];
 
 /// V10 — type conversion functions (lowercase).
@@ -50,10 +91,33 @@ pub const FINANCIAL_FUNCTIONS: &[&str] = &[
 /// filesystem, instantiate COM objects or evaluate code. The list merges the
 /// paper's examples with the Win32 imports ubiquitous in macro droppers.
 pub const RICH_FUNCTIONS: &[&str] = &[
-    "callbyname", "chdir", "chdrive", "createobject", "createprocess", "createprocessa",
-    "createthread", "dir", "environ", "eval", "exec", "executeexcel4macro", "filecopy",
-    "getobject", "kill", "mkdir", "rmdir", "run", "savetofile", "sendkeys", "setattr", "shell",
-    "shellexecute", "shellexecutea", "urldownloadtofile", "urldownloadtofilea", "winexec",
+    "callbyname",
+    "chdir",
+    "chdrive",
+    "createobject",
+    "createprocess",
+    "createprocessa",
+    "createthread",
+    "dir",
+    "environ",
+    "eval",
+    "exec",
+    "executeexcel4macro",
+    "filecopy",
+    "getobject",
+    "kill",
+    "mkdir",
+    "rmdir",
+    "run",
+    "savetofile",
+    "sendkeys",
+    "setattr",
+    "shell",
+    "shellexecute",
+    "shellexecutea",
+    "urldownloadtofile",
+    "urldownloadtofilea",
+    "winexec",
 ];
 
 /// Looks up the category of a (case-insensitive) function name.
@@ -65,7 +129,9 @@ pub const RICH_FUNCTIONS: &[&str] = &[
 /// assert_eq!(functions::categorize("MyHelper"), None);
 /// ```
 pub fn categorize(name: &str) -> Option<FunctionCategory> {
-    let lower = name.trim_end_matches(['$', '%', '&', '!', '#', '@']).to_ascii_lowercase();
+    let lower = name
+        .trim_end_matches(['$', '%', '&', '!', '#', '@'])
+        .to_ascii_lowercase();
     let lower = lower.as_str();
     if TEXT_FUNCTIONS.binary_search(&lower).is_ok() {
         Some(FunctionCategory::Text)
@@ -127,10 +193,22 @@ mod tests {
     #[test]
     fn paper_examples_are_categorized() {
         // §IV.C.3 lists representative members of each category.
-        for f in ["Asc", "Chr", "Mid", "Join", "InStr", "Replace", "Right", "StrConv"] {
+        for f in [
+            "Asc", "Chr", "Mid", "Join", "InStr", "Replace", "Right", "StrConv",
+        ] {
             assert_eq!(categorize(f), Some(FunctionCategory::Text), "{f}");
         }
-        for f in ["Abs", "Atn", "Cos", "Exp", "Log", "Randomize", "Round", "Tan", "Sqr"] {
+        for f in [
+            "Abs",
+            "Atn",
+            "Cos",
+            "Exp",
+            "Log",
+            "Randomize",
+            "Round",
+            "Tan",
+            "Sqr",
+        ] {
             assert_eq!(categorize(f), Some(FunctionCategory::Arithmetic), "{f}");
         }
         for f in ["CBool", "CByte", "CStr", "CDec"] {

@@ -4,18 +4,120 @@ use crate::token::{Token, TokenKind};
 
 /// VBA reserved words (MS-VBAL §3.3.5), lowercase.
 const KEYWORDS: &[&str] = &[
-    "addressof", "alias", "and", "as", "attribute", "base", "boolean", "byref", "byte", "byval",
-    "call", "case", "cdecl", "compare", "const", "currency", "date", "decimal", "declare",
-    "defbool", "defbyte", "defcur", "defdate", "defdbl", "defint", "deflng", "defobj", "defsng",
-    "defstr", "defvar", "dim", "do", "double", "each", "else", "elseif", "empty", "end", "enum",
-    "eqv", "erase", "error", "event", "exit", "explicit", "false", "for", "friend", "function",
-    "get", "gosub", "goto", "if", "imp", "implements", "in", "integer", "is", "let", "lib",
-    "like", "line", "lock", "long", "longlong", "longptr", "loop", "lset", "mod", "new", "next",
-    "not", "nothing", "null", "object", "on", "option", "optional", "or", "paramarray",
-    "preserve", "print", "private", "property", "public", "put", "raiseevent", "randomize",
-    "redim", "resume", "return", "rset", "seek", "select", "set", "single", "static", "step",
-    "stop", "string", "sub", "then", "to", "true", "type", "typeof", "until", "variant", "wend",
-    "while", "with", "withevents", "write", "xor",
+    "addressof",
+    "alias",
+    "and",
+    "as",
+    "attribute",
+    "base",
+    "boolean",
+    "byref",
+    "byte",
+    "byval",
+    "call",
+    "case",
+    "cdecl",
+    "compare",
+    "const",
+    "currency",
+    "date",
+    "decimal",
+    "declare",
+    "defbool",
+    "defbyte",
+    "defcur",
+    "defdate",
+    "defdbl",
+    "defint",
+    "deflng",
+    "defobj",
+    "defsng",
+    "defstr",
+    "defvar",
+    "dim",
+    "do",
+    "double",
+    "each",
+    "else",
+    "elseif",
+    "empty",
+    "end",
+    "enum",
+    "eqv",
+    "erase",
+    "error",
+    "event",
+    "exit",
+    "explicit",
+    "false",
+    "for",
+    "friend",
+    "function",
+    "get",
+    "gosub",
+    "goto",
+    "if",
+    "imp",
+    "implements",
+    "in",
+    "integer",
+    "is",
+    "let",
+    "lib",
+    "like",
+    "line",
+    "lock",
+    "long",
+    "longlong",
+    "longptr",
+    "loop",
+    "lset",
+    "mod",
+    "new",
+    "next",
+    "not",
+    "nothing",
+    "null",
+    "object",
+    "on",
+    "option",
+    "optional",
+    "or",
+    "paramarray",
+    "preserve",
+    "print",
+    "private",
+    "property",
+    "public",
+    "put",
+    "raiseevent",
+    "randomize",
+    "redim",
+    "resume",
+    "return",
+    "rset",
+    "seek",
+    "select",
+    "set",
+    "single",
+    "static",
+    "step",
+    "stop",
+    "string",
+    "sub",
+    "then",
+    "to",
+    "true",
+    "type",
+    "typeof",
+    "until",
+    "variant",
+    "wend",
+    "while",
+    "with",
+    "withevents",
+    "write",
+    "xor",
 ];
 
 /// Whether `word` is a VBA reserved word (case-insensitive).
@@ -61,7 +163,11 @@ pub fn tokenize(source: &str) -> Vec<Token> {
     let n = bytes.len();
 
     let push = |tokens: &mut Vec<Token>, kind: TokenKind, start: usize, end: usize| {
-        tokens.push(Token { kind, start: offsets[start], end: offsets[end] });
+        tokens.push(Token {
+            kind,
+            start: offsets[start],
+            end: offsets[end],
+        });
     };
 
     while i < n {
@@ -363,7 +469,11 @@ mod tests {
         // Between identifiers & is the concatenation operator.
         assert_eq!(
             kinds("a & b"),
-            vec![Identifier("a".into()), Operator("&"), Identifier("b".into())]
+            vec![
+                Identifier("a".into()),
+                Operator("&"),
+                Identifier("b".into())
+            ]
         );
         // `a &Hello` — no hex digits after &H... actually 'e' is a hex digit?
         // "&He" -> hex digit 'e' consumed; this is genuinely ambiguous in
@@ -384,7 +494,10 @@ mod tests {
     #[test]
     fn line_continuation_is_spliced() {
         let k = kinds("x = 1 + _\r\n    2");
-        assert!(!k.contains(&Newline), "continuation must not produce Newline: {k:?}");
+        assert!(
+            !k.contains(&Newline),
+            "continuation must not produce Newline: {k:?}"
+        );
         assert_eq!(k.last(), Some(&Number("2".into())));
     }
 
@@ -464,7 +577,9 @@ mod tests {
     #[test]
     fn non_ascii_identifiers_do_not_panic() {
         let k = kinds("Dim caf\u{00E9} = \"\u{2603}\"");
-        assert!(k.iter().any(|t| matches!(t, Identifier(i) if i.contains('\u{00E9}'))));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, Identifier(i) if i.contains('\u{00E9}'))));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::deflate::{deflate, BlockStyle};
 use crate::inflate::inflate_budgeted;
 use crate::ZipError;
 use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_metrics::{Counter, Stage};
 
 const LOCAL_HEADER_SIG: u32 = 0x0403_4B50;
 const CENTRAL_HEADER_SIG: u32 = 0x0201_4B50;
@@ -29,7 +30,10 @@ pub struct ZipLimits {
 
 impl Default for ZipLimits {
     fn default() -> Self {
-        ZipLimits { max_entries: 1 << 14, max_member_bytes: MAX_MEMBER }
+        ZipLimits {
+            max_entries: 1 << 14,
+            max_member_bytes: MAX_MEMBER,
+        }
     }
 }
 
@@ -130,6 +134,7 @@ impl<'a> ZipArchive<'a> {
         budget: Budget,
     ) -> Result<Self, ZipError> {
         faultpoint!("zip::parse", Err(ZipError::MissingEndOfCentralDirectory));
+        let _t = budget.metrics().time(Stage::ZipParseNs);
         // EOCD is at least 22 bytes and ends with a variable-length comment:
         // scan backwards for the signature.
         if data.len() < 22 {
@@ -177,9 +182,12 @@ impl<'a> ZipArchive<'a> {
             let extra_len = read_u16(data, pos + 30)? as usize;
             let comment_len = read_u16(data, pos + 32)? as usize;
             let local_header_offset = read_u32(data, pos + 42)?;
-            let name_bytes = data
-                .get(pos + 46..pos + 46 + name_len)
-                .ok_or(ZipError::Truncated { offset: pos + 46, needed: name_len })?;
+            let name_bytes =
+                data.get(pos + 46..pos + 46 + name_len)
+                    .ok_or(ZipError::Truncated {
+                        offset: pos + 46,
+                        needed: name_len,
+                    })?;
             let name = String::from_utf8_lossy(name_bytes).into_owned();
             entries.push(ZipEntry {
                 name,
@@ -191,7 +199,16 @@ impl<'a> ZipArchive<'a> {
             });
             pos += 46 + name_len + extra_len + comment_len;
         }
-        Ok(ZipArchive { data, entries, limits, budget })
+        budget.metrics().count(Counter::ZipParses, 1);
+        budget
+            .metrics()
+            .count(Counter::ZipEntries, entries.len() as u64);
+        Ok(ZipArchive {
+            data,
+            entries,
+            limits,
+            budget,
+        })
     }
 
     /// The central-directory entries, in directory order.
@@ -230,7 +247,10 @@ impl<'a> ZipArchive<'a> {
         // must trip the limit without the output buffer ever growing.
         let cap = self.limits.max_member_bytes;
         if entry.uncompressed_size as usize > cap || entry.compressed_size as usize > cap {
-            return Err(ZipError::LimitExceeded { what: "member size", limit: cap });
+            return Err(ZipError::LimitExceeded {
+                what: "member size",
+                limit: cap,
+            });
         }
         let pos = entry.local_header_offset as usize;
         let sig = read_u32(self.data, pos)?;
@@ -254,12 +274,19 @@ impl<'a> ZipArchive<'a> {
                 needed: entry.compressed_size as usize,
             })?;
 
+        let metrics = self.budget.metrics();
         let out = match entry.method {
             0 => {
                 self.budget.charge((raw.len() / 1024) as u64 + 1)?;
+                metrics.count(Counter::ZipBytesStored, raw.len() as u64);
                 raw.to_vec()
             }
-            8 => inflate_budgeted(raw, cap, &self.budget)?,
+            8 => {
+                let _t = metrics.time(Stage::ZipInflateNs);
+                let out = inflate_budgeted(raw, cap, &self.budget)?;
+                metrics.count(Counter::ZipBytesInflated, out.len() as u64);
+                out
+            }
             m => return Err(ZipError::UnsupportedMethod(m)),
         };
         if out.len() != entry.uncompressed_size as usize {
@@ -277,6 +304,7 @@ impl<'a> ZipArchive<'a> {
                 found,
             });
         }
+        metrics.count(Counter::ZipMembersRead, 1);
         Ok(out)
     }
 }
@@ -343,13 +371,17 @@ impl ZipWriter {
         self.out.extend_from_slice(&LOCAL_HEADER_SIG.to_le_bytes());
         self.out.extend_from_slice(&20u16.to_le_bytes()); // version needed
         self.out.extend_from_slice(&0u16.to_le_bytes()); // flags
-        self.out.extend_from_slice(&actual_method.code().to_le_bytes());
+        self.out
+            .extend_from_slice(&actual_method.code().to_le_bytes());
         self.out.extend_from_slice(&0u16.to_le_bytes()); // mod time
         self.out.extend_from_slice(&0x21u16.to_le_bytes()); // mod date (1980-01-01)
         self.out.extend_from_slice(&crc.to_le_bytes());
-        self.out.extend_from_slice(&(stored.len() as u32).to_le_bytes());
-        self.out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        self.out
+            .extend_from_slice(&(stored.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
         self.out.extend_from_slice(&0u16.to_le_bytes()); // extra len
         self.out.extend_from_slice(name_bytes);
         self.out.extend_from_slice(&stored);
@@ -370,7 +402,8 @@ impl ZipWriter {
         let cd_offset = self.out.len() as u32;
         for entry in &self.entries {
             let name_bytes = entry.name.as_bytes();
-            self.out.extend_from_slice(&CENTRAL_HEADER_SIG.to_le_bytes());
+            self.out
+                .extend_from_slice(&CENTRAL_HEADER_SIG.to_le_bytes());
             self.out.extend_from_slice(&20u16.to_le_bytes()); // version made by
             self.out.extend_from_slice(&20u16.to_le_bytes()); // version needed
             self.out.extend_from_slice(&0u16.to_le_bytes()); // flags
@@ -378,15 +411,19 @@ impl ZipWriter {
             self.out.extend_from_slice(&0u16.to_le_bytes()); // mod time
             self.out.extend_from_slice(&0x21u16.to_le_bytes()); // mod date
             self.out.extend_from_slice(&entry.crc32.to_le_bytes());
-            self.out.extend_from_slice(&entry.compressed_size.to_le_bytes());
-            self.out.extend_from_slice(&entry.uncompressed_size.to_le_bytes());
-            self.out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+            self.out
+                .extend_from_slice(&entry.compressed_size.to_le_bytes());
+            self.out
+                .extend_from_slice(&entry.uncompressed_size.to_le_bytes());
+            self.out
+                .extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
             self.out.extend_from_slice(&0u16.to_le_bytes()); // extra len
             self.out.extend_from_slice(&0u16.to_le_bytes()); // comment len
             self.out.extend_from_slice(&0u16.to_le_bytes()); // disk number
             self.out.extend_from_slice(&0u16.to_le_bytes()); // internal attrs
             self.out.extend_from_slice(&0u32.to_le_bytes()); // external attrs
-            self.out.extend_from_slice(&entry.local_header_offset.to_le_bytes());
+            self.out
+                .extend_from_slice(&entry.local_header_offset.to_le_bytes());
             self.out.extend_from_slice(name_bytes);
         }
         let cd_size = self.out.len() as u32 - cd_offset;
@@ -410,9 +447,11 @@ mod tests {
     #[test]
     fn roundtrip_stored_and_deflate() {
         let mut w = ZipWriter::new();
-        w.add_file("stored.txt", b"plain contents", CompressionMethod::Stored).unwrap();
+        w.add_file("stored.txt", b"plain contents", CompressionMethod::Stored)
+            .unwrap();
         let big = b"repetitive payload ".repeat(500);
-        w.add_file("deep/nested/deflate.bin", &big, CompressionMethod::Deflate).unwrap();
+        w.add_file("deep/nested/deflate.bin", &big, CompressionMethod::Deflate)
+            .unwrap();
         let bytes = w.finish();
 
         let archive = ZipArchive::parse(&bytes).unwrap();
@@ -421,8 +460,11 @@ mod tests {
         assert_eq!(archive.read_file("stored.txt").unwrap(), b"plain contents");
         assert_eq!(archive.read_file("deep/nested/deflate.bin").unwrap(), big);
         // Deflate member should actually be smaller on disk.
-        let entry =
-            archive.entries().iter().find(|e| e.name.ends_with("deflate.bin")).unwrap();
+        let entry = archive
+            .entries()
+            .iter()
+            .find(|e| e.name.ends_with("deflate.bin"))
+            .unwrap();
         assert_eq!(entry.method, 8);
         assert!(entry.compressed_size < entry.uncompressed_size);
     }
@@ -432,12 +474,15 @@ mod tests {
         let mut state = 99u64;
         let noise: Vec<u8> = (0..4096)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 33) as u8
             })
             .collect();
         let mut w = ZipWriter::new();
-        w.add_file("noise", &noise, CompressionMethod::Deflate).unwrap();
+        w.add_file("noise", &noise, CompressionMethod::Deflate)
+            .unwrap();
         let bytes = w.finish();
         let archive = ZipArchive::parse(&bytes).unwrap();
         assert_eq!(archive.entries()[0].method, 0);
@@ -449,13 +494,17 @@ mod tests {
         let bytes = ZipWriter::new().finish();
         let archive = ZipArchive::parse(&bytes).unwrap();
         assert_eq!(archive.entries().len(), 0);
-        assert!(matches!(archive.read_file("x"), Err(ZipError::MemberNotFound(_))));
+        assert!(matches!(
+            archive.read_file("x"),
+            Err(ZipError::MemberNotFound(_))
+        ));
     }
 
     #[test]
     fn empty_member_roundtrips() {
         let mut w = ZipWriter::new();
-        w.add_file("empty", b"", CompressionMethod::Deflate).unwrap();
+        w.add_file("empty", b"", CompressionMethod::Deflate)
+            .unwrap();
         let bytes = w.finish();
         let archive = ZipArchive::parse(&bytes).unwrap();
         assert_eq!(archive.read_file("empty").unwrap(), b"");
@@ -464,13 +513,17 @@ mod tests {
     #[test]
     fn corrupted_member_detected_by_crc() {
         let mut w = ZipWriter::new();
-        w.add_file("f", b"0123456789abcdef", CompressionMethod::Stored).unwrap();
+        w.add_file("f", b"0123456789abcdef", CompressionMethod::Stored)
+            .unwrap();
         let mut bytes = w.finish();
         // Flip a data byte inside the stored member (after the 30-byte local
         // header + 1-byte name).
         bytes[31 + 4] ^= 0xFF;
         let archive = ZipArchive::parse(&bytes).unwrap();
-        assert!(matches!(archive.read_file("f"), Err(ZipError::CrcMismatch { .. })));
+        assert!(matches!(
+            archive.read_file("f"),
+            Err(ZipError::CrcMismatch { .. })
+        ));
     }
 
     #[test]
@@ -485,14 +538,18 @@ mod tests {
     #[test]
     fn unsupported_method_reported() {
         let mut w = ZipWriter::new();
-        w.add_file("f", b"data here", CompressionMethod::Stored).unwrap();
+        w.add_file("f", b"data here", CompressionMethod::Stored)
+            .unwrap();
         let mut bytes = w.finish();
         // Patch method field in both local (offset 8) and central headers.
         bytes[8] = 99;
         let cd = bytes.len() - 22 - 46 - 1; // EOCD + one CD entry + name "f"
         bytes[cd + 10] = 99;
         let archive = ZipArchive::parse(&bytes).unwrap();
-        assert!(matches!(archive.read_file("f"), Err(ZipError::UnsupportedMethod(99))));
+        assert!(matches!(
+            archive.read_file("f"),
+            Err(ZipError::UnsupportedMethod(99))
+        ));
     }
 
     #[test]
@@ -517,14 +574,18 @@ mod tests {
         for i in 0..300 {
             let name = format!("part/{i}.xml");
             let body = format!("<part id='{i}'/>").repeat(i % 7 + 1);
-            w.add_file(&name, body.as_bytes(), CompressionMethod::Deflate).unwrap();
+            w.add_file(&name, body.as_bytes(), CompressionMethod::Deflate)
+                .unwrap();
         }
         let bytes = w.finish();
         let archive = ZipArchive::parse(&bytes).unwrap();
         assert_eq!(archive.entries().len(), 300);
         for i in [0usize, 1, 150, 299] {
             let body = format!("<part id='{i}'/>").repeat(i % 7 + 1);
-            assert_eq!(archive.read_file(&format!("part/{i}.xml")).unwrap(), body.as_bytes());
+            assert_eq!(
+                archive.read_file(&format!("part/{i}.xml")).unwrap(),
+                body.as_bytes()
+            );
         }
     }
 }

@@ -16,7 +16,12 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            count: 0,
+        }
     }
 
     /// Reads `n` bits (0..=16), LSB first.

@@ -97,8 +97,9 @@ const DIST_TABLE: [(u16, u8); 30] = [
 ];
 
 /// Order in which code-length-code lengths are stored in a dynamic header.
-pub(crate) const CLC_ORDER: [usize; 19] =
-    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+pub(crate) const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 pub(crate) fn length_table() -> &'static [(u16, u8); 29] {
     &LENGTH_TABLE
@@ -113,7 +114,10 @@ pub(crate) fn dist_table() -> &'static [(u16, u8); 30] {
 enum Symbol {
     Literal(u8),
     /// Back-reference: (length 3..=258, distance 1..=32768).
-    Match { len: u16, dist: u16 },
+    Match {
+        len: u16,
+        dist: u16,
+    },
 }
 
 /// Compresses `data` into a raw DEFLATE stream using the given block style.
@@ -261,7 +265,10 @@ fn lz77(data: &[u8]) -> Vec<Symbol> {
         }
 
         if best_len >= MIN_MATCH {
-            out.push(Symbol::Match { len: best_len as u16, dist: best_dist as u16 });
+            out.push(Symbol::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
             // Insert every covered position into the hash chains.
             let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
             for j in i..end {
@@ -315,11 +322,16 @@ fn emit_symbols(
             }
             Symbol::Match { len, dist } => {
                 let (lcode, lextra_bits, lextra) = length_code(len);
-                writer.huffman_code(lit_codes[lcode as usize], lit_lengths[lcode as usize] as u32);
+                writer.huffman_code(
+                    lit_codes[lcode as usize],
+                    lit_lengths[lcode as usize] as u32,
+                );
                 writer.bits(lextra as u32, lextra_bits as u32);
                 let (dcode, dextra_bits, dextra) = dist_code(dist);
-                writer
-                    .huffman_code(dist_codes[dcode as usize], dist_lengths[dcode as usize] as u32);
+                writer.huffman_code(
+                    dist_codes[dcode as usize],
+                    dist_lengths[dcode as usize] as u32,
+                );
                 writer.bits(dextra as u32, dextra_bits as u32);
             }
         }
@@ -337,7 +349,14 @@ fn emit_fixed_block(writer: &mut BitWriter, block: &[Symbol], last: bool) {
     let dist_lengths = fixed_distance_lengths();
     let lit_codes = canonical_codes(&lit_lengths);
     let dist_codes = canonical_codes(&dist_lengths);
-    emit_symbols(writer, block, &lit_codes, &lit_lengths, &dist_codes, &dist_lengths);
+    emit_symbols(
+        writer,
+        block,
+        &lit_codes,
+        &lit_lengths,
+        &dist_codes,
+        &dist_lengths,
+    );
 }
 
 fn emit_dynamic_block(writer: &mut BitWriter, block: &[Symbol], last: bool) {
@@ -363,8 +382,18 @@ fn emit_dynamic_block(writer: &mut BitWriter, block: &[Symbol], last: bool) {
         dist_lengths[0] = 1;
     }
 
-    let hlit = 257.max(lit_lengths.iter().rposition(|&l| l != 0).map_or(257, |p| p + 1));
-    let hdist = 1.max(dist_lengths.iter().rposition(|&l| l != 0).map_or(1, |p| p + 1));
+    let hlit = 257.max(
+        lit_lengths
+            .iter()
+            .rposition(|&l| l != 0)
+            .map_or(257, |p| p + 1),
+    );
+    let hdist = 1.max(
+        dist_lengths
+            .iter()
+            .rposition(|&l| l != 0)
+            .map_or(1, |p| p + 1),
+    );
 
     // Encode the two length arrays with the code-length code (symbols 0..18,
     // 16=repeat prev, 17=run of zeros 3-10, 18=run of zeros 11-138).
@@ -443,7 +472,14 @@ fn emit_dynamic_block(writer: &mut BitWriter, block: &[Symbol], last: bool) {
 
     let lit_codes = canonical_codes(&lit_lengths);
     let dist_codes = canonical_codes(&dist_lengths);
-    emit_symbols(writer, block, &lit_codes, &lit_lengths, &dist_codes, &dist_lengths);
+    emit_symbols(
+        writer,
+        block,
+        &lit_codes,
+        &lit_lengths,
+        &dist_codes,
+        &dist_lengths,
+    );
 }
 
 #[cfg(test)]
@@ -454,7 +490,10 @@ mod tests {
     fn roundtrip(data: &[u8], style: BlockStyle) {
         let packed = deflate(data, style);
         let unpacked = inflate(&packed).unwrap_or_else(|e| {
-            panic!("inflate failed for {style:?} over {} bytes: {e}", data.len())
+            panic!(
+                "inflate failed for {style:?} over {} bytes: {e}",
+                data.len()
+            )
         });
         assert_eq!(unpacked, data, "roundtrip mismatch ({style:?})");
     }

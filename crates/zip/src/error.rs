@@ -12,17 +12,29 @@ pub enum ZipError {
     /// A structure was truncated: expected at least `needed` bytes at `offset`.
     Truncated { offset: usize, needed: usize },
     /// A magic signature did not match.
-    BadSignature { offset: usize, expected: u32, found: u32 },
+    BadSignature {
+        offset: usize,
+        expected: u32,
+        found: u32,
+    },
     /// The named member does not exist in the archive.
     MemberNotFound(String),
     /// The archive uses a compression method this crate does not implement.
     UnsupportedMethod(u16),
     /// The stored CRC-32 does not match the decompressed data.
-    CrcMismatch { name: String, expected: u32, found: u32 },
+    CrcMismatch {
+        name: String,
+        expected: u32,
+        found: u32,
+    },
     /// The DEFLATE stream is malformed.
     InvalidDeflate(&'static str),
     /// A declared size is inconsistent with the actual data.
-    SizeMismatch { name: String, expected: usize, found: usize },
+    SizeMismatch {
+        name: String,
+        expected: usize,
+        found: usize,
+    },
     /// A configured resource limit was exceeded (member size, entry count…).
     /// Distinguished from malformed-structure errors so callers can report
     /// capped inputs — e.g. decompression bombs — as a typed outcome.
@@ -47,21 +59,39 @@ impl fmt::Display for ZipError {
                 write!(f, "end-of-central-directory record not found")
             }
             ZipError::Truncated { offset, needed } => {
-                write!(f, "truncated structure at offset {offset}, needed {needed} bytes")
+                write!(
+                    f,
+                    "truncated structure at offset {offset}, needed {needed} bytes"
+                )
             }
-            ZipError::BadSignature { offset, expected, found } => write!(
+            ZipError::BadSignature {
+                offset,
+                expected,
+                found,
+            } => write!(
                 f,
                 "bad signature at offset {offset}: expected {expected:#010x}, found {found:#010x}"
             ),
             ZipError::MemberNotFound(name) => write!(f, "member not found: {name}"),
             ZipError::UnsupportedMethod(m) => write!(f, "unsupported compression method {m}"),
-            ZipError::CrcMismatch { name, expected, found } => write!(
+            ZipError::CrcMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "crc mismatch for {name}: expected {expected:#010x}, found {found:#010x}"
             ),
             ZipError::InvalidDeflate(msg) => write!(f, "invalid deflate stream: {msg}"),
-            ZipError::SizeMismatch { name, expected, found } => {
-                write!(f, "size mismatch for {name}: expected {expected}, found {found}")
+            ZipError::SizeMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "size mismatch for {name}: expected {expected}, found {found}"
+                )
             }
             ZipError::LimitExceeded { what, limit } => {
                 write!(f, "resource limit exceeded: {what} (limit {limit})")

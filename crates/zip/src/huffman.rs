@@ -183,8 +183,12 @@ pub fn build_code_lengths(freqs: &[u32], max_bits: usize) -> Vec<u8> {
             };
             if take_leaf {
                 let leaf = sorted_used[li];
-                let id =
-                    push(&mut weights, &mut kinds, freqs[used[leaf]] as u64, Kind::Leaf(leaf));
+                let id = push(
+                    &mut weights,
+                    &mut kinds,
+                    freqs[used[leaf]] as u64,
+                    Kind::Leaf(leaf),
+                );
                 merged.push(id);
                 li += 1;
             } else {
@@ -198,9 +202,7 @@ pub fn build_code_lengths(freqs: &[u32], max_bits: usize) -> Vec<u8> {
     // Select the 2n-2 cheapest items of the final list; each leaf occurrence
     // adds one to that symbol's code length.
     let mut leaf_lengths = vec![0u32; used.len()];
-    fn count(kinds: &[Kind], id: usize, leaf_lengths: &mut [u32])
-    where
-    {
+    fn count(kinds: &[Kind], id: usize, leaf_lengths: &mut [u32]) {
         match kinds[id] {
             Kind::Leaf(leaf) => leaf_lengths[leaf] += 1,
             Kind::Package(a, b) => {
@@ -245,7 +247,10 @@ mod tests {
         // 010..111, 00, 1110, 1111.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]
@@ -279,9 +284,15 @@ mod tests {
     fn build_lengths_kraft_inequality_holds() {
         let freqs = [100u32, 50, 20, 10, 5, 2, 1, 1, 0, 3];
         let lengths = build_code_lengths(&freqs, MAX_BITS);
-        let kraft: f64 =
-            lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
-        assert!((kraft - 1.0).abs() < 1e-9, "code must be complete, kraft={kraft}");
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(
+            (kraft - 1.0).abs() < 1e-9,
+            "code must be complete, kraft={kraft}"
+        );
         // Unused symbol has no code.
         assert_eq!(lengths[8], 0);
         // Most frequent symbol has the (weakly) shortest code.
@@ -302,8 +313,11 @@ mod tests {
         for limit in [7usize, 9, 15] {
             let lengths = build_code_lengths(&freqs, limit);
             assert!(lengths.iter().all(|&l| (l as usize) <= limit));
-            let kraft: f64 =
-                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-(l as i32)))
+                .sum();
             assert!((kraft - 1.0).abs() < 1e-9, "limit {limit}: kraft={kraft}");
             // The resulting code must be decodable.
             HuffmanDecoder::from_lengths(&lengths).unwrap();
@@ -312,7 +326,9 @@ mod tests {
 
     #[test]
     fn build_lengths_degenerate_cases() {
-        assert!(build_code_lengths(&[0, 0, 0], MAX_BITS).iter().all(|&l| l == 0));
+        assert!(build_code_lengths(&[0, 0, 0], MAX_BITS)
+            .iter()
+            .all(|&l| l == 0));
         let single = build_code_lengths(&[0, 7, 0], MAX_BITS);
         assert_eq!(single, vec![0, 1, 0]);
     }

@@ -6,6 +6,7 @@ use crate::deflate::CLC_ORDER;
 use crate::huffman::HuffmanDecoder;
 use crate::ZipError;
 use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_metrics::Counter;
 
 /// Safety valve against decompression bombs in malformed containers.
 const MAX_OUTPUT: usize = 1 << 30;
@@ -47,11 +48,15 @@ pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>, ZipError
 /// As [`inflate_with_limit`], plus [`ZipError::DeadlineExceeded`] when the
 /// budget trips.
 pub fn inflate_budgeted(data: &[u8], limit: usize, budget: &Budget) -> Result<Vec<u8>, ZipError> {
-    faultpoint!("zip::inflate", Err(ZipError::InvalidDeflate("injected fault")));
+    faultpoint!(
+        "zip::inflate",
+        Err(ZipError::InvalidDeflate("injected fault"))
+    );
     let mut reader = BitReader::new(data);
     let mut out: Vec<u8> = Vec::new();
     loop {
         budget.charge(1)?;
+        budget.metrics().count(Counter::ZipInflateBlocks, 1);
         let last = reader.bit()? == 1;
         match reader.bits(2)? {
             0b00 => inflate_stored(&mut reader, &mut out, limit, budget)?,
@@ -85,7 +90,10 @@ fn inflate_stored(
         return Err(ZipError::InvalidDeflate("stored block LEN/NLEN mismatch"));
     }
     if out.len() + len > limit {
-        return Err(ZipError::LimitExceeded { what: "inflated member", limit });
+        return Err(ZipError::LimitExceeded {
+            what: "inflated member",
+            limit,
+        });
     }
     budget.charge((len / BYTES_PER_FUEL) as u64 + 1)?;
     out.extend_from_slice(reader.bytes(len)?);
@@ -107,7 +115,9 @@ fn read_dynamic_header(
     let hdist = reader.bits(5)? as usize + 1;
     let hclen = reader.bits(4)? as usize + 4;
     if hlit > 286 || hdist > 30 {
-        return Err(ZipError::InvalidDeflate("dynamic header counts out of range"));
+        return Err(ZipError::InvalidDeflate(
+            "dynamic header counts out of range",
+        ));
     }
 
     let mut clc_lengths = [0u8; 19];
@@ -141,7 +151,9 @@ fn read_dynamic_header(
         }
     }
     if lengths.len() != hlit + hdist {
-        return Err(ZipError::InvalidDeflate("code length runs overflow header counts"));
+        return Err(ZipError::InvalidDeflate(
+            "code length runs overflow header counts",
+        ));
     }
     if lengths[256] == 0 {
         return Err(ZipError::InvalidDeflate("end-of-block symbol has no code"));
@@ -174,7 +186,10 @@ fn inflate_block(
         match sym {
             0..=255 => {
                 if out.len() >= limit {
-                    return Err(ZipError::LimitExceeded { what: "inflated member", limit });
+                    return Err(ZipError::LimitExceeded {
+                        what: "inflated member",
+                        limit,
+                    });
                 }
                 out.push(sym as u8);
             }
@@ -193,7 +208,10 @@ fn inflate_block(
                     return Err(ZipError::InvalidDeflate("distance beyond output start"));
                 }
                 if out.len() + len > limit {
-                    return Err(ZipError::LimitExceeded { what: "inflated member", limit });
+                    return Err(ZipError::LimitExceeded {
+                        what: "inflated member",
+                        limit,
+                    });
                 }
                 // Byte-at-a-time copy: overlapping copies (distance < len)
                 // intentionally repeat the just-written bytes.
@@ -231,7 +249,10 @@ mod tests {
     #[test]
     fn reserved_block_type_rejected() {
         // BFINAL=1, BTYPE=11.
-        assert!(matches!(inflate(&[0b0000_0111]), Err(ZipError::InvalidDeflate(_))));
+        assert!(matches!(
+            inflate(&[0b0000_0111]),
+            Err(ZipError::InvalidDeflate(_))
+        ));
     }
 
     #[test]
@@ -288,7 +309,9 @@ mod tests {
         let mut state = 1u64;
         let data: Vec<u8> = (0..200_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();

@@ -51,7 +51,10 @@ pub fn zlib_compress(data: &[u8], style: BlockStyle) -> Vec<u8> {
 /// Adler-32 mismatch.
 pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZipError> {
     if data.len() < 6 {
-        return Err(ZipError::Truncated { offset: 0, needed: 6 });
+        return Err(ZipError::Truncated {
+            offset: 0,
+            needed: 6,
+        });
     }
     let cmf = data[0];
     let flg = data[1];
@@ -62,7 +65,9 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, ZipError> {
         return Err(ZipError::InvalidDeflate("zlib: header check bits invalid"));
     }
     if flg & 0x20 != 0 {
-        return Err(ZipError::InvalidDeflate("zlib: preset dictionaries unsupported"));
+        return Err(ZipError::InvalidDeflate(
+            "zlib: preset dictionaries unsupported",
+        ));
     }
     let body = &data[2..data.len() - 4];
     let out = inflate_with_limit(body, 1 << 30)?;
@@ -117,10 +122,13 @@ mod tests {
     fn python_zlib_fixture_decodes() {
         // zlib.compress(b"hello hello hello hello") — standard header 0x78 0x9C.
         let packed = [
-            0x78u8, 0x9C, 0xCB, 0x48, 0xCD, 0xC9, 0xC9, 0x57, 0xC8, 0x40, 0x27, 0x01, 0x68,
-            0x03, 0x08, 0xB1,
+            0x78u8, 0x9C, 0xCB, 0x48, 0xCD, 0xC9, 0xC9, 0x57, 0xC8, 0x40, 0x27, 0x01, 0x68, 0x03,
+            0x08, 0xB1,
         ];
-        assert_eq!(zlib_decompress(&packed).unwrap(), b"hello hello hello hello");
+        assert_eq!(
+            zlib_decompress(&packed).unwrap(),
+            b"hello hello hello hello"
+        );
     }
 
     #[test]

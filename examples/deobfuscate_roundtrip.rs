@@ -20,7 +20,10 @@ const DROPPER: &str = "Sub AutoOpen()\r\n\
 fn main() {
     let scanner = SignatureScanner::new();
 
-    println!("1. plain dropper — signature hits: {:?}", scanner.matches(DROPPER));
+    println!(
+        "1. plain dropper — signature hits: {:?}",
+        scanner.matches(DROPPER)
+    );
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let obfuscated = Obfuscator::new()
@@ -36,8 +39,10 @@ fn main() {
     );
 
     println!("\n3. statistical detector (the paper's method):");
-    let detector =
-        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05));
+    let detector = Detector::train_on_corpus(
+        &DetectorConfig::default(),
+        &CorpusSpec::paper().scaled(0.05),
+    );
     let verdict = detector.score(&obfuscated);
     println!(
         "   obfuscated: {} (score {:+.3})",
@@ -52,7 +57,10 @@ fn main() {
         report.removed_dead_blocks,
         report.removed_procedures,
     );
-    println!("   signature hits again: {:?}", scanner.matches(&report.source));
+    println!(
+        "   signature hits again: {:?}",
+        scanner.matches(&report.source)
+    );
     println!("\nrecovered source:\n");
     for line in report.source.lines() {
         println!("    {line}");

@@ -14,7 +14,10 @@ fn main() {
     // 1. Train. `CorpusSpec::paper()` mirrors the paper's 4,212-macro
     //    corpus; we scale it down for a fast example run.
     let spec = CorpusSpec::paper().scaled(0.05);
-    println!("training MLP on V1-V15 over {} macros…", spec.total_macros());
+    println!(
+        "training MLP on V1-V15 over {} macros…",
+        spec.total_macros()
+    );
     let detector = Detector::train_on_corpus(&DetectorConfig::default(), &spec);
 
     // 2. Score a plain business macro.

@@ -50,8 +50,12 @@ fn build_sample_docm() -> Vec<u8> {
         CompressionMethod::Deflate,
     )
     .expect("small member");
-    zip.add_file("word/document.xml", b"<?xml version=\"1.0\"?><doc/>", CompressionMethod::Deflate)
-        .expect("small member");
+    zip.add_file(
+        "word/document.xml",
+        b"<?xml version=\"1.0\"?><doc/>",
+        CompressionMethod::Deflate,
+    )
+    .expect("small member");
     zip.add_file(
         "word/vbaProject.bin",
         &project.build().expect("valid project"),
@@ -75,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show what extraction alone sees.
     let macros = extract_macros(&bytes)?;
-    println!("container: {:?}, modules: {}", macros[0].container, macros.len());
+    println!(
+        "container: {:?}, modules: {}",
+        macros[0].container,
+        macros.len()
+    );
     for m in &macros {
         println!(
             "  module {:<16} {:>6} chars, first line: {}",
@@ -88,8 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a detector and score every module.
     println!();
     println!("training detector…");
-    let detector =
-        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.05));
+    let detector = Detector::train_on_corpus(
+        &DetectorConfig::default(),
+        &CorpusSpec::paper().scaled(0.05),
+    );
     for verdict in detector.scan_document(&bytes)? {
         println!(
             "  module {:<16} -> obfuscated: {:5} (score {:+.3})",

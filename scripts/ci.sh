@@ -1,0 +1,181 @@
+#!/usr/bin/env sh
+# Staged offline CI harness. Run from anywhere; it cds to the repo root.
+#
+#   scripts/ci.sh               full pipeline: fmt -> builds -> tests ->
+#                               clippy -> bench -> gates
+#   scripts/ci.sh --gate-test   dry-run: doctor the bench baseline and
+#                               assert the regression gate FAILS against it
+#
+# Every stage is timed; the run (pass or fail) is recorded to
+# results/ci-summary.json as machine-readable
+# {format, version, status, stages:[{name, status, seconds}]}.
+# The first failing stage stops the pipeline, but the summary is still
+# written so the driver can see exactly where it died and how long each
+# stage before it took.
+#
+# Bench regression baseline: results/BENCH_baseline.json, compared
+# against the fresh results/BENCH_scan.json at a 20% docs/sec tolerance.
+# After an intentional perf change, refresh it with:
+#
+#   cargo bench --offline -p vbadet-bench --bench scan_parallel && cp results/BENCH_scan.json results/BENCH_baseline.json
+
+set -u
+
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+SUMMARY=results/ci-summary.json
+BENCH=results/BENCH_scan.json
+BASELINE=results/BENCH_baseline.json
+STAGES=""
+OVERALL=ok
+
+GATE_TEST=0
+for arg in "$@"; do
+    case "$arg" in
+        --gate-test) GATE_TEST=1 ;;
+        *)
+            echo "ci: unknown argument: $arg (supported: --gate-test)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+write_summary() {
+    mkdir -p results
+    printf '{\n  "format": "vbadet-ci-summary",\n  "version": 1,\n  "status": "%s",\n  "stages": [%s]\n}\n' \
+        "$OVERALL" "$STAGES" >"$SUMMARY"
+}
+
+# stage NAME COMMAND [ARGS...] — run one pipeline stage, timed. A failing
+# stage finalizes the summary and exits non-zero.
+stage() {
+    stage_name=$1
+    shift
+    echo "ci: stage $stage_name"
+    stage_start=$(date +%s.%N)
+    if "$@"; then
+        stage_status=ok
+    else
+        stage_status=fail
+    fi
+    stage_secs=$(awk -v a="$stage_start" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
+    STAGES="${STAGES}${STAGES:+, }{\"name\":\"$stage_name\",\"status\":\"$stage_status\",\"seconds\":$stage_secs}"
+    if [ "$stage_status" = fail ]; then
+        OVERALL=fail
+        write_summary
+        echo "ci: FAIL at stage $stage_name (after ${stage_secs}s); summary in $SUMMARY" >&2
+        exit 1
+    fi
+    echo "ci: stage $stage_name ok (${stage_secs}s)"
+}
+
+# The parallel determinism suites rerun explicitly (beyond the workspace
+# pass) so a future test-harness filter can never silently drop them: the
+# worker-pool engine being observationally identical to the sequential one
+# is this repo's load-bearing invariant.
+determinism_tests() {
+    cargo test -q --offline --test parallel_scan --test metrics &&
+        cargo test -q --offline --features faultpoints --test parallel_scan --test fault_injection
+}
+
+# gate_check VALUE OP BOUND LABEL — one comparison, with a uniform
+# failure message. OP is ge or le.
+gate_check() {
+    if [ -z "$1" ]; then
+        echo "ci: gate FAIL — $4: value missing from bench output" >&2
+        return 1
+    fi
+    if ! "num_$2" "$1" "$3"; then
+        echo "ci: gate FAIL — $4 ($1 violates $2 $3)" >&2
+        return 1
+    fi
+    echo "ci: gate ok — $4 ($1 within $2 $3)"
+}
+
+# The acceptance gates over the fresh bench results:
+#   1. core-aware parallel speedup floor (2x on 4+ cores, parity on 2-3,
+#      0.5x on a single core where the pool is pure overhead),
+#   2. metrics overhead <= 5%,
+#   3. no >20% docs/sec regression — overall or per stage — against the
+#      committed baseline. A stage key missing from the fresh results
+#      means it dropped below the bench's noise floor (i.e. got faster)
+#      and is skipped; a key missing from the baseline is a new stage
+#      with nothing to regress from.
+run_gates() {
+    gates_baseline=${CI_BASELINE:-$BASELINE}
+    if [ ! -f "$BENCH" ]; then
+        echo "ci: gate FAIL — $BENCH missing" >&2
+        return 1
+    fi
+    gates_cores=$(json_num "$BENCH" cores)
+    if [ -z "$gates_cores" ]; then
+        echo "ci: gate FAIL — $BENCH lacks a cores field" >&2
+        return 1
+    fi
+    floor=0.5
+    [ "$gates_cores" -ge 2 ] && floor=1.0
+    [ "$gates_cores" -ge 4 ] && floor=2.0
+    gate_check "$(json_num "$BENCH" speedup)" ge "$floor" \
+        "parallel speedup floor for $gates_cores core(s)" || return 1
+    gate_check "$(json_num "$BENCH" metrics_overhead_pct)" le 5.0 \
+        "metrics overhead pct" || return 1
+
+    if [ ! -f "$gates_baseline" ]; then
+        echo "ci: note — $gates_baseline missing; regression gate skipped." >&2
+        echo "ci: note — refresh with: cargo bench --offline -p vbadet-bench --bench scan_parallel && cp $BENCH $BASELINE" >&2
+        return 0
+    fi
+    for key in $(json_num_keys "$gates_baseline" | grep '_docs_per_sec$'); do
+        base=$(json_num "$gates_baseline" "$key")
+        fresh=$(json_num "$BENCH" "$key")
+        [ -n "$fresh" ] || continue
+        min=$(num_mul "$base" 0.8)
+        gate_check "$fresh" ge "$min" \
+            "$key vs baseline $base (>20% regression)" || return 1
+    done
+}
+
+if [ "$GATE_TEST" = 1 ]; then
+    # Prove the regression gate has teeth: double every docs/sec figure in
+    # a copy of the fresh results and use that as the baseline — every
+    # throughput then reads as a 50% regression, and the gate must FAIL.
+    if [ ! -f "$BENCH" ]; then
+        echo "ci: --gate-test needs $BENCH; run the bench first:" >&2
+        echo "ci:   cargo bench --offline -p vbadet-bench --bench scan_parallel" >&2
+        exit 1
+    fi
+    doctored=$(mktemp)
+    trap 'rm -f "$doctored"' EXIT
+    awk '
+        /"[A-Za-z0-9_]*docs_per_sec"[ \t]*:/ {
+            split($0, half, ":")
+            value = half[2]
+            trail = (value ~ /,[ \t]*$/) ? "," : ""
+            gsub(/[ \t,]/, "", value)
+            printf "%s: %.2f%s\n", half[1], value * 2, trail
+            next
+        }
+        { print }
+    ' "$BENCH" >"$doctored"
+    if (CI_BASELINE="$doctored" run_gates); then
+        echo "ci: --gate-test FAIL — the gate passed against a doctored baseline" >&2
+        exit 1
+    fi
+    echo "ci: --gate-test ok — the regression gate fails against a doctored baseline"
+    exit 0
+fi
+
+stage fmt cargo fmt --all --check
+stage build cargo build --release --offline --workspace
+stage build-faultpoints cargo build --offline --features faultpoints
+stage test cargo test -q --offline --workspace
+stage test-faultpoints cargo test -q --offline --features faultpoints
+stage test-determinism determinism_tests
+stage clippy cargo clippy --offline --all-targets -- -D warnings
+stage clippy-faultpoints cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
+stage bench cargo bench --offline -p vbadet-bench --bench scan_parallel
+stage gates run_gates
+
+write_summary
+echo "ci: OK — summary in $SUMMARY"

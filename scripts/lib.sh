@@ -1,0 +1,63 @@
+# Shared helpers for the CI harness. POSIX sh + awk only — the gates must
+# run in the same offline container the build does, with no jq to lean on.
+#
+# The JSON here (bench results, CI summaries) is machine-written, flat, and
+# one-level; the parser below is deliberately tolerant of everything that
+# format is allowed to vary in — whitespace, key order, pairs sharing a
+# line — so gate scripts never again break on a `sed` regex pinned to one
+# writer's pretty-printing.
+
+# json_num FILE KEY
+# Prints the numeric value of the first occurrence of "KEY": <number>,
+# or nothing when the key is absent (callers treat empty as missing).
+json_num() {
+    awk -v want="$2" '
+        {
+            line = $0
+            while (match(line, /"[^"]+"[ \t]*:[ \t]*-?[0-9][0-9.eE+-]*/)) {
+                pair = substr(line, RSTART, RLENGTH)
+                line = substr(line, RSTART + RLENGTH)
+                key = pair
+                sub(/^"/, "", key)
+                sub(/".*/, "", key)
+                value = pair
+                sub(/^"[^"]+"[ \t]*:[ \t]*/, "", value)
+                if (key == want) { print value; exit }
+            }
+        }
+    ' "$1"
+}
+
+# json_num_keys FILE
+# Prints every key whose value is numeric, one per line, in file order.
+# Callers filter with grep (e.g. '^stage_.*_docs_per_sec$').
+json_num_keys() {
+    awk '
+        {
+            line = $0
+            while (match(line, /"[^"]+"[ \t]*:[ \t]*-?[0-9][0-9.eE+-]*/)) {
+                pair = substr(line, RSTART, RLENGTH)
+                line = substr(line, RSTART + RLENGTH)
+                key = pair
+                sub(/^"/, "", key)
+                sub(/".*/, "", key)
+                print key
+            }
+        }
+    ' "$1"
+}
+
+# num_ge A B — true when A >= B, comparing as floats.
+num_ge() {
+    awk -v a="$1" -v b="$2" 'BEGIN { exit !(a + 0 >= b + 0) }'
+}
+
+# num_le A B — true when A <= B, comparing as floats.
+num_le() {
+    awk -v a="$1" -v b="$2" 'BEGIN { exit !(a + 0 <= b + 0) }'
+}
+
+# num_mul A B — prints A * B with two decimals.
+num_mul() {
+    awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a * b }'
+}

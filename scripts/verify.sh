@@ -1,50 +1,4 @@
 #!/usr/bin/env sh
-# Full verification gate: release build, workspace tests, pedantic clippy.
-# Run from the repository root. Mirrors what CI / the PR driver enforces.
-set -eu
-
-cd "$(dirname "$0")/.."
-
-cargo build --release --offline --workspace
-cargo test -q --offline --workspace
-cargo clippy --offline --all-targets -- -D warnings
-
-# Fault-injection pass: recompile the scanning stack with the faultpoint
-# registry enabled and run the feature-gated resilience suite (kill/resume,
-# torn journal writes, mid-parse panics) plus every ordinary test under the
-# instrumented build.
-cargo test -q --offline --features faultpoints
-cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
-
-# Parallel determinism pass: the worker-pool engine must be observationally
-# identical to the sequential one. Runs the equivalence suite in both
-# feature configurations; the faultpoints build adds the contained-panic
-# stress case plus the jobs=4 kill/resume and concurrent torn-write cases.
-cargo test -q --offline --test parallel_scan
-cargo test -q --offline --features faultpoints --test parallel_scan --test fault_injection
-
-# Parallel scan benchmark gate: regenerate BENCH_scan.json and hold the
-# worker pool to a core-aware throughput floor against the sequential
-# baseline (2x on 4+ cores, parity on 2-3, overhead-only on 1).
-cargo bench --offline -p vbadet-bench --bench scan_parallel
-bench_json=results/BENCH_scan.json
-if [ ! -f "$bench_json" ]; then
-    echo "verify: FAIL — $bench_json missing" >&2
-    exit 1
-fi
-cores=$(sed -n 's/.*"cores": *\([0-9][0-9]*\).*/\1/p' "$bench_json")
-speedup=$(sed -n 's/.*"speedup": *\([0-9.][0-9.]*\).*/\1/p' "$bench_json")
-if [ -z "$cores" ] || [ -z "$speedup" ]; then
-    echo "verify: FAIL — $bench_json lacks cores/speedup fields" >&2
-    exit 1
-fi
-floor=0.5
-[ "$cores" -ge 2 ] && floor=1.0
-[ "$cores" -ge 4 ] && floor=2.0
-if ! awk -v s="$speedup" -v f="$floor" 'BEGIN { exit !(s + 0 >= f + 0) }'; then
-    echo "verify: FAIL — parallel speedup ${speedup}x below the ${floor}x floor for ${cores} core(s)" >&2
-    exit 1
-fi
-echo "verify: parallel speedup ${speedup}x on ${cores} core(s) (floor ${floor}x)"
-
-echo "verify: OK"
+# Thin compatibility wrapper: the verification pipeline lives in ci.sh
+# (staged, timed, machine-readable summary in results/ci-summary.json).
+exec "$(dirname "$0")/ci.sh" "$@"

@@ -14,8 +14,16 @@ fn table3_obfuscation_rates() {
     let macros = generate_macros(&spec());
     let (benign, malicious) = table3(&macros);
     // Paper: 1.7% benign, 98.4% malicious.
-    assert!(benign.obfuscation_rate() < 0.05, "{}", benign.obfuscation_rate());
-    assert!(malicious.obfuscation_rate() > 0.95, "{}", malicious.obfuscation_rate());
+    assert!(
+        benign.obfuscation_rate() < 0.05,
+        "{}",
+        benign.obfuscation_rate()
+    );
+    assert!(
+        malicious.obfuscation_rate() > 0.95,
+        "{}",
+        malicious.obfuscation_rate()
+    );
     // The macro-count ratio benign:malicious ≈ 4:1 (3380 vs 832).
     let ratio = benign.macros as f64 / malicious.macros as f64;
     assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
@@ -58,7 +66,10 @@ fn table2_file_population_and_sizes() {
     let spec = CorpusSpec::paper().scaled(0.02);
     let macros = generate_macros(&spec);
     let (benign, malicious) = DocumentFactory::new(&spec, &macros).for_each(|_| {});
-    assert_eq!(benign.files, spec.benign_word_files + spec.benign_excel_files);
+    assert_eq!(
+        benign.files,
+        spec.benign_word_files + spec.benign_excel_files
+    );
     assert_eq!(
         malicious.files,
         spec.malicious_word_files + spec.malicious_excel_files

@@ -16,31 +16,32 @@ fn every_generated_document_roundtrips_through_extraction() {
     let factory = DocumentFactory::new(&spec, &macros);
     let mut total_modules = 0usize;
     let mut failures = Vec::new();
-    factory.for_each(|file| {
-        match extract_macros(&file.bytes) {
-            Ok(extracted) => {
-                total_modules += extracted.len();
-                if extracted.len() != file.module_count {
-                    failures.push(format!(
-                        "{}: {} modules expected, {} extracted",
-                        file.name,
-                        file.module_count,
-                        extracted.len()
-                    ));
-                }
-                let expected_kind = match file.kind {
-                    DocumentKind::WordDoc | DocumentKind::ExcelXls => ContainerKind::Ole,
-                    _ => ContainerKind::Ooxml,
-                };
-                if extracted.iter().any(|m| m.container != expected_kind) {
-                    failures.push(format!("{}: wrong container kind", file.name));
-                }
+    factory.for_each(|file| match extract_macros(&file.bytes) {
+        Ok(extracted) => {
+            total_modules += extracted.len();
+            if extracted.len() != file.module_count {
+                failures.push(format!(
+                    "{}: {} modules expected, {} extracted",
+                    file.name,
+                    file.module_count,
+                    extracted.len()
+                ));
             }
-            Err(e) => failures.push(format!("{}: {e}", file.name)),
+            let expected_kind = match file.kind {
+                DocumentKind::WordDoc | DocumentKind::ExcelXls => ContainerKind::Ole,
+                _ => ContainerKind::Ooxml,
+            };
+            if extracted.iter().any(|m| m.container != expected_kind) {
+                failures.push(format!("{}: wrong container kind", file.name));
+            }
         }
+        Err(e) => failures.push(format!("{}: {e}", file.name)),
     });
     assert!(failures.is_empty(), "{failures:?}");
-    assert!(total_modules >= spec.benign_macros, "all benign macros distributed");
+    assert!(
+        total_modules >= spec.benign_macros,
+        "all benign macros distributed"
+    );
 }
 
 #[test]
@@ -63,7 +64,10 @@ fn extracted_macro_text_is_byte_identical_to_generated_source() {
         }
     });
     assert!(checked > 0);
-    assert_eq!(mismatched, 0, "{mismatched}/{checked} modules corrupted in transit");
+    assert_eq!(
+        mismatched, 0,
+        "{mismatched}/{checked} modules corrupted in transit"
+    );
 }
 
 #[test]

@@ -10,8 +10,8 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Mutex, MutexGuard};
 
 use vbadet::{
-    replay_journal, scan_bytes_with_policy, scan_paths_journaled, scan_paths_with_policy,
-    Detector, DetectorConfig, FailureClass, LadderRung, ScanJournal, ScanOutcome, ScanPolicy,
+    replay_journal, scan_bytes_with_policy, scan_paths_journaled, scan_paths_with_policy, Detector,
+    DetectorConfig, FailureClass, LadderRung, ScanJournal, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::CorpusSpec;
 use vbadet_faultpoint::{clear, configure, hit_count};
@@ -31,7 +31,10 @@ fn registry_guard() -> MutexGuard<'static, ()> {
 fn tiny_detector() -> Detector {
     // Verdict quality is irrelevant here; the detector only has to score
     // whatever the injected faults leave standing.
-    Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+    Detector::train_on_corpus(
+        &DetectorConfig::default(),
+        &CorpusSpec::paper().scaled(0.002),
+    )
 }
 
 fn macro_document() -> Vec<u8> {
@@ -42,7 +45,8 @@ fn macro_document() -> Vec<u8> {
 
 fn clean_document() -> Vec<u8> {
     let mut ole = OleBuilder::new();
-    ole.add_stream("WordDocument", b"plain text, no project").unwrap();
+    ole.add_stream("WordDocument", b"plain text, no project")
+        .unwrap();
     ole.build()
 }
 
@@ -58,8 +62,14 @@ fn ladder_recovers_from_an_injected_parser_panic() {
     // Without the ladder the panic is contained but the document is lost.
     let flat = scan_bytes_with_policy(det, &doc, &ScanPolicy::default());
     match &flat {
-        ScanOutcome::Failed { class: FailureClass::Panic, detail } => {
-            assert!(detail.contains("injected parser bug"), "detail was {detail:?}")
+        ScanOutcome::Failed {
+            class: FailureClass::Panic,
+            detail,
+        } => {
+            assert!(
+                detail.contains("injected parser bug"),
+                "detail was {detail:?}"
+            )
         }
         other => panic!("expected a contained panic, got {other:?}"),
     }
@@ -91,7 +101,13 @@ fn injected_stall_is_cut_short_by_the_deadline() {
     let elapsed = start.elapsed();
 
     assert!(
-        matches!(outcome, ScanOutcome::Failed { class: FailureClass::Timeout, .. }),
+        matches!(
+            outcome,
+            ScanOutcome::Failed {
+                class: FailureClass::Timeout,
+                ..
+            }
+        ),
         "expected a deadline timeout, got {outcome:?}"
     );
     // One sleep fires before the first post-stall checkpoint; the scan must
@@ -170,15 +186,23 @@ fn torn_journal_write_is_surfaced_and_the_tail_is_recoverable() {
     configure("journal::torn-write", "return@2").unwrap();
     let journal_path = dir.join("scan.jsonl");
     let mut journal = ScanJournal::create(&journal_path).unwrap();
-    let report =
-        scan_paths_journaled(det, &paths, &ScanPolicy::default(), Some(&mut journal), None);
+    let report = scan_paths_journaled(
+        det,
+        &paths,
+        &ScanPolicy::default(),
+        Some(&mut journal),
+        None,
+    );
     clear();
     drop(journal);
 
     // The scan itself still finishes every document — journaling is
     // best-effort — but the failure is reported, not swallowed.
     assert_eq!(report.scanned(), paths.len());
-    let err = report.journal_error.as_deref().expect("journal error must surface");
+    let err = report
+        .journal_error
+        .as_deref()
+        .expect("journal error must surface");
     assert!(err.contains("torn"), "journal error was {err:?}");
 
     // Replay degrades gracefully: the record before the tear survives, the
@@ -212,7 +236,10 @@ fn parallel_kill_and_resume_reproduces_the_sequential_reference_exactly() {
         })
         .collect();
 
-    let policy = ScanPolicy { jobs: 4, ..ScanPolicy::default().with_ladder() };
+    let policy = ScanPolicy {
+        jobs: 4,
+        ..ScanPolicy::default().with_ladder()
+    };
     let reference = scan_paths_journaled(det, &paths, &policy, None, None);
 
     // In parallel mode `scan::between-docs` fires on the collector, once
@@ -225,7 +252,10 @@ fn parallel_kill_and_resume_reproduces_the_sequential_reference_exactly() {
     let crash = std::panic::catch_unwind(AssertUnwindSafe(|| {
         scan_paths_journaled(det, &paths, &policy, Some(&mut journal), None)
     }));
-    assert!(crash.is_err(), "the injected kill should have escaped the worker pool");
+    assert!(
+        crash.is_err(),
+        "the injected kill should have escaped the worker pool"
+    );
     assert_eq!(hit_count("scan::between-docs"), 3);
     clear();
     drop(journal);
@@ -241,7 +271,10 @@ fn parallel_kill_and_resume_reproduces_the_sequential_reference_exactly() {
     // journal.
     let resumed = scan_paths_journaled(det, &paths, &policy, None, Some(&replay));
     assert_eq!(resumed.records, reference.records);
-    let seq_policy = ScanPolicy { jobs: 1, ..policy.clone() };
+    let seq_policy = ScanPolicy {
+        jobs: 1,
+        ..policy.clone()
+    };
     let seq_resumed = scan_paths_journaled(det, &paths, &seq_policy, None, Some(&replay));
     assert_eq!(resumed.records, seq_resumed.records);
 
@@ -259,8 +292,15 @@ fn torn_journal_write_under_concurrency_surfaces_once_with_no_interleaved_lines(
     let paths: Vec<_> = (0..8)
         .map(|i| {
             let p = dir.join(format!("doc{i:02}.bin"));
-            std::fs::write(&p, if i % 2 == 0 { macro_document() } else { clean_document() })
-                .unwrap();
+            std::fs::write(
+                &p,
+                if i % 2 == 0 {
+                    macro_document()
+                } else {
+                    clean_document()
+                },
+            )
+            .unwrap();
             p
         })
         .collect();
@@ -268,7 +308,10 @@ fn torn_journal_write_under_concurrency_surfaces_once_with_no_interleaved_lines(
     configure("journal::torn-write", "return@2").unwrap();
     let journal_path = dir.join("scan.jsonl");
     let mut journal = ScanJournal::create(&journal_path).unwrap();
-    let policy = ScanPolicy { jobs: 4, ..ScanPolicy::default() };
+    let policy = ScanPolicy {
+        jobs: 4,
+        ..ScanPolicy::default()
+    };
     let report = scan_paths_journaled(det, &paths, &policy, Some(&mut journal), None);
     clear();
     drop(journal);
@@ -276,7 +319,10 @@ fn torn_journal_write_under_concurrency_surfaces_once_with_no_interleaved_lines(
     // Every document still scanned; the write failure surfaces exactly
     // once, through the collector that owns the sole journal writer.
     assert_eq!(report.scanned(), paths.len());
-    let err = report.journal_error.as_deref().expect("journal error must surface");
+    let err = report
+        .journal_error
+        .as_deref()
+        .expect("journal error must surface");
     assert!(err.contains("torn"), "journal error was {err:?}");
 
     // The journal's lines were written by one thread in input order: every
@@ -320,7 +366,10 @@ fn file_growing_past_the_size_cap_between_stat_and_read_is_limit_exceeded() {
         let victim = victim.clone();
         std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(40));
-            let mut file = std::fs::OpenOptions::new().append(true).open(&victim).unwrap();
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&victim)
+                .unwrap();
             std::io::Write::write_all(&mut file, &vec![0u8; 8192]).unwrap();
         })
     };
@@ -329,7 +378,10 @@ fn file_growing_past_the_size_cap_between_stat_and_read_is_limit_exceeded() {
     clear();
 
     match &report.records[0].outcome {
-        ScanOutcome::Failed { class: FailureClass::LimitExceeded, detail } => {
+        ScanOutcome::Failed {
+            class: FailureClass::LimitExceeded,
+            detail,
+        } => {
             assert!(detail.contains("grew"), "detail was {detail:?}");
         }
         other => panic!("expected LimitExceeded after mid-read growth, got {other:?}"),

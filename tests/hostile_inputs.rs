@@ -11,9 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vbadet::{
-    scan_bytes, Detector, DetectorConfig, FailureClass, ScanLimits, ScanOutcome,
-};
+use vbadet::{scan_bytes, Detector, DetectorConfig, FailureClass, ScanLimits, ScanOutcome};
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 use vbadet_ovba::VbaProjectBuilder;
 
@@ -22,7 +20,10 @@ const MIN_MUTANTS: usize = 1000;
 fn tiny_detector() -> Detector {
     // Verdict quality is irrelevant here; the detector only has to score
     // whatever modules the mutants still yield.
-    Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+    Detector::train_on_corpus(
+        &DetectorConfig::default(),
+        &CorpusSpec::paper().scaled(0.002),
+    )
 }
 
 /// Builder-generated seed documents: real `.doc`/`.docm`/`.xls`/`.xlsm`
@@ -31,8 +32,12 @@ fn base_documents() -> Vec<Vec<u8>> {
     let spec = CorpusSpec::paper().scaled(0.01).with_seed(0xF0AA);
     let macros = generate_macros(&spec);
     let factory = DocumentFactory::new(&spec, &macros);
-    let mut docs: Vec<Vec<u8>> =
-        factory.build_all().into_iter().map(|f| f.bytes).take(11).collect();
+    let mut docs: Vec<Vec<u8>> = factory
+        .build_all()
+        .into_iter()
+        .map(|f| f.bytes)
+        .take(11)
+        .collect();
     let mut b = VbaProjectBuilder::new("Seed");
     b.add_module(
         "Module1",
@@ -99,7 +104,11 @@ fn thousand_mutants_never_panic_the_scan_engine() {
                     ScanOutcome::Failed { class, .. } => class.label(),
                 };
                 *histogram.entry(key).or_insert(0usize) += 1;
-                if let ScanOutcome::Failed { class: FailureClass::Panic, detail } = outcome {
+                if let ScanOutcome::Failed {
+                    class: FailureClass::Panic,
+                    detail,
+                } = outcome
+                {
                     panics.push((round, bi, detail));
                 }
             }
@@ -120,7 +129,10 @@ fn thousand_mutants_never_panic_the_scan_engine() {
         .filter(|(k, _)| !matches!(**k, "clean" | "macros" | "salvaged"))
         .map(|(_, v)| v)
         .sum();
-    assert!(failures > 0, "no mutant produced a failure outcome: {histogram:?}");
+    assert!(
+        failures > 0,
+        "no mutant produced a failure outcome: {histogram:?}"
+    );
     eprintln!("mutant outcome histogram over {scanned} inputs: {histogram:?}");
 }
 
@@ -129,7 +141,10 @@ fn mutants_of_the_raw_project_bin_never_break_extraction() {
     // Direct extraction-level fuzz (below the scan engine): the strict
     // API must return Ok/Err, never unwind.
     let mut b = VbaProjectBuilder::new("P");
-    b.add_module("Module1", "Sub A()\r\n    x = Chr(65) & Chr(66)\r\nEnd Sub\r\n");
+    b.add_module(
+        "Module1",
+        "Sub A()\r\n    x = Chr(65) & Chr(66)\r\nEnd Sub\r\n",
+    );
     let base = b.build().unwrap();
     let limits = ScanLimits::strict();
     let mut rng = StdRng::seed_from_u64(0xBADC0DE);
@@ -142,7 +157,11 @@ fn mutants_of_the_raw_project_bin_never_break_extraction() {
         let result = std::panic::catch_unwind(|| {
             let _ = vbadet::extract_macros_with_limits(&mutant, &limits);
         });
-        assert!(result.is_ok(), "extraction panicked on a mutant of len {}", mutant.len());
+        assert!(
+            result.is_ok(),
+            "extraction panicked on a mutant of len {}",
+            mutant.len()
+        );
     }
 }
 
@@ -197,7 +216,10 @@ fn fixture_decompression_bomb_trips_limit_exceeded() {
     let mut limits = ScanLimits::default();
     limits.ovba.max_module_bytes = 4096; // far below the ~100 KiB source
     match scan_bytes(&detector, &bin, &limits) {
-        ScanOutcome::Failed { class: FailureClass::LimitExceeded, .. } => {}
+        ScanOutcome::Failed {
+            class: FailureClass::LimitExceeded,
+            ..
+        } => {}
         other => panic!("expected LimitExceeded failure, got {other:?}"),
     }
     // The same document under default limits parses fine.
@@ -227,7 +249,10 @@ fn fixture_self_looping_fat_chain_is_reported_as_cycle() {
         Err(vbadet_ole::OleError::ChainCycle { .. })
     ));
     match scan_bytes(&detector, &bytes, &ScanLimits::default()) {
-        ScanOutcome::Failed { class: FailureClass::CyclicChain, .. } => {}
+        ScanOutcome::Failed {
+            class: FailureClass::CyclicChain,
+            ..
+        } => {}
         other => panic!("expected CyclicChain failure, got {other:?}"),
     }
 }

@@ -26,7 +26,10 @@ fn truncated_ole_header_is_a_typed_error() {
     // referenced sector is missing.
     let err = OleFile::parse(&bin[..513]).unwrap_err();
     assert!(
-        matches!(err, OleError::Truncated { .. } | OleError::ChainCycle { .. }),
+        matches!(
+            err,
+            OleError::Truncated { .. } | OleError::ChainCycle { .. }
+        ),
         "unexpected error for truncated body: {err:?}"
     );
 }
@@ -38,12 +41,18 @@ fn out_of_range_sector_ids_do_not_allocate_or_loop() {
     // "regular") sector id. The walk must fail with Truncated, not index
     // out of bounds or allocate per the claimed id.
     bytes[48..52].copy_from_slice(&0x00FF_FFF0u32.to_le_bytes());
-    assert!(matches!(OleFile::parse(&bytes), Err(OleError::Truncated { .. })));
+    assert!(matches!(
+        OleFile::parse(&bytes),
+        Err(OleError::Truncated { .. })
+    ));
 
     // Same for the first FAT sector in the header DIFAT.
     let mut bytes = project_bin();
     bytes[76..80].copy_from_slice(&0x00FF_FFF0u32.to_le_bytes());
-    assert!(matches!(OleFile::parse(&bytes), Err(OleError::Truncated { .. })));
+    assert!(matches!(
+        OleFile::parse(&bytes),
+        Err(OleError::Truncated { .. })
+    ));
 }
 
 #[test]
@@ -51,18 +60,30 @@ fn header_claiming_absurd_sector_count_is_capped() {
     // A tiny file cannot trip the sector-count cap by itself (the count is
     // derived from the real file size), so drive the cap directly.
     let bin = project_bin();
-    let tight = vbadet_ole::OleLimits { max_sectors: 4, ..Default::default() };
+    let tight = vbadet_ole::OleLimits {
+        max_sectors: 4,
+        ..Default::default()
+    };
     assert!(matches!(
         OleFile::parse_with_limits(&bin, tight),
-        Err(OleError::LimitExceeded { what: "sector count", .. })
+        Err(OleError::LimitExceeded {
+            what: "sector count",
+            ..
+        })
     ));
 }
 
 #[test]
 fn zip_central_local_mismatch_is_a_typed_error() {
     let mut zip = ZipWriter::new();
-    zip.add_file("word/vbaProject.bin", &project_bin(), CompressionMethod::Deflate).unwrap();
-    zip.add_file("word/document.xml", b"<doc/>", CompressionMethod::Deflate).unwrap();
+    zip.add_file(
+        "word/vbaProject.bin",
+        &project_bin(),
+        CompressionMethod::Deflate,
+    )
+    .unwrap();
+    zip.add_file("word/document.xml", b"<doc/>", CompressionMethod::Deflate)
+        .unwrap();
     let mut bytes = zip.finish();
 
     // The central directory points at local headers; corrupt the first
@@ -71,7 +92,10 @@ fn zip_central_local_mismatch_is_a_typed_error() {
     bytes[0] = b'Q';
     let archive = ZipArchive::parse(&bytes).unwrap();
     let err = archive.read_file("word/vbaProject.bin").unwrap_err();
-    assert!(matches!(err, ZipError::BadSignature { .. }), "unexpected: {err:?}");
+    assert!(
+        matches!(err, ZipError::BadSignature { .. }),
+        "unexpected: {err:?}"
+    );
 }
 
 #[test]
@@ -80,22 +104,39 @@ fn zip_member_declaring_huge_size_is_rejected_before_allocation() {
     // cap — the engine may not inflate first and check later.
     let payload = vec![0u8; 1 << 16];
     let mut zip = ZipWriter::new();
-    zip.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate).unwrap();
+    zip.add_file("word/vbaProject.bin", &payload, CompressionMethod::Deflate)
+        .unwrap();
     let bytes = zip.finish();
 
-    let limits = ZipLimits { max_member_bytes: 1 << 10, ..Default::default() };
+    let limits = ZipLimits {
+        max_member_bytes: 1 << 10,
+        ..Default::default()
+    };
     let archive = ZipArchive::parse_with_limits(&bytes, limits).unwrap();
     assert!(matches!(
         archive.read_file("word/vbaProject.bin"),
-        Err(ZipError::LimitExceeded { what: "member size", .. })
+        Err(ZipError::LimitExceeded {
+            what: "member size",
+            ..
+        })
     ));
 }
 
 #[test]
 fn ooxml_bomb_surfaces_as_limit_exceeded_through_the_pipeline() {
     let mut zip = ZipWriter::new();
-    zip.add_file("[Content_Types].xml", b"<Types/>", CompressionMethod::Deflate).unwrap();
-    zip.add_file("word/vbaProject.bin", &project_bin(), CompressionMethod::Deflate).unwrap();
+    zip.add_file(
+        "[Content_Types].xml",
+        b"<Types/>",
+        CompressionMethod::Deflate,
+    )
+    .unwrap();
+    zip.add_file(
+        "word/vbaProject.bin",
+        &project_bin(),
+        CompressionMethod::Deflate,
+    )
+    .unwrap();
     let bytes = zip.finish();
 
     let mut limits = ScanLimits::default();
@@ -112,11 +153,17 @@ fn oversized_stream_entry_is_capped_at_the_ole_layer() {
     builder.add_stream("big", &vec![0x42u8; 1 << 16]).unwrap();
     let bytes = builder.build();
 
-    let tight = vbadet_ole::OleLimits { max_stream_bytes: 1 << 10, ..Default::default() };
+    let tight = vbadet_ole::OleLimits {
+        max_stream_bytes: 1 << 10,
+        ..Default::default()
+    };
     let ole = OleFile::parse_with_limits(&bytes, tight).unwrap();
     assert!(matches!(
         ole.open_stream("big"),
-        Err(OleError::LimitExceeded { what: "stream size", .. })
+        Err(OleError::LimitExceeded {
+            what: "stream size",
+            ..
+        })
     ));
 }
 
@@ -129,9 +176,15 @@ fn module_count_cap_is_enforced() {
     let bin = b.build().unwrap();
     let ole = OleFile::parse(&bin).unwrap();
 
-    let limits = vbadet_ovba::OvbaLimits { max_modules: 8, ..Default::default() };
+    let limits = vbadet_ovba::OvbaLimits {
+        max_modules: 8,
+        ..Default::default()
+    };
     assert!(matches!(
         vbadet_ovba::VbaProject::from_ole_with_limits(&ole, &limits),
-        Err(vbadet_ovba::OvbaError::LimitExceeded { what: "module count", .. })
+        Err(vbadet_ovba::OvbaError::LimitExceeded {
+            what: "module count",
+            ..
+        })
     ));
 }

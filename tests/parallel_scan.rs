@@ -16,7 +16,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vbadet::{
-    replay_journal, scan_paths_parallel, scan_paths_journaled, scan_paths_with_policy, Detector,
+    replay_journal, scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, Detector,
     DetectorConfig, FailureClass, ScanJournal, ScanOutcome, ScanPolicy, ScanReport,
 };
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
@@ -34,7 +34,10 @@ fn detector() -> &'static Detector {
     DET.get_or_init(|| {
         // Verdict quality is irrelevant: both engines share one detector,
         // and equivalence is about plumbing, not accuracy.
-        Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+        Detector::train_on_corpus(
+            &DetectorConfig::default(),
+            &CorpusSpec::paper().scaled(0.002),
+        )
     })
 }
 
@@ -61,7 +64,11 @@ fn macro_doc(i: usize) -> Vec<u8> {
 
 fn clean_doc(i: usize) -> Vec<u8> {
     let mut ole = OleBuilder::new();
-    ole.add_stream("WordDocument", format!("plain text #{i}, no macros").as_bytes()).unwrap();
+    ole.add_stream(
+        "WordDocument",
+        format!("plain text #{i}, no macros").as_bytes(),
+    )
+    .unwrap();
     ole.build()
 }
 
@@ -86,7 +93,10 @@ fn write_mixed_corpus(dir: &Path, n: usize) -> Vec<PathBuf> {
         let (name, bytes): (String, Vec<u8>) = match i % 7 {
             0 | 1 => (format!("doc{i:04}.bin"), macro_doc(i)),
             2 => (format!("doc{i:04}.doc"), clean_doc(i)),
-            3 => (format!("doc{i:04}.txt"), format!("junk payload {i}").into_bytes()),
+            3 => (
+                format!("doc{i:04}.txt"),
+                format!("junk payload {i}").into_bytes(),
+            ),
             4 => {
                 let full = macro_doc(i);
                 let cut = rng.gen_range(1..full.len());
@@ -144,7 +154,15 @@ fn parallel_equals_sequential_on_clean_hostile_and_mixed_corpora() {
     let clean: Vec<PathBuf> = (0..24)
         .map(|i| {
             let p = clean_dir.join(format!("c{i:02}.doc"));
-            std::fs::write(&p, if i % 2 == 0 { clean_doc(i) } else { macro_doc(i) }).unwrap();
+            std::fs::write(
+                &p,
+                if i % 2 == 0 {
+                    clean_doc(i)
+                } else {
+                    macro_doc(i)
+                },
+            )
+            .unwrap();
             p
         })
         .collect();
@@ -167,11 +185,8 @@ fn parallel_equals_sequential_on_clean_hostile_and_mixed_corpora() {
     let mixed_dir = fresh_dir("mixed");
     let mixed = write_mixed_corpus(&mixed_dir, 63);
 
-    let policies =
-        [ScanPolicy::default(), ScanPolicy::default().with_ladder()];
-    for (corpus_name, paths) in
-        [("clean", &clean), ("hostile", &hostile), ("mixed", &mixed)]
-    {
+    let policies = [ScanPolicy::default(), ScanPolicy::default().with_ladder()];
+    for (corpus_name, paths) in [("clean", &clean), ("hostile", &hostile), ("mixed", &mixed)] {
         for (p_idx, policy) in policies.iter().enumerate() {
             let sequential = scan_paths_with_policy(det, paths, policy);
             let seq_bytes = serialized(&sequential);
@@ -212,7 +227,10 @@ fn parallel_journal_is_byte_identical_to_the_sequential_journal() {
 
     let par_journal = dir.join("par.jsonl");
     let mut journal = ScanJournal::create(&par_journal).unwrap();
-    let par_policy = ScanPolicy { jobs: 4, ..policy.clone() };
+    let par_policy = ScanPolicy {
+        jobs: 4,
+        ..policy.clone()
+    };
     let parallel = scan_paths_journaled(det, &paths, &par_policy, Some(&mut journal), None);
     drop(journal);
     assert!(parallel.journal_error.is_none());
@@ -258,7 +276,10 @@ fn five_hundred_document_mixed_corpus_is_byte_equal_at_jobs_4() {
     // The corpus is genuinely mixed — every counter is exercised.
     assert!(parallel.clean() > 0, "corpus should have clean documents");
     assert!(parallel.flagged() + parallel.recovered() > 0);
-    assert!(parallel.failed() > 0, "corpus should have hostile documents");
+    assert!(
+        parallel.failed() > 0,
+        "corpus should have hostile documents"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -304,7 +325,10 @@ fn input_order_survives_inverted_completion_order() {
     let mut big = VbaProjectBuilder::new("Big");
     for m in 0..12 {
         let body = format!("    x = {m}\r\n").repeat(600);
-        big.add_module(&format!("M{m}"), &format!("Sub S{m}()\r\n{body}End Sub\r\n"));
+        big.add_module(
+            &format!("M{m}"),
+            &format!("Sub S{m}()\r\n{body}End Sub\r\n"),
+        );
     }
     let mut paths = vec![dir.join("doc0000.big.bin")];
     std::fs::write(&paths[0], big.build().unwrap()).unwrap();
@@ -318,7 +342,10 @@ fn input_order_survives_inverted_completion_order() {
     let order: Vec<&PathBuf> = report.records.iter().map(|r| &r.path).collect();
     let expected: Vec<&PathBuf> = paths.iter().collect();
     assert_eq!(order, expected, "records must stay in input order");
-    assert_eq!(report.records, scan_paths_with_policy(det, &paths, &ScanPolicy::default()).records);
+    assert_eq!(
+        report.records,
+        scan_paths_with_policy(det, &paths, &ScanPolicy::default()).records
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -359,14 +386,24 @@ fn stress_budget_trip_on_one_worker_does_not_starve_siblings() {
     let policy = ScanPolicy::default().fuel(64);
     let parallel = scan_paths_parallel(det, &paths, &policy, 4);
     assert_eq!(parallel.scanned(), TOTAL);
-    assert_eq!(parallel.failed_with(FailureClass::Timeout), 1, "exactly one budget trip");
+    assert_eq!(
+        parallel.failed_with(FailureClass::Timeout),
+        1,
+        "exactly one budget trip"
+    );
     assert!(matches!(
         parallel.records[STALL_AT].outcome,
-        ScanOutcome::Failed { class: FailureClass::Timeout, .. }
+        ScanOutcome::Failed {
+            class: FailureClass::Timeout,
+            ..
+        }
     ));
     // Siblings keep their own budgets: nothing else failed at all.
     assert_eq!(parallel.failed(), 1);
-    assert_eq!(parallel.records, scan_paths_with_policy(det, &paths, &policy).records);
+    assert_eq!(
+        parallel.records,
+        scan_paths_with_policy(det, &paths, &policy).records
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -414,7 +451,10 @@ fn stress_contained_panic_on_a_worker_completes_the_batch() {
     for record in &report.records {
         match &record.outcome {
             ScanOutcome::Macros(_) => {}
-            ScanOutcome::Failed { class: FailureClass::Panic, detail } => {
+            ScanOutcome::Failed {
+                class: FailureClass::Panic,
+                detail,
+            } => {
                 assert!(detail.contains("injected worker bug"), "detail: {detail}");
             }
             other => panic!("unexpected outcome {other:?} for {}", record.path.display()),

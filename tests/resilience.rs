@@ -30,7 +30,10 @@ use vbadet_ovba::VbaProjectBuilder;
 fn tiny_detector() -> Detector {
     // Verdict quality is irrelevant here; the detector only has to score
     // whatever the budgeted pipeline still yields.
-    Detector::train_on_corpus(&DetectorConfig::default(), &CorpusSpec::paper().scaled(0.002))
+    Detector::train_on_corpus(
+        &DetectorConfig::default(),
+        &CorpusSpec::paper().scaled(0.002),
+    )
 }
 
 fn base_documents() -> &'static Vec<Vec<u8>> {
@@ -39,7 +42,12 @@ fn base_documents() -> &'static Vec<Vec<u8>> {
         let spec = CorpusSpec::paper().scaled(0.01).with_seed(0xBEEF);
         let macros = generate_macros(&spec);
         let factory = DocumentFactory::new(&spec, &macros);
-        factory.build_all().into_iter().map(|f| f.bytes).take(8).collect()
+        factory
+            .build_all()
+            .into_iter()
+            .map(|f| f.bytes)
+            .take(8)
+            .collect()
     })
 }
 
@@ -48,8 +56,8 @@ fn base_documents() -> &'static Vec<Vec<u8>> {
 /// stomped, so the strict parser fails and salvage must decompress every
 /// module and run its (quadratic, length-proportional) cross-stream dedup.
 fn stall_document(modules: usize, prefix_kib: usize) -> Vec<u8> {
-    let shared: String = "    x = x + 1 ' filler line to share a long prefix\r\n"
-        .repeat(prefix_kib * 1024 / 50);
+    let shared: String =
+        "    x = x + 1 ' filler line to share a long prefix\r\n".repeat(prefix_kib * 1024 / 50);
     let mut b = VbaProjectBuilder::new("Stall");
     for i in 0..modules {
         let code = format!(
@@ -89,7 +97,13 @@ fn fuel_budget_turns_the_salvage_stall_vector_into_a_timeout() {
     // dedup finishes and come back as a typed timeout.
     let bounded = scan_bytes_with_policy(det, &doc, &ScanPolicy::default().fuel(64));
     assert!(
-        matches!(bounded, ScanOutcome::Failed { class: FailureClass::Timeout, .. }),
+        matches!(
+            bounded,
+            ScanOutcome::Failed {
+                class: FailureClass::Timeout,
+                ..
+            }
+        ),
         "expected a fuel timeout, got {bounded:?}"
     );
 }
@@ -102,15 +116,23 @@ fn per_document_budgets_are_independent() {
     b.add_module("Module1", "Sub Work()\r\n    x = 1\r\nEnd Sub\r\n");
     let good = b.build().unwrap();
     let mut clean_ole = OleBuilder::new();
-    clean_ole.add_stream("WordDocument", b"nothing here").unwrap();
+    clean_ole
+        .add_stream("WordDocument", b"nothing here")
+        .unwrap();
     let clean = clean_ole.build();
 
-    let docs: Vec<(&str, &[u8])> =
-        vec![("stall.doc", &stall[..]), ("good.bin", &good[..]), ("clean.doc", &clean[..])];
+    let docs: Vec<(&str, &[u8])> = vec![
+        ("stall.doc", &stall[..]),
+        ("good.bin", &good[..]),
+        ("clean.doc", &clean[..]),
+    ];
     let report = scan_documents_with_policy(det, docs, &ScanPolicy::default().fuel(64));
     assert!(matches!(
         report.records[0].outcome,
-        ScanOutcome::Failed { class: FailureClass::Timeout, .. }
+        ScanOutcome::Failed {
+            class: FailureClass::Timeout,
+            ..
+        }
     ));
     // The stalled neighbour must not have drained anyone else's budget.
     assert!(matches!(report.records[1].outcome, ScanOutcome::Macros(_)));
@@ -224,8 +246,13 @@ fn journaled_scan_replays_and_resumes_to_identical_outcomes() {
     // and writes a new journal that is itself complete.
     let resumed_journal_path = dir.join("resumed.jsonl");
     let mut resumed_journal = ScanJournal::create(&resumed_journal_path).unwrap();
-    let resumed =
-        scan_paths_journaled(det, &paths, &policy, Some(&mut resumed_journal), Some(&replay));
+    let resumed = scan_paths_journaled(
+        det,
+        &paths,
+        &policy,
+        Some(&mut resumed_journal),
+        Some(&replay),
+    );
     assert!(resumed.journal_error.is_none());
     assert_eq!(resumed.records, reference.records);
     let second_replay = replay_journal(&resumed_journal_path).unwrap();
