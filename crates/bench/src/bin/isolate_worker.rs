@@ -1,0 +1,11 @@
+//! Worker-process shim for the `scan_parallel` benchmark's `--isolate`
+//! pass: the whole binary is one isolation worker speaking the frame
+//! protocol on stdin/stdout, with the tracking allocator installed as in
+//! the production binary.
+
+#[global_allocator]
+static ALLOC: vbadet::TrackingAllocator = vbadet::TrackingAllocator;
+
+fn main() {
+    std::process::exit(vbadet::worker_main());
+}

@@ -2,16 +2,17 @@
 
 use std::error::Error;
 use std::path::PathBuf;
+use std::process::ExitCode;
 use vbadet::{
     extract_macros, replay_journal, scan_paths_journaled, ClassifierKind, Detector, DetectorConfig,
-    MetricsSink, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
+    IsolateConfig, MetricsSink, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
 /// Flags that are bare switches (no value follows them).
-const SWITCHES: &[&str] = &["ladder", "stats"];
+const SWITCHES: &[&str] = &["ladder", "stats", "isolate"];
 
 /// Minimal flag parser: `--key value` pairs, bare `--switch` flags, plus
 /// positional arguments.
@@ -94,7 +95,35 @@ fn spec_at(scale: f64, seed: u64) -> CorpusSpec {
     }
 }
 
-pub fn scan(args: &[String]) -> CmdResult {
+/// First Ctrl-C requests a graceful drain; the second force-exits with
+/// the conventional 128+SIGINT code. Only atomics and `_exit` — both
+/// async-signal-safe — run in the handler.
+#[cfg(unix)]
+fn install_sigint_drain() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SEEN: AtomicBool = AtomicBool::new(false);
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_: i32) {
+        extern "C" {
+            fn _exit(code: i32) -> !;
+        }
+        if SEEN.swap(true, Ordering::Relaxed) {
+            unsafe { _exit(130) }
+        }
+        vbadet::scan::interrupt::request_drain();
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_drain() {}
+
+pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let flags = Flags::parse(args)?;
     if flags.positional.is_empty() {
         return Err("scan: at least one file required".into());
@@ -124,7 +153,28 @@ pub fn scan(args: &[String]) -> CmdResult {
     // to the sequential in-thread engine (the output is identical either
     // way — parallelism only changes the wall clock).
     let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    policy = policy.jobs(flags.get_usize("jobs", default_jobs)?);
+    let jobs = flags.get_usize("jobs", default_jobs)?;
+    if jobs == 0 {
+        return Err(
+            "scan: --jobs must be at least 1 (use --jobs 1 for the sequential engine)".into(),
+        );
+    }
+    policy = policy.jobs(jobs);
+    if let Some(mb) = flags.values.get("max-scan-mem-mb") {
+        let mb: u64 = mb.parse()?;
+        if mb == 0 {
+            return Err("scan: --max-scan-mem-mb must be at least 1".into());
+        }
+        policy = policy.max_scan_mem_bytes(mb << 20);
+    }
+    if flags.has("isolate") {
+        policy = policy.isolated(IsolateConfig::current_exe()?);
+    }
+    // Ctrl-C drains instead of killing: stop dispatching, flush the
+    // journal, report what was decided, exit 3 so the run is resumable.
+    policy = policy.drain_on_interrupt();
+    vbadet::scan::interrupt::reset();
+    install_sigint_drain();
     let resume = match flags.values.get("resume") {
         Some(path) => {
             let replay = replay_journal(path)?;
@@ -237,10 +287,25 @@ pub fn scan(args: &[String]) -> CmdResult {
     if let Some(e) = &report.journal_error {
         return Err(format!("journal write failed mid-scan: {e}").into());
     }
+    // Exit-code ladder (see `vbadet help`): interruption wins (the run is
+    // resumable and the user should know), then batch failures, then
+    // findings, then clean.
+    if report.interrupted {
+        eprintln!(
+            "interrupted: {} of {} documents decided and journaled; resume with --resume",
+            report.scanned(),
+            flags.positional.len()
+        );
+        return Ok(ExitCode::from(3));
+    }
     if report.failed() > 0 {
         return Err(format!("{} of {} inputs failed", report.failed(), report.scanned()).into());
     }
-    Ok(())
+    Ok(if any_flagged {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 pub fn extract(args: &[String]) -> CmdResult {
@@ -610,6 +675,15 @@ mod command_tests {
 
         let bad = scan(&strs2(&["--jobs", "zero?", good.to_str().unwrap()]));
         assert!(bad.is_err(), "non-numeric --jobs must be rejected");
+
+        // `--jobs 0` is rejected with a clear error, never silently
+        // reinterpreted as "default" or "sequential".
+        let zero = scan(&strs2(&["--jobs", "0", good.to_str().unwrap()]));
+        let msg = zero.unwrap_err().to_string();
+        assert!(
+            msg.contains("--jobs must be at least 1"),
+            "zero-jobs error was {msg:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

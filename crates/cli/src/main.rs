@@ -12,37 +12,67 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// Live-heap tracking for `--max-scan-mem-mb`: installed process-wide so
+/// both the in-process engines and `--isolate` worker re-executions of
+/// this binary can trip the memory ceiling as a typed outcome.
+#[global_allocator]
+static ALLOC: vbadet::TrackingAllocator = vbadet::TrackingAllocator;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
             eprintln!("{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    let result = match command {
+    if command == vbadet::scan::isolate::WORKER_SUBCOMMAND {
+        // Hidden subcommand: this process is an isolation worker, driven
+        // over stdin/stdout by a supervisor `vbadet scan --isolate`.
+        // Ignore SIGINT so a terminal Ctrl-C (delivered to the whole
+        // foreground process group) lets the supervisor drain gracefully
+        // instead of reaping a batch of killed workers.
+        ignore_sigint();
+        return ExitCode::from(vbadet::worker_main() as u8);
+    }
+    let result: Result<ExitCode, Box<dyn std::error::Error>> = match command {
         "scan" => commands::scan(rest),
-        "extract" => commands::extract(rest),
-        "obfuscate" => commands::obfuscate(rest),
-        "deobfuscate" => commands::deobfuscate(rest),
-        "corpus" => commands::corpus(rest),
-        "evaluate" => commands::evaluate(rest),
-        "train" => commands::train(rest),
+        "extract" => commands::extract(rest).map(|()| ExitCode::SUCCESS),
+        "obfuscate" => commands::obfuscate(rest).map(|()| ExitCode::SUCCESS),
+        "deobfuscate" => commands::deobfuscate(rest).map(|()| ExitCode::SUCCESS),
+        "corpus" => commands::corpus(rest).map(|()| ExitCode::SUCCESS),
+        "evaluate" => commands::evaluate(rest).map(|()| ExitCode::SUCCESS),
+        "train" => commands::train(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command: {other}\n{}", usage()).into()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
+
+#[cfg(unix)]
+fn ignore_sigint() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIG_IGN: usize = 1;
+    unsafe {
+        signal(SIGINT, SIG_IGN);
+    }
+}
+
+#[cfg(not(unix))]
+fn ignore_sigint() {}
 
 fn usage() -> &'static str {
     "vbadet — obfuscated VBA macro detection (DSN 2018 reproduction)
@@ -50,6 +80,7 @@ fn usage() -> &'static str {
 USAGE:
     vbadet scan [--scale F] [--classifier NAME] [--limits default|strict]
                 [--deadline-ms N] [--fuel N] [--ladder] [--jobs N]
+                [--isolate] [--max-scan-mem-mb N]
                 [--journal FILE] [--resume FILE] <file>...
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
@@ -63,14 +94,20 @@ COMMANDS:
                 classify each module (trains a fresh detector, or pass
                 --model FILE saved by `vbadet train`). Batch-safe: every
                 input is processed under resource limits, damaged projects
-                are salvaged when possible, and the exit status is nonzero
-                only after all inputs ran (any per-file failure => failure)
+                are salvaged when possible, and failures are per-file
+                records, never aborts
     train       Train a detector and save it for reuse with `scan --model`
     extract     Print every macro module's source code
     obfuscate   Apply O1-O4 obfuscation to a VBA source file
     deobfuscate Fold hidden strings, strip dead code and dummy procedures
     corpus      Generate a labeled synthetic corpus of real container files
     evaluate    Run the paper's Table V cross-validation
+
+SCAN EXIT CODES:
+    0   every input scanned, nothing flagged
+    1   every input scanned, at least one module flagged OBFUSCATED
+    2   error, or batch completed with per-file failures
+    3   interrupted (Ctrl-C drain); journal is resumable with --resume
 
 OPTIONS:
     --scale F        corpus scale, 0 < F <= 1 (default: 0.1 scan, 1.0 evaluate)
@@ -83,13 +120,25 @@ OPTIONS:
     --fuel N         deterministic work budget per document (~1 unit/KiB)
     --ladder         retry failed documents down the degradation ladder
                      (full parse -> strict limits -> salvage-only sweep)
-    --jobs N         scanning worker threads (default: one per core);
-                     --jobs 1 selects the sequential engine. Reports,
-                     journals and exit status are identical at any N
+    --jobs N         scanning workers (default: one per core); --jobs 1
+                     selects the sequential engine; 0 is rejected. Reports
+                     and journals are identical at any N
+    --isolate        scan in child worker processes: aborts, stack
+                     overflows and OOM kills cost one worker, not the
+                     batch. A document that kills two workers in a row is
+                     quarantined (FAILED [fatal]) and the batch continues
+    --max-scan-mem-mb N
+                     per-document heap ceiling; a document allocating past
+                     it is FAILED [limit-exceeded] instead of OOM-killed
 
     --journal FILE   checkpoint each document's outcome to FILE (JSONL,
                      crash-safe) as the scan runs
     --resume FILE    replay a journal from a killed run: completed documents
                      are not rescanned, mid-scan ones are re-attempted
-    --seed N         RNG seed"
+    --seed N         RNG seed
+
+SIGNALS:
+    Ctrl-C once during scan drains gracefully: in-flight documents finish,
+    the journal is flushed, a partial summary prints, exit code 3.
+    Ctrl-C twice force-exits immediately (code 130)."
 }

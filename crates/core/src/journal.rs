@@ -240,7 +240,7 @@ fn decode_event(j: &Json) -> Result<Event, String> {
 // Outcome encoding
 // ---------------------------------------------------------------------------
 
-fn outcome_json(outcome: &ScanOutcome) -> String {
+pub(crate) fn outcome_json(outcome: &ScanOutcome) -> String {
     match outcome {
         ScanOutcome::Clean => "{\"kind\":\"clean\"}".to_string(),
         ScanOutcome::Macros(v) => {
@@ -297,7 +297,7 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
-fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
+pub(crate) fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
     let kind = j
         .get("kind")
         .and_then(Json::as_str)
@@ -360,7 +360,7 @@ fn decode_outcome(j: &Json) -> Result<ScanOutcome, String> {
 // Minimal JSON
 // ---------------------------------------------------------------------------
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -381,7 +381,7 @@ fn json_str(s: &str) -> String {
 /// A parsed JSON value. Just enough for the journal format; objects keep
 /// insertion order in a vector because lookups are tiny.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -391,42 +391,42 @@ enum Json {
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -434,7 +434,7 @@ impl Json {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,

@@ -33,6 +33,7 @@ pub mod experiment;
 pub mod extract;
 pub mod journal;
 pub mod limits;
+pub mod memguard;
 pub mod preprocess;
 pub mod scan;
 pub mod signature;
@@ -47,7 +48,9 @@ pub use extract::{
 };
 pub use journal::{replay_journal, JournalReplay, ScanJournal};
 pub use limits::ScanLimits;
+pub use memguard::TrackingAllocator;
 pub use preprocess::preprocess_macros;
+pub use scan::isolate::{worker_main, IsolateConfig};
 pub use scan::{
     scan_bytes, scan_bytes_with_policy, scan_documents, scan_documents_with_policy, scan_paths,
     scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,

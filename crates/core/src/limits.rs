@@ -55,6 +55,7 @@ impl ScanLimits {
                 max_sectors: 1 << 18,
                 max_dir_entries: 1 << 12,
                 max_stream_bytes: 1 << 24,
+                max_dir_depth: 64,
             },
             ovba: OvbaLimits {
                 max_modules: 256,
@@ -79,6 +80,7 @@ mod tests {
         assert!(s.ole.max_sectors <= d.ole.max_sectors);
         assert!(s.ole.max_dir_entries <= d.ole.max_dir_entries);
         assert!(s.ole.max_stream_bytes <= d.ole.max_stream_bytes);
+        assert!(s.ole.max_dir_depth <= d.ole.max_dir_depth);
         assert!(s.ovba.max_modules <= d.ovba.max_modules);
         assert!(s.ovba.max_module_bytes <= d.ovba.max_module_bytes);
         assert!(s.ovba.max_dir_bytes <= d.ovba.max_dir_bytes);

@@ -1,0 +1,112 @@
+//! Live-heap accounting for the per-document memory ceiling.
+//!
+//! Worker processes under the [`scan::isolate`](crate::scan::isolate)
+//! supervisor install [`TrackingAllocator`] as their `#[global_allocator]`;
+//! it forwards every call to [`System`] and keeps a process-wide count of
+//! live heap bytes. [`live_bytes`] is the probe the scan
+//! [`Budget`](vbadet_faultpoint::Budget) polls: the budget captures a
+//! baseline at document start, and a document whose allocations exceed
+//! `--max-scan-mem-mb` over that baseline trips as a typed
+//! `BudgetExceeded::Memory` — surfacing as a `limit-exceeded` record —
+//! long before the kernel's OOM killer would have SIGKILLed the worker.
+//!
+//! In a process that has *not* installed the allocator the counter stays
+//! at zero, so the probe is always safe to wire up: the ceiling simply
+//! never trips.
+//!
+//! The accounting is deliberately simple — a pair of relaxed atomic
+//! updates per allocation, no size-class bucketing, `realloc` counted as
+//! the delta — because the ceiling is a blast-radius bound, not a
+//! profiler: being off by an allocator header here or there is irrelevant
+//! against caps measured in megabytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+
+/// Heap bytes currently live in this process, or zero when
+/// [`TrackingAllocator`] is not installed as the global allocator.
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// A pass-through global allocator that counts live bytes.
+///
+/// Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: vbadet::memguard::TrackingAllocator =
+///     vbadet::memguard::TrackingAllocator;
+/// ```
+pub struct TrackingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`; the only additions
+// are relaxed atomic counter updates, which allocate nothing and cannot
+// unwind.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                LIVE.fetch_add(new - old, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reads_zero_without_the_allocator_installed() {
+        // The test binary does not install TrackingAllocator, so nothing
+        // ever touches the counter.
+        assert_eq!(live_bytes(), 0);
+    }
+
+    #[test]
+    fn counter_tracks_a_manual_alloc_dealloc_cycle() {
+        // Drive the allocator directly rather than installing it.
+        let a = TrackingAllocator;
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let before = live_bytes();
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert_eq!(live_bytes() - before, 4096);
+        let p = unsafe { a.realloc(p, layout, 8192) };
+        assert!(!p.is_null());
+        assert_eq!(live_bytes() - before, 8192);
+        let layout = Layout::from_size_align(8192, 8).unwrap();
+        unsafe { a.dealloc(p, layout) };
+        assert_eq!(live_bytes(), before);
+    }
+}

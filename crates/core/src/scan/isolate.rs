@@ -1,0 +1,914 @@
+//! Process-isolated batch scanning: a supervisor that survives aborts,
+//! stack overflows, and OOM kills.
+//!
+//! The in-process engines contain panics with `catch_unwind`, but a whole
+//! class of failures is beyond any in-process defence: `abort()` in a
+//! dependency, a stack overflow in a parser recursion, the kernel's OOM
+//! killer. [`scan_paths_isolated`] moves the blast radius out of the batch
+//! process entirely: documents are scanned by child *worker processes*
+//! (re-executions of the current binary into a hidden worker subcommand),
+//! so the worst a hostile document can do is cost one worker.
+//!
+//! # Topology
+//!
+//! One handler thread per worker slot claims input indices from a shared
+//! atomic cursor (one document at a time — a slot never holds more than
+//! one claim, so a dying worker forfeits exactly one document). Each slot
+//! owns one child process; a dedicated reader thread pumps the child's
+//! stdout frames into a channel so the handler can wait with a timeout —
+//! that timeout *is* the heartbeat: a worker that holds a document longer
+//! than the heartbeat deadline is SIGKILLed and treated like any other
+//! worker death. Decided records flow to the single collector (reorder
+//! buffer, one journal writer), exactly like the thread-pool engine, so
+//! reports and journals are byte-compatible across all three engines.
+//!
+//! # Frame protocol
+//!
+//! Frames are a `u32` little-endian byte length followed by that many
+//! bytes of UTF-8 JSON, over the child's stdin/stdout. The conversation:
+//!
+//! ```text
+//! supervisor → worker   {"op":"hello","detector":…,"limits":[…],…}
+//! worker → supervisor   {"op":"ready"}
+//! supervisor → worker   {"op":"scan","path":"…"}        (repeated)
+//! worker → supervisor   {"op":"result","outcome":…,"counters":{…}}
+//! supervisor → worker   {"op":"exit"}
+//! ```
+//!
+//! The protocol is strictly private to one binary version — both ends are
+//! the same executable — so the encoding favours compactness (the limits
+//! travel as a positional array) over self-description.
+//!
+//! # Quarantine
+//!
+//! A document whose worker dies (by signal, unexpected exit, or heartbeat
+//! kill) is retried **exactly once**, as the *first* document of a fresh
+//! worker — a solo retry, so a crash there is unambiguously the
+//! document's fault. A second death quarantines the document: it is
+//! recorded as [`FailureClass::Fatal`] with both death reasons in the
+//! detail, the batch continues, and the quarantined outcome is journaled
+//! (a resume will *not* re-scan a quarantined document). Worker deaths
+//! respawn with exponential backoff, and a slot whose workers cannot even
+//! complete the hello/ready handshake `crash_loop_limit` times in a row
+//! stops spawning and drains its remaining claims as fatal
+//! "worker unavailable" records rather than spinning forever.
+//!
+//! # Determinism
+//!
+//! Each worker scans a document under a **fresh** metrics sink and ships
+//! the non-zero counters back in the result frame; the collector merges
+//! those deltas in input order and then rolls the outcome in with
+//! [`record_outcome`], which skips [`FailureClass::Fatal`] records
+//! entirely. Net effect: the deterministic counters section equals a
+//! clean in-process run over the surviving documents, whatever workers
+//! died along the way. Worker lifecycle events land on the histogram side
+//! ([`Stage::IsolateSpawns`], restarts, heartbeat kills, quarantines,
+//! docs-per-worker), which is exempt from the determinism promise.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use super::{interrupt, record_outcome, FailureClass, JournalSink, ScanPolicy};
+use super::{ScanOutcome, ScanRecord, ScanReport};
+use crate::detector::Detector;
+use crate::journal::{
+    decode_outcome, json_str, outcome_json, parse_json, JournalReplay, Json, ScanJournal,
+};
+use crate::limits::ScanLimits;
+use vbadet_faultpoint::faultpoint;
+use vbadet_metrics::{Counter, MetricsSink, ScanMetrics, Stage};
+use vbadet_ole::OleLimits;
+use vbadet_ovba::OvbaLimits;
+use vbadet_zip::ZipLimits;
+
+/// The hidden subcommand a binary embedding [`worker_main`] dispatches on.
+pub const WORKER_SUBCOMMAND: &str = "__worker";
+
+/// Hard cap on one frame's payload; a length prefix past this is treated
+/// as protocol corruption, not an allocation request.
+const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// How the supervisor runs and disciplines its worker processes.
+#[derive(Debug, Clone)]
+pub struct IsolateConfig {
+    /// Worker process argv: program followed by its arguments. The
+    /// program must speak the frame protocol on stdin/stdout — in
+    /// practice, the current executable with [`WORKER_SUBCOMMAND`].
+    pub worker_cmd: Vec<String>,
+    /// Per-request response deadline. A worker that holds a document
+    /// longer is killed and the death handled like a crash. `None`
+    /// derives a deadline from the policy (4× the per-document deadline
+    /// plus slack, or 60 s without one).
+    pub heartbeat: Option<Duration>,
+    /// Extra environment for worker processes (on top of the inherited
+    /// environment). This is how tests arm fault injection *only inside
+    /// workers*: the supervisor process never sees the variable.
+    pub env: Vec<(String, String)>,
+    /// Base delay of the exponential respawn backoff after a worker
+    /// death or failed spawn.
+    pub backoff_base: Duration,
+    /// Consecutive spawn/handshake failures after which a slot stops
+    /// spawning and fails its remaining claims as
+    /// [`FailureClass::Fatal`] "worker unavailable" records.
+    pub crash_loop_limit: u32,
+}
+
+impl IsolateConfig {
+    /// A config running `worker_cmd` with default discipline.
+    pub fn new(worker_cmd: Vec<String>) -> Self {
+        IsolateConfig {
+            worker_cmd,
+            heartbeat: None,
+            env: Vec::new(),
+            backoff_base: Duration::from_millis(50),
+            crash_loop_limit: 3,
+        }
+    }
+
+    /// The standard config: re-execute the current binary with
+    /// [`WORKER_SUBCOMMAND`] as its only argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the current executable path cannot be determined.
+    pub fn current_exe() -> io::Result<Self> {
+        let exe = std::env::current_exe()?;
+        Ok(IsolateConfig::new(vec![
+            exe.display().to_string(),
+            WORKER_SUBCOMMAND.to_string(),
+        ]))
+    }
+
+    /// Overrides the heartbeat deadline.
+    pub fn heartbeat(mut self, deadline: Duration) -> Self {
+        self.heartbeat = Some(deadline);
+        self
+    }
+
+    /// Adds an environment variable for worker processes.
+    pub fn env(mut self, key: &str, value: &str) -> Self {
+        self.env.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer closed the pipe), anything torn or oversized is an error.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix over the cap",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Protocol encode / decode
+// ---------------------------------------------------------------------------
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn hello_frame(detector: &Detector, policy: &ScanPolicy) -> String {
+    let l = &policy.limits;
+    format!(
+        "{{\"op\":\"hello\",\"detector\":{},\"deadline_ms\":{},\"fuel\":{},\"ladder\":{},\
+         \"max_scan_mem\":{},\"limits\":[{},{},{},{},{},{},{},{},{},{}]}}",
+        json_str(&detector.save()),
+        opt_num(policy.deadline_per_doc.map(|d| d.as_millis() as u64)),
+        opt_num(policy.fuel_per_doc),
+        policy.ladder,
+        opt_num(policy.max_scan_mem),
+        l.zip.max_entries,
+        l.zip.max_member_bytes,
+        l.ole.max_sectors,
+        l.ole.max_dir_entries,
+        l.ole.max_stream_bytes,
+        l.ole.max_dir_depth,
+        l.ovba.max_modules,
+        l.ovba.max_module_bytes,
+        l.ovba.max_dir_bytes,
+        l.max_file_size,
+    )
+}
+
+fn decode_hello(j: &Json) -> Result<(Detector, ScanPolicy), String> {
+    let text = j
+        .get("detector")
+        .and_then(Json::as_str)
+        .ok_or("hello without detector")?;
+    let detector = Detector::load(text).map_err(|e| format!("hello detector: {e:?}"))?;
+    let lim = j
+        .get("limits")
+        .and_then(Json::as_arr)
+        .ok_or("hello without limits")?;
+    if lim.len() != 10 {
+        return Err(format!("hello limits arity {} != 10", lim.len()));
+    }
+    let lv = |i: usize| lim[i].as_u64().ok_or("hello limit is not a number");
+    let limits = ScanLimits {
+        zip: ZipLimits {
+            max_entries: lv(0)? as usize,
+            max_member_bytes: lv(1)? as usize,
+        },
+        ole: OleLimits {
+            max_sectors: lv(2)? as usize,
+            max_dir_entries: lv(3)? as usize,
+            max_stream_bytes: lv(4)? as usize,
+            max_dir_depth: lv(5)? as usize,
+        },
+        ovba: OvbaLimits {
+            max_modules: lv(6)? as usize,
+            max_module_bytes: lv(7)? as usize,
+            max_dir_bytes: lv(8)? as usize,
+        },
+        max_file_size: lv(9)?,
+    };
+    let num = |key: &str| j.get(key).and_then(Json::as_u64);
+    let mut policy = ScanPolicy::with_limits(limits);
+    policy.deadline_per_doc = num("deadline_ms").map(Duration::from_millis);
+    policy.fuel_per_doc = num("fuel");
+    policy.ladder = j.get("ladder").and_then(Json::as_bool).unwrap_or(false);
+    policy.max_scan_mem = num("max_scan_mem");
+    Ok((detector, policy))
+}
+
+fn result_frame(outcome: &ScanOutcome, snap: &ScanMetrics) -> String {
+    let mut counters = String::new();
+    for c in Counter::ALL {
+        let v = snap.counter(c.label());
+        if v != 0 {
+            if !counters.is_empty() {
+                counters.push(',');
+            }
+            counters.push_str(&json_str(c.label()));
+            counters.push(':');
+            counters.push_str(&v.to_string());
+        }
+    }
+    format!(
+        "{{\"op\":\"result\",\"outcome\":{},\"counters\":{{{counters}}}}}",
+        outcome_json(outcome)
+    )
+}
+
+type CounterDeltas = Vec<(Counter, u64)>;
+
+fn decode_result(j: &Json) -> Result<(ScanOutcome, CounterDeltas), String> {
+    let outcome = decode_outcome(j.get("outcome").ok_or("result without outcome")?)?;
+    let mut deltas = Vec::new();
+    if let Some(Json::Obj(entries)) = j.get("counters") {
+        for (label, value) in entries {
+            let n = value.as_u64().ok_or("counter delta is not a number")?;
+            // Labels both ends agree on — the binary is the same — but a
+            // stray label degrades to a dropped delta, not a dead worker.
+            if let Some(c) = Counter::ALL.iter().find(|c| c.label() == label.as_str()) {
+                deltas.push((*c, n));
+            }
+        }
+    }
+    Ok((outcome, deltas))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// The worker process entry point: speaks the frame protocol on
+/// stdin/stdout until an `exit` frame or EOF (the supervisor died), and
+/// returns the process exit code.
+///
+/// A binary embeds this behind [`WORKER_SUBCOMMAND`] and should install
+/// [`crate::memguard::TrackingAllocator`] as its global allocator so the
+/// policy's memory ceiling can actually trip.
+pub fn worker_main() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let proto_err = |what: &str, detail: String| -> i32 {
+        eprintln!("vbadet worker: {what}: {detail}");
+        2
+    };
+    let hello = match read_frame(&mut input) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return 0,
+        Err(e) => return proto_err("hello read", e.to_string()),
+    };
+    let hello = match parse_json(&hello) {
+        Ok(j) => j,
+        Err(e) => return proto_err("hello parse", e),
+    };
+    if hello.get("op").and_then(Json::as_str) != Some("hello") {
+        return proto_err("handshake", "first frame is not hello".to_string());
+    }
+    let (detector, base) = match decode_hello(&hello) {
+        Ok(x) => x,
+        Err(e) => return proto_err("hello decode", e),
+    };
+    if let Err(e) = write_frame(&mut output, "{\"op\":\"ready\"}") {
+        return proto_err("ready write", e.to_string());
+    }
+    loop {
+        let frame = match read_frame(&mut input) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return 0,
+            Err(e) => return proto_err("request read", e.to_string()),
+        };
+        let request = match parse_json(&frame) {
+            Ok(j) => j,
+            Err(e) => return proto_err("request parse", e),
+        };
+        match request.get("op").and_then(Json::as_str) {
+            Some("exit") => return 0,
+            Some("scan") => {
+                let Some(path) = request.get("path").and_then(Json::as_str) else {
+                    return proto_err("scan request", "missing path".to_string());
+                };
+                // A fresh sink per document: the snapshot's non-zero
+                // counters ARE this document's delta, no subtraction
+                // needed, and a crashed predecessor can leak nothing in.
+                let metrics = MetricsSink::enabled();
+                let policy = ScanPolicy {
+                    metrics: metrics.clone(),
+                    ..base.clone()
+                };
+                let outcome = super::scan_file(&detector, Path::new(path), &policy);
+                let snap = metrics.snapshot().expect("enabled sink snapshots");
+                if let Err(e) = write_frame(&mut output, &result_frame(&outcome, &snap)) {
+                    return proto_err("result write", e.to_string());
+                }
+            }
+            other => return proto_err("request op", format!("{other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+/// One live child process: its handles plus the channel its reader
+/// thread pumps stdout frames into. Dropping a `Worker` kills and reaps
+/// the child — a supervisor can never leak an orphan, whatever path it
+/// unwinds through.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    rx: mpsc::Receiver<io::Result<String>>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Worker {
+    /// Kills (if still alive) and reaps the child, returning a
+    /// human-readable classification of how it died.
+    fn reap(mut self) -> String {
+        // Killing an already-dead child is a no-op against its zombie:
+        // `wait` still reports the *original* exit status, so an abort is
+        // classified as an abort even though we also sent SIGKILL.
+        let _ = self.child.kill();
+        match self.child.wait() {
+            Ok(status) => classify_exit(status),
+            Err(e) => format!("unreapable: {e}"),
+        }
+    }
+
+    /// Graceful retirement: ask the worker to exit, give it a moment,
+    /// then fall back to the kill-on-drop guarantee.
+    fn shutdown(mut self) {
+        let _ = write_frame(&mut self.stdin, "{\"op\":\"exit\"}");
+        for _ in 0..100 {
+            match self.child.try_wait() {
+                Ok(Some(_)) | Err(_) => return,
+                Ok(None) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    /// Reap, prefixing the classification with what went wrong first.
+    fn reap_after(self, why: String) -> String {
+        format!("{why}; worker {}", self.reap())
+    }
+}
+
+#[cfg(unix)]
+fn classify_exit(status: std::process::ExitStatus) -> String {
+    use std::os::unix::process::ExitStatusExt;
+    if let Some(sig) = status.signal() {
+        match sig {
+            6 => "died on SIGABRT (abort)".to_string(),
+            9 => "killed by SIGKILL (heartbeat or the OOM killer)".to_string(),
+            11 => "died on SIGSEGV (segfault or stack overflow)".to_string(),
+            n => format!("died on signal {n}"),
+        }
+    } else {
+        match status.code() {
+            Some(code) => format!("exited with code {code}"),
+            None => "died with unknown status".to_string(),
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn classify_exit(status: std::process::ExitStatus) -> String {
+    match status.code() {
+        Some(code) => format!("exited with code {code}"),
+        None => "died with unknown status".to_string(),
+    }
+}
+
+fn spawn_worker(
+    config: &IsolateConfig,
+    hello: &str,
+    heartbeat: Duration,
+) -> Result<Worker, String> {
+    let (program, args) = config
+        .worker_cmd
+        .split_first()
+        .ok_or("empty worker command")?;
+    let mut child = Command::new(program)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        // Workers die noisily by design (abort banners, panic backtraces
+        // from crashing parsers); none of it belongs in the batch's
+        // stderr.
+        .stderr(Stdio::null())
+        .envs(config.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+        .spawn()
+        .map_err(|e| format!("spawn {program}: {e}"))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = mpsc::channel();
+    // The reader owns the child's stdout for its lifetime; it exits on
+    // EOF (child died) or when the supervisor drops the receiver.
+    thread::spawn(move || loop {
+        match read_frame(&mut stdout) {
+            Ok(Some(frame)) => {
+                if tx.send(Ok(frame)).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                break;
+            }
+        }
+    });
+    let mut worker = Worker { child, stdin, rx };
+    if let Err(e) = write_frame(&mut worker.stdin, hello) {
+        return Err(format!("handshake ({})", worker.reap_after(e.to_string())));
+    }
+    match worker.rx.recv_timeout(heartbeat) {
+        Ok(Ok(frame)) => match parse_json(&frame)
+            .map(|j| j.get("op").and_then(Json::as_str).map(str::to_string))
+        {
+            Ok(Some(op)) if op == "ready" => Ok(worker),
+            other => Err(format!(
+                "handshake ({})",
+                worker.reap_after(format!("unexpected reply {other:?}"))
+            )),
+        },
+        Ok(Err(e)) => Err(format!("handshake ({})", worker.reap_after(e.to_string()))),
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
+            "handshake ({})",
+            worker.reap_after("no ready before the heartbeat deadline".to_string())
+        )),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(format!("handshake ({})", worker.reap())),
+    }
+}
+
+/// Why one scan attempt produced no result frame.
+enum AttemptError {
+    /// The worker process died (or was heartbeat-killed) holding the
+    /// document.
+    Death(String),
+    /// No worker could be brought up at all (crash loop, unspawnable
+    /// binary); nothing document-specific happened.
+    Unavailable(String),
+}
+
+/// One worker slot: owns at most one child process, claims one document
+/// at a time, and implements restart backoff, crash-loop cutoff, and the
+/// retry-once-then-quarantine protocol.
+struct Slot<'a> {
+    config: &'a IsolateConfig,
+    hello: &'a str,
+    heartbeat: Duration,
+    metrics: &'a MetricsSink,
+    worker: Option<Worker>,
+    docs_on_worker: u64,
+    /// Exponent of the respawn backoff; reset by a successful result.
+    backoff_exp: u32,
+    /// Consecutive spawn/handshake failures; reaching the crash-loop
+    /// limit breaks the slot.
+    spawn_failures: u32,
+    ever_spawned: bool,
+    broken: bool,
+}
+
+impl<'a> Slot<'a> {
+    fn new(
+        config: &'a IsolateConfig,
+        hello: &'a str,
+        heartbeat: Duration,
+        metrics: &'a MetricsSink,
+    ) -> Self {
+        Slot {
+            config,
+            hello,
+            heartbeat,
+            metrics,
+            worker: None,
+            docs_on_worker: 0,
+            backoff_exp: 0,
+            spawn_failures: 0,
+            ever_spawned: false,
+            broken: false,
+        }
+    }
+
+    fn backoff(&mut self) {
+        let delay = self.config.backoff_base * 2u32.pow(self.backoff_exp.min(6));
+        self.backoff_exp += 1;
+        thread::sleep(delay);
+    }
+
+    /// Brings up a worker if the slot has none, honouring backoff and the
+    /// crash-loop cutoff.
+    fn ensure_worker(&mut self) -> Result<(), AttemptError> {
+        loop {
+            if self.broken {
+                return Err(AttemptError::Unavailable(
+                    "worker unavailable: crash loop".to_string(),
+                ));
+            }
+            if self.worker.is_some() {
+                return Ok(());
+            }
+            if self.backoff_exp > 0 {
+                self.backoff();
+            }
+            match spawn_worker(self.config, self.hello, self.heartbeat) {
+                Ok(w) => {
+                    self.metrics.record(Stage::IsolateSpawns, 1);
+                    if self.ever_spawned {
+                        self.metrics.record(Stage::IsolateRestarts, 1);
+                    }
+                    self.ever_spawned = true;
+                    self.spawn_failures = 0;
+                    self.worker = Some(w);
+                    self.docs_on_worker = 0;
+                }
+                Err(e) => {
+                    self.spawn_failures += 1;
+                    if self.spawn_failures >= self.config.crash_loop_limit {
+                        self.broken = true;
+                        return Err(AttemptError::Unavailable(format!(
+                            "worker unavailable: crash loop ({e})"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires the current worker as dead: reaps it, classifies the
+    /// death, and accounts for its lifetime.
+    fn bury_worker(&mut self, prefix: &str) -> String {
+        self.metrics
+            .record(Stage::IsolateWorkerDocs, self.docs_on_worker);
+        self.backoff_exp += 1;
+        match self.worker.take() {
+            Some(w) => format!("{prefix}worker {}", w.reap()),
+            None => format!("{prefix}worker already gone"),
+        }
+    }
+
+    /// One request/response round against the slot's worker.
+    fn try_scan(&mut self, key: &str) -> Result<(ScanOutcome, CounterDeltas), AttemptError> {
+        self.ensure_worker()?;
+        let worker = self.worker.as_mut().expect("ensured above");
+        let request = format!("{{\"op\":\"scan\",\"path\":{}}}", json_str(key));
+        if let Err(e) = write_frame(&mut worker.stdin, &request) {
+            // The pipe broke between documents: the worker died idle.
+            return Err(AttemptError::Death(
+                self.bury_worker(&format!("request write failed ({e}); ")),
+            ));
+        }
+        match worker.rx.recv_timeout(self.heartbeat) {
+            Ok(Ok(frame)) => {
+                let decoded = parse_json(&frame).and_then(|j| decode_result(&j));
+                match decoded {
+                    Ok((outcome, deltas)) => {
+                        self.docs_on_worker += 1;
+                        self.backoff_exp = 0;
+                        Ok((outcome, deltas))
+                    }
+                    // A worker emitting garbage frames is as untrustworthy
+                    // as a dead one.
+                    Err(e) => Err(AttemptError::Death(
+                        self.bury_worker(&format!("protocol error ({e}); ")),
+                    )),
+                }
+            }
+            Ok(Err(e)) => Err(AttemptError::Death(
+                self.bury_worker(&format!("pipe read failed ({e}); ")),
+            )),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.metrics.record(Stage::IsolateHeartbeatKills, 1);
+                Err(AttemptError::Death(self.bury_worker(&format!(
+                    "no response within the {:?} heartbeat deadline; ",
+                    self.heartbeat
+                ))))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(AttemptError::Death(self.bury_worker("")))
+            }
+        }
+    }
+
+    /// Scans one document with the quarantine protocol: at most two
+    /// attempts, the second always in a fresh solo worker.
+    fn scan(&mut self, key: &str) -> (ScanOutcome, CounterDeltas) {
+        let first = match self.try_scan(key) {
+            Ok(done) => return done,
+            Err(e) => e,
+        };
+        match first {
+            AttemptError::Unavailable(detail) => (
+                ScanOutcome::Failed {
+                    class: FailureClass::Fatal,
+                    detail,
+                },
+                Vec::new(),
+            ),
+            AttemptError::Death(first_death) => {
+                // Solo retry: `try_scan` spawns a fresh worker (the old
+                // one was buried), and this document is its first — so a
+                // second death is unambiguously this document's doing.
+                match self.try_scan(key) {
+                    Ok(done) => done,
+                    Err(retry) => {
+                        let retry_detail = match retry {
+                            AttemptError::Death(d) => d,
+                            AttemptError::Unavailable(d) => d,
+                        };
+                        self.metrics.record(Stage::IsolateQuarantines, 1);
+                        (
+                            ScanOutcome::Failed {
+                                class: FailureClass::Fatal,
+                                detail: format!(
+                                    "quarantined: {first_death}; solo retry: {retry_detail}"
+                                ),
+                            },
+                            Vec::new(),
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clean end-of-batch teardown for the slot's surviving worker.
+    fn finish(mut self) {
+        if let Some(worker) = self.worker.take() {
+            self.metrics
+                .record(Stage::IsolateWorkerDocs, self.docs_on_worker);
+            worker.shutdown();
+        }
+    }
+}
+
+fn default_heartbeat(policy: &ScanPolicy) -> Duration {
+    match policy.deadline_per_doc {
+        // The deadline bounds the *scan*; spawn, I/O and scheduling ride
+        // on top, so the heartbeat leaves generous headroom — it exists
+        // to catch wedged workers, not slow ones.
+        Some(d) => d * 4 + Duration::from_secs(5),
+        None => Duration::from_secs(60),
+    }
+}
+
+/// The process-isolated batch engine behind [`ScanPolicy::isolate`].
+///
+/// Dispatch mirrors [`super::scan_paths_journaled`]: resume replays are
+/// honoured without consulting a worker, the collector owns the one
+/// journal writer and emits records in input order, and a drain request
+/// (when the policy opts in) stops dispatching and leaves a resumable
+/// journal.
+pub(crate) fn scan_paths_isolated(
+    detector: &Detector,
+    paths: &[PathBuf],
+    policy: &ScanPolicy,
+    config: &IsolateConfig,
+    journal: Option<&mut ScanJournal>,
+    resume: Option<&JournalReplay>,
+) -> ScanReport {
+    let total = paths.len();
+    let jobs = policy.jobs.max(1).min(total.max(1));
+    let heartbeat = config
+        .heartbeat
+        .unwrap_or_else(|| default_heartbeat(policy));
+    let hello = hello_frame(detector, policy);
+    let cursor = AtomicUsize::new(0);
+    let mut sink = JournalSink::new(journal, policy.metrics.clone());
+    let mut slots: Vec<Option<ScanRecord>> = vec![None; total];
+    let mut interrupted = false;
+
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<(usize, ScanRecord, CounterDeltas)>(jobs * 2);
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let hello = &hello;
+            scope.spawn(move || {
+                let mut slot = Slot::new(config, hello, heartbeat, &policy.metrics);
+                loop {
+                    if policy.drain_on_interrupt && interrupt::drain_requested() {
+                        break;
+                    }
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let path = paths[idx].clone();
+                    let key = path.display().to_string();
+                    let (outcome, deltas) = match resume.and_then(|r| r.outcome_for(&key)) {
+                        Some(outcome) => (outcome.clone(), Vec::new()),
+                        None => slot.scan(&key),
+                    };
+                    if tx
+                        .send((idx, ScanRecord { path, outcome }, deltas))
+                        .is_err()
+                    {
+                        // Collector gone (drain or panic): abandon claims.
+                        break;
+                    }
+                }
+                slot.finish();
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<usize, (ScanRecord, CounterDeltas)> = BTreeMap::new();
+        let mut next = 0usize;
+        'collect: for (idx, record, deltas) in rx {
+            pending.insert(idx, (record, deltas));
+            while pending.contains_key(&next) {
+                if policy.drain_now() {
+                    interrupted = true;
+                    break 'collect;
+                }
+                let (record, deltas) = pending.remove(&next).expect("checked key");
+                faultpoint!("scan::between-docs");
+                let key = record.path.display().to_string();
+                let resumed = resume.and_then(|r| r.outcome_for(&key)).is_some();
+                sink.checkpoint(&record, resumed);
+                // Worker counter deltas merge in input order, then the
+                // outcome rolls in exactly as the in-process engines do —
+                // record_outcome drops Fatal records, so quarantined
+                // documents leave no trace in the deterministic counters.
+                for (counter, n) in deltas {
+                    policy.metrics.count(counter, n);
+                }
+                record_outcome(&policy.metrics, &record.outcome);
+                slots[next] = Some(record);
+                next += 1;
+            }
+        }
+    });
+    sink.sync();
+    debug_assert!(
+        interrupted || slots.iter().all(Option::is_some),
+        "isolated scan lost a record"
+    );
+    let records = slots.into_iter().flatten().collect();
+    ScanReport {
+        records,
+        journal_error: sink.error,
+        metrics: policy.metrics.snapshot(),
+        interrupted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorConfig;
+    use vbadet_corpus::CorpusSpec;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ready\"}").unwrap();
+        write_frame(&mut buf, "second £ frame").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"op\":\"ready\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "second £ frame");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let buf = u32::MAX.to_le_bytes();
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn hello_round_trips_detector_and_policy() {
+        let detector = Detector::train_on_corpus(
+            &DetectorConfig::default(),
+            &CorpusSpec::paper().scaled(0.02),
+        );
+        let policy = ScanPolicy::with_limits(ScanLimits::strict())
+            .deadline_ms(1234)
+            .fuel(99)
+            .with_ladder()
+            .max_scan_mem_bytes(5 << 20);
+        let frame = hello_frame(&detector, &policy);
+        let (loaded, decoded) = decode_hello(&parse_json(&frame).unwrap()).unwrap();
+        assert_eq!(decoded.limits, policy.limits);
+        assert_eq!(decoded.deadline_per_doc, policy.deadline_per_doc);
+        assert_eq!(decoded.fuel_per_doc, policy.fuel_per_doc);
+        assert_eq!(decoded.ladder, policy.ladder);
+        assert_eq!(decoded.max_scan_mem, policy.max_scan_mem);
+        // The detector survives the trip: same verdict on a probe string.
+        let probe = "Sub A()\r\n    x = Chr(1) & Chr(2) & Chr(3)\r\nEnd Sub\r\n";
+        assert_eq!(loaded.is_obfuscated(probe), detector.is_obfuscated(probe));
+    }
+
+    #[test]
+    fn result_frame_round_trips_outcome_and_deltas() {
+        let sink = MetricsSink::enabled();
+        sink.count(Counter::ScanDocs, 3);
+        sink.count(Counter::OleParses, 2);
+        let snap = sink.snapshot().unwrap();
+        let outcome = ScanOutcome::Failed {
+            class: FailureClass::Timeout,
+            detail: "deadline exceeded".to_string(),
+        };
+        let frame = result_frame(&outcome, &snap);
+        let (decoded, deltas) = decode_result(&parse_json(&frame).unwrap()).unwrap();
+        assert_eq!(decoded, outcome);
+        let mut deltas = deltas;
+        deltas.sort_by_key(|(c, _)| c.label());
+        assert!(deltas.contains(&(Counter::ScanDocs, 3)));
+        assert!(deltas.contains(&(Counter::OleParses, 2)));
+        assert_eq!(deltas.len(), 2);
+    }
+}

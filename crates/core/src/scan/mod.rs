@@ -32,6 +32,21 @@
 //! collector thread reassembles results **in input order** and owns the
 //! one journal writer. The parallel engine is proven byte-equivalent to
 //! the sequential one by `tests/parallel_scan.rs`.
+//!
+//! Above the thread pool sits the [`isolate`] supervisor
+//! ([`ScanPolicy::isolate`]): the batch is sharded across child *worker
+//! processes* so the failure modes `catch_unwind` cannot contain — aborts,
+//! stack overflows, the OOM killer — cost one worker, not the batch. A
+//! document that kills its worker is retried exactly once in a fresh solo
+//! worker and, if it kills that too, is recorded as
+//! [`FailureClass::Fatal`] (quarantined) while the batch continues.
+//!
+//! Finally, [`interrupt`] provides a graceful-drain latch: when a policy
+//! opts in via [`ScanPolicy::drain_on_interrupt`], a drain request (e.g.
+//! from a SIGINT handler) stops the engines from dispatching new
+//! documents; everything already decided is journaled and reported with
+//! [`ScanReport::interrupted`] set, so a later `--resume` picks up
+//! exactly where the drain stopped.
 
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -47,9 +62,50 @@ use crate::extract::{extract_macros_bounded, ExtractionStatus};
 use crate::journal::{JournalReplay, ScanJournal};
 use crate::limits::ScanLimits;
 use crate::DetectError;
-use vbadet_faultpoint::{faultpoint, Budget};
+use vbadet_faultpoint::{faultpoint, Budget, BudgetExceeded};
 use vbadet_metrics::{Counter, MetricsSink, ScanMetrics, Stage};
 use vbadet_ovba::salvage_modules_from_bytes_budgeted;
+
+pub mod isolate;
+
+pub use isolate::IsolateConfig;
+
+/// Graceful-drain latch for batch scans.
+///
+/// A process-global flag, set from a signal handler (it is a single atomic
+/// store, so it is async-signal-safe) or from tests, and consulted by the
+/// batch engines *only* when the active [`ScanPolicy`] opts in via
+/// [`ScanPolicy::drain_on_interrupt`] — a library embedder's batches are
+/// never affected by a flag they did not ask to honor.
+pub mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    /// Requests a graceful drain: engines stop dispatching new documents.
+    /// Safe to call from a signal handler.
+    pub fn request_drain() {
+        DRAIN.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn drain_requested() -> bool {
+        DRAIN.load(Ordering::Relaxed)
+    }
+
+    /// Clears the latch (call before starting a batch that honors it).
+    pub fn reset() {
+        DRAIN.store(false, Ordering::Relaxed);
+    }
+
+    /// Test hook: lets the fault-injection site `scan::request-drain`
+    /// trigger a drain at a deterministic document index.
+    pub(crate) fn poll_injected() {
+        if vbadet_faultpoint::fire("scan::request-drain").is_some() {
+            request_drain();
+        }
+    }
+}
 
 /// Why a document could not be scanned, at the granularity the batch
 /// report cares about.
@@ -77,6 +133,12 @@ pub enum FailureClass {
     /// The per-document scan [`Budget`] (wall-clock deadline or fuel
     /// allowance) was exhausted mid-parse.
     Timeout,
+    /// The worker *process* scanning this document died (abort, fatal
+    /// signal, OOM kill) or missed its heartbeat deadline — failure modes
+    /// `catch_unwind` cannot contain. Only produced by the [`isolate`]
+    /// supervisor; a quarantined document is one that killed both its
+    /// original worker and its fresh solo-retry worker.
+    Fatal,
 }
 
 impl FailureClass {
@@ -88,12 +150,16 @@ impl FailureClass {
         match e {
             DetectError::UnknownContainer => FailureClass::UnknownContainer,
             DetectError::NoVbaPart => FailureClass::NoVbaPart,
-            DetectError::Zip(ZipError::DeadlineExceeded(_))
-            | DetectError::Ole(OleError::DeadlineExceeded(_))
-            | DetectError::Ovba(OvbaError::DeadlineExceeded(_))
-            | DetectError::Ovba(OvbaError::Ole(OleError::DeadlineExceeded(_))) => {
-                FailureClass::Timeout
-            }
+            // A tripped memory ceiling travels in the same typed wrapper as
+            // the other budget breaches, but it is a resource cap, not a
+            // stall: report it with the other limit breaches.
+            DetectError::Zip(ZipError::DeadlineExceeded(why))
+            | DetectError::Ole(OleError::DeadlineExceeded(why))
+            | DetectError::Ovba(OvbaError::DeadlineExceeded(why))
+            | DetectError::Ovba(OvbaError::Ole(OleError::DeadlineExceeded(why))) => match why {
+                BudgetExceeded::Memory => FailureClass::LimitExceeded,
+                _ => FailureClass::Timeout,
+            },
             DetectError::Zip(ZipError::LimitExceeded { .. })
             | DetectError::Ole(OleError::LimitExceeded { .. })
             | DetectError::Ovba(OvbaError::LimitExceeded { .. })
@@ -126,6 +192,7 @@ impl FailureClass {
             FailureClass::Io => "io-error",
             FailureClass::Panic => "panic",
             FailureClass::Timeout => "timeout",
+            FailureClass::Fatal => "fatal",
         }
     }
 
@@ -142,6 +209,7 @@ impl FailureClass {
             FailureClass::Io => Counter::ScanFailedIo,
             FailureClass::Panic => Counter::ScanFailedPanic,
             FailureClass::Timeout => Counter::ScanFailedTimeout,
+            FailureClass::Fatal => Counter::ScanFailedFatal,
         }
     }
 
@@ -157,6 +225,7 @@ impl FailureClass {
             "io-error" => FailureClass::Io,
             "panic" => FailureClass::Panic,
             "timeout" => FailureClass::Timeout,
+            "fatal" => FailureClass::Fatal,
             _ => return None,
         })
     }
@@ -262,6 +331,11 @@ pub struct ScanReport {
     /// enabled [`MetricsSink`]. The `counters` section is deterministic:
     /// identical for sequential and parallel runs over the same inputs.
     pub metrics: Option<ScanMetrics>,
+    /// Set when the batch stopped early on a graceful drain request
+    /// ([`interrupt`]): [`records`](Self::records) then holds a contiguous
+    /// prefix of the inputs, every one of them journaled, and the
+    /// remainder was never dispatched.
+    pub interrupted: bool,
 }
 
 impl ScanReport {
@@ -341,6 +415,22 @@ pub struct ScanPolicy {
     /// every layer records counters and stage timings into it, and the
     /// batch engines attach its snapshot to [`ScanReport::metrics`].
     pub metrics: MetricsSink,
+    /// Per-document memory ceiling in bytes, enforced through the scan
+    /// [`Budget`] against the process-wide live-allocation probe
+    /// ([`crate::memguard::live_bytes`]). A breach surfaces as a typed
+    /// [`FailureClass::LimitExceeded`] instead of an OOM kill. Only
+    /// meaningful in a process with the tracking allocator installed
+    /// (isolate workers install it; without it the probe reads zero and
+    /// the ceiling never trips).
+    pub max_scan_mem: Option<u64>,
+    /// Whether this batch honors the process-global [`interrupt`] drain
+    /// latch. Off by default so library embedders are never surprised by
+    /// a flag they did not set.
+    pub drain_on_interrupt: bool,
+    /// When set, path batches run under the [`isolate`] supervisor:
+    /// documents are scanned in child worker processes so aborts, stack
+    /// overflows and OOM kills cost one worker, not the batch.
+    pub isolate: Option<IsolateConfig>,
 }
 
 impl ScanPolicy {
@@ -383,14 +473,43 @@ impl ScanPolicy {
         self
     }
 
+    /// Sets a per-document memory ceiling in bytes (see
+    /// [`ScanPolicy::max_scan_mem`]).
+    pub fn max_scan_mem_bytes(mut self, bytes: u64) -> Self {
+        self.max_scan_mem = Some(bytes);
+        self
+    }
+
+    /// Opts this batch into the graceful-drain latch (see [`interrupt`]).
+    pub fn drain_on_interrupt(mut self) -> Self {
+        self.drain_on_interrupt = true;
+        self
+    }
+
+    /// Runs path batches under the process-isolation supervisor.
+    pub fn isolated(mut self, config: IsolateConfig) -> Self {
+        self.isolate = Some(config);
+        self
+    }
+
     /// Mints the per-document budget this policy prescribes, carrying the
-    /// policy's metrics handle into every layer the budget traverses.
+    /// policy's metrics handle into every layer the budget traverses. The
+    /// memory ceiling's baseline is whatever is live *now*, so only the
+    /// document's own allocations count against it.
     fn budget(&self) -> Budget {
-        Budget::new_metered(
+        Budget::new_guarded(
             self.deadline_per_doc,
             self.fuel_per_doc,
+            self.max_scan_mem
+                .map(|cap| (crate::memguard::live_bytes as fn() -> u64, cap)),
             self.metrics.clone(),
         )
+    }
+
+    /// Whether this batch should stop dispatching new documents now.
+    fn drain_now(&self) -> bool {
+        interrupt::poll_injected();
+        self.drain_on_interrupt && interrupt::drain_requested()
     }
 }
 
@@ -459,6 +578,19 @@ fn panic_detail(payload: Box<dyn Any + Send>) -> String {
 /// loop directly, the parallel engine from its single collector — so the
 /// sums can never depend on worker scheduling.
 fn record_outcome(metrics: &MetricsSink, outcome: &ScanOutcome) {
+    if let ScanOutcome::Failed {
+        class: FailureClass::Fatal,
+        ..
+    } = outcome
+    {
+        // A fatal record means a worker process died mid-scan, taking an
+        // unknowable amount of partially-recorded pipeline work with it.
+        // Quarantined documents are therefore excluded from the
+        // deterministic counters entirely (their count lives in the
+        // isolate.quarantines histogram), which is what keeps the counters
+        // section byte-identical to a clean run on the surviving inputs.
+        return;
+    }
     metrics.count(Counter::ScanDocs, 1);
     let verdicts = match outcome {
         ScanOutcome::Clean => {
@@ -672,7 +804,12 @@ where
 {
     let _quiet = quiet::QuietPanicGuard::new();
     let mut records = Vec::new();
+    let mut interrupted = false;
     for (label, bytes) in docs {
+        if policy.drain_now() {
+            interrupted = true;
+            break;
+        }
         faultpoint!("scan::between-docs");
         let outcome = scan_bytes_with_policy(detector, bytes, policy);
         record_outcome(&policy.metrics, &outcome);
@@ -685,6 +822,7 @@ where
         records,
         journal_error: None,
         metrics: policy.metrics.snapshot(),
+        interrupted,
     }
 }
 
@@ -814,6 +952,10 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
     journal: Option<&mut ScanJournal>,
     resume: Option<&JournalReplay>,
 ) -> ScanReport {
+    if let Some(config) = policy.isolate.clone() {
+        let paths: Vec<PathBuf> = paths.iter().map(|p| p.as_ref().to_path_buf()).collect();
+        return isolate::scan_paths_isolated(detector, &paths, policy, &config, journal, resume);
+    }
     let jobs = policy.jobs.max(1).min(paths.len().max(1));
     if jobs > 1 {
         return scan_paths_parallel_impl(detector, paths, policy, jobs, journal, resume);
@@ -821,7 +963,12 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
     let _quiet = quiet::QuietPanicGuard::new();
     let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut records = Vec::new();
+    let mut interrupted = false;
     for p in paths {
+        if policy.drain_now() {
+            interrupted = true;
+            break;
+        }
         faultpoint!("scan::between-docs");
         let path = p.as_ref().to_path_buf();
         let key = path.display().to_string();
@@ -849,6 +996,7 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
         records,
         journal_error: sink.error,
         metrics: policy.metrics.snapshot(),
+        interrupted,
     }
 }
 
@@ -883,6 +1031,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
     let cursor = AtomicUsize::new(0);
     let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut slots: Vec<Option<ScanRecord>> = vec![None; total];
+    let mut interrupted = false;
 
     thread::scope(|scope| {
         // Bounded: workers stall rather than pile unbounded completions
@@ -943,12 +1092,22 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
         // has been emitted.
         let mut pending: BTreeMap<usize, ScanRecord> = BTreeMap::new();
         let mut next = 0usize;
-        for (idx, record) in rx {
+        'collect: for (idx, record) in rx {
             pending.insert(idx, record);
             policy
                 .metrics
                 .record(Stage::PoolReorderDepth, pending.len() as u64);
-            while let Some(record) = pending.remove(&next) {
+            while pending.contains_key(&next) {
+                // Dropping `rx` on a drain unblocks every worker stalled
+                // on the bounded channel: their next send errors and they
+                // abandon their claims. Whatever sits in the reorder
+                // buffer past `next` was decided but never journaled —
+                // a resume simply rescans it.
+                if policy.drain_now() {
+                    interrupted = true;
+                    break 'collect;
+                }
+                let record = pending.remove(&next).expect("checked key");
                 faultpoint!("scan::between-docs");
                 let key = record.path.display().to_string();
                 let resumed = resume.and_then(|r| r.outcome_for(&key)).is_some();
@@ -961,7 +1120,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
     });
     sink.sync();
     debug_assert!(
-        slots.iter().all(Option::is_some),
+        interrupted || slots.iter().all(Option::is_some),
         "parallel scan lost a record"
     );
     let records = slots.into_iter().flatten().collect();
@@ -969,6 +1128,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
         records,
         journal_error: sink.error,
         metrics: policy.metrics.snapshot(),
+        interrupted,
     }
 }
 
@@ -1263,6 +1423,7 @@ mod tests {
             FailureClass::Io,
             FailureClass::Panic,
             FailureClass::Timeout,
+            FailureClass::Fatal,
         ] {
             assert_eq!(FailureClass::from_label(class.label()), Some(class));
         }

@@ -22,6 +22,8 @@ pub enum BudgetExceeded {
     Deadline,
     /// The fuel allowance was spent.
     Fuel,
+    /// The per-scan memory ceiling was crossed (see [`Budget::new_guarded`]).
+    Memory,
 }
 
 impl fmt::Display for BudgetExceeded {
@@ -29,6 +31,7 @@ impl fmt::Display for BudgetExceeded {
         match self {
             BudgetExceeded::Deadline => write!(f, "wall-clock deadline exceeded"),
             BudgetExceeded::Fuel => write!(f, "fuel budget exhausted"),
+            BudgetExceeded::Memory => write!(f, "memory ceiling exceeded"),
         }
     }
 }
@@ -39,11 +42,13 @@ impl Error for BudgetExceeded {}
 const TRIP_NONE: u8 = 0;
 const TRIP_DEADLINE: u8 = 1;
 const TRIP_FUEL: u8 = 2;
+const TRIP_MEMORY: u8 = 3;
 
 fn decode_trip(raw: u8) -> Option<BudgetExceeded> {
     match raw {
         TRIP_DEADLINE => Some(BudgetExceeded::Deadline),
         TRIP_FUEL => Some(BudgetExceeded::Fuel),
+        TRIP_MEMORY => Some(BudgetExceeded::Memory),
         _ => None,
     }
 }
@@ -52,6 +57,24 @@ fn encode_trip(why: BudgetExceeded) -> u8 {
     match why {
         BudgetExceeded::Deadline => TRIP_DEADLINE,
         BudgetExceeded::Fuel => TRIP_FUEL,
+        BudgetExceeded::Memory => TRIP_MEMORY,
+    }
+}
+
+/// A cooperative memory guard: `probe` reports the process's current live
+/// allocation (typically from a tracking global allocator); the budget
+/// trips [`BudgetExceeded::Memory`] when growth over the baseline captured
+/// at construction exceeds `ceiling` bytes.
+#[derive(Debug, Clone, Copy)]
+struct MemCeiling {
+    probe: fn() -> u64,
+    baseline: u64,
+    ceiling: u64,
+}
+
+impl MemCeiling {
+    fn breached(&self) -> bool {
+        (self.probe)().saturating_sub(self.baseline) > self.ceiling
     }
 }
 
@@ -63,6 +86,9 @@ struct BudgetState {
     fuel: AtomicU64,
     /// Whether fuel accounting is active.
     metered: bool,
+    /// Optional live-allocation ceiling, probed on the same amortized
+    /// cadence as the wall clock.
+    mem: Option<MemCeiling>,
     /// Fast-path gate: false for unlimited budgets.
     active: bool,
     /// Charges remaining until the next wall-clock read.
@@ -101,11 +127,21 @@ impl Default for Budget {
 
 impl Budget {
     fn build(deadline: Option<Instant>, fuel: Option<u64>, metrics: MetricsSink) -> Self {
+        Budget::build_guarded(deadline, fuel, None, metrics)
+    }
+
+    fn build_guarded(
+        deadline: Option<Instant>,
+        fuel: Option<u64>,
+        mem: Option<MemCeiling>,
+        metrics: MetricsSink,
+    ) -> Self {
         Budget(Arc::new(BudgetState {
             deadline,
             fuel: AtomicU64::new(fuel.unwrap_or(u64::MAX)),
             metered: fuel.is_some(),
-            active: deadline.is_some() || fuel.is_some(),
+            mem,
+            active: deadline.is_some() || fuel.is_some() || mem.is_some(),
             clock_countdown: AtomicU32::new(CLOCK_PERIOD),
             tripped: AtomicU8::new(TRIP_NONE),
             metrics,
@@ -147,6 +183,29 @@ impl Budget {
         Budget::build(deadline.map(|d| Instant::now() + d), fuel, metrics)
     }
 
+    /// As [`Budget::new_metered`], additionally bounded by a memory
+    /// ceiling: `mem` is a `(probe, ceiling_bytes)` pair where `probe`
+    /// reports the process's current live allocation (from a tracking
+    /// global allocator). The baseline is read at construction; once live
+    /// allocation grows more than `ceiling_bytes` past it, charges fail
+    /// with [`BudgetExceeded::Memory`]. Enforcement is cooperative — the
+    /// probe is read on the same amortized cadence as the wall clock — so
+    /// a single giant allocation is the caller's job to pre-check; what
+    /// this catches is cumulative blowup across parsing loops.
+    pub fn new_guarded(
+        deadline: Option<Duration>,
+        fuel: Option<u64>,
+        mem: Option<(fn() -> u64, u64)>,
+        metrics: MetricsSink,
+    ) -> Self {
+        let mem = mem.map(|(probe, ceiling)| MemCeiling {
+            probe,
+            baseline: probe(),
+            ceiling,
+        });
+        Budget::build_guarded(deadline.map(|d| Instant::now() + d), fuel, mem, metrics)
+    }
+
     /// The metrics handle riding with this budget (disabled unless the
     /// budget was built via [`Budget::new_metered`] with an enabled sink).
     #[inline]
@@ -185,15 +244,24 @@ impl Budget {
             s.fuel.store(0, Ordering::Relaxed);
             return Err(self.trip(BudgetExceeded::Fuel));
         }
-        if let Some(deadline) = s.deadline {
+        if s.deadline.is_some() || s.mem.is_some() {
             let countdown = s
                 .clock_countdown
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
                     Some(if c <= 1 { CLOCK_PERIOD } else { c - 1 })
                 })
                 .unwrap_or(CLOCK_PERIOD);
-            if countdown <= 1 && Instant::now() >= deadline {
-                return Err(self.trip(BudgetExceeded::Deadline));
+            if countdown <= 1 {
+                if let Some(deadline) = s.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(self.trip(BudgetExceeded::Deadline));
+                    }
+                }
+                if let Some(mem) = &s.mem {
+                    if mem.breached() {
+                        return Err(self.trip(BudgetExceeded::Memory));
+                    }
+                }
             }
         }
         Ok(())
@@ -218,6 +286,11 @@ impl Budget {
         if let Some(deadline) = s.deadline {
             if Instant::now() >= deadline {
                 return Err(self.trip(BudgetExceeded::Deadline));
+            }
+        }
+        if let Some(mem) = &s.mem {
+            if mem.breached() {
+                return Err(self.trip(BudgetExceeded::Memory));
             }
         }
         Ok(())
@@ -334,6 +407,52 @@ mod tests {
         // Plain constructors carry a disabled sink.
         assert!(!Budget::unlimited().metrics().is_enabled());
         assert!(!Budget::with_fuel(1).metrics().is_enabled());
+    }
+
+    #[test]
+    fn memory_ceiling_trips_and_sticks() {
+        static LIVE: AtomicU64 = AtomicU64::new(0);
+        fn probe() -> u64 {
+            LIVE.load(Ordering::Relaxed)
+        }
+        LIVE.store(1_000, Ordering::Relaxed);
+        let b = Budget::new_guarded(None, None, Some((probe, 500)), MetricsSink::disabled());
+        assert!(!b.is_unlimited());
+        // Growth within the ceiling: fine, even past CLOCK_PERIOD charges.
+        LIVE.store(1_400, Ordering::Relaxed);
+        for _ in 0..(2 * CLOCK_PERIOD as usize) {
+            b.charge(1).unwrap();
+        }
+        b.checkpoint().unwrap();
+        // Growth beyond baseline + ceiling: checkpoint sees it at once,
+        // and the trip is sticky.
+        LIVE.store(1_501, Ordering::Relaxed);
+        assert_eq!(b.checkpoint(), Err(BudgetExceeded::Memory));
+        LIVE.store(0, Ordering::Relaxed);
+        assert_eq!(b.charge(0), Err(BudgetExceeded::Memory));
+        assert_eq!(b.tripped(), Some(BudgetExceeded::Memory));
+    }
+
+    #[test]
+    fn memory_breach_surfaces_within_one_clock_period_of_charges() {
+        static LIVE: AtomicU64 = AtomicU64::new(0);
+        fn probe() -> u64 {
+            LIVE.load(Ordering::Relaxed)
+        }
+        LIVE.store(0, Ordering::Relaxed);
+        let b = Budget::new_guarded(None, None, Some((probe, 100)), MetricsSink::disabled());
+        LIVE.store(10_000, Ordering::Relaxed);
+        let mut tripped = false;
+        for _ in 0..(CLOCK_PERIOD as usize + 1) {
+            if b.charge(1) == Err(BudgetExceeded::Memory) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(
+            tripped,
+            "memory breach must surface within CLOCK_PERIOD charges"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `panic` / `panic(msg)` | `panic!` with the message |
 //! | `sleep(ms)` | block the thread for `ms` milliseconds (a simulated stall) |
 //! | `return` / `return(arg)` | [`fire`] yields `Some(arg)`; the two-arm form of [`faultpoint!`] early-returns |
+//! | `abort` | `std::process::abort()` — kills the process without unwinding (SIGABRT), for exercising supervisors that must survive worker death |
 //!
 //! Two modifiers compose with any action:
 //!
@@ -84,6 +85,7 @@ mod enabled {
         Panic(String),
         Sleep(u64),
         Return(String),
+        Abort,
     }
 
     #[derive(Debug)]
@@ -162,6 +164,12 @@ mod enabled {
                     .map_err(|_| format!("bad sleep duration in {spec:?}"))?,
             ),
             "return" => Action::Return(arg.unwrap_or_default()),
+            "abort" => {
+                if arg.is_some() {
+                    return Err(format!("abort takes no argument in {spec:?}"));
+                }
+                Action::Abort
+            }
             other => return Err(format!("unknown faultpoint action {other:?} in {spec:?}")),
         };
         Ok(Site {
@@ -248,6 +256,7 @@ mod enabled {
                 None
             }
             Action::Return(arg) => Some(arg),
+            Action::Abort => std::process::abort(),
         }
     }
 
@@ -325,6 +334,15 @@ mod enabled {
             assert!(parse_spec("s", "sleep(abc)").is_err());
             assert!(parse_spec("s", "panic(unclosed").is_err());
             assert!(parse_spec("s", "panic@x").is_err());
+            assert!(parse_spec("s", "abort(now)").is_err());
+        }
+
+        #[test]
+        fn abort_spec_parses() {
+            let _g = locked();
+            let site = parse_spec("s", "abort@7").unwrap();
+            assert_eq!(site.action, Action::Abort);
+            assert_eq!(site.from_hit, 7);
         }
 
         #[test]

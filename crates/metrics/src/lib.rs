@@ -158,6 +158,8 @@ metric_enum! {
         ScanFailedPanic => "scan.failed.panic",
         /// Per-document budget trips.
         ScanFailedTimeout => "scan.failed.timeout",
+        /// Fatal worker deaths (abort/signal/OOM) under process isolation.
+        ScanFailedFatal => "scan.failed.fatal",
         /// Journal `begin` records written.
         JournalBeginRecords => "journal.begin_records",
         /// Journal `done` records written.
@@ -203,6 +205,16 @@ metric_enum! {
         PoolReorderDepth => "pool.reorder_depth",
         /// Documents scanned per worker, recorded at worker exit.
         PoolWorkerDocs => "pool.worker_docs",
+        /// Worker processes spawned by the isolation supervisor.
+        IsolateSpawns => "isolate.spawns",
+        /// Worker processes respawned after a death.
+        IsolateRestarts => "isolate.restarts",
+        /// Wedged workers SIGKILLed after a missed heartbeat deadline.
+        IsolateHeartbeatKills => "isolate.heartbeat_kills",
+        /// Documents quarantined after killing a fresh solo worker too.
+        IsolateQuarantines => "isolate.quarantines",
+        /// Documents scanned per worker process, recorded at worker exit.
+        IsolateWorkerDocs => "isolate.worker_docs",
     }
 }
 

@@ -23,7 +23,7 @@
 //!
 //! let ole = OleFile::parse(&bytes)?;
 //! assert_eq!(ole.open_stream("VBA/dir")?, b"compressed dir stream");
-//! assert!(ole.stream_paths().contains(&"PROJECT".to_string()));
+//! assert!(ole.stream_paths()?.contains(&"PROJECT".to_string()));
 //! # Ok(())
 //! # }
 //! ```

@@ -19,6 +19,11 @@ pub struct OleLimits {
     pub max_dir_entries: usize,
     /// Maximum bytes read out of any single stream.
     pub max_stream_bytes: usize,
+    /// Maximum storage-nesting depth of the directory tree. The tree walk
+    /// is iterative (no stack growth either way), so this is purely a
+    /// semantic cap: real documents nest a handful of levels, and a
+    /// 10k-deep chain is only ever an attack shape.
+    pub max_dir_depth: usize,
 }
 
 impl Default for OleLimits {
@@ -28,6 +33,7 @@ impl Default for OleLimits {
             max_sectors: 1 << 22,
             max_dir_entries: 1 << 16,
             max_stream_bytes: 1 << 28,
+            max_dir_depth: 512,
         }
     }
 }
@@ -459,46 +465,73 @@ impl OleFile {
     }
 
     /// Returns the `/`-separated paths of all streams, in directory order.
-    pub fn stream_paths(&self) -> Vec<String> {
+    ///
+    /// The walk is iterative — an explicit work stack, never recursion —
+    /// so hostile trees cannot exhaust the thread stack regardless of the
+    /// configured depth cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OleError::LimitExceeded`] when storage nesting exceeds
+    /// [`OleLimits::max_dir_depth`].
+    pub fn stream_paths(&self) -> Result<Vec<String>, OleError> {
+        enum Work {
+            /// A stream path ready to emit.
+            Emit(String),
+            /// A storage to expand: (entry id, path prefix, nesting depth).
+            Expand(u32, String, usize),
+        }
         let mut out = Vec::new();
-        self.walk(0, String::new(), &mut out, 0);
-        out
-    }
-
-    fn walk(&self, id: u32, prefix: String, out: &mut Vec<String>, depth: usize) {
-        if depth > self.entries.len() {
-            return;
-        }
-        let entry = &self.entries[id as usize];
-        // Collect this storage's children via the sibling tree.
-        let mut children = Vec::new();
-        let mut stack = vec![entry.child];
-        while let Some(cid) = stack.pop() {
-            if cid == NOSTREAM || (cid as usize) >= self.entries.len() {
-                continue;
-            }
-            if children.len() > self.entries.len() {
-                return;
-            }
-            children.push(cid);
-            let c = &self.entries[cid as usize];
-            stack.push(c.left);
-            stack.push(c.right);
-        }
-        children.sort_unstable();
-        for cid in children {
-            let c = &self.entries[cid as usize];
-            let path = if prefix.is_empty() {
-                c.name.clone()
-            } else {
-                format!("{prefix}/{}", c.name)
+        let mut work = vec![Work::Expand(0, String::new(), 0)];
+        while let Some(item) = work.pop() {
+            let (id, prefix, depth) = match item {
+                Work::Emit(path) => {
+                    out.push(path);
+                    continue;
+                }
+                Work::Expand(id, prefix, depth) => (id, prefix, depth),
             };
-            match c.object_type {
-                ObjectType::Stream => out.push(path),
-                ObjectType::Storage => self.walk(cid, path, out, depth + 1),
-                _ => {}
+            if depth > self.limits.max_dir_depth {
+                return Err(OleError::LimitExceeded {
+                    what: "directory depth",
+                    limit: self.limits.max_dir_depth,
+                });
+            }
+            let entry = &self.entries[id as usize];
+            // Collect this storage's children via the sibling tree.
+            let mut children = Vec::new();
+            let mut stack = vec![entry.child];
+            while let Some(cid) = stack.pop() {
+                if cid == NOSTREAM || (cid as usize) >= self.entries.len() {
+                    continue;
+                }
+                if children.len() > self.entries.len() {
+                    // Malformed cyclic sibling tree: stop expanding it.
+                    children.clear();
+                    break;
+                }
+                children.push(cid);
+                let c = &self.entries[cid as usize];
+                stack.push(c.left);
+                stack.push(c.right);
+            }
+            children.sort_unstable();
+            // LIFO stack: push in reverse so children surface in order.
+            for cid in children.into_iter().rev() {
+                let c = &self.entries[cid as usize];
+                let path = if prefix.is_empty() {
+                    c.name.clone()
+                } else {
+                    format!("{prefix}/{}", c.name)
+                };
+                match c.object_type {
+                    ObjectType::Stream => work.push(Work::Emit(path)),
+                    ObjectType::Storage => work.push(Work::Expand(cid, path, depth + 1)),
+                    _ => {}
+                }
             }
         }
+        Ok(out)
     }
 }
 

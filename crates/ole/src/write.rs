@@ -438,7 +438,7 @@ mod tests {
         let bytes = OleBuilder::new().build();
         let ole = OleFile::parse(&bytes).unwrap();
         assert_eq!(ole.root().object_type, ObjectType::Root);
-        assert!(ole.stream_paths().is_empty());
+        assert!(ole.stream_paths().unwrap().is_empty());
     }
 
     #[test]
@@ -486,7 +486,7 @@ mod tests {
         b.add_stream("Macros/PROJECT", b"project").unwrap();
         b.add_stream("WordDocument", &vec![1u8; 5000]).unwrap();
         let ole = OleFile::parse(&b.build()).unwrap();
-        let mut paths = ole.stream_paths();
+        let mut paths = ole.stream_paths().unwrap();
         paths.sort();
         assert_eq!(
             paths,
@@ -566,7 +566,7 @@ mod tests {
                 .unwrap();
         }
         let ole = OleFile::parse(&b.build()).unwrap();
-        assert_eq!(ole.stream_paths().len(), 210);
+        assert_eq!(ole.stream_paths().unwrap().len(), 210);
         assert_eq!(ole.open_stream("stream123").unwrap(), b"payload 123");
         assert_eq!(ole.open_stream("big7").unwrap(), vec![7u8; 100_000]);
     }

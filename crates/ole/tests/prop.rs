@@ -36,7 +36,7 @@ proptest! {
         }
         let bytes = builder.build();
         let ole = OleFile::parse(&bytes).unwrap();
-        prop_assert_eq!(ole.stream_paths().len(), expected.len());
+        prop_assert_eq!(ole.stream_paths().unwrap().len(), expected.len());
         for (path, data) in &expected {
             prop_assert_eq!(&ole.open_stream(path).unwrap(), data, "path {}", path);
         }
@@ -52,7 +52,7 @@ proptest! {
         let idx = offset % bytes.len();
         bytes[idx] ^= xor;
         if let Ok(ole) = OleFile::parse(&bytes) {
-            for path in ole.stream_paths() {
+            for path in ole.stream_paths().unwrap() {
                 let _ = ole.open_stream(&path);
             }
         }

@@ -90,7 +90,7 @@ fn v4_file_parses_and_streams_read() {
     let ole = OleFile::parse(&bytes).expect("v4 parses");
     assert_eq!(ole.sector_size(), 4096);
     assert_eq!(ole.open_stream("Data").expect("stream reads"), payload);
-    assert_eq!(ole.stream_paths(), vec!["Data".to_string()]);
+    assert_eq!(ole.stream_paths().unwrap(), vec!["Data".to_string()]);
 }
 
 #[test]

@@ -103,7 +103,7 @@ impl VbaProject {
             }
         }
         // Fallback: search any stream path ending in `VBA/dir`.
-        for path in ole.stream_paths() {
+        for path in ole.stream_paths()? {
             if let Some(root) = path.strip_suffix("/VBA/dir") {
                 return Self::from_ole_at_budgeted(ole, root, limits, budget);
             }

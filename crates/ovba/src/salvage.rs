@@ -138,7 +138,7 @@ pub fn salvage_modules_from_ole_budgeted(
     budget: &Budget,
 ) -> Result<Vec<VbaModule>, OvbaError> {
     let mut out: Vec<VbaModule> = Vec::new();
-    for path in ole.stream_paths() {
+    for path in ole.stream_paths()? {
         if out.len() >= limits.max_modules {
             break;
         }
@@ -199,7 +199,7 @@ mod tests {
         // still find the module source in VBA/Module1.
         let mut ole_builder = vbadet_ole::OleBuilder::new();
         let parsed = OleFile::parse(&bin).unwrap();
-        for path in parsed.stream_paths() {
+        for path in parsed.stream_paths().unwrap() {
             let data = parsed.open_stream(&path).unwrap();
             if path == "VBA/dir" {
                 ole_builder

@@ -79,6 +79,27 @@ determinism_tests() {
         cargo test -q --offline --features faultpoints --test parallel_scan --test fault_injection
 }
 
+# The process-isolation suite, then an outside-the-process check of the
+# supervisor's no-orphans guarantee: every worker is reaped on every exit
+# path (clean shutdown, heartbeat kill, supervisor panic), so after the
+# suite no isolation worker may still be running.
+isolation_tests() {
+    cargo test -q --offline --test isolation &&
+        cargo test -q --offline --features faultpoints --test isolation &&
+        assert_no_orphan_workers
+}
+
+assert_no_orphan_workers() {
+    # Bracketed patterns so the grep's own ps line never matches itself.
+    orphans=$(ps -eo args 2>/dev/null | grep -e '[i]solation_worker' -e '[_][_]worker' | wc -l)
+    if [ "$orphans" -ne 0 ]; then
+        echo "ci: FAIL — $orphans orphaned isolation worker(s) survived the suite:" >&2
+        ps -eo pid,args 2>/dev/null | grep -e '[i]solation_worker' -e '[_][_]worker' >&2
+        return 1
+    fi
+    echo "ci: no orphaned isolation workers"
+}
+
 # gate_check VALUE OP BOUND LABEL — one comparison, with a uniform
 # failure message. OP is ge or le.
 gate_check() {
@@ -97,7 +118,10 @@ gate_check() {
 #   1. core-aware parallel speedup floor (2x on 4+ cores, parity on 2-3,
 #      0.5x on a single core where the pool is pure overhead),
 #   2. metrics overhead <= 5%,
-#   3. no >20% docs/sec regression — overall or per stage — against the
+#   3. isolate throughput within 30% of the thread pool at the same job
+#      count (process isolation must stay cheap enough to default to in
+#      hostile-input triage),
+#   4. no >20% docs/sec regression — overall or per stage — against the
 #      committed baseline. A stage key missing from the fresh results
 #      means it dropped below the bench's noise floor (i.e. got faster)
 #      and is skipped; a key missing from the baseline is a new stage
@@ -120,6 +144,9 @@ run_gates() {
         "parallel speedup floor for $gates_cores core(s)" || return 1
     gate_check "$(json_num "$BENCH" metrics_overhead_pct)" le 5.0 \
         "metrics overhead pct" || return 1
+    gates_par=$(json_num "$BENCH" parallel_docs_per_sec)
+    gate_check "$(json_num "$BENCH" isolate_docs_per_sec)" ge "$(num_mul "$gates_par" 0.7)" \
+        "isolate throughput within 30% of --jobs N ($gates_par docs/s)" || return 1
 
     if [ ! -f "$gates_baseline" ]; then
         echo "ci: note — $gates_baseline missing; regression gate skipped." >&2
@@ -172,6 +199,7 @@ stage build-faultpoints cargo build --offline --features faultpoints
 stage test cargo test -q --offline --workspace
 stage test-faultpoints cargo test -q --offline --features faultpoints
 stage test-determinism determinism_tests
+stage isolation isolation_tests
 stage clippy cargo clippy --offline --all-targets -- -D warnings
 stage clippy-faultpoints cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
 stage bench cargo bench --offline -p vbadet-bench --bench scan_parallel

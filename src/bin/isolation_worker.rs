@@ -1,0 +1,16 @@
+//! Worker-process shim for the process-isolation integration tests
+//! (`tests/isolation.rs`).
+//!
+//! The whole binary is one isolation worker: it speaks the supervisor's
+//! frame protocol on stdin/stdout from the moment it starts (no
+//! subcommand dispatch — tests point `IsolateConfig::new` straight at
+//! `CARGO_BIN_EXE_isolation_worker`). The tracking allocator is installed
+//! so `ScanPolicy::max_scan_mem` ceilings actually trip inside the
+//! worker, exactly as in the production `vbadet` binary.
+
+#[global_allocator]
+static ALLOC: vbadet::TrackingAllocator = vbadet::TrackingAllocator;
+
+fn main() {
+    std::process::exit(vbadet::worker_main());
+}

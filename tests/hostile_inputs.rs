@@ -181,7 +181,7 @@ fn fixture_stomped_dir_stream_is_salvaged() {
 
     let parsed = vbadet_ole::OleFile::parse(&bin).unwrap();
     let mut rebuilt = vbadet_ole::OleBuilder::new();
-    for path in parsed.stream_paths() {
+    for path in parsed.stream_paths().unwrap() {
         let data = parsed.open_stream(&path).unwrap();
         if path == "VBA/dir" {
             rebuilt.add_stream(&path, &vec![0xFF; data.len()]).unwrap();

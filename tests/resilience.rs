@@ -70,7 +70,7 @@ fn stall_document(modules: usize, prefix_kib: usize) -> Vec<u8> {
     // falls through to salvage.
     let parsed = OleFile::parse(&bin).unwrap();
     let mut rebuilt = OleBuilder::new();
-    for path in parsed.stream_paths() {
+    for path in parsed.stream_paths().unwrap() {
         let data = parsed.open_stream(&path).unwrap();
         if path == "VBA/dir" {
             rebuilt.add_stream(&path, &vec![0xFF; data.len()]).unwrap();
