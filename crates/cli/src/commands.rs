@@ -12,7 +12,7 @@ use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 type CmdResult = Result<(), Box<dyn Error>>;
 
 /// Flags that are bare switches (no value follows them).
-const SWITCHES: &[&str] = &["ladder", "stats", "isolate"];
+const SWITCHES: &[&str] = &["ladder", "stats", "isolate", "in-process"];
 
 /// Minimal flag parser: `--key value` pairs, bare `--switch` flags, plus
 /// positional arguments.
@@ -86,6 +86,33 @@ fn classifier_by_name(name: &str) -> Result<ClassifierKind, Box<dyn Error>> {
     })
 }
 
+/// Loads `--model FILE`, or trains a fresh detector on the synthetic
+/// corpus (`--scale`, `--seed`, `--classifier`). Shared by `scan` and
+/// `serve`, which differ only in their default corpus scale.
+fn detector_from_flags(flags: &Flags, default_scale: f64) -> Result<Detector, Box<dyn Error>> {
+    Ok(match flags.values.get("model") {
+        Some(path) => {
+            eprintln!("loading detector from {path}…");
+            Detector::load(&std::fs::read_to_string(path)?)?
+        }
+        None => {
+            let scale = flags.get_f64("scale", default_scale)?;
+            let seed = flags.get_u64("seed", 0xD5)?;
+            let classifier = match flags.values.get("classifier") {
+                Some(name) => classifier_by_name(name)?,
+                None => ClassifierKind::Mlp,
+            };
+            eprintln!("training {classifier} detector on synthetic corpus (scale {scale})…");
+            let config = DetectorConfig {
+                classifier,
+                seed,
+                ..DetectorConfig::default()
+            };
+            Detector::train_on_corpus(&config, &spec_at(scale, seed))
+        }
+    })
+}
+
 fn spec_at(scale: f64, seed: u64) -> CorpusSpec {
     let spec = CorpusSpec::paper().with_seed(seed);
     if (scale - 1.0).abs() < f64::EPSILON {
@@ -95,33 +122,36 @@ fn spec_at(scale: f64, seed: u64) -> CorpusSpec {
     }
 }
 
-/// First Ctrl-C requests a graceful drain; the second force-exits with
-/// the conventional 128+SIGINT code. Only atomics and `_exit` — both
+/// The first SIGINT (Ctrl-C) or SIGTERM (`kill`, a supervisor's stop)
+/// requests a graceful drain; a second signal of either kind force-exits
+/// with the conventional 128+signum code. Only atomics and `_exit` — both
 /// async-signal-safe — run in the handler.
 #[cfg(unix)]
-fn install_sigint_drain() {
+fn install_signal_drain() {
     use std::sync::atomic::{AtomicBool, Ordering};
     static SEEN: AtomicBool = AtomicBool::new(false);
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
-    extern "C" fn on_sigint(_: i32) {
+    extern "C" fn on_signal(signum: i32) {
         extern "C" {
             fn _exit(code: i32) -> !;
         }
         if SEEN.swap(true, Ordering::Relaxed) {
-            unsafe { _exit(130) }
+            unsafe { _exit(128 + signum) }
         }
         vbadet::scan::interrupt::request_drain();
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGINT, on_sigint as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
     }
 }
 
 #[cfg(not(unix))]
-fn install_sigint_drain() {}
+fn install_signal_drain() {}
 
 pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let flags = Flags::parse(args)?;
@@ -174,7 +204,7 @@ pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     // journal, report what was decided, exit 3 so the run is resumable.
     policy = policy.drain_on_interrupt();
     vbadet::scan::interrupt::reset();
-    install_sigint_drain();
+    install_signal_drain();
     let resume = match flags.values.get("resume") {
         Some(path) => {
             let replay = replay_journal(path)?;
@@ -194,27 +224,7 @@ pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         Some(path) => Some(ScanJournal::create(path)?),
         None => None,
     };
-    let detector = match flags.values.get("model") {
-        Some(path) => {
-            eprintln!("loading detector from {path}…");
-            Detector::load(&std::fs::read_to_string(path)?)?
-        }
-        None => {
-            let scale = flags.get_f64("scale", 0.1)?;
-            let seed = flags.get_u64("seed", 0xD5)?;
-            let classifier = match flags.values.get("classifier") {
-                Some(name) => classifier_by_name(name)?,
-                None => ClassifierKind::Mlp,
-            };
-            eprintln!("training {classifier} detector on synthetic corpus (scale {scale})…");
-            let config = DetectorConfig {
-                classifier,
-                seed,
-                ..DetectorConfig::default()
-            };
-            Detector::train_on_corpus(&config, &spec_at(scale, seed))
-        }
-    };
+    let detector = detector_from_flags(&flags, 0.1)?;
 
     // The batch never aborts: every input is processed, failures are
     // per-file records, and the exit status is decided only at the end.
@@ -306,6 +316,134 @@ pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `vbadet serve`: the resident scan service. Binds the requested socket,
+/// runs [`vbadet::serve`] until a SIGTERM/SIGINT drain, then flushes
+/// metrics, removes the socket file and exits 3 (the same "stopped on
+/// request, work is accounted for" slot as an interrupted batch).
+pub fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let flags = Flags::parse(args)?;
+    if let Some(stray) = flags.positional.first() {
+        return Err(format!("serve: unexpected positional argument {stray:?}").into());
+    }
+    let limits = match flags.values.get("limits").map(String::as_str) {
+        None | Some("default") => ScanLimits::default(),
+        Some("strict") => ScanLimits::strict(),
+        Some(other) => return Err(format!("unknown limits profile: {other}").into()),
+    };
+    let mut policy = ScanPolicy::with_limits(limits);
+    if let Some(ms) = flags.values.get("deadline-ms") {
+        policy = policy.deadline_ms(ms.parse()?);
+    }
+    if let Some(units) = flags.values.get("fuel") {
+        policy = policy.fuel(units.parse()?);
+    }
+    if flags.has("ladder") {
+        policy = policy.with_ladder();
+    }
+    if let Some(mb) = flags.values.get("max-scan-mem-mb") {
+        let mb: u64 = mb.parse()?;
+        if mb == 0 {
+            return Err("serve: --max-scan-mem-mb must be at least 1".into());
+        }
+        policy = policy.max_scan_mem_bytes(mb << 20);
+    }
+    // Process isolation is the default for a resident service — a hostile
+    // document costs one worker process, never the daemon. `--in-process`
+    // opts out for trusted inputs where spawn latency matters.
+    if !flags.has("in-process") {
+        let mut isolate = IsolateConfig::current_exe()?;
+        if let Some(ms) = flags.values.get("heartbeat-ms") {
+            isolate = isolate.heartbeat(std::time::Duration::from_millis(ms.parse()?));
+        }
+        policy = policy.isolated(isolate);
+    } else if flags.values.contains_key("heartbeat-ms") {
+        return Err("serve: --heartbeat-ms only applies to isolated workers".into());
+    }
+    policy = policy.with_metrics(MetricsSink::enabled());
+
+    let mut config = vbadet::ServeConfig::new(policy);
+    config.workers = flags.get_usize("jobs", config.workers)?;
+    if config.workers == 0 {
+        return Err("serve: --jobs must be at least 1".into());
+    }
+    config.queue_depth = flags.get_usize("queue", config.queue_depth)?;
+    if config.queue_depth == 0 {
+        return Err("serve: --queue must be at least 1".into());
+    }
+    config.breaker_threshold =
+        u32::try_from(flags.get_u64("breaker-threshold", u64::from(config.breaker_threshold))?)?;
+    config.breaker_backoff = std::time::Duration::from_millis(flags.get_u64(
+        "breaker-backoff-ms",
+        config.breaker_backoff.as_millis() as u64,
+    )?);
+
+    let detector = detector_from_flags(&flags, 0.01)?;
+
+    let socket = flags.values.get("socket").cloned();
+    let listener = match (&socket, flags.values.get("tcp")) {
+        (Some(_), Some(_)) => return Err("serve: --socket and --tcp are mutually exclusive".into()),
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                vbadet::Listener::bind_unix(path)?
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("serve: --socket needs a Unix platform; use --tcp ADDR".into());
+            }
+        }
+        (None, Some(addr)) => vbadet::Listener::bind_tcp(addr)?,
+        (None, None) => return Err("serve: --socket PATH or --tcp ADDR required".into()),
+    };
+    // The bound address goes to stderr before the first accept so a
+    // supervisor (or the soak harness) can wait for it; with `--tcp :0`
+    // this is the only place the ephemeral port is reported.
+    match listener.tcp_addr() {
+        Some(addr) => eprintln!("listening on tcp {addr}"),
+        None => eprintln!(
+            "listening on unix {}",
+            socket.as_deref().unwrap_or_default()
+        ),
+    }
+    eprintln!(
+        "serving with {} workers, queue depth {}, breaker threshold {} ({}); \
+         SIGTERM or Ctrl-C drains",
+        config.workers,
+        config.queue_depth,
+        config.breaker_threshold,
+        if flags.has("in-process") {
+            "in-process"
+        } else {
+            "isolated"
+        }
+    );
+
+    let mut journal = match flags.values.get("journal") {
+        Some(path) => Some(ScanJournal::create(path)?),
+        None => None,
+    };
+    vbadet::scan::interrupt::reset();
+    install_signal_drain();
+    let summary = vbadet::serve(&listener, &detector, &config, journal.as_mut());
+
+    if let Some(path) = &socket {
+        let _ = std::fs::remove_file(path);
+    }
+    if let (Some(metrics), Some(path)) = (&summary.metrics, flags.values.get("metrics-json")) {
+        std::fs::write(path, metrics.to_json())?;
+        eprintln!("wrote service metrics to {path}");
+    }
+    eprintln!(
+        "drained: {} accepted, {} shed, {} responses",
+        summary.accepted, summary.shed, summary.responses
+    );
+    if let Some(e) = &summary.journal_error {
+        return Err(format!("journal write failed mid-run: {e}").into());
+    }
+    Ok(ExitCode::from(3))
 }
 
 pub fn extract(args: &[String]) -> CmdResult {

@@ -29,15 +29,18 @@ fn main() -> ExitCode {
     };
     if command == vbadet::scan::isolate::WORKER_SUBCOMMAND {
         // Hidden subcommand: this process is an isolation worker, driven
-        // over stdin/stdout by a supervisor `vbadet scan --isolate`.
-        // Ignore SIGINT so a terminal Ctrl-C (delivered to the whole
-        // foreground process group) lets the supervisor drain gracefully
-        // instead of reaping a batch of killed workers.
-        ignore_sigint();
+        // over stdin/stdout by a supervising `vbadet scan --isolate` or
+        // `vbadet serve`. Ignore SIGINT and SIGTERM so signals delivered
+        // to the whole process group (terminal Ctrl-C, a service
+        // manager's stop) let the supervisor drain gracefully instead of
+        // reaping a batch of killed workers; the supervisor retires
+        // workers itself via their exit frames.
+        ignore_drain_signals();
         return ExitCode::from(vbadet::worker_main() as u8);
     }
     let result: Result<ExitCode, Box<dyn std::error::Error>> = match command {
         "scan" => commands::scan(rest),
+        "serve" => commands::serve(rest),
         "extract" => commands::extract(rest).map(|()| ExitCode::SUCCESS),
         "obfuscate" => commands::obfuscate(rest).map(|()| ExitCode::SUCCESS),
         "deobfuscate" => commands::deobfuscate(rest).map(|()| ExitCode::SUCCESS),
@@ -60,19 +63,21 @@ fn main() -> ExitCode {
 }
 
 #[cfg(unix)]
-fn ignore_sigint() {
+fn ignore_drain_signals() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     const SIG_IGN: usize = 1;
     unsafe {
         signal(SIGINT, SIG_IGN);
+        signal(SIGTERM, SIG_IGN);
     }
 }
 
 #[cfg(not(unix))]
-fn ignore_sigint() {}
+fn ignore_drain_signals() {}
 
 fn usage() -> &'static str {
     "vbadet — obfuscated VBA macro detection (DSN 2018 reproduction)
@@ -82,6 +87,10 @@ USAGE:
                 [--deadline-ms N] [--fuel N] [--ladder] [--jobs N]
                 [--isolate] [--max-scan-mem-mb N]
                 [--journal FILE] [--resume FILE] <file>...
+    vbadet serve (--socket PATH | --tcp ADDR) [--jobs N] [--queue N]
+                [--breaker-threshold N] [--breaker-backoff-ms N]
+                [--in-process] [--heartbeat-ms N] [--journal FILE]
+                [--metrics-json FILE] [scan policy options]
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
     vbadet deobfuscate <file.vba>
@@ -96,6 +105,14 @@ COMMANDS:
                 input is processed under resource limits, damaged projects
                 are salvaged when possible, and failures are per-file
                 records, never aborts
+    serve       Resident scan service on a Unix or TCP socket. Requests are
+                newline-delimited: `scan <path>`, `metrics`, `health`,
+                `ready`, or JSON (`{\"op\":\"scan\",\"path\":\"…\",\"id\":…}`;
+                inline documents via `bytes_hex`). Every request gets
+                exactly one reply; a full queue sheds with a typed
+                `overloaded` error; repeated worker deaths open a circuit
+                breaker that recovers by probing. Exits 3 after a
+                SIGTERM/Ctrl-C graceful drain
     train       Train a detector and save it for reuse with `scan --model`
     extract     Print every macro module's source code
     obfuscate   Apply O1-O4 obfuscation to a VBA source file
@@ -137,8 +154,29 @@ OPTIONS:
                      are not rescanned, mid-scan ones are re-attempted
     --seed N         RNG seed
 
+SERVE OPTIONS:
+    --socket PATH    listen on a Unix-domain socket (stale files replaced)
+    --tcp ADDR       listen on TCP, e.g. 127.0.0.1:7087 (port 0 = ephemeral;
+                     the bound address is printed to stderr)
+    --jobs N         scan worker threads (default 2)
+    --queue N        admission queue depth; a request past it is shed with
+                     `overloaded` (default 64)
+    --breaker-threshold N
+                     consecutive worker deaths that open the circuit
+                     breaker (default 3)
+    --breaker-backoff-ms N
+                     breaker cooldown base, doubled per re-open (default 500)
+    --in-process     scan in the daemon process instead of isolated child
+                     workers (faster; a crashing document kills the service)
+    --heartbeat-ms N isolated-worker liveness deadline
+    Scan policy options (--limits, --deadline-ms, --fuel, --ladder,
+    --max-scan-mem-mb, --model/--scale/--classifier/--seed) apply per
+    request; --metrics-json writes the final service metrics at drain.
+
 SIGNALS:
-    Ctrl-C once during scan drains gracefully: in-flight documents finish,
-    the journal is flushed, a partial summary prints, exit code 3.
-    Ctrl-C twice force-exits immediately (code 130)."
+    One SIGINT (Ctrl-C) or SIGTERM during `scan`/`serve` drains gracefully:
+    no new work is accepted, in-flight documents finish, the journal is
+    flushed, a summary prints, exit code 3.
+    A second signal force-exits immediately (code 128+signum: 130 for
+    SIGINT, 143 for SIGTERM)."
 }

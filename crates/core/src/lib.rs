@@ -36,6 +36,7 @@ pub mod limits;
 pub mod memguard;
 pub mod preprocess;
 pub mod scan;
+pub mod serve;
 pub mod signature;
 pub mod threshold;
 
@@ -56,6 +57,7 @@ pub use scan::{
     scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,
     ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
 };
+pub use serve::{serve, Listener, ServeConfig, ServeSummary};
 pub use signature::SignatureScanner;
 pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};
 pub use vbadet_faultpoint::{Budget, BudgetExceeded};

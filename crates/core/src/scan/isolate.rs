@@ -92,7 +92,7 @@ pub const WORKER_SUBCOMMAND: &str = "__worker";
 
 /// Hard cap on one frame's payload; a length prefix past this is treated
 /// as protocol corruption, not an allocation request.
-const MAX_FRAME_BYTES: usize = 64 << 20;
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// How the supervisor runs and disciplines its worker processes.
 #[derive(Debug, Clone)]
@@ -162,7 +162,15 @@ impl IsolateConfig {
 // Frame codec
 // ---------------------------------------------------------------------------
 
-fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+/// Allocation step for frame payload reads: the buffer grows as bytes
+/// actually arrive, so a lying length prefix costs at most one step of
+/// memory, never the whole claimed length up front.
+const FRAME_READ_CHUNK: usize = 64 << 10;
+
+/// Writes one length-prefixed frame. Public so the hostile-input fuzz
+/// harness can construct valid frames to mutate; a payload over
+/// [`MAX_FRAME_BYTES`] is refused before a byte is written.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     let bytes = payload.as_bytes();
     if bytes.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -177,7 +185,13 @@ fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
 
 /// Reads one frame; `Ok(None)` is a clean EOF at a frame boundary (the
 /// peer closed the pipe), anything torn or oversized is an error.
-fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+///
+/// A corrupt or hostile peer can lie in the length prefix; the payload
+/// buffer therefore grows incrementally as bytes arrive (capped at
+/// [`MAX_FRAME_BYTES`]) instead of being allocated up front, so a prefix
+/// claiming 64 MiB followed by a closed pipe costs a typed error, not a
+/// 64 MiB allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -191,8 +205,18 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
             "frame length prefix over the cap",
         ));
     }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    let mut buf = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
+    let mut taken = r.take(len as u64);
+    taken.read_to_end(&mut buf)?;
+    if buf.len() != len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "frame truncated: prefix said {len} bytes, got {}",
+                buf.len()
+            ),
+        ));
+    }
     String::from_utf8(buf)
         .map(Some)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
@@ -206,7 +230,7 @@ fn opt_num(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
-fn hello_frame(detector: &Detector, policy: &ScanPolicy) -> String {
+pub(crate) fn hello_frame(detector: &Detector, policy: &ScanPolicy) -> String {
     let l = &policy.limits;
     format!(
         "{{\"op\":\"hello\",\"detector\":{},\"deadline_ms\":{},\"fuel\":{},\"ladder\":{},\
@@ -289,7 +313,7 @@ fn result_frame(outcome: &ScanOutcome, snap: &ScanMetrics) -> String {
     )
 }
 
-type CounterDeltas = Vec<(Counter, u64)>;
+pub(crate) type CounterDeltas = Vec<(Counter, u64)>;
 
 fn decode_result(j: &Json) -> Result<(ScanOutcome, CounterDeltas), String> {
     let outcome = decode_outcome(j.get("outcome").ok_or("result without outcome")?)?;
@@ -523,7 +547,7 @@ fn spawn_worker(
 }
 
 /// Why one scan attempt produced no result frame.
-enum AttemptError {
+pub(crate) enum AttemptError {
     /// The worker process died (or was heartbeat-killed) holding the
     /// document.
     Death(String),
@@ -534,8 +558,9 @@ enum AttemptError {
 
 /// One worker slot: owns at most one child process, claims one document
 /// at a time, and implements restart backoff, crash-loop cutoff, and the
-/// retry-once-then-quarantine protocol.
-struct Slot<'a> {
+/// retry-once-then-quarantine protocol. Shared with [`crate::serve`],
+/// whose resident worker threads each own one slot.
+pub(crate) struct Slot<'a> {
     config: &'a IsolateConfig,
     hello: &'a str,
     heartbeat: Duration,
@@ -552,7 +577,7 @@ struct Slot<'a> {
 }
 
 impl<'a> Slot<'a> {
-    fn new(
+    pub(crate) fn new(
         config: &'a IsolateConfig,
         hello: &'a str,
         heartbeat: Duration,
@@ -674,7 +699,7 @@ impl<'a> Slot<'a> {
 
     /// Scans one document with the quarantine protocol: at most two
     /// attempts, the second always in a fresh solo worker.
-    fn scan(&mut self, key: &str) -> (ScanOutcome, CounterDeltas) {
+    pub(crate) fn scan(&mut self, key: &str) -> (ScanOutcome, CounterDeltas) {
         let first = match self.try_scan(key) {
             Ok(done) => return done,
             Err(e) => e,
@@ -715,7 +740,7 @@ impl<'a> Slot<'a> {
     }
 
     /// Clean end-of-batch teardown for the slot's surviving worker.
-    fn finish(mut self) {
+    pub(crate) fn finish(mut self) {
         if let Some(worker) = self.worker.take() {
             self.metrics
                 .record(Stage::IsolateWorkerDocs, self.docs_on_worker);
@@ -724,7 +749,7 @@ impl<'a> Slot<'a> {
     }
 }
 
-fn default_heartbeat(policy: &ScanPolicy) -> Duration {
+pub(crate) fn default_heartbeat(policy: &ScanPolicy) -> Duration {
     match policy.deadline_per_doc {
         // The deadline bounds the *scan*; spawn, I/O and scheduling ride
         // on top, so the heartbeat leaves generous headroom — it exists

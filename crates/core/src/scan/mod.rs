@@ -576,8 +576,9 @@ fn panic_detail(payload: Box<dyn Any + Send>) -> String {
 /// Rolls one decided record into the deterministic outcome counters.
 /// Every batch engine calls this exactly once per record — the sequential
 /// loop directly, the parallel engine from its single collector — so the
-/// sums can never depend on worker scheduling.
-fn record_outcome(metrics: &MetricsSink, outcome: &ScanOutcome) {
+/// sums can never depend on worker scheduling. The resident service
+/// ([`crate::serve`]) calls it once per decided request.
+pub(crate) fn record_outcome(metrics: &MetricsSink, outcome: &ScanOutcome) {
     if let ScanOutcome::Failed {
         class: FailureClass::Fatal,
         ..
@@ -867,14 +868,16 @@ pub fn scan_paths_parallel<P: AsRef<Path>>(
 /// Single-writer funnel for journal checkpoints. The first write error
 /// stops journaling — the scan itself must run to completion on a full
 /// disk — and is surfaced exactly once as [`ScanReport::journal_error`].
-struct JournalSink<'a> {
+/// Shared with [`crate::serve`], which funnels its per-request audit
+/// records through one of these behind a mutex.
+pub(crate) struct JournalSink<'a> {
     journal: Option<&'a mut ScanJournal>,
-    error: Option<String>,
+    pub(crate) error: Option<String>,
     metrics: MetricsSink,
 }
 
 impl<'a> JournalSink<'a> {
-    fn new(journal: Option<&'a mut ScanJournal>, metrics: MetricsSink) -> Self {
+    pub(crate) fn new(journal: Option<&'a mut ScanJournal>, metrics: MetricsSink) -> Self {
         JournalSink {
             journal,
             error: None,
@@ -913,14 +916,14 @@ impl<'a> JournalSink<'a> {
         self.record(Counter::JournalDoneRecords, |j| j.done(record));
     }
 
-    fn sync(&mut self) {
+    pub(crate) fn sync(&mut self) {
         self.record(Counter::JournalSyncs, |j| j.sync());
     }
 
     /// Checkpoints one decided record: `begin` + `done` for a fresh scan,
     /// `done` alone for an outcome copied from a resume replay (mirroring
     /// the sequential engine's journal layout byte for byte).
-    fn checkpoint(&mut self, record: &ScanRecord, resumed: bool) {
+    pub(crate) fn checkpoint(&mut self, record: &ScanRecord, resumed: bool) {
         let key = record.path.display().to_string();
         if !resumed {
             self.begin(&key);
@@ -1136,7 +1139,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
 /// as [`FailureClass::LimitExceeded`] without its bytes ever being read
 /// into memory, then read (re-checking the size, which may have changed
 /// under a racing writer) and scan.
-fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutcome {
+pub(crate) fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutcome {
     let size = match std::fs::metadata(path) {
         Ok(meta) => meta.len(),
         Err(e) => {

@@ -1,0 +1,263 @@
+//! Circuit breaker guarding the service's worker pool.
+//!
+//! The isolate supervisor already absorbs individual worker deaths, but a
+//! *systemic* failure — a bad deploy whose workers abort on every
+//! document, a wedged filesystem — turns each admitted request into a
+//! slow, doomed spawn-crash-respawn cycle. The breaker converts that into
+//! fast, typed rejections: after [`threshold`](Breaker::new) consecutive
+//! fatal outcomes it **opens** and rejects scans outright with a
+//! `retry_ms` hint; after an exponentially growing cooldown it
+//! **half-opens** and admits exactly one probe request; a probe success
+//! closes the breaker, a probe failure re-opens it with a doubled
+//! cooldown.
+//!
+//! Only [`FailureClass::Fatal`](crate::scan::FailureClass::Fatal)
+//! outcomes count as failures here: a document that times out or fails to
+//! parse got a perfectly good service answer. Fatal means the machinery
+//! itself (a worker process, twice in a row) died — the one signal that
+//! predicts the *next* request will fare no better.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use vbadet_metrics::{MetricsSink, Stage};
+
+/// Verdict of [`Breaker::admit`] for one scan request.
+pub(crate) enum Admission {
+    /// Run it. `probe` marks the single half-open trial request; its
+    /// outcome decides whether the breaker closes or re-opens.
+    Admit { probe: bool },
+    /// Breaker is open: reject without touching a worker.
+    Reject {
+        /// Milliseconds until the next probe window, for the client.
+        retry_ms: u64,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum State {
+    /// Normal operation, counting consecutive service failures.
+    Closed { failures: u32 },
+    /// Rejecting everything until the cooldown elapses. `opens` counts
+    /// how many times the breaker has opened without an intervening
+    /// close, which is the exponent of the cooldown.
+    Open { until: Instant, opens: u32 },
+    /// Cooldown elapsed; exactly one probe is in flight.
+    HalfOpen { opens: u32 },
+}
+
+pub(crate) struct Breaker {
+    threshold: u32,
+    backoff_base: Duration,
+    state: Mutex<State>,
+    metrics: MetricsSink,
+}
+
+impl Breaker {
+    pub(crate) fn new(threshold: u32, backoff_base: Duration, metrics: MetricsSink) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            backoff_base,
+            state: Mutex::new(State::Closed { failures: 0 }),
+            metrics,
+        }
+    }
+
+    fn cooldown(&self, opens: u32) -> Duration {
+        // Same shape as the isolate slot's respawn backoff: doubling,
+        // capped at 2^6 so a long outage cannot push retries out forever.
+        self.backoff_base * 2u32.pow(opens.saturating_sub(1).min(6))
+    }
+
+    fn open(&self, opens: u32) -> State {
+        self.metrics.record(Stage::ServeBreakerOpens, 1);
+        State::Open {
+            until: Instant::now() + self.cooldown(opens),
+            opens,
+        }
+    }
+
+    /// Gate for one scan request.
+    pub(crate) fn admit(&self) -> Admission {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            State::Closed { .. } => Admission::Admit { probe: false },
+            State::Open { until, opens } => {
+                let now = Instant::now();
+                if now >= until {
+                    *state = State::HalfOpen { opens };
+                    Admission::Admit { probe: true }
+                } else {
+                    self.metrics.record(Stage::ServeBreakerRejects, 1);
+                    Admission::Reject {
+                        retry_ms: (until - now).as_millis() as u64,
+                    }
+                }
+            }
+            State::HalfOpen { .. } => {
+                // The one probe slot is taken; everyone else waits.
+                self.metrics.record(Stage::ServeBreakerRejects, 1);
+                Admission::Reject {
+                    retry_ms: self.backoff_base.as_millis() as u64,
+                }
+            }
+        }
+    }
+
+    /// Reports the service outcome of an admitted request.
+    /// `service_failure` is "the machinery died", not "the scan failed".
+    pub(crate) fn report(&self, probe: bool, service_failure: bool) {
+        let mut state = self.state.lock().unwrap();
+        match (*state, probe, service_failure) {
+            // Probe verdicts only matter while we are actually half-open;
+            // a stale probe outcome (state already moved on) is ignored.
+            (State::HalfOpen { .. }, true, false) => *state = State::Closed { failures: 0 },
+            (State::HalfOpen { opens }, true, true) => *state = self.open(opens + 1),
+            // Ordinary requests: only the closed state keeps score.
+            // Failures landing while open/half-open are stragglers
+            // admitted before the breaker tripped.
+            (State::Closed { .. }, false, false) => *state = State::Closed { failures: 0 },
+            (State::Closed { failures }, false, true) => {
+                let failures = failures + 1;
+                *state = if failures >= self.threshold {
+                    self.open(1)
+                } else {
+                    State::Closed { failures }
+                };
+            }
+            _ => {}
+        }
+    }
+
+    /// The admitted probe never ran (shed at the queue, connection died
+    /// before dispatch): return to the open state with the same cooldown
+    /// so the next admit can mint a fresh probe.
+    pub(crate) fn probe_abandoned(&self) {
+        let mut state = self.state.lock().unwrap();
+        if let State::HalfOpen { opens } = *state {
+            *state = State::Open {
+                until: Instant::now() + self.cooldown(opens),
+                opens,
+            };
+        }
+    }
+
+    /// Stable label for the `health` verb.
+    pub(crate) fn state_label(&self) -> &'static str {
+        match *self.state.lock().unwrap() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, backoff_ms: u64) -> Breaker {
+        Breaker::new(
+            threshold,
+            Duration::from_millis(backoff_ms),
+            MetricsSink::enabled(),
+        )
+    }
+
+    fn admitted(b: &Breaker) -> bool {
+        matches!(b.admit(), Admission::Admit { .. })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker(3, 10);
+        b.report(false, true);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "closed");
+        b.report(false, true);
+        assert_eq!(b.state_label(), "open");
+        match b.admit() {
+            Admission::Reject { .. } => {}
+            Admission::Admit { .. } => panic!("open breaker admitted a request"),
+        }
+    }
+
+    #[test]
+    fn a_success_resets_the_failure_count() {
+        let b = breaker(2, 10);
+        b.report(false, true);
+        b.report(false, false);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "closed", "non-consecutive failures");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_and_closes_on_success() {
+        let b = breaker(1, 5);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "open");
+        std::thread::sleep(Duration::from_millis(10));
+        match b.admit() {
+            Admission::Admit { probe } => assert!(probe, "first post-cooldown admit is the probe"),
+            Admission::Reject { .. } => panic!("cooldown elapsed but still rejecting"),
+        }
+        assert!(!admitted(&b), "second request while the probe is out");
+        b.report(true, false);
+        assert_eq!(b.state_label(), "closed");
+        assert!(admitted(&b));
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_a_longer_cooldown() {
+        let b = breaker(1, 5);
+        b.report(false, true);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(admitted(&b));
+        b.report(true, true);
+        assert_eq!(b.state_label(), "open");
+        // First cooldown was 5ms; the re-open doubles it, so 6ms in is
+        // still closed to traffic.
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(!admitted(&b), "doubled cooldown should still be running");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(admitted(&b));
+    }
+
+    #[test]
+    fn abandoned_probe_returns_to_open() {
+        let b = breaker(1, 5);
+        b.report(false, true);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(admitted(&b));
+        assert_eq!(b.state_label(), "half-open");
+        b.probe_abandoned();
+        assert_eq!(b.state_label(), "open");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(admitted(&b), "a fresh probe is minted after the cooldown");
+    }
+
+    #[test]
+    fn straggler_failures_do_not_disturb_open_or_half_open() {
+        let b = breaker(1, 5);
+        b.report(false, true);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "open");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(admitted(&b));
+        b.report(false, true);
+        assert_eq!(b.state_label(), "half-open", "straggler must not re-open");
+        b.report(true, false);
+        assert_eq!(b.state_label(), "closed");
+    }
+
+    #[test]
+    fn rejections_and_opens_land_in_the_histograms() {
+        let sink = MetricsSink::enabled();
+        let b = Breaker::new(1, Duration::from_millis(50), sink.clone());
+        b.report(false, true);
+        let _ = b.admit();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.histograms["serve.breaker_opens"].count, 1);
+        assert_eq!(snap.histograms["serve.breaker_rejects"].count, 1);
+    }
+}

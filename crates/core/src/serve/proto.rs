@@ -1,0 +1,228 @@
+//! Wire protocol parser for the resident scan service.
+//!
+//! Requests are newline-delimited and come in two equivalent shapes:
+//!
+//! - **Text**: `scan <path>`, `metrics`, `health`, `ready` — the form a
+//!   human types into `nc`/`socat`.
+//! - **JSON**: `{"op":"scan","path":"…"}` (or `"bytes_hex":"…"` for an
+//!   inline document) with an optional `"id"` (string or non-negative
+//!   integer) the server echoes into the response, so a client
+//!   multiplexing requests on one connection can correlate replies.
+//!
+//! Parsing is total: any line that is not a well-formed request yields a
+//! typed error message, never a panic — the fuzz harness in
+//! `tests/hostile_inputs.rs` holds the parser to that.
+
+use crate::journal::{parse_json, Json};
+
+/// Hard cap on one request line. The connection reader enforces this
+/// *before* parsing (an unbounded line would otherwise buffer forever);
+/// the parser re-checks it so it is safe on any input.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
+
+/// What a scan request points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanTarget {
+    /// A path on the server's filesystem.
+    Path(String),
+    /// Document bytes shipped inline (hex-decoded from `bytes_hex`).
+    Bytes(Vec<u8>),
+}
+
+/// The service verbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// Scan one document through the service's robustness envelope.
+    Scan(ScanTarget),
+    /// Snapshot the service-wide [`ScanMetrics`](vbadet_metrics::ScanMetrics).
+    Metrics,
+    /// Liveness: state of the drain latch, breaker and queue.
+    Health,
+    /// Readiness: whether a scan sent now would be admitted.
+    Ready,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub verb: Verb,
+    /// Client correlation id, echoed verbatim into the response.
+    pub id: Option<String>,
+}
+
+impl Request {
+    fn bare(verb: Verb) -> Self {
+        Request { verb, id: None }
+    }
+}
+
+/// Parses one request line (without its terminating newline).
+///
+/// # Errors
+///
+/// A human-readable description of why the line is not a request; the
+/// server wraps it in a `bad-request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if line.len() > MAX_REQUEST_LINE_BYTES {
+        return Err(format!(
+            "request line is {} bytes, over the {MAX_REQUEST_LINE_BYTES}-byte cap",
+            line.len()
+        ));
+    }
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("empty request".to_string());
+    }
+    if line.starts_with('{') {
+        return parse_json_request(line);
+    }
+    match line.split_once(char::is_whitespace) {
+        None => match line {
+            "metrics" => Ok(Request::bare(Verb::Metrics)),
+            "health" => Ok(Request::bare(Verb::Health)),
+            "ready" => Ok(Request::bare(Verb::Ready)),
+            "scan" => Err("scan without a path".to_string()),
+            other => Err(format!("unknown verb {other:?}")),
+        },
+        Some((verb, rest)) => {
+            let rest = rest.trim();
+            match verb {
+                "scan" if rest.is_empty() => Err("scan without a path".to_string()),
+                "scan" => Ok(Request::bare(Verb::Scan(ScanTarget::Path(
+                    rest.to_string(),
+                )))),
+                other => Err(format!("unknown verb {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_json_request(line: &str) -> Result<Request, String> {
+    let j = parse_json(line).map_err(|e| format!("bad json: {e}"))?;
+    let id = match j.get("id") {
+        None => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(v) => match v.as_u64() {
+            Some(n) => Some(n.to_string()),
+            None => return Err("id must be a string or a non-negative integer".to_string()),
+        },
+    };
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request without op")?;
+    let verb = match op {
+        "metrics" => Verb::Metrics,
+        "health" => Verb::Health,
+        "ready" => Verb::Ready,
+        "scan" => {
+            let path = j.get("path").and_then(Json::as_str);
+            let hex = j.get("bytes_hex").and_then(Json::as_str);
+            match (path, hex) {
+                (Some(_), Some(_)) => {
+                    return Err("scan takes path or bytes_hex, not both".to_string())
+                }
+                (Some(p), None) if !p.is_empty() => Verb::Scan(ScanTarget::Path(p.to_string())),
+                (Some(_), None) => return Err("scan with an empty path".to_string()),
+                (None, Some(h)) => Verb::Scan(ScanTarget::Bytes(decode_hex(h)?)),
+                (None, None) => return Err("scan without path or bytes_hex".to_string()),
+            }
+        }
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request { verb, id })
+}
+
+fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
+    let bytes = hex.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err("bytes_hex has an odd number of digits".to_string());
+    }
+    let nibble = |b: u8| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            other => Err(format!("bytes_hex has a non-hex byte {:?}", other as char)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_verbs_parse() {
+        assert_eq!(
+            parse_request("scan /tmp/a.doc").unwrap(),
+            Request::bare(Verb::Scan(ScanTarget::Path("/tmp/a.doc".to_string())))
+        );
+        assert_eq!(
+            parse_request("scan  a path with spaces.doc ").unwrap(),
+            Request::bare(Verb::Scan(ScanTarget::Path(
+                "a path with spaces.doc".to_string()
+            )))
+        );
+        assert_eq!(parse_request("metrics").unwrap().verb, Verb::Metrics);
+        assert_eq!(parse_request(" health ").unwrap().verb, Verb::Health);
+        assert_eq!(parse_request("ready").unwrap().verb, Verb::Ready);
+    }
+
+    #[test]
+    fn json_scan_parses_with_ids() {
+        let r = parse_request("{\"op\":\"scan\",\"path\":\"/x.doc\",\"id\":\"req-1\"}").unwrap();
+        assert_eq!(r.id.as_deref(), Some("req-1"));
+        assert_eq!(r.verb, Verb::Scan(ScanTarget::Path("/x.doc".to_string())));
+        let r = parse_request("{\"op\":\"scan\",\"bytes_hex\":\"d0cf11e0\",\"id\":7}").unwrap();
+        assert_eq!(r.id.as_deref(), Some("7"));
+        assert_eq!(
+            r.verb,
+            Verb::Scan(ScanTarget::Bytes(vec![0xd0, 0xcf, 0x11, 0xe0]))
+        );
+    }
+
+    #[test]
+    fn hex_decoding_is_strict() {
+        assert!(decode_hex("").unwrap().is_empty());
+        assert_eq!(decode_hex("00ffAB").unwrap(), vec![0, 0xff, 0xab]);
+        assert!(decode_hex("abc").is_err(), "odd length");
+        assert!(decode_hex("zz").is_err(), "non-hex digit");
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed() {
+        for bad in [
+            "",
+            "   ",
+            "scan",
+            "scan   ",
+            "frobnicate",
+            "metrics now",
+            "{",
+            "{}",
+            "{\"op\":\"scan\"}",
+            "{\"op\":\"scan\",\"path\":\"\"}",
+            "{\"op\":\"scan\",\"path\":\"a\",\"bytes_hex\":\"00\"}",
+            "{\"op\":\"scan\",\"bytes_hex\":\"xyz\"}",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"scan\",\"path\":\"a\",\"id\":[1]}",
+            "{\"op\":\"scan\",\"path\":\"a\",\"id\":-3}",
+            "{\"op\":17}",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_by_length_alone() {
+        let line = format!("scan {}", "a".repeat(MAX_REQUEST_LINE_BYTES));
+        assert!(parse_request(&line).is_err());
+    }
+}

@@ -17,7 +17,11 @@
 //! Two modifiers compose with any action:
 //!
 //! - `@N` — arm the site from its `N`th hit onward (1-based), e.g.
-//!   `panic@5` kills on the fifth pass. Hits are counted per site.
+//!   `panic@5` kills on the fifth pass. Hits are counted per site. An
+//!   optional window suffix `@NxM` bounds the armed span to `M` hits
+//!   (`abort@5x3` fires on hits 5–7 and then disarms), so a harness can
+//!   inject a deterministic failure burst and observe the recovery that
+//!   follows.
 //! - `P%` prefix — fire with probability `P` percent per armed hit, driven
 //!   by a per-site xorshift generator seeded from `VBADET_FAULTPOINT_SEED`
 //!   (default `0x5EED`), so probabilistic runs replay bit-for-bit under a
@@ -93,6 +97,9 @@ mod enabled {
         action: Action,
         /// First 1-based hit on which the action is armed.
         from_hit: u64,
+        /// First hit past the armed window (exclusive), from `@NxM`;
+        /// `None` keeps the site armed forever.
+        until_hit: Option<u64>,
         /// Fire probability in percent (100 = always).
         prob_pct: u8,
         /// Per-site deterministic RNG state (for `prob_pct < 100`).
@@ -137,14 +144,27 @@ mod enabled {
             }
             _ => (100u8, spec),
         };
-        let (rest, from_hit) = match rest.rsplit_once('@') {
-            Some((head, n)) => {
+        let (rest, from_hit, window) = match rest.rsplit_once('@') {
+            Some((head, tail)) => {
+                // `@N` or `@NxM`: arm from hit N, optionally for M hits.
+                let (n, window) = match tail.split_once('x') {
+                    Some((n, m)) => {
+                        let m: u64 = m
+                            .parse()
+                            .map_err(|_| format!("bad window length in {spec:?}"))?;
+                        if m == 0 {
+                            return Err(format!("zero-length window in {spec:?}"));
+                        }
+                        (n, Some(m))
+                    }
+                    None => (tail, None),
+                };
                 let n: u64 = n
                     .parse()
                     .map_err(|_| format!("bad hit count in {spec:?}"))?;
-                (head, n.max(1))
+                (head, n.max(1), window)
             }
-            None => (rest, 1),
+            None => (rest, 1, None),
         };
         let (verb, arg) = match rest.split_once('(') {
             Some((verb, tail)) => {
@@ -175,6 +195,7 @@ mod enabled {
         Ok(Site {
             action,
             from_hit,
+            until_hit: window.map(|m| from_hit.saturating_add(m)),
             prob_pct,
             rng: site_seed(name),
             hits: 0,
@@ -236,6 +257,9 @@ mod enabled {
             let site = reg.get_mut(name)?;
             site.hits += 1;
             if site.hits < site.from_hit {
+                return None;
+            }
+            if site.until_hit.is_some_and(|until| site.hits >= until) {
                 return None;
             }
             if site.prob_pct < 100 {
@@ -335,6 +359,30 @@ mod enabled {
             assert!(parse_spec("s", "panic(unclosed").is_err());
             assert!(parse_spec("s", "panic@x").is_err());
             assert!(parse_spec("s", "abort(now)").is_err());
+            assert!(parse_spec("s", "abort@3x0").is_err());
+            assert!(parse_spec("s", "abort@3xq").is_err());
+            assert!(parse_spec("s", "abort@x2").is_err());
+        }
+
+        #[test]
+        fn window_modifier_fires_for_exactly_m_hits() {
+            let _g = locked();
+            clear();
+            configure("t::win", "return(hit)@3x2").unwrap();
+            let fired: Vec<bool> = (0..6).map(|_| fire("t::win").is_some()).collect();
+            assert_eq!(fired, [false, false, true, true, false, false]);
+            assert_eq!(hit_count("t::win"), 6);
+            clear();
+        }
+
+        #[test]
+        fn window_without_at_offset_starts_at_first_hit() {
+            let _g = locked();
+            clear();
+            configure("t::win1", "return@1x3").unwrap();
+            let fired: Vec<bool> = (0..5).map(|_| fire("t::win1").is_some()).collect();
+            assert_eq!(fired, [true, true, true, false, false]);
+            clear();
         }
 
         #[test]

@@ -215,6 +215,20 @@ metric_enum! {
         IsolateQuarantines => "isolate.quarantines",
         /// Documents scanned per worker process, recorded at worker exit.
         IsolateWorkerDocs => "isolate.worker_docs",
+        /// Scan requests admitted past the service's admission queue.
+        ServeAccepted => "serve.accepted",
+        /// Scan requests shed with a typed `overloaded` rejection.
+        ServeShed => "serve.shed",
+        /// Circuit-breaker transitions into the open state.
+        ServeBreakerOpens => "serve.breaker_opens",
+        /// Scan requests rejected while the circuit breaker was open.
+        ServeBreakerRejects => "serve.breaker_rejects",
+        /// Graceful service drains completed.
+        ServeDrains => "serve.drains",
+        /// Admission queue depth, sampled as each request is enqueued.
+        ServeQueueDepth => "serve.queue_depth",
+        /// One service request, admission to terminal response.
+        ServeRequestNs => "serve.request_ns",
     }
 }
 

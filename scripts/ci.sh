@@ -79,6 +79,25 @@ determinism_tests() {
         cargo test -q --offline --features faultpoints --test parallel_scan --test fault_injection
 }
 
+# The resident-service suites: protocol/breaker/drain unit coverage, then
+# a wall-clock chaos soak. The soak hammers a live `vbadet serve` daemon
+# with concurrent clients while faultpoints crash-loop its workers, and
+# asserts the service's core contract from the outside: exactly one
+# terminal response per request, typed shedding under overload, the
+# breaker opening AND recovering, drain exiting 3, and zero orphaned
+# workers left behind.
+serve_tests() {
+    cargo test -q --offline --test serve &&
+        cargo test -q --offline --features faultpoints --test serve
+}
+
+serve_soak() {
+    cargo build -q --offline -p vbadet-cli --features faultpoints &&
+        cargo run -q --offline --features faultpoints --bin serve_soak -- \
+            target/debug/vbadet "${CI_SOAK_SECS:-6}" &&
+        assert_no_orphan_workers
+}
+
 # The process-isolation suite, then an outside-the-process check of the
 # supervisor's no-orphans guarantee: every worker is reaped on every exit
 # path (clean shutdown, heartbeat kill, supervisor panic), so after the
@@ -200,6 +219,8 @@ stage test cargo test -q --offline --workspace
 stage test-faultpoints cargo test -q --offline --features faultpoints
 stage test-determinism determinism_tests
 stage isolation isolation_tests
+stage serve serve_tests
+stage serve-soak serve_soak
 stage clippy cargo clippy --offline --all-targets -- -D warnings
 stage clippy-faultpoints cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
 stage bench cargo bench --offline -p vbadet-bench --bench scan_parallel

@@ -165,6 +165,114 @@ fn mutants_of_the_raw_project_bin_never_break_extraction() {
     }
 }
 
+/// The isolate frame codec under the same mutation discipline: torn,
+/// truncated, oversized and garbage frames must all come back as typed
+/// `io::Error`s — never a panic, never an unchecked allocation from a
+/// hostile length prefix.
+#[test]
+fn mutated_isolate_frames_fail_typed_and_never_panic() {
+    use vbadet::scan::isolate::{read_frame, write_frame, MAX_FRAME_BYTES};
+
+    let mut well_formed = Vec::new();
+    write_frame(
+        &mut well_formed,
+        "{\"type\":\"scan\",\"path\":\"/tmp/x.doc\"}",
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xF4A3E5);
+    let mut decoded = 0usize;
+    let mut rejected = 0usize;
+    for case in 0..600 {
+        let mutant: Vec<u8> = match case % 5 {
+            // Torn: a clean frame cut mid-payload (or mid-prefix).
+            0 => truncate(&well_formed, &mut rng),
+            // Bit-flipped prefix and/or payload.
+            1 => flip_bytes(&well_formed, &mut rng),
+            // A length prefix far past the cap with no payload behind it:
+            // must be rejected *before* any allocation that size.
+            2 => {
+                let len = rng.gen_range(MAX_FRAME_BYTES as u64 + 1..=u32::MAX as u64) as u32;
+                len.to_le_bytes().to_vec()
+            }
+            // An honest prefix promising more bytes than follow.
+            3 => {
+                let mut out = (64u32).to_le_bytes().to_vec();
+                out.extend_from_slice(&vec![b'x'; rng.gen_range(0..64usize)]);
+                out
+            }
+            // Pure garbage.
+            _ => (0..rng.gen_range(0..64usize)).map(|_| rng.gen()).collect(),
+        };
+        let result = std::panic::catch_unwind(|| read_frame(&mut mutant.as_slice()));
+        let result = result.unwrap_or_else(|_| panic!("frame codec panicked on case {case}"));
+        match result {
+            Ok(Some(_)) => decoded += 1,
+            // Clean EOF before the prefix is the codec's "peer finished".
+            Ok(None) => {}
+            Err(e) => {
+                rejected += 1;
+                assert!(!e.to_string().is_empty(), "typed error must carry detail");
+            }
+        }
+    }
+    assert!(rejected > 0, "no mutant exercised a typed rejection");
+    // Flipping payload bytes of a valid frame can legitimately still
+    // decode (JSON-ness is the layer above); what matters is zero panics.
+    eprintln!("frame mutants: {decoded} decoded, {rejected} typed rejections");
+}
+
+/// The service wire-protocol parser: seeded mutants of valid request
+/// lines (flips, truncations, splices, raw garbage — including invalid
+/// UTF-8 lossily decoded, exactly as the connection reader does) must
+/// parse or fail typed, never panic.
+#[test]
+fn mutated_service_requests_never_panic_the_protocol_parser() {
+    use vbadet::serve::parse_request;
+
+    let seeds: Vec<Vec<u8>> = [
+        "scan /tmp/a.doc",
+        "metrics",
+        "health",
+        "ready",
+        "{\"op\":\"scan\",\"path\":\"/tmp/a.doc\",\"id\":\"r-1\"}",
+        "{\"op\":\"scan\",\"bytes_hex\":\"d0cf11e0a1b11ae1\",\"id\":42}",
+        "{\"op\":\"metrics\"}",
+    ]
+    .into_iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect();
+
+    let mut rng = StdRng::seed_from_u64(0x5E21E5);
+    let mut parsed = 0usize;
+    let mut typed = 0usize;
+    for round in 0..200 {
+        for (si, seed) in seeds.iter().enumerate() {
+            let donor = &seeds[(si + 1) % seeds.len()];
+            let mutant: Vec<u8> = match round % 4 {
+                0 => flip_bytes(seed, &mut rng),
+                1 => truncate(seed, &mut rng),
+                2 => splice(seed, donor, &mut rng),
+                _ => (0..rng.gen_range(0..80usize)).map(|_| rng.gen()).collect(),
+            };
+            // The connection reader hands the parser lossily-decoded
+            // text; mirror that here so invalid UTF-8 is covered too.
+            let line = String::from_utf8_lossy(&mutant);
+            let result = std::panic::catch_unwind(|| parse_request(&line));
+            match result {
+                Ok(Ok(_)) => parsed += 1,
+                Ok(Err(detail)) => {
+                    typed += 1;
+                    assert!(!detail.is_empty(), "typed rejection must carry detail");
+                }
+                Err(_) => panic!("parser panicked on {line:?}"),
+            }
+        }
+    }
+    assert!(typed > 0, "no mutant exercised a typed rejection");
+    eprintln!("request mutants: {parsed} parsed, {typed} typed rejections");
+}
+
 // ---------------------------------------------------------------------------
 // Typed-outcome fixtures: one hand-built hostile input per outcome class.
 // ---------------------------------------------------------------------------

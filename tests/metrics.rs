@@ -321,6 +321,53 @@ fn snapshot_round_trips_through_json() {
 }
 
 #[test]
+fn serve_stage_counters_round_trip_through_json_and_the_wire_form() {
+    let _serial = serial();
+    // The service counters live on the histogram side (request
+    // interleaving is racy, so they are exempt from the determinism
+    // contract) and must survive both the pretty dump `--metrics-json`
+    // writes and the squeezed single-line form the `metrics` verb ships.
+    use vbadet::Stage;
+    let sink = MetricsSink::enabled();
+    for (stage, value) in [
+        (Stage::ServeAccepted, 1),
+        (Stage::ServeShed, 1),
+        (Stage::ServeBreakerOpens, 1),
+        (Stage::ServeBreakerRejects, 3),
+        (Stage::ServeDrains, 1),
+        (Stage::ServeQueueDepth, 17),
+        (Stage::ServeRequestNs, 1_234_567),
+    ] {
+        sink.record(stage, value);
+    }
+    let m = sink.snapshot().unwrap();
+    for key in [
+        "serve.accepted",
+        "serve.shed",
+        "serve.breaker_opens",
+        "serve.breaker_rejects",
+        "serve.drains",
+        "serve.queue_depth",
+        "serve.request_ns",
+    ] {
+        assert!(m.histograms.contains_key(key), "missing histogram {key}");
+        assert_eq!(
+            m.counter(key),
+            0,
+            "{key} must not be a deterministic counter"
+        );
+    }
+    assert_eq!(m.histograms["serve.queue_depth"].total, 17);
+    assert_eq!(m.histograms["serve.breaker_rejects"].count, 1);
+
+    let pretty = m.to_json();
+    assert_eq!(ScanMetrics::from_json(&pretty).unwrap(), m);
+    let wire: String = pretty.split_whitespace().collect();
+    assert!(!wire.contains('\n'), "wire form must be one line");
+    assert_eq!(ScanMetrics::from_json(&wire).unwrap(), m);
+}
+
+#[test]
 fn disabled_sink_produces_no_snapshot() {
     let _serial = serial();
     let det = detector();
