@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use vbadet::{
     extract_macros, replay_journal, scan_paths_journaled, ClassifierKind, Detector, DetectorConfig,
-    IsolateConfig, MetricsSink, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
+    IsolateConfig, MetricsSink, ScanCache, ScanJournal, ScanLimits, ScanOutcome, ScanPolicy,
 };
 use vbadet_corpus::{generate_macros, CorpusSpec, DocumentFactory};
 
@@ -200,6 +200,24 @@ pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     if flags.has("isolate") {
         policy = policy.isolated(IsolateConfig::current_exe()?);
     }
+    // `--cache DIR` fronts the batch with the crash-safe on-disk result
+    // cache: previously scanned content (by digest, under this detector
+    // and policy) is answered without re-extracting or re-scoring.
+    if let Some(dir) = flags.values.get("cache") {
+        let capacity = flags.get_usize("cache-entries", 65_536)?;
+        if capacity == 0 {
+            return Err("scan: --cache-entries must be at least 1 with --cache".into());
+        }
+        let cache = ScanCache::persistent(dir, capacity)
+            .map_err(|e| format!("scan: opening cache {dir}: {e}"))?;
+        for warning in cache.load_warnings() {
+            eprintln!("cache warning: {warning}");
+        }
+        eprintln!("cache at {dir}: {} entries loaded", cache.len());
+        policy = policy.with_cache(std::sync::Arc::new(cache));
+    } else if flags.values.contains_key("cache-entries") {
+        return Err("scan: --cache-entries only applies with --cache DIR".into());
+    }
     // Ctrl-C drains instead of killing: stop dispatching, flush the
     // journal, report what was decided, exit 3 so the run is resumable.
     policy = policy.drain_on_interrupt();
@@ -360,6 +378,14 @@ pub fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         policy = policy.isolated(isolate);
     } else if flags.values.contains_key("heartbeat-ms") {
         return Err("serve: --heartbeat-ms only applies to isolated workers".into());
+    }
+    // The service caches by default: a resident scanner sees the same
+    // attachment bytes again and again, and a hit skips the whole scan
+    // (in isolate mode, the worker round trip too). `--cache-entries 0`
+    // turns it off.
+    let cache_entries = flags.get_usize("cache-entries", 4096)?;
+    if cache_entries > 0 {
+        policy = policy.with_cache(std::sync::Arc::new(ScanCache::in_memory(cache_entries)));
     }
     policy = policy.with_metrics(MetricsSink::enabled());
 

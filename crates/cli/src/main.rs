@@ -85,12 +85,12 @@ fn usage() -> &'static str {
 USAGE:
     vbadet scan [--scale F] [--classifier NAME] [--limits default|strict]
                 [--deadline-ms N] [--fuel N] [--ladder] [--jobs N]
-                [--isolate] [--max-scan-mem-mb N]
+                [--isolate] [--max-scan-mem-mb N] [--cache DIR]
                 [--journal FILE] [--resume FILE] <file>...
     vbadet serve (--socket PATH | --tcp ADDR) [--jobs N] [--queue N]
                 [--breaker-threshold N] [--breaker-backoff-ms N]
-                [--in-process] [--heartbeat-ms N] [--journal FILE]
-                [--metrics-json FILE] [scan policy options]
+                [--in-process] [--heartbeat-ms N] [--cache-entries N]
+                [--journal FILE] [--metrics-json FILE] [scan policy options]
     vbadet extract <file>
     vbadet obfuscate [--techniques o1,o2,o3,o4] [--seed N] <file.vba>
     vbadet deobfuscate <file.vba>
@@ -147,6 +147,10 @@ OPTIONS:
     --max-scan-mem-mb N
                      per-document heap ceiling; a document allocating past
                      it is FAILED [limit-exceeded] instead of OOM-killed
+    --cache DIR      content-addressed result cache: documents whose bytes,
+                     detector and policy were already scanned are answered
+                     from DIR without re-scanning (crash-safe JSONL store;
+                     --cache-entries caps the in-memory tier, default 65536)
 
     --journal FILE   checkpoint each document's outcome to FILE (JSONL,
                      crash-safe) as the scan runs
@@ -169,6 +173,11 @@ SERVE OPTIONS:
     --in-process     scan in the daemon process instead of isolated child
                      workers (faster; a crashing document kills the service)
     --heartbeat-ms N isolated-worker liveness deadline
+    --cache-entries N
+                     in-memory result-cache capacity; repeated identical
+                     documents are answered without re-scanning and
+                     concurrent duplicates share one scan (default 4096,
+                     0 disables)
     Scan policy options (--limits, --deadline-ms, --fuel, --ladder,
     --max-scan-mem-mb, --model/--scale/--classifier/--seed) apply per
     request; --metrics-json writes the final service metrics at drain.

@@ -55,7 +55,7 @@ pub use scan::isolate::{worker_main, IsolateConfig};
 pub use scan::{
     scan_bytes, scan_bytes_with_policy, scan_documents, scan_documents_with_policy, scan_paths,
     scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,
-    ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
+    ScanCache, ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
 };
 pub use serve::{serve, Listener, ServeConfig, ServeSummary};
 pub use signature::SignatureScanner;

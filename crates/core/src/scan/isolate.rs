@@ -74,6 +74,7 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
+use super::cache::{self, PathProbe};
 use super::{interrupt, record_outcome, FailureClass, JournalSink, ScanPolicy};
 use super::{ScanOutcome, ScanRecord, ScanReport};
 use crate::detector::Detector;
@@ -394,7 +395,11 @@ pub fn worker_main() -> i32 {
                     metrics: metrics.clone(),
                     ..base.clone()
                 };
-                let outcome = super::scan_file(&detector, Path::new(path), &policy);
+                // Workers never see the supervisor's cache (the hello
+                // frame does not carry one): the supervisor consults it
+                // *before* dispatching, so a worker request is always a
+                // real scan.
+                let outcome = super::scan_file(&detector, Path::new(path), &policy, None);
                 let snap = metrics.snapshot().expect("enabled sink snapshots");
                 if let Err(e) = write_frame(&mut output, &result_frame(&outcome, &snap)) {
                     return proto_err("result write", e.to_string());
@@ -749,6 +754,47 @@ impl<'a> Slot<'a> {
     }
 }
 
+/// `(size, mtime)` guard for the supervisor-side cache insert: a miss is
+/// digested from the *supervisor's* read but scanned from the *worker's*,
+/// and a racing writer could slip different bytes between the two. If the
+/// file changed while the worker held it, the result is not inserted —
+/// a lost insert is cheap, a digest pointing at someone else's verdict
+/// is not.
+pub(crate) fn file_stamp(path: &Path) -> Option<(u64, std::time::SystemTime)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.len(), meta.modified().ok()?))
+}
+
+/// One document through the supervisor-side cache: a hit returns the
+/// stored outcome and deltas without a worker ever seeing the document
+/// (the whole point — cached documents cost no worker round-trip); a miss
+/// dispatches to the slot's worker and stores what comes back. Documents
+/// the supervisor cannot read under the cap bypass the cache entirely so
+/// the worker produces the same typed outcome it would have uncached.
+fn scan_via_cache(
+    bound: Option<&cache::BoundCache>,
+    path: &Path,
+    key: &str,
+    policy: &ScanPolicy,
+    slot: &mut Slot<'_>,
+) -> (ScanOutcome, CounterDeltas) {
+    let Some(bound) = bound else {
+        return slot.scan(key);
+    };
+    match bound.probe_path(path, policy.limits.max_file_size, &policy.metrics) {
+        PathProbe::Hit(outcome, deltas) => (outcome, deltas),
+        PathProbe::Miss(digest) => {
+            let stamp = file_stamp(path);
+            let (outcome, deltas) = slot.scan(key);
+            if stamp.is_some() && stamp == file_stamp(path) {
+                bound.insert(digest, &outcome, &deltas, &policy.metrics);
+            }
+            (outcome, deltas)
+        }
+        PathProbe::Unreadable => slot.scan(key),
+    }
+}
+
 pub(crate) fn default_heartbeat(policy: &ScanPolicy) -> Duration {
     match policy.deadline_per_doc {
         // The deadline bounds the *scan*; spawn, I/O and scheduling ride
@@ -780,6 +826,7 @@ pub(crate) fn scan_paths_isolated(
         .heartbeat
         .unwrap_or_else(|| default_heartbeat(policy));
     let hello = hello_frame(detector, policy);
+    let bound = cache::BoundCache::bind(detector, policy);
     let cursor = AtomicUsize::new(0);
     let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut slots: Vec<Option<ScanRecord>> = vec![None; total];
@@ -791,6 +838,7 @@ pub(crate) fn scan_paths_isolated(
             let tx = tx.clone();
             let cursor = &cursor;
             let hello = &hello;
+            let bound = bound.as_ref();
             scope.spawn(move || {
                 let mut slot = Slot::new(config, hello, heartbeat, &policy.metrics);
                 loop {
@@ -805,7 +853,7 @@ pub(crate) fn scan_paths_isolated(
                     let key = path.display().to_string();
                     let (outcome, deltas) = match resume.and_then(|r| r.outcome_for(&key)) {
                         Some(outcome) => (outcome.clone(), Vec::new()),
-                        None => slot.scan(&key),
+                        None => scan_via_cache(bound, &path, &key, policy, &mut slot),
                     };
                     if tx
                         .send((idx, ScanRecord { path, outcome }, deltas))

@@ -53,7 +53,7 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
@@ -66,8 +66,10 @@ use vbadet_faultpoint::{faultpoint, Budget, BudgetExceeded};
 use vbadet_metrics::{Counter, MetricsSink, ScanMetrics, Stage};
 use vbadet_ovba::salvage_modules_from_bytes_budgeted;
 
+pub mod cache;
 pub mod isolate;
 
+pub use cache::ScanCache;
 pub use isolate::IsolateConfig;
 
 /// Graceful-drain latch for batch scans.
@@ -431,6 +433,12 @@ pub struct ScanPolicy {
     /// documents are scanned in child worker processes so aborts, stack
     /// overflows and OOM kills cost one worker, not the batch.
     pub isolate: Option<IsolateConfig>,
+    /// Content-addressed result cache, consulted by every engine. `None`
+    /// (the default) scans everything. Like `jobs` and `isolate`, the
+    /// cache is an execution-shape knob: records and deterministic
+    /// counters are identical with it off, cold or warm (`tests/cache.rs`
+    /// proves it), so it does not participate in the policy fingerprint.
+    pub cache: Option<Arc<ScanCache>>,
 }
 
 impl ScanPolicy {
@@ -489,6 +497,12 @@ impl ScanPolicy {
     /// Runs path batches under the process-isolation supervisor.
     pub fn isolated(mut self, config: IsolateConfig) -> Self {
         self.isolate = Some(config);
+        self
+    }
+
+    /// Attaches a content-addressed result cache (see [`ScanCache`]).
+    pub fn with_cache(mut self, cache: Arc<ScanCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -964,6 +978,7 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
         return scan_paths_parallel_impl(detector, paths, policy, jobs, journal, resume);
     }
     let _quiet = quiet::QuietPanicGuard::new();
+    let bound = cache::BoundCache::bind(detector, policy);
     let mut sink = JournalSink::new(journal, policy.metrics.clone());
     let mut records = Vec::new();
     let mut interrupted = false;
@@ -987,7 +1002,7 @@ pub fn scan_paths_journaled<P: AsRef<Path>>(
         }
         sink.begin(&key);
         let record = ScanRecord {
-            outcome: scan_file(detector, &path, policy),
+            outcome: scan_file(detector, &path, policy, bound.as_ref()),
             path,
         };
         sink.done(&record);
@@ -1026,6 +1041,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
     resume: Option<&JournalReplay>,
 ) -> ScanReport {
     let _quiet = quiet::QuietPanicGuard::new();
+    let bound = cache::BoundCache::bind(detector, policy);
     let paths: Vec<PathBuf> = paths.iter().map(|p| p.as_ref().to_path_buf()).collect();
     let total = paths.len();
     // Chunked claims amortize cursor traffic; small chunks keep the tail
@@ -1045,6 +1061,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
             let tx = tx.clone();
             let cursor = &cursor;
             let paths = &paths;
+            let bound = bound.as_ref();
             scope.spawn(move || {
                 let _quiet = quiet::QuietPanicGuard::new();
                 let mut docs_scanned = 0u64;
@@ -1065,7 +1082,7 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
                                 // panics internally, but a worker must outlive
                                 // even a containment bug in that stack.
                                 None => catch_unwind(AssertUnwindSafe(|| {
-                                    scan_file(detector, &path, policy)
+                                    scan_file(detector, &path, policy, bound)
                                 }))
                                 .unwrap_or_else(|payload| ScanOutcome::Failed {
                                     class: FailureClass::Panic,
@@ -1135,28 +1152,32 @@ fn scan_paths_parallel_impl<P: AsRef<Path>>(
     }
 }
 
-/// Scans one on-disk file: `stat` first so an oversized input is rejected
-/// as [`FailureClass::LimitExceeded`] without its bytes ever being read
-/// into memory, then read (re-checking the size, which may have changed
-/// under a racing writer) and scan.
-pub(crate) fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -> ScanOutcome {
+/// Reads one document's bytes under the file-size cap: `stat` first so an
+/// oversized input is rejected as [`FailureClass::LimitExceeded`] without
+/// its bytes ever being read into memory, then read, re-checking the size
+/// (which may have changed under a racing writer) on what was actually
+/// read. `Err` carries the typed outcome for the batch record.
+///
+/// This is the *single* read in the per-document path — the cache digests
+/// the returned buffer rather than re-reading, so caching adds zero I/O.
+/// Crucially the grew-during-read check runs *before* any caller digests
+/// the bytes: an over-cap buffer is rejected here and can never be
+/// cached, looked up, or scanned.
+pub(crate) fn read_file_checked(path: &Path, max_file_size: u64) -> Result<Vec<u8>, ScanOutcome> {
     let size = match std::fs::metadata(path) {
         Ok(meta) => meta.len(),
         Err(e) => {
-            return ScanOutcome::Failed {
+            return Err(ScanOutcome::Failed {
                 class: FailureClass::Io,
                 detail: e.to_string(),
-            }
+            })
         }
     };
-    if size > policy.limits.max_file_size {
-        return ScanOutcome::Failed {
+    if size > max_file_size {
+        return Err(ScanOutcome::Failed {
             class: FailureClass::LimitExceeded,
-            detail: format!(
-                "file is {size} bytes, over the {}-byte cap",
-                policy.limits.max_file_size
-            ),
-        };
+            detail: format!("file is {size} bytes, over the {max_file_size}-byte cap"),
+        });
     }
     faultpoint!("scan::stat-read-gap");
     match std::fs::read(path) {
@@ -1164,23 +1185,97 @@ pub(crate) fn scan_file(detector: &Detector, path: &Path, policy: &ScanPolicy) -
             // A file can grow between the stat and the read (log rotation,
             // an attacker racing the scanner): enforce the cap on what was
             // actually read, not on what the stat promised.
-            if bytes.len() as u64 > policy.limits.max_file_size {
-                return ScanOutcome::Failed {
+            if bytes.len() as u64 > max_file_size {
+                return Err(ScanOutcome::Failed {
                     class: FailureClass::LimitExceeded,
                     detail: format!(
-                        "file grew to {} bytes during read, over the {}-byte cap",
+                        "file grew to {} bytes during read, over the {max_file_size}-byte cap",
                         bytes.len(),
-                        policy.limits.max_file_size
                     ),
-                };
+                });
             }
-            scan_bytes_with_policy(detector, &bytes, policy)
+            Ok(bytes)
         }
-        Err(e) => ScanOutcome::Failed {
+        Err(e) => Err(ScanOutcome::Failed {
             class: FailureClass::Io,
             detail: e.to_string(),
-        },
+        }),
     }
+}
+
+/// Scans one on-disk file: checked read, then scan — through the bound
+/// cache when the batch carries one.
+pub(crate) fn scan_file(
+    detector: &Detector,
+    path: &Path,
+    policy: &ScanPolicy,
+    bound: Option<&cache::BoundCache>,
+) -> ScanOutcome {
+    match read_file_checked(path, policy.limits.max_file_size) {
+        Ok(bytes) => scan_bytes_cached(detector, &bytes, policy, bound),
+        Err(outcome) => outcome,
+    }
+}
+
+/// Scans in-memory bytes through a bound cache: digest, look up, and on a
+/// miss scan under a *fresh* metrics sink whose non-zero counter totals
+/// become the entry's replayable deltas. Both paths then feed the same
+/// deltas into the live sink, which is what keeps the deterministic
+/// counter section identical across cache-off, cold and warm runs. With
+/// no cache bound this is exactly [`scan_bytes_with_policy`].
+pub(crate) fn scan_bytes_cached(
+    detector: &Detector,
+    bytes: &[u8],
+    policy: &ScanPolicy,
+    bound: Option<&cache::BoundCache>,
+) -> ScanOutcome {
+    let Some(bound) = bound else {
+        return scan_bytes_with_policy(detector, bytes, policy);
+    };
+    scan_bytes_cached_deltas(detector, bytes, policy, bound).0
+}
+
+/// [`scan_bytes_cached`] with the document's counter deltas handed back —
+/// the resident service's single-flight needs them so in-flight duplicate
+/// requests can replay the leader's contribution without a cache entry
+/// (uncacheable outcomes are still shared via the flight).
+pub(crate) fn scan_bytes_cached_deltas(
+    detector: &Detector,
+    bytes: &[u8],
+    policy: &ScanPolicy,
+    bound: &cache::BoundCache,
+) -> (ScanOutcome, cache::Deltas) {
+    scan_bytes_cached_digest(detector, bytes, policy, bound, cache::sha256(bytes))
+}
+
+/// [`scan_bytes_cached_deltas`] for callers that already digested the
+/// bytes (the service digests during request resolution).
+pub(crate) fn scan_bytes_cached_digest(
+    detector: &Detector,
+    bytes: &[u8],
+    policy: &ScanPolicy,
+    bound: &cache::BoundCache,
+    digest: cache::ContentDigest,
+) -> (ScanOutcome, cache::Deltas) {
+    if let Some((outcome, deltas)) = bound.lookup(digest, &policy.metrics) {
+        cache::replay_deltas(&policy.metrics, &deltas);
+        return (outcome, deltas);
+    }
+    // Miss: scan under a fresh sink so this one document's counter
+    // contribution is separable. Its histograms are dropped — they are
+    // exempt from the determinism promise, exactly as for the isolation
+    // supervisor's workers.
+    let fresh = MetricsSink::enabled();
+    let sub = ScanPolicy {
+        metrics: fresh.clone(),
+        cache: None,
+        ..policy.clone()
+    };
+    let outcome = scan_bytes_with_policy(detector, bytes, &sub);
+    let deltas = cache::deltas_from_sink(&fresh);
+    cache::replay_deltas(&policy.metrics, &deltas);
+    bound.insert(digest, &outcome, &deltas, &policy.metrics);
+    (outcome, deltas)
 }
 
 #[cfg(test)]

@@ -30,22 +30,24 @@
 //! request interleaving is inherently racy — so the serve counters all
 //! live on the histogram side of [`ScanMetrics`].
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::detector::Detector;
 use crate::journal::{json_str, outcome_json, ScanJournal};
-use crate::scan::isolate::{default_heartbeat, hello_frame, Slot};
+use crate::scan::cache;
+use crate::scan::isolate::{default_heartbeat, file_stamp, hello_frame, Slot};
 use crate::scan::{
-    interrupt, record_outcome, scan_bytes_with_policy, scan_file, FailureClass, JournalSink,
-    ScanOutcome, ScanPolicy, ScanRecord,
+    interrupt, read_file_checked, record_outcome, scan_bytes_cached_digest, scan_bytes_with_policy,
+    scan_file, FailureClass, JournalSink, ScanOutcome, ScanPolicy, ScanRecord,
 };
 use vbadet_metrics::{MetricsSink, ScanMetrics, Stage};
 
@@ -229,6 +231,32 @@ struct Shared<'a> {
     responses: AtomicU64,
     inline_seq: AtomicU64,
     journal: Mutex<JournalSink<'a>>,
+    /// The policy's cache bound once for the service lifetime; `None`
+    /// when the policy carries no cache.
+    bound: Option<cache::BoundCache>,
+    /// Single-flight table: one [`Flight`] per cache key currently being
+    /// scanned, so concurrent identical documents (a `scan <path>` and a
+    /// `bytes_hex` of the same content, say) cost one scan and share its
+    /// terminal outcome.
+    inflight: Mutex<HashMap<cache::Key, Arc<Flight>>>,
+}
+
+/// Rendezvous for in-flight duplicate scans. The leader (first arrival
+/// for a key) scans and publishes `(outcome, deltas)`; followers block on
+/// the condvar and replay the published result. Leaders never wait on a
+/// flight, so the table cannot deadlock.
+struct Flight {
+    result: Mutex<Option<(ScanOutcome, cache::Deltas)>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 /// Runs the service until the process-global [`interrupt`] latch fires,
@@ -249,6 +277,7 @@ pub fn serve(
         policy.metrics = MetricsSink::enabled();
     }
     let metrics = policy.metrics.clone();
+    let bound = cache::BoundCache::bind(detector, &policy);
     let shared = Shared {
         config,
         detector,
@@ -263,6 +292,8 @@ pub fn serve(
         responses: AtomicU64::new(0),
         inline_seq: AtomicU64::new(0),
         journal: Mutex::new(JournalSink::new(journal, metrics.clone())),
+        bound,
+        inflight: Mutex::new(HashMap::new()),
         policy,
     };
     let workers = config.workers.max(1);
@@ -372,7 +403,9 @@ fn worker_loop(shared: &Shared<'_>, rx: &Mutex<mpsc::Receiver<Job>>) {
 
 /// Produces the terminal outcome for one job. The `serve::inject-death`
 /// faultpoint simulates a systemic worker failure (the signal that feeds
-/// the breaker) without needing real crashing documents.
+/// the breaker) without needing real crashing documents; it fires before
+/// the cache and single-flight layers, so an injected death is per-job
+/// and never cached or shared.
 fn scan_job(shared: &Shared<'_>, slot: Option<&mut Slot<'_>>, job: &Job) -> ScanOutcome {
     if vbadet_faultpoint::fire("serve::inject-death").is_some() {
         return ScanOutcome::Failed {
@@ -380,41 +413,194 @@ fn scan_job(shared: &Shared<'_>, slot: Option<&mut Slot<'_>>, job: &Job) -> Scan
             detail: "injected worker death".to_string(),
         };
     }
-    let merge = |deltas: Vec<(vbadet_metrics::Counter, u64)>| {
-        for (counter, n) in deltas {
-            shared.policy.metrics.count(counter, n);
+    match &shared.bound {
+        None => scan_job_direct(shared, slot, &job.target),
+        Some(bound) => scan_job_cached(shared, bound, slot, job),
+    }
+}
+
+/// The cache-off dispatch: exactly the pre-cache service behavior.
+fn scan_job_direct(
+    shared: &Shared<'_>,
+    slot: Option<&mut Slot<'_>>,
+    target: &ScanTarget,
+) -> ScanOutcome {
+    match (slot, target) {
+        (None, ScanTarget::Path(p)) => {
+            scan_file(shared.detector, Path::new(p), &shared.policy, None)
         }
-    };
-    match (slot, &job.target) {
-        (None, ScanTarget::Path(p)) => scan_file(shared.detector, Path::new(p), &shared.policy),
         (None, ScanTarget::Bytes(bytes)) => {
             scan_bytes_with_policy(shared.detector, bytes, &shared.policy)
         }
         (Some(slot), ScanTarget::Path(p)) => {
             let (outcome, deltas) = slot.scan(p);
-            merge(deltas);
+            cache::replay_deltas(&shared.policy.metrics, &deltas);
             outcome
         }
         (Some(slot), ScanTarget::Bytes(bytes)) => {
-            // Isolate workers scan by path: spool the inline bytes to a
-            // temp file for the round trip.
-            let spool = std::env::temp_dir().join(format!(
-                "vbadet-serve-inline-{}-{}.bin",
-                std::process::id(),
-                shared.inline_seq.fetch_add(1, Ordering::Relaxed)
-            ));
-            if let Err(e) = std::fs::write(&spool, bytes) {
-                return ScanOutcome::Failed {
-                    class: FailureClass::Io,
-                    detail: format!("spooling inline bytes: {e}"),
-                };
-            }
-            let (outcome, deltas) = slot.scan(&spool.display().to_string());
-            let _ = std::fs::remove_file(&spool);
-            merge(deltas);
+            let (outcome, deltas, _) = spool_and_scan(shared, slot, bytes);
+            cache::replay_deltas(&shared.policy.metrics, &deltas);
             outcome
         }
     }
+}
+
+/// Isolate workers scan by path: spool the inline bytes to a temp file
+/// for the round trip. The third element reports whether the worker
+/// actually scanned the spooled bytes (a failed spool produces a typed
+/// `Io` outcome that must never be cached under the bytes' digest).
+fn spool_and_scan(
+    shared: &Shared<'_>,
+    slot: &mut Slot<'_>,
+    bytes: &[u8],
+) -> (ScanOutcome, cache::Deltas, bool) {
+    let spool = std::env::temp_dir().join(format!(
+        "vbadet-serve-inline-{}-{}.bin",
+        std::process::id(),
+        shared.inline_seq.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = std::fs::write(&spool, bytes) {
+        return (
+            ScanOutcome::Failed {
+                class: FailureClass::Io,
+                detail: format!("spooling inline bytes: {e}"),
+            },
+            Vec::new(),
+            false,
+        );
+    }
+    let (outcome, deltas) = slot.scan(&spool.display().to_string());
+    let _ = std::fs::remove_file(&spool);
+    (outcome, deltas, true)
+}
+
+/// How one job's content digest resolved, before any cache traffic.
+enum Resolved {
+    /// Digestible; the bytes ride along when the read already happened
+    /// in-process (path target without an isolate slot).
+    Digest(cache::ContentDigest, Option<Vec<u8>>),
+    /// The checked read produced a typed outcome (missing file, over the
+    /// cap, grew during read) — return it directly; it is byte-identical
+    /// to what the uncached scan path would have said.
+    Typed(ScanOutcome),
+    /// Not digestible supervisor-side (isolate path target unreadable
+    /// under the cap): bypass cache and single-flight so the worker
+    /// classifies the trouble exactly as an uncached run would.
+    Bypass,
+}
+
+/// The cached dispatch: resolve the content digest, join the per-key
+/// single-flight, and either follow (replay the leader's published
+/// result) or lead (cache lookup, scan on miss, publish for followers).
+fn scan_job_cached(
+    shared: &Shared<'_>,
+    bound: &cache::BoundCache,
+    slot: Option<&mut Slot<'_>>,
+    job: &Job,
+) -> ScanOutcome {
+    let metrics = &shared.policy.metrics;
+    let resolved = match (slot.is_some(), &job.target) {
+        (false, ScanTarget::Path(p)) => {
+            match read_file_checked(Path::new(p), shared.policy.limits.max_file_size) {
+                Ok(bytes) => Resolved::Digest(cache::sha256(&bytes), Some(bytes)),
+                Err(outcome) => Resolved::Typed(outcome),
+            }
+        }
+        (true, ScanTarget::Path(p)) => {
+            match cache::digest_path_under_cap(Path::new(p), shared.policy.limits.max_file_size) {
+                Some(digest) => Resolved::Digest(digest, None),
+                None => Resolved::Bypass,
+            }
+        }
+        (_, ScanTarget::Bytes(bytes)) => Resolved::Digest(cache::sha256(bytes), None),
+    };
+    let (digest, held_bytes) = match resolved {
+        Resolved::Digest(digest, bytes) => (digest, bytes),
+        Resolved::Typed(outcome) => return outcome,
+        Resolved::Bypass => return scan_job_direct(shared, slot, &job.target),
+    };
+
+    // Join the flight *before* the cache lookup: two concurrent identical
+    // requests must rendezvous even when neither has inserted yet.
+    let key = bound.key(digest);
+    let flight = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock poisoned");
+        match inflight.get(&key) {
+            Some(flight) => {
+                let flight = Arc::clone(flight);
+                drop(inflight);
+                // Follower: wait for the leader's terminal result. A
+                // shared result counts as a hit — the document was not
+                // re-scanned — and replays the leader's counter deltas
+                // exactly like a cache hit.
+                let mut result = flight.result.lock().expect("flight lock poisoned");
+                while result.is_none() {
+                    result = flight.cv.wait(result).expect("flight lock poisoned");
+                }
+                let (outcome, deltas) = result.as_ref().expect("checked above").clone();
+                drop(result);
+                metrics.record(Stage::CacheHits, 1);
+                cache::replay_deltas(metrics, &deltas);
+                return outcome;
+            }
+            None => {
+                let flight = Arc::new(Flight::new());
+                inflight.insert(key, Arc::clone(&flight));
+                flight
+            }
+        }
+    };
+
+    // Leader: every path below must publish, or followers hang.
+    let (outcome, deltas) = match slot {
+        None => {
+            let bytes: &[u8] = match (&held_bytes, &job.target) {
+                (Some(bytes), _) => bytes,
+                (None, ScanTarget::Bytes(bytes)) => bytes,
+                (None, ScanTarget::Path(_)) => unreachable!("path bytes held when in-process"),
+            };
+            scan_bytes_cached_digest(shared.detector, bytes, &shared.policy, bound, digest)
+        }
+        Some(slot) => match bound.lookup(digest, metrics) {
+            Some((outcome, deltas)) => {
+                cache::replay_deltas(metrics, &deltas);
+                (outcome, deltas)
+            }
+            None => match &job.target {
+                ScanTarget::Path(p) => {
+                    // Same TOCTOU guard as the batch supervisor: the
+                    // worker re-reads the file, so only insert when the
+                    // file provably did not change under the digest.
+                    let stamp = file_stamp(Path::new(p));
+                    let (outcome, deltas) = slot.scan(p);
+                    cache::replay_deltas(metrics, &deltas);
+                    if stamp.is_some() && stamp == file_stamp(Path::new(p)) {
+                        bound.insert(digest, &outcome, &deltas, metrics);
+                    }
+                    (outcome, deltas)
+                }
+                ScanTarget::Bytes(bytes) => {
+                    let (outcome, deltas, scanned) = spool_and_scan(shared, slot, bytes);
+                    cache::replay_deltas(metrics, &deltas);
+                    if scanned {
+                        bound.insert(digest, &outcome, &deltas, metrics);
+                    }
+                    (outcome, deltas)
+                }
+            },
+        },
+    };
+    {
+        let mut result = flight.result.lock().expect("flight lock poisoned");
+        *result = Some((outcome.clone(), deltas));
+        flight.cv.notify_all();
+    }
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock poisoned")
+        .remove(&key);
+    outcome
 }
 
 /// One connection: a hand-rolled bounded line reader over the stream,

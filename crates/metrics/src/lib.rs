@@ -229,6 +229,18 @@ metric_enum! {
         ServeQueueDepth => "serve.queue_depth",
         /// One service request, admission to terminal response.
         ServeRequestNs => "serve.request_ns",
+        /// Scan-cache lookups that returned a stored outcome. Histogram
+        /// side deliberately: hit/miss traffic depends on scheduling and
+        /// cache state, so it must not perturb the deterministic counters.
+        CacheHits => "cache.hits",
+        /// Scan-cache lookups that found nothing usable.
+        CacheMisses => "cache.misses",
+        /// Outcomes inserted into the scan cache.
+        CacheInserts => "cache.inserts",
+        /// Entries evicted from the in-memory LRU tier.
+        CacheEvictions => "cache.evictions",
+        /// Approximate serialized size of each inserted entry, in bytes.
+        CacheBytes => "cache.bytes",
     }
 }
 

@@ -27,6 +27,7 @@ cd "$(dirname "$0")/.."
 SUMMARY=results/ci-summary.json
 BENCH=results/BENCH_scan.json
 BASELINE=results/BENCH_baseline.json
+CACHE_BENCH=results/BENCH_cache.json
 STAGES=""
 OVERALL=ok
 
@@ -98,6 +99,17 @@ serve_soak() {
         assert_no_orphan_workers
 }
 
+# The scan-cache suites: the cache-off/cold/warm equivalence proofs and
+# invalidation rules, the crash-composition and single-flight tests
+# (faultpoints build), and the on-disk store mutation fuzz. Rerun
+# explicitly — like the determinism suites — because "a cache hit is
+# observationally identical to a scan" is a correctness invariant, not a
+# perf nicety.
+cache_tests() {
+    cargo test -q --offline --test cache --test hostile_inputs &&
+        cargo test -q --offline --features faultpoints --test cache
+}
+
 # The process-isolation suite, then an outside-the-process check of the
 # supervisor's no-orphans guarantee: every worker is reaped on every exit
 # path (clean shutdown, heartbeat kill, supervisor panic), so after the
@@ -167,6 +179,16 @@ run_gates() {
     gate_check "$(json_num "$BENCH" isolate_docs_per_sec)" ge "$(num_mul "$gates_par" 0.7)" \
         "isolate throughput within 30% of --jobs N ($gates_par docs/s)" || return 1
 
+    gates_cache_bench=${CI_CACHE_BENCH:-$CACHE_BENCH}
+    if [ ! -f "$gates_cache_bench" ]; then
+        echo "ci: gate FAIL — $gates_cache_bench missing" >&2
+        return 1
+    fi
+    gates_uncached=$(json_num "$gates_cache_bench" uncached_docs_per_sec)
+    gate_check "$(json_num "$gates_cache_bench" warm_docs_per_sec)" ge \
+        "$(num_mul "$gates_uncached" 3.0)" \
+        "warm-cache throughput >= 3x uncached ($gates_uncached docs/s)" || return 1
+
     if [ ! -f "$gates_baseline" ]; then
         echo "ci: note — $gates_baseline missing; regression gate skipped." >&2
         echo "ci: note — refresh with: cargo bench --offline -p vbadet-bench --bench scan_parallel && cp $BENCH $BASELINE" >&2
@@ -186,13 +208,14 @@ if [ "$GATE_TEST" = 1 ]; then
     # Prove the regression gate has teeth: double every docs/sec figure in
     # a copy of the fresh results and use that as the baseline — every
     # throughput then reads as a 50% regression, and the gate must FAIL.
-    if [ ! -f "$BENCH" ]; then
-        echo "ci: --gate-test needs $BENCH; run the bench first:" >&2
-        echo "ci:   cargo bench --offline -p vbadet-bench --bench scan_parallel" >&2
+    if [ ! -f "$BENCH" ] || [ ! -f "$CACHE_BENCH" ]; then
+        echo "ci: --gate-test needs $BENCH and $CACHE_BENCH; run the benches first:" >&2
+        echo "ci:   cargo bench --offline -p vbadet-bench --bench scan_parallel --bench cache" >&2
         exit 1
     fi
     doctored=$(mktemp)
-    trap 'rm -f "$doctored"' EXIT
+    doctored_cache=$(mktemp)
+    trap 'rm -f "$doctored" "$doctored_cache"' EXIT
     awk '
         /"[A-Za-z0-9_]*docs_per_sec"[ \t]*:/ {
             split($0, half, ":")
@@ -209,6 +232,27 @@ if [ "$GATE_TEST" = 1 ]; then
         exit 1
     fi
     echo "ci: --gate-test ok — the regression gate fails against a doctored baseline"
+
+    # And the cache gate specifically: inflate the uncached throughput in
+    # a copy of the cache results until no real warm pass could be 3x it.
+    # (Halving the warm figure would not do — the measured warm speedup is
+    # far above 3x, so the halved ratio could still clear the bar.)
+    awk '
+        /"uncached_docs_per_sec"[ \t]*:/ {
+            split($0, half, ":")
+            value = half[2]
+            trail = (value ~ /,[ \t]*$/) ? "," : ""
+            gsub(/[ \t,]/, "", value)
+            printf "%s: %.2f%s\n", half[1], value * 1000, trail
+            next
+        }
+        { print }
+    ' "$CACHE_BENCH" >"$doctored_cache"
+    if (CI_CACHE_BENCH="$doctored_cache" run_gates); then
+        echo "ci: --gate-test FAIL — the cache gate passed against doctored results" >&2
+        exit 1
+    fi
+    echo "ci: --gate-test ok — the warm-cache gate fails against doctored results"
     exit 0
 fi
 
@@ -218,12 +262,14 @@ stage build-faultpoints cargo build --offline --features faultpoints
 stage test cargo test -q --offline --workspace
 stage test-faultpoints cargo test -q --offline --features faultpoints
 stage test-determinism determinism_tests
+stage cache cache_tests
 stage isolation isolation_tests
 stage serve serve_tests
 stage serve-soak serve_soak
 stage clippy cargo clippy --offline --all-targets -- -D warnings
 stage clippy-faultpoints cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
 stage bench cargo bench --offline -p vbadet-bench --bench scan_parallel
+stage bench-cache cargo bench --offline -p vbadet-bench --bench cache
 stage gates run_gates
 
 write_summary

@@ -273,6 +273,123 @@ fn mutated_service_requests_never_panic_the_protocol_parser() {
     eprintln!("request mutants: {parsed} parsed, {typed} typed rejections");
 }
 
+/// The on-disk scan-cache store under the same mutation discipline: torn
+/// tails, bit-flipped digests and checksums, truncated segments, spliced
+/// lines and oversized entries. Every mutant store must load with typed
+/// warnings — zero panics, zero `Err`s — and whatever survives must be a
+/// subset of what was written. A corrupted store may forget verdicts; it
+/// must never invent or alter one.
+#[test]
+fn mutated_cache_stores_load_typed_and_never_serve_an_altered_verdict() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use vbadet::{scan_paths_with_policy, ScanCache, ScanPolicy};
+
+    let detector = tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-cachefuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A pristine store built by a real scan over builder-generated
+    // documents (dropping the policy drops the cache and syncs the
+    // segment to disk).
+    let paths: Vec<_> = base_documents()
+        .into_iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            let p = dir.join(format!("doc{i}.bin"));
+            std::fs::write(&p, bytes).unwrap();
+            p
+        })
+        .collect();
+    let store = dir.join("store");
+    {
+        let cache = ScanCache::persistent(&store, 1024).unwrap();
+        let policy = ScanPolicy::default().with_cache(Arc::new(cache));
+        scan_paths_with_policy(&detector, &paths, &policy);
+    }
+    let segment = {
+        let mut segments: Vec<_> = std::fs::read_dir(&store)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segments.sort();
+        assert_eq!(segments.len(), 1, "expected one segment: {segments:?}");
+        segments.remove(0)
+    };
+    let pristine = std::fs::read(&segment).unwrap();
+    let baseline: BTreeMap<String, ScanOutcome> = {
+        let cache = ScanCache::persistent(&store, 1024).unwrap();
+        assert!(cache.load_warnings().is_empty());
+        cache.entries().into_iter().collect()
+    };
+    assert!(baseline.len() >= 4, "store too small to fuzz meaningfully");
+
+    // One entry line far past the per-line cap: the loader must reject it
+    // by length — typed warning, never a cap-sized parse.
+    let oversized = {
+        let mut line = vec![b'a'; (1 << 20) + 64];
+        line.push(b'\n');
+        line
+    };
+
+    let scratch = dir.join("scratch");
+    let mut rng = StdRng::seed_from_u64(0xCAC4E5EED);
+    let mut damaged_loads = 0usize;
+    let mut entries_lost = 0usize;
+    for case in 0..300 {
+        let mutant: Vec<u8> = match case % 5 {
+            // Bit flips anywhere: header, digest hex, checksum, payload.
+            0 => flip_bytes(&pristine, &mut rng),
+            // Torn tail / truncated segment (including mid-header).
+            1 => truncate(&pristine, &mut rng),
+            // Lines spliced over each other.
+            2 => splice(&pristine, &pristine, &mut rng),
+            // A pristine store with an oversized entry appended.
+            3 => {
+                let mut out = pristine.clone();
+                out.extend_from_slice(&oversized);
+                out
+            }
+            // Pure garbage the length of a small segment.
+            _ => (0..rng.gen_range(1..4096usize))
+                .map(|_| rng.gen())
+                .collect(),
+        };
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join(segment.file_name().unwrap()), &mutant).unwrap();
+
+        let loaded = std::panic::catch_unwind(|| ScanCache::persistent(&scratch, 1024))
+            .unwrap_or_else(|_| panic!("loading mutant store {case} panicked"));
+        let cache = loaded.unwrap_or_else(|e| {
+            panic!("mutant store {case} must load with warnings, got Err: {e}")
+        });
+        for (digest, outcome) in cache.entries() {
+            match baseline.get(&digest) {
+                Some(original) => assert_eq!(
+                    &outcome, original,
+                    "mutant store {case} altered the verdict for {digest}"
+                ),
+                None => panic!("mutant store {case} invented an entry for {digest}"),
+            }
+        }
+        if !cache.load_warnings().is_empty() {
+            damaged_loads += 1;
+        }
+        if cache.len() < baseline.len() {
+            entries_lost += 1;
+        }
+    }
+    // The harness must actually exercise the damage paths, not just
+    // reload pristine bytes 300 times.
+    assert!(damaged_loads > 0, "no mutant produced a load warning");
+    assert!(entries_lost > 0, "no mutant ever dropped an entry");
+    eprintln!("cache-store mutants: {damaged_loads} loads warned, {entries_lost} lost entries");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // Typed-outcome fixtures: one hand-built hostile input per outcome class.
 // ---------------------------------------------------------------------------
