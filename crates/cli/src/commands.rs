@@ -153,6 +153,27 @@ fn install_signal_drain() {
 #[cfg(not(unix))]
 fn install_signal_drain() {}
 
+/// SIGHUP asks `vbadet serve` for a model hot-reload from its `--model`
+/// path — the conventional "re-read your config" signal, here meaning
+/// "the model file changed under you". The handler is one atomic store;
+/// the serve accept loop does the actual load and swap.
+#[cfg(unix)]
+fn install_sighup_reload() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_hup(_signum: i32) {
+        vbadet::request_reload();
+    }
+    const SIGHUP: i32 = 1;
+    unsafe {
+        signal(SIGHUP, on_hup as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sighup_reload() {}
+
 pub fn scan(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let flags = Flags::parse(args)?;
     if flags.positional.is_empty() {
@@ -406,6 +427,11 @@ pub fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     )?);
 
     let detector = detector_from_flags(&flags, 0.01)?;
+    // SIGHUP reloads from the same file `--model` loaded: retrain, drop
+    // the new model over the old path, signal the daemon. Without
+    // --model there is nowhere to reload from, and SIGHUP-driven
+    // reloads count as failed in the reload.* metrics.
+    config.reload_path = flags.values.get("model").map(PathBuf::from);
 
     let socket = flags.values.get("socket").cloned();
     let listener = match (&socket, flags.values.get("tcp")) {
@@ -436,7 +462,7 @@ pub fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     }
     eprintln!(
         "serving with {} workers, queue depth {}, breaker threshold {} ({}); \
-         SIGTERM or Ctrl-C drains",
+         SIGTERM or Ctrl-C drains; SIGHUP or `reload <path>` hot-swaps the model",
         config.workers,
         config.queue_depth,
         config.breaker_threshold,
@@ -452,7 +478,9 @@ pub fn serve(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         None => None,
     };
     vbadet::scan::interrupt::reset();
+    vbadet::reset_reload_requests();
     install_signal_drain();
+    install_sighup_reload();
     let summary = vbadet::serve(&listener, &detector, &config, journal.as_mut());
 
     if let Some(path) = &socket {

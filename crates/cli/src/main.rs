@@ -67,10 +67,16 @@ fn ignore_drain_signals() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     const SIG_IGN: usize = 1;
     unsafe {
+        // SIGHUP joins the ignore list: a process-group HUP asking the
+        // serve daemon to hot-reload its model must not kill the
+        // daemon's workers out from under it — the supervisor retires
+        // them itself, lazily, with the new generation's hello.
+        signal(SIGHUP, SIG_IGN);
         signal(SIGINT, SIG_IGN);
         signal(SIGTERM, SIG_IGN);
     }
@@ -107,11 +113,14 @@ COMMANDS:
                 records, never aborts
     serve       Resident scan service on a Unix or TCP socket. Requests are
                 newline-delimited: `scan <path>`, `metrics`, `health`,
-                `ready`, or JSON (`{\"op\":\"scan\",\"path\":\"…\",\"id\":…}`;
-                inline documents via `bytes_hex`). Every request gets
-                exactly one reply; a full queue sheds with a typed
-                `overloaded` error; repeated worker deaths open a circuit
-                breaker that recovers by probing. Exits 3 after a
+                `ready`, `reload <path>`, `model`, or JSON
+                (`{\"op\":\"scan\",\"path\":\"…\",\"id\":…}`; inline
+                documents via `bytes_hex`). Every request gets exactly one
+                reply; a full queue sheds with a typed `overloaded` error;
+                repeated worker deaths open a circuit breaker that recovers
+                by probing. `reload` (or SIGHUP) hot-swaps the detector
+                with zero downtime: in-flight requests finish under the
+                model generation that admitted them. Exits 3 after a
                 SIGTERM/Ctrl-C graceful drain
     train       Train a detector and save it for reuse with `scan --model`
     extract     Print every macro module's source code
@@ -187,5 +196,8 @@ SIGNALS:
     no new work is accepted, in-flight documents finish, the journal is
     flushed, a summary prints, exit code 3.
     A second signal force-exits immediately (code 128+signum: 130 for
-    SIGINT, 143 for SIGTERM)."
+    SIGINT, 143 for SIGTERM).
+    SIGHUP during `serve` hot-reloads the detector from the --model path
+    (a no-op recorded in reload.failed when serve trained its own model);
+    scans in flight finish under the generation that admitted them."
 }

@@ -57,6 +57,7 @@ pub use scan::{
     scan_paths_journaled, scan_paths_parallel, scan_paths_with_policy, FailureClass, LadderRung,
     ScanCache, ScanOutcome, ScanPolicy, ScanRecord, ScanReport,
 };
+pub use serve::{request_reload, reset_reload_requests};
 pub use serve::{serve, Listener, ServeConfig, ServeSummary};
 pub use signature::SignatureScanner;
 pub use threshold::{tune_threshold, OperatingPoint, ThresholdPolicy};

@@ -231,10 +231,11 @@ fn opt_num(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
-pub(crate) fn hello_frame(detector: &Detector, policy: &ScanPolicy) -> String {
+pub(crate) fn hello_frame(detector: &Detector, policy: &ScanPolicy, generation: u64) -> String {
     let l = &policy.limits;
     format!(
-        "{{\"op\":\"hello\",\"detector\":{},\"deadline_ms\":{},\"fuel\":{},\"ladder\":{},\
+        "{{\"op\":\"hello\",\"generation\":{generation},\"detector\":{},\"deadline_ms\":{},\
+         \"fuel\":{},\"ladder\":{},\
          \"max_scan_mem\":{},\"limits\":[{},{},{},{},{},{},{},{},{},{}]}}",
         json_str(&detector.save()),
         opt_num(policy.deadline_per_doc.map(|d| d.as_millis() as u64)),
@@ -254,7 +255,7 @@ pub(crate) fn hello_frame(detector: &Detector, policy: &ScanPolicy) -> String {
     )
 }
 
-fn decode_hello(j: &Json) -> Result<(Detector, ScanPolicy), String> {
+fn decode_hello(j: &Json) -> Result<(Detector, ScanPolicy, u64), String> {
     let text = j
         .get("detector")
         .and_then(Json::as_str)
@@ -292,7 +293,11 @@ fn decode_hello(j: &Json) -> Result<(Detector, ScanPolicy), String> {
     policy.fuel_per_doc = num("fuel");
     policy.ladder = j.get("ladder").and_then(Json::as_bool).unwrap_or(false);
     policy.max_scan_mem = num("max_scan_mem");
-    Ok((detector, policy))
+    // Detector generation (0 for batch runs that never reload). The
+    // worker echoes it in its ready frame so the supervisor can prove
+    // both ends agree on which detector scores documents.
+    let generation = num("generation").unwrap_or(0);
+    Ok((detector, policy, generation))
 }
 
 fn result_frame(outcome: &ScanOutcome, snap: &ScanMetrics) -> String {
@@ -364,11 +369,12 @@ pub fn worker_main() -> i32 {
     if hello.get("op").and_then(Json::as_str) != Some("hello") {
         return proto_err("handshake", "first frame is not hello".to_string());
     }
-    let (detector, base) = match decode_hello(&hello) {
+    let (detector, base, generation) = match decode_hello(&hello) {
         Ok(x) => x,
         Err(e) => return proto_err("hello decode", e),
     };
-    if let Err(e) = write_frame(&mut output, "{\"op\":\"ready\"}") {
+    let ready = format!("{{\"op\":\"ready\",\"generation\":{generation}}}");
+    if let Err(e) = write_frame(&mut output, &ready) {
         return proto_err("ready write", e.to_string());
     }
     loop {
@@ -532,11 +538,29 @@ fn spawn_worker(
     if let Err(e) = write_frame(&mut worker.stdin, hello) {
         return Err(format!("handshake ({})", worker.reap_after(e.to_string())));
     }
+    // The generation the hello carries is the one the worker must echo:
+    // a mismatch means the two ends disagree about which detector scores
+    // documents, and the worker is buried rather than trusted.
+    let expected_generation = parse_json(hello)
+        .ok()
+        .and_then(|j| j.get("generation").and_then(Json::as_u64))
+        .unwrap_or(0);
     match worker.rx.recv_timeout(heartbeat) {
-        Ok(Ok(frame)) => match parse_json(&frame)
-            .map(|j| j.get("op").and_then(Json::as_str).map(str::to_string))
-        {
-            Ok(Some(op)) if op == "ready" => Ok(worker),
+        Ok(Ok(frame)) => match parse_json(&frame) {
+            Ok(j) if j.get("op").and_then(Json::as_str) == Some("ready") => {
+                let echoed = j.get("generation").and_then(Json::as_u64).unwrap_or(0);
+                if echoed == expected_generation {
+                    Ok(worker)
+                } else {
+                    Err(format!(
+                        "handshake ({})",
+                        worker.reap_after(format!(
+                            "worker acknowledged generation {echoed}, \
+                             supervisor sent {expected_generation}"
+                        ))
+                    ))
+                }
+            }
             other => Err(format!(
                 "handshake ({})",
                 worker.reap_after(format!("unexpected reply {other:?}"))
@@ -567,7 +591,10 @@ pub(crate) enum AttemptError {
 /// whose resident worker threads each own one slot.
 pub(crate) struct Slot<'a> {
     config: &'a IsolateConfig,
-    hello: &'a str,
+    /// Owned, not borrowed: the serve engine rebuilds slots with a fresh
+    /// hello on model hot-reload, so the frame cannot be pinned to the
+    /// lifetime of a caller-held string.
+    hello: String,
     heartbeat: Duration,
     metrics: &'a MetricsSink,
     worker: Option<Worker>,
@@ -584,7 +611,7 @@ pub(crate) struct Slot<'a> {
 impl<'a> Slot<'a> {
     pub(crate) fn new(
         config: &'a IsolateConfig,
-        hello: &'a str,
+        hello: String,
         heartbeat: Duration,
         metrics: &'a MetricsSink,
     ) -> Self {
@@ -623,7 +650,7 @@ impl<'a> Slot<'a> {
             if self.backoff_exp > 0 {
                 self.backoff();
             }
-            match spawn_worker(self.config, self.hello, self.heartbeat) {
+            match spawn_worker(self.config, &self.hello, self.heartbeat) {
                 Ok(w) => {
                     self.metrics.record(Stage::IsolateSpawns, 1);
                     if self.ever_spawned {
@@ -825,7 +852,7 @@ pub(crate) fn scan_paths_isolated(
     let heartbeat = config
         .heartbeat
         .unwrap_or_else(|| default_heartbeat(policy));
-    let hello = hello_frame(detector, policy);
+    let hello = hello_frame(detector, policy, 0);
     let bound = cache::BoundCache::bind(detector, policy);
     let cursor = AtomicUsize::new(0);
     let mut sink = JournalSink::new(journal, policy.metrics.clone());
@@ -837,7 +864,7 @@ pub(crate) fn scan_paths_isolated(
         for _ in 0..jobs {
             let tx = tx.clone();
             let cursor = &cursor;
-            let hello = &hello;
+            let hello = hello.clone();
             let bound = bound.as_ref();
             scope.spawn(move || {
                 let mut slot = Slot::new(config, hello, heartbeat, &policy.metrics);
@@ -953,8 +980,9 @@ mod tests {
             .fuel(99)
             .with_ladder()
             .max_scan_mem_bytes(5 << 20);
-        let frame = hello_frame(&detector, &policy);
-        let (loaded, decoded) = decode_hello(&parse_json(&frame).unwrap()).unwrap();
+        let frame = hello_frame(&detector, &policy, 7);
+        let (loaded, decoded, generation) = decode_hello(&parse_json(&frame).unwrap()).unwrap();
+        assert_eq!(generation, 7);
         assert_eq!(decoded.limits, policy.limits);
         assert_eq!(decoded.deadline_per_doc, policy.deadline_per_doc);
         assert_eq!(decoded.fuel_per_doc, policy.fuel_per_doc);

@@ -142,6 +142,14 @@ impl Breaker {
         }
     }
 
+    /// Force-closes the breaker, clearing the failure count. A successful
+    /// model hot-reload calls this: an open breaker is evidence against
+    /// the *old* generation's machinery, and the swap that replaced it is
+    /// exactly the remediation the probe cycle exists to discover.
+    pub(crate) fn close(&self) {
+        *self.state.lock().unwrap() = State::Closed { failures: 0 };
+    }
+
     /// Stable label for the `health` verb.
     pub(crate) fn state_label(&self) -> &'static str {
         match *self.state.lock().unwrap() {
@@ -248,6 +256,16 @@ mod tests {
         assert_eq!(b.state_label(), "half-open", "straggler must not re-open");
         b.report(true, false);
         assert_eq!(b.state_label(), "closed");
+    }
+
+    #[test]
+    fn close_clears_any_state() {
+        let b = breaker(1, 60_000);
+        b.report(false, true);
+        assert_eq!(b.state_label(), "open");
+        b.close();
+        assert_eq!(b.state_label(), "closed");
+        assert!(admitted(&b), "no cooldown survives a forced close");
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //!   fires (SIGTERM/SIGINT in the CLI), the service stops accepting,
 //!   finishes everything in flight, retires its workers, flushes the
 //!   audit journal and returns a [`ServeSummary`].
+//! - **Zero-downtime model hot-reload**: the `reload <path>` verb (or
+//!   SIGHUP via [`request_reload`]) atomically swaps in a freshly loaded
+//!   detector behind a monotonic *generation* counter. Every request is
+//!   pinned at admission to the generation that admitted it — a document
+//!   is scanned entirely by one model version — isolate worker slots are
+//!   rebuilt lazily on their next request, the detector-fingerprint cache
+//!   key turns old-generation entries into clean misses, and a malformed
+//!   model file is rejected with a typed `reload-failed` response that
+//!   leaves the old generation serving. The `model` verb reports what is
+//!   live.
 //!
 //! Unlike batch reports, service metrics make no determinism promise —
 //! request interleaving is inherently racy — so the serve counters all
@@ -36,7 +46,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -77,6 +87,11 @@ pub struct ServeConfig {
     /// Poll interval for the accept loop and the connection readers'
     /// drain checks; bounds how stale a drain request can go unnoticed.
     pub drain_poll: Duration,
+    /// Model file a SIGHUP-style [`request_reload`] reloads from —
+    /// normally the CLI's `--model` path, so operators overwrite the file
+    /// and signal the daemon. `None` makes signal-driven reloads no-ops
+    /// (the `reload <path>` wire verb still works).
+    pub reload_path: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -89,8 +104,31 @@ impl ServeConfig {
             breaker_threshold: 3,
             breaker_backoff: Duration::from_millis(500),
             drain_poll: Duration::from_millis(25),
+            reload_path: None,
         }
     }
+}
+
+/// Process-global hot-reload latch, the SIGHUP analogue of
+/// [`interrupt::request_drain`]'s drain latch: the accept loop polls it
+/// once per tick and reloads from [`ServeConfig::reload_path`].
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests a model hot-reload from the serving config's `reload_path`,
+/// exactly as if a `reload` wire request had arrived for that path. A
+/// single atomic store, so it is async-signal-safe — the CLI's SIGHUP
+/// handler calls this.
+pub fn request_reload() {
+    RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears any pending reload request (hygiene between servers in tests).
+pub fn reset_reload_requests() {
+    RELOAD_REQUESTED.store(false, Ordering::SeqCst);
+}
+
+fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::SeqCst)
 }
 
 /// The socket the service listens on.
@@ -104,16 +142,31 @@ pub enum Listener {
 
 impl Listener {
     /// Binds a Unix socket at `path`, replacing a stale socket file left
-    /// by a previous run.
+    /// by a previous run. Only an actual socket is ever unlinked: a
+    /// regular file, directory or device at the path (a typo'd `--socket
+    /// /etc/passwd`, say) is refused with a typed error rather than
+    /// silently destroyed.
     ///
     /// # Errors
     ///
-    /// Any I/O error removing the stale file or binding.
+    /// The path exists but is not a socket, or any I/O error removing the
+    /// stale socket or binding.
     #[cfg(unix)]
     pub fn bind_unix<P: AsRef<Path>>(path: P) -> io::Result<Listener> {
+        use std::os::unix::fs::FileTypeExt;
         let path = path.as_ref();
-        match std::fs::remove_file(path) {
-            Ok(()) => {}
+        match std::fs::symlink_metadata(path) {
+            Ok(meta) if meta.file_type().is_socket() => std::fs::remove_file(path)?,
+            Ok(meta) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!(
+                        "refusing to replace {}: it is {}, not a socket",
+                        path.display(),
+                        file_type_label(&meta.file_type()),
+                    ),
+                ));
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
@@ -166,6 +219,22 @@ impl Listener {
     }
 }
 
+#[cfg(unix)]
+fn file_type_label(ft: &std::fs::FileType) -> &'static str {
+    use std::os::unix::fs::FileTypeExt;
+    if ft.is_dir() {
+        "a directory"
+    } else if ft.is_symlink() {
+        "a symlink"
+    } else if ft.is_fifo() {
+        "a fifo"
+    } else if ft.is_block_device() || ft.is_char_device() {
+        "a device"
+    } else {
+        "a regular file"
+    }
+}
+
 /// The two stream types behind one object: a connection only needs
 /// read/write plus a read timeout (the drain-poll heartbeat).
 trait Stream: Read + Write + Send {
@@ -211,9 +280,35 @@ struct Job {
     key: String,
     /// Whether this is the breaker's half-open probe.
     probe: bool,
+    /// The detector generation live at admission. The pinning invariant:
+    /// this job is scanned *entirely* by this generation's detector and
+    /// cache binding, however many reloads land while it waits in the
+    /// queue — never a mid-scan mix of model versions.
+    generation: Arc<Generation>,
     reply: mpsc::SyncSender<ScanOutcome>,
     /// Admission time, for the request-latency histogram.
     admitted: Instant,
+}
+
+/// One loaded detector version: everything a request needs to be scanned
+/// coherently under a single model. Immutable once published — a reload
+/// builds a whole new `Generation` and swaps the `Arc`, so requests
+/// pinned to the old one keep a consistent (detector, cache-binding)
+/// pair until the last of them drops it.
+struct Generation {
+    /// Monotonic registry counter, starting at 1 for the startup model.
+    number: u64,
+    detector: Detector,
+    /// This generation's cache binding. The bound key embeds the
+    /// detector fingerprint, so entries inserted by older generations are
+    /// clean misses here — no flush, no epoch bookkeeping.
+    bound: Option<cache::BoundCache>,
+    /// FNV-1a-64 of the detector's canonical save() text; what the cache
+    /// key embeds and what `model` reports.
+    fingerprint: u64,
+    /// Where the model came from: the reload path, or "startup".
+    version: String,
+    loaded: Instant,
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -221,7 +316,13 @@ struct Shared<'a> {
     config: &'a ServeConfig,
     /// `config.policy` with the metrics sink forced on.
     policy: ScanPolicy,
-    detector: &'a Detector,
+    /// The live generation. Lock scope is a clone or a swap — never held
+    /// across a scan or a model load.
+    generation: Mutex<Arc<Generation>>,
+    /// Serializes reloads end to end (file read, parse, swap): concurrent
+    /// `reload` requests queue here and the last to swap owns the final
+    /// generation number.
+    reload_serial: Mutex<()>,
     breaker: Breaker,
     /// Live queue depth (incremented at admission, decremented at
     /// dequeue).
@@ -231,14 +332,19 @@ struct Shared<'a> {
     responses: AtomicU64,
     inline_seq: AtomicU64,
     journal: Mutex<JournalSink<'a>>,
-    /// The policy's cache bound once for the service lifetime; `None`
-    /// when the policy carries no cache.
-    bound: Option<cache::BoundCache>,
     /// Single-flight table: one [`Flight`] per cache key currently being
     /// scanned, so concurrent identical documents (a `scan <path>` and a
     /// `bytes_hex` of the same content, say) cost one scan and share its
-    /// terminal outcome.
+    /// terminal outcome. Keys embed the detector fingerprint, so flights
+    /// from different generations never alias.
     inflight: Mutex<HashMap<cache::Key, Arc<Flight>>>,
+}
+
+impl Shared<'_> {
+    /// The generation a request arriving now is pinned to.
+    fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.generation.lock().expect("generation lock poisoned"))
+    }
 }
 
 /// Rendezvous for in-flight duplicate scans. The leader (first arrival
@@ -277,10 +383,25 @@ pub fn serve(
         policy.metrics = MetricsSink::enabled();
     }
     let metrics = policy.metrics.clone();
-    let bound = cache::BoundCache::bind(detector, &policy);
+    // Generation 1 owns its detector by round-tripping the caller's
+    // through save()/load() — the same proven path the isolate hello
+    // frame ships detectors over, so scoring is identical by contract.
+    let initial =
+        Detector::load(&detector.save()).expect("a live detector's save() text always loads back");
     let shared = Shared {
         config,
-        detector,
+        generation: Mutex::new(Arc::new(Generation {
+            number: 1,
+            bound: cache::BoundCache::bind(&initial, &policy),
+            fingerprint: cache::detector_fingerprint(&initial),
+            detector: initial,
+            version: config
+                .reload_path
+                .as_ref()
+                .map_or_else(|| "startup".to_string(), |p| p.display().to_string()),
+            loaded: Instant::now(),
+        })),
+        reload_serial: Mutex::new(()),
         breaker: Breaker::new(
             config.breaker_threshold,
             config.breaker_backoff,
@@ -292,7 +413,6 @@ pub fn serve(
         responses: AtomicU64::new(0),
         inline_seq: AtomicU64::new(0),
         journal: Mutex::new(JournalSink::new(journal, metrics.clone())),
-        bound,
         inflight: Mutex::new(HashMap::new()),
         policy,
     };
@@ -312,6 +432,17 @@ pub fn serve(
         loop {
             if interrupt::drain_requested() {
                 break;
+            }
+            if take_reload_request() {
+                // Signal-driven reload: same path as the wire verb, but
+                // with no client to answer — success and failure land in
+                // the reload.* metrics instead.
+                match &shared.config.reload_path {
+                    Some(path) => {
+                        let _ = try_reload(&shared, &path.display().to_string());
+                    }
+                    None => shared.policy.metrics.record(Stage::ReloadFailed, 1),
+                }
             }
             match listener.accept() {
                 Ok(Some(stream)) => {
@@ -346,23 +477,73 @@ pub fn serve(
     }
 }
 
+/// Loads a detector from `path` and swaps it in as the next generation.
+/// Returns the new generation, or the human-readable reason the old one
+/// keeps serving — a failed reload changes nothing.
+fn try_reload(shared: &Shared<'_>, path: &str) -> Result<Arc<Generation>, String> {
+    let metrics = &shared.policy.metrics;
+    // One reload at a time, end to end: concurrent requests queue here
+    // and the last to swap owns the final generation number.
+    let _serial = shared.reload_serial.lock().expect("reload lock poisoned");
+    let start = Instant::now();
+    let loaded = load_model(path);
+    match loaded {
+        Err(detail) => {
+            metrics.record(Stage::ReloadFailed, 1);
+            Err(detail)
+        }
+        Ok(detector) => {
+            let bound = cache::BoundCache::bind(&detector, &shared.policy);
+            let fingerprint = cache::detector_fingerprint(&detector);
+            let generation = {
+                let mut current = shared.generation.lock().expect("generation lock poisoned");
+                let next = Arc::new(Generation {
+                    number: current.number + 1,
+                    detector,
+                    bound,
+                    fingerprint,
+                    version: path.to_string(),
+                    loaded: Instant::now(),
+                });
+                *current = Arc::clone(&next);
+                next
+            };
+            // The swap is the remediation an open breaker's probe cycle
+            // exists to discover: whatever was crash-looping belonged to
+            // the generation that just left, so start the new one clean.
+            shared.breaker.close();
+            metrics.record(Stage::ReloadSuccess, 1);
+            metrics.record(
+                Stage::ReloadNs,
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            Ok(generation)
+        }
+    }
+}
+
+/// Reads and parses one saved model file. The `serve::reload-corrupt`
+/// faultpoint simulates a malformed model landing on disk without
+/// needing one — the chaos soak uses it alongside real corrupt files.
+fn load_model(path: &str) -> Result<Detector, String> {
+    if vbadet_faultpoint::fire("serve::reload-corrupt").is_some() {
+        return Err(format!("loading {path}: injected corrupt model"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Detector::load(&text).map_err(|e| format!("loading {path}: {e}"))
+}
+
 /// One scan worker: dequeues jobs until the channel drains at shutdown.
 /// In isolate mode the worker owns a persistent [`Slot`] — the same
 /// respawn-backoff / crash-loop / quarantine discipline as the batch
-/// supervisor, amortizing worker processes across requests.
+/// supervisor, amortizing worker processes across requests. The slot is
+/// tagged with the generation whose hello built it and rebuilt *lazily*:
+/// the first job pinned to a newer generation retires the old child and
+/// spawns one speaking the new detector, so a reload never stalls the
+/// pool — workers with queued old-generation jobs keep draining them.
 fn worker_loop(shared: &Shared<'_>, rx: &Mutex<mpsc::Receiver<Job>>) {
     let metrics = &shared.policy.metrics;
-    let hello;
-    let mut slot = match &shared.policy.isolate {
-        Some(cfg) => {
-            hello = hello_frame(shared.detector, &shared.policy);
-            let heartbeat = cfg
-                .heartbeat
-                .unwrap_or_else(|| default_heartbeat(&shared.policy));
-            Some(Slot::new(cfg, &hello, heartbeat, metrics))
-        }
-        None => None,
-    };
+    let mut slot: Option<(u64, Slot<'_>)> = None;
     loop {
         let job = {
             let rx = rx.lock().unwrap();
@@ -370,7 +551,30 @@ fn worker_loop(shared: &Shared<'_>, rx: &Mutex<mpsc::Receiver<Job>>) {
         };
         let Ok(job) = job else { break };
         shared.depth.fetch_sub(1, Ordering::Relaxed);
-        let outcome = scan_job(shared, slot.as_mut(), &job);
+        if let Some(cfg) = &shared.policy.isolate {
+            if slot
+                .as_ref()
+                .is_some_and(|(built_for, _)| *built_for != job.generation.number)
+            {
+                let (_, old) = slot.take().expect("checked above");
+                old.finish();
+            }
+            if slot.is_none() {
+                let hello = hello_frame(
+                    &job.generation.detector,
+                    &shared.policy,
+                    job.generation.number,
+                );
+                let heartbeat = cfg
+                    .heartbeat
+                    .unwrap_or_else(|| default_heartbeat(&shared.policy));
+                slot = Some((
+                    job.generation.number,
+                    Slot::new(cfg, hello, heartbeat, metrics),
+                ));
+            }
+        }
+        let outcome = scan_job(shared, slot.as_mut().map(|(_, s)| s), &job);
         let fatal = matches!(
             outcome,
             ScanOutcome::Failed {
@@ -396,7 +600,7 @@ fn worker_loop(shared: &Shared<'_>, rx: &Mutex<mpsc::Receiver<Job>>) {
         // outcome is journaled either way.
         let _ = job.reply.send(record.outcome);
     }
-    if let Some(slot) = slot {
+    if let Some((_, slot)) = slot {
         slot.finish();
     }
 }
@@ -413,24 +617,26 @@ fn scan_job(shared: &Shared<'_>, slot: Option<&mut Slot<'_>>, job: &Job) -> Scan
             detail: "injected worker death".to_string(),
         };
     }
-    match &shared.bound {
-        None => scan_job_direct(shared, slot, &job.target),
+    match &job.generation.bound {
+        None => scan_job_direct(shared, &job.generation, slot, &job.target),
         Some(bound) => scan_job_cached(shared, bound, slot, job),
     }
 }
 
-/// The cache-off dispatch: exactly the pre-cache service behavior.
+/// The cache-off dispatch: exactly the pre-cache service behavior, under
+/// the job's pinned generation.
 fn scan_job_direct(
     shared: &Shared<'_>,
+    generation: &Generation,
     slot: Option<&mut Slot<'_>>,
     target: &ScanTarget,
 ) -> ScanOutcome {
     match (slot, target) {
         (None, ScanTarget::Path(p)) => {
-            scan_file(shared.detector, Path::new(p), &shared.policy, None)
+            scan_file(&generation.detector, Path::new(p), &shared.policy, None)
         }
         (None, ScanTarget::Bytes(bytes)) => {
-            scan_bytes_with_policy(shared.detector, bytes, &shared.policy)
+            scan_bytes_with_policy(&generation.detector, bytes, &shared.policy)
         }
         (Some(slot), ScanTarget::Path(p)) => {
             let (outcome, deltas) = slot.scan(p);
@@ -517,7 +723,7 @@ fn scan_job_cached(
     let (digest, held_bytes) = match resolved {
         Resolved::Digest(digest, bytes) => (digest, bytes),
         Resolved::Typed(outcome) => return outcome,
-        Resolved::Bypass => return scan_job_direct(shared, slot, &job.target),
+        Resolved::Bypass => return scan_job_direct(shared, &job.generation, slot, &job.target),
     };
 
     // Join the flight *before* the cache lookup: two concurrent identical
@@ -559,7 +765,13 @@ fn scan_job_cached(
                 (None, ScanTarget::Bytes(bytes)) => bytes,
                 (None, ScanTarget::Path(_)) => unreachable!("path bytes held when in-process"),
             };
-            scan_bytes_cached_digest(shared.detector, bytes, &shared.policy, bound, digest)
+            scan_bytes_cached_digest(
+                &job.generation.detector,
+                bytes,
+                &shared.policy,
+                bound,
+                digest,
+            )
         }
         Some(slot) => match bound.lookup(digest, metrics) {
             Some((outcome, deltas)) => {
@@ -710,6 +922,38 @@ fn handle_line(
             let compact: String = snap.to_json().split_whitespace().collect();
             responder.ok(&format!("\"op\":\"metrics\",\"metrics\":{compact}"))
         }
+        Verb::Model => {
+            let generation = shared.current();
+            responder.ok(&format!(
+                "\"op\":\"model\",\"generation\":{},\"version\":{},\"fingerprint\":{},\
+                 \"loaded_ms_ago\":{}",
+                generation.number,
+                json_str(&generation.version),
+                json_str(&format!("{:016x}", generation.fingerprint)),
+                generation.loaded.elapsed().as_millis(),
+            ))
+        }
+        Verb::Reload(path) => {
+            if interrupt::drain_requested() {
+                // A drain is a promise to finish what is in flight and
+                // stop; swapping models mid-drain buys nothing and
+                // muddies the accounting. The drain completes untouched.
+                return responder.error(
+                    "draining",
+                    Some("reload rejected: the service is draining"),
+                    None,
+                );
+            }
+            match try_reload(shared, &path) {
+                Ok(generation) => responder.ok(&format!(
+                    "\"op\":\"reload\",\"generation\":{},\"version\":{},\"fingerprint\":{}",
+                    generation.number,
+                    json_str(&generation.version),
+                    json_str(&format!("{:016x}", generation.fingerprint)),
+                )),
+                Err(detail) => responder.error("reload-failed", Some(&detail), None),
+            }
+        }
         Verb::Scan(target) => handle_scan(shared, responder, tx, target),
     }
 }
@@ -739,10 +983,16 @@ fn handle_scan(
         ),
     };
     let (reply_tx, reply_rx) = mpsc::sync_channel::<ScanOutcome>(1);
+    // Pin the generation at admission: this is the one the response is
+    // stamped with and the one whose detector scans the document, even
+    // if reloads land while the job waits in the queue.
+    let generation = shared.current();
+    let generation_number = generation.number;
     let job = Job {
         target,
         key,
         probe,
+        generation,
         reply: reply_tx,
         admitted: Instant::now(),
     };
@@ -777,7 +1027,7 @@ fn handle_scan(
         .metrics
         .record(Stage::ServeQueueDepth, depth as u64);
     match reply_rx.recv() {
-        Ok(outcome) => responder.outcome(&outcome),
+        Ok(outcome) => responder.outcome(&outcome, generation_number),
         // Unreachable by design (workers always reply before exiting),
         // but the accounting survives even a worker bug: one typed
         // response, not a hang.
@@ -831,9 +1081,9 @@ impl<'a> Responder<'a> {
         self.write_line(&format!("{{\"ok\":true,{}{body}}}", self.id_field()))
     }
 
-    fn outcome(&mut self, outcome: &ScanOutcome) -> io::Result<()> {
+    fn outcome(&mut self, outcome: &ScanOutcome, generation: u64) -> io::Result<()> {
         self.ok(&format!(
-            "\"op\":\"scan\",\"outcome\":{}",
+            "\"op\":\"scan\",\"generation\":{generation},\"outcome\":{}",
             outcome_json(outcome)
         ))
     }

@@ -2,8 +2,8 @@
 //!
 //! Requests are newline-delimited and come in two equivalent shapes:
 //!
-//! - **Text**: `scan <path>`, `metrics`, `health`, `ready` — the form a
-//!   human types into `nc`/`socat`.
+//! - **Text**: `scan <path>`, `metrics`, `health`, `ready`,
+//!   `reload <path>`, `model` — the form a human types into `nc`/`socat`.
 //! - **JSON**: `{"op":"scan","path":"…"}` (or `"bytes_hex":"…"` for an
 //!   inline document) with an optional `"id"` (string or non-negative
 //!   integer) the server echoes into the response, so a client
@@ -40,6 +40,13 @@ pub enum Verb {
     Health,
     /// Readiness: whether a scan sent now would be admitted.
     Ready,
+    /// Hot-swap the detector from a saved model file on the server's
+    /// filesystem; requests admitted before the swap finish under the
+    /// generation that admitted them.
+    Reload(String),
+    /// Describe the live detector generation: version, fingerprint,
+    /// load time, generation counter.
+    Model,
 }
 
 /// One parsed request line.
@@ -82,7 +89,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             "metrics" => Ok(Request::bare(Verb::Metrics)),
             "health" => Ok(Request::bare(Verb::Health)),
             "ready" => Ok(Request::bare(Verb::Ready)),
+            "model" => Ok(Request::bare(Verb::Model)),
             "scan" => Err("scan without a path".to_string()),
+            "reload" => Err("reload without a path".to_string()),
             other => Err(format!("unknown verb {other:?}")),
         },
         Some((verb, rest)) => {
@@ -92,6 +101,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "scan" => Ok(Request::bare(Verb::Scan(ScanTarget::Path(
                     rest.to_string(),
                 )))),
+                "reload" if rest.is_empty() => Err("reload without a path".to_string()),
+                "reload" => Ok(Request::bare(Verb::Reload(rest.to_string()))),
                 other => Err(format!("unknown verb {other:?}")),
             }
         }
@@ -116,6 +127,12 @@ fn parse_json_request(line: &str) -> Result<Request, String> {
         "metrics" => Verb::Metrics,
         "health" => Verb::Health,
         "ready" => Verb::Ready,
+        "model" => Verb::Model,
+        "reload" => match j.get("path").and_then(Json::as_str) {
+            Some(p) if !p.is_empty() => Verb::Reload(p.to_string()),
+            Some(_) => return Err("reload with an empty path".to_string()),
+            None => return Err("reload without a path".to_string()),
+        },
         "scan" => {
             let path = j.get("path").and_then(Json::as_str);
             let hex = j.get("bytes_hex").and_then(Json::as_str);
@@ -173,6 +190,27 @@ mod tests {
         assert_eq!(parse_request("metrics").unwrap().verb, Verb::Metrics);
         assert_eq!(parse_request(" health ").unwrap().verb, Verb::Health);
         assert_eq!(parse_request("ready").unwrap().verb, Verb::Ready);
+        assert_eq!(parse_request("model").unwrap().verb, Verb::Model);
+        assert_eq!(
+            parse_request("reload /models/v2.det").unwrap().verb,
+            Verb::Reload("/models/v2.det".to_string())
+        );
+        assert_eq!(
+            parse_request("reload  a model with spaces.det ")
+                .unwrap()
+                .verb,
+            Verb::Reload("a model with spaces.det".to_string())
+        );
+    }
+
+    #[test]
+    fn json_reload_and_model_parse() {
+        let r = parse_request("{\"op\":\"reload\",\"path\":\"/m/v2.det\",\"id\":\"r-1\"}").unwrap();
+        assert_eq!(r.id.as_deref(), Some("r-1"));
+        assert_eq!(r.verb, Verb::Reload("/m/v2.det".to_string()));
+        let r = parse_request("{\"op\":\"model\",\"id\":3}").unwrap();
+        assert_eq!(r.id.as_deref(), Some("3"));
+        assert_eq!(r.verb, Verb::Model);
     }
 
     #[test]
@@ -211,6 +249,11 @@ mod tests {
             "{\"op\":\"scan\",\"path\":\"\"}",
             "{\"op\":\"scan\",\"path\":\"a\",\"bytes_hex\":\"00\"}",
             "{\"op\":\"scan\",\"bytes_hex\":\"xyz\"}",
+            "reload",
+            "reload   ",
+            "{\"op\":\"reload\"}",
+            "{\"op\":\"reload\",\"path\":\"\"}",
+            "model now",
             "{\"op\":\"nope\"}",
             "{\"op\":\"scan\",\"path\":\"a\",\"id\":[1]}",
             "{\"op\":\"scan\",\"path\":\"a\",\"id\":-3}",

@@ -241,6 +241,12 @@ metric_enum! {
         CacheEvictions => "cache.evictions",
         /// Approximate serialized size of each inserted entry, in bytes.
         CacheBytes => "cache.bytes",
+        /// Model hot-reloads that swapped in a new detector generation.
+        ReloadSuccess => "reload.success",
+        /// Model hot-reloads rejected (unreadable or malformed model file).
+        ReloadFailed => "reload.failed",
+        /// One successful reload, file read to generation swap.
+        ReloadNs => "reload.swap_ns",
     }
 }
 

@@ -3,12 +3,15 @@
 #
 #   scripts/ci.sh               full pipeline: fmt -> builds -> tests ->
 #                               clippy -> bench -> gates
+#   scripts/ci.sh --stage NAME  run only the named stage(s); repeatable,
+#                               e.g. --stage serve --stage reload-soak.
+#                               Unselected stages are recorded as skipped
 #   scripts/ci.sh --gate-test   dry-run: doctor the bench baseline and
-#                               assert the regression gate FAILS against it
+#                               assert the regression gates FAIL against it
 #
 # Every stage is timed; the run (pass or fail) is recorded to
 # results/ci-summary.json as machine-readable
-# {format, version, status, stages:[{name, status, seconds}]}.
+# {format, schema_version, status, stages:[{name, status, seconds}]}.
 # The first failing stage stops the pipeline, but the summary is still
 # written so the driver can see exactly where it died and how long each
 # stage before it took.
@@ -17,7 +20,7 @@
 # against the fresh results/BENCH_scan.json at a 20% docs/sec tolerance.
 # After an intentional perf change, refresh it with:
 #
-#   cargo bench --offline -p vbadet-bench --bench scan_parallel && cp results/BENCH_scan.json results/BENCH_baseline.json
+#   scripts/refresh-baseline.sh
 
 set -u
 
@@ -28,15 +31,43 @@ SUMMARY=results/ci-summary.json
 BENCH=results/BENCH_scan.json
 BASELINE=results/BENCH_baseline.json
 CACHE_BENCH=results/BENCH_cache.json
+RELOAD_BENCH=results/BENCH_reload.json
 STAGES=""
 OVERALL=ok
 
+# Every stage the pipeline knows, in run order — the --stage validator
+# and the skip logic both key off this list.
+KNOWN_STAGES="fmt build build-faultpoints test test-faultpoints test-determinism \
+cache isolation serve serve-soak reload-soak clippy clippy-faultpoints \
+bench bench-cache bench-reload gates"
+
 GATE_TEST=0
-for arg in "$@"; do
-    case "$arg" in
+ONLY=""
+while [ $# -gt 0 ]; do
+    case "$1" in
         --gate-test) GATE_TEST=1 ;;
+        --stage)
+            if [ $# -lt 2 ]; then
+                echo "ci: --stage needs a stage name" >&2
+                exit 2
+            fi
+            shift
+            ONLY="$ONLY $1"
+            ;;
+        --stage=*) ONLY="$ONLY ${1#--stage=}" ;;
         *)
-            echo "ci: unknown argument: $arg (supported: --gate-test)" >&2
+            echo "ci: unknown argument: $1 (supported: --stage NAME, --gate-test)" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+for selected in $ONLY; do
+    case " $KNOWN_STAGES " in
+        *" $selected "*) ;;
+        *)
+            echo "ci: unknown stage: $selected" >&2
+            echo "ci: known stages: $KNOWN_STAGES" >&2
             exit 2
             ;;
     esac
@@ -44,15 +75,25 @@ done
 
 write_summary() {
     mkdir -p results
-    printf '{\n  "format": "vbadet-ci-summary",\n  "version": 1,\n  "status": "%s",\n  "stages": [%s]\n}\n' \
+    printf '{\n  "format": "vbadet-ci-summary",\n  "schema_version": 2,\n  "status": "%s",\n  "stages": [%s]\n}\n' \
         "$OVERALL" "$STAGES" >"$SUMMARY"
 }
 
 # stage NAME COMMAND [ARGS...] — run one pipeline stage, timed. A failing
-# stage finalizes the summary and exits non-zero.
+# stage finalizes the summary and exits non-zero. With a --stage
+# selection, unselected stages are recorded as skipped and cost nothing.
 stage() {
     stage_name=$1
     shift
+    if [ -n "$ONLY" ]; then
+        case " $ONLY " in
+            *" $stage_name "*) ;;
+            *)
+                STAGES="${STAGES}${STAGES:+, }{\"name\":\"$stage_name\",\"status\":\"skipped\",\"seconds\":0}"
+                return 0
+                ;;
+        esac
+    fi
     echo "ci: stage $stage_name"
     stage_start=$(date +%s.%N)
     if "$@"; then
@@ -96,6 +137,20 @@ serve_soak() {
     cargo build -q --offline -p vbadet-cli --features faultpoints &&
         cargo run -q --offline --features faultpoints --bin serve_soak -- \
             target/debug/vbadet "${CI_SOAK_SECS:-6}" &&
+        assert_no_orphan_workers
+}
+
+# The hot-reload chaos soak: six concurrent clients scan a live daemon
+# while an operator connection drives >= CI_RELOADS successful model
+# hot-swaps — alternating two detectors, with a garbage model file and
+# faultpoint-injected corrupt loads mixed in. The harness asserts zero
+# dropped or misrouted responses, a valid monotone generation stamp on
+# every response, generation conservation (final = 1 + successes), a
+# cache miss for warm documents after a swap, and an orphan-free drain.
+reload_soak() {
+    cargo build -q --offline -p vbadet-cli --features faultpoints &&
+        cargo run -q --offline --features faultpoints --bin reload_soak -- \
+            target/debug/vbadet "${CI_RELOADS:-100}" &&
         assert_no_orphan_workers
 }
 
@@ -189,9 +244,22 @@ run_gates() {
         "$(num_mul "$gates_uncached" 3.0)" \
         "warm-cache throughput >= 3x uncached ($gates_uncached docs/s)" || return 1
 
+    # Zero-downtime means the model swap may not stall traffic: under a
+    # reload every 500ms, the p99 request latency must stay within 2x the
+    # steady-state p99 measured moments earlier on the same machine.
+    gates_reload_bench=${CI_RELOAD_BENCH:-$RELOAD_BENCH}
+    if [ ! -f "$gates_reload_bench" ]; then
+        echo "ci: gate FAIL — $gates_reload_bench missing" >&2
+        return 1
+    fi
+    gates_steady=$(json_num "$gates_reload_bench" steady_p99_ms)
+    gate_check "$(json_num "$gates_reload_bench" churn_p99_ms)" le \
+        "$(num_mul "$gates_steady" 2.0)" \
+        "reload-churn p99 <= 2x steady p99 ($gates_steady ms)" || return 1
+
     if [ ! -f "$gates_baseline" ]; then
         echo "ci: note — $gates_baseline missing; regression gate skipped." >&2
-        echo "ci: note — refresh with: cargo bench --offline -p vbadet-bench --bench scan_parallel && cp $BENCH $BASELINE" >&2
+        echo "ci: note — refresh with: scripts/refresh-baseline.sh" >&2
         return 0
     fi
     for key in $(json_num_keys "$gates_baseline" | grep '_docs_per_sec$'); do
@@ -208,14 +276,15 @@ if [ "$GATE_TEST" = 1 ]; then
     # Prove the regression gate has teeth: double every docs/sec figure in
     # a copy of the fresh results and use that as the baseline — every
     # throughput then reads as a 50% regression, and the gate must FAIL.
-    if [ ! -f "$BENCH" ] || [ ! -f "$CACHE_BENCH" ]; then
-        echo "ci: --gate-test needs $BENCH and $CACHE_BENCH; run the benches first:" >&2
-        echo "ci:   cargo bench --offline -p vbadet-bench --bench scan_parallel --bench cache" >&2
+    if [ ! -f "$BENCH" ] || [ ! -f "$CACHE_BENCH" ] || [ ! -f "$RELOAD_BENCH" ]; then
+        echo "ci: --gate-test needs $BENCH, $CACHE_BENCH and $RELOAD_BENCH; run the benches first:" >&2
+        echo "ci:   cargo bench --offline -p vbadet-bench --bench scan_parallel --bench cache --bench reload" >&2
         exit 1
     fi
     doctored=$(mktemp)
     doctored_cache=$(mktemp)
-    trap 'rm -f "$doctored" "$doctored_cache"' EXIT
+    doctored_reload=$(mktemp)
+    trap 'rm -f "$doctored" "$doctored_cache" "$doctored_reload"' EXIT
     awk '
         /"[A-Za-z0-9_]*docs_per_sec"[ \t]*:/ {
             split($0, half, ":")
@@ -253,6 +322,26 @@ if [ "$GATE_TEST" = 1 ]; then
         exit 1
     fi
     echo "ci: --gate-test ok — the warm-cache gate fails against doctored results"
+
+    # And the reload-latency gate: inflate the churn p99 in a copy of the
+    # reload results past any real 2x-of-steady bound — a hot swap that
+    # stalled traffic would look exactly like this, and must FAIL.
+    awk '
+        /"churn_p99_ms"[ \t]*:/ {
+            split($0, half, ":")
+            value = half[2]
+            trail = (value ~ /,[ \t]*$/) ? "," : ""
+            gsub(/[ \t,]/, "", value)
+            printf "%s: %.3f%s\n", half[1], value * 100, trail
+            next
+        }
+        { print }
+    ' "$RELOAD_BENCH" >"$doctored_reload"
+    if (CI_RELOAD_BENCH="$doctored_reload" run_gates); then
+        echo "ci: --gate-test FAIL — the reload gate passed against doctored results" >&2
+        exit 1
+    fi
+    echo "ci: --gate-test ok — the reload-churn p99 gate fails against doctored results"
     exit 0
 fi
 
@@ -266,10 +355,12 @@ stage cache cache_tests
 stage isolation isolation_tests
 stage serve serve_tests
 stage serve-soak serve_soak
+stage reload-soak reload_soak
 stage clippy cargo clippy --offline --all-targets -- -D warnings
 stage clippy-faultpoints cargo clippy --offline -p vbadet-faultpoint --features faultpoints --all-targets -- -D warnings
 stage bench cargo bench --offline -p vbadet-bench --bench scan_parallel
 stage bench-cache cargo bench --offline -p vbadet-bench --bench cache
+stage bench-reload cargo bench --offline -p vbadet-bench --bench reload
 stage gates run_gates
 
 write_summary

@@ -33,6 +33,10 @@ fn global_guard() -> MutexGuard<'static, ()> {
     #[cfg(feature = "faultpoints")]
     vbadet_faultpoint::clear();
     vbadet::scan::interrupt::reset();
+    // The hot-reload latch is process-global like the drain latch; a
+    // leftover request from a panicked test must not fire in the next
+    // test's accept loop.
+    vbadet::reset_reload_requests();
     guard
 }
 
@@ -41,6 +45,16 @@ fn tiny_detector() -> Detector {
         &DetectorConfig::default(),
         &CorpusSpec::paper().scaled(0.002),
     )
+}
+
+/// A second tiny detector whose trained weights — and therefore save-text
+/// fingerprint — differ from [`tiny_detector`]'s.
+fn tiny_detector_seeded(seed: u64) -> Detector {
+    let config = DetectorConfig {
+        seed,
+        ..DetectorConfig::default()
+    };
+    Detector::train_on_corpus(&config, &CorpusSpec::paper().scaled(0.002))
 }
 
 fn macro_document() -> Vec<u8> {
@@ -120,6 +134,32 @@ impl Client {
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Extracts a bare numeric field (`"key":N`) from a one-line response.
+fn field_u64(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let at = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {line}"));
+    line[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Extracts a string field (`"key":"value"`) from a one-line response.
+fn field_str(line: &str, key: &str) -> String {
+    let tag = format!("\"{key}\":\"");
+    let at = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {line}"));
+    line[at + tag.len()..]
+        .chars()
+        .take_while(|&c| c != '"')
+        .collect()
 }
 
 #[test]
@@ -279,6 +319,249 @@ fn an_oversized_request_line_is_rejected_typed_then_the_connection_closes() {
     });
     assert_eq!(summary.responses, 1);
     assert_eq!(summary.accepted, 0);
+}
+
+#[test]
+fn a_reload_swaps_generations_and_old_cache_entries_become_misses() {
+    let _guard = global_guard();
+    let det = tiny_detector();
+    let next = tiny_detector_seeded(99);
+    let dir = std::env::temp_dir().join(format!("vbadet-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = dir.join("doc.bin");
+    std::fs::write(&doc, macro_document()).unwrap();
+    let model = dir.join("next.model");
+    std::fs::write(&model, next.save()).unwrap();
+
+    // An in-memory result cache, to prove a reload invalidates it: the
+    // bound key embeds the detector fingerprint, so entries written under
+    // generation 1 must be clean misses for generation 2.
+    let policy =
+        ScanPolicy::default().with_cache(std::sync::Arc::new(vbadet::ScanCache::in_memory(64)));
+    let config = ServeConfig::new(policy);
+    let (summary, ()) = with_server(&det, &config, |addr| {
+        let mut c = Client::connect(addr);
+        let line = format!("scan {}", doc.display());
+
+        let before = c.roundtrip("model");
+        assert_eq!(field_u64(&before, "generation"), 1);
+        assert_eq!(field_str(&before, "version"), "startup");
+        let old_fp = field_str(&before, "fingerprint");
+
+        // Two identical scans under generation 1: a miss, then a hit.
+        for _ in 0..2 {
+            let scan = c.roundtrip(&line);
+            assert_eq!(field_u64(&scan, "generation"), 1, "{scan}");
+            assert!(scan.contains("\"kind\":\"macros\""), "{scan}");
+        }
+
+        let reload = c.roundtrip(&format!("reload {}", model.display()));
+        assert!(reload.contains("\"ok\":true"), "{reload}");
+        assert!(reload.contains("\"op\":\"reload\""), "{reload}");
+        assert_eq!(field_u64(&reload, "generation"), 2);
+        let new_fp = field_str(&reload, "fingerprint");
+        assert_ne!(new_fp, old_fp, "distinct models must fingerprint apart");
+
+        let after = c.roundtrip("model");
+        assert_eq!(field_u64(&after, "generation"), 2);
+        assert_eq!(field_str(&after, "fingerprint"), new_fp);
+        assert_eq!(field_str(&after, "version"), model.display().to_string());
+
+        // The same document again: generation 1's cache entry must be a
+        // clean miss for generation 2 (the key embeds the fingerprint),
+        // then the re-scan's insert serves the final request.
+        for _ in 0..2 {
+            let scan = c.roundtrip(&line);
+            assert_eq!(field_u64(&scan, "generation"), 2, "{scan}");
+            assert!(scan.contains("\"kind\":\"macros\""), "{scan}");
+        }
+    });
+
+    assert_eq!(summary.accepted, 4);
+    let snapshot = summary.metrics.unwrap();
+    assert_eq!(
+        snapshot.histograms["cache.hits"].total, 2,
+        "one hit per generation — never across the reload"
+    );
+    assert_eq!(snapshot.histograms["cache.misses"].total, 2);
+    assert_eq!(snapshot.histograms["reload.success"].total, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_malformed_model_is_rejected_typed_and_the_old_generation_serves() {
+    let _guard = global_guard();
+    let det = tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-serve-badmodel-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = dir.join("doc.bin");
+    std::fs::write(&doc, macro_document()).unwrap();
+    let garbage = dir.join("garbage.model");
+    std::fs::write(&garbage, "not a saved detector at all\n").unwrap();
+
+    let config = ServeConfig::new(ScanPolicy::default());
+    let (summary, ()) = with_server(&det, &config, |addr| {
+        let mut c = Client::connect(addr);
+
+        let rejected = c.roundtrip(&format!("reload {}", garbage.display()));
+        assert!(rejected.contains("\"ok\":false"), "{rejected}");
+        assert!(
+            rejected.contains("\"error\":\"reload-failed\""),
+            "{rejected}"
+        );
+        assert!(rejected.contains("loading"), "{rejected}");
+
+        let missing = c.roundtrip(&format!("reload {}", dir.join("absent").display()));
+        assert!(missing.contains("\"error\":\"reload-failed\""), "{missing}");
+        assert!(missing.contains("reading"), "{missing}");
+
+        // The old generation never stopped serving.
+        let model = c.roundtrip("model");
+        assert_eq!(field_u64(&model, "generation"), 1);
+        let scan = c.roundtrip(&format!("scan {}", doc.display()));
+        assert_eq!(field_u64(&scan, "generation"), 1, "{scan}");
+        assert!(scan.contains("\"kind\":\"macros\""), "{scan}");
+    });
+
+    let snapshot = summary.metrics.unwrap();
+    assert_eq!(snapshot.histograms["reload.failed"].total, 2);
+    assert!(!snapshot.histograms.contains_key("reload.success"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_reloads_serialize_and_the_last_swap_wins() {
+    let _guard = global_guard();
+    let det = tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-serve-relrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.model");
+    std::fs::write(&a, tiny_detector_seeded(7).save()).unwrap();
+    let b = dir.join("b.model");
+    std::fs::write(&b, tiny_detector_seeded(8).save()).unwrap();
+
+    const RELOADERS: usize = 4;
+    let config = ServeConfig::new(ScanPolicy::default());
+    let (_, (mut generations, last_fp)) = with_server(&det, &config, |addr| {
+        let replies: Vec<String> = thread::scope(|s| {
+            let handles: Vec<_> = (0..RELOADERS)
+                .map(|i| {
+                    let path = if i % 2 == 0 { &a } else { &b };
+                    s.spawn(move || {
+                        Client::connect(addr).roundtrip(&format!("reload {}", path.display()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for reply in &replies {
+            assert!(reply.contains("\"ok\":true"), "{reply}");
+        }
+        let winner = replies
+            .iter()
+            .max_by_key(|r| field_u64(r, "generation"))
+            .unwrap();
+        let model = Client::connect(addr).roundtrip("model");
+        // Last-wins: whichever reload minted the highest generation is
+        // the one still serving after the dust settles.
+        assert_eq!(
+            field_u64(&model, "generation"),
+            field_u64(winner, "generation")
+        );
+        (
+            replies
+                .iter()
+                .map(|r| field_u64(r, "generation"))
+                .collect::<Vec<u64>>(),
+            (
+                field_str(&model, "fingerprint"),
+                field_str(winner, "fingerprint"),
+            ),
+        )
+    });
+    // Serialized end to end: every reload got its own generation number,
+    // with no gaps and no ties.
+    generations.sort_unstable();
+    assert_eq!(generations, (2..2 + RELOADERS as u64).collect::<Vec<_>>());
+    assert_eq!(last_fp.0, last_fp.1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_sighup_style_reload_request_is_equivalent_to_the_wire_verb() {
+    let _guard = global_guard();
+    let det = tiny_detector();
+    let dir = std::env::temp_dir().join(format!("vbadet-serve-sighup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("rollout.model");
+    std::fs::write(&model, tiny_detector_seeded(42).save()).unwrap();
+
+    let mut config = ServeConfig::new(ScanPolicy::default());
+    // The CLI wires --model here; the signal handler only sets the latch.
+    config.reload_path = Some(model.clone());
+    let (_, ()) = with_server(&det, &config, |addr| {
+        let mut c = Client::connect(addr);
+        assert_eq!(field_u64(&c.roundtrip("model"), "generation"), 1);
+
+        // What the SIGHUP handler does — the accept loop consumes the
+        // latch on its next tick and reloads from `reload_path`.
+        vbadet::request_reload();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let signal_reload = loop {
+            let model = c.roundtrip("model");
+            if field_u64(&model, "generation") == 2 {
+                break model;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "signal-driven reload never landed: {model}"
+            );
+            thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // The wire verb against the same path: one generation further,
+        // same fingerprint — the two paths load the identical model.
+        let wire_reload = c.roundtrip(&format!("reload {}", model.display()));
+        assert_eq!(field_u64(&wire_reload, "generation"), 3);
+        assert_eq!(
+            field_str(&wire_reload, "fingerprint"),
+            field_str(&signal_reload, "fingerprint")
+        );
+        assert_eq!(
+            field_str(&signal_reload, "version"),
+            model.display().to_string()
+        );
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn bind_unix_refuses_to_replace_a_non_socket_file() {
+    let _guard = global_guard();
+    let path = std::env::temp_dir().join(format!("vbadet-notsock-{}", std::process::id()));
+    std::fs::write(&path, b"precious operator data").unwrap();
+
+    let err = match Listener::bind_unix(&path) {
+        Err(e) => e,
+        Ok(_) => panic!("bind over a regular file must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    let msg = err.to_string();
+    assert!(msg.contains("refusing to replace"), "{msg}");
+    assert!(msg.contains("not a socket"), "{msg}");
+    // The refusal means the file survives untouched.
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        b"precious operator data",
+        "the non-socket file must not be unlinked"
+    );
+
+    let _ = std::fs::remove_file(&path);
 }
 
 #[cfg(feature = "faultpoints")]
@@ -456,6 +739,98 @@ mod faults {
         assert_eq!(summary.responses, 3);
         let snapshot = summary.metrics.unwrap();
         assert_eq!(snapshot.histograms["isolate.quarantines"].total, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_reload_during_drain_is_rejected_typed_and_the_drain_completes() {
+        let _guard = global_guard();
+        let det = tiny_detector();
+        let next = tiny_detector_seeded(13);
+        let dir =
+            std::env::temp_dir().join(format!("vbadet-serve-reldrain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = dir.join("doc.bin");
+        std::fs::write(&doc, macro_document()).unwrap();
+        let model = dir.join("next.model");
+        std::fs::write(&model, next.save()).unwrap();
+
+        // Wedge the scan long enough to latch the drain and queue the
+        // reload line behind it on the same connection.
+        configure("scan::full-parse", "sleep(300)").unwrap();
+        let config = ServeConfig::new(ScanPolicy::default());
+        let (summary, (scan, reload)) = with_server(&det, &config, |addr| {
+            let mut c = Client::connect(addr);
+            c.send(&format!("scan {}", doc.display()));
+            thread::sleep(Duration::from_millis(100));
+            // Both land while the scan wedges: the connection thread will
+            // see the reload only after the drain has latched.
+            c.send(&format!("reload {}", model.display()));
+            vbadet::scan::interrupt::request_drain();
+            (c.recv(), c.recv())
+        });
+        // The in-flight scan still finished under its admitted
+        // generation; the reload was refused, not half-applied.
+        assert!(scan.contains("\"kind\":\"macros\""), "{scan}");
+        assert_eq!(field_u64(&scan, "generation"), 1, "{scan}");
+        assert!(reload.contains("\"ok\":false"), "{reload}");
+        assert!(reload.contains("\"error\":\"draining\""), "{reload}");
+        assert!(
+            reload.contains("reload rejected: the service is draining"),
+            "{reload}"
+        );
+        assert!(summary.drained);
+        assert_eq!(summary.responses, 2);
+        let snapshot = summary.metrics.unwrap();
+        assert!(!snapshot.histograms.contains_key("reload.success"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_successful_reload_closes_an_open_breaker() {
+        let _guard = global_guard();
+        let det = tiny_detector();
+        let next = tiny_detector_seeded(21);
+        let dir = std::env::temp_dir().join(format!("vbadet-serve-relbrk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = dir.join("doc.bin");
+        std::fs::write(&doc, macro_document()).unwrap();
+        let model = dir.join("next.model");
+        std::fs::write(&model, next.save()).unwrap();
+
+        // Two injected worker deaths trip the breaker; the long backoff
+        // guarantees only the reload — never the cooldown — can close it.
+        configure("serve::inject-death", "return@1x2").unwrap();
+        let mut config = ServeConfig::new(ScanPolicy::default());
+        config.breaker_threshold = 2;
+        config.breaker_backoff = Duration::from_secs(60);
+
+        let (_, ()) = with_server(&det, &config, |addr| {
+            let mut c = Client::connect(addr);
+            let line = format!("scan {}", doc.display());
+            for _ in 0..2 {
+                let dead = c.roundtrip(&line);
+                assert!(dead.contains("\"class\":\"fatal\""), "{dead}");
+            }
+            let health = c.roundtrip("health");
+            assert!(health.contains("\"breaker\":\"open\""), "{health}");
+
+            // A reload is allowed while the breaker is open — the swap is
+            // the remediation — and a successful one closes it for
+            // everyone, no cooldown, no probe.
+            let reload = c.roundtrip(&format!("reload {}", model.display()));
+            assert!(reload.contains("\"ok\":true"), "{reload}");
+            assert_eq!(field_u64(&reload, "generation"), 2);
+            let health = c.roundtrip("health");
+            assert!(health.contains("\"breaker\":\"closed\""), "{health}");
+
+            // Traffic flows immediately under the new generation.
+            let scan = c.roundtrip(&line);
+            assert_eq!(field_u64(&scan, "generation"), 2, "{scan}");
+            assert!(scan.contains("\"kind\":\"macros\""), "{scan}");
+        });
 
         let _ = std::fs::remove_dir_all(&dir);
     }
