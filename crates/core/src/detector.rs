@@ -104,6 +104,17 @@ pub struct ModuleVerdict {
     pub verdict: Verdict,
 }
 
+/// Reusable per-worker scoring state: the fused extractor's lexer and
+/// token-pass buffers plus the feature and standardized vectors. Cleared
+/// per module, capacity retained, so steady-state scoring allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    fx: vbadet_features::FeatureScratch,
+    features: Vec<f64>,
+    scaled: Vec<f64>,
+}
+
 /// A trained obfuscation detector.
 ///
 /// See the crate-level example. Train either on your own labeled macros
@@ -170,6 +181,47 @@ impl Detector {
     pub fn score(&self, source: &str) -> Verdict {
         let features = self.config.feature_set.extract(source);
         let z = self.scaler.transform(&features);
+        let score = self.model.decision_function(&z);
+        Verdict {
+            obfuscated: score >= 0.0,
+            score,
+        }
+    }
+
+    /// Stage 1 of the split hot path: extracts this detector's feature
+    /// set into `scratch`'s reusable buffers and returns the vector.
+    /// Bit-identical to `config.feature_set.extract(source)`.
+    pub fn extract_with<'s>(&self, scratch: &'s mut ScoreScratch, source: &str) -> &'s [f64] {
+        let v = scratch.fx.extract(self.config.feature_set, source);
+        scratch.features.clear();
+        scratch.features.extend_from_slice(v);
+        &scratch.features
+    }
+
+    /// Stage 2 of the split hot path: standardizes and classifies the
+    /// features last written by [`Detector::extract_with`].
+    pub fn predict_with(&self, scratch: &mut ScoreScratch) -> Verdict {
+        self.scaler
+            .transform_into(&scratch.features, &mut scratch.scaled);
+        let score = self.model.decision_function(&scratch.scaled);
+        Verdict {
+            obfuscated: score >= 0.0,
+            score,
+        }
+    }
+
+    /// Allocation-free equivalent of [`Detector::score`]: fused
+    /// extraction into `scratch`, then in-place standardization and
+    /// classification. Bit-identical verdicts.
+    pub fn score_with(&self, scratch: &mut ScoreScratch, source: &str) -> Verdict {
+        self.extract_with(scratch, source);
+        self.predict_with(scratch)
+    }
+
+    /// Scores a precomputed feature vector (must match this detector's
+    /// feature set width). Oracle API for equivalence tests.
+    pub fn score_features(&self, features: &[f64]) -> Verdict {
+        let z = self.scaler.transform(features);
         let score = self.model.decision_function(&z);
         Verdict {
             obfuscated: score >= 0.0,
@@ -290,6 +342,32 @@ mod tests {
             .find(|v| v.module_name == "Module1")
             .unwrap();
         assert!(module1.verdict.obfuscated);
+    }
+
+    #[test]
+    fn score_with_matches_score_bitwise() {
+        let spec = CorpusSpec::paper().scaled(0.02);
+        let macros = generate_macros(&spec);
+        for set in [FeatureSet::V, FeatureSet::J] {
+            let config = DetectorConfig {
+                feature_set: set,
+                ..DetectorConfig::default()
+            };
+            let detector = Detector::train(
+                &config,
+                macros.iter().map(|m| (m.source.as_str(), m.obfuscated)),
+            );
+            let mut scratch = ScoreScratch::default();
+            for m in macros.iter().take(30) {
+                let fast = detector.score_with(&mut scratch, &m.source);
+                let slow = detector.score(&m.source);
+                assert_eq!(fast.score.to_bits(), slow.score.to_bits(), "{set}");
+                assert_eq!(fast.obfuscated, slow.obfuscated);
+                let features = config.feature_set.extract(&m.source);
+                let oracle = detector.score_features(&features);
+                assert_eq!(fast.score.to_bits(), oracle.score.to_bits(), "{set}");
+            }
+        }
     }
 
     #[test]

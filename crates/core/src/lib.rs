@@ -41,7 +41,9 @@ pub mod signature;
 pub mod threshold;
 
 pub use anti_analysis_scan::{scan_anti_analysis, AntiAnalysisIndicator};
-pub use detector::{ClassifierKind, Detector, DetectorConfig, ModuleVerdict, Verdict};
+pub use detector::{
+    ClassifierKind, Detector, DetectorConfig, ModuleVerdict, ScoreScratch, Verdict,
+};
 pub use error::DetectError;
 pub use extract::{
     extract_macros, extract_macros_bounded, extract_macros_with_limits, ContainerKind,

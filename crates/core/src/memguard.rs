@@ -24,11 +24,26 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static LIVE: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Heap bytes currently live in this process, or zero when
 /// [`TrackingAllocator`] is not installed as the global allocator.
 pub fn live_bytes() -> u64 {
     LIVE.load(Ordering::Relaxed)
+}
+
+/// Cumulative `(allocation count, allocated bytes)` since process start
+/// (deallocations never decrease it), or `(0, 0)` when
+/// [`TrackingAllocator`] is not installed. The scan engine snapshots this
+/// around each document to report `alloc.count_per_doc` /
+/// `alloc.bytes_per_doc` histograms. `realloc` growth counts as one
+/// allocation of the delta; shrinks are free.
+pub fn cumulative_allocs() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
 }
 
 /// A pass-through global allocator that counts live bytes.
@@ -50,6 +65,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         let p = System.alloc(layout);
         if !p.is_null() {
             LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
         p
     }
@@ -58,6 +75,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
             LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
         p
     }
@@ -74,6 +93,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
             let new = new_size as u64;
             if new >= old {
                 LIVE.fetch_add(new - old, Ordering::Relaxed);
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+                ALLOC_BYTES.fetch_add(new - old, Ordering::Relaxed);
             } else {
                 LIVE.fetch_sub(old - new, Ordering::Relaxed);
             }
@@ -95,10 +116,12 @@ mod tests {
 
     #[test]
     fn counter_tracks_a_manual_alloc_dealloc_cycle() {
-        // Drive the allocator directly rather than installing it.
+        // Drive the allocator directly rather than installing it. One
+        // test owns all counter traffic, so the deltas are exact.
         let a = TrackingAllocator;
         let layout = Layout::from_size_align(4096, 8).unwrap();
         let before = live_bytes();
+        let (count_before, bytes_before) = cumulative_allocs();
         let p = unsafe { a.alloc(layout) };
         assert!(!p.is_null());
         assert_eq!(live_bytes() - before, 4096);
@@ -108,5 +131,10 @@ mod tests {
         let layout = Layout::from_size_align(8192, 8).unwrap();
         unsafe { a.dealloc(p, layout) };
         assert_eq!(live_bytes(), before);
+        // Cumulative counters never shrink: alloc (4096) + realloc growth
+        // (4096) = 2 allocations, 8192 bytes; the dealloc changed nothing.
+        let (count_after, bytes_after) = cumulative_allocs();
+        assert_eq!(count_after - count_before, 2);
+        assert_eq!(bytes_after - bytes_before, 8192);
     }
 }

@@ -57,7 +57,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
-use crate::detector::{Detector, ModuleVerdict};
+use crate::detector::{Detector, ModuleVerdict, ScoreScratch};
 use crate::extract::{extract_macros_bounded, ExtractionStatus};
 use crate::journal::{JournalReplay, ScanJournal};
 use crate::limits::ScanLimits;
@@ -71,6 +71,64 @@ pub mod isolate;
 
 pub use cache::ScanCache;
 pub use isolate::IsolateConfig;
+
+thread_local! {
+    /// One [`ScoreScratch`] per scanning thread: the sequential caller,
+    /// each pool worker, each isolate worker process, and each service
+    /// worker keep their extraction buffers warm across documents, so
+    /// steady-state scoring performs no heap allocation. Thread-local
+    /// (rather than threaded through the call stack) keeps the buffers
+    /// outside the `catch_unwind` containment boundaries; every use
+    /// clears them on entry, so a panicked document cannot poison the
+    /// next one.
+    static SCORE_SCRATCH: std::cell::RefCell<ScoreScratch> =
+        std::cell::RefCell::new(ScoreScratch::default());
+}
+
+/// Scores one module through the per-thread scratch, timing the two hot
+/// stages separately. Verdicts are bit-identical to `detector.score`.
+fn score_module(detector: &Detector, metrics: &MetricsSink, code: &str) -> crate::Verdict {
+    SCORE_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        {
+            let _t = metrics.time(Stage::FeaturesNs);
+            detector.extract_with(scratch, code);
+        }
+        let _t = metrics.time(Stage::PredictNs);
+        detector.predict_with(scratch)
+    })
+}
+
+/// Records this document's heap-allocation footprint on drop: the delta
+/// of [`memguard::cumulative_allocs`](crate::memguard::cumulative_allocs)
+/// across the scan becomes the `alloc.count_per_doc` /
+/// `alloc.bytes_per_doc` histograms. In a process without the tracking
+/// allocator the counters never move and nothing is recorded.
+struct AllocGuard<'a> {
+    metrics: &'a MetricsSink,
+    start: (u64, u64),
+}
+
+impl<'a> AllocGuard<'a> {
+    fn new(metrics: &'a MetricsSink) -> Self {
+        AllocGuard {
+            metrics,
+            start: crate::memguard::cumulative_allocs(),
+        }
+    }
+}
+
+impl Drop for AllocGuard<'_> {
+    fn drop(&mut self) {
+        let (count, bytes) = crate::memguard::cumulative_allocs();
+        let dc = count.saturating_sub(self.start.0);
+        if dc > 0 {
+            self.metrics.record(Stage::AllocCountPerDoc, dc);
+            self.metrics
+                .record(Stage::AllocBytesPerDoc, bytes.saturating_sub(self.start.1));
+        }
+    }
+}
 
 /// Graceful-drain latch for batch scans.
 ///
@@ -653,6 +711,7 @@ pub fn scan_bytes_with_policy(
 ) -> ScanOutcome {
     let _quiet = quiet::QuietPanicGuard::new();
     let _doc_timer = policy.metrics.time(Stage::DocNs);
+    let _alloc_guard = AllocGuard::new(&policy.metrics);
     let budget = policy.budget();
     policy.metrics.count(Counter::LadderFullAttempts, 1);
     let (class, detail) = match run_rung(detector, bytes, &policy.limits, &budget, true) {
@@ -712,7 +771,7 @@ pub fn scan_bytes_with_policy(
                 .iter()
                 .map(|m| ModuleVerdict {
                     module_name: m.name.clone(),
-                    verdict: detector.score(&m.code),
+                    verdict: score_module(detector, &policy.metrics, &m.code),
                 })
                 .collect();
             policy.metrics.count(Counter::LadderRecovered, 1);
@@ -775,13 +834,12 @@ fn scan_bytes_bounded(
             if extraction.macros.is_empty() {
                 return ScanOutcome::Clean;
             }
-            let _score_timer = budget.metrics().time(Stage::ScoreNs);
             let verdicts = extraction
                 .macros
                 .iter()
                 .map(|m| ModuleVerdict {
                     module_name: m.module_name.clone(),
-                    verdict: detector.score(&m.code),
+                    verdict: score_module(detector, budget.metrics(), &m.code),
                 })
                 .collect();
             match extraction.status {

@@ -32,9 +32,36 @@ pub fn shannon_entropy(text: &str) -> f64 {
         .sum()
 }
 
+/// Shannon entropy from a precomputed character histogram: `counts` must
+/// yield the non-zero per-character counts in ascending character order
+/// (as [`vbadet_vba::SourceStats::char_counts`] does) and `total` their
+/// sum. Bit-identical to [`shannon_entropy`] on the same text, because the
+/// term sequence matches the `BTreeMap` iteration order above.
+pub fn entropy_from_counts(counts: impl Iterator<Item = u64>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .map(|n| {
+            let p = n as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counts_path_matches_text_path_bitwise() {
+        for text in ["", "aaaa", "ab", "hello \u{2603} world\r\n\u{e9}"] {
+            let a = vbadet_vba::MacroAnalysis::new(text);
+            let fused = entropy_from_counts(a.stats().char_counts(), a.stats().char_len);
+            assert_eq!(fused.to_bits(), shannon_entropy(text).to_bits(), "{text:?}");
+        }
+    }
 
     #[test]
     fn uniform_alphabet_hits_log2_n() {

@@ -1,0 +1,303 @@
+//! Token-stream passes shared by the fused J/V extractors.
+//!
+//! Everything here walks the contiguous [`SpanToken`] slice of a
+//! [`MacroAnalysis`] — never the source text — and writes into reusable
+//! [`PassScratch`] buffers, so steady-state extraction allocates nothing.
+//! Each quantity is accumulated in the exact order the historical
+//! extractors iterated it, keeping every derived `f64` bit-identical to
+//! the reference implementation (see `crate::reference`).
+
+use vbadet_vba::{functions, FunctionCategory, MacroAnalysis, SpanKind, SpanToken};
+
+/// Reusable buffers for the token passes (cleared per document, capacity
+/// retained).
+#[derive(Debug, Default)]
+pub struct PassScratch {
+    arg_spans: Vec<(usize, usize)>,
+    ident_cand: Vec<(u64, u32)>,
+    ident_first: Vec<u32>,
+    pub(crate) ident_lengths: Vec<f64>,
+}
+
+/// Quantities derived from one streaming pass over the token slice:
+/// call sites (with category counts), string operators, and procedure
+/// bodies.
+#[derive(Debug, Default)]
+pub(crate) struct TokenDerived {
+    /// Number of call sites (J7).
+    pub call_count: usize,
+    /// Calls per function category, V8–V12 order.
+    pub cat_counts: [f64; 5],
+    /// `&`/`+`/`=` operator tokens (V5).
+    pub string_ops: usize,
+    /// Closed procedure bodies (J18/J20).
+    pub body_count: usize,
+    /// Characters across closed bodies, accumulated in body order (J18/J19).
+    pub body_chars: f64,
+}
+
+fn is_significant(t: &SpanToken) -> bool {
+    !matches!(t.kind, SpanKind::Comment(_) | SpanKind::Newline)
+}
+
+/// Whether the *previous significant token* makes an identifier a
+/// declaration name rather than a call.
+fn is_decl_keyword(k: &str) -> bool {
+    ["sub", "function", "property", "dim", "const", "as"]
+        .iter()
+        .any(|d| k.eq_ignore_ascii_case(d))
+}
+
+/// One pass over the tokens: call sites + categories, string operators,
+/// procedure bodies. Streaming equivalent of the `call_sites()` /
+/// `string_operator_count()` / `procedure_body_spans()` views.
+pub(crate) fn token_derived(analysis: &MacroAnalysis) -> TokenDerived {
+    let source = analysis.source();
+    let text = |t: &SpanToken| &source[t.start..t.end];
+    // `iter::Sum for f64` folds from -0.0, so the reference's body-char
+    // sum is -0.0 when no body exists — and that sign bit survives into
+    // J19. Start from the same identity to stay bit-identical.
+    let mut d = TokenDerived {
+        body_chars: -0.0,
+        ..TokenDerived::default()
+    };
+    // Call-site machine: an identifier is "pending" until the next
+    // significant token decides paren-call vs statement-position builtin.
+    let mut pending: Option<SpanToken> = None;
+    let mut prev_sig: Option<SpanToken> = None;
+    let mut open_body: Option<usize> = None;
+
+    let resolve = |d: &mut TokenDerived, p: SpanToken, followed_by_paren: bool| {
+        let name = &source[p.start..p.end];
+        if followed_by_paren || functions::is_builtin(name) {
+            d.call_count += 1;
+            if let Some(cat) = functions::categorize(name) {
+                let idx = match cat {
+                    FunctionCategory::Text => 0,
+                    FunctionCategory::Arithmetic => 1,
+                    FunctionCategory::TypeConversion => 2,
+                    FunctionCategory::Financial => 3,
+                    FunctionCategory::Rich => 4,
+                };
+                d.cat_counts[idx] += 1.0;
+            }
+        }
+    };
+
+    for t in analysis.tokens() {
+        if matches!(t.kind, SpanKind::Operator("&" | "+" | "=")) {
+            d.string_ops += 1;
+        }
+        if !is_significant(t) {
+            continue;
+        }
+        if let Some(p) = pending.take() {
+            resolve(&mut d, p, matches!(t.kind, SpanKind::Operator("(")));
+        }
+        match t.kind {
+            SpanKind::Identifier => {
+                let declared = matches!(prev_sig, Some(p) if matches!(p.kind, SpanKind::Keyword)
+                    && is_decl_keyword(text(&p)));
+                if !declared {
+                    pending = Some(*t);
+                }
+            }
+            SpanKind::Keyword => {
+                let k = text(t);
+                if k.eq_ignore_ascii_case("sub") || k.eq_ignore_ascii_case("function") {
+                    let prev_is = |name: &str| {
+                        matches!(prev_sig, Some(p) if matches!(p.kind, SpanKind::Keyword)
+                            && text(&p).eq_ignore_ascii_case(name))
+                    };
+                    if prev_is("declare") {
+                        // Prototype, not a body.
+                    } else if prev_is("end") {
+                        if let Some(start) = open_body.take() {
+                            d.body_count += 1;
+                            d.body_chars += (t.char_end - start) as f64;
+                        }
+                    } else if prev_is("exit") {
+                        // `Exit Sub` keeps the procedure open.
+                    } else if open_body.is_none() {
+                        open_body = Some(t.char_start);
+                    }
+                }
+            }
+            _ => {}
+        }
+        prev_sig = Some(*t);
+    }
+    if let Some(p) = pending.take() {
+        resolve(&mut d, p, false);
+    }
+    d
+}
+
+/// J9: character lengths of top-level call arguments, returned as the
+/// sequential `(sum, count)` the reference `mean()` accumulated.
+///
+/// Matches the historical walk exactly: calls are `Identifier` tokens
+/// *immediately* followed by `(` in the raw stream (comments/newlines
+/// break adjacency, unlike `call_sites()`), argument spans are trimmed,
+/// empty arguments skipped, unclosed calls contribute nothing.
+pub(crate) fn arg_length_stats(
+    analysis: &MacroAnalysis,
+    scratch: &mut PassScratch,
+) -> (f64, usize) {
+    let tokens = analysis.tokens();
+    let source = analysis.source();
+    let (mut sum, mut count) = (0.0f64, 0usize);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_call_open = matches!(tokens[i].kind, SpanKind::Identifier)
+            && matches!(
+                tokens.get(i + 1).map(|t| t.kind),
+                Some(SpanKind::Operator("("))
+            );
+        if !is_call_open {
+            i += 1;
+            continue;
+        }
+        // Find the matching close paren, collecting top-level comma splits.
+        let open = i + 1;
+        let mut depth = 0usize;
+        let mut arg_start = tokens[open].end;
+        let mut j = open;
+        scratch.arg_spans.clear();
+        let mut closed = false;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                SpanKind::Operator("(") => depth += 1,
+                SpanKind::Operator(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        scratch.arg_spans.push((arg_start, tokens[j].start));
+                        closed = true;
+                        break;
+                    }
+                }
+                SpanKind::Operator(",") if depth == 1 => {
+                    scratch.arg_spans.push((arg_start, tokens[j].start));
+                    arg_start = tokens[j].end;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if closed {
+            for &(s, e) in &scratch.arg_spans {
+                let text = source[s..e].trim();
+                if !text.is_empty() {
+                    sum += text.chars().count() as f64;
+                    count += 1;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    (sum, count)
+}
+
+/// FNV-1a over the ASCII-lowercase folding of `name`'s bytes.
+fn folded_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// V14/V15: distinct user identifier lengths in first-occurrence order —
+/// the dedup semantics of `identifiers()` (case-insensitive, builtins
+/// excluded) without per-occurrence `String` keys. Fills
+/// `scratch.ident_lengths`.
+pub(crate) fn ident_lengths<'s>(
+    analysis: &MacroAnalysis,
+    scratch: &'s mut PassScratch,
+) -> &'s [f64] {
+    let source = analysis.source();
+    let tokens = analysis.tokens();
+    scratch.ident_cand.clear();
+    scratch.ident_first.clear();
+    scratch.ident_lengths.clear();
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.kind, SpanKind::Identifier) {
+            let name = &source[t.start..t.end];
+            if !functions::is_builtin(name) {
+                scratch.ident_cand.push((folded_hash(name), i as u32));
+            }
+        }
+    }
+    // Group by hash; within a group (already in occurrence order) accept
+    // an element only if no earlier accepted element matches
+    // case-insensitively. Hash collisions across distinct names are
+    // resolved by the string compare, so the result is exact.
+    scratch.ident_cand.sort_unstable();
+    let cand = &scratch.ident_cand;
+    let mut g = 0usize;
+    while g < cand.len() {
+        let mut end = g + 1;
+        while end < cand.len() && cand[end].0 == cand[g].0 {
+            end += 1;
+        }
+        for k in g..end {
+            let tk = &tokens[cand[k].1 as usize];
+            let name = &source[tk.start..tk.end];
+            let dup = cand[g..k].iter().any(|&(_, fi)| {
+                let ft = &tokens[fi as usize];
+                source[ft.start..ft.end].eq_ignore_ascii_case(name)
+            });
+            if !dup {
+                scratch.ident_first.push(cand[k].1);
+            }
+        }
+        g = end;
+    }
+    // Restore first-occurrence (document) order.
+    scratch.ident_first.sort_unstable();
+    for &i in &scratch.ident_first {
+        scratch
+            .ident_lengths
+            .push(tokens[i as usize].char_len() as f64);
+    }
+    &scratch.ident_lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_derived_matches_views() {
+        let src = "Sub A()\r\n'c\r\nx = Chr(65) & \"s\"\r\nShell p, 1\r\nExit Sub\r\nEnd Sub\r\n\
+                   Declare Function F Lib \"k\" ()\r\n";
+        let a = MacroAnalysis::new(src);
+        let d = token_derived(&a);
+        assert_eq!(d.call_count, a.call_sites().len());
+        assert_eq!(d.string_ops, a.string_operator_count());
+        let bodies = a.procedure_body_spans();
+        assert_eq!(d.body_count, bodies.len());
+        let expect: f64 = bodies
+            .iter()
+            .map(|&(s, e)| src[s..e].chars().count() as f64)
+            .sum();
+        assert_eq!(d.body_chars.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn ident_dedup_matches_identifiers_view() {
+        let src = "Dim Alpha\r\nalpha = ALPHA + beta\r\nx = Chr(1)\r\ncaf\u{e9} = caf\u{c9}\r\n";
+        let a = MacroAnalysis::new(src);
+        let mut s = PassScratch::default();
+        let lens: Vec<f64> = ident_lengths(&a, &mut s).to_vec();
+        let expect: Vec<f64> = a
+            .identifiers()
+            .iter()
+            .map(|i| i.chars().count() as f64)
+            .collect();
+        assert_eq!(lens, expect);
+    }
+}

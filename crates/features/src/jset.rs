@@ -3,10 +3,17 @@
 //! Aebersold et al. \[26\]) and adapted to VBA as described in §V: J14 uses a
 //! 150-character threshold (VBA has no minification), and JS-only features
 //! (e.g. `eval()` counts) are omitted — exactly the 20 rows of Table VI.
+//!
+//! The extractor is *fused*: every character-level quantity (counts,
+//! whitespace, entropy histogram, line lengths, word statistics) comes
+//! from the accumulators the lexer filled in its single pass, and the
+//! remaining quantities come from token-slice walks — the source text is
+//! never re-walked. `crate::reference` keeps the historical multi-pass
+//! implementation as a bit-equivalence oracle.
 
-use crate::entropy::shannon_entropy;
-use crate::mean;
-use vbadet_vba::{MacroAnalysis, TokenKind};
+use crate::entropy::entropy_from_counts;
+use crate::fused::{arg_length_stats, token_derived, PassScratch};
+use vbadet_vba::MacroAnalysis;
 
 /// Number of J features.
 pub const J_DIM: usize = 20;
@@ -42,10 +49,18 @@ pub fn j_features(source: &str) -> [f64; J_DIM] {
 
 /// Extracts J1–J20 from an existing lexical analysis.
 pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
-    let source = analysis.source();
-    let total_chars = analysis.char_len() as f64;
-    let lines = analysis.lines();
-    let line_count = lines.len() as f64;
+    j_features_fused(analysis, &mut PassScratch::default())
+}
+
+/// Fused extraction into caller-provided scratch buffers (the scan hot
+/// path reuses one [`PassScratch`] per worker).
+pub(crate) fn j_features_fused(
+    analysis: &MacroAnalysis,
+    scratch: &mut PassScratch,
+) -> [f64; J_DIM] {
+    let stats = analysis.stats();
+    let total_chars = stats.char_len as f64;
+    let line_count = stats.line_count as f64;
 
     let j1 = total_chars;
     let j2 = if line_count == 0.0 {
@@ -55,42 +70,45 @@ pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
     };
     let j3 = line_count;
 
-    let strings = analysis.strings();
-    let j4 = strings.len() as f64;
+    let string_count = analysis.string_count();
+    let j4 = string_count as f64;
 
-    let words = analysis.words();
-    let comment_words = analysis.comment_words();
-    let all_word_count = (words.len() + comment_words.len()) as f64;
-    let readable = words
-        .iter()
-        .chain(comment_words.iter())
-        .filter(|w| is_human_readable(w))
-        .count() as f64;
+    let all_word_count = (stats.code_words + stats.comment_words) as f64;
+    let readable = stats.readable_words as f64;
     let j5 = if all_word_count == 0.0 {
         0.0
     } else {
         readable / all_word_count
     };
 
-    let whitespace = source.chars().filter(|c| c.is_whitespace()).count() as f64;
     let j6 = if total_chars == 0.0 {
         0.0
     } else {
-        whitespace / total_chars
+        stats.whitespace as f64 / total_chars
     };
 
-    let calls = analysis.call_sites();
+    let derived = token_derived(analysis);
     let j7 = if all_word_count == 0.0 {
         0.0
     } else {
-        calls.len() as f64 / all_word_count
+        derived.call_count as f64 / all_word_count
     };
 
-    let j8 = mean(strings.iter().map(|s| s.chars().count() as f64));
-    let j9 = mean(argument_lengths(analysis).into_iter());
+    // J8: `string_len_sum` was accumulated string-by-string in token
+    // order — the same sequential sum `mean()` performed.
+    let j8 = if string_count == 0 {
+        0.0
+    } else {
+        stats.string_len_sum / string_count as f64
+    };
+    let (arg_sum, arg_count) = arg_length_stats(analysis, scratch);
+    let j9 = if arg_count == 0 {
+        0.0
+    } else {
+        arg_sum / arg_count as f64
+    };
 
-    let comments = analysis.comments();
-    let j10 = comments.len() as f64;
+    let j10 = analysis.comment_count() as f64;
     let j11 = if line_count == 0.0 {
         0.0
     } else {
@@ -101,138 +119,47 @@ pub fn j_features_from(analysis: &MacroAnalysis) -> [f64; J_DIM] {
     let j13 = if all_word_count == 0.0 {
         0.0
     } else {
-        words.len() as f64 / all_word_count
+        stats.code_words as f64 / all_word_count
     };
 
-    let long_lines = lines.iter().filter(|l| l.chars().count() > 150).count() as f64;
     let j14 = if line_count == 0.0 {
         0.0
     } else {
-        long_lines / line_count
+        stats.long_lines as f64 / line_count
     };
 
-    let j15 = shannon_entropy(source);
+    let j15 = entropy_from_counts(stats.char_counts(), stats.char_len);
     let j16 = if total_chars == 0.0 {
         0.0
     } else {
-        analysis.string_chars() as f64 / total_chars
+        stats.string_chars as f64 / total_chars
     };
 
-    let backslashes = source.chars().filter(|&c| c == '\\').count() as f64;
     let j17 = if total_chars == 0.0 {
         0.0
     } else {
-        backslashes / total_chars
+        stats.backslashes as f64 / total_chars
     };
 
-    let bodies = analysis.procedure_body_spans();
-    let body_chars: f64 = bodies
-        .iter()
-        .map(|&(s, e)| source[s..e].chars().count() as f64)
-        .sum();
-    let j18 = if bodies.is_empty() {
+    let j18 = if derived.body_count == 0 {
         0.0
     } else {
-        body_chars / bodies.len() as f64
+        derived.body_chars / derived.body_count as f64
     };
     let j19 = if total_chars == 0.0 {
         0.0
     } else {
-        body_chars / total_chars
+        derived.body_chars / total_chars
     };
     let j20 = if total_chars == 0.0 {
         0.0
     } else {
-        bodies.len() as f64 / total_chars
+        derived.body_count as f64 / total_chars
     };
 
     [
         j1, j2, j3, j4, j5, j6, j7, j8, j9, j10, j11, j12, j13, j14, j15, j16, j17, j18, j19, j20,
     ]
-}
-
-/// A word "reads like language": alphabetic, bounded length, contains a
-/// vowel, and has no long consonant run (Likarish et al.'s human-readable
-/// property, operationalized).
-fn is_human_readable(word: &str) -> bool {
-    if word.len() < 2 || word.len() > 15 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
-        return false;
-    }
-    let lower = word.to_ascii_lowercase();
-    let is_vowel = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
-    if !lower.chars().any(is_vowel) {
-        return false;
-    }
-    let mut run = 0usize;
-    for c in lower.chars() {
-        if is_vowel(c) {
-            run = 0;
-        } else {
-            run += 1;
-            if run > 4 {
-                return false;
-            }
-        }
-    }
-    true
-}
-
-/// Character lengths of call arguments: for each call-site `name(…)`, the
-/// top-level comma-separated argument spans.
-fn argument_lengths(analysis: &MacroAnalysis) -> Vec<f64> {
-    let tokens = analysis.tokens();
-    let source = analysis.source();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        let is_call_open = matches!(tokens[i].kind, TokenKind::Identifier(_))
-            && matches!(
-                tokens.get(i + 1).map(|t| &t.kind),
-                Some(TokenKind::Operator("("))
-            );
-        if !is_call_open {
-            i += 1;
-            continue;
-        }
-        // Find the matching close paren, collecting top-level comma splits.
-        let open = i + 1;
-        let mut depth = 0usize;
-        let mut arg_start = tokens[open].end;
-        let mut j = open;
-        let mut spans: Vec<(usize, usize)> = Vec::new();
-        let mut closed = false;
-        while j < tokens.len() {
-            match &tokens[j].kind {
-                TokenKind::Operator("(") => depth += 1,
-                TokenKind::Operator(")") => {
-                    depth -= 1;
-                    if depth == 0 {
-                        spans.push((arg_start, tokens[j].start));
-                        closed = true;
-                        break;
-                    }
-                }
-                TokenKind::Operator(",") if depth == 1 => {
-                    spans.push((arg_start, tokens[j].start));
-                    arg_start = tokens[j].end;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        if closed {
-            for (s, e) in spans {
-                let text = source[s..e].trim();
-                if !text.is_empty() {
-                    out.push(text.chars().count() as f64);
-                }
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -266,16 +193,6 @@ mod tests {
         assert_eq!(j[3], 3.0); // J4 strings
         assert_eq!(j[9], 1.0); // J10 comments
         assert!(j[5] > 0.0 && j[5] < 1.0); // J6 whitespace share
-    }
-
-    #[test]
-    fn human_readable_heuristic() {
-        for w in ["hello", "Program", "counter", "open"] {
-            assert!(is_human_readable(w), "{w}");
-        }
-        for w in ["xqzptvk", "ueiwjfdjkfdsv", "a", "x1b2", "abcdefghijklmnop"] {
-            assert!(!is_human_readable(w), "{w}");
-        }
     }
 
     #[test]
@@ -318,5 +235,23 @@ mod tests {
         assert!(j[17] > 0.0, "J18 body length");
         assert!(j[18] > 0.9, "J19 nearly all chars in one body: {}", j[18]);
         assert!(j[19] > 0.0, "J20 definitions per char");
+    }
+
+    #[test]
+    fn fused_matches_reference_bitwise() {
+        for src in [
+            SAMPLE,
+            "",
+            "x = 1",
+            "Rem c\r\n' d\r\nSub A()\nExit Sub\nEnd Sub\n",
+            "r = F(1, \"abcdefgh\") ' args\r\n",
+        ] {
+            let a = MacroAnalysis::new(src);
+            let fused = j_features_from(&a);
+            let reference = crate::reference::j_features_from(&a);
+            for (i, (f, r)) in fused.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "J{} differs on {src:?}", i + 1);
+            }
+        }
     }
 }

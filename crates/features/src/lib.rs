@@ -24,10 +24,14 @@
 //! ```
 
 pub mod entropy;
+mod fused;
 pub mod jset;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod vset;
 
-pub use entropy::shannon_entropy;
+pub use entropy::{entropy_from_counts, shannon_entropy};
+pub use fused::PassScratch;
 pub use jset::{j_features, j_features_from, J_DIM, J_NAMES};
 pub use vset::{v_features, v_features_from, V_DIM, V_NAMES};
 
@@ -63,6 +67,42 @@ impl FeatureSet {
             FeatureSet::V => v_features(source).to_vec(),
             FeatureSet::J => j_features(source).to_vec(),
         }
+    }
+}
+
+/// Reusable per-worker extraction state: the lexer buffers, the token-pass
+/// buffers, and the output vector — cleared per document, capacity
+/// retained, so steady-state extraction performs no heap allocation.
+///
+/// ```
+/// use vbadet_features::{FeatureScratch, FeatureSet};
+/// let mut scratch = FeatureScratch::default();
+/// let v = scratch.extract(FeatureSet::V, "x = Chr(65)").to_vec();
+/// assert_eq!(v, FeatureSet::V.extract("x = Chr(65)"));
+/// ```
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    lex: vbadet_vba::LexScratch,
+    pass: PassScratch,
+    out: Vec<f64>,
+}
+
+impl FeatureScratch {
+    /// Extracts `set` from `source` into the reusable output buffer.
+    /// Identical (bit-for-bit) to [`FeatureSet::extract`].
+    pub fn extract(&mut self, set: FeatureSet, source: &str) -> &[f64] {
+        let analysis = vbadet_vba::MacroAnalysis::with_scratch(source, &mut self.lex);
+        self.out.clear();
+        match set {
+            FeatureSet::V => self
+                .out
+                .extend_from_slice(&vset::v_features_fused(&analysis, &mut self.pass)),
+            FeatureSet::J => self
+                .out
+                .extend_from_slice(&jset::j_features_fused(&analysis, &mut self.pass)),
+        }
+        analysis.recycle(&mut self.lex);
+        &self.out
     }
 }
 

@@ -17,10 +17,16 @@
 //! | V13 | Shannon entropy of the file | O1 |
 //! | V14 | avg. length of identifiers | O1 |
 //! | V15 | var. length of identifiers | O1 |
+//!
+//! Like [`crate::jset`], the extractor is fused: it reads the lexer's
+//! single-pass accumulators and token-slice passes only, with
+//! `crate::reference` holding the historical implementation as the
+//! bit-equivalence oracle.
 
-use crate::entropy::shannon_entropy;
+use crate::entropy::entropy_from_counts;
+use crate::fused::{ident_lengths, token_derived, PassScratch};
 use crate::{mean, variance};
-use vbadet_vba::{FunctionCategory, MacroAnalysis};
+use vbadet_vba::MacroAnalysis;
 
 /// Number of V features.
 pub const V_DIM: usize = 15;
@@ -52,44 +58,42 @@ pub fn v_features(source: &str) -> [f64; V_DIM] {
 /// Extracts V1–V15 from an existing lexical analysis (avoids re-tokenizing
 /// when multiple feature sets are extracted from the same macro).
 pub fn v_features_from(analysis: &MacroAnalysis) -> [f64; V_DIM] {
-    let code_chars = analysis.code_chars() as f64;
-    let comment_chars = analysis.comment_chars() as f64;
+    v_features_fused(analysis, &mut PassScratch::default())
+}
 
-    let word_lengths: Vec<f64> = analysis
-        .words()
-        .iter()
-        .map(|w| w.chars().count() as f64)
-        .collect();
-    let v3 = mean(word_lengths.iter().copied());
-    let v4 = variance(&word_lengths);
+/// Fused extraction into caller-provided scratch buffers (the scan hot
+/// path reuses one [`PassScratch`] per worker).
+pub(crate) fn v_features_fused(
+    analysis: &MacroAnalysis,
+    scratch: &mut PassScratch,
+) -> [f64; V_DIM] {
+    let stats = analysis.stats();
+    let code_chars = stats.char_len.saturating_sub(stats.comment_span_chars) as f64;
+    let comment_chars = stats.comment_body_chars as f64;
 
+    let v3 = mean(stats.word_lengths.iter().copied());
+    let v4 = variance(&stats.word_lengths);
+
+    let derived = token_derived(analysis);
     // V5 is normalized by V1 per §IV.C.4 ("we use V1 as the normalization
     // unit"): raw operator counts would just re-measure code size.
-    let v5 = analysis.string_operator_count() as f64 / code_chars.max(1.0);
+    let v5 = derived.string_ops as f64 / code_chars.max(1.0);
 
-    let total_chars = analysis.char_len() as f64;
+    let total_chars = stats.char_len as f64;
     let v6 = if total_chars == 0.0 {
         0.0
     } else {
-        analysis.string_chars() as f64 / total_chars
+        stats.string_chars as f64 / total_chars
     };
-    let v7 = mean(analysis.strings().iter().map(|s| s.chars().count() as f64));
+    // V7: same sequential token-order sum as J8.
+    let string_count = analysis.string_count();
+    let v7 = if string_count == 0 {
+        0.0
+    } else {
+        stats.string_len_sum / string_count as f64
+    };
 
-    let calls = analysis.call_sites();
-    let total_calls = calls.len() as f64;
-    let mut category_counts = [0.0f64; 5];
-    for call in &calls {
-        if let Some(cat) = vbadet_vba::functions::categorize(call) {
-            let idx = match cat {
-                FunctionCategory::Text => 0,
-                FunctionCategory::Arithmetic => 1,
-                FunctionCategory::TypeConversion => 2,
-                FunctionCategory::Financial => 3,
-                FunctionCategory::Rich => 4,
-            };
-            category_counts[idx] += 1.0;
-        }
-    }
+    let total_calls = derived.call_count as f64;
     let ratio = |n: f64| {
         if total_calls == 0.0 {
             0.0
@@ -98,15 +102,11 @@ pub fn v_features_from(analysis: &MacroAnalysis) -> [f64; V_DIM] {
         }
     };
 
-    let v13 = shannon_entropy(analysis.source());
+    let v13 = entropy_from_counts(stats.char_counts(), stats.char_len);
 
-    let ident_lengths: Vec<f64> = analysis
-        .identifiers()
-        .iter()
-        .map(|i| i.chars().count() as f64)
-        .collect();
-    let v14 = mean(ident_lengths.iter().copied());
-    let v15 = variance(&ident_lengths);
+    let idents = ident_lengths(analysis, scratch);
+    let v14 = mean(idents.iter().copied());
+    let v15 = variance(idents);
 
     [
         code_chars,
@@ -116,11 +116,11 @@ pub fn v_features_from(analysis: &MacroAnalysis) -> [f64; V_DIM] {
         v5,
         v6,
         v7,
-        ratio(category_counts[0]),
-        ratio(category_counts[1]),
-        ratio(category_counts[2]),
-        ratio(category_counts[3]),
-        ratio(category_counts[4]),
+        ratio(derived.cat_counts[0]),
+        ratio(derived.cat_counts[1]),
+        ratio(derived.cat_counts[2]),
+        ratio(derived.cat_counts[3]),
+        ratio(derived.cat_counts[4]),
         v13,
         v14,
         v15,
@@ -238,5 +238,22 @@ mod tests {
         let v = v_features("x = \"aaaaaaaaaaaaaaaaaaaaaaaa\"");
         assert!(v[5] > 0.5, "most chars are in the string: {}", v[5]);
         assert_eq!(v[6], 24.0);
+    }
+
+    #[test]
+    fn fused_matches_reference_bitwise() {
+        for src in [
+            PLAIN,
+            "",
+            "x = Chr(65) & Mid(s, 1, 2)",
+            "Dim Alpha\r\nalpha = ALPHA + beta$\r\n' note\r\nRem more\r\n",
+        ] {
+            let a = MacroAnalysis::new(src);
+            let fused = v_features_from(&a);
+            let reference = crate::reference::v_features_from(&a);
+            for (i, (f, r)) in fused.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "V{} differs on {src:?}", i + 1);
+            }
+        }
     }
 }

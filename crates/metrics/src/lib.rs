@@ -193,10 +193,16 @@ metric_enum! {
         ExtractStrictNs => "extract.strict_ns",
         /// Salvage-only ladder rung, per document.
         ExtractSalvageNs => "extract.salvage_ns",
-        /// Detector feature extraction + classification, per document.
-        ScoreNs => "scan.score_ns",
+        /// Detector feature extraction, per scored module.
+        FeaturesNs => "scan.features_ns",
+        /// Classifier inference over extracted features, per scored module.
+        PredictNs => "scan.predict_ns",
         /// Whole single-document scan, end to end.
         DocNs => "scan.doc_ns",
+        /// Heap bytes allocated while scanning one document.
+        AllocBytesPerDoc => "alloc.bytes_per_doc",
+        /// Heap allocations performed while scanning one document.
+        AllocCountPerDoc => "alloc.count_per_doc",
         /// One journal append (write + flush + periodic fsync).
         JournalWriteNs => "journal.write_ns",
         /// Worker blocked handing a result to the collector.

@@ -19,6 +19,47 @@ pub struct RandomForest {
     max_features: usize,
     seed: u64,
     trees: Vec<DecisionTree>,
+    flat: FlatForest,
+}
+
+/// Struct-of-arrays node layout for every tree in the forest, built once
+/// at fit/load time. All trees share three contiguous lanes (feature
+/// index, threshold, child pair), so a prediction is a tight loop over
+/// cache-dense arrays instead of a pointer-chasing enum walk per node.
+/// Leaves carry `u32::MAX` in the feature lane and their positive
+/// fraction in the threshold lane.
+#[derive(Debug, Clone, Default)]
+struct FlatForest {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    children: Vec<[u32; 2]>,
+    roots: Vec<u32>,
+}
+
+impl FlatForest {
+    fn build(trees: &[DecisionTree]) -> Self {
+        let mut flat = FlatForest::default();
+        for tree in trees {
+            flat.roots.push(flat.feature.len() as u32);
+            tree.flatten_into(&mut flat.feature, &mut flat.threshold, &mut flat.children);
+        }
+        flat
+    }
+
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn tree_proba(&self, mut n: usize, x: &[f64]) -> f64 {
+        loop {
+            let f = self.feature[n];
+            if f == u32::MAX {
+                return self.threshold[n];
+            }
+            // `!(x <= t)` (not `x > t`) keeps NaN routed right, matching
+            // the reference walk's `if x <= t { left } else { right }`.
+            let go_right = !(x[f as usize] <= self.threshold[n]);
+            n = self.children[n][usize::from(go_right)] as usize;
+        }
+    }
 }
 
 impl RandomForest {
@@ -35,11 +76,27 @@ impl RandomForest {
             max_features,
             seed,
             trees: Vec::new(),
+            flat: FlatForest::default(),
         }
     }
 
-    /// Mean positive-fraction across trees (0..=1).
+    /// Mean positive-fraction across trees (0..=1), via the flattened
+    /// struct-of-arrays layout. Bit-identical to
+    /// [`RandomForest::predict_proba_reference`] (same per-tree values,
+    /// same summation order).
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.flat
+            .roots
+            .iter()
+            .map(|&r| self.flat.tree_proba(r as usize, x))
+            .sum::<f64>()
+            / self.flat.roots.len() as f64
+    }
+
+    /// Reference prediction walking the original per-node enum trees;
+    /// kept as the equivalence oracle for the flattened hot path.
+    pub fn predict_proba_reference(&self, x: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "predict before fit");
         self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>() / self.trees.len() as f64
     }
@@ -66,6 +123,7 @@ impl Classifier for RandomForest {
                 DecisionTree::fit(x, y, &idx, params, &mut rng)
             })
             .collect();
+        self.flat = FlatForest::build(&self.trees);
     }
 
     fn decision_function(&self, x: &[f64]) -> f64 {
@@ -155,6 +213,30 @@ mod tests {
         let mut rf = RandomForest::new(5, 0);
         rf.fit(&[], &[]);
     }
+
+    #[test]
+    fn flat_predict_matches_reference_bitwise() {
+        let (x, y) = blobs(80);
+        let mut rf = RandomForest::with_seed(25, 0, 7);
+        rf.fit(&x, &y);
+        let probes: Vec<Vec<f64>> = x
+            .iter()
+            .cloned()
+            .chain([
+                vec![f64::NAN, 1.0],
+                vec![1.0, f64::NAN],
+                vec![f64::INFINITY, f64::NEG_INFINITY],
+                vec![-0.0, 0.0],
+            ])
+            .collect();
+        for probe in &probes {
+            assert_eq!(
+                rf.predict_proba(probe).to_bits(),
+                rf.predict_proba_reference(probe).to_bits(),
+                "probe {probe:?}"
+            );
+        }
+    }
 }
 
 // --- persistence ---------------------------------------------------------
@@ -208,11 +290,13 @@ impl RandomForest {
                 reason: "forest with no trees".to_string(),
             });
         }
+        let flat = FlatForest::build(&trees);
         Ok(RandomForest {
             n_trees: meta[0] as usize,
             max_features: meta[1] as usize,
             seed: meta[2] as u64,
             trees,
+            flat,
         })
     }
 }
@@ -236,6 +320,12 @@ mod persist_tests {
             assert_eq!(
                 rf.decision_function(row).to_bits(),
                 loaded.decision_function(row).to_bits()
+            );
+            // The loaded model's rebuilt flat layout also matches its own
+            // reference walk.
+            assert_eq!(
+                loaded.predict_proba(row).to_bits(),
+                loaded.predict_proba_reference(row).to_bits()
             );
         }
     }

@@ -65,6 +65,20 @@ impl StandardScaler {
             .collect()
     }
 
+    /// Standardizes one vector into a reusable buffer (cleared first), so
+    /// steady-state scoring avoids a per-document allocation. Element
+    /// order and arithmetic match [`StandardScaler::transform`] exactly.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        out.clear();
+        out.extend(
+            x.iter()
+                .zip(&self.mean)
+                .zip(&self.std)
+                .map(|((v, m), s)| (v - m) / s),
+        );
+    }
+
     /// Standardizes a whole matrix.
     pub fn transform_all(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
         x.iter().map(|row| self.transform(row)).collect()
@@ -110,6 +124,20 @@ mod tests {
     fn mismatched_transform_panics() {
         let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
         let _ = scaler.transform(&[1.0]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform_bitwise() {
+        let scaler = StandardScaler::fit(&[vec![1.0, -3.5, 0.1], vec![2.0, 7.25, 9.9]]);
+        let mut buf = vec![99.0; 8];
+        for probe in [[0.0, 0.0, 0.0], [1.5, 2.0, -7.0], [1e9, -1e-9, 0.5]] {
+            scaler.transform_into(&probe, &mut buf);
+            let expect = scaler.transform(&probe);
+            assert_eq!(buf.len(), expect.len());
+            for (a, b) in buf.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }
 

@@ -153,6 +153,38 @@ impl DecisionTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Appends this tree's nodes to a struct-of-arrays layout (see
+    /// `forest::FlatForest`), rebasing child indices by the current
+    /// length. Leaves store `u32::MAX` in the feature lane and their
+    /// positive fraction in the threshold lane.
+    pub(crate) fn flatten_into(
+        &self,
+        feature: &mut Vec<u32>,
+        threshold: &mut Vec<f64>,
+        children: &mut Vec<[u32; 2]>,
+    ) {
+        let base = feature.len() as u32;
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { positive_fraction } => {
+                    feature.push(u32::MAX);
+                    threshold.push(*positive_fraction);
+                    children.push([0, 0]);
+                }
+                Node::Split {
+                    feature: f,
+                    threshold: t,
+                    left,
+                    right,
+                } => {
+                    feature.push(*f as u32);
+                    threshold.push(*t);
+                    children.push([base + *left as u32, base + *right as u32]);
+                }
+            }
+        }
+    }
 }
 
 /// Finds the `(feature, threshold)` minimizing weighted Gini impurity over a

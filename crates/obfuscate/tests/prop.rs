@@ -57,8 +57,8 @@ proptest! {
         let after = vbadet_vba::MacroAnalysis::new(&out);
         prop_assert_eq!(before.strings(), after.strings());
         prop_assert_eq!(
-            before.tokens().iter().filter(|t| matches!(t.kind, vbadet_vba::TokenKind::Keyword(_))).count(),
-            after.tokens().iter().filter(|t| matches!(t.kind, vbadet_vba::TokenKind::Keyword(_))).count()
+            before.tokens().iter().filter(|t| matches!(t.kind, vbadet_vba::SpanKind::Keyword)).count(),
+            after.tokens().iter().filter(|t| matches!(t.kind, vbadet_vba::SpanKind::Keyword)).count()
         );
         // Entry point survives.
         prop_assert!(out.contains("Document_Open"));
@@ -90,7 +90,10 @@ proptest! {
         let sub_keywords = analysis
             .tokens()
             .iter()
-            .filter(|t| matches!(&t.kind, vbadet_vba::TokenKind::Keyword(k) if k.eq_ignore_ascii_case("sub")))
+            .filter(|t| {
+                matches!(t.kind, vbadet_vba::SpanKind::Keyword)
+                    && analysis.token_text(t).eq_ignore_ascii_case("sub")
+            })
             .count();
         prop_assert_eq!(sub_keywords % 2, 0, "unbalanced Sub keywords in {}", out);
         prop_assert_eq!(analysis.procedure_body_spans().len(), sub_keywords / 2);

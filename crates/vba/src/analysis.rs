@@ -1,11 +1,35 @@
 //! Derived views over a token stream: the quantities the feature extractors
 //! consume (identifiers, strings, comments, call sites, "words", operator
 //! counts).
+//!
+//! [`MacroAnalysis`] borrows the source: tokens are [`SpanToken`]s whose
+//! text is a slice of the input, string values and comment bodies live in
+//! side tables (borrowed spans except for the rare `""`-escaped literal),
+//! and the per-character statistics every J/V feature needs were already
+//! accumulated by the lexer's single pass ([`SourceStats`]). The scan hot
+//! path reuses one [`LexScratch`] per worker so steady-state analysis
+//! performs no per-document buffer allocation.
 
 use crate::functions;
-use crate::lexer::tokenize;
-use crate::token::{Token, TokenKind};
+use crate::lexer::{lex_spans, CommentInfo, StrRepr, StringInfo};
+use crate::stats::SourceStats;
+use crate::token::{SpanKind, SpanToken};
 use std::collections::BTreeSet;
+
+/// Reusable lexing buffers: cleared per document, capacity retained.
+///
+/// Thread one instance through a worker loop and analyze each document
+/// with [`MacroAnalysis::with_scratch`]; call
+/// [`MacroAnalysis::recycle`] when done with the analysis to return the
+/// buffers.
+#[derive(Debug, Default)]
+pub struct LexScratch {
+    tokens: Vec<SpanToken>,
+    strings: Vec<StringInfo>,
+    comments: Vec<CommentInfo>,
+    decoded: Vec<String>,
+    stats: SourceStats,
+}
 
 /// Lexical analysis of one macro: the token stream plus the derived
 /// quantities used by the V and J feature sets.
@@ -16,78 +40,145 @@ use std::collections::BTreeSet;
 /// assert_eq!(a.strings(), vec!["x"]);
 /// assert!(a.call_sites().iter().any(|c| *c == "Chr"));
 /// ```
-#[derive(Debug, Clone)]
-pub struct MacroAnalysis {
-    source: String,
-    tokens: Vec<Token>,
+#[derive(Debug)]
+pub struct MacroAnalysis<'a> {
+    source: &'a str,
+    tokens: Vec<SpanToken>,
+    strings: Vec<StringInfo>,
+    comments: Vec<CommentInfo>,
+    decoded: Vec<String>,
+    stats: SourceStats,
 }
 
-impl MacroAnalysis {
+impl<'a> MacroAnalysis<'a> {
     /// Tokenizes `source` and prepares derived views.
-    pub fn new(source: &str) -> Self {
-        MacroAnalysis {
-            source: source.to_string(),
-            tokens: tokenize(source),
-        }
+    pub fn new(source: &'a str) -> Self {
+        let mut scratch = LexScratch::default();
+        Self::with_scratch(source, &mut scratch)
+    }
+
+    /// Like [`new`](Self::new), but lexes into buffers taken from
+    /// `scratch` (left empty; return them with [`recycle`](Self::recycle)).
+    pub fn with_scratch(source: &'a str, scratch: &mut LexScratch) -> Self {
+        let mut a = MacroAnalysis {
+            source,
+            tokens: std::mem::take(&mut scratch.tokens),
+            strings: std::mem::take(&mut scratch.strings),
+            comments: std::mem::take(&mut scratch.comments),
+            decoded: std::mem::take(&mut scratch.decoded),
+            stats: std::mem::take(&mut scratch.stats),
+        };
+        lex_spans(
+            source,
+            &mut a.tokens,
+            &mut a.strings,
+            &mut a.comments,
+            &mut a.decoded,
+            &mut a.stats,
+        );
+        a
+    }
+
+    /// Returns the analysis buffers to `scratch` for the next document.
+    pub fn recycle(self, scratch: &mut LexScratch) {
+        scratch.tokens = self.tokens;
+        scratch.strings = self.strings;
+        scratch.comments = self.comments;
+        scratch.decoded = self.decoded;
+        scratch.stats = self.stats;
     }
 
     /// The original source code.
-    pub fn source(&self) -> &str {
-        &self.source
+    pub fn source(&self) -> &'a str {
+        self.source
     }
 
     /// The raw token stream.
-    pub fn tokens(&self) -> &[Token] {
+    pub fn tokens(&self) -> &[SpanToken] {
         &self.tokens
+    }
+
+    /// The per-character statistics fused into the lexer pass.
+    pub fn stats(&self) -> &SourceStats {
+        &self.stats
+    }
+
+    /// The source text of a token. For string literals this is the
+    /// *decoded* value (quotes stripped, `""` unescaped); for comments the
+    /// trimmed body; for everything else the exact source span.
+    pub fn token_text(&self, token: &SpanToken) -> &str {
+        match token.kind {
+            SpanKind::StringLit(i) => self.string_value(i as usize),
+            SpanKind::Comment(i) => self.comment_body(i as usize),
+            _ => &self.source[token.start..token.end],
+        }
+    }
+
+    /// Number of string literals.
+    pub fn string_count(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Decoded value of string literal `i` (token order).
+    pub fn string_value(&self, i: usize) -> &str {
+        match self.strings[i].repr {
+            StrRepr::Span(s, e) => &self.source[s..e],
+            StrRepr::Decoded(d) => &self.decoded[d],
+        }
+    }
+
+    /// Decoded character length of string literal `i`, recorded during
+    /// lexing (no re-walk).
+    pub fn string_char_len(&self, i: usize) -> usize {
+        self.strings[i].char_len
+    }
+
+    /// Number of comments.
+    pub fn comment_count(&self) -> usize {
+        self.comments.len()
+    }
+
+    /// Trimmed body of comment `i` (token order).
+    pub fn comment_body(&self, i: usize) -> &'a str {
+        let c = &self.comments[i];
+        &self.source[c.body_start..c.body_end]
     }
 
     /// Total source length in characters.
     pub fn char_len(&self) -> usize {
-        self.source.chars().count()
+        self.stats.char_len
     }
 
     /// Number of characters inside comments (without the `'`/`Rem` marker).
     pub fn comment_chars(&self) -> usize {
-        self.comments().iter().map(|c| c.chars().count()).sum()
+        self.stats.comment_body_chars
     }
 
     /// Number of characters outside comments.
     pub fn code_chars(&self) -> usize {
         // Comment spans include the marker; subtract whole spans.
-        let in_comments: usize = self
-            .tokens
-            .iter()
-            .filter(|t| matches!(t.kind, TokenKind::Comment(_)))
-            .map(|t| self.source[t.start..t.end].chars().count())
-            .sum();
-        self.char_len().saturating_sub(in_comments)
+        self.stats
+            .char_len
+            .saturating_sub(self.stats.comment_span_chars)
     }
 
     /// All comment bodies, in order.
     pub fn comments(&self) -> Vec<&str> {
-        self.tokens
-            .iter()
-            .filter_map(|t| match &t.kind {
-                TokenKind::Comment(c) => Some(c.as_str()),
-                _ => None,
-            })
+        (0..self.comments.len())
+            .map(|i| self.comment_body(i))
             .collect()
     }
 
     /// All string literal values, in order.
     pub fn strings(&self) -> Vec<&str> {
-        self.tokens
-            .iter()
-            .filter_map(|t| match &t.kind {
-                TokenKind::StringLit(s) => Some(s.as_str()),
-                _ => None,
-            })
+        (0..self.strings.len())
+            .map(|i| self.string_value(i))
             .collect()
     }
 
     /// Total characters inside string literals.
     pub fn string_chars(&self) -> usize {
-        self.strings().iter().map(|s| s.chars().count()).sum()
+        self.stats.string_chars
     }
 
     /// The *distinct* user identifiers (case-insensitive, deduplicated).
@@ -97,12 +188,13 @@ impl MacroAnalysis {
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut out = Vec::new();
         for t in &self.tokens {
-            if let TokenKind::Identifier(name) = &t.kind {
+            if matches!(t.kind, SpanKind::Identifier) {
+                let name = &self.source[t.start..t.end];
                 if functions::is_builtin(name) {
                     continue;
                 }
                 if seen.insert(name.to_ascii_lowercase()) {
-                    out.push(name.as_str());
+                    out.push(name);
                 }
             }
         }
@@ -113,10 +205,8 @@ impl MacroAnalysis {
     pub fn identifier_occurrences(&self) -> Vec<&str> {
         self.tokens
             .iter()
-            .filter_map(|t| match &t.kind {
-                TokenKind::Identifier(name) => Some(name.as_str()),
-                _ => None,
-            })
+            .filter(|t| matches!(t.kind, SpanKind::Identifier))
+            .map(|t| &self.source[t.start..t.end])
             .collect()
     }
 
@@ -124,34 +214,33 @@ impl MacroAnalysis {
     /// built-ins in statement position (VBA allows `Shell prog, 1`).
     /// Identifiers following `Sub`/`Function` (declarations) are excluded.
     pub fn call_sites(&self) -> Vec<&str> {
-        let significant: Vec<(usize, &Token)> = self
+        let significant: Vec<&SpanToken> = self
             .tokens
             .iter()
-            .enumerate()
-            .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment(_) | TokenKind::Newline))
+            .filter(|t| !matches!(t.kind, SpanKind::Comment(_) | SpanKind::Newline))
             .collect();
         let mut out = Vec::new();
-        for (pos, (_, token)) in significant.iter().enumerate() {
-            let TokenKind::Identifier(name) = &token.kind else {
+        for (pos, token) in significant.iter().enumerate() {
+            if !matches!(token.kind, SpanKind::Identifier) {
                 continue;
-            };
+            }
+            let name = &self.source[token.start..token.end];
             // Skip declaration names: `Sub X`, `Function X`, `Property Get X`.
-            if pos > 0 {
-                if let TokenKind::Keyword(k) = &significant[pos - 1].1.kind {
-                    if matches!(
-                        k.to_ascii_lowercase().as_str(),
-                        "sub" | "function" | "property" | "dim" | "const" | "as"
-                    ) {
-                        continue;
-                    }
+            if pos > 0 && matches!(significant[pos - 1].kind, SpanKind::Keyword) {
+                let k = &self.source[significant[pos - 1].start..significant[pos - 1].end];
+                if ["sub", "function", "property", "dim", "const", "as"]
+                    .iter()
+                    .any(|d| k.eq_ignore_ascii_case(d))
+                {
+                    continue;
                 }
             }
             let followed_by_paren = matches!(
-                significant.get(pos + 1).map(|(_, t)| &t.kind),
-                Some(TokenKind::Operator("("))
+                significant.get(pos + 1).map(|t| t.kind),
+                Some(SpanKind::Operator("("))
             );
             if followed_by_paren || functions::is_builtin(name) {
-                out.push(name.as_str());
+                out.push(name);
             }
         }
         out
@@ -163,19 +252,14 @@ impl MacroAnalysis {
         let mut out = Vec::new();
         let mut cursor = 0usize;
         // Mask out comment and string spans, then split the rest.
-        let mut spans: Vec<(usize, usize)> = self
-            .tokens
-            .iter()
-            .filter(|t| matches!(t.kind, TokenKind::Comment(_) | TokenKind::StringLit(_)))
-            .map(|t| (t.start, t.end))
-            .collect();
-        spans.sort_unstable();
         let mut segments: Vec<&str> = Vec::new();
-        for (start, end) in spans {
-            if start > cursor {
-                segments.push(&self.source[cursor..start]);
+        for t in &self.tokens {
+            if matches!(t.kind, SpanKind::Comment(_) | SpanKind::StringLit(_)) {
+                if t.start > cursor {
+                    segments.push(&self.source[cursor..t.start]);
+                }
+                cursor = cursor.max(t.end);
             }
-            cursor = cursor.max(end);
         }
         if cursor < self.source.len() {
             segments.push(&self.source[cursor..]);
@@ -193,9 +277,10 @@ impl MacroAnalysis {
     /// Words inside comments only (used by J13).
     pub fn comment_words(&self) -> Vec<&str> {
         let mut out = Vec::new();
-        for c in self.comments() {
+        for i in 0..self.comments.len() {
             out.extend(
-                c.split(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
+                self.comment_body(i)
+                    .split(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
                     .filter(|w| !w.is_empty()),
             );
         }
@@ -207,7 +292,7 @@ impl MacroAnalysis {
     pub fn string_operator_count(&self) -> usize {
         self.tokens
             .iter()
-            .filter(|t| matches!(t.kind, TokenKind::Operator("&" | "+" | "=")))
+            .filter(|t| matches!(t.kind, SpanKind::Operator("&" | "+" | "=")))
             .count()
     }
 
@@ -215,7 +300,7 @@ impl MacroAnalysis {
     pub fn operator_count(&self, op: &str) -> usize {
         self.tokens
             .iter()
-            .filter(|t| matches!(&t.kind, TokenKind::Operator(o) if *o == op))
+            .filter(|t| matches!(t.kind, SpanKind::Operator(o) if o == op))
             .count()
     }
 
@@ -227,17 +312,18 @@ impl MacroAnalysis {
     /// Procedure definitions: names following `Sub`/`Function` keywords.
     pub fn procedure_names(&self) -> Vec<&str> {
         let mut out = Vec::new();
-        let toks: Vec<&Token> = self
+        let toks: Vec<&SpanToken> = self
             .tokens
             .iter()
-            .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Comment(_)))
+            .filter(|t| !matches!(t.kind, SpanKind::Newline | SpanKind::Comment(_)))
             .collect();
         for window in toks.windows(2) {
-            if let (TokenKind::Keyword(k), TokenKind::Identifier(name)) =
-                (&window[0].kind, &window[1].kind)
+            if matches!(window[0].kind, SpanKind::Keyword)
+                && matches!(window[1].kind, SpanKind::Identifier)
             {
-                if matches!(k.to_ascii_lowercase().as_str(), "sub" | "function") {
-                    out.push(name.as_str());
+                let k = &self.source[window[0].start..window[0].end];
+                if k.eq_ignore_ascii_case("sub") || k.eq_ignore_ascii_case("function") {
+                    out.push(&self.source[window[1].start..window[1].end]);
                 }
             }
         }
@@ -245,58 +331,49 @@ impl MacroAnalysis {
     }
 
     /// Bodies of procedures: for each `Sub`/`Function` … `End Sub`/`End
-    /// Function` pair, the character length of the enclosed region. Used by
+    /// Function` pair, the byte span of the enclosed region. Used by
     /// J18/J19.
     pub fn procedure_body_spans(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         let toks = &self.tokens;
+        let kw_text = |t: &SpanToken| &self.source[t.start..t.end];
         let mut open: Option<usize> = None;
         let mut i = 0usize;
         while i < toks.len() {
-            match &toks[i].kind {
-                TokenKind::Keyword(k)
-                    if matches!(k.to_ascii_lowercase().as_str(), "sub" | "function") =>
-                {
-                    // `End Sub` is handled below; `Exit Sub` should not open.
-                    let prev_kw = toks[..i]
-                        .iter()
-                        .rev()
-                        .find(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Comment(_)));
-                    // `Declare Function X Lib …` is a prototype, not a body.
-                    let is_declare = matches!(
-                        prev_kw.map(|t| &t.kind),
-                        Some(TokenKind::Keyword(p)) if p.eq_ignore_ascii_case("declare")
-                    );
-                    if is_declare {
-                        i += 1;
-                        continue;
-                    }
-                    let is_closing = matches!(
-                        prev_kw.map(|t| &t.kind),
-                        Some(TokenKind::Keyword(p))
-                            if matches!(p.to_ascii_lowercase().as_str(), "end" | "exit")
-                    );
-                    if is_closing {
-                        if let Some(start) = open.take() {
-                            if let Some(prev) = prev_kw {
-                                if matches!(&prev.kind, TokenKind::Keyword(p) if p.eq_ignore_ascii_case("end"))
-                                {
-                                    out.push((start, toks[i].end));
-                                }
-                            }
-                            // `Exit Sub` keeps the procedure open.
-                            if !matches!(
-                                prev_kw.map(|t| &t.kind),
-                                Some(TokenKind::Keyword(p)) if p.eq_ignore_ascii_case("end")
-                            ) {
-                                open = Some(start);
-                            }
-                        }
-                    } else if open.is_none() {
-                        open = Some(toks[i].start);
-                    }
+            let is_proc_kw = matches!(toks[i].kind, SpanKind::Keyword) && {
+                let k = kw_text(&toks[i]);
+                k.eq_ignore_ascii_case("sub") || k.eq_ignore_ascii_case("function")
+            };
+            if is_proc_kw {
+                // `End Sub` is handled below; `Exit Sub` should not open.
+                let prev_kw = toks[..i]
+                    .iter()
+                    .rev()
+                    .find(|t| !matches!(t.kind, SpanKind::Newline | SpanKind::Comment(_)));
+                let prev_kw_is = |name: &str| {
+                    matches!(
+                        prev_kw,
+                        Some(p) if matches!(p.kind, SpanKind::Keyword)
+                            && kw_text(p).eq_ignore_ascii_case(name)
+                    )
+                };
+                // `Declare Function X Lib …` is a prototype, not a body.
+                if prev_kw_is("declare") {
+                    i += 1;
+                    continue;
                 }
-                _ => {}
+                if prev_kw_is("end") || prev_kw_is("exit") {
+                    if let Some(start) = open.take() {
+                        if prev_kw_is("end") {
+                            out.push((start, toks[i].end));
+                        } else {
+                            // `Exit Sub` keeps the procedure open.
+                            open = Some(start);
+                        }
+                    }
+                } else if open.is_none() {
+                    open = Some(toks[i].start);
+                }
             }
             i += 1;
         }
@@ -402,5 +479,33 @@ mod tests {
         assert!(a.call_sites().is_empty());
         assert!(a.words().is_empty());
         assert_eq!(a.string_operator_count(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let mut scratch = LexScratch::default();
+        for src in [SAMPLE, "x = 1", "", "Rem only a comment\r\n"] {
+            let fresh = MacroAnalysis::new(src);
+            let reused = MacroAnalysis::with_scratch(src, &mut scratch);
+            assert_eq!(fresh.tokens(), reused.tokens());
+            assert_eq!(fresh.strings(), reused.strings());
+            assert_eq!(fresh.char_len(), reused.char_len());
+            assert_eq!(fresh.comment_chars(), reused.comment_chars());
+            reused.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn stats_match_view_methods() {
+        let a = MacroAnalysis::new(SAMPLE);
+        let s = a.stats();
+        assert_eq!(s.char_len, SAMPLE.chars().count());
+        assert_eq!(s.line_count, SAMPLE.lines().count());
+        assert_eq!(s.code_words, a.words().len());
+        assert_eq!(s.comment_words, a.comment_words().len());
+        assert_eq!(
+            s.string_chars,
+            a.strings().iter().map(|v| v.chars().count()).sum::<usize>()
+        );
     }
 }

@@ -129,19 +129,24 @@ pub const RICH_FUNCTIONS: &[&str] = &[
 /// assert_eq!(functions::categorize("MyHelper"), None);
 /// ```
 pub fn categorize(name: &str) -> Option<FunctionCategory> {
-    let lower = name
-        .trim_end_matches(['$', '%', '&', '!', '#', '@'])
-        .to_ascii_lowercase();
-    let lower = lower.as_str();
-    if TEXT_FUNCTIONS.binary_search(&lower).is_ok() {
+    // The tables are lowercase and sorted; folding the probe byte-wise
+    // during the comparison gives the same ordering as lowercasing the
+    // name up front, without allocating the lowercase copy.
+    let stripped = name.trim_end_matches(['$', '%', '&', '!', '#', '@']);
+    let search = |table: &[&str]| {
+        table
+            .binary_search_by(|entry| crate::lexer::cmp_ascii_fold(entry, stripped))
+            .is_ok()
+    };
+    if search(TEXT_FUNCTIONS) {
         Some(FunctionCategory::Text)
-    } else if ARITHMETIC_FUNCTIONS.binary_search(&lower).is_ok() {
+    } else if search(ARITHMETIC_FUNCTIONS) {
         Some(FunctionCategory::Arithmetic)
-    } else if CONVERSION_FUNCTIONS.binary_search(&lower).is_ok() {
+    } else if search(CONVERSION_FUNCTIONS) {
         Some(FunctionCategory::TypeConversion)
-    } else if FINANCIAL_FUNCTIONS.binary_search(&lower).is_ok() {
+    } else if search(FINANCIAL_FUNCTIONS) {
         Some(FunctionCategory::Financial)
-    } else if RICH_FUNCTIONS.binary_search(&lower).is_ok() {
+    } else if search(RICH_FUNCTIONS) {
         Some(FunctionCategory::Rich)
     } else {
         None

@@ -1,6 +1,16 @@
 //! The VBA tokenizer.
+//!
+//! The lexer is span-based and single-pass: it walks the source exactly
+//! once, emitting [`SpanToken`]s (byte + char positions, no owned
+//! payloads) while feeding every character through the
+//! [`SourceStats`] accumulators the feature extractors consume. The
+//! classic owned-token API ([`tokenize`]) is a thin materialization on
+//! top and produces byte-identical output to the historical
+//! `Vec<char>`-indexed implementation (kept as a reference oracle under
+//! the `reference` feature).
 
-use crate::token::{Token, TokenKind};
+use crate::stats::SourceStats;
+use crate::token::{SpanKind, SpanToken, Token, TokenKind};
 
 /// VBA reserved words (MS-VBAL §3.3.5), lowercase.
 const KEYWORDS: &[&str] = &[
@@ -120,10 +130,33 @@ const KEYWORDS: &[&str] = &[
     "xor",
 ];
 
-/// Whether `word` is a VBA reserved word (case-insensitive).
+/// Compares a lowercase table entry against the ASCII-lowercase folding
+/// of `word`, byte-wise — the same ordering as
+/// `entry.cmp(&word.to_ascii_lowercase())` without allocating the folded
+/// copy (string comparison is bytewise-lexicographic, and ASCII folding
+/// maps byte-for-byte).
+pub(crate) fn cmp_ascii_fold(entry: &str, word: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let mut e = entry.bytes();
+    let mut w = word.bytes().map(|b| b.to_ascii_lowercase());
+    loop {
+        match (e.next(), w.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(a), Some(b)) => match a.cmp(&b) {
+                Ordering::Equal => continue,
+                other => return other,
+            },
+        }
+    }
+}
+
+/// Whether `word` is a VBA reserved word (case-insensitive, no allocation).
 pub(crate) fn is_keyword(word: &str) -> bool {
-    let lower = word.to_ascii_lowercase();
-    KEYWORDS.binary_search(&lower.as_str()).is_ok()
+    KEYWORDS
+        .binary_search_by(|k| cmp_ascii_fold(k, word))
+        .is_ok()
 }
 
 /// Type-declaration suffix characters that may trail an identifier.
@@ -139,6 +172,445 @@ fn is_ident_continue(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
 }
 
+/// How a string literal's decoded value is stored: as a borrowed span of
+/// the source (the common case) or, when `""` escapes force a rewrite, as
+/// an index into the decoded-string arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StrRepr {
+    /// Byte range of the value in the source (quotes excluded).
+    Span(usize, usize),
+    /// Index into the decoded arena.
+    Decoded(usize),
+}
+
+/// Side-table record for one string literal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StringInfo {
+    pub repr: StrRepr,
+    /// Decoded value length in characters (recorded during lexing; J8/V7
+    /// never re-walk the value).
+    pub char_len: usize,
+}
+
+/// Side-table record for one comment: the trimmed body as a byte range of
+/// the source. Character lengths are aggregated into
+/// [`SourceStats::comment_body_chars`] during lexing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommentInfo {
+    pub body_start: usize,
+    pub body_end: usize,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    cpos: usize,
+    prev: Option<char>,
+}
+
+impl<'a> Cursor<'a> {
+    #[inline]
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    #[inline]
+    fn byte_at(&self, i: usize) -> Option<u8> {
+        self.src.as_bytes().get(i).copied()
+    }
+
+    /// Consumes the (already peeked) character `c`, routing it through
+    /// the statistics accumulators exactly once.
+    #[inline]
+    fn bump(&mut self, c: char, stats: &mut SourceStats, masked: bool) {
+        self.pos += c.len_utf8();
+        self.cpos += 1;
+        self.prev = Some(c);
+        stats.visit(c, masked);
+    }
+
+    /// Consumes a comment-body character: masked, and additionally fed to
+    /// the comment-word machine.
+    #[inline]
+    fn bump_comment(&mut self, c: char, stats: &mut SourceStats) {
+        self.bump(c, stats, true);
+        stats.visit_comment_word(c);
+    }
+}
+
+/// The single fused pass: tokenizes `source` into `tokens` (+ string and
+/// comment side tables) while filling `stats`. All output vectors are
+/// cleared first; capacity is retained.
+pub(crate) fn lex_spans(
+    source: &str,
+    tokens: &mut Vec<SpanToken>,
+    strings: &mut Vec<StringInfo>,
+    comments: &mut Vec<CommentInfo>,
+    decoded: &mut Vec<String>,
+    stats: &mut SourceStats,
+) {
+    tokens.clear();
+    strings.clear();
+    comments.clear();
+    decoded.clear();
+    stats.reset();
+
+    let mut cur = Cursor {
+        src: source,
+        pos: 0,
+        cpos: 0,
+        prev: None,
+    };
+    let n = source.len();
+
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let cstart = cur.cpos;
+
+        // Line continuation: whitespace, '_', optional spaces, line break.
+        if c == '_' && matches!(cur.prev, None | Some(' ') | Some('\t')) {
+            let mut j = cur.pos + 1;
+            while j < n && matches!(cur.byte_at(j), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+                j += 1;
+            }
+            if j < n && cur.byte_at(j) == Some(b'\n') {
+                // Splice: consume through the newline, no Newline token.
+                while cur.pos <= j {
+                    let ch = cur.peek().unwrap();
+                    cur.bump(ch, stats, false);
+                }
+                continue;
+            }
+        }
+
+        match c {
+            ' ' | '\t' | '\r' => {
+                cur.bump(c, stats, false);
+            }
+            '\n' => {
+                cur.bump(c, stats, false);
+                tokens.push(SpanToken {
+                    kind: SpanKind::Newline,
+                    start,
+                    end: cur.pos,
+                    char_start: cstart,
+                    char_end: cur.cpos,
+                });
+            }
+            '\'' => {
+                cur.bump(c, stats, true); // the marker
+                let body_start = cur.pos;
+                let body_cstart = cur.cpos;
+                while let Some(ch) = cur.peek() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    cur.bump_comment(ch, stats);
+                }
+                stats.end_comment_word();
+                let raw = &source[body_start..cur.pos];
+                let body = raw.trim_end_matches('\r');
+                // Every trimmed byte is one '\r' character.
+                let body_chars = (cur.cpos - body_cstart) - (raw.len() - body.len());
+                comments.push(CommentInfo {
+                    body_start,
+                    body_end: body_start + body.len(),
+                });
+                stats.comment_body_chars += body_chars;
+                stats.comment_span_chars += cur.cpos - cstart;
+                tokens.push(SpanToken {
+                    kind: SpanKind::Comment((comments.len() - 1) as u32),
+                    start,
+                    end: cur.pos,
+                    char_start: cstart,
+                    char_end: cur.cpos,
+                });
+            }
+            '"' => {
+                cur.bump(c, stats, true); // opening quote
+                let val_start = cur.pos;
+                let val_end;
+                let mut char_len = 0usize;
+                let mut buf: Option<String> = None;
+                loop {
+                    match cur.peek() {
+                        None => {
+                            val_end = cur.pos; // unterminated: tolerate
+                            break;
+                        }
+                        Some('"') => {
+                            if cur.byte_at(cur.pos + 1) == Some(b'"') {
+                                // Escaped quote: decode lazily.
+                                if buf.is_none() {
+                                    buf = Some(source[val_start..cur.pos].to_string());
+                                }
+                                cur.bump('"', stats, true);
+                                cur.bump('"', stats, true);
+                                buf.as_mut().unwrap().push('"');
+                                char_len += 1;
+                            } else {
+                                val_end = cur.pos;
+                                cur.bump('"', stats, true);
+                                break;
+                            }
+                        }
+                        Some('\n') => {
+                            val_end = cur.pos; // strings do not span lines
+                            break;
+                        }
+                        Some(ch) => {
+                            if let Some(b) = &mut buf {
+                                b.push(ch);
+                            }
+                            char_len += 1;
+                            cur.bump(ch, stats, true);
+                        }
+                    }
+                }
+                let repr = match buf {
+                    Some(s) => {
+                        decoded.push(s);
+                        StrRepr::Decoded(decoded.len() - 1)
+                    }
+                    None => StrRepr::Span(val_start, val_end),
+                };
+                strings.push(StringInfo { repr, char_len });
+                stats.string_chars += char_len;
+                stats.string_len_sum += char_len as f64;
+                tokens.push(SpanToken {
+                    kind: SpanKind::StringLit((strings.len() - 1) as u32),
+                    start,
+                    end: cur.pos,
+                    char_start: cstart,
+                    char_end: cur.cpos,
+                });
+            }
+            '&' if matches!(
+                cur.byte_at(cur.pos + 1),
+                Some(b'H') | Some(b'h') | Some(b'O') | Some(b'o')
+            ) =>
+            {
+                // &H / &O numeric literal (falls back to operator + ident
+                // when no digits follow).
+                let radix_hex = matches!(cur.byte_at(cur.pos + 1), Some(b'H') | Some(b'h'));
+                let mut j = cur.pos + 2;
+                while j < n {
+                    let Some(b) = cur.byte_at(j) else { break };
+                    let ok = (b.is_ascii_hexdigit() && radix_hex)
+                        || ((b'0'..=b'7').contains(&b) && !radix_hex);
+                    if !ok {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j > cur.pos + 2 {
+                    if j < n && cur.byte_at(j).map(|b| is_type_suffix(b as char)) == Some(true) {
+                        j += 1;
+                    }
+                    while cur.pos < j {
+                        let ch = cur.peek().unwrap();
+                        cur.bump(ch, stats, false);
+                    }
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Number,
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                } else {
+                    cur.bump(c, stats, false);
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Operator("&"),
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                }
+            }
+            '0'..='9' => {
+                while let Some(ch) = cur.peek() {
+                    if !ch.is_ascii_digit() {
+                        break;
+                    }
+                    cur.bump(ch, stats, false);
+                }
+                if cur.peek() == Some('.') {
+                    cur.bump('.', stats, false);
+                    while let Some(ch) = cur.peek() {
+                        if !ch.is_ascii_digit() {
+                            break;
+                        }
+                        cur.bump(ch, stats, false);
+                    }
+                }
+                if matches!(cur.peek(), Some('e') | Some('E')) {
+                    // Only consume the exponent when digits follow.
+                    let mut j = cur.pos + 1;
+                    if matches!(cur.byte_at(j), Some(b'+') | Some(b'-')) {
+                        j += 1;
+                    }
+                    if cur.byte_at(j).map(|b| b.is_ascii_digit()) == Some(true) {
+                        while cur.pos < j {
+                            let ch = cur.peek().unwrap();
+                            cur.bump(ch, stats, false);
+                        }
+                        while let Some(ch) = cur.peek() {
+                            if !ch.is_ascii_digit() {
+                                break;
+                            }
+                            cur.bump(ch, stats, false);
+                        }
+                    }
+                }
+                if cur.peek().map(is_type_suffix) == Some(true) {
+                    let ch = cur.peek().unwrap();
+                    cur.bump(ch, stats, false);
+                }
+                tokens.push(SpanToken {
+                    kind: SpanKind::Number,
+                    start,
+                    end: cur.pos,
+                    char_start: cstart,
+                    char_end: cur.cpos,
+                });
+            }
+            _ if is_ident_start(c) => {
+                // Snapshot the word machine: if this turns out to be a
+                // `Rem` comment the speculatively-fed chars are rewound
+                // (the whole comment span is masked, marker included).
+                let snap = stats.word_snapshot();
+                while let Some(ch) = cur.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    cur.bump(ch, stats, false);
+                }
+                let word = &source[start..cur.pos];
+                if word.eq_ignore_ascii_case("rem") {
+                    // Rem comment: swallow the rest of the line.
+                    stats.word_rewind(snap);
+                    let body_raw_start = cur.pos;
+                    let body_cstart = cur.cpos;
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        cur.bump_comment(ch, stats);
+                    }
+                    stats.end_comment_word();
+                    let raw = &source[body_raw_start..cur.pos];
+                    let after_r = raw.trim_end_matches('\r');
+                    let body = after_r.trim_start();
+                    let prefix = &after_r[..after_r.len() - body.len()];
+                    let body_chars = (cur.cpos - body_cstart)
+                        - (raw.len() - after_r.len())
+                        - prefix.chars().count();
+                    let body_start = body_raw_start + (after_r.len() - body.len());
+                    comments.push(CommentInfo {
+                        body_start,
+                        body_end: body_start + body.len(),
+                    });
+                    stats.comment_body_chars += body_chars;
+                    stats.comment_span_chars += cur.cpos - cstart;
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Comment((comments.len() - 1) as u32),
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                } else if is_keyword(word) {
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Keyword,
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                } else {
+                    if cur.peek().map(is_type_suffix) == Some(true) {
+                        let ch = cur.peek().unwrap();
+                        cur.bump(ch, stats, false);
+                    }
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Identifier,
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                }
+            }
+            _ => {
+                // Operators and punctuation, multi-character first.
+                let two: Option<&'static str> = match (c, cur.byte_at(cur.pos + 1)) {
+                    ('<', Some(b'>')) => Some("<>"),
+                    ('<', Some(b'=')) => Some("<="),
+                    ('>', Some(b'=')) => Some(">="),
+                    (':', Some(b'=')) => Some(":="),
+                    _ => None,
+                };
+                if let Some(op) = two {
+                    cur.bump(c, stats, false);
+                    let ch = cur.peek().unwrap();
+                    cur.bump(ch, stats, false);
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Operator(op),
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                    continue;
+                }
+                let op: Option<&'static str> = match c {
+                    '&' => Some("&"),
+                    '+' => Some("+"),
+                    '-' => Some("-"),
+                    '*' => Some("*"),
+                    '/' => Some("/"),
+                    '\\' => Some("\\"),
+                    '^' => Some("^"),
+                    '=' => Some("="),
+                    '<' => Some("<"),
+                    '>' => Some(">"),
+                    '.' => Some("."),
+                    ',' => Some(","),
+                    ';' => Some(";"),
+                    ':' => Some(":"),
+                    '(' => Some("("),
+                    ')' => Some(")"),
+                    '#' => Some("#"),
+                    '@' => Some("@"),
+                    '!' => Some("!"),
+                    '$' => Some("$"),
+                    '%' => Some("%"),
+                    '?' => Some("?"),
+                    '[' => Some("["),
+                    ']' => Some("]"),
+                    '{' => Some("{"),
+                    '}' => Some("}"),
+                    _ => None,
+                };
+                cur.bump(c, stats, false);
+                if let Some(op) = op {
+                    tokens.push(SpanToken {
+                        kind: SpanKind::Operator(op),
+                        start,
+                        end: cur.pos,
+                        char_start: cstart,
+                        char_end: cur.cpos,
+                    });
+                }
+                // Unknown characters are skipped (total lexer).
+            }
+        }
+    }
+    stats.finish();
+}
+
 /// Tokenizes VBA source code.
 ///
 /// The lexer is *total*: any input produces a token stream (unrecognized
@@ -146,6 +618,55 @@ fn is_ident_continue(c: char) -> bool {
 /// skipped), which matters because obfuscated macros frequently contain
 /// deliberately broken code (§VI.B of the paper).
 pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut decoded = Vec::new();
+    let mut stats = SourceStats::default();
+    lex_spans(
+        source,
+        &mut tokens,
+        &mut strings,
+        &mut comments,
+        &mut decoded,
+        &mut stats,
+    );
+    tokens
+        .iter()
+        .map(|t| {
+            let kind = match t.kind {
+                SpanKind::Identifier => TokenKind::Identifier(source[t.start..t.end].to_string()),
+                SpanKind::Keyword => TokenKind::Keyword(source[t.start..t.end].to_string()),
+                SpanKind::Number => TokenKind::Number(source[t.start..t.end].to_string()),
+                SpanKind::StringLit(i) => {
+                    let info = &strings[i as usize];
+                    TokenKind::StringLit(match info.repr {
+                        StrRepr::Span(s, e) => source[s..e].to_string(),
+                        StrRepr::Decoded(d) => decoded[d].clone(),
+                    })
+                }
+                SpanKind::Comment(i) => {
+                    let info = &comments[i as usize];
+                    TokenKind::Comment(source[info.body_start..info.body_end].to_string())
+                }
+                SpanKind::Operator(op) => TokenKind::Operator(op),
+                SpanKind::Newline => TokenKind::Newline,
+            };
+            Token {
+                kind,
+                start: t.start,
+                end: t.end,
+            }
+        })
+        .collect()
+}
+
+/// The historical `Vec<char>`-indexed tokenizer, kept verbatim as the
+/// equivalence oracle for the span lexer: property tests assert the two
+/// produce identical token streams on arbitrary (including hostile)
+/// input.
+#[cfg(any(test, feature = "reference"))]
+pub fn reference_tokenize(source: &str) -> Vec<Token> {
     let bytes: Vec<char> = source.chars().collect();
     // Byte offsets per char index (so spans refer to the original string).
     let mut offsets = Vec::with_capacity(bytes.len() + 1);
@@ -390,6 +911,26 @@ mod tests {
     }
 
     #[test]
+    fn fold_compare_matches_allocating_compare() {
+        for w in [
+            "Dim",
+            "DIM",
+            "dim",
+            "dio",
+            "di",
+            "dimm",
+            "zzz",
+            "",
+            "Caf\u{e9}",
+        ] {
+            let lower = w.to_ascii_lowercase();
+            for k in ["dim", "do", "a", "zz"] {
+                assert_eq!(cmp_ascii_fold(k, w), k.cmp(&lower.as_str()), "{k} vs {w}");
+            }
+        }
+    }
+
+    #[test]
     fn simple_statement() {
         assert_eq!(
             kinds("Dim x As Integer"),
@@ -595,6 +1136,38 @@ mod tests {
                 })
                 .collect();
             let _ = tokenize(&src);
+        }
+    }
+
+    #[test]
+    fn span_lexer_matches_reference_tokenizer() {
+        let samples = [
+            "",
+            "Dim x As Integer\r\nx = 1 ' c\r\n",
+            "s = \"a\"\"b\"\ns2 = \"open",
+            "Rem note \r\r\nRem\n1Rem tail\nremainder = 5",
+            "x = 1 + _\r\n 2\n_ = 3\n _\n",
+            "&HFF &o777 &Hx 123& 1e5 2.5E-3 9.",
+            "a<>b<=c>=d:=e&f",
+            "caf\u{e9} = \"\u{2603}\u{2603}\" ' \u{e9}t\u{e9}\n",
+            "Sub A()\nExit Sub\nEnd Sub\nDeclare Function F Lib \"k\"\n",
+            "\"unterminated\nnext = 1",
+        ];
+        for src in samples {
+            assert_eq!(tokenize(src), reference_tokenize(src), "src = {src:?}");
+        }
+        // Pseudo-random noise, same generator as totality_on_noise.
+        let mut state = 99u64;
+        for _ in 0..100 {
+            let src: String = (0..300)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    char::from_u32((state % 0x300) as u32).unwrap_or('?')
+                })
+                .collect();
+            assert_eq!(tokenize(&src), reference_tokenize(&src), "src = {src:?}");
         }
     }
 }

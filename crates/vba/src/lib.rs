@@ -20,9 +20,13 @@
 pub mod analysis;
 pub mod functions;
 mod lexer;
+mod stats;
 mod token;
 
-pub use analysis::MacroAnalysis;
+pub use analysis::{LexScratch, MacroAnalysis};
 pub use functions::FunctionCategory;
+#[cfg(any(test, feature = "reference"))]
+pub use lexer::reference_tokenize;
 pub use lexer::tokenize;
-pub use token::{Token, TokenKind};
+pub use stats::SourceStats;
+pub use token::{SpanKind, SpanToken, Token, TokenKind};

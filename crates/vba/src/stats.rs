@@ -1,0 +1,373 @@
+//! Per-character statistics accumulated during the lexer's single pass.
+//!
+//! The feature extractors (J1–J20, V1–V15) historically re-walked the
+//! source once per feature: `chars().count()` for J1, a whitespace filter
+//! for J6, a `BTreeMap` rebuild for the entropy of J15/V13, a
+//! `collect::<Vec<String>>` for the word statistics of V3/V4, and so on.
+//! [`SourceStats`] replaces all of those with counters fed exactly once
+//! per character while the lexer is already looking at it.
+//!
+//! Equivalence with the old multi-pass computation is bit-level: every
+//! floating-point quantity that the extractors derive from these counters
+//! is accumulated in the same order the reference code iterated
+//! (document order for word lengths, token order for string lengths,
+//! ascending character order for the entropy histogram), so the fused
+//! path reproduces the exact `f64` bit patterns of the original.
+
+use std::collections::BTreeMap;
+
+/// In-flight state of one "word": a maximal run of alphanumeric or `_`
+/// characters outside comments and string literals (paper §IV.C.4), plus
+/// the incremental human-readability predicate of J5 (alphabetic, 2–15
+/// bytes, contains a vowel, no consonant run longer than 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WordRun {
+    active: bool,
+    char_len: usize,
+    byte_len: usize,
+    all_alpha: bool,
+    has_vowel: bool,
+    cons_run: usize,
+    runs_ok: bool,
+}
+
+impl WordRun {
+    #[inline]
+    fn feed(&mut self, c: char) {
+        if !self.active {
+            *self = WordRun {
+                active: true,
+                all_alpha: true,
+                runs_ok: true,
+                ..WordRun::default()
+            };
+        }
+        self.char_len += 1;
+        self.byte_len += c.len_utf8();
+        if c.is_ascii_alphabetic() {
+            if matches!(c.to_ascii_lowercase(), 'a' | 'e' | 'i' | 'o' | 'u') {
+                self.has_vowel = true;
+                self.cons_run = 0;
+            } else {
+                self.cons_run += 1;
+                if self.cons_run > 4 {
+                    self.runs_ok = false;
+                }
+            }
+        } else {
+            self.all_alpha = false;
+        }
+    }
+
+    #[inline]
+    fn is_readable(&self) -> bool {
+        self.byte_len >= 2
+            && self.byte_len <= 15
+            && self.all_alpha
+            && self.has_vowel
+            && self.runs_ok
+    }
+}
+
+#[inline]
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Character-level statistics of one macro source, filled by the lexer in
+/// the same pass that produces the token stream.
+///
+/// Fields are documented with the features they back; "words" follow the
+/// paper's definition (runs of alphanumeric/`_` outside comments and
+/// strings), "lines" follow `str::lines` semantics.
+#[derive(Debug, Clone)]
+pub struct SourceStats {
+    /// Total characters (`== source.chars().count()`; J1).
+    pub char_len: usize,
+    /// Unicode-whitespace characters (J6).
+    pub whitespace: usize,
+    /// Backslash characters (J17).
+    pub backslashes: usize,
+    /// Physical lines, `str::lines` semantics (J2/J3/J11/J14).
+    pub line_count: usize,
+    /// Lines longer than 150 characters (J14).
+    pub long_lines: usize,
+    /// Words outside comments and strings (J12/J13).
+    pub code_words: usize,
+    /// Words inside comment bodies (J5/J12/J13).
+    pub comment_words: usize,
+    /// Human-readable words across code and comments (J5).
+    pub readable_words: usize,
+    /// Character length of every code word, in document order (V3/V4).
+    pub word_lengths: Vec<f64>,
+    /// Decoded string-literal char lengths summed as sequential `f64`
+    /// adds in token order — the exact accumulation `mean()` performed
+    /// over the old owned-`String` vector (J8/V7).
+    pub string_len_sum: f64,
+    /// Total decoded string-literal characters (J16/V6).
+    pub string_chars: usize,
+    /// Total trimmed comment-body characters (V2).
+    pub comment_body_chars: usize,
+    /// Total full comment-span characters, marker included (V1).
+    pub comment_span_chars: usize,
+
+    // Entropy histogram: dense ASCII lane plus an ordered map for the
+    // (rare) rest. Iterating ASCII ascending then the map ascending
+    // reproduces the old full-`BTreeMap` term order exactly.
+    ascii_counts: [u64; 128],
+    other_counts: BTreeMap<char, u64>,
+
+    // Lexer-pass machines (meaningless after `finish`).
+    code_run: WordRun,
+    comment_run: WordRun,
+    cur_line_chars: usize,
+    last_was_cr: bool,
+}
+
+impl Default for SourceStats {
+    fn default() -> Self {
+        SourceStats {
+            char_len: 0,
+            whitespace: 0,
+            backslashes: 0,
+            line_count: 0,
+            long_lines: 0,
+            code_words: 0,
+            comment_words: 0,
+            readable_words: 0,
+            word_lengths: Vec::new(),
+            string_len_sum: 0.0,
+            string_chars: 0,
+            comment_body_chars: 0,
+            comment_span_chars: 0,
+            ascii_counts: [0; 128],
+            other_counts: BTreeMap::new(),
+            code_run: WordRun::default(),
+            comment_run: WordRun::default(),
+            cur_line_chars: 0,
+            last_was_cr: false,
+        }
+    }
+}
+
+impl SourceStats {
+    /// Clears all counters while keeping `word_lengths` capacity.
+    pub(crate) fn reset(&mut self) {
+        let mut word_lengths = std::mem::take(&mut self.word_lengths);
+        word_lengths.clear();
+        *self = SourceStats {
+            word_lengths,
+            ..SourceStats::default()
+        };
+    }
+
+    /// One call per source character, in order. `masked` is true inside
+    /// comment and string-literal token spans (marker/quotes included),
+    /// mirroring the span mask the old `words()` view applied.
+    #[inline]
+    pub(crate) fn visit(&mut self, c: char, masked: bool) {
+        self.char_len += 1;
+        if c.is_whitespace() {
+            self.whitespace += 1;
+        }
+        if c == '\\' {
+            self.backslashes += 1;
+        }
+        let u = c as u32;
+        if u < 128 {
+            self.ascii_counts[u as usize] += 1;
+        } else {
+            *self.other_counts.entry(c).or_insert(0) += 1;
+        }
+        // Line machine: `str::lines` counts a line per '\n' (stripping one
+        // '\r' before it) plus a final unterminated line if non-empty.
+        if c == '\n' {
+            let len = self.cur_line_chars - usize::from(self.last_was_cr);
+            if len > 150 {
+                self.long_lines += 1;
+            }
+            self.line_count += 1;
+            self.cur_line_chars = 0;
+        } else {
+            self.cur_line_chars += 1;
+        }
+        self.last_was_cr = c == '\r';
+        // Code-word machine.
+        if masked || !is_word_char(c) {
+            self.flush_code_word();
+        } else {
+            self.code_run.feed(c);
+        }
+    }
+
+    /// Additionally routes a comment-body character through the
+    /// comment-word machine (call after `visit(c, true)`).
+    #[inline]
+    pub(crate) fn visit_comment_word(&mut self, c: char) {
+        if is_word_char(c) {
+            self.comment_run.feed(c);
+        } else {
+            self.flush_comment_word();
+        }
+    }
+
+    /// Ends the current comment-body word run. The lexer calls this at
+    /// every comment terminator so a run can never merge with the first
+    /// word of the *next* comment (e.g. `'t` directly followed on the
+    /// next line by `'rai` is two words, not `trai`).
+    #[inline]
+    pub(crate) fn end_comment_word(&mut self) {
+        self.flush_comment_word();
+    }
+
+    /// Word-machine snapshot taken before scanning an identifier, so a
+    /// `Rem` comment can rewind the characters it fed speculatively.
+    #[inline]
+    pub(crate) fn word_snapshot(&self) -> WordRun {
+        self.code_run
+    }
+
+    #[inline]
+    pub(crate) fn word_rewind(&mut self, snap: WordRun) {
+        self.code_run = snap;
+    }
+
+    fn flush_code_word(&mut self) {
+        if self.code_run.active {
+            self.code_words += 1;
+            self.word_lengths.push(self.code_run.char_len as f64);
+            if self.code_run.is_readable() {
+                self.readable_words += 1;
+            }
+            self.code_run.active = false;
+        }
+    }
+
+    fn flush_comment_word(&mut self) {
+        if self.comment_run.active {
+            self.comment_words += 1;
+            if self.comment_run.is_readable() {
+                self.readable_words += 1;
+            }
+            self.comment_run.active = false;
+        }
+    }
+
+    /// Flushes open word runs and the final unterminated line.
+    pub(crate) fn finish(&mut self) {
+        self.flush_code_word();
+        self.flush_comment_word();
+        if self.cur_line_chars > 0 {
+            self.line_count += 1;
+            if self.cur_line_chars > 150 {
+                self.long_lines += 1;
+            }
+        }
+    }
+
+    /// Non-zero character counts in ascending character order — the exact
+    /// term sequence the old `BTreeMap<char, u64>` entropy sum iterated.
+    pub fn char_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ascii_counts
+            .iter()
+            .copied()
+            .filter(|&n| n > 0)
+            .chain(self.other_counts.values().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(source: &str) -> SourceStats {
+        // Feed every char unmasked: enough to exercise the char-level
+        // machines (word/line equivalence under masking is covered by the
+        // lexer and analysis tests).
+        let mut s = SourceStats::default();
+        for c in source.chars() {
+            s.visit(c, false);
+        }
+        s.finish();
+        s
+    }
+
+    #[test]
+    fn char_line_and_word_counts() {
+        let s = run("ab cd\r\nxy\n");
+        assert_eq!(s.char_len, 10);
+        assert_eq!(s.line_count, 2);
+        assert_eq!(s.code_words, 3);
+        assert_eq!(s.word_lengths, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn lines_match_str_lines_semantics() {
+        for src in ["", "a", "a\n", "a\nb", "\n", "a\r\nb\r", "x\n\r"] {
+            let s = run(src);
+            assert_eq!(s.line_count, src.lines().count(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn long_line_detection_strips_cr() {
+        let line = "a".repeat(151);
+        assert_eq!(run(&format!("{line}\r\n")).long_lines, 1);
+        let line150 = "a".repeat(150);
+        assert_eq!(run(&format!("{line150}\r\n")).long_lines, 0);
+    }
+
+    #[test]
+    fn entropy_counts_ascending() {
+        let s = run("ba\u{2603}ab");
+        let counts: Vec<u64> = s.char_counts().collect();
+        // 'a' x2, 'b' x2, snowman x1 — ascending char order.
+        assert_eq!(counts, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn readability_matches_reference_predicate() {
+        fn reference(word: &str) -> bool {
+            if word.len() < 2 || word.len() > 15 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
+                return false;
+            }
+            let lower = word.to_ascii_lowercase();
+            let is_vowel = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
+            if !lower.chars().any(is_vowel) {
+                return false;
+            }
+            let mut run = 0usize;
+            for c in lower.chars() {
+                if is_vowel(c) {
+                    run = 0;
+                } else {
+                    run += 1;
+                    if run > 4 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        for w in [
+            "hello",
+            "Program",
+            "counter",
+            "open",
+            "a",
+            "x1b2",
+            "xqzptvk",
+            "ueiwjfdjkfdsv",
+            "abcdefghijklmnop",
+            "caf\u{e9}",
+            "_x",
+            "strength",
+        ] {
+            let mut r = WordRun::default();
+            for c in w.chars() {
+                r.feed(c);
+            }
+            assert_eq!(r.is_readable(), reference(w), "{w:?}");
+        }
+    }
+}

@@ -44,3 +44,50 @@ impl Token {
         self.start == self.end
     }
 }
+
+/// Payload-free token tag for the borrowed span lexer backing
+/// [`MacroAnalysis`](crate::MacroAnalysis): the text of a token is the
+/// source slice at its span, so no owned `String` is materialized.
+/// String-literal values and trimmed comment bodies (the two cases where
+/// the payload is not the exact span) live in side tables indexed here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An identifier; the span includes any absorbed type suffix.
+    Identifier,
+    /// A reserved word, exactly as written in the span.
+    Keyword,
+    /// A numeric literal, exactly as written in the span.
+    Number,
+    /// A string literal; payload index into the analysis string table.
+    StringLit(u32),
+    /// A comment; payload index into the analysis comment table.
+    Comment(u32),
+    /// An operator or punctuation mark.
+    Operator(&'static str),
+    /// A physical end of line (continuations are spliced).
+    Newline,
+}
+
+/// One span token: kind tag plus byte *and* character positions, so
+/// consumers can count characters of any token-bounded region (procedure
+/// bodies, identifiers, comment spans) without re-walking the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanToken {
+    /// What was recognized.
+    pub kind: SpanKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// Character offset of the first character.
+    pub char_start: usize,
+    /// Character offset one past the last character.
+    pub char_end: usize,
+}
+
+impl SpanToken {
+    /// The token's source length in characters.
+    pub fn char_len(&self) -> usize {
+        self.char_end - self.char_start
+    }
+}

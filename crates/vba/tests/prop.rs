@@ -88,7 +88,7 @@ proptest! {
         prop_assert!(a.code_chars() <= a.char_len());
         prop_assert_eq!(
             a.strings().len(),
-            a.tokens().iter().filter(|t| matches!(t.kind, TokenKind::StringLit(_))).count()
+            a.tokens().iter().filter(|t| matches!(t.kind, vbadet_vba::SpanKind::StringLit(_))).count()
         );
     }
 }

@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
-# Refreshes the CI bench regression baseline after an *intentional* perf
-# change: reruns the throughput bench and promotes the fresh results to
-# results/BENCH_baseline.json, which `scripts/ci.sh` gates against at a
-# 20% docs/sec tolerance. Commit the updated baseline with the change
-# that justified it.
+# Refreshes the CI bench regression baselines after an *intentional* perf
+# change: reruns the throughput benches and promotes the fresh results to
+# results/BENCH_baseline.json and results/BENCH_features_baseline.json,
+# which `scripts/ci.sh` gates against at a 20% docs/sec tolerance. Commit
+# the updated baselines with the change that justified them.
 set -eu
 cd "$(dirname "$0")/.."
 cargo bench --offline -p vbadet-bench --bench scan_parallel
 cp results/BENCH_scan.json results/BENCH_baseline.json
 echo "refreshed results/BENCH_baseline.json:"
 cat results/BENCH_baseline.json
+cargo bench --offline -p vbadet-bench --bench features
+cp results/BENCH_features.json results/BENCH_features_baseline.json
+echo "refreshed results/BENCH_features_baseline.json:"
+cat results/BENCH_features_baseline.json
